@@ -1,0 +1,28 @@
+//! Criterion bench: gate-level switching-activity analysis throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monityre_netlist::{designs, Activity};
+
+fn bench_netlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist");
+    for width in [8usize, 32, 128] {
+        let acc = designs::accumulator(width);
+        group.bench_with_input(
+            BenchmarkId::new("accumulator_analysis", width),
+            &acc,
+            |b, netlist| {
+                b.iter(|| std::hint::black_box(Activity::uniform(netlist, 0.5, 0.3).unwrap()));
+            },
+        );
+    }
+    let adder = designs::ripple_carry_adder(32);
+    group.bench_function("adder32_simulation_cycle", |b| {
+        let mut state = Vec::new();
+        let inputs = vec![true; adder.input_count()];
+        b.iter(|| std::hint::black_box(adder.simulate(&inputs, &mut state)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netlist);
+criterion_main!(benches);

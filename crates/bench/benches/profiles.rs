@@ -1,0 +1,43 @@
+//! Criterion bench: profile generation and sampling (emulator inputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monityre_profile::{ProfileSampler, SpeedProfile, StochasticCruise, UrbanCycle};
+use monityre_units::{Duration, Speed};
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiles");
+
+    group.bench_function("stochastic_cruise_build_20min", |b| {
+        b.iter(|| {
+            std::hint::black_box(StochasticCruise::new(
+                Speed::from_kmh(110.0),
+                1.5,
+                Duration::from_secs(20.0),
+                Duration::from_mins(20.0),
+                42,
+            ))
+        });
+    });
+
+    let cycle = UrbanCycle::new();
+    group.bench_function("urban_cycle_sample_10ms", |b| {
+        b.iter(|| {
+            let sum: f64 = ProfileSampler::new(&cycle, Duration::from_millis(10.0))
+                .map(|s| s.speed.mps())
+                .sum();
+            std::hint::black_box(sum)
+        });
+    });
+
+    group.bench_function("urban_cycle_point_query", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t = (t + 0.37) % 195.0;
+            std::hint::black_box(cycle.speed_at(Duration::from_secs(t)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

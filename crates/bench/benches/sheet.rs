@@ -1,0 +1,51 @@
+//! Criterion bench: spreadsheet recompute — incremental edit vs full
+//! rebuild (the EXP-SHEET workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monityre_bench::reference_fixture;
+use monityre_sheet::{PowerSheet, Sheet};
+use monityre_units::Temperature;
+
+fn bench_sheet(c: &mut Criterion) {
+    let (arch, _, _) = reference_fixture();
+    let db = arch.database().clone();
+
+    let mut group = c.benchmark_group("sheet");
+    group.bench_function("build_power_sheet", |b| {
+        b.iter(|| std::hint::black_box(PowerSheet::new(&db).unwrap()));
+    });
+
+    group.bench_function("temperature_edit", |b| {
+        let mut sheet = PowerSheet::new(&db).unwrap();
+        let mut hot = false;
+        b.iter(|| {
+            hot = !hot;
+            let t = if hot { 85.0 } else { 27.0 };
+            sheet
+                .set_temperature(Temperature::from_celsius(t), &db)
+                .unwrap();
+            std::hint::black_box(sheet.value("node.leak_uw").unwrap())
+        });
+    });
+
+    group.bench_function("deep_chain_edit", |b| {
+        // A 200-cell linear chain: worst case for propagation depth.
+        let mut sheet = Sheet::new();
+        sheet.set_number("c0", 1.0).unwrap();
+        for i in 1..200 {
+            sheet
+                .set_formula(&format!("c{i}"), &format!("c{} * 1.001 + 1", i - 1))
+                .unwrap();
+        }
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            sheet.set_number("c0", x).unwrap();
+            std::hint::black_box(sheet.value("c199").unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sheet);
+criterion_main!(benches);

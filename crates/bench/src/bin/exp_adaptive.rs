@@ -1,0 +1,122 @@
+//! EXP-ADAPTIVE — §II-A closes with "some parameters should be modified
+//! in order to reach a positive energy balance"; this experiment automates
+//! that modification: an SoC-driven configuration governor (full-rate →
+//! reference → TPMS-class → off) versus the static configurations, over
+//! a harsh all-urban trip (mean ≈ 19 km/h, mostly below break-even) where
+//! a static full-rate node drains out.
+
+use monityre_bench::{expect, header, parse_args};
+use monityre_core::report::Table;
+use monityre_core::{GovernedReport, Governor, GovernorLevel};
+use monityre_harvest::{HarvestChain, Supercap};
+use monityre_node::NodeConfig;
+use monityre_power::WorkingConditions;
+use monityre_profile::{RepeatProfile, UrbanCycle};
+
+fn run_static(label: &str, config: NodeConfig, min_soc: f64) -> (String, GovernedReport) {
+    let governor = Governor::new(
+        vec![GovernorLevel {
+            label: label.to_owned(),
+            min_soc,
+            config,
+        }],
+        WorkingConditions::reference(),
+    )
+    .expect("single-level ladder is valid");
+    let mut storage = Supercap::reference();
+    let report = governor
+        .run(&HarvestChain::reference(), &trip(), &mut storage)
+        .expect("static run executes");
+    (label.to_owned(), report)
+}
+
+/// Twelve back-to-back urban cycles: ~40 min of stop-and-go city driving,
+/// long enough that a static full-rate node drains its reservoir.
+fn trip() -> RepeatProfile<UrbanCycle> {
+    RepeatProfile::new(UrbanCycle::new(), 12)
+}
+
+fn main() {
+    let options = parse_args();
+    header("EXP-ADAPTIVE", "SoC-driven configuration governor vs static configs");
+
+    let governor = Governor::reference_ladder(WorkingConditions::reference());
+    let mut storage = Supercap::reference();
+    let adaptive = governor
+        .run(&HarvestChain::reference(), &trip(), &mut storage)
+        .expect("governed run executes");
+
+    let full_rate = run_static(
+        "static full-rate",
+        NodeConfig::reference()
+            .with_samples_per_round(512)
+            .with_tx_period_rounds(2),
+        0.15,
+    );
+    let tpms = run_static(
+        "static tpms-class",
+        NodeConfig::reference()
+            .with_samples_per_round(32)
+            .with_tx_period_rounds(16)
+            .with_acquisition_fraction(0.03),
+        0.15,
+    );
+
+    if options.check {
+        expect(
+            options,
+            "adaptive is at least as available as static full-rate",
+            adaptive.active_fraction() >= full_rate.1.active_fraction(),
+        );
+        expect(
+            options,
+            "adaptive acquires more samples than the static trickle",
+            adaptive.samples_acquired > tpms.1.samples_acquired,
+        );
+        expect(
+            options,
+            "governor actually switches levels on the urban trip",
+            adaptive.switches > 0,
+        );
+        expect(
+            options,
+            "static full-rate cannot hold the urban trip",
+            full_rate.1.active_fraction() < 1.0,
+        );
+        return;
+    }
+
+    let mut table = Table::new(vec![
+        "policy",
+        "active_pct",
+        "samples_acquired",
+        "harvested_mj",
+        "consumed_mj",
+        "switches",
+    ]);
+    let mut row = |label: &str, r: &GovernedReport| {
+        table.row(vec![
+            label.to_owned(),
+            format!("{:.1}", r.active_fraction() * 100.0),
+            format!("{:.0}", r.samples_acquired),
+            format!("{:.1}", r.harvested.millijoules()),
+            format!("{:.1}", r.consumed.millijoules()),
+            r.switches.to_string(),
+        ]);
+    };
+    row("adaptive ladder", &adaptive);
+    row(&full_rate.0, &full_rate.1);
+    row(&tpms.0, &tpms.1);
+    println!("{table}");
+
+    println!("time per level (adaptive):");
+    let labels: Vec<String> = governor
+        .levels()
+        .iter()
+        .map(|l| l.label.clone())
+        .chain(std::iter::once("off".to_owned()))
+        .collect();
+    for (label, time) in labels.iter().zip(&adaptive.level_time) {
+        println!("  {label:<12} {:.0} s", time.secs());
+    }
+}

@@ -1,0 +1,107 @@
+//! EXP-ARCH — §II-A claim: "The user can even evaluate custom
+//! architectures of the chip in order to strike a balance between energy
+//! requirement and system performance." Sweeps the configuration grid and
+//! prints the performance/break-even frontier.
+
+use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_core::report::Table;
+use monityre_core::{EnergyAnalyzer, EnergyBalance};
+use monityre_node::{Architecture, ConfigSpace};
+use monityre_units::Speed;
+
+struct Row {
+    samples: u32,
+    tx_period: u32,
+    payload: u32,
+    throughput: f64,
+    break_even_kmh: Option<f64>,
+}
+
+fn main() {
+    let options = parse_args();
+    header("EXP-ARCH", "configuration sweep: performance vs activation speed");
+
+    let (_, cond, chain) = reference_fixture();
+    let space = ConfigSpace::reference_grid();
+
+    let mut rows = Vec::new();
+    for config in space.iter() {
+        let arch = Architecture::from_config(config);
+        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
+        let break_even = EnergyBalance::new(&analyzer, &chain)
+            .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 118)
+            .break_even();
+        rows.push(Row {
+            samples: config.samples_per_round(),
+            tx_period: config.tx_period_rounds(),
+            payload: config.payload_bytes(),
+            throughput: config.samples_throughput(),
+            break_even_kmh: break_even.map(|s| s.kmh()),
+        });
+    }
+
+    if options.check {
+        expect(options, "full grid evaluated", rows.len() == space.len());
+        // More samples at the same telemetry → higher break-even.
+        let be = |samples: u32| {
+            rows.iter()
+                .find(|r| r.samples == samples && r.tx_period == 4 && r.payload == 32)
+                .and_then(|r| r.break_even_kmh)
+                .expect("crossing exists")
+        };
+        expect(options, "hungrier config needs more speed", be(512) > be(32));
+        // Sparser telemetry lowers the activation speed.
+        let be_tx = |tx: u32| {
+            rows.iter()
+                .find(|r| r.samples == 128 && r.tx_period == tx && r.payload == 32)
+                .and_then(|r| r.break_even_kmh)
+                .expect("crossing exists")
+        };
+        expect(options, "sparser TX lowers break-even", be_tx(16) < be_tx(1));
+        return;
+    }
+
+    let mut table = Table::new(vec![
+        "samples_per_round",
+        "tx_period_rounds",
+        "payload_bytes",
+        "samples_per_round_throughput",
+        "break_even_kmh",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.samples.to_string(),
+            r.tx_period.to_string(),
+            r.payload.to_string(),
+            format!("{:.0}", r.throughput),
+            r.break_even_kmh
+                .map_or("-".into(), |b| format!("{b:.1}")),
+        ]);
+    }
+    println!("{}", table.to_csv());
+
+    // The Pareto frontier: configs where no other config has both higher
+    // throughput and lower break-even.
+    let mut frontier: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.break_even_kmh.is_some())
+        .filter(|candidate| {
+            !rows.iter().any(|other| {
+                other.break_even_kmh.is_some()
+                    && other.throughput > candidate.throughput
+                    && other.break_even_kmh.unwrap() < candidate.break_even_kmh.unwrap()
+            })
+        })
+        .collect();
+    frontier.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+    println!("pareto frontier (throughput ↑, break-even ↓):");
+    for r in frontier {
+        println!(
+            "  {} samples/round, tx every {} rounds, {} B → break-even {:.1} km/h",
+            r.samples,
+            r.tx_period,
+            r.payload,
+            r.break_even_kmh.unwrap()
+        );
+    }
+}

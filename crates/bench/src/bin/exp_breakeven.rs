@@ -1,0 +1,52 @@
+//! EXP-BREAKEVEN — the design goal of §I: "reduce the minimum speed for
+//! the monitoring system activation". Break-even speed before/after the
+//! advisor's optimizations, under both selection policies.
+
+use monityre_bench::{analyzer_for, expect, header, parse_args, reference_fixture};
+use monityre_core::report::Table;
+use monityre_core::{EnergyAnalyzer, EnergyBalance, OptimizationAdvisor, SelectionPolicy};
+use monityre_node::Architecture;
+use monityre_units::Speed;
+
+fn break_even_of(
+    arch: &Architecture,
+    cond: monityre_power::WorkingConditions,
+    chain: &monityre_harvest::HarvestChain,
+) -> Option<Speed> {
+    let analyzer = EnergyAnalyzer::new(arch, cond).with_wheel(*chain.wheel());
+    EnergyBalance::new(&analyzer, chain)
+        .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 391)
+        .break_even()
+}
+
+fn main() {
+    let options = parse_args();
+    header("EXP-BREAKEVEN", "minimum activation speed before/after optimization");
+
+    let (arch, cond, chain) = reference_fixture();
+    let analyzer = analyzer_for(&arch, cond, &chain);
+    let advisor = OptimizationAdvisor::new(&analyzer, Speed::from_kmh(30.0));
+
+    let baseline = break_even_of(&arch, cond, &chain).expect("baseline crosses");
+    let naive = advisor.optimize(SelectionPolicy::PowerFigures).unwrap();
+    let aware = advisor.optimize(SelectionPolicy::DutyCycleAware).unwrap();
+    let be_naive = break_even_of(&naive.architecture, cond, &chain).expect("naive crosses");
+    let be_aware = break_even_of(&aware.architecture, cond, &chain).expect("aware crosses");
+
+    if options.check {
+        expect(options, "naive lowers break-even", be_naive < baseline);
+        expect(options, "aware lowers break-even further", be_aware < be_naive);
+        return;
+    }
+
+    let mut table = Table::new(vec!["design", "break_even_kmh"]);
+    table.row(vec!["unoptimized".into(), format!("{:.2}", baseline.kmh())]);
+    table.row(vec!["power-figures-only".into(), format!("{:.2}", be_naive.kmh())]);
+    table.row(vec!["duty-cycle-aware".into(), format!("{:.2}", be_aware.kmh())]);
+    println!("{table}");
+    println!(
+        "activation speed reduced by {:.1} km/h ({:.1} %) with the paper's method",
+        baseline.kmh() - be_aware.kmh(),
+        (1.0 - be_aware.kmh() / baseline.kmh()) * 100.0
+    );
+}

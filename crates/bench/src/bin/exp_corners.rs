@@ -1,0 +1,74 @@
+//! EXP-CORNER — §II-A claim: process variation is one of the parameters
+//! "that contribute for modifying the expected power consumption".
+//! Per-round energy and break-even speed across SS/TT/FF corners and a
+//! supply sweep.
+
+use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_core::report::Table;
+use monityre_core::{EnergyAnalyzer, EnergyBalance};
+use monityre_power::ProcessCorner;
+use monityre_units::{Speed, Voltage};
+
+fn main() {
+    let options = parse_args();
+    header("EXP-CORNER", "process corners and supply voltage vs the balance");
+
+    let (arch, base_cond, chain) = reference_fixture();
+    let design_speed = Speed::from_kmh(60.0);
+
+    let mut results = Vec::new();
+    for corner in ProcessCorner::ALL {
+        for mv in [1000, 1100, 1200, 1320] {
+            let supply = Voltage::from_millivolts(f64::from(mv));
+            let cond = base_cond.with_corner(corner).with_supply(supply);
+            let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
+            let energy = analyzer.required_per_round(design_speed).unwrap();
+            let break_even = EnergyBalance::new(&analyzer, &chain)
+                .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
+                .break_even();
+            results.push((corner, mv, energy, break_even));
+        }
+    }
+
+    if options.check {
+        let energy_of = |corner: ProcessCorner| {
+            results
+                .iter()
+                .find(|(c, mv, ..)| *c == corner && *mv == 1200)
+                .unwrap()
+                .2
+        };
+        expect(
+            options,
+            "FF burns more than SS at nominal supply",
+            energy_of(ProcessCorner::FastFast) > energy_of(ProcessCorner::SlowSlow),
+        );
+        let nominal = results
+            .iter()
+            .find(|(c, mv, ..)| *c == ProcessCorner::Typical && *mv == 1200)
+            .unwrap();
+        let undervolted = results
+            .iter()
+            .find(|(c, mv, ..)| *c == ProcessCorner::Typical && *mv == 1000)
+            .unwrap();
+        expect(options, "undervolting cuts energy", undervolted.2 < nominal.2);
+        expect(
+            options,
+            "undervolting lowers break-even",
+            undervolted.3.unwrap() < nominal.3.unwrap(),
+        );
+        return;
+    }
+
+    let mut table = Table::new(vec!["corner", "supply_mv", "energy_uj_per_round_60kmh", "break_even_kmh"]);
+    for (corner, mv, energy, be) in &results {
+        table.row(vec![
+            corner.to_string(),
+            format!("{mv}"),
+            format!("{:.3}", energy.microjoules()),
+            be.map_or("-".into(), |s| format!("{:.1}", s.kmh())),
+        ]);
+    }
+    println!("{}", table.to_csv());
+    println!("{table}");
+}

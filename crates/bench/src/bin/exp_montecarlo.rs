@@ -1,0 +1,65 @@
+//! EXP-MC — continuous process variation (§II-A): Monte Carlo over
+//! per-block leakage/dynamic spreads, reporting the break-even speed
+//! distribution and the yield against an activation-speed spec.
+
+use monityre_bench::{analyzer_for, expect, header, parse_args, reference_fixture};
+use monityre_core::report::Table;
+use monityre_core::{MonteCarlo, VariationModel};
+use monityre_units::Speed;
+
+const SAMPLES: usize = 256;
+
+fn main() {
+    let options = parse_args();
+    header("EXP-MC", "Monte Carlo process variation of the break-even speed");
+
+    let (arch, cond, chain) = reference_fixture();
+    let analyzer = analyzer_for(&arch, cond, &chain);
+    let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 2011);
+    let dist = mc
+        .break_even_distribution(SAMPLES)
+        .expect("distribution samples");
+
+    if options.check {
+        expect(
+            options,
+            "mean near the nominal break-even",
+            (dist.mean().kmh() - 34.5).abs() < 5.0,
+        );
+        expect(options, "spread is visible", dist.std_dev() > 0.1);
+        expect(
+            options,
+            "p95 above p05",
+            dist.quantile(0.95) > dist.quantile(0.05),
+        );
+        expect(
+            options,
+            "yield at 45 km/h is high",
+            dist.yield_at(Speed::from_kmh(45.0)) > 0.9,
+        );
+        return;
+    }
+
+    let mut table = Table::new(vec!["statistic", "break_even_kmh"]);
+    table.row(vec!["mean".into(), format!("{:.2}", dist.mean().kmh())]);
+    table.row(vec!["std_dev".into(), format!("{:.2}", dist.std_dev() * 3.6)]);
+    for q in [0.05, 0.25, 0.50, 0.75, 0.95] {
+        table.row(vec![
+            format!("p{:02.0}", q * 100.0),
+            format!("{:.2}", dist.quantile(q).kmh()),
+        ]);
+    }
+    println!("{table}");
+
+    println!("yield against an activation-speed spec:");
+    for spec in [30.0, 35.0, 40.0, 45.0] {
+        println!(
+            "  <= {spec:.0} km/h: {:.1} % of {} samples",
+            dist.yield_at(Speed::from_kmh(spec)) * 100.0,
+            SAMPLES
+        );
+    }
+    if dist.never_crossed() > 0 {
+        println!("  ({} samples never reached surplus)", dist.never_crossed());
+    }
+}

@@ -1,0 +1,70 @@
+//! EXP-SHEET — the "dynamic spreadsheet" of §II-A: hosting the power
+//! database on the live sheet, measuring edit-propagation correctness and
+//! incrementality.
+
+use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_core::report::Table;
+use monityre_sheet::PowerSheet;
+use monityre_units::Temperature;
+
+fn main() {
+    let options = parse_args();
+    header("EXP-SHEET", "dynamic spreadsheet hosting the power database");
+
+    let (arch, _, _) = reference_fixture();
+    let db = arch.database().clone();
+    let mut sheet = PowerSheet::new(&db).expect("sheet builds");
+
+    // A user-defined derived cell: the chip's sleep budget over a 114 ms
+    // round, in µJ.
+    sheet
+        .sheet_mut()
+        .set_formula("round.sleep_uj", "node.sleep_uw * 0.114")
+        .expect("formula parses");
+
+    let mut rows = Vec::new();
+    for celsius in [-20.0, 0.0, 27.0, 50.0, 85.0] {
+        sheet
+            .set_temperature(Temperature::from_celsius(celsius), &db)
+            .expect("edit propagates");
+        rows.push((
+            celsius,
+            sheet.value("node.active_uw").unwrap(),
+            sheet.value("node.leak_uw").unwrap(),
+            sheet.value("round.sleep_uj").unwrap(),
+        ));
+    }
+
+    if options.check {
+        expect(
+            options,
+            "leakage cells ripple with temperature",
+            rows.last().unwrap().2 > rows.first().unwrap().2 * 50.0,
+        );
+        expect(
+            options,
+            "user formula follows the condition edits",
+            rows.last().unwrap().3 > rows.first().unwrap().3,
+        );
+        let evals = sheet.sheet().evaluation_count();
+        expect(options, "engine recomputes incrementally", evals > 0);
+        return;
+    }
+
+    let mut table = Table::new(vec!["temp_c", "node_active_uw", "node_leak_uw", "round_sleep_uj"]);
+    for (t, active, leak, uj) in &rows {
+        table.row(vec![
+            format!("{t:.0}"),
+            format!("{active:.2}"),
+            format!("{leak:.3}"),
+            format!("{uj:.4}"),
+        ]);
+    }
+    println!("{}", table.to_csv());
+    println!("{table}");
+    println!(
+        "{} cells, {} formula evaluations across 5 temperature edits",
+        sheet.sheet().len(),
+        sheet.sheet().evaluation_count()
+    );
+}

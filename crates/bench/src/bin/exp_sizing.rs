@@ -1,0 +1,77 @@
+//! EXP-SIZING — §I claim: "the available energy depends almost on the
+//! size of such a scavenging device and mostly on the tyre rotation
+//! speed". Break-even speed as a function of scavenger size.
+
+use monityre_bench::{analyzer_for, expect, header, parse_args, reference_fixture};
+use monityre_core::report::{ascii_chart, Series, Table};
+use monityre_core::EnergyBalance;
+use monityre_harvest::{HarvestChain, PiezoScavenger, Regulator};
+use monityre_profile::Wheel;
+use monityre_units::Speed;
+
+fn main() {
+    let options = parse_args();
+    header("EXP-SIZING", "scavenger size vs break-even speed");
+
+    let (arch, cond, reference_chain) = reference_fixture();
+    let analyzer = analyzer_for(&arch, cond, &reference_chain);
+
+    let mut rows = Vec::new();
+    for pct in (25..=400).step_by(25) {
+        let scale = f64::from(pct) / 100.0;
+        let chain = HarvestChain::new(
+            PiezoScavenger::reference().scaled(scale),
+            Regulator::reference(),
+            Wheel::reference(),
+        );
+        let break_even = EnergyBalance::new(&analyzer, &chain)
+            .sweep(Speed::from_kmh(5.0), Speed::from_kmh(220.0), 216)
+            .break_even();
+        rows.push((scale, break_even));
+    }
+
+    if options.check {
+        let be = |scale: f64| {
+            rows.iter()
+                .find(|(s, _)| (*s - scale).abs() < 1e-9)
+                .and_then(|(_, b)| *b)
+        };
+        expect(
+            options,
+            "a quarter-size device never breaks even below 60 km/h",
+            be(0.25).is_none_or(|s| s.kmh() > 60.0),
+        );
+        expect(
+            options,
+            "doubling the device lowers the break-even",
+            be(2.0).unwrap() < be(1.0).unwrap(),
+        );
+        // Diminishing returns: 1→2 helps more than 2→4.
+        let gain_12 = be(1.0).unwrap().kmh() - be(2.0).unwrap().kmh();
+        let gain_24 = be(2.0).unwrap().kmh() - be(4.0).unwrap().kmh();
+        expect(options, "returns diminish with size", gain_12 > gain_24);
+        return;
+    }
+
+    let mut table = Table::new(vec!["size_factor", "break_even_kmh"]);
+    for (scale, be) in &rows {
+        table.row(vec![
+            format!("{scale:.2}"),
+            be.map_or("-".into(), |s| format!("{:.1}", s.kmh())),
+        ]);
+    }
+    println!("{}", table.to_csv());
+
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|(s, b)| b.map(|be| (*s, be.kmh())))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            &[Series { label: "break-even (km/h) vs device size", glyph: '*', points }],
+            80,
+            18,
+        )
+    );
+}

@@ -1,0 +1,64 @@
+//! EXP-TEMP — §II claim: "Static power is mainly linked to the working
+//! temperature of the circuit." Leakage power and break-even speed across
+//! the automotive temperature range.
+
+use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_core::report::{ascii_chart, Series, Table};
+use monityre_core::{EnergyAnalyzer, EnergyBalance};
+use monityre_power::OperatingMode;
+use monityre_units::{Speed, Temperature};
+
+fn main() {
+    let options = parse_args();
+    header("EXP-TEMP", "working temperature vs leakage and break-even");
+
+    let (arch, base_cond, chain) = reference_fixture();
+
+    let mut rows = Vec::new();
+    for celsius in (-20..=85).step_by(5) {
+        let cond = base_cond.with_temperature(Temperature::from_celsius(f64::from(celsius)));
+        let leakage = arch
+            .database()
+            .total_power(OperatingMode::Sleep, &cond)
+            .leakage;
+        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
+        let break_even = EnergyBalance::new(&analyzer, &chain)
+            .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
+            .break_even();
+        rows.push((f64::from(celsius), leakage, break_even));
+    }
+
+    if options.check {
+        let first_leak = rows.first().unwrap().1;
+        let last_leak = rows.last().unwrap().1;
+        expect(
+            options,
+            "leakage grows > 50x from -20 to 85 °C",
+            last_leak.watts() > first_leak.watts() * 50.0,
+        );
+        let be_cold = rows.first().unwrap().2.expect("crosses when cold");
+        let be_hot = rows.last().unwrap().2.expect("crosses when hot");
+        expect(options, "break-even rises with temperature", be_hot > be_cold);
+        return;
+    }
+
+    let mut table = Table::new(vec!["temp_c", "chip_leakage_uw", "break_even_kmh"]);
+    for (t, leak, be) in &rows {
+        table.row(vec![
+            format!("{t:.0}"),
+            format!("{:.3}", leak.microwatts()),
+            be.map_or("-".into(), |s| format!("{:.1}", s.kmh())),
+        ]);
+    }
+    println!("{}", table.to_csv());
+
+    let leak_series: Vec<(f64, f64)> = rows.iter().map(|(t, l, _)| (*t, l.microwatts())).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            &[Series { label: "chip leakage (µW)", glyph: '*', points: leak_series }],
+            80,
+            18,
+        )
+    );
+}

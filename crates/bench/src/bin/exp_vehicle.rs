@@ -1,0 +1,64 @@
+//! EXP-VEHICLE — the §I motivation made measurable: friction estimation
+//! needs all four corners reporting. Vehicle-level availability (all four
+//! nodes active simultaneously) vs per-corner coverage over an NEDC-like
+//! trip.
+
+use monityre_bench::{expect, header, parse_args};
+use monityre_core::report::Table;
+use monityre_core::VehicleEmulator;
+use monityre_profile::{CompositeProfile, ExtraUrbanCycle, RepeatProfile, SpeedProfile, UrbanCycle};
+
+fn main() {
+    let options = parse_args();
+    header("EXP-VEHICLE", "four-corner availability for friction estimation");
+
+    let emulator = VehicleEmulator::reference();
+    let trip = CompositeProfile::new(vec![
+        Box::new(RepeatProfile::new(UrbanCycle::new(), 4)),
+        Box::new(ExtraUrbanCycle::new()),
+    ]);
+    let report = emulator.run(&trip).expect("vehicle emulation runs");
+
+    if options.check {
+        expect(options, "four corners emulated", report.corners.len() == 4);
+        let worst = report
+            .corners
+            .iter()
+            .map(|(_, r)| r.coverage())
+            .fold(1.0f64, f64::min);
+        expect(
+            options,
+            "all-active is bounded by the worst corner",
+            report.all_active_fraction <= worst + 1e-6,
+        );
+        expect(
+            options,
+            "union covers at least the intersection",
+            report.any_active_fraction >= report.all_active_fraction,
+        );
+        expect(
+            options,
+            "vehicle-level availability exists on the trip",
+            report.all_active_fraction > 0.1,
+        );
+        return;
+    }
+
+    let mut table = Table::new(vec!["corner", "coverage_pct", "windows", "harvested_mj"]);
+    for (pos, r) in &report.corners {
+        table.row(vec![
+            pos.label().to_owned(),
+            format!("{:.1}", r.coverage() * 100.0),
+            r.windows.len().to_string(),
+            format!("{:.1}", r.harvested.millijoules()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "trip {:.0} s: any-corner availability {:.1} %, all-four (friction-ready) {:.1} %, bottleneck {}",
+        trip.duration().secs(),
+        report.any_active_fraction * 100.0,
+        report.all_active_fraction * 100.0,
+        report.bottleneck().label()
+    );
+}

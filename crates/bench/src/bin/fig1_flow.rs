@@ -1,0 +1,43 @@
+//! FIG1 — the energy analysis flow of the paper's Fig. 1, executed end to
+//! end: estimate → evaluate → optimize → re-estimate → integrate source →
+//! emulate, printing every stage's artifact.
+
+use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_core::{Flow, SelectionPolicy};
+use monityre_profile::{CompositeProfile, ExtraUrbanCycle, UrbanCycle};
+use monityre_units::Speed;
+
+fn main() {
+    let options = parse_args();
+    header("FIG1", "energy analysis flow (Fig. 1)");
+
+    let (arch, cond, chain) = reference_fixture();
+    let flow = Flow::new(arch, cond, Speed::from_kmh(30.0), SelectionPolicy::DutyCycleAware);
+    let profile = CompositeProfile::new(vec![
+        Box::new(UrbanCycle::new()),
+        Box::new(ExtraUrbanCycle::new()),
+    ]);
+    let report = flow.run(&chain, &profile).expect("flow executes");
+
+    if options.check {
+        expect(options, "six blocks estimated", report.power_estimates.len() == 6);
+        expect(
+            options,
+            "optimization saves energy",
+            report.optimization.saving() > 0.05,
+        );
+        expect(
+            options,
+            "break-even drops after optimization",
+            report.break_even_after().unwrap() < report.break_even_before().unwrap(),
+        );
+        expect(
+            options,
+            "emulation produced operating windows",
+            !report.emulation.windows.is_empty(),
+        );
+        return;
+    }
+
+    print!("{}", report.summary());
+}

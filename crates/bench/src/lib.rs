@@ -1,0 +1,98 @@
+//! Shared helpers for the experiment harnesses and Criterion benches.
+//!
+//! Each paper figure and each ablation experiment has a binary in
+//! `src/bin/` that prints its series as CSV rows plus an ASCII chart;
+//! every binary supports `--check`, which runs the experiment and asserts
+//! its expected qualitative shape instead of printing — the integration
+//! tests drive that mode.
+
+#![forbid(unsafe_code)]
+
+use monityre_core::EnergyAnalyzer;
+use monityre_harvest::HarvestChain;
+use monityre_node::Architecture;
+use monityre_power::WorkingConditions;
+
+/// Parsed harness options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HarnessOptions {
+    /// Assert the expected shape instead of printing series.
+    pub check: bool,
+}
+
+/// Parses harness CLI arguments (`--check` only).
+///
+/// # Panics
+///
+/// Panics (with usage) on unknown arguments.
+#[must_use]
+pub fn parse_args() -> HarnessOptions {
+    let mut options = HarnessOptions::default();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => options.check = true,
+            other => panic!("unknown argument `{other}` (supported: --check)"),
+        }
+    }
+    options
+}
+
+/// The standard experiment fixture: reference architecture, conditions and
+/// harvesting chain.
+#[must_use]
+pub fn reference_fixture() -> (Architecture, WorkingConditions, HarvestChain) {
+    (
+        Architecture::reference(),
+        WorkingConditions::reference(),
+        HarvestChain::reference(),
+    )
+}
+
+/// Builds an analyzer over borrowed fixture parts.
+#[must_use]
+pub fn analyzer_for<'a>(
+    architecture: &'a Architecture,
+    conditions: WorkingConditions,
+    chain: &HarvestChain,
+) -> EnergyAnalyzer<'a> {
+    EnergyAnalyzer::new(architecture, conditions).with_wheel(*chain.wheel())
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("# {id}: {title}");
+    println!("# monityre — DATE 2011 reproduction");
+    println!();
+}
+
+/// Prints (or swallows in check mode) a labelled pass/fail assertion and
+/// panics on failure so `--check` mode surfaces regressions.
+///
+/// # Panics
+///
+/// Panics when `condition` is false.
+pub fn expect(options: HarnessOptions, what: &str, condition: bool) {
+    assert!(condition, "expectation failed: {what}");
+    if options.check {
+        println!("ok: {what}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_consistent() {
+        let (arch, cond, chain) = reference_fixture();
+        let analyzer = analyzer_for(&arch, cond, &chain);
+        assert_eq!(analyzer.wheel(), chain.wheel());
+        assert_eq!(arch.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "expectation failed")]
+    fn expect_panics_on_failure() {
+        expect(HarnessOptions::default(), "impossible", false);
+    }
+}

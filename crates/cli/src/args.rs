@@ -1,0 +1,280 @@
+//! Minimal flag parser: `--name value` pairs and boolean `--name` flags.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use monityre_power::{ProcessCorner, WorkingConditions};
+use monityre_units::{Temperature, Voltage};
+
+/// A CLI failure with a printable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CliError {}
+
+/// Parsed `--flag value` pairs. Values are kept as text and converted on
+/// access; boolean flags hold an empty value.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parses raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for tokens that are not `--flag`-shaped.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut values = BTreeMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(CliError::new(format!(
+                    "unexpected argument `{token}` (flags look like --name value)"
+                )));
+            };
+            if name.is_empty() {
+                return Err(CliError::new("empty flag name"));
+            }
+            // A following token that is not itself a flag is this flag's
+            // value; otherwise it is a boolean flag.
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(name.to_owned(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    values.insert(name.to_owned(), String::new());
+                    i += 1;
+                }
+            }
+        }
+        Ok(Self {
+            values,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn note(&self, name: &str) {
+        self.consumed.borrow_mut().push(name.to_owned());
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when present but unparsable.
+    pub fn number(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        self.note(name);
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::new(format!("flag --{name}: `{raw}` is not a number"))
+            }),
+        }
+    }
+
+    /// An integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when present but unparsable or non-positive.
+    pub fn count(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        self.note(name);
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => {
+                let n: usize = raw.parse().map_err(|_| {
+                    CliError::new(format!("flag --{name}: `{raw}` is not a positive integer"))
+                })?;
+                if n == 0 {
+                    return Err(CliError::new(format!("flag --{name}: must be positive")));
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    /// A text flag with a default.
+    #[must_use]
+    pub fn text(&self, name: &str, default: &str) -> String {
+        self.note(name);
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    /// An optional text flag.
+    #[must_use]
+    pub fn text_opt(&self, name: &str) -> Option<String> {
+        self.note(name);
+        self.values.get(name).cloned()
+    }
+
+    /// A boolean flag.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.note(name);
+        self.values.contains_key(name)
+    }
+
+    /// The shared working-condition flags: `--temp`, `--corner`,
+    /// `--supply`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for malformed values.
+    pub fn conditions(&self) -> Result<WorkingConditions, CliError> {
+        let temp = self.number("temp", 27.0)?;
+        let supply = self.number("supply", 1.2)?;
+        let corner_text = self.text("corner", "tt");
+        let corner = ProcessCorner::from_id(&corner_text).ok_or_else(|| {
+            CliError::new(format!(
+                "flag --corner: `{corner_text}` is not one of ss, tt, ff"
+            ))
+        })?;
+        if !(0.3..=2.0).contains(&supply) {
+            return Err(CliError::new(format!(
+                "flag --supply: {supply} V is outside the sane 0.3–2.0 V range"
+            )));
+        }
+        if !(-273.0..=200.0).contains(&temp) {
+            return Err(CliError::new(format!(
+                "flag --temp: {temp} °C is not a physical working temperature"
+            )));
+        }
+        Ok(WorkingConditions::builder()
+            .supply(Voltage::from_volts(supply))
+            .temperature(Temperature::from_celsius(temp))
+            .corner(corner)
+            .build())
+    }
+
+    /// Rejects any flag the command did not read, listing what it accepts.
+    ///
+    /// Call after all reads; the accepted set is exactly what was queried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] naming the stray flag.
+    pub fn finish(&self) -> Result<(), CliError> {
+        let consumed = self.consumed.borrow();
+        for name in self.values.keys() {
+            if !consumed.iter().any(|c| c == name) {
+                let mut accepted: Vec<&str> =
+                    consumed.iter().map(String::as_str).collect();
+                accepted.sort_unstable();
+                accepted.dedup();
+                return Err(CliError::new(format!(
+                    "unknown flag --{name}; this command accepts: {}",
+                    accepted
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn pairs_and_booleans() {
+        let args = parse("--speed 60 --chart --steps 100");
+        assert_eq!(args.number("speed", 0.0).unwrap(), 60.0);
+        assert!(args.flag("chart"));
+        assert_eq!(args.count("steps", 1).unwrap(), 100);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = parse("");
+        assert_eq!(args.number("speed", 42.0).unwrap(), 42.0);
+        assert_eq!(args.text("cycle", "urban"), "urban");
+        assert!(!args.flag("chart"));
+    }
+
+    #[test]
+    fn negative_values_are_values() {
+        // `-20` does not start with `--`, so it is a value.
+        let args = parse("--temp -20");
+        assert_eq!(args.number("temp", 0.0).unwrap(), -20.0);
+    }
+
+    #[test]
+    fn malformed_tokens_rejected() {
+        let argv = vec!["loose".to_owned()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let args = parse("--speed fast");
+        assert!(args.number("speed", 0.0).is_err());
+        let args = parse("--steps 0");
+        assert!(args.count("steps", 10).is_err());
+    }
+
+    #[test]
+    fn conditions_round_trip() {
+        let args = parse("--temp 85 --corner ff --supply 1.0");
+        let cond = args.conditions().unwrap();
+        assert!((cond.temperature().celsius() - 85.0).abs() < 1e-9);
+        assert_eq!(cond.corner().id(), "ff");
+        assert!((cond.supply().volts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditions_validation() {
+        assert!(parse("--corner zz").conditions().is_err());
+        assert!(parse("--supply 9").conditions().is_err());
+        assert!(parse("--temp -400").conditions().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_strays() {
+        let args = parse("--speed 60 --stray 1");
+        let _ = args.number("speed", 0.0);
+        let err = args.finish().unwrap_err();
+        assert!(err.to_string().contains("stray"));
+        assert!(err.to_string().contains("--speed"));
+    }
+
+    #[test]
+    fn finish_accepts_fully_consumed() {
+        let args = parse("--speed 60");
+        let _ = args.number("speed", 0.0);
+        assert!(args.finish().is_ok());
+    }
+}

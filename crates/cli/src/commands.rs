@@ -1,0 +1,420 @@
+//! The command implementations. Each returns its full output as a string.
+
+use std::fmt::Write as _;
+
+use monityre_core::report::{ascii_chart, Series, Table};
+use monityre_core::{
+    EmulatorConfig, EnergyAnalyzer, EnergyBalance, Flow, InstantTrace, MonteCarlo,
+    LifetimeEstimator, OptimizationAdvisor, SelectionPolicy, TransientEmulator, UsagePattern,
+    VariationModel, VehicleEmulator,
+};
+use monityre_harvest::{HarvestChain, IdealBattery, Supercap};
+use monityre_node::Architecture;
+use monityre_profile::{
+    CompositeProfile, ExtraUrbanCycle, RepeatProfile, SpeedProfile, UrbanCycle, WltcLikeCycle,
+};
+use monityre_sheet::PowerSheet;
+use monityre_units::{Capacitance, Duration, Resistance, Speed, Voltage};
+
+use crate::{Args, CliError};
+
+fn eval_error(e: impl std::error::Error) -> CliError {
+    CliError::new(format!("evaluation failed: {e}"))
+}
+
+/// `monityre balance` — the Fig. 2 sweep.
+pub(crate) fn balance(args: &Args) -> Result<String, CliError> {
+    let from = args.number("from", 5.0)?;
+    let to = args.number("to", 200.0)?;
+    let steps = args.count("steps", 100)?;
+    let chart = args.flag("chart");
+    let conditions = args.conditions()?;
+    args.finish()?;
+    if !(from > 0.0 && to > from && steps >= 2) {
+        return Err(CliError::new(
+            "need 0 < --from < --to and --steps >= 2",
+        ));
+    }
+
+    let architecture = Architecture::reference();
+    let chain = HarvestChain::reference();
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
+    let report = EnergyBalance::new(&analyzer, &chain).sweep(
+        Speed::from_kmh(from),
+        Speed::from_kmh(to),
+        steps,
+    );
+
+    let mut out = String::new();
+    let mut table = Table::new(vec!["speed_kmh", "generated_uj", "required_uj", "net_uj"]);
+    for p in report.points() {
+        table.row(vec![
+            format!("{:.1}", p.speed.kmh()),
+            format!("{:.3}", p.generated.microjoules()),
+            format!("{:.3}", p.required.microjoules()),
+            format!("{:.3}", p.net().microjoules()),
+        ]);
+    }
+    out.push_str(&table.to_csv());
+    if chart {
+        let generated: Vec<(f64, f64)> = report
+            .points()
+            .iter()
+            .map(|p| (p.speed.kmh(), p.generated.microjoules()))
+            .collect();
+        let required: Vec<(f64, f64)> = report
+            .points()
+            .iter()
+            .map(|p| (p.speed.kmh(), p.required.microjoules()))
+            .collect();
+        out.push_str(&ascii_chart(
+            &[
+                Series { label: "generated (µJ/round)", glyph: '*', points: generated },
+                Series { label: "required (µJ/round)", glyph: 'o', points: required },
+            ],
+            90,
+            22,
+        ));
+    }
+    match report.break_even() {
+        Some(speed) => {
+            let _ = writeln!(out, "break-even speed: {:.1} km/h (at {conditions})", speed.kmh());
+        }
+        None => {
+            let _ = writeln!(out, "break-even speed: none in the swept range (at {conditions})");
+        }
+    }
+    Ok(out)
+}
+
+/// `monityre trace` — the Fig. 3 instant-power trace.
+pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
+    let speed = args.number("speed", 60.0)?;
+    let window_ms = args.number("window-ms", 500.0)?;
+    let step_us = args.number("step-us", 100.0)?;
+    let conditions = args.conditions()?;
+    args.finish()?;
+
+    let architecture = Architecture::reference();
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions);
+    let trace = InstantTrace::generate(
+        &analyzer,
+        Speed::from_kmh(speed),
+        Duration::from_millis(window_ms),
+        Duration::from_micros(step_us),
+    )
+    .map_err(eval_error)?;
+
+    let mut out = String::new();
+    let points: Vec<(f64, f64)> = trace
+        .samples()
+        .iter()
+        .map(|s| (s.time.millis(), s.total.microwatts()))
+        .collect();
+    out.push_str(&ascii_chart(
+        &[Series { label: "node power (µW)", glyph: '*', points }],
+        90,
+        22,
+    ));
+    let _ = writeln!(
+        out,
+        "round {:.1} ms | floor {} | mean {} | peak {}",
+        trace.round_period().millis(),
+        trace.floor(),
+        trace.mean(),
+        trace.peak()
+    );
+    Ok(out)
+}
+
+fn build_cycle(name: &str, repeat: usize) -> Result<Box<dyn SpeedProfile + Send + Sync>, CliError> {
+    let single: Box<dyn SpeedProfile + Send + Sync> = match name {
+        "urban" => Box::new(UrbanCycle::new()),
+        "eudc" => Box::new(ExtraUrbanCycle::new()),
+        "wltc" => Box::new(WltcLikeCycle::new()),
+        "nedc" => Box::new(CompositeProfile::new(vec![
+            Box::new(RepeatProfile::new(UrbanCycle::new(), 4)),
+            Box::new(ExtraUrbanCycle::new()),
+        ])),
+        other => {
+            return Err(CliError::new(format!(
+                "flag --cycle: `{other}` is not one of urban, eudc, wltc, nedc"
+            )))
+        }
+    };
+    Ok(if repeat > 1 {
+        Box::new(RepeatWrapper {
+            inner: single,
+            repeats: repeat,
+        })
+    } else {
+        single
+    })
+}
+
+/// Repeats a boxed profile (RepeatProfile is generic; this erases it).
+struct RepeatWrapper {
+    inner: Box<dyn SpeedProfile + Send + Sync>,
+    repeats: usize,
+}
+
+impl SpeedProfile for RepeatWrapper {
+    fn speed_at(&self, t: Duration) -> Speed {
+        let period = self.inner.duration().secs();
+        let total = period * self.repeats as f64;
+        let wrapped = if t.secs() >= total {
+            period
+        } else {
+            t.secs() % period
+        };
+        self.inner.speed_at(Duration::from_secs(wrapped))
+    }
+
+    fn duration(&self) -> Duration {
+        self.inner.duration() * self.repeats as f64
+    }
+}
+
+/// `monityre emulate` — the long-window emulation.
+pub(crate) fn emulate(args: &Args) -> Result<String, CliError> {
+    let cycle_name = args.text("cycle", "nedc");
+    let repeat = args.count("repeat", 1)?;
+    let cap_mf = args.number("cap-mf", 47.0)?;
+    let conditions = args.conditions()?;
+    args.finish()?;
+    if cap_mf <= 0.0 {
+        return Err(CliError::new("flag --cap-mf: must be positive"));
+    }
+
+    let cycle = build_cycle(&cycle_name, repeat)?;
+    let architecture = Architecture::reference();
+    let chain = HarvestChain::reference();
+    let emulator = TransientEmulator::new(&architecture, &chain, conditions, EmulatorConfig::new())
+        .map_err(eval_error)?;
+    let mut storage = Supercap::new(
+        Capacitance::from_millifarads(cap_mf),
+        Voltage::from_volts(1.8),
+        Voltage::from_volts(3.6),
+        Resistance::from_megaohms(5.0),
+        Voltage::from_volts(2.7),
+    );
+    let report = emulator.run(cycle.as_ref(), &mut storage);
+
+    let mut out = String::new();
+    let soc: Vec<(f64, f64)> = report
+        .samples
+        .iter()
+        .map(|s| (s.time.secs(), s.soc * 100.0))
+        .collect();
+    out.push_str(&ascii_chart(
+        &[Series { label: "state of charge (%)", glyph: '*', points: soc }],
+        90,
+        16,
+    ));
+    let _ = writeln!(
+        out,
+        "cycle {cycle_name} x{repeat} ({:.0} s): coverage {:.1} %, {} window(s), {} brownout(s)",
+        report.span.secs(),
+        report.coverage() * 100.0,
+        report.windows.len(),
+        report.brownouts
+    );
+    let _ = writeln!(
+        out,
+        "harvested {}, consumed {}, spilled {}",
+        report.harvested, report.consumed, report.spilled
+    );
+    Ok(out)
+}
+
+/// `monityre optimize` — advisor + re-estimation.
+pub(crate) fn optimize(args: &Args) -> Result<String, CliError> {
+    let speed = args.number("speed", 30.0)?;
+    let policy_text = args.text("policy", "aware");
+    let conditions = args.conditions()?;
+    args.finish()?;
+    let policy = match policy_text.as_str() {
+        "aware" => SelectionPolicy::DutyCycleAware,
+        "naive" => SelectionPolicy::PowerFigures,
+        other => {
+            return Err(CliError::new(format!(
+                "flag --policy: `{other}` is not one of aware, naive"
+            )))
+        }
+    };
+
+    let architecture = Architecture::reference();
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions);
+    let advisor = OptimizationAdvisor::new(&analyzer, Speed::from_kmh(speed));
+    let outcome = advisor.optimize(policy).map_err(eval_error)?;
+
+    let mut out = String::new();
+    for rec in &outcome.recommendations {
+        let _ = writeln!(out, "{:<8} {}", rec.block, rec.rationale);
+    }
+    let _ = writeln!(
+        out,
+        "energy per round @{speed:.0} km/h: {} -> {} ({:.1} % saved)",
+        outcome.energy_before,
+        outcome.energy_after,
+        outcome.saving() * 100.0
+    );
+    Ok(out)
+}
+
+/// `monityre flow` — the Fig. 1 pipeline.
+pub(crate) fn flow(args: &Args) -> Result<String, CliError> {
+    let speed = args.number("speed", 30.0)?;
+    let conditions = args.conditions()?;
+    args.finish()?;
+
+    let flow = Flow::new(
+        Architecture::reference(),
+        conditions,
+        Speed::from_kmh(speed),
+        SelectionPolicy::DutyCycleAware,
+    );
+    let profile = CompositeProfile::new(vec![
+        Box::new(UrbanCycle::new()),
+        Box::new(ExtraUrbanCycle::new()),
+    ]);
+    let report = flow
+        .run(&HarvestChain::reference(), &profile)
+        .map_err(eval_error)?;
+    Ok(report.summary())
+}
+
+/// `monityre mc` — Monte Carlo process variation.
+pub(crate) fn montecarlo(args: &Args) -> Result<String, CliError> {
+    let samples = args.count("samples", 128)?;
+    let seed = args.number("seed", 2011.0)? as u64;
+    let conditions = args.conditions()?;
+    args.finish()?;
+
+    let architecture = Architecture::reference();
+    let chain = HarvestChain::reference();
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
+    let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), seed);
+    let dist = mc.break_even_distribution(samples).map_err(eval_error)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "break-even over {samples} draws: mean {:.2} km/h, p05 {:.2}, p50 {:.2}, p95 {:.2}",
+        dist.mean().kmh(),
+        dist.quantile(0.05).kmh(),
+        dist.quantile(0.50).kmh(),
+        dist.quantile(0.95).kmh()
+    );
+    for spec in [30.0, 35.0, 40.0, 45.0] {
+        let _ = writeln!(
+            out,
+            "yield at <= {spec:.0} km/h: {:.1} %",
+            dist.yield_at(Speed::from_kmh(spec)) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+/// `monityre lifetime` — battery vs tyre life vs scavenger.
+pub(crate) fn lifetime(args: &Args) -> Result<String, CliError> {
+    let hours = args.number("hours-per-day", 1.5)?;
+    let kmh = args.number("mean-kmh", 55.0)?;
+    let in_tyre = args.flag("in-tyre-cell");
+    let conditions = args.conditions()?;
+    args.finish()?;
+
+    let architecture = Architecture::reference();
+    let chain = HarvestChain::reference();
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
+    let estimator = LifetimeEstimator::new(&analyzer, &chain);
+    let pattern = UsagePattern {
+        daily_driving: Duration::from_hours(hours),
+        mean_speed: Speed::from_kmh(kmh),
+    };
+    let battery = if in_tyre {
+        IdealBattery::coin_cell_in_tyre()
+    } else {
+        IdealBattery::coin_cell()
+    };
+    let report = estimator.compare(pattern, battery).map_err(eval_error)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "usage: {hours:.2} h/day at {kmh:.0} km/h ({:.0} km/day)",
+        pattern.daily_distance().kilometres()
+    );
+    let _ = writeln!(
+        out,
+        "daily: consumes {}, harvests {}",
+        report.daily_consumption, report.daily_harvest
+    );
+    let _ = writeln!(
+        out,
+        "battery lasts {:.0} days vs tyre life {:.0} days -> battery outlives tyre: {}",
+        report.battery_days, report.tyre_days, report.battery_outlives_tyre
+    );
+    let _ = writeln!(out, "scavenger sustains the load: {}", report.scavenger_sustains);
+    Ok(out)
+}
+
+/// `monityre vehicle` — four-corner availability.
+pub(crate) fn vehicle(args: &Args) -> Result<String, CliError> {
+    let cycle_name = args.text("cycle", "nedc");
+    let repeat = args.count("repeat", 1)?;
+    args.finish()?;
+
+    let cycle = build_cycle(&cycle_name, repeat)?;
+    let emulator = VehicleEmulator::reference();
+    let report = emulator.run(cycle.as_ref()).map_err(eval_error)?;
+
+    let mut out = String::new();
+    let mut table = Table::new(vec!["corner", "coverage_pct", "windows"]);
+    for (pos, r) in &report.corners {
+        table.row(vec![
+            pos.label().to_owned(),
+            format!("{:.1}", r.coverage() * 100.0),
+            r.windows.len().to_string(),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    let _ = writeln!(
+        out,
+        "friction estimation available (all four): {:.1} % | any corner: {:.1} % | bottleneck {}",
+        report.all_active_fraction * 100.0,
+        report.any_active_fraction * 100.0,
+        report.bottleneck().label()
+    );
+    Ok(out)
+}
+
+/// `monityre sheet` — the dynamic spreadsheet.
+pub(crate) fn sheet(args: &Args) -> Result<String, CliError> {
+    let explain = args.text_opt("explain");
+    let conditions = args.conditions()?;
+    args.finish()?;
+
+    let architecture = Architecture::reference();
+    let db = architecture.database().clone();
+    let mut sheet = PowerSheet::new(&db).map_err(eval_error)?;
+    sheet
+        .set_temperature(conditions.temperature(), &db)
+        .map_err(eval_error)?;
+    sheet
+        .set_supply(conditions.supply(), &db)
+        .map_err(eval_error)?;
+
+    let mut out = String::new();
+    let mut table = Table::new(vec!["cell", "value"]);
+    for name in sheet.sheet().names() {
+        let value = sheet.value(name).map_err(eval_error)?;
+        table.row(vec![name.to_owned(), format!("{value:.4}")]);
+    }
+    out.push_str(&table.to_string());
+    if let Some(cell) = explain {
+        out.push('\n');
+        out.push_str(&sheet.sheet().explain(&cell).map_err(eval_error)?);
+    }
+    Ok(out)
+}

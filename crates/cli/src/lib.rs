@@ -1,0 +1,212 @@
+//! The `monityre` command-line tool.
+//!
+//! The paper's deliverable is a *tool* the system designer drives: set
+//! conditions, sweep the balance, trace the node, emulate a trip,
+//! optimize. This crate packages the workspace behind a small CLI:
+//!
+//! ```text
+//! monityre balance   [--from 5] [--to 200] [--steps 100] [--temp 27]
+//!                    [--corner tt] [--supply 1.2] [--chart]
+//! monityre trace     [--speed 60] [--window-ms 500] [--step-us 100]
+//! monityre emulate   [--cycle urban|eudc|wltc|nedc] [--repeat 1] [--cap-mf 47]
+//! monityre optimize  [--speed 30] [--policy aware|naive]
+//! monityre flow      [--speed 30]
+//! monityre sheet     [--temp 27] [--explain node.active_uw]
+//! ```
+//!
+//! The command implementations return their output as a `String`, so the
+//! whole surface is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by `main` and the tests: parses `argv` (without the
+/// program name) and runs the selected command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags, or
+/// evaluation failures; the message is ready to print.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = match argv.split_first() {
+        None => return Ok(usage()),
+        Some((c, rest)) => (c.as_str(), rest),
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Ok(usage());
+    }
+    let args = Args::parse(rest)?;
+    match command {
+        "balance" => commands::balance(&args),
+        "trace" => commands::trace(&args),
+        "emulate" => commands::emulate(&args),
+        "optimize" => commands::optimize(&args),
+        "flow" => commands::flow(&args),
+        "sheet" => commands::sheet(&args),
+        "mc" => commands::montecarlo(&args),
+        "lifetime" => commands::lifetime(&args),
+        "vehicle" => commands::vehicle(&args),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}` (try `monityre help`)"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "\
+monityre — energy analysis for self-powered tyre monitoring systems
+
+USAGE:
+    monityre <command> [flags]
+
+COMMANDS:
+    balance    energy generated vs required per wheel round vs speed (Fig. 2)
+    trace      instant node power over a limited window (Fig. 3)
+    emulate    long-window emulation over a driving cycle
+    optimize   duty-cycle-aware optimization of the node (re-estimation)
+    flow       the full analysis flow, end to end (Fig. 1)
+    sheet      the dynamic spreadsheet hosting the power database
+    mc         Monte Carlo process variation of the break-even speed
+    lifetime   coin-cell vs tyre lifetime vs scavenger
+    vehicle    four-corner availability over a driving cycle
+
+COMMON FLAGS:
+    --temp <C>          working temperature in °C        (default 27)
+    --corner <ss|tt|ff> process corner                   (default tt)
+    --supply <V>        supply voltage in volts          (default 1.2)
+
+Run `monityre <command> --help` is not needed — unknown flags are
+rejected with the list of flags the command accepts.
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("balance"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+        assert!(run_line("--help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = run_line("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn balance_reports_break_even() {
+        let out = run_line("balance --steps 60").unwrap();
+        assert!(out.contains("break-even"), "{out}");
+        assert!(out.contains("speed_kmh"));
+    }
+
+    #[test]
+    fn balance_honours_conditions() {
+        let cool = run_line("balance --steps 60 --temp -20").unwrap();
+        let hot = run_line("balance --steps 60 --temp 85").unwrap();
+        let pick = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains("break-even"))
+                .and_then(|l| l.split_whitespace().find_map(|w| w.parse::<f64>().ok()))
+                .expect("break-even line carries a number")
+        };
+        assert!(pick(&hot) > pick(&cool));
+    }
+
+    #[test]
+    fn trace_reports_peak_and_floor() {
+        let out = run_line("trace --speed 60 --window-ms 250").unwrap();
+        assert!(out.contains("peak"));
+        assert!(out.contains("floor"));
+    }
+
+    #[test]
+    fn emulate_reports_coverage() {
+        let out = run_line("emulate --cycle urban").unwrap();
+        assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
+    fn optimize_reports_saving() {
+        let out = run_line("optimize --speed 30 --policy aware").unwrap();
+        assert!(out.contains("saved"), "{out}");
+        assert!(out.contains("dsp"));
+    }
+
+    #[test]
+    fn flow_prints_all_stages() {
+        let out = run_line("flow").unwrap();
+        for stage in 1..=6 {
+            assert!(out.contains(&format!("Stage {stage}")), "missing stage {stage}");
+        }
+    }
+
+    #[test]
+    fn sheet_prints_cells_and_explains() {
+        let out = run_line("sheet --temp 85 --explain node.leak_uw").unwrap();
+        assert!(out.contains("node.leak_uw"));
+        assert!(out.contains("└─"));
+    }
+
+    #[test]
+    fn mc_reports_distribution() {
+        let out = run_line("mc --samples 24").unwrap();
+        assert!(out.contains("mean"), "{out}");
+        assert!(out.contains("yield"));
+    }
+
+    #[test]
+    fn lifetime_reports_verdict() {
+        let out = run_line("lifetime --hours-per-day 0.75 --in-tyre-cell").unwrap();
+        assert!(out.contains("battery lasts"), "{out}");
+        assert!(out.contains("scavenger sustains"));
+    }
+
+    #[test]
+    fn vehicle_reports_corners() {
+        let out = run_line("vehicle --cycle urban").unwrap();
+        assert!(out.contains("FL"));
+        assert!(out.contains("bottleneck"));
+    }
+
+    #[test]
+    fn bad_flag_is_rejected_with_candidates() {
+        let err = run_line("balance --bogus 1").unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn bad_number_is_rejected() {
+        let err = run_line("balance --from abc").unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn bad_corner_is_rejected() {
+        let err = run_line("balance --corner xx").unwrap_err();
+        assert!(err.to_string().contains("xx"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the analysis flow.
+
+use std::error::Error;
+use std::fmt;
+
+use monityre_node::NodeError;
+use monityre_power::PowerError;
+
+/// Errors raised by the energy analysis flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An architecture-level failure (unknown block, bad schedule).
+    Node(NodeError),
+    /// A power-database failure.
+    Power(PowerError),
+    /// An evaluation was requested at a speed where the wheel round is not
+    /// defined (standstill or negative speed).
+    RoundUndefined {
+        /// The offending speed in km/h.
+        speed_kmh: f64,
+    },
+    /// An invalid parameter reached the flow.
+    InvalidParameter {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn round_undefined(speed_kmh: f64) -> Self {
+        Self::RoundUndefined { speed_kmh }
+    }
+
+    pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Node(e) => write!(f, "architecture error: {e}"),
+            Self::Power(e) => write!(f, "power database error: {e}"),
+            Self::RoundUndefined { speed_kmh } => write!(
+                f,
+                "wheel round undefined at {speed_kmh} km/h: per-round energy needs motion"
+            ),
+            Self::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Node(e) => Some(e),
+            Self::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NodeError> for CoreError {
+    fn from(e: NodeError) -> Self {
+        Self::Node(e)
+    }
+}
+
+impl From<PowerError> for CoreError {
+    fn from(e: PowerError) -> Self {
+        Self::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::round_undefined(0.0);
+        assert!(e.to_string().contains("0 km/h"));
+        let n: CoreError = NodeError::InvalidSchedule {
+            reason: "x".to_owned(),
+        }
+        .into();
+        assert!(Error::source(&n).is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! The DATE 2011 energy analysis flow.
+//!
+//! This crate is the paper's primary contribution, implemented end to end:
+//!
+//! 1. **Per-round energy evaluation** ([`EnergyAnalyzer`]) — converts the
+//!    power database's figures into *energy per wheel round* using each
+//!    block's duty-cycle schedule and event workload, under explicit
+//!    working conditions;
+//! 2. **Energy balance** ([`EnergyBalance`]) — the generated-vs-required
+//!    curves of the paper's Fig. 2, with break-even extraction;
+//! 3. **Optimization advisor** ([`OptimizationAdvisor`]) — the paper's
+//!    central methodological claim: select per-block optimization
+//!    techniques from the *(dynamic/static split × duty cycle)* pair
+//!    rather than from power figures alone, apply them, and re-estimate;
+//! 4. **Transient emulation** ([`TransientEmulator`]) — long-window
+//!    emulation of the node against a speed profile, a thermal model and a
+//!    storage element, with activation hysteresis and operating-window
+//!    extraction; plus the instant-power trace of Fig. 3
+//!    ([`InstantTrace`]);
+//! 5. **The flow itself** ([`Flow`]) — Fig. 1 as a typed pipeline;
+//! 6. **Reporting** ([`report`]) — text tables, CSV series and ASCII
+//!    charts used by every experiment harness.
+//!
+//! # Example: find the break-even speed
+//!
+//! ```
+//! use monityre_core::{EnergyAnalyzer, EnergyBalance};
+//! use monityre_harvest::HarvestChain;
+//! use monityre_node::Architecture;
+//! use monityre_power::WorkingConditions;
+//! use monityre_units::Speed;
+//!
+//! let arch = Architecture::reference();
+//! let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+//! let chain = HarvestChain::reference();
+//! let balance = EnergyBalance::new(&analyzer, &chain);
+//! let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196);
+//! let break_even = report.break_even().expect("curves cross");
+//! assert!(break_even.kmh() > 10.0 && break_even.kmh() < 60.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod analyzer;
+mod balance;
+mod emulator;
+mod error;
+mod flow;
+mod governor;
+mod lifetime;
+mod montecarlo;
+pub mod report;
+mod trace;
+mod vehicle;
+mod workbook;
+
+pub use advisor::{
+    NodeOptimization, OptimizationAdvisor, Recommendation, SelectionPolicy, Technique,
+};
+pub use analyzer::{BlockEnergy, EnergyAnalyzer, NodeEnergy};
+pub use balance::{BalancePoint, BalanceReport, EnergyBalance};
+pub use emulator::{EmulationReport, EmulatorConfig, OperatingWindow, TransientEmulator};
+pub use error::CoreError;
+pub use flow::{Flow, FlowReport};
+pub use governor::{GovernedReport, Governor, GovernorLevel};
+pub use lifetime::{LifetimeEstimator, LifetimeReport, UsagePattern};
+pub use montecarlo::{BreakEvenDistribution, MonteCarlo, VariationModel};
+pub use trace::{InstantTrace, TraceSample};
+pub use vehicle::{CornerSetup, VehicleEmulator, VehicleReport, WheelPosition};
+pub use workbook::EnergyWorkbook;

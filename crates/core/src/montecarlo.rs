@@ -1,0 +1,344 @@
+//! Monte Carlo analysis of process variation.
+//!
+//! §II-A lists "process variation" among the parameters the evaluation
+//! platform must expose. Beyond the three discrete corners, real silicon
+//! spreads continuously: this module samples per-block leakage and
+//! dynamic-power multipliers and reports the resulting *distribution* of
+//! the break-even speed — the yield question "what fraction of
+//! manufactured nodes activates below X km/h?".
+
+use monityre_harvest::HarvestChain;
+use monityre_node::Architecture;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use monityre_units::Speed;
+
+use crate::{CoreError, EnergyAnalyzer, EnergyBalance};
+
+/// Spread parameters of the manufacturing distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Sigma of the log-normal leakage multiplier (lnN(0, σ)); leakage
+    /// spreads by multiples across a lot.
+    pub leakage_sigma: f64,
+    /// Sigma of the (approximately normal) dynamic multiplier around 1.
+    pub dynamic_sigma: f64,
+}
+
+impl VariationModel {
+    /// Representative 130 nm spread: leakage σ = 0.45 (≈ 2.5× at ±2σ),
+    /// dynamic σ = 0.03.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            leakage_sigma: 0.45,
+            dynamic_sigma: 0.03,
+        }
+    }
+
+    /// Validates the spreads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for negative or non-finite
+    /// sigmas.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.leakage_sigma.is_finite() && self.leakage_sigma >= 0.0) {
+            return Err(CoreError::invalid_parameter("leakage sigma must be >= 0"));
+        }
+        if !(self.dynamic_sigma.is_finite() && self.dynamic_sigma >= 0.0) {
+            return Err(CoreError::invalid_parameter("dynamic sigma must be >= 0"));
+        }
+        Ok(())
+    }
+}
+
+/// The sampled break-even distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakEvenDistribution {
+    /// Sorted break-even speeds of the samples that crossed.
+    samples: Vec<Speed>,
+    /// Samples whose balance never crossed in the swept range.
+    never_crossed: usize,
+}
+
+impl BreakEvenDistribution {
+    /// The sorted break-even samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Speed] {
+        &self.samples
+    }
+
+    /// How many Monte Carlo draws never reached surplus.
+    #[must_use]
+    pub fn never_crossed(&self) -> usize {
+        self.never_crossed
+    }
+
+    /// Mean break-even speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sample crossed (checked at construction).
+    #[must_use]
+    pub fn mean(&self) -> Speed {
+        let sum: f64 = self.samples.iter().map(|s| s.mps()).sum();
+        Speed::from_mps(sum / self.samples.len() as f64)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Speed {
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Standard deviation of the break-even speed.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean().mps();
+        let var: f64 = self
+            .samples
+            .iter()
+            .map(|s| (s.mps() - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Fraction of manufactured nodes whose break-even is at or below
+    /// `target` — the yield against an activation-speed spec.
+    #[must_use]
+    pub fn yield_at(&self, target: Speed) -> f64 {
+        let total = self.samples.len() + self.never_crossed;
+        let ok = self.samples.iter().filter(|s| **s <= target).count();
+        ok as f64 / total as f64
+    }
+}
+
+/// The Monte Carlo runner.
+///
+/// ```
+/// use monityre_core::{EnergyAnalyzer, MonteCarlo, VariationModel};
+/// use monityre_harvest::HarvestChain;
+/// use monityre_node::Architecture;
+/// use monityre_power::WorkingConditions;
+/// use monityre_units::Speed;
+///
+/// let arch = Architecture::reference();
+/// let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+/// let chain = HarvestChain::reference();
+/// let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 42);
+/// let dist = mc.break_even_distribution(64).unwrap();
+/// assert!(dist.mean().kmh() > 20.0 && dist.mean().kmh() < 60.0);
+/// ```
+#[derive(Debug)]
+pub struct MonteCarlo<'a> {
+    analyzer: &'a EnergyAnalyzer<'a>,
+    chain: &'a HarvestChain,
+    variation: VariationModel,
+    seed: u64,
+}
+
+impl<'a> MonteCarlo<'a> {
+    /// Creates a runner with a fixed RNG seed (reproducible draws).
+    #[must_use]
+    pub fn new(
+        analyzer: &'a EnergyAnalyzer<'a>,
+        chain: &'a HarvestChain,
+        variation: VariationModel,
+        seed: u64,
+    ) -> Self {
+        Self {
+            analyzer,
+            chain,
+            variation,
+            seed,
+        }
+    }
+
+    /// Draws one manufactured instance of the architecture: every block's
+    /// leakage scaled log-normally, dynamic scaled normally.
+    fn draw(&self, rng: &mut StdRng) -> Result<Architecture, CoreError> {
+        let mut arch = self.analyzer.architecture().clone();
+        let names: Vec<String> = arch.block_names().map(str::to_owned).collect();
+        for name in names {
+            let model = arch.database().block(&name)?.clone();
+            let leak_factor = (standard_normal(rng) * self.variation.leakage_sigma).exp();
+            let dyn_factor =
+                (1.0 + standard_normal(rng) * self.variation.dynamic_sigma).max(0.5);
+            let varied = model
+                .with_leakage(model.leakage().scaled(leak_factor))
+                .with_dynamic(model.dynamic().scaled(dyn_factor));
+            arch = arch.with_block_model(varied)?;
+        }
+        Ok(arch)
+    }
+
+    /// Samples `n` instances and collects the break-even distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `n == 0`, an invalid
+    /// variation model, or when *no* sampled instance ever crosses.
+    pub fn break_even_distribution(&self, n: usize) -> Result<BreakEvenDistribution, CoreError> {
+        if n == 0 {
+            return Err(CoreError::invalid_parameter("need at least one sample"));
+        }
+        self.variation.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut samples = Vec::with_capacity(n);
+        let mut never_crossed = 0usize;
+        for _ in 0..n {
+            let arch = self.draw(&mut rng)?;
+            let analyzer = EnergyAnalyzer::new(&arch, self.analyzer.conditions())
+                .with_wheel(*self.analyzer.wheel());
+            let report = EnergyBalance::new(&analyzer, self.chain).sweep(
+                Speed::from_kmh(6.0),
+                Speed::from_kmh(220.0),
+                108,
+            );
+            match report.break_even() {
+                Some(speed) => samples.push(speed),
+                None => never_crossed += 1,
+            }
+        }
+        if samples.is_empty() {
+            return Err(CoreError::invalid_parameter(
+                "no sampled instance ever reached surplus",
+            ));
+        }
+        samples.sort_by(Speed::total_cmp);
+        Ok(BreakEvenDistribution {
+            samples,
+            never_crossed,
+        })
+    }
+}
+
+/// Approximately standard-normal draw (Irwin–Hall with 12 uniforms),
+/// adequate for spread modelling and free of extra dependencies.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+    sum - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monityre_power::WorkingConditions;
+
+    fn fixture() -> (Architecture, HarvestChain) {
+        (Architecture::reference(), HarvestChain::reference())
+    }
+
+    #[test]
+    fn distribution_centers_near_nominal() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference())
+            .with_wheel(*chain.wheel());
+        let nominal = EnergyBalance::new(&analyzer, &chain)
+            .sweep(Speed::from_kmh(6.0), Speed::from_kmh(220.0), 108)
+            .break_even()
+            .unwrap();
+        let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 7);
+        let dist = mc.break_even_distribution(96).unwrap();
+        assert!(
+            (dist.mean().kmh() - nominal.kmh()).abs() < 5.0,
+            "mean {} vs nominal {}",
+            dist.mean(),
+            nominal
+        );
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 11);
+        let dist = mc.break_even_distribution(64).unwrap();
+        assert!(dist.quantile(0.05) <= dist.quantile(0.5));
+        assert!(dist.quantile(0.5) <= dist.quantile(0.95));
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let a = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 5)
+            .break_even_distribution(32)
+            .unwrap();
+        let b = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 5)
+            .break_even_distribution(32)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_variation_collapses_the_distribution() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let model = VariationModel {
+            leakage_sigma: 0.0,
+            dynamic_sigma: 0.0,
+        };
+        let dist = MonteCarlo::new(&analyzer, &chain, model, 3)
+            .break_even_distribution(16)
+            .unwrap();
+        assert!(dist.std_dev() < 1e-9, "std {}", dist.std_dev());
+    }
+
+    #[test]
+    fn wider_spread_widens_the_distribution() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let narrow = MonteCarlo::new(
+            &analyzer,
+            &chain,
+            VariationModel { leakage_sigma: 0.1, dynamic_sigma: 0.01 },
+            9,
+        )
+        .break_even_distribution(64)
+        .unwrap();
+        let wide = MonteCarlo::new(
+            &analyzer,
+            &chain,
+            VariationModel { leakage_sigma: 0.8, dynamic_sigma: 0.08 },
+            9,
+        )
+        .break_even_distribution(64)
+        .unwrap();
+        assert!(wide.std_dev() > narrow.std_dev());
+    }
+
+    #[test]
+    fn yield_is_monotone_in_target() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let dist = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 21)
+            .break_even_distribution(64)
+            .unwrap();
+        let y30 = dist.yield_at(Speed::from_kmh(30.0));
+        let y40 = dist.yield_at(Speed::from_kmh(40.0));
+        let y60 = dist.yield_at(Speed::from_kmh(60.0));
+        assert!(y30 <= y40 && y40 <= y60);
+        assert!(y60 > 0.8);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (arch, chain) = fixture();
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 1);
+        assert!(mc.break_even_distribution(0).is_err());
+        let bad = MonteCarlo::new(
+            &analyzer,
+            &chain,
+            VariationModel { leakage_sigma: -1.0, dynamic_sigma: 0.0 },
+            1,
+        );
+        assert!(bad.break_even_distribution(4).is_err());
+    }
+}

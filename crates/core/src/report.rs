@@ -1,0 +1,297 @@
+//! Reporting: text tables, CSV series and ASCII charts.
+//!
+//! The paper's tool "report\[s\] the energy balance" graphically; here every
+//! experiment harness prints its series as CSV (machine-readable rows) and
+//! an ASCII chart (the human-readable shape), so the figures regenerate in
+//! any terminal without a plotting dependency.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// ```
+/// use monityre_core::report::Table;
+///
+/// let mut table = Table::new(vec!["block", "energy"]);
+/// table.row(vec!["dsp".into(), "3.1 µJ".into()]);
+/// let text = table.to_string();
+/// assert!(text.contains("dsp"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (headers first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                let _ = write!(line, "{cell:<width$}  ");
+            }
+            line.trim_end().to_owned()
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total.saturating_sub(2)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// One named series for [`ascii_chart`].
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// The glyph used to plot this series.
+    pub glyph: char,
+    /// `(x, y)` points (need not be sorted; they are plotted point-wise).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders one or more series as an ASCII chart with axis ranges in the
+/// margins — the terminal stand-in for the paper's Fig. 2/3 plots.
+///
+/// ```
+/// use monityre_core::report::{ascii_chart, Series};
+///
+/// let chart = ascii_chart(
+///     &[Series { label: "generated", glyph: '*',
+///                points: (0..50).map(|i| (f64::from(i), f64::from(i * i))).collect() }],
+///     60, 12,
+/// );
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("generated"));
+/// ```
+#[must_use]
+pub fn ascii_chart(series: &[Series<'_>], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return "(no data)\n".to_owned();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for (x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_max:>12.4} ┤");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>12} │{line}", "");
+    }
+    let _ = writeln!(out, "{y_min:>12.4} ┤");
+    let _ = writeln!(
+        out,
+        "{:>13}{x_min:<.4} … {x_max:.4}",
+        ""
+    );
+    for s in series {
+        let _ = writeln!(out, "{:>13}{} {}", "", s.glyph, s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(lines.len(), 4);
+        // Columns align: "1" and "2" start at the same offset.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find('2').unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn table_csv() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let text = t.to_string();
+        assert!(text.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "table needs at least one column")]
+    fn table_rejects_no_columns() {
+        let _ = Table::new(vec![]);
+    }
+
+    #[test]
+    fn chart_plots_two_series_with_legend() {
+        let chart = ascii_chart(
+            &[
+                Series {
+                    label: "up",
+                    glyph: '*',
+                    points: (0..20).map(|i| (f64::from(i), f64::from(i))).collect(),
+                },
+                Series {
+                    label: "down",
+                    glyph: 'o',
+                    points: (0..20).map(|i| (f64::from(i), f64::from(20 - i))).collect(),
+                },
+            ],
+            40,
+            10,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("down"));
+    }
+
+    #[test]
+    fn chart_survives_degenerate_input() {
+        assert!(ascii_chart(&[], 40, 10).contains("no data"));
+        let flat = ascii_chart(
+            &[Series {
+                label: "flat",
+                glyph: '*',
+                points: vec![(1.0, 5.0), (2.0, 5.0)],
+            }],
+            40,
+            10,
+        );
+        assert!(flat.contains('*'));
+        let nan = ascii_chart(
+            &[Series {
+                label: "nan",
+                glyph: '*',
+                points: vec![(f64::NAN, f64::NAN)],
+            }],
+            40,
+            10,
+        );
+        assert!(nan.contains("no data"));
+    }
+
+    #[test]
+    fn chart_extremes_land_on_borders() {
+        let chart = ascii_chart(
+            &[Series {
+                label: "corners",
+                glyph: '#',
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            }],
+            30,
+            8,
+        );
+        let plot_lines: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.contains('│'))
+            .collect();
+        // Top plot row has the max point, bottom has the min point.
+        assert!(plot_lines.first().unwrap().contains('#'));
+        assert!(plot_lines.last().unwrap().contains('#'));
+    }
+}

@@ -1,0 +1,400 @@
+//! The energy workbook: the spreadsheet *computing* the energy analysis.
+//!
+//! §II-A: "This spreadsheet also estimates the power and energy
+//! consumption of the Sensor Node under different working and operating
+//! conditions." [`crate::EnergyAnalyzer`] computes per-round energy in
+//! Rust; this module generates a live [`monityre_sheet::Sheet`] whose
+//! *formulas* carry the same computation — round period from speed, phase
+//! durations from the schedules (with the same truncation semantics),
+//! amortization over recurrence periods, workload event energy, and the
+//! whole-node total. Editing the speed cell re-derives everything through
+//! the dependency engine, and the tests pin the workbook to the analyzer
+//! bit-for-bit (within float tolerance).
+
+use std::fmt::Write as _;
+
+use monityre_node::Architecture;
+use monityre_power::WorkingConditions;
+use monityre_profile::Wheel;
+use monityre_sheet::Sheet;
+use monityre_units::{Energy, Speed};
+
+use crate::CoreError;
+
+/// A generated spreadsheet that evaluates a node's energy per wheel round.
+///
+/// ```
+/// use monityre_core::EnergyWorkbook;
+/// use monityre_node::Architecture;
+/// use monityre_power::WorkingConditions;
+/// use monityre_profile::Wheel;
+/// use monityre_units::Speed;
+///
+/// let arch = Architecture::reference();
+/// let mut workbook = EnergyWorkbook::build(
+///     &arch,
+///     WorkingConditions::reference(),
+///     &Wheel::reference(),
+///     Speed::from_kmh(60.0),
+/// ).unwrap();
+/// let at60 = workbook.node_energy().unwrap();
+/// workbook.set_speed(Speed::from_kmh(30.0)).unwrap();
+/// let at30 = workbook.node_energy().unwrap();
+/// assert!(at30 > at60); // longer rounds leak more
+/// ```
+#[derive(Debug)]
+pub struct EnergyWorkbook {
+    sheet: Sheet,
+    block_names: Vec<String>,
+}
+
+impl EnergyWorkbook {
+    /// Generates the workbook for an architecture at fixed working
+    /// conditions on a given wheel, primed at `speed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for a non-positive speed or (unreachable for
+    /// valid architectures) a sheet-construction failure.
+    pub fn build(
+        architecture: &Architecture,
+        conditions: WorkingConditions,
+        wheel: &Wheel,
+        speed: Speed,
+    ) -> Result<Self, CoreError> {
+        if speed.mps() <= 0.0 || !speed.is_finite() {
+            return Err(CoreError::round_undefined(speed.kmh()));
+        }
+        let mut sheet = Sheet::new();
+        let sh = |e: monityre_sheet::SheetError| {
+            CoreError::invalid_parameter(format!("workbook generation: {e}"))
+        };
+
+        // Inputs.
+        sheet.set_number("in.speed_kmh", speed.kmh()).map_err(sh)?;
+        sheet
+            .set_number("in.circumference_m", wheel.rolling_circumference().metres())
+            .map_err(sh)?;
+        // Round period in seconds: circumference / (speed in m/s).
+        sheet
+            .set_formula("round.period_s", "in.circumference_m / (in.speed_kmh / 3.6)")
+            .map_err(sh)?;
+
+        let mut block_names = Vec::new();
+        let mut total_terms = Vec::new();
+        for name in architecture.block_names() {
+            let plan = architecture.plan(name)?;
+            let model = architecture.database().block(name)?;
+            let rest_mode = plan.schedule().rest_mode();
+            let rest_power = model.power(rest_mode, &conditions).total();
+            sheet
+                .set_number(&format!("{name}.rest_uw"), rest_power.microwatts())
+                .map_err(sh)?;
+
+            // Phase chain with the same truncation semantics as
+            // RoundSchedule::resolve: a remaining-time chain for all spans
+            // and a fraction budget reduced by fixed takes.
+            sheet
+                .set_formula(&format!("{name}.rem0"), "round.period_s * 1")
+                .map_err(sh)?;
+            sheet
+                .set_formula(&format!("{name}.fb0"), "round.period_s * 1")
+                .map_err(sh)?;
+            let mut delta_terms = Vec::new();
+            for (i, phase) in plan.schedule().phases().iter().enumerate() {
+                let power = model.power(phase.mode, &conditions).total();
+                sheet
+                    .set_number(&format!("{name}.phase{i}_uw"), power.microwatts())
+                    .map_err(sh)?;
+                let want = match phase.span {
+                    monityre_node::Span::Fixed(d) => {
+                        // Fixed spans are independently capped at the period.
+                        format!("min({}, round.period_s)", d.secs())
+                    }
+                    monityre_node::Span::Fraction(f) => {
+                        format!("{f} * max({name}.fb{i}, 0)")
+                    }
+                };
+                sheet
+                    .set_formula(
+                        &format!("{name}.dur{i}_s"),
+                        &format!("min({want}, max({name}.rem{i}, 0))"),
+                    )
+                    .map_err(sh)?;
+                sheet
+                    .set_formula(
+                        &format!("{name}.rem{next}", next = i + 1),
+                        &format!("{name}.rem{i} - {name}.dur{i}_s"),
+                    )
+                    .map_err(sh)?;
+                let fb_next = match phase.span {
+                    monityre_node::Span::Fixed(_) => {
+                        format!("{name}.fb{i} - {name}.dur{i}_s")
+                    }
+                    monityre_node::Span::Fraction(_) => format!("{name}.fb{i} * 1"),
+                };
+                sheet
+                    .set_formula(&format!("{name}.fb{next}", next = i + 1), &fb_next)
+                    .map_err(sh)?;
+                // Amortized delta energy over the rest-mode baseline, in µJ
+                // (µW × s = µJ).
+                sheet
+                    .set_formula(
+                        &format!("{name}.e_phase{i}_uj"),
+                        &format!(
+                            "({name}.phase{i}_uw - {name}.rest_uw) * {name}.dur{i}_s / {n}",
+                            n = phase.period_rounds
+                        ),
+                    )
+                    .map_err(sh)?;
+                delta_terms.push(format!("{name}.e_phase{i}_uj"));
+            }
+
+            // Event energy: counts × per-event cost at the conditions.
+            let mut event_terms = Vec::new();
+            for (kind, count) in plan.workload().iter() {
+                if let Some(per_event) = model.event_energy(kind, &conditions) {
+                    let id = kind.id();
+                    sheet
+                        .set_number(&format!("{name}.ev_{id}_count"), count)
+                        .map_err(sh)?;
+                    sheet
+                        .set_number(&format!("{name}.ev_{id}_nj"), per_event.nanojoules())
+                        .map_err(sh)?;
+                    sheet
+                        .set_formula(
+                            &format!("{name}.ev_{id}_uj"),
+                            &format!("{name}.ev_{id}_count * {name}.ev_{id}_nj / 1000"),
+                        )
+                        .map_err(sh)?;
+                    event_terms.push(format!("{name}.ev_{id}_uj"));
+                }
+            }
+
+            // Block total: rest power over the full round plus phase deltas
+            // plus event energy.
+            let mut expr = format!("{name}.rest_uw * round.period_s");
+            for term in &delta_terms {
+                let _ = write!(expr, " + {term}");
+            }
+            for term in &event_terms {
+                let _ = write!(expr, " + {term}");
+            }
+            sheet
+                .set_formula(&format!("{name}.energy_uj"), &expr)
+                .map_err(sh)?;
+            total_terms.push(format!("{name}.energy_uj"));
+            block_names.push(name.to_owned());
+        }
+
+        sheet
+            .set_formula("node.energy_uj", &format!("sum({})", total_terms.join(", ")))
+            .map_err(sh)?;
+
+        Ok(Self { sheet, block_names })
+    }
+
+    /// Re-primes the speed cell; every derived cell recomputes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RoundUndefined`] for non-positive speeds.
+    pub fn set_speed(&mut self, speed: Speed) -> Result<(), CoreError> {
+        if speed.mps() <= 0.0 || !speed.is_finite() {
+            return Err(CoreError::round_undefined(speed.kmh()));
+        }
+        self.sheet
+            .set_number("in.speed_kmh", speed.kmh())
+            .map_err(|e| CoreError::invalid_parameter(format!("speed edit: {e}")))
+    }
+
+    /// The node's energy per wheel round according to the formulas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-cell failures (unreachable after `build`).
+    pub fn node_energy(&self) -> Result<Energy, CoreError> {
+        let uj = self
+            .sheet
+            .value("node.energy_uj")
+            .map_err(|e| CoreError::invalid_parameter(format!("workbook read: {e}")))?;
+        Ok(Energy::from_micros(uj))
+    }
+
+    /// One block's energy per round according to the formulas.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown blocks.
+    pub fn block_energy(&self, name: &str) -> Result<Energy, CoreError> {
+        let uj = self
+            .sheet
+            .value(&format!("{name}.energy_uj"))
+            .map_err(|e| CoreError::invalid_parameter(format!("workbook read: {e}")))?;
+        Ok(Energy::from_micros(uj))
+    }
+
+    /// The hosted sheet (inspection, `explain`, custom cells).
+    #[must_use]
+    pub fn sheet(&self) -> &Sheet {
+        &self.sheet
+    }
+
+    /// The block names carried by the workbook.
+    #[must_use]
+    pub fn block_names(&self) -> &[String] {
+        &self.block_names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyAnalyzer;
+    use monityre_node::NodeConfig;
+    use monityre_units::Temperature;
+
+    fn equivalence_at(
+        config: NodeConfig,
+        conditions: WorkingConditions,
+        kmh: f64,
+    ) -> (Energy, Energy) {
+        let arch = Architecture::from_config(config);
+        let wheel = Wheel::reference();
+        let speed = Speed::from_kmh(kmh);
+        let analyzer = EnergyAnalyzer::new(&arch, conditions).with_wheel(wheel);
+        let expected = analyzer.required_per_round(speed).unwrap();
+        let workbook = EnergyWorkbook::build(&arch, conditions, &wheel, speed).unwrap();
+        (workbook.node_energy().unwrap(), expected)
+    }
+
+    #[test]
+    fn workbook_matches_analyzer_at_reference() {
+        for kmh in [10.0, 30.0, 60.0, 120.0, 200.0] {
+            let (got, expected) =
+                equivalence_at(NodeConfig::reference(), WorkingConditions::reference(), kmh);
+            assert!(
+                got.approx_eq(expected, 1e-9),
+                "at {kmh} km/h: workbook {got} vs analyzer {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn workbook_matches_analyzer_when_hot() {
+        let cond = WorkingConditions::reference()
+            .with_temperature(Temperature::from_celsius(85.0));
+        let (got, expected) = equivalence_at(NodeConfig::reference(), cond, 45.0);
+        assert!(got.approx_eq(expected, 1e-9), "{got} vs {expected}");
+    }
+
+    #[test]
+    fn workbook_matches_analyzer_for_custom_configs() {
+        let configs = [
+            NodeConfig::reference()
+                .with_samples_per_round(512)
+                .with_tx_period_rounds(1),
+            NodeConfig::reference()
+                .with_samples_per_round(32)
+                .with_tx_period_rounds(16)
+                .with_acquisition_fraction(0.03),
+        ];
+        for config in configs {
+            let (got, expected) =
+                equivalence_at(config, WorkingConditions::reference(), 50.0);
+            assert!(got.approx_eq(expected, 1e-9), "{got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn workbook_matches_analyzer_under_truncation() {
+        // At very high speed the round is shorter than the DSP's fixed
+        // compute window — the truncation semantics must agree too.
+        let config = NodeConfig::reference();
+        let arch = Architecture::from_config(config);
+        let wheel = Wheel::reference();
+        // 5 ms compute vs round period: push to an artificial 2000 km/h
+        // (period ≈ 3.4 ms) to force truncation of fixed spans — the model
+        // is speed-agnostic, only the maths is exercised.
+        let speed = Speed::from_kmh(2000.0);
+        let cond = WorkingConditions::reference();
+        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(wheel);
+        let expected = analyzer.required_per_round(speed).unwrap();
+        let workbook = EnergyWorkbook::build(&arch, cond, &wheel, speed).unwrap();
+        let got = workbook.node_energy().unwrap();
+        assert!(got.approx_eq(expected, 1e-9), "{got} vs {expected}");
+    }
+
+    #[test]
+    fn speed_edit_recomputes_live() {
+        let arch = Architecture::reference();
+        let wheel = Wheel::reference();
+        let cond = WorkingConditions::reference();
+        let mut workbook =
+            EnergyWorkbook::build(&arch, cond, &wheel, Speed::from_kmh(60.0)).unwrap();
+        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(wheel);
+        for kmh in [15.0, 42.0, 88.0, 170.0] {
+            workbook.set_speed(Speed::from_kmh(kmh)).unwrap();
+            let expected = analyzer.required_per_round(Speed::from_kmh(kmh)).unwrap();
+            let got = workbook.node_energy().unwrap();
+            assert!(got.approx_eq(expected, 1e-9), "at {kmh}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn per_block_cells_sum_to_total() {
+        let arch = Architecture::reference();
+        let wheel = Wheel::reference();
+        let workbook = EnergyWorkbook::build(
+            &arch,
+            WorkingConditions::reference(),
+            &wheel,
+            Speed::from_kmh(60.0),
+        )
+        .unwrap();
+        let sum: f64 = workbook
+            .block_names()
+            .iter()
+            .map(|n| workbook.block_energy(n).unwrap().microjoules())
+            .sum();
+        let total = workbook.node_energy().unwrap().microjoules();
+        assert!((sum - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_standstill() {
+        let arch = Architecture::reference();
+        let wheel = Wheel::reference();
+        assert!(EnergyWorkbook::build(
+            &arch,
+            WorkingConditions::reference(),
+            &wheel,
+            Speed::ZERO
+        )
+        .is_err());
+        let mut workbook = EnergyWorkbook::build(
+            &arch,
+            WorkingConditions::reference(),
+            &wheel,
+            Speed::from_kmh(50.0),
+        )
+        .unwrap();
+        assert!(workbook.set_speed(Speed::ZERO).is_err());
+    }
+
+    #[test]
+    fn explain_traces_the_energy_formula() {
+        let arch = Architecture::reference();
+        let wheel = Wheel::reference();
+        let workbook = EnergyWorkbook::build(
+            &arch,
+            WorkingConditions::reference(),
+            &wheel,
+            Speed::from_kmh(60.0),
+        )
+        .unwrap();
+        let text = workbook.sheet().explain("node.energy_uj").unwrap();
+        assert!(text.contains("dsp.energy_uj"));
+        assert!(text.contains("round.period_s"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Ideal battery — the baseline the paper argues against.
+//!
+//! §I: "standard batteries cannot supply this chip for a full tyre
+//! lifetime". The ablation experiments quantify that: an ideal
+//! (loss-free, non-rechargeable) battery of realistic coin-cell capacity
+//! runs out long before the tyre wears out, while the scavenger does not.
+
+use monityre_units::{Duration, Energy};
+use serde::{Deserialize, Serialize};
+
+use crate::{Storage, StorageError};
+
+/// An ideal primary battery: fixed initial energy, no self-discharge by
+/// default, deposits rejected (primary cells do not recharge — deposits are
+/// spilled in full).
+///
+/// ```
+/// use monityre_harvest::{IdealBattery, Storage};
+/// use monityre_units::Energy;
+///
+/// let mut cell = IdealBattery::coin_cell();
+/// assert!(cell.withdraw(Energy::from_joules(1.0)).is_ok());
+/// // Charging a primary cell spills everything.
+/// assert_eq!(cell.deposit(Energy::from_joules(1.0)), Energy::from_joules(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdealBattery {
+    capacity: Energy,
+    remaining: Energy,
+    /// Fractional self-discharge per year (0 for ideal).
+    annual_self_discharge: f64,
+}
+
+impl IdealBattery {
+    /// Builds a battery with the given capacity, starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative/non-finite or the self-discharge
+    /// fraction is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(capacity: Energy, annual_self_discharge: f64) -> Self {
+        assert!(
+            capacity.is_finite() && !capacity.is_negative(),
+            "battery capacity must be non-negative, got {capacity}"
+        );
+        assert!(
+            (0.0..1.0).contains(&annual_self_discharge),
+            "annual self-discharge must lie in [0, 1), got {annual_self_discharge}"
+        );
+        Self {
+            capacity,
+            remaining: capacity,
+            annual_self_discharge,
+        }
+    }
+
+    /// A CR2032-class lithium coin cell: ≈ 225 mAh at 3 V ≈ 2.4 kJ, 1 %
+    /// yearly self-discharge (room-temperature shelf figure).
+    #[must_use]
+    pub fn coin_cell() -> Self {
+        Self::new(Energy::from_joules(2430.0), 0.01)
+    }
+
+    /// The same cell *mounted inside the tyre*: sustained 40–80 °C
+    /// operation, vibration-rated packaging and automotive derating push
+    /// the effective self-discharge to ≈ 40 %/year (lithium primary cells
+    /// lose capacity roughly 2× per 10 °C above room temperature).
+    #[must_use]
+    pub fn coin_cell_in_tyre() -> Self {
+        Self::new(Energy::from_joules(2430.0), 0.40)
+    }
+
+    /// Energy drawn so far.
+    #[must_use]
+    pub fn consumed(&self) -> Energy {
+        self.capacity - self.remaining
+    }
+}
+
+impl Storage for IdealBattery {
+    fn available(&self) -> Energy {
+        self.remaining
+    }
+
+    fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    fn deposit(&mut self, amount: Energy) -> Energy {
+        // Primary cell: everything spills.
+        amount
+    }
+
+    fn withdraw(&mut self, amount: Energy) -> Result<(), StorageError> {
+        if amount > self.remaining {
+            return Err(StorageError::Deficit {
+                requested: amount,
+                available: self.remaining,
+            });
+        }
+        self.remaining -= amount;
+        Ok(())
+    }
+
+    fn self_discharge(&mut self, dt: Duration) {
+        if self.annual_self_discharge == 0.0 {
+            return;
+        }
+        let years = dt.secs() / (365.25 * 24.0 * 3600.0);
+        let keep = (1.0 - self.annual_self_discharge).powf(years);
+        self.remaining *= keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full() {
+        let cell = IdealBattery::coin_cell();
+        assert_eq!(cell.available(), cell.capacity());
+        assert_eq!(cell.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn withdrawals_accumulate() {
+        let mut cell = IdealBattery::coin_cell();
+        cell.withdraw(Energy::from_joules(100.0)).unwrap();
+        cell.withdraw(Energy::from_joules(50.0)).unwrap();
+        assert!(cell.consumed().approx_eq(Energy::from_joules(150.0), 1e-12));
+    }
+
+    #[test]
+    fn overdraw_reports_available() {
+        let mut cell = IdealBattery::new(Energy::from_joules(10.0), 0.0);
+        let err = cell.withdraw(Energy::from_joules(11.0)).unwrap_err();
+        assert!(err.shortfall().approx_eq(Energy::from_joules(1.0), 1e-12));
+    }
+
+    #[test]
+    fn deposits_spill_entirely() {
+        let mut cell = IdealBattery::coin_cell();
+        cell.withdraw(Energy::from_joules(5.0)).unwrap();
+        let spilled = cell.deposit(Energy::from_joules(5.0));
+        assert_eq!(spilled, Energy::from_joules(5.0));
+        assert!(cell.consumed().approx_eq(Energy::from_joules(5.0), 1e-12));
+    }
+
+    #[test]
+    fn yearly_self_discharge() {
+        let mut cell = IdealBattery::coin_cell();
+        cell.self_discharge(Duration::from_hours(365.25 * 24.0));
+        assert!((cell.state_of_charge() - 0.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_self_discharge_is_exactly_stable() {
+        let mut cell = IdealBattery::new(Energy::from_joules(100.0), 0.0);
+        cell.self_discharge(Duration::from_hours(100_000.0));
+        assert_eq!(cell.available(), Energy::from_joules(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "annual self-discharge")]
+    fn rejects_discharge_fraction_of_one() {
+        let _ = IdealBattery::new(Energy::from_joules(1.0), 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The composed harvesting chain: transducer → regulator, on a wheel.
+
+use std::fmt;
+
+use monityre_profile::Wheel;
+use monityre_units::{Energy, Power, Speed};
+
+use crate::{PiezoScavenger, Regulator, Scavenger};
+
+/// The complete energy source seen by the Sensor Node: a transducer on a
+/// specific wheel feeding a conditioning regulator.
+///
+/// The storage element is *not* part of the chain — the transient emulator
+/// owns it as mutable state; the chain answers the stateless question
+/// "how much usable energy arrives per wheel round at speed v?", which is
+/// exactly the generated-energy curve of the paper's Fig. 2.
+///
+/// ```
+/// use monityre_harvest::HarvestChain;
+/// use monityre_units::Speed;
+///
+/// let chain = HarvestChain::reference();
+/// assert_eq!(chain.delivered_per_round(Speed::from_kmh(3.0)).joules(), 0.0);
+/// assert!(chain.delivered_per_round(Speed::from_kmh(50.0)).microjoules() > 10.0);
+/// ```
+pub struct HarvestChain {
+    scavenger: Box<dyn Scavenger + Send + Sync>,
+    regulator: Regulator,
+    wheel: Wheel,
+}
+
+impl HarvestChain {
+    /// Composes a chain.
+    #[must_use]
+    pub fn new<S>(scavenger: S, regulator: Regulator, wheel: Wheel) -> Self
+    where
+        S: Scavenger + Send + Sync + 'static,
+    {
+        Self {
+            scavenger: Box::new(scavenger),
+            regulator,
+            wheel,
+        }
+    }
+
+    /// The reference chain: reference piezo transducer, reference
+    /// regulator, reference 205/55R16 wheel.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::new(
+            PiezoScavenger::reference(),
+            Regulator::reference(),
+            Wheel::reference(),
+        )
+    }
+
+    /// The transducer.
+    #[must_use]
+    pub fn scavenger(&self) -> &(dyn Scavenger + Send + Sync) {
+        self.scavenger.as_ref()
+    }
+
+    /// The regulator.
+    #[must_use]
+    pub fn regulator(&self) -> &Regulator {
+        &self.regulator
+    }
+
+    /// The wheel the transducer rides on.
+    #[must_use]
+    pub fn wheel(&self) -> &Wheel {
+        &self.wheel
+    }
+
+    /// The transducer's cut-in speed.
+    #[must_use]
+    pub fn cut_in(&self) -> Speed {
+        self.scavenger.cut_in()
+    }
+
+    /// Raw (pre-regulator) energy per wheel round at `speed`.
+    #[must_use]
+    pub fn raw_per_round(&self, speed: Speed) -> Energy {
+        self.scavenger.energy_per_round(speed)
+    }
+
+    /// Usable (post-regulator) energy per wheel round at `speed` — the
+    /// generated-energy curve of Fig. 2.
+    #[must_use]
+    pub fn delivered_per_round(&self, speed: Speed) -> Energy {
+        let raw = self.raw_per_round(speed);
+        let avg = self.scavenger.average_power(speed, &self.wheel);
+        self.regulator.convert(raw, avg)
+    }
+
+    /// Average usable power at constant `speed`.
+    #[must_use]
+    pub fn delivered_power(&self, speed: Speed) -> Power {
+        let e = self.delivered_per_round(speed);
+        Power::from_watts(e.joules() * self.wheel.rounds_per_second(speed).hertz())
+    }
+}
+
+impl fmt::Debug for HarvestChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HarvestChain")
+            .field("scavenger", &self.scavenger.name())
+            .field("regulator", &self.regulator)
+            .field("wheel", &self.wheel)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivered_is_below_raw() {
+        let chain = HarvestChain::reference();
+        for kmh in [20.0, 50.0, 100.0, 150.0] {
+            let v = Speed::from_kmh(kmh);
+            assert!(chain.delivered_per_round(v) < chain.raw_per_round(v), "at {kmh}");
+        }
+    }
+
+    #[test]
+    fn delivered_monotone_above_cut_in() {
+        let chain = HarvestChain::reference();
+        let mut last = Energy::ZERO;
+        for kmh in (10..=200).step_by(5) {
+            let e = chain.delivered_per_round(Speed::from_kmh(f64::from(kmh)));
+            assert!(e >= last, "at {kmh} km/h");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn nothing_below_cut_in() {
+        let chain = HarvestChain::reference();
+        assert_eq!(chain.delivered_per_round(Speed::from_kmh(4.0)), Energy::ZERO);
+        assert_eq!(chain.delivered_power(Speed::from_kmh(4.0)), Power::ZERO);
+    }
+
+    #[test]
+    fn delivered_power_consistent_with_round_energy() {
+        let chain = HarvestChain::reference();
+        let v = Speed::from_kmh(80.0);
+        let per_round = chain.delivered_per_round(v);
+        let rate = chain.wheel().rounds_per_second(v).hertz();
+        let p = chain.delivered_power(v);
+        assert!(p.approx_eq(Power::from_watts(per_round.joules() * rate), 1e-12));
+    }
+
+    #[test]
+    fn highway_delivery_is_mw_class() {
+        let chain = HarvestChain::reference();
+        let p = chain.delivered_power(Speed::from_kmh(130.0));
+        assert!(p.milliwatts() > 0.5 && p.milliwatts() < 2.5, "got {p}");
+    }
+
+    #[test]
+    fn custom_chain_composes() {
+        let chain = HarvestChain::new(
+            crate::ElectromagneticScavenger::reference(),
+            Regulator::ideal(),
+            Wheel::reference(),
+        );
+        assert_eq!(chain.scavenger().name(), "electromagnetic");
+        let v = Speed::from_kmh(60.0);
+        // Ideal regulator: delivered ≈ raw.
+        let ratio = chain.delivered_per_round(v) / chain.raw_per_round(v);
+        assert!(ratio > 0.99);
+    }
+
+    #[test]
+    fn debug_shows_scavenger_name() {
+        let chain = HarvestChain::reference();
+        assert!(format!("{chain:?}").contains("piezo"));
+    }
+}

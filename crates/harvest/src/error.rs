@@ -1,0 +1,72 @@
+//! Error type for storage operations.
+
+use std::error::Error;
+use std::fmt;
+
+use monityre_units::Energy;
+
+/// Errors raised by [`crate::Storage`] operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// The reservoir cannot cover a withdrawal.
+    Deficit {
+        /// The amount requested.
+        requested: Energy,
+        /// What was actually available.
+        available: Energy,
+    },
+}
+
+impl StorageError {
+    /// The unmet portion of the request.
+    #[must_use]
+    pub fn shortfall(&self) -> Energy {
+        match self {
+            Self::Deficit {
+                requested,
+                available,
+            } => (*requested - *available).max(Energy::ZERO),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Deficit {
+                requested,
+                available,
+            } => write!(
+                f,
+                "energy deficit: requested {requested}, only {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortfall_is_difference() {
+        let err = StorageError::Deficit {
+            requested: Energy::from_micros(10.0),
+            available: Energy::from_micros(4.0),
+        };
+        assert!(err.shortfall().approx_eq(Energy::from_micros(6.0), 1e-12));
+    }
+
+    #[test]
+    fn display_names_both_amounts() {
+        let err = StorageError::Deficit {
+            requested: Energy::from_micros(10.0),
+            available: Energy::from_micros(4.0),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("deficit"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Energy-scavenging models: transducer, conditioning, storage.
+//!
+//! The Sensor Node "cannot be supplied by standard batteries for a full
+//! tyre lifetime, therefore it is necessary to consider energy harvesting
+//! devices that can supply energy to the system during the wheel rotation.
+//! Unfortunately, the available energy depends almost on the size of such
+//! a scavenging device and mostly on the tyre rotation speed" (§I).
+//!
+//! Pirelli's in-tyre piezoelectric scavenger is proprietary hardware, so
+//! this crate provides parametric models that preserve the behaviour the
+//! flow depends on:
+//!
+//! * [`Scavenger`] implementations — a piezoelectric transducer excited by
+//!   the contact-patch deformation once per wheel round
+//!   ([`PiezoScavenger`]: cut-in speed, rising region, saturation) and an
+//!   electromagnetic alternative ([`ElectromagneticScavenger`]);
+//! * [`Regulator`] — the AC→DC conditioning stage with a load-dependent
+//!   efficiency curve;
+//! * [`Storage`] implementations — a supercapacitor reservoir
+//!   ([`Supercap`]) with voltage limits, self-discharge and spill, plus an
+//!   [`IdealBattery`] baseline;
+//! * [`HarvestChain`] — the composed source the energy-balance evaluator
+//!   and the transient emulator consume.
+//!
+//! # Example
+//!
+//! ```
+//! use monityre_harvest::HarvestChain;
+//! use monityre_units::Speed;
+//!
+//! let chain = HarvestChain::reference();
+//! let slow = chain.delivered_per_round(Speed::from_kmh(10.0));
+//! let fast = chain.delivered_per_round(Speed::from_kmh(120.0));
+//! assert!(fast > slow);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod chain;
+mod error;
+mod piezo;
+mod regulator;
+mod scavenger;
+mod supercap;
+
+pub use battery::IdealBattery;
+pub use chain::HarvestChain;
+pub use error::StorageError;
+pub use piezo::{ElectromagneticScavenger, PiezoScavenger};
+pub use regulator::Regulator;
+pub use scavenger::Scavenger;
+pub use supercap::Supercap;
+
+use monityre_units::{Duration, Energy};
+
+/// A rechargeable energy reservoir with explicit capacity limits.
+///
+/// Implementations must conserve energy: deposits beyond capacity are
+/// *spilled* (reported back), withdrawals beyond the usable reserve fail
+/// without side effects.
+pub trait Storage {
+    /// Energy currently stored above the usable floor.
+    fn available(&self) -> Energy;
+
+    /// Usable capacity (full minus floor).
+    fn capacity(&self) -> Energy;
+
+    /// Deposits `amount`, returning the spilled excess (zero when it fits).
+    fn deposit(&mut self, amount: Energy) -> Energy;
+
+    /// Withdraws `amount`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Deficit`] with the available amount when the
+    /// reserve cannot cover the request; the state is unchanged.
+    fn withdraw(&mut self, amount: Energy) -> Result<(), StorageError>;
+
+    /// Applies self-discharge over `dt`.
+    fn self_discharge(&mut self, dt: Duration);
+
+    /// State of charge in `[0, 1]` relative to usable capacity.
+    fn state_of_charge(&self) -> f64 {
+        let cap = self.capacity().joules();
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.available().joules() / cap).clamp(0.0, 1.0)
+        }
+    }
+}

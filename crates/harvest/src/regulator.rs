@@ -1,0 +1,204 @@
+//! Power conditioning: the AC→DC regulator between transducer and storage.
+//!
+//! Switched rectifier/boost stages for µW-class harvesters have a strongly
+//! load-dependent efficiency: quiescent losses dominate at light input,
+//! conduction losses bite at heavy input, with a broad peak in between.
+//! The model is a piecewise-smooth curve parameterized by its peak.
+
+use monityre_units::{Efficiency, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// A conditioning stage with load-dependent efficiency.
+///
+/// Efficiency as a function of input power `p`:
+///
+/// ```text
+/// η(p) = η_peak · p / (p + p_quiescent)        (quiescent roll-off)
+///        · 1 / (1 + (p / p_heavy)²·k_cond)     (conduction roll-off)
+/// ```
+///
+/// ```
+/// use monityre_harvest::Regulator;
+/// use monityre_units::Power;
+///
+/// let reg = Regulator::reference();
+/// let light = reg.efficiency(Power::from_microwatts(5.0));
+/// let mid = reg.efficiency(Power::from_microwatts(500.0));
+/// assert!(mid.value() > light.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Regulator {
+    peak: Efficiency,
+    quiescent: Power,
+    heavy: Power,
+    conduction_factor: f64,
+}
+
+impl Regulator {
+    /// Builds a regulator.
+    ///
+    /// * `peak` — the best-case efficiency;
+    /// * `quiescent` — input power scale below which efficiency collapses
+    ///   (the controller's own consumption);
+    /// * `heavy` — input power scale above which conduction losses grow;
+    /// * `conduction_factor` — strength of the heavy-load roll-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quiescent` or `heavy` are non-positive or
+    /// `conduction_factor` is negative.
+    #[must_use]
+    pub fn new(peak: Efficiency, quiescent: Power, heavy: Power, conduction_factor: f64) -> Self {
+        assert!(
+            quiescent.watts() > 0.0 && quiescent.is_finite(),
+            "quiescent power must be positive, got {quiescent}"
+        );
+        assert!(
+            heavy.watts() > 0.0 && heavy.is_finite(),
+            "heavy-load power must be positive, got {heavy}"
+        );
+        assert!(
+            conduction_factor >= 0.0 && conduction_factor.is_finite(),
+            "conduction factor must be non-negative, got {conduction_factor}"
+        );
+        Self {
+            peak,
+            quiescent,
+            heavy,
+            conduction_factor,
+        }
+    }
+
+    /// The reference conditioning stage: 82 % peak, 2 µW quiescent scale,
+    /// 20 mW heavy-load scale (well above the transducer's mW-class
+    /// maximum, so conduction losses stay second-order across the whole
+    /// speed range).
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::new(
+            Efficiency::new(0.82).expect("valid"),
+            Power::from_microwatts(2.0),
+            Power::from_milliwatts(20.0),
+            0.5,
+        )
+    }
+
+    /// An ideal, lossless stage (baseline for ablations).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::new(
+            Efficiency::IDEAL,
+            Power::from_nanowatts(1.0),
+            Power::from_watts(1.0e6),
+            0.0,
+        )
+    }
+
+    /// The peak efficiency.
+    #[must_use]
+    pub fn peak(&self) -> Efficiency {
+        self.peak
+    }
+
+    /// Conversion efficiency at the given input power.
+    #[must_use]
+    pub fn efficiency(&self, input: Power) -> Efficiency {
+        let p = input.watts().max(0.0);
+        if p == 0.0 {
+            // Degenerate but safe: an idle regulator converts nothing; report
+            // a tiny efficiency rather than an invalid zero.
+            return Efficiency::new(1e-9).expect("tiny efficiency is valid");
+        }
+        let quiescent_roll = p / (p + self.quiescent.watts());
+        let x = p / self.heavy.watts();
+        let conduction_roll = 1.0 / (1.0 + self.conduction_factor * x * x);
+        let eta = (self.peak.value() * quiescent_roll * conduction_roll).clamp(1e-9, 1.0);
+        Efficiency::new(eta).expect("clamped into (0, 1]")
+    }
+
+    /// Converts a per-round input energy given the *average* input power
+    /// the transducer sustains at that operating point.
+    #[must_use]
+    pub fn convert(&self, input_energy: Energy, average_input: Power) -> Energy {
+        input_energy * self.efficiency(average_input).value()
+    }
+}
+
+impl Default for Regulator {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_in_the_middle() {
+        let reg = Regulator::reference();
+        let light = reg.efficiency(Power::from_microwatts(1.0)).value();
+        let mid = reg.efficiency(Power::from_microwatts(800.0)).value();
+        let heavy = reg.efficiency(Power::from_watts(0.5)).value();
+        assert!(mid > light);
+        assert!(mid > heavy);
+    }
+
+    #[test]
+    fn efficiency_never_exceeds_peak() {
+        let reg = Regulator::reference();
+        for uw in [0.1, 1.0, 10.0, 100.0, 1000.0, 10_000.0] {
+            let eta = reg.efficiency(Power::from_microwatts(uw));
+            assert!(eta.value() <= reg.peak().value() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mid_load_efficiency_near_peak() {
+        let reg = Regulator::reference();
+        let eta = reg.efficiency(Power::from_microwatts(500.0)).value();
+        assert!(eta > 0.75, "got {eta}");
+    }
+
+    #[test]
+    fn zero_input_is_safe() {
+        let reg = Regulator::reference();
+        let eta = reg.efficiency(Power::ZERO);
+        assert!(eta.value() > 0.0 && eta.value() < 1e-6);
+    }
+
+    #[test]
+    fn convert_scales_energy() {
+        let reg = Regulator::reference();
+        let avg = Power::from_microwatts(500.0);
+        let out = reg.convert(Energy::from_micros(10.0), avg);
+        let eta = reg.efficiency(avg).value();
+        assert!(out.approx_eq(Energy::from_micros(10.0 * eta), 1e-12));
+    }
+
+    #[test]
+    fn ideal_is_lossless_at_moderate_load() {
+        let reg = Regulator::ideal();
+        let eta = reg.efficiency(Power::from_microwatts(100.0)).value();
+        assert!(eta > 0.99, "got {eta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescent power must be positive")]
+    fn rejects_zero_quiescent() {
+        let _ = Regulator::new(
+            Efficiency::IDEAL,
+            Power::ZERO,
+            Power::from_milliwatts(1.0),
+            0.1,
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let reg = Regulator::reference();
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: Regulator = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reg);
+    }
+}

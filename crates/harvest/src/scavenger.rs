@@ -1,0 +1,67 @@
+//! The scavenger abstraction.
+
+use monityre_profile::Wheel;
+use monityre_units::{Energy, Power, Speed};
+
+/// An in-wheel energy transducer.
+///
+/// The natural characterization is *energy per wheel round as a function of
+/// vehicle speed* — one contact-patch deformation (or one field crossing)
+/// happens per round, and its vigor grows with speed. Average electrical
+/// power follows by multiplying with the round rate.
+pub trait Scavenger {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Raw (pre-regulator) electrical energy produced during one wheel
+    /// round at constant `speed`. Must be zero below the cut-in speed and
+    /// non-decreasing in speed.
+    fn energy_per_round(&self, speed: Speed) -> Energy;
+
+    /// The minimum speed at which the transducer produces anything.
+    fn cut_in(&self) -> Speed;
+
+    /// Average raw power at constant `speed` on the given wheel:
+    /// `P = E_round · rounds/s`.
+    fn average_power(&self, speed: Speed, wheel: &Wheel) -> Power {
+        let e = self.energy_per_round(speed);
+        Power::from_watts(e.joules() * wheel.rounds_per_second(speed).hertz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monityre_units::Distance;
+
+    /// A toy scavenger for exercising the trait's default method.
+    struct Linear;
+
+    impl Scavenger for Linear {
+        fn name(&self) -> &str {
+            "linear"
+        }
+
+        fn energy_per_round(&self, speed: Speed) -> Energy {
+            Energy::from_micros(speed.mps())
+        }
+
+        fn cut_in(&self) -> Speed {
+            Speed::ZERO
+        }
+    }
+
+    #[test]
+    fn average_power_is_energy_times_round_rate() {
+        let wheel = Wheel::new(Distance::from_metres(2.0));
+        // 10 m/s → 5 rounds/s, 10 µJ/round → 50 µW.
+        let p = Linear.average_power(Speed::from_mps(10.0), &wheel);
+        assert!(p.approx_eq(Power::from_microwatts(50.0), 1e-12));
+    }
+
+    #[test]
+    fn average_power_zero_at_standstill() {
+        let wheel = Wheel::new(Distance::from_metres(2.0));
+        assert_eq!(Linear.average_power(Speed::ZERO, &wheel), Power::ZERO);
+    }
+}

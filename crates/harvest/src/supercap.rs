@@ -1,0 +1,273 @@
+//! Supercapacitor storage model.
+
+use monityre_units::{Capacitance, Duration, Energy, Resistance, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::{Storage, StorageError};
+
+/// A supercapacitor reservoir with voltage window, self-discharge and
+/// overflow spill.
+///
+/// State is tracked as the capacitor voltage; stored energy is `½CV²`.
+/// The *usable* window is `[v_min, v_max]`: below `v_min` the node's
+/// regulator drops out, above `v_max` the input clamp spills excess energy.
+/// Self-discharge follows the RC decay of the leakage resistance.
+///
+/// ```
+/// use monityre_harvest::{Storage, Supercap};
+/// use monityre_units::Energy;
+///
+/// let mut cap = Supercap::reference();
+/// let soc0 = cap.state_of_charge();
+/// cap.deposit(Energy::from_millis(10.0));
+/// assert!(cap.state_of_charge() > soc0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Supercap {
+    capacitance: Capacitance,
+    v_min: Voltage,
+    v_max: Voltage,
+    leakage_resistance: Resistance,
+    voltage: Voltage,
+}
+
+impl Supercap {
+    /// Builds a supercap; the initial voltage is clamped into the usable
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is non-positive, the voltage window is
+    /// inverted or non-positive, or the leakage resistance is non-positive.
+    #[must_use]
+    pub fn new(
+        capacitance: Capacitance,
+        v_min: Voltage,
+        v_max: Voltage,
+        leakage_resistance: Resistance,
+        initial: Voltage,
+    ) -> Self {
+        assert!(
+            capacitance.farads() > 0.0 && capacitance.is_finite(),
+            "capacitance must be positive, got {capacitance}"
+        );
+        assert!(
+            v_min.volts() >= 0.0 && v_max.volts() > v_min.volts(),
+            "voltage window must satisfy 0 <= v_min < v_max, got [{v_min}, {v_max}]"
+        );
+        assert!(
+            leakage_resistance.ohms() > 0.0 && leakage_resistance.is_finite(),
+            "leakage resistance must be positive, got {leakage_resistance}"
+        );
+        Self {
+            capacitance,
+            v_min,
+            v_max,
+            leakage_resistance,
+            voltage: initial.clamp(v_min, v_max),
+        }
+    }
+
+    /// The reference reservoir: 47 mF, usable window 1.8–3.6 V, 5 MΩ
+    /// self-discharge, starting half charged. Usable capacity ≈ 229 mJ —
+    /// enough to ride through tens of seconds of urban stop-and-go.
+    #[must_use]
+    pub fn reference() -> Self {
+        let v_min = Voltage::from_volts(1.8);
+        let v_max = Voltage::from_volts(3.6);
+        let mid = Voltage::from_volts((1.8f64.powi(2) / 2.0 + 3.6f64.powi(2) / 2.0).sqrt());
+        Self::new(
+            Capacitance::from_millifarads(47.0),
+            v_min,
+            v_max,
+            Resistance::from_megaohms(5.0),
+            mid,
+        )
+    }
+
+    /// The current terminal voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Voltage {
+        self.voltage
+    }
+
+    /// The usable voltage window `(v_min, v_max)`.
+    #[must_use]
+    pub fn window(&self) -> (Voltage, Voltage) {
+        (self.v_min, self.v_max)
+    }
+
+    /// Total stored energy `½CV²` (including the unusable floor).
+    #[must_use]
+    pub fn stored(&self) -> Energy {
+        self.capacitance.energy_at(self.voltage)
+    }
+
+    fn floor_energy(&self) -> Energy {
+        self.capacitance.energy_at(self.v_min)
+    }
+
+    fn ceiling_energy(&self) -> Energy {
+        self.capacitance.energy_at(self.v_max)
+    }
+
+    fn set_total(&mut self, total: Energy) {
+        // V = sqrt(2E/C), clamped into the window.
+        let v = (2.0 * total.joules().max(0.0) / self.capacitance.farads()).sqrt();
+        self.voltage = Voltage::from_volts(v).clamp(self.v_min, self.v_max);
+    }
+}
+
+impl Storage for Supercap {
+    fn available(&self) -> Energy {
+        (self.stored() - self.floor_energy()).max(Energy::ZERO)
+    }
+
+    fn capacity(&self) -> Energy {
+        self.ceiling_energy() - self.floor_energy()
+    }
+
+    fn deposit(&mut self, amount: Energy) -> Energy {
+        debug_assert!(!amount.is_negative(), "deposit must be non-negative");
+        let total = self.stored() + amount;
+        let spill = (total - self.ceiling_energy()).max(Energy::ZERO);
+        self.set_total(total.min(self.ceiling_energy()));
+        spill
+    }
+
+    fn withdraw(&mut self, amount: Energy) -> Result<(), StorageError> {
+        debug_assert!(!amount.is_negative(), "withdrawal must be non-negative");
+        let available = self.available();
+        if amount > available {
+            return Err(StorageError::Deficit {
+                requested: amount,
+                available,
+            });
+        }
+        self.set_total(self.stored() - amount);
+        Ok(())
+    }
+
+    fn self_discharge(&mut self, dt: Duration) {
+        // RC decay of the terminal voltage, floored at v_min's energy
+        // accounting (the leakage below v_min is real but outside the
+        // usable model window — clamp keeps the invariant simple).
+        let tau = self.leakage_resistance.ohms() * self.capacitance.farads();
+        let decay = (-dt.secs() / tau).exp();
+        let v = Voltage::from_volts(self.voltage.volts() * decay);
+        self.voltage = v.clamp(self.v_min, self.v_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Supercap {
+        Supercap::reference()
+    }
+
+    #[test]
+    fn reference_starts_half_charged() {
+        let cap = fresh();
+        assert!((cap.state_of_charge() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deposit_withdraw_round_trip() {
+        let mut cap = fresh();
+        let before = cap.available();
+        let spill = cap.deposit(Energy::from_millis(5.0));
+        assert_eq!(spill, Energy::ZERO);
+        cap.withdraw(Energy::from_millis(5.0)).unwrap();
+        assert!(cap.available().approx_eq(before, 1e-9));
+    }
+
+    #[test]
+    fn overfill_spills_exactly() {
+        let mut cap = fresh();
+        let room = cap.capacity() - cap.available();
+        let spill = cap.deposit(room + Energy::from_millis(3.0));
+        assert!(spill.approx_eq(Energy::from_millis(3.0), 1e-6));
+        assert!((cap.state_of_charge() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdraw_fails_without_side_effects() {
+        let mut cap = fresh();
+        let available = cap.available();
+        let err = cap.withdraw(available + Energy::from_millis(1.0)).unwrap_err();
+        assert!(err.shortfall().approx_eq(Energy::from_millis(1.0), 1e-6));
+        assert!(cap.available().approx_eq(available, 1e-12));
+    }
+
+    #[test]
+    fn draining_to_empty_is_allowed() {
+        let mut cap = fresh();
+        let available = cap.available();
+        cap.withdraw(available).unwrap();
+        assert!(cap.available().joules() < 1e-9);
+        assert!((cap.voltage().volts() - 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_discharge_decays() {
+        let mut cap = fresh();
+        cap.deposit(cap.capacity()); // fill up
+        let v0 = cap.voltage();
+        cap.self_discharge(Duration::from_hours(24.0));
+        assert!(cap.voltage() < v0);
+        // τ = 5 MΩ · 47 mF = 235 000 s ≈ 65 h: a day loses ~30 %.
+        let expected = v0.volts() * f64::exp(-24.0 * 3600.0 / 235_000.0);
+        assert!((cap.voltage().volts() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_discharge_never_goes_below_floor() {
+        let mut cap = fresh();
+        cap.self_discharge(Duration::from_hours(10_000.0));
+        assert!(cap.voltage().volts() >= 1.8 - 1e-12);
+    }
+
+    #[test]
+    fn soc_bounds() {
+        let mut cap = fresh();
+        cap.deposit(Energy::from_joules(100.0));
+        assert!(cap.state_of_charge() <= 1.0);
+        cap.withdraw(cap.available()).unwrap();
+        assert!(cap.state_of_charge() >= 0.0);
+    }
+
+    #[test]
+    fn capacity_matches_half_cv2_window() {
+        let cap = fresh();
+        // ½·47 mF·(3.6² − 1.8²) = ½·0.047·9.72 = 228.42 mJ.
+        assert!(cap
+            .capacity()
+            .approx_eq(Energy::from_millis(228.42), 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage window must satisfy")]
+    fn rejects_inverted_window() {
+        let _ = Supercap::new(
+            Capacitance::from_millifarads(10.0),
+            Voltage::from_volts(3.0),
+            Voltage::from_volts(2.0),
+            Resistance::from_megaohms(1.0),
+            Voltage::from_volts(2.5),
+        );
+    }
+
+    #[test]
+    fn initial_voltage_clamped() {
+        let cap = Supercap::new(
+            Capacitance::from_millifarads(10.0),
+            Voltage::from_volts(1.0),
+            Voltage::from_volts(3.0),
+            Resistance::from_megaohms(1.0),
+            Voltage::from_volts(9.0),
+        );
+        assert_eq!(cap.voltage().volts(), 3.0);
+    }
+}

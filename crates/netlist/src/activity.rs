@@ -1,0 +1,403 @@
+//! Probabilistic switching-activity analysis and power estimation.
+
+use monityre_power::DynamicPowerModel;
+use monityre_units::{Capacitance, Energy, Frequency, Power, Voltage};
+
+use crate::netlist::Node;
+use crate::{GateKind, Netlist, NetlistError, Signal};
+
+/// Per-signal static probabilities and transition densities, plus the
+/// derived switched capacitance.
+///
+/// * **Static probability** `p(s)` — fraction of cycles signal `s` is 1.
+/// * **Transition density** `d(s)` — expected toggles per clock cycle
+///   (may exceed 1 inside reconvergent XOR logic: the zero-delay glitch
+///   estimate of Najm's model).
+///
+/// Registers cut the propagation: a flip-flop's output probability equals
+/// its data probability at the fixpoint, and its density is the
+/// independent-successive-values estimate `2·p·(1−p)`.
+///
+/// ```
+/// use monityre_netlist::{Activity, GateKind, Netlist};
+///
+/// let mut b = Netlist::builder();
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let y = b.gate(GateKind::And2, &[a, c]).unwrap();
+/// b.output(y);
+/// let n = b.build().unwrap();
+///
+/// let activity = Activity::uniform(&n, 0.5, 0.5).unwrap();
+/// assert!((activity.probability(y) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    probability: Vec<f64>,
+    density: Vec<f64>,
+    /// Effective switched capacitance per cycle (data + clock), farads.
+    switched_cap: f64,
+    /// Total gate capacitance (for the α·C export).
+    total_cap: f64,
+}
+
+/// Sequential fixpoint controls.
+const MAX_ITERATIONS: usize = 500;
+const EPSILON: f64 = 1e-12;
+
+impl Activity {
+    /// Analyses a netlist with every primary input at probability `p` and
+    /// density `d`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Activity::analyse`] errors.
+    pub fn uniform(netlist: &Netlist, p: f64, d: f64) -> Result<Self, NetlistError> {
+        let inputs = vec![(p, d); netlist.input_count()];
+        Self::analyse(netlist, &inputs)
+    }
+
+    /// Analyses a netlist with per-input `(probability, density)` pairs,
+    /// in input declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidInput`] when the input vector has
+    /// the wrong length, a probability is outside `[0, 1]`, or a density
+    /// is negative; [`NetlistError::NoConvergence`] if the sequential
+    /// fixpoint fails (practically unreachable for contracting updates).
+    pub fn analyse(netlist: &Netlist, inputs: &[(f64, f64)]) -> Result<Self, NetlistError> {
+        if inputs.len() != netlist.input_count() {
+            return Err(NetlistError::invalid_input(format!(
+                "expected {} input activities, got {}",
+                netlist.input_count(),
+                inputs.len()
+            )));
+        }
+        for &(p, d) in inputs {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(NetlistError::invalid_input(
+                    "input probabilities must lie in [0, 1]",
+                ));
+            }
+            if d < 0.0 || !d.is_finite() {
+                return Err(NetlistError::invalid_input(
+                    "input densities must be non-negative",
+                ));
+            }
+        }
+
+        let n = netlist.len();
+        let mut probability = vec![0.0f64; n];
+        let mut density = vec![0.0f64; n];
+
+        // Prime the inputs.
+        for ((signal, _), &(p, d)) in netlist.inputs().zip(inputs) {
+            probability[signal.0] = p;
+            density[signal.0] = d;
+        }
+
+        // Sequential fixpoint: register outputs start at p = 0.5 and are
+        // refined until stable.
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            if matches!(node, Node::Dff { .. }) {
+                probability[i] = 0.5;
+                density[i] = 0.5;
+            }
+        }
+
+        let mut converged = false;
+        for _ in 0..MAX_ITERATIONS {
+            // Combinational propagation in construction (topological)
+            // order.
+            for (i, node) in netlist.nodes().iter().enumerate() {
+                if let Node::Gate { kind, inputs } = node {
+                    let p_in: Vec<f64> = inputs.iter().map(|s| probability[s.0]).collect();
+                    probability[i] = kind.output_probability(&p_in).clamp(0.0, 1.0);
+                    let mut d_out = 0.0;
+                    for (slot, s) in inputs.iter().enumerate() {
+                        d_out += kind.boolean_difference(&p_in, slot) * density[s.0];
+                    }
+                    density[i] = d_out;
+                }
+            }
+            // Register update; track the largest movement.
+            let mut delta = 0.0f64;
+            for (i, node) in netlist.nodes().iter().enumerate() {
+                if let Node::Dff { driver } = node {
+                    let d_sig = driver.expect("built netlists have drivers");
+                    let new_p = probability[d_sig.0];
+                    let new_d = 2.0 * new_p * (1.0 - new_p);
+                    delta = delta
+                        .max((new_p - probability[i]).abs())
+                        .max((new_d - density[i]).abs());
+                    probability[i] = new_p;
+                    density[i] = new_d;
+                }
+            }
+            if delta < EPSILON {
+                converged = true;
+                break;
+            }
+        }
+        if !converged && netlist.register_count() > 0 {
+            return Err(NetlistError::NoConvergence {
+                iterations: MAX_ITERATIONS,
+            });
+        }
+
+        // Effective switched capacitance: ½·C_load·d per signal (a toggle
+        // charges or discharges the node once) plus the clock pin
+        // capacitance of every register charged twice per cycle.
+        let load = netlist.load_capacitance();
+        let mut switched = 0.0f64;
+        let mut total = 0.0f64;
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            switched += 0.5 * load[i] * density[i];
+            total += load[i];
+            if matches!(node, Node::Dff { .. }) {
+                switched += GateKind::Dff.clock_capacitance();
+                total += GateKind::Dff.clock_capacitance();
+            }
+        }
+
+        Ok(Self {
+            probability,
+            density,
+            switched_cap: switched,
+            total_cap: total,
+        })
+    }
+
+    /// Static probability of a signal.
+    #[must_use]
+    pub fn probability(&self, signal: Signal) -> f64 {
+        self.probability[signal.0]
+    }
+
+    /// Transition density of a signal (toggles per cycle).
+    #[must_use]
+    pub fn density(&self, signal: Signal) -> f64 {
+        self.density[signal.0]
+    }
+
+    /// Effective switched capacitance per clock cycle.
+    #[must_use]
+    pub fn switched_capacitance(&self) -> Capacitance {
+        Capacitance::from_farads(self.switched_cap)
+    }
+
+    /// Total node + clock capacitance (the `C` of the α·C split).
+    #[must_use]
+    pub fn total_capacitance(&self) -> Capacitance {
+        Capacitance::from_farads(self.total_cap)
+    }
+
+    /// Effective activity factor: switched / total capacitance.
+    #[must_use]
+    pub fn activity_factor(&self) -> f64 {
+        if self.total_cap <= 0.0 {
+            0.0
+        } else {
+            (self.switched_cap / self.total_cap).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Dynamic energy per clock cycle at the given supply:
+    /// `E = C_switched · V²`.
+    #[must_use]
+    pub fn energy_per_cycle(&self, vdd: Voltage) -> Energy {
+        Energy::from_joules(self.switched_cap * vdd.volts() * vdd.volts())
+    }
+
+    /// Average dynamic power at the given supply and clock.
+    #[must_use]
+    pub fn average_power(&self, vdd: Voltage, clock: Frequency) -> Power {
+        Power::from_watts(self.energy_per_cycle(vdd).joules() * clock.hertz())
+    }
+
+    /// Exports the characterization as a [`DynamicPowerModel`] for the
+    /// power database, preserving the product `α·C = C_switched` exactly
+    /// (glitch-heavy logic can switch more than its total capacitance per
+    /// cycle, in which case `α` saturates at 1 and `C` carries the rest).
+    #[must_use]
+    pub fn to_dynamic_model(&self, clock: Frequency) -> DynamicPowerModel {
+        let alpha = self.activity_factor();
+        let capacitance = if alpha > 0.0 {
+            Capacitance::from_farads(self.switched_cap / alpha)
+        } else {
+            self.total_capacitance()
+        };
+        DynamicPowerModel::new(alpha, capacitance, clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs;
+
+    fn and_pair() -> (Netlist, Signal) {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::And2, &[a, c]).unwrap();
+        b.output(y);
+        (b.build().unwrap(), y)
+    }
+
+    #[test]
+    fn and_probability_and_density() {
+        let (n, y) = and_pair();
+        let act = Activity::uniform(&n, 0.5, 0.5).unwrap();
+        assert!((act.probability(y) - 0.25).abs() < 1e-12);
+        // D(y) = p(b)·D(a) + p(a)·D(b) = 0.5·0.5 + 0.5·0.5 = 0.5.
+        assert!((act.density(y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_inputs_produce_no_activity() {
+        let (n, y) = and_pair();
+        let act = Activity::analyse(&n, &[(1.0, 0.0), (1.0, 0.0)]).unwrap();
+        assert!((act.probability(y) - 1.0).abs() < 1e-12);
+        assert_eq!(act.density(y), 0.0);
+        assert_eq!(act.switched_capacitance(), Capacitance::ZERO);
+    }
+
+    #[test]
+    fn register_density_is_two_p_one_minus_p() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let q = b.dff(a).unwrap();
+        b.output(q);
+        let n = b.build().unwrap();
+        let act = Activity::analyse(&n, &[(0.3, 0.9)]).unwrap();
+        assert!((act.probability(q) - 0.3).abs() < 1e-9);
+        assert!((act.density(q) - 2.0 * 0.3 * 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toggle_flop_fixpoint() {
+        // q' = !q: probability converges to 0.5, density to 0.5 under the
+        // independence estimate.
+        let mut b = Netlist::builder();
+        let (q, handle) = b.dff_forward();
+        let nq = b.gate(GateKind::Inv, &[q]).unwrap();
+        b.drive_dff(handle, nq).unwrap();
+        b.output(q);
+        let n = b.build().unwrap();
+        let act = Activity::analyse(&n, &[]).unwrap();
+        assert!((act.probability(q) - 0.5).abs() < 1e-9);
+        assert!((act.density(q) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_cross_checks_against_simulation() {
+        // Monte Carlo cross-check on a ripple adder under random stimulus:
+        // static probabilities must match tightly; analytic densities use
+        // the zero-delay *glitch* model (Najm), so they upper-bound the
+        // once-per-cycle toggle rate a synchronous simulation sees.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let n = designs::ripple_carry_adder(4);
+        let act = Activity::uniform(&n, 0.5, 0.5).unwrap();
+
+        // Deterministic pseudo-random input stream.
+        let hash_bit = |cycle: u64, lane: u64| {
+            let mut h = DefaultHasher::new();
+            (cycle, lane, 0x5eed_u64).hash(&mut h);
+            h.finish() & 1 == 1
+        };
+        let cycles = 30_000u64;
+        let mut state = Vec::new();
+        let mut last: Option<Vec<bool>> = None;
+        let mut toggles = vec![0u64; n.outputs().len()];
+        let mut ones = vec![0u64; n.outputs().len()];
+        for cycle in 0..cycles {
+            let ins: Vec<bool> = (0..n.input_count() as u64)
+                .map(|lane| hash_bit(cycle, lane))
+                .collect();
+            let outs = n.simulate(&ins, &mut state);
+            for (i, &bit) in outs.iter().enumerate() {
+                ones[i] += u64::from(bit);
+            }
+            if let Some(prev) = &last {
+                for (i, (a, b)) in prev.iter().zip(&outs).enumerate() {
+                    if a != b {
+                        toggles[i] += 1;
+                    }
+                }
+            }
+            last = Some(outs);
+        }
+        for (i, &out_sig) in n.outputs().iter().enumerate() {
+            let p_measured = ones[i] as f64 / cycles as f64;
+            let p_analytic = act.probability(out_sig);
+            // Sum bits reconverge mildly; the carry chain reconverges
+            // heavily, where the independence assumption is known to bias
+            // the estimate (up to ≈ 0.1 on a 4-bit carry-out).
+            assert!(
+                (p_measured - p_analytic).abs() < 0.12,
+                "output {i}: p measured {p_measured:.3} vs analytic {p_analytic:.3}"
+            );
+            let d_measured = toggles[i] as f64 / (cycles - 1) as f64;
+            let d_analytic = act.density(out_sig);
+            assert!(
+                d_analytic >= d_measured - 0.05,
+                "output {i}: analytic density {d_analytic:.3} must bound measured {d_measured:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn activity_factor_bounded_and_monotone_in_input_density() {
+        let n = designs::ripple_carry_adder(8);
+        let quiet = Activity::uniform(&n, 0.5, 0.1).unwrap();
+        let busy = Activity::uniform(&n, 0.5, 0.9).unwrap();
+        assert!(quiet.activity_factor() >= 0.0 && quiet.activity_factor() <= 1.0);
+        assert!(busy.switched_capacitance() > quiet.switched_capacitance());
+        assert!(busy.activity_factor() > quiet.activity_factor());
+    }
+
+    #[test]
+    fn power_scales_with_clock_and_vdd_squared() {
+        let n = designs::parity_tree(16);
+        let act = Activity::uniform(&n, 0.5, 0.5).unwrap();
+        let p1 = act.average_power(Voltage::from_volts(1.2), Frequency::from_megahertz(8.0));
+        let p2 = act.average_power(Voltage::from_volts(1.2), Frequency::from_megahertz(16.0));
+        let p3 = act.average_power(Voltage::from_volts(0.6), Frequency::from_megahertz(8.0));
+        assert!(p2.approx_eq(p1 * 2.0, 1e-9));
+        assert!(p3.approx_eq(p1 * 0.25, 1e-9));
+    }
+
+    #[test]
+    fn exported_model_reproduces_power() {
+        let n = designs::ripple_carry_adder(8);
+        let act = Activity::uniform(&n, 0.5, 0.5).unwrap();
+        let clock = Frequency::from_megahertz(8.0);
+        let model = act.to_dynamic_model(clock);
+        let direct = act.average_power(Voltage::from_volts(1.2), clock);
+        let via_model = model.power(1.0, &monityre_power::WorkingConditions::reference());
+        assert!(via_model.approx_eq(direct, 1e-9), "{via_model} vs {direct}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (n, _) = and_pair();
+        assert!(Activity::analyse(&n, &[(0.5, 0.5)]).is_err()); // wrong len
+        assert!(Activity::analyse(&n, &[(1.5, 0.5), (0.5, 0.5)]).is_err());
+        assert!(Activity::analyse(&n, &[(0.5, -0.1), (0.5, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn probabilities_stay_bounded_in_deep_logic() {
+        let n = designs::parity_tree(64);
+        let act = Activity::uniform(&n, 0.3, 0.7).unwrap();
+        for i in 0..n.len() {
+            let p = act.probability(Signal(i));
+            assert!((0.0..=1.0).contains(&p), "signal {i}: p = {p}");
+            assert!(act.density(Signal(i)) >= 0.0);
+        }
+    }
+}

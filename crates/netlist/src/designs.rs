@@ -1,0 +1,248 @@
+//! Reference datapaths used by tests, benches and characterization.
+
+use crate::{GateKind, Netlist, NetlistError, Signal};
+
+/// Builds one full adder; returns `(sum, carry_out)`.
+fn full_adder(
+    b: &mut crate::NetlistBuilder,
+    a: Signal,
+    x: Signal,
+    cin: Signal,
+) -> Result<(Signal, Signal), NetlistError> {
+    let axb = b.gate(GateKind::Xor2, &[a, x])?;
+    let sum = b.gate(GateKind::Xor2, &[axb, cin])?;
+    let and1 = b.gate(GateKind::And2, &[a, x])?;
+    let and2 = b.gate(GateKind::And2, &[axb, cin])?;
+    let cout = b.gate(GateKind::Or2, &[and1, and2])?;
+    Ok((sum, cout))
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// the `n` sum bits then the carry-out.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ripple_carry_adder(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = Netlist::builder();
+    let a_bits: Vec<Signal> = (0..n).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_bits: Vec<Signal> = (0..n).map(|i| b.input(&format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let (sum, cout) =
+            full_adder(&mut b, a_bits[i], b_bits[i], carry).expect("valid construction");
+        sums.push(sum);
+        carry = cout;
+    }
+    for s in sums {
+        b.output(s);
+    }
+    b.output(carry);
+    b.build().expect("adder is structurally valid")
+}
+
+/// An `n`-input XOR parity tree (the densest toggler in the library).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn parity_tree(n: usize) -> Netlist {
+    assert!(n >= 2, "parity needs at least two inputs");
+    let mut b = Netlist::builder();
+    let mut level: Vec<Signal> = (0..n).map(|i| b.input(&format!("x{i}"))).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(
+                    b.gate(GateKind::Xor2, &[pair[0], pair[1]])
+                        .expect("valid construction"),
+                );
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    b.output(level[0]);
+    b.build().expect("parity tree is structurally valid")
+}
+
+/// An `n`-bit accumulator: a registered adder with sequential feedback —
+/// `acc' = acc + in` (carry-out discarded). The DSP-like workload used to
+/// characterize the computing block.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn accumulator(n: usize) -> Netlist {
+    assert!(n > 0, "accumulator width must be positive");
+    let mut b = Netlist::builder();
+    let in_bits: Vec<Signal> = (0..n).map(|i| b.input(&format!("in{i}"))).collect();
+    // Forward-declare the state register.
+    let state: Vec<(Signal, crate::GateId)> = (0..n).map(|_| b.dff_forward()).collect();
+
+    // acc + in with a constant-0 carry-in (tie low via x ^ x = 0).
+    let zero = {
+        let x = in_bits[0];
+        b.gate(GateKind::Xor2, &[x, x]).expect("valid")
+    };
+    let mut carry = zero;
+    let mut next = Vec::with_capacity(n);
+    for i in 0..n {
+        let (sum, cout) =
+            full_adder(&mut b, state[i].0, in_bits[i], carry).expect("valid construction");
+        next.push(sum);
+        carry = cout;
+    }
+    for (i, (q, _)) in state.iter().enumerate() {
+        b.output(*q);
+        let _ = i;
+    }
+    for ((_, handle), d) in state.into_iter().zip(next) {
+        b.drive_dff(handle, d).expect("handles are fresh");
+    }
+    b.build().expect("accumulator is structurally valid")
+}
+
+/// An `n`-stage shift register (the cheapest sequential workload).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn shift_register(n: usize) -> Netlist {
+    assert!(n > 0, "shift register needs at least one stage");
+    let mut b = Netlist::builder();
+    let mut data = b.input("d");
+    for _ in 0..n {
+        data = b.dff(data).expect("valid construction");
+    }
+    b.output(data);
+    b.build().expect("shift register is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_adds() {
+        let n = 4;
+        let adder = ripple_carry_adder(n);
+        let mut state = Vec::new();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut inputs = Vec::new();
+                for i in 0..n {
+                    inputs.push(a >> i & 1 == 1);
+                }
+                for i in 0..n {
+                    inputs.push(b >> i & 1 == 1);
+                }
+                inputs.push(false); // cin
+                let out = adder.simulate(&inputs, &mut state);
+                let mut value = 0u32;
+                for (i, bit) in out.iter().enumerate() {
+                    if *bit {
+                        value |= 1 << i;
+                    }
+                }
+                assert_eq!(value, a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_structure() {
+        let adder = ripple_carry_adder(8);
+        assert_eq!(adder.input_count(), 17);
+        assert_eq!(adder.outputs().len(), 9);
+        // 5 gates per full adder.
+        assert_eq!(adder.gate_count(), 40);
+        assert_eq!(adder.register_count(), 0);
+    }
+
+    #[test]
+    fn parity_is_parity() {
+        let tree = parity_tree(8);
+        let mut state = Vec::new();
+        for x in 0..256u32 {
+            let bits: Vec<bool> = (0..8).map(|i| x >> i & 1 == 1).collect();
+            let out = tree.simulate(&bits, &mut state);
+            assert_eq!(out[0], x.count_ones() % 2 == 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn parity_handles_odd_widths() {
+        let tree = parity_tree(5);
+        let mut state = Vec::new();
+        let out = tree.simulate(&[true, true, true, false, false], &mut state);
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn accumulator_accumulates() {
+        let n = 8;
+        let acc = accumulator(n);
+        let mut state = vec![false; n];
+        let encode = |v: u32| -> Vec<bool> { (0..n).map(|i| v >> i & 1 == 1).collect() };
+        let decode = |bits: &[bool]| -> u32 {
+            bits.iter()
+                .enumerate()
+                .map(|(i, &b)| u32::from(b) << i)
+                .sum()
+        };
+        // Outputs show the *current* state; feed 5 three times.
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let out = acc.simulate(&encode(5), &mut state);
+            seen.push(decode(&out));
+        }
+        assert_eq!(seen, vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn accumulator_wraps_modulo_width() {
+        let n = 4;
+        let acc = accumulator(n);
+        let mut state = vec![false; n];
+        let encode = |v: u32| -> Vec<bool> { (0..n).map(|i| v >> i & 1 == 1).collect() };
+        let mut last = 0u32;
+        for _ in 0..5 {
+            let out = acc.simulate(&encode(9), &mut state);
+            last = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| u32::from(b) << i)
+                .sum();
+        }
+        // 4 × 9 mod 16 = 36 mod 16 = 4.
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        let sr = shift_register(3);
+        let mut state = vec![false; 3];
+        let stream = [true, false, true, true, false, false, false];
+        let mut outs = Vec::new();
+        for &bit in &stream {
+            outs.push(sr.simulate(&[bit], &mut state)[0]);
+        }
+        // Output is the input delayed by 3 cycles.
+        assert_eq!(&outs[3..], &stream[..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adder width must be positive")]
+    fn zero_width_adder_panics() {
+        let _ = ripple_carry_adder(0);
+    }
+}

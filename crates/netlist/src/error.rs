@@ -1,0 +1,71 @@
+//! Error type for netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or analysing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate referenced a signal that does not exist (yet).
+    UnknownSignal {
+        /// The dangling reference (as a raw index).
+        index: usize,
+    },
+    /// The combinational part of the netlist contains a cycle; feedback
+    /// must pass through a register.
+    CombinationalCycle,
+    /// An analysis input was invalid.
+    InvalidInput {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The sequential fixpoint did not converge.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl NetlistError {
+    pub(crate) fn unknown_signal(index: usize) -> Self {
+        Self::UnknownSignal { index }
+    }
+
+    pub(crate) fn invalid_input(reason: impl Into<String>) -> Self {
+        Self::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownSignal { index } => write!(f, "unknown signal index {index}"),
+            Self::CombinationalCycle => {
+                write!(f, "combinational cycle: feedback must pass through a register")
+            }
+            Self::InvalidInput { reason } => write!(f, "invalid analysis input: {reason}"),
+            Self::NoConvergence { iterations } => {
+                write!(f, "sequential fixpoint did not converge in {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(NetlistError::unknown_signal(42).to_string().contains("42"));
+        assert!(NetlistError::CombinationalCycle
+            .to_string()
+            .contains("register"));
+        assert!(NetlistError::invalid_input("bad p").to_string().contains("bad p"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Gate library: logic functions, probability algebra, capacitances.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The combinational gate classes of the library, plus the D-flip-flop.
+///
+/// Capacitance figures are femto-farad-class values representative of a
+/// 130 nm standard-cell library (input gate cap + output/internal cap per
+/// cell); they only need to be self-consistent for the methodology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum GateKind {
+    /// Buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// D-flip-flop (1 data input; clocked by the implicit global clock).
+    Dff,
+}
+
+impl GateKind {
+    /// All gate kinds.
+    pub const ALL: [Self; 9] = [
+        Self::Buf,
+        Self::Inv,
+        Self::And2,
+        Self::Nand2,
+        Self::Or2,
+        Self::Nor2,
+        Self::Xor2,
+        Self::Xnor2,
+        Self::Dff,
+    ];
+
+    /// Number of data inputs.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            Self::Buf | Self::Inv | Self::Dff => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the gate is a register (cuts combinational paths).
+    #[must_use]
+    pub fn is_register(self) -> bool {
+        matches!(self, Self::Dff)
+    }
+
+    /// Evaluates the gate's logic function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "{self} arity mismatch");
+        match self {
+            Self::Buf | Self::Dff => inputs[0],
+            Self::Inv => !inputs[0],
+            Self::And2 => inputs[0] && inputs[1],
+            Self::Nand2 => !(inputs[0] && inputs[1]),
+            Self::Or2 => inputs[0] || inputs[1],
+            Self::Nor2 => !(inputs[0] || inputs[1]),
+            Self::Xor2 => inputs[0] ^ inputs[1],
+            Self::Xnor2 => !(inputs[0] ^ inputs[1]),
+        }
+    }
+
+    /// Output signal probability given independent input probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != self.arity()`.
+    #[must_use]
+    pub fn output_probability(self, p: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.arity(), "{self} arity mismatch");
+        match self {
+            Self::Buf | Self::Dff => p[0],
+            Self::Inv => 1.0 - p[0],
+            Self::And2 => p[0] * p[1],
+            Self::Nand2 => 1.0 - p[0] * p[1],
+            Self::Or2 => p[0] + p[1] - p[0] * p[1],
+            Self::Nor2 => 1.0 - (p[0] + p[1] - p[0] * p[1]),
+            Self::Xor2 => p[0] + p[1] - 2.0 * p[0] * p[1],
+            Self::Xnor2 => 1.0 - (p[0] + p[1] - 2.0 * p[0] * p[1]),
+        }
+    }
+
+    /// Probability that the gate's output depends on input `index` — the
+    /// boolean difference `P(∂f/∂x_i = 1)` under independence, the weight
+    /// of Najm's transition-density propagation:
+    ///
+    /// ```text
+    /// D(y) = Σ_i P(∂f/∂x_i) · D(x_i)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != self.arity()` or `index` is out of range.
+    #[must_use]
+    pub fn boolean_difference(self, p: &[f64], index: usize) -> f64 {
+        assert_eq!(p.len(), self.arity(), "{self} arity mismatch");
+        assert!(index < self.arity(), "{self} input index {index}");
+        let other = if self.arity() == 2 { p[1 - index] } else { 0.0 };
+        match self {
+            // Single-input gates always propagate a toggle.
+            Self::Buf | Self::Inv | Self::Dff => 1.0,
+            // AND/NAND: output follows x_i when the other input is 1.
+            Self::And2 | Self::Nand2 => other,
+            // OR/NOR: output follows x_i when the other input is 0.
+            Self::Or2 | Self::Nor2 => 1.0 - other,
+            // XOR/XNOR: every input toggle propagates.
+            Self::Xor2 | Self::Xnor2 => 1.0,
+        }
+    }
+
+    /// Input capacitance per pin, in farads.
+    #[must_use]
+    pub fn input_capacitance(self) -> f64 {
+        match self {
+            Self::Buf | Self::Inv => 1.8e-15,
+            Self::And2 | Self::Nand2 | Self::Or2 | Self::Nor2 => 2.1e-15,
+            Self::Xor2 | Self::Xnor2 => 3.4e-15,
+            Self::Dff => 2.6e-15,
+        }
+    }
+
+    /// Output + internal switched capacitance per output toggle, in
+    /// farads.
+    #[must_use]
+    pub fn output_capacitance(self) -> f64 {
+        match self {
+            Self::Buf => 2.6e-15,
+            Self::Inv => 2.2e-15,
+            Self::And2 | Self::Nand2 => 3.0e-15,
+            Self::Or2 | Self::Nor2 => 3.1e-15,
+            Self::Xor2 | Self::Xnor2 => 4.8e-15,
+            Self::Dff => 7.5e-15,
+        }
+    }
+
+    /// Per-cycle internal (clock-tree) switched capacitance — non-zero
+    /// only for registers, charged every clock edge regardless of data.
+    #[must_use]
+    pub fn clock_capacitance(self) -> f64 {
+        if self.is_register() {
+            2.9e-15
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Buf => "buf",
+            Self::Inv => "inv",
+            Self::And2 => "and2",
+            Self::Nand2 => "nand2",
+            Self::Or2 => "or2",
+            Self::Nor2 => "nor2",
+            Self::Xor2 => "xor2",
+            Self::Xnor2 => "xnor2",
+            Self::Dff => "dff",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks `output_probability` against the truth table
+    /// with point-mass input probabilities.
+    #[test]
+    fn probability_matches_truth_table_at_corners() {
+        for kind in GateKind::ALL {
+            let n = kind.arity();
+            for assignment in 0..(1u32 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| assignment >> i & 1 == 1).collect();
+                let probs: Vec<f64> = bits.iter().map(|&b| f64::from(u8::from(b))).collect();
+                let expected = f64::from(u8::from(kind.eval(&bits)));
+                let got = kind.output_probability(&probs);
+                assert!(
+                    (got - expected).abs() < 1e-12,
+                    "{kind} at {bits:?}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    /// Probabilities stay in [0, 1] on a grid of input probabilities.
+    #[test]
+    fn probability_bounded() {
+        let grid = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+        for kind in GateKind::ALL {
+            for &a in &grid {
+                if kind.arity() == 1 {
+                    let p = kind.output_probability(&[a]);
+                    assert!((0.0..=1.0).contains(&p), "{kind}({a}) = {p}");
+                } else {
+                    for &b in &grid {
+                        let p = kind.output_probability(&[a, b]);
+                        assert!((0.0..=1.0).contains(&p), "{kind}({a},{b}) = {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_probability() {
+        assert!((GateKind::And2.output_probability(&[0.5, 0.5]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_gate_probability() {
+        assert!((GateKind::Xor2.output_probability(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        // XOR with one input at p=0.5 is 0.5 regardless of the other.
+        assert!((GateKind::Xor2.output_probability(&[0.5, 0.9]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_difference_semantics() {
+        // AND: a toggle on input 0 shows at the output iff input 1 is 1.
+        assert!((GateKind::And2.boolean_difference(&[0.3, 0.8], 0) - 0.8).abs() < 1e-12);
+        // OR: iff input 1 is 0.
+        assert!((GateKind::Or2.boolean_difference(&[0.3, 0.8], 0) - 0.2).abs() < 1e-12);
+        // XOR: always.
+        assert!((GateKind::Xor2.boolean_difference(&[0.3, 0.8], 0) - 1.0).abs() < 1e-12);
+        // Inverter: always.
+        assert!((GateKind::Inv.boolean_difference(&[0.4], 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_gates_mirror_probability() {
+        let p = [0.37, 0.81];
+        assert!(
+            (GateKind::And2.output_probability(&p) + GateKind::Nand2.output_probability(&p) - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (GateKind::Or2.output_probability(&p) + GateKind::Nor2.output_probability(&p) - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (GateKind::Xor2.output_probability(&p) + GateKind::Xnor2.output_probability(&p) - 1.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn complementary_gates_share_boolean_difference() {
+        let p = [0.37, 0.81];
+        for i in 0..2 {
+            assert_eq!(
+                GateKind::And2.boolean_difference(&p, i),
+                GateKind::Nand2.boolean_difference(&p, i)
+            );
+            assert_eq!(
+                GateKind::Or2.boolean_difference(&p, i),
+                GateKind::Nor2.boolean_difference(&p, i)
+            );
+        }
+    }
+
+    #[test]
+    fn only_dff_is_a_register_with_clock_cap() {
+        for kind in GateKind::ALL {
+            assert_eq!(kind.is_register(), kind == GateKind::Dff);
+            assert_eq!(kind.clock_capacitance() > 0.0, kind == GateKind::Dff);
+        }
+    }
+
+    #[test]
+    fn capacitances_positive() {
+        for kind in GateKind::ALL {
+            assert!(kind.input_capacitance() > 0.0);
+            assert!(kind.output_capacitance() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_rejects_wrong_arity() {
+        let _ = GateKind::And2.eval(&[true]);
+    }
+}

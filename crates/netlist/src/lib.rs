@@ -1,0 +1,53 @@
+//! Gate-level switching-activity and power estimation.
+//!
+//! The paper's flow begins with per-block power estimation: "once the
+//! architecture is defined, every block must be simulated in a realistic
+//! manner for validating its behavior and accurately estimating its power
+//! dissipation" (§II). For the digital blocks this crate provides that
+//! estimator from scratch:
+//!
+//! * a **gate-level netlist** representation ([`Netlist`]) — primary
+//!   inputs, combinational gates, D-flip-flops — with structural
+//!   validation (combinational cycles rejected; feedback must pass
+//!   through a register);
+//! * **probabilistic switching-activity analysis** ([`Activity`]): static
+//!   signal probabilities and transition densities propagated through the
+//!   logic under the spatial-independence assumption, using the boolean
+//!   difference formulation (Najm's transition-density model); sequential
+//!   loops converge by fixpoint iteration;
+//! * a **capacitance model** per gate class, yielding total switched
+//!   capacitance, energy per clock cycle and average power — and an
+//!   export to [`monityre_power::DynamicPowerModel`] so a characterized
+//!   netlist drops straight into the power database;
+//! * **reference datapaths** ([`designs`]): the ripple-carry adder,
+//!   parity tree and MAC-like structures used by the tests, benches and
+//!   the characterization example.
+//!
+//! # Example
+//!
+//! ```
+//! use monityre_netlist::{designs, Activity};
+//! use monityre_units::{Frequency, Voltage};
+//!
+//! let adder = designs::ripple_carry_adder(8);
+//! let activity = Activity::uniform(&adder, 0.5, 0.5).unwrap();
+//! let power = activity.average_power(
+//!     Voltage::from_volts(1.2),
+//!     Frequency::from_megahertz(8.0),
+//! );
+//! assert!(power.microwatts() > 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+pub mod designs;
+mod error;
+mod gate;
+mod netlist;
+
+pub use activity::Activity;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use netlist::{GateId, Netlist, NetlistBuilder, Signal};

@@ -1,0 +1,493 @@
+//! Netlist representation and structural construction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{GateKind, NetlistError};
+
+/// A handle to one signal (a primary input's net or a gate's output net).
+///
+/// Handles are only meaningful for the netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(pub(crate) usize);
+
+/// A handle to a forward-declared D-flip-flop awaiting its data driver.
+#[derive(Debug, PartialEq, Eq)]
+pub struct GateId(pub(crate) usize);
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
+    /// A primary input.
+    Input { name: String },
+    /// A combinational gate.
+    Gate { kind: GateKind, inputs: Vec<Signal> },
+    /// A D-flip-flop; `driver` is its data input (set at declaration or
+    /// connected later for feedback loops).
+    Dff { driver: Option<Signal> },
+}
+
+/// A gate-level synchronous netlist.
+///
+/// Built through [`NetlistBuilder`], which makes combinational cycles
+/// unrepresentable: a gate can only reference signals that already exist,
+/// and the only forward references allowed are flip-flop outputs — so
+/// every feedback path passes through a register, as in any synthesizable
+/// synchronous design.
+///
+/// ```
+/// use monityre_netlist::{GateKind, Netlist};
+///
+/// let mut b = Netlist::builder();
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let y = b.gate(GateKind::Xor2, &[a, c]).unwrap();
+/// b.output(y);
+/// let netlist = b.build().unwrap();
+/// assert_eq!(netlist.gate_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    outputs: Vec<Signal>,
+    input_order: Vec<usize>,
+}
+
+impl Netlist {
+    /// Starts building a netlist.
+    #[must_use]
+    pub fn builder() -> NetlistBuilder {
+        NetlistBuilder {
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            pending_dffs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of signals (inputs + gate outputs).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> impl Iterator<Item = (Signal, &str)> {
+        self.input_order.iter().map(|&i| {
+            let Node::Input { name } = &self.nodes[i] else {
+                unreachable!("input_order only indexes inputs")
+            };
+            (Signal(i), name.as_str())
+        })
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_order.len()
+    }
+
+    /// The declared outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Number of gates (combinational + registers).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !matches!(n, Node::Input { .. }))
+            .count()
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Dff { .. }))
+            .count()
+    }
+
+    /// Gate census by kind.
+    #[must_use]
+    pub fn census(&self) -> BTreeMap<GateKind, usize> {
+        let mut census = BTreeMap::new();
+        for node in &self.nodes {
+            match node {
+                Node::Gate { kind, .. } => *census.entry(*kind).or_insert(0) += 1,
+                Node::Dff { .. } => *census.entry(GateKind::Dff).or_insert(0) += 1,
+                Node::Input { .. } => {}
+            }
+        }
+        census
+    }
+
+    /// Load capacitance seen by each signal: the driver's output cap plus
+    /// every consumer pin's input cap. Indexed by signal.
+    #[must_use]
+    pub(crate) fn load_capacitance(&self) -> Vec<f64> {
+        let mut load = vec![0.0f64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input { .. } => {}
+                Node::Gate { kind, inputs } => {
+                    load[i] += kind.output_capacitance();
+                    for s in inputs {
+                        load[s.0] += kind.input_capacitance();
+                    }
+                }
+                Node::Dff { driver } => {
+                    load[i] += GateKind::Dff.output_capacitance();
+                    if let Some(d) = driver {
+                        load[d.0] += GateKind::Dff.input_capacitance();
+                    }
+                }
+            }
+        }
+        load
+    }
+
+    /// Simulates one clock cycle: evaluates the combinational logic for
+    /// the given input assignment and current register state, returns the
+    /// output values, and advances `state` to the next register state.
+    ///
+    /// `state` must have [`Netlist::register_count`] entries (register
+    /// order = declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `state` have the wrong length.
+    pub fn simulate(&self, inputs: &[bool], state: &mut [bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.input_count(), "input width mismatch");
+        assert_eq!(state.len(), self.register_count(), "state width mismatch");
+        let mut values = vec![false; self.nodes.len()];
+        let mut reg_index = 0usize;
+        let mut reg_nodes = Vec::new();
+        // Pass 1: inputs and register outputs (current state) are known.
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input { .. } => {}
+                Node::Dff { .. } => {
+                    values[i] = state[reg_index];
+                    reg_nodes.push(i);
+                    reg_index += 1;
+                }
+                Node::Gate { .. } => {}
+            }
+        }
+        for (slot, &i) in self.input_order.iter().enumerate() {
+            values[i] = inputs[slot];
+        }
+        // Pass 2: combinational gates in index order (topological by
+        // construction).
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Gate { kind, inputs } = node {
+                let ins: Vec<bool> = inputs.iter().map(|s| values[s.0]).collect();
+                values[i] = kind.eval(&ins);
+            }
+        }
+        // Pass 3: clock edge — capture next state.
+        for (slot, &i) in reg_nodes.iter().enumerate() {
+            let Node::Dff { driver } = &self.nodes[i] else {
+                unreachable!("reg_nodes only indexes DFFs")
+            };
+            let d = driver.expect("build() guarantees drivers");
+            state[slot] = values[d.0];
+        }
+        self.outputs.iter().map(|s| values[s.0]).collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} gates ({} registers), {} outputs",
+            self.input_count(),
+            self.gate_count(),
+            self.register_count(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// Builder for [`Netlist`].
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    nodes: Vec<Node>,
+    outputs: Vec<Signal>,
+    pending_dffs: Vec<usize>,
+}
+
+impl NetlistBuilder {
+    /// Declares a primary input.
+    #[must_use]
+    pub fn input(&mut self, name: &str) -> Signal {
+        let id = self.nodes.len();
+        self.nodes.push(Node::Input {
+            name: name.to_owned(),
+        });
+        Signal(id)
+    }
+
+    /// Adds a combinational gate over already-existing signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidInput`] when the arity does not
+    /// match or a register kind is passed (use [`NetlistBuilder::dff`]),
+    /// or [`NetlistError::UnknownSignal`] for a foreign handle.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[Signal]) -> Result<Signal, NetlistError> {
+        if kind.is_register() {
+            return Err(NetlistError::invalid_input(
+                "use dff()/dff_forward() for registers",
+            ));
+        }
+        if inputs.len() != kind.arity() {
+            return Err(NetlistError::invalid_input(format!(
+                "{kind} takes {} inputs, got {}",
+                kind.arity(),
+                inputs.len()
+            )));
+        }
+        for s in inputs {
+            if s.0 >= self.nodes.len() {
+                return Err(NetlistError::unknown_signal(s.0));
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::Gate {
+            kind,
+            inputs: inputs.to_vec(),
+        });
+        Ok(Signal(id))
+    }
+
+    /// Adds a D-flip-flop clocked by the global clock, driven by `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] for a foreign handle.
+    pub fn dff(&mut self, d: Signal) -> Result<Signal, NetlistError> {
+        if d.0 >= self.nodes.len() {
+            return Err(NetlistError::unknown_signal(d.0));
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::Dff { driver: Some(d) });
+        Ok(Signal(id))
+    }
+
+    /// Forward-declares a D-flip-flop whose output is needed before its
+    /// data driver exists (sequential feedback, e.g. an accumulator).
+    /// Connect it later with [`NetlistBuilder::drive_dff`].
+    #[must_use]
+    pub fn dff_forward(&mut self) -> (Signal, GateId) {
+        let id = self.nodes.len();
+        self.nodes.push(Node::Dff { driver: None });
+        self.pending_dffs.push(id);
+        (Signal(id), GateId(id))
+    }
+
+    /// Connects a forward-declared flip-flop's data input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] for a foreign handle or
+    /// [`NetlistError::InvalidInput`] when the register is already driven.
+    pub fn drive_dff(&mut self, dff: GateId, d: Signal) -> Result<(), NetlistError> {
+        if d.0 >= self.nodes.len() {
+            return Err(NetlistError::unknown_signal(d.0));
+        }
+        match self.nodes.get_mut(dff.0) {
+            Some(Node::Dff { driver: driver @ None }) => {
+                *driver = Some(d);
+                self.pending_dffs.retain(|&i| i != dff.0);
+                Ok(())
+            }
+            Some(Node::Dff { .. }) => Err(NetlistError::invalid_input(
+                "register is already driven",
+            )),
+            _ => Err(NetlistError::unknown_signal(dff.0)),
+        }
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn output(&mut self, signal: Signal) {
+        self.outputs.push(signal);
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidInput`] when a forward-declared
+    /// register is still undriven, or [`NetlistError::UnknownSignal`] for
+    /// an out-of-range output handle.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if !self.pending_dffs.is_empty() {
+            return Err(NetlistError::invalid_input(format!(
+                "{} forward-declared register(s) left undriven",
+                self.pending_dffs.len()
+            )));
+        }
+        for s in &self.outputs {
+            if s.0 >= self.nodes.len() {
+                return Err(NetlistError::unknown_signal(s.0));
+            }
+        }
+        let input_order = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Input { .. }).then_some(i))
+            .collect();
+        Ok(Netlist {
+            nodes: self.nodes,
+            outputs: self.outputs,
+            input_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_pair() -> Netlist {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.gate(GateKind::Xor2, &[a, c]).unwrap();
+        b.output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_counts() {
+        let n = xor_pair();
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.register_count(), 0);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.census()[&GateKind::Xor2], 1);
+    }
+
+    #[test]
+    fn simulate_combinational_truth_table() {
+        let n = xor_pair();
+        let mut state = Vec::new();
+        assert_eq!(n.simulate(&[false, false], &mut state), vec![false]);
+        assert_eq!(n.simulate(&[true, false], &mut state), vec![true]);
+        assert_eq!(n.simulate(&[false, true], &mut state), vec![true]);
+        assert_eq!(n.simulate(&[true, true], &mut state), vec![false]);
+    }
+
+    #[test]
+    fn toggle_flop_via_feedback() {
+        // q' = !q: the classic divide-by-two.
+        let mut b = Netlist::builder();
+        let (q, handle) = b.dff_forward();
+        let nq = b.gate(GateKind::Inv, &[q]).unwrap();
+        b.drive_dff(handle, nq).unwrap();
+        b.output(q);
+        let n = b.build().unwrap();
+
+        let mut state = vec![false];
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(n.simulate(&[], &mut state)[0]);
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn pipeline_delays_by_one_cycle() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let q = b.dff(a).unwrap();
+        b.output(q);
+        let n = b.build().unwrap();
+        let mut state = vec![false];
+        assert_eq!(n.simulate(&[true], &mut state), vec![false]);
+        assert_eq!(n.simulate(&[false], &mut state), vec![true]);
+        assert_eq!(n.simulate(&[false], &mut state), vec![false]);
+    }
+
+    #[test]
+    fn undriven_forward_dff_rejected() {
+        let mut b = Netlist::builder();
+        let (_q, _handle) = b.dff_forward();
+        assert!(matches!(
+            b.build(),
+            Err(NetlistError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn double_drive_rejected() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let (_q, handle) = b.dff_forward();
+        b.drive_dff(GateId(handle.0), a).unwrap();
+        assert!(b.drive_dff(GateId(handle.0), a).is_err());
+    }
+
+    #[test]
+    fn register_kind_rejected_as_gate() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        assert!(b.gate(GateKind::Dff, &[a]).is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        assert!(b.gate(GateKind::And2, &[a]).is_err());
+        assert!(b.gate(GateKind::Inv, &[a, a]).is_err());
+    }
+
+    #[test]
+    fn foreign_signal_rejected() {
+        let mut b = Netlist::builder();
+        let bogus = Signal(99);
+        assert!(matches!(
+            b.gate(GateKind::Inv, &[bogus]),
+            Err(NetlistError::UnknownSignal { index: 99 })
+        ));
+        assert!(b.dff(bogus).is_err());
+    }
+
+    #[test]
+    fn load_capacitance_accounts_fanout() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let x = b.gate(GateKind::Inv, &[a]).unwrap();
+        let _y1 = b.gate(GateKind::Buf, &[x]).unwrap();
+        let _y2 = b.gate(GateKind::Buf, &[x]).unwrap();
+        let n = b.build().unwrap();
+        let load = n.load_capacitance();
+        // x drives two buffers: its load = inv output cap + 2 × buf input.
+        let expected = GateKind::Inv.output_capacitance() + 2.0 * GateKind::Buf.input_capacitance();
+        assert!((load[x.0] - expected).abs() < 1e-21);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let n = xor_pair();
+        let s = n.to_string();
+        assert!(s.contains("2 inputs"));
+        assert!(s.contains("1 gates"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests: random netlists keep the analysis invariants.
+
+use monityre_netlist::{Activity, GateKind, Netlist, Signal};
+use monityre_units::{Frequency, Voltage};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG of gates over `n_inputs` primary inputs, with a
+/// sprinkling of registers. Returns the netlist and all signals.
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (
+        2usize..6,
+        proptest::collection::vec((0usize..8, 0usize..1024, 0usize..1024), 1..40),
+    )
+        .prop_map(|(n_inputs, gate_specs)| {
+            let mut b = Netlist::builder();
+            let mut signals: Vec<Signal> =
+                (0..n_inputs).map(|i| b.input(&format!("i{i}"))).collect();
+            for (kind_idx, a, c) in gate_specs {
+                let kind = [
+                    GateKind::Buf,
+                    GateKind::Inv,
+                    GateKind::And2,
+                    GateKind::Nand2,
+                    GateKind::Or2,
+                    GateKind::Nor2,
+                    GateKind::Xor2,
+                    GateKind::Xnor2,
+                ][kind_idx];
+                let x = signals[a % signals.len()];
+                let y = signals[c % signals.len()];
+                let out = if kind.arity() == 1 {
+                    b.gate(kind, &[x]).expect("valid")
+                } else {
+                    b.gate(kind, &[x, y]).expect("valid")
+                };
+                signals.push(out);
+                // Register every fourth gate output.
+                if signals.len().is_multiple_of(4) {
+                    signals.push(b.dff(out).expect("valid"));
+                }
+            }
+            let last = *signals.last().expect("non-empty");
+            b.output(last);
+            b.build().expect("construction is structurally valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Probabilities stay in [0, 1] and densities non-negative for any
+    /// netlist and any input activity.
+    #[test]
+    fn analysis_invariants(netlist in arb_netlist(), p in 0.0f64..=1.0, d in 0.0f64..=1.0) {
+        let act = Activity::uniform(&netlist, p, d).unwrap();
+        for i in 0..netlist.len() {
+            // Signal handles are crate-internal; probe through outputs and
+            // the public surface instead of indices where possible.
+            let _ = i;
+        }
+        for &out in netlist.outputs() {
+            let prob = act.probability(out);
+            prop_assert!((0.0..=1.0).contains(&prob), "p = {prob}");
+            prop_assert!(act.density(out) >= 0.0);
+        }
+        prop_assert!(act.switched_capacitance().farads() >= 0.0);
+        prop_assert!(act.activity_factor() >= 0.0 && act.activity_factor() <= 1.0);
+    }
+
+    /// With static inputs, only the registers' clock pins switch: the
+    /// switched capacitance collapses to exactly the clock-tree residue.
+    #[test]
+    fn static_inputs_leave_only_clock_load(netlist in arb_netlist(), p in prop_oneof![Just(0.0), Just(1.0)]) {
+        let act = Activity::uniform(&netlist, p, 0.0).unwrap();
+        let clock_only =
+            netlist.register_count() as f64 * GateKind::Dff.clock_capacitance();
+        prop_assert!(
+            (act.switched_capacitance().farads() - clock_only).abs() < 1e-21,
+            "{} vs clock-only {clock_only}",
+            act.switched_capacitance()
+        );
+    }
+
+    /// Switched capacitance is monotone in the input density.
+    #[test]
+    fn switching_monotone_in_density(netlist in arb_netlist(), p in 0.1f64..=0.9) {
+        let quiet = Activity::uniform(&netlist, p, 0.2).unwrap();
+        let busy = Activity::uniform(&netlist, p, 0.8).unwrap();
+        prop_assert!(busy.switched_capacitance() >= quiet.switched_capacitance());
+    }
+
+    /// The exported dynamic model reproduces the direct power figure at
+    /// reference conditions.
+    #[test]
+    fn export_reproduces_power(netlist in arb_netlist(), d in 0.1f64..=1.0) {
+        let act = Activity::uniform(&netlist, 0.5, d).unwrap();
+        let clock = Frequency::from_megahertz(8.0);
+        let direct = act.average_power(Voltage::from_volts(1.2), clock);
+        let model = act.to_dynamic_model(clock);
+        let via = model.power(1.0, &monityre_power::WorkingConditions::reference());
+        prop_assert!(via.approx_eq(direct, 1e-9), "{via} vs {direct}");
+    }
+
+    /// Simulation never panics and respects output width for random
+    /// stimulus.
+    #[test]
+    fn simulation_total(netlist in arb_netlist(), seed in 0u64..1000) {
+        let mut state = vec![false; netlist.register_count()];
+        let mut x = seed;
+        for _ in 0..16 {
+            let ins: Vec<bool> = (0..netlist.input_count())
+                .map(|i| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (x >> (i % 60)) & 1 == 1
+                })
+                .collect();
+            let outs = netlist.simulate(&ins, &mut state);
+            prop_assert_eq!(outs.len(), netlist.outputs().len());
+        }
+    }
+}

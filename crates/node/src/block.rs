@@ -1,0 +1,110 @@
+//! Canonical functional blocks of the Sensor Node.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The functional blocks of the in-tyre Sensor Node.
+///
+/// The set follows §I of the paper (acquisition, computing, wireless
+/// communication) plus the memory and always-on power-management blocks any
+/// real implementation carries.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum BlockKind {
+    /// Analog sensing front-end (accelerometer/pressure signal chain).
+    AnalogFrontEnd,
+    /// Analog-to-digital converter.
+    Adc,
+    /// Data computing system (DSP/MCU core).
+    Dsp,
+    /// Working memory (SRAM with retention).
+    Sram,
+    /// Wireless transmitter (the 2.4 GHz / UHF uplink to the junction box).
+    Radio,
+    /// Always-on power management: wake-up timer, POR, rail control.
+    PowerManagement,
+}
+
+impl BlockKind {
+    /// All blocks in canonical order.
+    pub const ALL: [Self; 6] = [
+        Self::AnalogFrontEnd,
+        Self::Adc,
+        Self::Dsp,
+        Self::Sram,
+        Self::Radio,
+        Self::PowerManagement,
+    ];
+
+    /// The canonical database name of this block.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::AnalogFrontEnd => "afe",
+            Self::Adc => "adc",
+            Self::Dsp => "dsp",
+            Self::Sram => "sram",
+            Self::Radio => "radio",
+            Self::PowerManagement => "pm",
+        }
+    }
+
+    /// Parses the canonical name produced by [`BlockKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Whether this block belongs to the always-on power domain (it can
+    /// never be power-gated, it is what wakes everything else up).
+    #[must_use]
+    pub fn is_always_on(self) -> bool {
+        matches!(self, Self::PowerManagement)
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in BlockKind::ALL {
+            assert_eq!(BlockKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BlockKind::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = BlockKind::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BlockKind::ALL.len());
+    }
+
+    #[test]
+    fn only_pm_is_always_on() {
+        let always_on: Vec<_> = BlockKind::ALL
+            .into_iter()
+            .filter(|b| b.is_always_on())
+            .collect();
+        assert_eq!(always_on, vec![BlockKind::PowerManagement]);
+    }
+
+    #[test]
+    fn covers_the_papers_minimum_architecture() {
+        // §I: acquisition, computing, wireless communication.
+        assert!(BlockKind::ALL.contains(&BlockKind::Adc));
+        assert!(BlockKind::ALL.contains(&BlockKind::Dsp));
+        assert!(BlockKind::ALL.contains(&BlockKind::Radio));
+    }
+}

@@ -1,0 +1,319 @@
+//! Node configuration: the user-tunable knobs of the architecture.
+//!
+//! §II-A: "The user can even evaluate custom architectures of the chip in
+//! order to strike a balance between energy requirement and system
+//! performance." [`NodeConfig`] captures those knobs; [`ConfigSpace`]
+//! enumerates a grid of them for the architecture-exploration experiment.
+
+use monityre_units::{Duration, Frequency};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Sensor Node.
+///
+/// ```
+/// use monityre_node::NodeConfig;
+///
+/// let config = NodeConfig::reference().with_samples_per_round(256);
+/// assert_eq!(config.samples_per_round(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    samples_per_round: u32,
+    tx_period_rounds: u32,
+    payload_bytes: u32,
+    dsp_clock: Frequency,
+    acquisition_fraction: f64,
+    compute_time: Duration,
+    tx_burst: Duration,
+}
+
+impl NodeConfig {
+    /// The reference configuration, calibrated so the reference
+    /// architecture's break-even sits in the low tens of km/h:
+    /// 128 samples in a 12 % contact-patch window, a 32-byte packet every
+    /// 4th round, 8 MHz DSP running a 5 ms feature-extraction kernel,
+    /// 0.8 ms TX burst.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            samples_per_round: 128,
+            tx_period_rounds: 4,
+            payload_bytes: 32,
+            dsp_clock: Frequency::from_megahertz(8.0),
+            acquisition_fraction: 0.12,
+            compute_time: Duration::from_millis(5.0),
+            tx_burst: Duration::from_micros(800.0),
+        }
+    }
+
+    /// Samples acquired per wheel round.
+    #[must_use]
+    pub fn samples_per_round(&self) -> u32 {
+        self.samples_per_round
+    }
+
+    /// Rounds between transmissions.
+    #[must_use]
+    pub fn tx_period_rounds(&self) -> u32 {
+        self.tx_period_rounds
+    }
+
+    /// Packet payload in bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u32 {
+        self.payload_bytes
+    }
+
+    /// DSP clock frequency.
+    #[must_use]
+    pub fn dsp_clock(&self) -> Frequency {
+        self.dsp_clock
+    }
+
+    /// Fraction of the round the acquisition chain is awake.
+    #[must_use]
+    pub fn acquisition_fraction(&self) -> f64 {
+        self.acquisition_fraction
+    }
+
+    /// Fixed DSP compute window per round at the reference clock; the
+    /// effective window scales inversely with the configured clock.
+    #[must_use]
+    pub fn compute_time(&self) -> Duration {
+        // Work is a fixed cycle count: halving the clock doubles the time.
+        let ratio = Frequency::from_megahertz(8.0) / self.dsp_clock;
+        self.compute_time * ratio
+    }
+
+    /// TX burst duration.
+    #[must_use]
+    pub fn tx_burst(&self) -> Duration {
+        self.tx_burst
+    }
+
+    /// Returns a copy with a different sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[must_use]
+    pub fn with_samples_per_round(mut self, samples: u32) -> Self {
+        assert!(samples > 0, "samples per round must be positive");
+        self.samples_per_round = samples;
+        self
+    }
+
+    /// Returns a copy with a different TX period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    #[must_use]
+    pub fn with_tx_period_rounds(mut self, rounds: u32) -> Self {
+        assert!(rounds > 0, "tx period must be at least one round");
+        self.tx_period_rounds = rounds;
+        self
+    }
+
+    /// Returns a copy with a different payload size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    #[must_use]
+    pub fn with_payload_bytes(mut self, bytes: u32) -> Self {
+        assert!(bytes > 0, "payload must be at least one byte");
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different DSP clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is non-positive.
+    #[must_use]
+    pub fn with_dsp_clock(mut self, clock: Frequency) -> Self {
+        assert!(
+            clock.hertz() > 0.0 && clock.is_finite(),
+            "dsp clock must be positive"
+        );
+        self.dsp_clock = clock;
+        self
+    }
+
+    /// Returns a copy with a different acquisition window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_acquisition_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction > 0.0 && fraction <= 1.0,
+            "acquisition fraction must lie in (0, 1], got {fraction}"
+        );
+        self.acquisition_fraction = fraction;
+        self
+    }
+
+    /// A throughput figure for the performance axis of the exploration:
+    /// samples delivered per round (after decimation, everything acquired
+    /// is processed).
+    #[must_use]
+    pub fn samples_throughput(&self) -> f64 {
+        f64::from(self.samples_per_round)
+    }
+
+    /// Telemetry rate: payload bytes per round, amortized over the TX
+    /// period.
+    #[must_use]
+    pub fn bytes_per_round(&self) -> f64 {
+        f64::from(self.payload_bytes) / f64::from(self.tx_period_rounds)
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// A grid of configurations for architecture exploration.
+///
+/// ```
+/// use monityre_node::ConfigSpace;
+///
+/// let space = ConfigSpace::reference_grid();
+/// assert!(space.iter().count() > 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    samples: Vec<u32>,
+    tx_periods: Vec<u32>,
+    payloads: Vec<u32>,
+}
+
+impl ConfigSpace {
+    /// Builds a grid over sample counts, TX periods and payload sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty or contains zero.
+    #[must_use]
+    pub fn new(samples: Vec<u32>, tx_periods: Vec<u32>, payloads: Vec<u32>) -> Self {
+        assert!(
+            !samples.is_empty() && !tx_periods.is_empty() && !payloads.is_empty(),
+            "config space axes must be non-empty"
+        );
+        assert!(
+            samples.iter().all(|&s| s > 0)
+                && tx_periods.iter().all(|&t| t > 0)
+                && payloads.iter().all(|&p| p > 0),
+            "config space values must be positive"
+        );
+        Self {
+            samples,
+            tx_periods,
+            payloads,
+        }
+    }
+
+    /// The grid used by the EXP-ARCH experiment: samples 32–512, TX period
+    /// 1–16 rounds, payloads 16/32/64 bytes.
+    #[must_use]
+    pub fn reference_grid() -> Self {
+        Self::new(
+            vec![32, 64, 128, 256, 512],
+            vec![1, 2, 4, 8, 16],
+            vec![16, 32, 64],
+        )
+    }
+
+    /// Iterates over every configuration in the grid (reference values for
+    /// the non-swept knobs).
+    pub fn iter(&self) -> impl Iterator<Item = NodeConfig> + '_ {
+        self.samples.iter().flat_map(move |&s| {
+            self.tx_periods.iter().flat_map(move |&t| {
+                self.payloads.iter().map(move |&p| {
+                    NodeConfig::reference()
+                        .with_samples_per_round(s)
+                        .with_tx_period_rounds(t)
+                        .with_payload_bytes(p)
+                })
+            })
+        })
+    }
+
+    /// The number of configurations in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len() * self.tx_periods.len() * self.payloads.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed space).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        let c = NodeConfig::reference();
+        assert_eq!(c.samples_per_round(), 128);
+        assert_eq!(c.tx_period_rounds(), 4);
+        assert_eq!(c.payload_bytes(), 32);
+        assert!((c.bytes_per_round() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_methods_are_pure() {
+        let base = NodeConfig::reference();
+        let more = base.with_samples_per_round(512);
+        assert_eq!(base.samples_per_round(), 128);
+        assert_eq!(more.samples_per_round(), 512);
+    }
+
+    #[test]
+    fn compute_time_scales_with_clock() {
+        let base = NodeConfig::reference();
+        let slow = base.with_dsp_clock(Frequency::from_megahertz(4.0));
+        assert!(slow.compute_time().approx_eq(base.compute_time() * 2.0, 1e-12));
+    }
+
+    #[test]
+    fn grid_size_and_contents() {
+        let space = ConfigSpace::reference_grid();
+        assert_eq!(space.len(), 5 * 5 * 3);
+        assert_eq!(space.iter().count(), space.len());
+        // Every config preserves the non-swept reference knobs.
+        assert!(space
+            .iter()
+            .all(|c| (c.acquisition_fraction() - 0.12).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "samples per round must be positive")]
+    fn rejects_zero_samples() {
+        let _ = NodeConfig::reference().with_samples_per_round(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "config space values must be positive")]
+    fn space_rejects_zero_entries() {
+        let _ = ConfigSpace::new(vec![0], vec![1], vec![1]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = NodeConfig::reference();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: NodeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for architecture construction.
+
+use std::error::Error;
+use std::fmt;
+
+use monityre_power::PowerError;
+
+/// Errors raised while assembling a Sensor Node architecture.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NodeError {
+    /// A round schedule was malformed.
+    InvalidSchedule {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A block plan referenced a name missing from the power database, or
+    /// vice versa.
+    UnknownBlock {
+        /// The offending block name.
+        name: String,
+    },
+    /// An underlying power-database operation failed.
+    Power(PowerError),
+}
+
+impl NodeError {
+    pub(crate) fn invalid_schedule(reason: &str) -> Self {
+        Self::InvalidSchedule {
+            reason: reason.to_owned(),
+        }
+    }
+
+    pub(crate) fn unknown_block(name: &str) -> Self {
+        Self::UnknownBlock {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSchedule { reason } => write!(f, "invalid round schedule: {reason}"),
+            Self::UnknownBlock { name } => write!(f, "block `{name}` has no matching entry"),
+            Self::Power(e) => write!(f, "power database error: {e}"),
+        }
+    }
+}
+
+impl Error for NodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PowerError> for NodeError {
+    fn from(e: PowerError) -> Self {
+        Self::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_reason() {
+        let err = NodeError::invalid_schedule("overlap");
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn wraps_power_error_with_source() {
+        let err: NodeError = PowerError::UnknownBlock {
+            name: "x".to_owned(),
+        }
+        .into();
+        assert!(Error::source(&err).is_some());
+    }
+}

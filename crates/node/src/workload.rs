@@ -1,0 +1,137 @@
+//! Per-round event workloads.
+
+use std::collections::BTreeMap;
+
+use monityre_power::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// The number of energy-charged events a block performs per wheel round.
+///
+/// Counts are `f64` so that work recurring every N rounds (a 32-byte
+/// packet every 4th round) can be amortized as a fractional per-round
+/// count (8 bytes/round) for the steady-state evaluation, while the
+/// transient emulator uses the integral counts on the rounds where the
+/// work actually happens.
+///
+/// ```
+/// use monityre_node::Workload;
+/// use monityre_power::EventKind;
+///
+/// let w = Workload::new()
+///     .with(EventKind::Sample, 128.0)
+///     .with(EventKind::WakeUp, 1.0);
+/// assert_eq!(w.count(EventKind::Sample), 128.0);
+/// assert_eq!(w.count(EventKind::ByteTransmitted), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    counts: BTreeMap<EventKind, f64>,
+}
+
+impl Workload {
+    /// An empty workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a per-round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is negative or non-finite.
+    #[must_use]
+    pub fn with(mut self, kind: EventKind, count: f64) -> Self {
+        assert!(
+            count.is_finite() && count >= 0.0,
+            "event count must be finite and non-negative, got {count}"
+        );
+        self.counts.insert(kind, count);
+        self
+    }
+
+    /// The per-round count for `kind` (zero when unset).
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> f64 {
+        self.counts.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over the non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (EventKind, f64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether no events are charged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Returns a copy with every count scaled by `factor` (configuration
+    /// sweeps: double the samples, halve the payload…).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "workload scale factor must be finite and non-negative, got {factor}"
+        );
+        Self {
+            counts: self.counts.iter().map(|(&k, &v)| (k, v * factor)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_kind_counts_zero() {
+        let w = Workload::new();
+        assert_eq!(w.count(EventKind::Sample), 0.0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn with_replaces() {
+        let w = Workload::new()
+            .with(EventKind::Sample, 64.0)
+            .with(EventKind::Sample, 128.0);
+        assert_eq!(w.count(EventKind::Sample), 128.0);
+    }
+
+    #[test]
+    fn fractional_amortized_counts_allowed() {
+        let w = Workload::new().with(EventKind::ByteTransmitted, 8.5);
+        assert_eq!(w.count(EventKind::ByteTransmitted), 8.5);
+    }
+
+    #[test]
+    fn scaled_multiplies_all() {
+        let w = Workload::new()
+            .with(EventKind::Sample, 100.0)
+            .with(EventKind::MemoryWrite, 10.0)
+            .scaled(0.5);
+        assert_eq!(w.count(EventKind::Sample), 50.0);
+        assert_eq!(w.count(EventKind::MemoryWrite), 5.0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_entries() {
+        let w = Workload::new()
+            .with(EventKind::WakeUp, 1.0)
+            .with(EventKind::Sample, 2.0);
+        let kinds: Vec<_> = w.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec![EventKind::Sample, EventKind::WakeUp]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event count must be finite")]
+    fn rejects_negative_count() {
+        let _ = Workload::new().with(EventKind::Sample, -1.0);
+    }
+}

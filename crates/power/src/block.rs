@@ -1,0 +1,418 @@
+//! The power model of one functional block.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use monityre_units::Energy;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    DynamicPowerModel, EventCost, EventKind, LeakageModel, OperatingMode, PowerBreakdown,
+    PowerGrid, WorkingConditions,
+};
+
+/// Per-mode overrides of a block's activity scale and leakage fraction.
+///
+/// Defaults come from [`OperatingMode::default_activity`] and
+/// [`OperatingMode::default_leakage_fraction`]; a block only carries
+/// explicit policies for modes where it deviates (e.g. an SRAM whose
+/// retention mode keeps 8 % of leakage instead of 4 %).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModePolicy {
+    /// Multiplier on the baseline dynamic activity in this mode.
+    pub activity_scale: f64,
+    /// Fraction of full-rail leakage drawn in this mode, in `[0, 1]`.
+    pub leakage_fraction: f64,
+}
+
+impl ModePolicy {
+    /// Builds a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity_scale` is negative/non-finite or
+    /// `leakage_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(activity_scale: f64, leakage_fraction: f64) -> Self {
+        assert!(
+            activity_scale.is_finite() && activity_scale >= 0.0,
+            "activity scale must be finite and non-negative, got {activity_scale}"
+        );
+        assert!(
+            leakage_fraction.is_finite() && (0.0..=1.0).contains(&leakage_fraction),
+            "leakage fraction must lie in [0, 1], got {leakage_fraction}"
+        );
+        Self {
+            activity_scale,
+            leakage_fraction,
+        }
+    }
+
+    /// The default policy for `mode`.
+    #[must_use]
+    pub fn default_for(mode: OperatingMode) -> Self {
+        Self::new(mode.default_activity(), mode.default_leakage_fraction())
+    }
+}
+
+/// The complete power model of one functional block of the Sensor Node.
+///
+/// Combines a digital α·C·V²·f model, an optional analog characterization
+/// grid, a leakage model, per-mode policies and per-event costs. This is
+/// one *row group* of the paper's spreadsheet database.
+///
+/// ```
+/// use monityre_power::{BlockPowerModel, DynamicPowerModel, LeakageModel,
+///                      OperatingMode, WorkingConditions};
+/// use monityre_units::{Capacitance, Frequency, Power};
+///
+/// let sram = BlockPowerModel::builder("sram")
+///     .dynamic(DynamicPowerModel::new(
+///         0.1, Capacitance::from_picofarads(60.0), Frequency::from_megahertz(8.0)))
+///     .leakage(LeakageModel::with_reference(Power::from_microwatts(3.0)))
+///     .build();
+///
+/// let cond = WorkingConditions::reference();
+/// let sleeping = sram.power(OperatingMode::Sleep, &cond);
+/// assert_eq!(sleeping.dynamic, Power::ZERO);   // clock stopped
+/// assert!(sleeping.leakage > Power::ZERO);     // rail still up
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockPowerModel {
+    name: String,
+    dynamic: DynamicPowerModel,
+    leakage: LeakageModel,
+    analog: Option<PowerGrid>,
+    mode_policies: BTreeMap<OperatingMode, ModePolicy>,
+    event_costs: BTreeMap<EventKind, EventCost>,
+}
+
+impl BlockPowerModel {
+    /// Starts building a block model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    #[must_use]
+    pub fn builder(name: &str) -> BlockPowerModelBuilder {
+        assert!(!name.is_empty(), "block name must not be empty");
+        BlockPowerModelBuilder {
+            inner: Self {
+                name: name.to_owned(),
+                dynamic: DynamicPowerModel::none(),
+                leakage: LeakageModel::none(),
+                analog: None,
+                mode_policies: BTreeMap::new(),
+                event_costs: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// The block's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The digital dynamic-power model.
+    #[must_use]
+    pub fn dynamic(&self) -> &DynamicPowerModel {
+        &self.dynamic
+    }
+
+    /// The leakage model.
+    #[must_use]
+    pub fn leakage(&self) -> &LeakageModel {
+        &self.leakage
+    }
+
+    /// The analog characterization grid, if any.
+    #[must_use]
+    pub fn analog(&self) -> Option<&PowerGrid> {
+        self.analog.as_ref()
+    }
+
+    /// The effective policy for `mode` (explicit override or the mode's
+    /// default).
+    #[must_use]
+    pub fn mode_policy(&self, mode: OperatingMode) -> ModePolicy {
+        self.mode_policies
+            .get(&mode)
+            .copied()
+            .unwrap_or_else(|| ModePolicy::default_for(mode))
+    }
+
+    /// Power drawn in `mode` under `cond`, split into dynamic and leakage.
+    #[must_use]
+    pub fn power(&self, mode: OperatingMode, cond: &WorkingConditions) -> PowerBreakdown {
+        let policy = self.mode_policy(mode);
+        let mut dynamic = self.dynamic.power(policy.activity_scale, cond);
+        if let Some(grid) = &self.analog {
+            let analog = grid.sample(cond.supply(), cond.temperature());
+            dynamic += analog * policy.activity_scale * cond.corner().dynamic_multiplier();
+        }
+        let leakage = self.leakage.power(cond) * policy.leakage_fraction;
+        PowerBreakdown::new(dynamic, leakage)
+    }
+
+    /// Energy charged per event of `kind` at `cond`; `None` when the block
+    /// does not charge for that event.
+    #[must_use]
+    pub fn event_energy(&self, kind: EventKind, cond: &WorkingConditions) -> Option<Energy> {
+        self.event_costs.get(&kind).map(|c| c.energy(cond))
+    }
+
+    /// The registered event costs.
+    pub fn event_costs(&self) -> impl Iterator<Item = &EventCost> {
+        self.event_costs.values()
+    }
+
+    /// Returns a copy with the dynamic model replaced (optimization hook).
+    #[must_use]
+    pub fn with_dynamic(&self, dynamic: DynamicPowerModel) -> Self {
+        Self {
+            dynamic,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the leakage model replaced (optimization hook).
+    #[must_use]
+    pub fn with_leakage(&self, leakage: LeakageModel) -> Self {
+        Self {
+            leakage,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a mode policy overridden (optimization hook —
+    /// e.g. power gating improves the `Sleep` policy).
+    #[must_use]
+    pub fn with_mode_policy(&self, mode: OperatingMode, policy: ModePolicy) -> Self {
+        let mut copy = self.clone();
+        copy.mode_policies.insert(mode, policy);
+        copy
+    }
+
+    /// Returns a copy with every event cost scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn with_event_costs_scaled(&self, factor: f64) -> Self {
+        let mut copy = self.clone();
+        for cost in copy.event_costs.values_mut() {
+            *cost = cost.scaled(factor);
+        }
+        copy
+    }
+}
+
+impl fmt::Display for BlockPowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.power(OperatingMode::Active, &WorkingConditions::reference());
+        write!(f, "{}: {} active @ reference", self.name, p.total())
+    }
+}
+
+/// Builder for [`BlockPowerModel`].
+#[derive(Debug, Clone)]
+pub struct BlockPowerModelBuilder {
+    inner: BlockPowerModel,
+}
+
+impl BlockPowerModelBuilder {
+    /// Sets the digital dynamic-power model.
+    #[must_use]
+    pub fn dynamic(mut self, dynamic: DynamicPowerModel) -> Self {
+        self.inner.dynamic = dynamic;
+        self
+    }
+
+    /// Sets the leakage model.
+    #[must_use]
+    pub fn leakage(mut self, leakage: LeakageModel) -> Self {
+        self.inner.leakage = leakage;
+        self
+    }
+
+    /// Attaches an analog characterization grid whose sampled power is added
+    /// to the dynamic component, scaled by the mode's activity.
+    #[must_use]
+    pub fn analog(mut self, grid: PowerGrid) -> Self {
+        self.inner.analog = Some(grid);
+        self
+    }
+
+    /// Overrides the policy for one mode.
+    #[must_use]
+    pub fn mode_policy(mut self, mode: OperatingMode, policy: ModePolicy) -> Self {
+        self.inner.mode_policies.insert(mode, policy);
+        self
+    }
+
+    /// Registers a per-event energy cost (replaces any previous cost of the
+    /// same kind).
+    #[must_use]
+    pub fn event_cost(mut self, cost: EventCost) -> Self {
+        self.inner.event_costs.insert(cost.kind(), cost);
+        self
+    }
+
+    /// Finalizes the block model.
+    #[must_use]
+    pub fn build(self) -> BlockPowerModel {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridAxis, ProcessCorner};
+    use monityre_units::{Capacitance, Frequency, Power, Temperature, Voltage};
+
+    fn digital_block() -> BlockPowerModel {
+        BlockPowerModel::builder("dsp")
+            .dynamic(DynamicPowerModel::new(
+                0.2,
+                Capacitance::from_picofarads(150.0),
+                Frequency::from_megahertz(8.0),
+            ))
+            .leakage(LeakageModel::with_reference(Power::from_microwatts(2.0)))
+            .event_cost(EventCost::new(EventKind::ComputeKernel, Energy::from_nanos(40.0)))
+            .build()
+    }
+
+    fn analog_block() -> BlockPowerModel {
+        let grid = PowerGrid::new(
+            GridAxis::new(vec![1.0, 1.2]).unwrap(),
+            GridAxis::new(vec![-40.0, 125.0]).unwrap(),
+            vec![
+                vec![Power::from_microwatts(50.0), Power::from_microwatts(50.0)],
+                vec![Power::from_microwatts(80.0), Power::from_microwatts(80.0)],
+            ],
+        )
+        .unwrap();
+        BlockPowerModel::builder("afe")
+            .analog(grid)
+            .leakage(LeakageModel::with_reference(Power::from_microwatts(0.5)))
+            .build()
+    }
+
+    #[test]
+    fn active_power_combines_components() {
+        let b = digital_block();
+        let p = b.power(OperatingMode::Active, &WorkingConditions::reference());
+        // dynamic: 0.2·150 pF·1.44·8 MHz = 345.6 µW; leakage 2 µW.
+        assert!(p.dynamic.approx_eq(Power::from_microwatts(345.6), 1e-9));
+        assert!(p.leakage.approx_eq(Power::from_microwatts(2.0), 1e-9));
+    }
+
+    #[test]
+    fn sleep_stops_clock_but_leaks() {
+        let b = digital_block();
+        let p = b.power(OperatingMode::Sleep, &WorkingConditions::reference());
+        assert_eq!(p.dynamic, Power::ZERO);
+        assert!(p.leakage.approx_eq(Power::from_microwatts(2.0), 1e-9));
+    }
+
+    #[test]
+    fn off_nearly_eliminates_leakage() {
+        let b = digital_block();
+        let p = b.power(OperatingMode::Off, &WorkingConditions::reference());
+        assert!(p.leakage < Power::from_microwatts(0.05));
+    }
+
+    #[test]
+    fn burst_exceeds_active() {
+        let b = digital_block();
+        let cond = WorkingConditions::reference();
+        assert!(b.power(OperatingMode::Burst, &cond).total() > b.power(OperatingMode::Active, &cond).total());
+    }
+
+    #[test]
+    fn analog_grid_feeds_dynamic_component() {
+        let b = analog_block();
+        let p = b.power(OperatingMode::Active, &WorkingConditions::reference());
+        assert!(p.dynamic.approx_eq(Power::from_microwatts(80.0), 1e-9));
+        // Analog power follows the activity scale in idle.
+        let idle = b.power(OperatingMode::Idle, &WorkingConditions::reference());
+        assert!(idle.dynamic.approx_eq(Power::from_microwatts(4.0), 1e-9));
+    }
+
+    #[test]
+    fn mode_policy_override_applies() {
+        let b = digital_block().with_mode_policy(
+            OperatingMode::Sleep,
+            ModePolicy::new(0.0, 0.1),
+        );
+        let p = b.power(OperatingMode::Sleep, &WorkingConditions::reference());
+        assert!(p.leakage.approx_eq(Power::from_microwatts(0.2), 1e-9));
+    }
+
+    #[test]
+    fn event_energy_lookup() {
+        let b = digital_block();
+        let cond = WorkingConditions::reference();
+        let e = b.event_energy(EventKind::ComputeKernel, &cond).unwrap();
+        assert!(e.approx_eq(Energy::from_nanos(40.0), 1e-12));
+        assert!(b.event_energy(EventKind::Sample, &cond).is_none());
+    }
+
+    #[test]
+    fn optimization_hooks_are_pure() {
+        let b = digital_block();
+        let optimized = b.with_leakage(b.leakage().scaled(0.3));
+        let cond = WorkingConditions::reference();
+        assert!(b.power(OperatingMode::Sleep, &cond).leakage
+            > optimized.power(OperatingMode::Sleep, &cond).leakage);
+    }
+
+    #[test]
+    fn event_cost_scaling() {
+        let b = digital_block().with_event_costs_scaled(0.5);
+        let e = b
+            .event_energy(EventKind::ComputeKernel, &WorkingConditions::reference())
+            .unwrap();
+        assert!(e.approx_eq(Energy::from_nanos(20.0), 1e-12));
+    }
+
+    #[test]
+    fn corner_and_temperature_shift_power() {
+        let b = digital_block();
+        let hot_ff = WorkingConditions::builder()
+            .temperature(Temperature::from_celsius(125.0))
+            .corner(ProcessCorner::FastFast)
+            .build();
+        let ref_p = b.power(OperatingMode::Active, &WorkingConditions::reference());
+        let hot_p = b.power(OperatingMode::Active, &hot_ff);
+        assert!(hot_p.leakage > ref_p.leakage * 100.0);
+        assert!(hot_p.dynamic > ref_p.dynamic);
+    }
+
+    #[test]
+    fn low_supply_reduces_everything() {
+        let b = digital_block();
+        let low = WorkingConditions::reference().with_supply(Voltage::from_volts(0.9));
+        let ref_p = b.power(OperatingMode::Active, &WorkingConditions::reference());
+        let low_p = b.power(OperatingMode::Active, &low);
+        assert!(low_p.dynamic < ref_p.dynamic);
+        assert!(low_p.leakage < ref_p.leakage);
+    }
+
+    #[test]
+    #[should_panic(expected = "block name must not be empty")]
+    fn rejects_empty_name() {
+        let _ = BlockPowerModel::builder("");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = digital_block();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BlockPowerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic/static breakdowns of power and energy figures.
+//!
+//! The paper's optimization step is driven by exactly this split: "if we
+//! consider a functional block with an high dynamic power and a low leakage
+//! power, we normally want to optimize this block for minimizing the
+//! dynamic power only. But if we consider also temporal information and the
+//! block results having a short duty cycle, it is worth to optimize not
+//! only the dynamic power but also the static one" (§II).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+use monityre_units::{Duration, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous or mode-average power split into dynamic and leakage
+/// components.
+///
+/// ```
+/// use monityre_power::PowerBreakdown;
+/// use monityre_units::Power;
+///
+/// let p = PowerBreakdown::new(Power::from_microwatts(90.0), Power::from_microwatts(10.0));
+/// assert!(p.total().approx_eq(Power::from_microwatts(100.0), 1e-12));
+/// assert!((p.dynamic_fraction() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Switching power component.
+    pub dynamic: Power,
+    /// Static (leakage) component.
+    pub leakage: Power,
+}
+
+impl PowerBreakdown {
+    /// Zero power.
+    pub const ZERO: Self = Self {
+        dynamic: Power::ZERO,
+        leakage: Power::ZERO,
+    };
+
+    /// Creates a breakdown.
+    #[must_use]
+    pub fn new(dynamic: Power, leakage: Power) -> Self {
+        Self { dynamic, leakage }
+    }
+
+    /// Total power.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.dynamic + self.leakage
+    }
+
+    /// The dynamic share of the total in `[0, 1]` (0 when total is zero).
+    #[must_use]
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.total().watts();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.dynamic.watts() / total
+        }
+    }
+
+    /// The leakage share of the total in `[0, 1]` (0 when total is zero).
+    #[must_use]
+    pub fn leakage_fraction(&self) -> f64 {
+        let total = self.total().watts();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.leakage.watts() / total
+        }
+    }
+
+    /// Integrates this power over `duration`, producing an energy breakdown.
+    #[must_use]
+    pub fn over(&self, duration: Duration) -> EnergyBreakdown {
+        EnergyBreakdown::new(self.dynamic * duration, self.leakage * duration)
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.dynamic + rhs.dynamic, self.leakage + rhs.leakage)
+    }
+}
+
+impl Sum for PowerBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (dyn {}, leak {})",
+            self.total(),
+            self.dynamic,
+            self.leakage
+        )
+    }
+}
+
+/// An energy figure split into dynamic and leakage contributions.
+///
+/// ```
+/// use monityre_power::EnergyBreakdown;
+/// use monityre_units::Energy;
+///
+/// let e = EnergyBreakdown::new(Energy::from_micros(2.0), Energy::from_micros(6.0));
+/// assert!(e.leakage_dominated());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Switching energy.
+    pub dynamic: Energy,
+    /// Leakage energy.
+    pub leakage: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Zero energy.
+    pub const ZERO: Self = Self {
+        dynamic: Energy::ZERO,
+        leakage: Energy::ZERO,
+    };
+
+    /// Creates a breakdown.
+    #[must_use]
+    pub fn new(dynamic: Energy, leakage: Energy) -> Self {
+        Self { dynamic, leakage }
+    }
+
+    /// Total energy.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.dynamic + self.leakage
+    }
+
+    /// The dynamic share of the total in `[0, 1]` (0 when total is zero).
+    #[must_use]
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.total().joules();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.dynamic.joules() / total
+        }
+    }
+
+    /// Whether leakage contributes more than half the total.
+    #[must_use]
+    pub fn leakage_dominated(&self) -> bool {
+        self.leakage > self.dynamic
+    }
+
+    /// Scales both components (workload multiplicity).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self::new(self.dynamic * factor, self.leakage * factor)
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.dynamic + rhs.dynamic, self.leakage + rhs.leakage)
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (dyn {}, leak {})",
+            self.total(),
+            self.dynamic,
+            self.leakage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = PowerBreakdown::new(Power::from_microwatts(30.0), Power::from_microwatts(70.0));
+        assert!((p.dynamic_fraction() + p.leakage_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_has_zero_fractions() {
+        assert_eq!(PowerBreakdown::ZERO.dynamic_fraction(), 0.0);
+        assert_eq!(PowerBreakdown::ZERO.leakage_fraction(), 0.0);
+        assert_eq!(EnergyBreakdown::ZERO.dynamic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn integration_preserves_split() {
+        let p = PowerBreakdown::new(Power::from_microwatts(40.0), Power::from_microwatts(10.0));
+        let e = p.over(Duration::from_millis(100.0));
+        assert!(e.dynamic.approx_eq(Energy::from_nanos(4000.0), 1e-12));
+        assert!(e.leakage.approx_eq(Energy::from_nanos(1000.0), 1e-12));
+        assert!((e.dynamic_fraction() - p.dynamic_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = PowerBreakdown::new(Power::from_microwatts(1.0), Power::from_microwatts(2.0));
+        let b = PowerBreakdown::new(Power::from_microwatts(3.0), Power::from_microwatts(4.0));
+        let c = a + b;
+        assert!(c.dynamic.approx_eq(Power::from_microwatts(4.0), 1e-12));
+        assert!(c.leakage.approx_eq(Power::from_microwatts(6.0), 1e-12));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            EnergyBreakdown::new(Energy::from_micros(1.0), Energy::from_micros(0.5)),
+            EnergyBreakdown::new(Energy::from_micros(2.0), Energy::from_micros(1.5)),
+        ];
+        let total: EnergyBreakdown = parts.into_iter().sum();
+        assert!(total.total().approx_eq(Energy::from_micros(5.0), 1e-12));
+    }
+
+    #[test]
+    fn leakage_domination() {
+        let e = EnergyBreakdown::new(Energy::from_micros(1.0), Energy::from_micros(1.1));
+        assert!(e.leakage_dominated());
+        let e2 = EnergyBreakdown::new(Energy::from_micros(2.0), Energy::from_micros(1.0));
+        assert!(!e2.leakage_dominated());
+    }
+
+    #[test]
+    fn scaled_multiplies_both() {
+        let e = EnergyBreakdown::new(Energy::from_micros(1.0), Energy::from_micros(2.0)).scaled(3.0);
+        assert!(e.dynamic.approx_eq(Energy::from_micros(3.0), 1e-12));
+        assert!(e.leakage.approx_eq(Energy::from_micros(6.0), 1e-12));
+    }
+
+    #[test]
+    fn display_contains_components() {
+        let p = PowerBreakdown::new(Power::from_microwatts(90.0), Power::from_microwatts(10.0));
+        let s = p.to_string();
+        assert!(s.contains("dyn"));
+        assert!(s.contains("leak"));
+    }
+}

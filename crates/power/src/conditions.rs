@@ -1,0 +1,214 @@
+//! Working conditions: supply voltage, temperature, process corner.
+
+use std::fmt;
+
+use monityre_units::{Temperature, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessCorner;
+
+/// The paper's *working conditions*: the (supply, temperature, corner)
+/// triple under which every power figure is evaluated.
+///
+/// ```
+/// use monityre_power::{WorkingConditions, ProcessCorner};
+/// use monityre_units::{Temperature, Voltage};
+///
+/// let cond = WorkingConditions::builder()
+///     .supply(Voltage::from_volts(1.1))
+///     .temperature(Temperature::from_celsius(85.0))
+///     .corner(ProcessCorner::FastFast)
+///     .build();
+/// assert_eq!(cond.corner(), ProcessCorner::FastFast);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkingConditions {
+    supply: Voltage,
+    temperature: Temperature,
+    corner: ProcessCorner,
+}
+
+/// Nominal supply of the reference 130 nm ULP process.
+const REFERENCE_SUPPLY: f64 = 1.2;
+
+impl WorkingConditions {
+    /// The characterization reference: 1.2 V, 27 °C, typical corner.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            supply: Voltage::from_volts(REFERENCE_SUPPLY),
+            temperature: Temperature::REFERENCE,
+            corner: ProcessCorner::Typical,
+        }
+    }
+
+    /// Starts building a set of working conditions from the reference.
+    #[must_use]
+    pub fn builder() -> WorkingConditionsBuilder {
+        WorkingConditionsBuilder {
+            inner: Self::reference(),
+        }
+    }
+
+    /// The supply voltage.
+    #[must_use]
+    pub fn supply(&self) -> Voltage {
+        self.supply
+    }
+
+    /// The junction/working temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Temperature {
+        self.temperature
+    }
+
+    /// The process corner.
+    #[must_use]
+    pub fn corner(&self) -> ProcessCorner {
+        self.corner
+    }
+
+    /// Returns a copy with a different supply voltage.
+    #[must_use]
+    pub fn with_supply(mut self, supply: Voltage) -> Self {
+        self.supply = supply;
+        self
+    }
+
+    /// Returns a copy with a different temperature.
+    #[must_use]
+    pub fn with_temperature(mut self, temperature: Temperature) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Returns a copy with a different corner.
+    #[must_use]
+    pub fn with_corner(mut self, corner: ProcessCorner) -> Self {
+        self.corner = corner;
+        self
+    }
+
+    /// Supply ratio relative to the 1.2 V reference — the quantity the
+    /// `V²` dynamic scaling and the leakage supply exponent consume.
+    #[must_use]
+    pub fn supply_ratio(&self) -> f64 {
+        self.supply.volts() / REFERENCE_SUPPLY
+    }
+}
+
+impl Default for WorkingConditions {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+impl fmt::Display for WorkingConditions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}",
+            self.supply, self.temperature, self.corner
+        )
+    }
+}
+
+/// Builder for [`WorkingConditions`], starting from the reference point.
+#[derive(Debug, Clone)]
+pub struct WorkingConditionsBuilder {
+    inner: WorkingConditions,
+}
+
+impl WorkingConditionsBuilder {
+    /// Sets the supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supply is not strictly positive — the V² scalings
+    /// downstream would silently zero every dynamic figure.
+    #[must_use]
+    pub fn supply(mut self, supply: Voltage) -> Self {
+        assert!(
+            supply.volts() > 0.0,
+            "supply voltage must be positive, got {supply}"
+        );
+        self.inner.supply = supply;
+        self
+    }
+
+    /// Sets the working temperature.
+    #[must_use]
+    pub fn temperature(mut self, temperature: Temperature) -> Self {
+        self.inner.temperature = temperature;
+        self
+    }
+
+    /// Sets the process corner.
+    #[must_use]
+    pub fn corner(mut self, corner: ProcessCorner) -> Self {
+        self.inner.corner = corner;
+        self
+    }
+
+    /// Finalizes the conditions.
+    #[must_use]
+    pub fn build(self) -> WorkingConditions {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        let c = WorkingConditions::reference();
+        assert_eq!(c.supply().volts(), 1.2);
+        assert_eq!(c.temperature(), Temperature::REFERENCE);
+        assert_eq!(c.corner(), ProcessCorner::Typical);
+        assert!((c.supply_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = WorkingConditions::builder()
+            .supply(Voltage::from_volts(1.0))
+            .temperature(Temperature::from_celsius(-20.0))
+            .corner(ProcessCorner::SlowSlow)
+            .build();
+        assert_eq!(c.supply().volts(), 1.0);
+        assert!((c.temperature().celsius() + 20.0).abs() < 1e-12);
+        assert_eq!(c.corner(), ProcessCorner::SlowSlow);
+    }
+
+    #[test]
+    fn with_methods_are_pure() {
+        let base = WorkingConditions::reference();
+        let hot = base.with_temperature(Temperature::from_celsius(125.0));
+        assert_eq!(base.temperature(), Temperature::REFERENCE);
+        assert!((hot.temperature().celsius() - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply voltage must be positive")]
+    fn builder_rejects_zero_supply() {
+        let _ = WorkingConditions::builder().supply(Voltage::ZERO);
+    }
+
+    #[test]
+    fn supply_ratio_scales() {
+        let c = WorkingConditions::reference().with_supply(Voltage::from_volts(0.6));
+        assert!((c.supply_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = WorkingConditions::builder()
+            .corner(ProcessCorner::FastFast)
+            .build();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: WorkingConditions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,132 @@
+//! Process corners — the paper's "process variation" axis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A manufacturing process corner.
+///
+/// Deep-submicron leakage varies by multiples across corners while dynamic
+/// power moves only a few percent (switched capacitance tracks geometry,
+/// not threshold). The multipliers below are representative of a 130 nm
+/// low-leakage automotive process; the paper's flow only requires that the
+/// corner scale both components consistently.
+///
+/// ```
+/// use monityre_power::ProcessCorner;
+/// assert!(ProcessCorner::FastFast.leakage_multiplier()
+///         > ProcessCorner::SlowSlow.leakage_multiplier());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub enum ProcessCorner {
+    /// Slow NMOS, slow PMOS: highest thresholds, least leakage, slowest.
+    SlowSlow,
+    /// Typical-typical: the characterization reference.
+    #[default]
+    Typical,
+    /// Fast NMOS, fast PMOS: lowest thresholds, most leakage, fastest.
+    FastFast,
+}
+
+impl ProcessCorner {
+    /// All corners in leakage order.
+    pub const ALL: [Self; 3] = [Self::SlowSlow, Self::Typical, Self::FastFast];
+
+    /// Multiplier on nominal (typical-corner) leakage current.
+    #[must_use]
+    pub fn leakage_multiplier(self) -> f64 {
+        match self {
+            Self::SlowSlow => 0.45,
+            Self::Typical => 1.0,
+            Self::FastFast => 3.2,
+        }
+    }
+
+    /// Multiplier on nominal dynamic power (small: capacitance variation).
+    #[must_use]
+    pub fn dynamic_multiplier(self) -> f64 {
+        match self {
+            Self::SlowSlow => 0.95,
+            Self::Typical => 1.0,
+            Self::FastFast => 1.06,
+        }
+    }
+
+    /// Multiplier on achievable clock frequency at nominal supply — used by
+    /// DVFS-style optimizations to know how much slack a corner offers.
+    #[must_use]
+    pub fn speed_multiplier(self) -> f64 {
+        match self {
+            Self::SlowSlow => 0.85,
+            Self::Typical => 1.0,
+            Self::FastFast => 1.15,
+        }
+    }
+
+    /// Short identifier (`ss`, `tt`, `ff`).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Self::SlowSlow => "ss",
+            Self::Typical => "tt",
+            Self::FastFast => "ff",
+        }
+    }
+
+    /// Parses the identifier produced by [`ProcessCorner::id`].
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.id() == id)
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_is_unity() {
+        assert_eq!(ProcessCorner::Typical.leakage_multiplier(), 1.0);
+        assert_eq!(ProcessCorner::Typical.dynamic_multiplier(), 1.0);
+        assert_eq!(ProcessCorner::Typical.speed_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn leakage_ordering() {
+        let leaks: Vec<f64> = ProcessCorner::ALL
+            .iter()
+            .map(|c| c.leakage_multiplier())
+            .collect();
+        assert!(leaks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn leakage_spread_dominates_dynamic_spread() {
+        let leak_spread = ProcessCorner::FastFast.leakage_multiplier()
+            / ProcessCorner::SlowSlow.leakage_multiplier();
+        let dyn_spread = ProcessCorner::FastFast.dynamic_multiplier()
+            / ProcessCorner::SlowSlow.dynamic_multiplier();
+        assert!(leak_spread > 3.0 * dyn_spread);
+    }
+
+    #[test]
+    fn id_round_trip() {
+        for corner in ProcessCorner::ALL {
+            assert_eq!(ProcessCorner::from_id(corner.id()), Some(corner));
+        }
+        assert_eq!(ProcessCorner::from_id("xx"), None);
+    }
+
+    #[test]
+    fn default_is_typical() {
+        assert_eq!(ProcessCorner::default(), ProcessCorner::Typical);
+    }
+}

@@ -1,0 +1,215 @@
+//! Dynamic (switching) power model.
+//!
+//! The classic CMOS form: `P_dyn = α · C_sw · V² · f`, where `α` is the
+//! activity factor, `C_sw` the total switched capacitance and `f` the clock
+//! frequency. §II: "Dynamic power is linked to the operating mode of each
+//! block and, generally, to the performance required by the whole system" —
+//! here the operating mode scales `α` (via [`crate::ModePolicy`]) and the
+//! performance knob is `f`.
+
+use monityre_units::{Capacitance, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+use crate::WorkingConditions;
+
+/// α·C·V²·f dynamic power model for one block.
+///
+/// ```
+/// use monityre_power::{DynamicPowerModel, WorkingConditions};
+/// use monityre_units::{Capacitance, Frequency, Power};
+///
+/// let model = DynamicPowerModel::new(
+///     0.2,
+///     Capacitance::from_picofarads(100.0),
+///     Frequency::from_megahertz(4.0),
+/// );
+/// // 0.2 · 100 pF · (1.2 V)² · 4 MHz = 115.2 µW at reference conditions.
+/// let p = model.power(1.0, &WorkingConditions::reference());
+/// assert!(p.approx_eq(Power::from_microwatts(115.2), 1e-9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicPowerModel {
+    activity: f64,
+    switched_capacitance: Capacitance,
+    clock: Frequency,
+}
+
+impl DynamicPowerModel {
+    /// Builds a dynamic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`, or if capacitance or clock
+    /// are negative/non-finite.
+    #[must_use]
+    pub fn new(activity: f64, switched_capacitance: Capacitance, clock: Frequency) -> Self {
+        assert!(
+            activity.is_finite() && (0.0..=1.0).contains(&activity),
+            "activity factor must lie in [0, 1], got {activity}"
+        );
+        assert!(
+            switched_capacitance.is_finite() && !switched_capacitance.is_negative(),
+            "switched capacitance must be finite and non-negative"
+        );
+        assert!(
+            clock.is_finite() && !clock.is_negative(),
+            "clock frequency must be finite and non-negative"
+        );
+        Self {
+            activity,
+            switched_capacitance,
+            clock,
+        }
+    }
+
+    /// A model that never draws dynamic power (for purely analog or
+    /// grid-characterized blocks).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::new(0.0, Capacitance::ZERO, Frequency::ZERO)
+    }
+
+    /// The baseline activity factor `α`.
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// The switched capacitance `C_sw`.
+    #[must_use]
+    pub fn switched_capacitance(&self) -> Capacitance {
+        self.switched_capacitance
+    }
+
+    /// The clock frequency `f`.
+    #[must_use]
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Dynamic power at the given mode activity scale and working
+    /// conditions: `α·scale · C · V² · f · k_corner`.
+    ///
+    /// `mode_scale` is the per-mode multiplier on the baseline activity
+    /// (0 for unclocked modes, >1 for bursts).
+    #[must_use]
+    pub fn power(&self, mode_scale: f64, cond: &WorkingConditions) -> Power {
+        let v = cond.supply().volts();
+        let raw =
+            self.activity * mode_scale * self.switched_capacitance.farads() * v * v
+                * self.clock.hertz();
+        Power::from_watts(raw * cond.corner().dynamic_multiplier())
+    }
+
+    /// Returns a copy with the clock frequency replaced — the DVFS knob.
+    #[must_use]
+    pub fn with_clock(&self, clock: Frequency) -> Self {
+        Self::new(self.activity, self.switched_capacitance, clock)
+    }
+
+    /// Returns a copy with the switched capacitance scaled by `factor` —
+    /// how clock-gating insertion and operand isolation are modelled
+    /// (they remove spurious toggles, i.e. effective `α·C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "dynamic scale factor must be finite and non-negative, got {factor}"
+        );
+        Self {
+            switched_capacitance: self.switched_capacitance * factor,
+            ..*self
+        }
+    }
+}
+
+impl Default for DynamicPowerModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessCorner;
+    use monityre_units::Voltage;
+
+    fn model() -> DynamicPowerModel {
+        DynamicPowerModel::new(
+            0.25,
+            Capacitance::from_picofarads(200.0),
+            Frequency::from_megahertz(8.0),
+        )
+    }
+
+    #[test]
+    fn alpha_c_v2_f() {
+        // 0.25 · 200 pF · 1.44 V² · 8 MHz = 576 µW
+        let p = model().power(1.0, &WorkingConditions::reference());
+        assert!(p.approx_eq(Power::from_microwatts(576.0), 1e-9));
+    }
+
+    #[test]
+    fn quadratic_in_supply() {
+        let half = WorkingConditions::reference().with_supply(Voltage::from_volts(0.6));
+        let p_full = model().power(1.0, &WorkingConditions::reference());
+        let p_half = model().power(1.0, &half);
+        assert!(p_half.approx_eq(p_full * 0.25, 1e-9));
+    }
+
+    #[test]
+    fn linear_in_mode_scale() {
+        let cond = WorkingConditions::reference();
+        let p1 = model().power(1.0, &cond);
+        let p2 = model().power(1.6, &cond);
+        assert!(p2.approx_eq(p1 * 1.6, 1e-9));
+    }
+
+    #[test]
+    fn zero_scale_draws_nothing() {
+        assert_eq!(model().power(0.0, &WorkingConditions::reference()), Power::ZERO);
+    }
+
+    #[test]
+    fn corner_multiplier_applies() {
+        let ff = WorkingConditions::reference().with_corner(ProcessCorner::FastFast);
+        let p_tt = model().power(1.0, &WorkingConditions::reference());
+        let p_ff = model().power(1.0, &ff);
+        assert!(p_ff.approx_eq(p_tt * ProcessCorner::FastFast.dynamic_multiplier(), 1e-9));
+    }
+
+    #[test]
+    fn dvfs_clock_swap_is_linear() {
+        let cond = WorkingConditions::reference();
+        let slow = model().with_clock(Frequency::from_megahertz(4.0));
+        assert!(slow.power(1.0, &cond).approx_eq(model().power(1.0, &cond) * 0.5, 1e-9));
+    }
+
+    #[test]
+    fn scaled_reduces_effective_capacitance() {
+        let cond = WorkingConditions::reference();
+        let gated = model().scaled(0.7);
+        assert!(gated.power(1.0, &cond).approx_eq(model().power(1.0, &cond) * 0.7, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor must lie in [0, 1]")]
+    fn rejects_activity_above_one() {
+        let _ = DynamicPowerModel::new(
+            1.5,
+            Capacitance::from_picofarads(1.0),
+            Frequency::from_megahertz(1.0),
+        );
+    }
+
+    #[test]
+    fn none_draws_nothing() {
+        let p = DynamicPowerModel::none().power(1.0, &WorkingConditions::reference());
+        assert_eq!(p, Power::ZERO);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the power-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by power-model construction and database queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A characterization grid was malformed.
+    InvalidGrid {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A block name was not present in the database.
+    UnknownBlock {
+        /// The requested block name.
+        name: String,
+    },
+    /// A block with the same name was already registered.
+    DuplicateBlock {
+        /// The conflicting block name.
+        name: String,
+    },
+}
+
+impl PowerError {
+    pub(crate) fn invalid_grid(reason: &str) -> Self {
+        Self::InvalidGrid {
+            reason: reason.to_owned(),
+        }
+    }
+
+    pub(crate) fn unknown_block(name: &str) -> Self {
+        Self::UnknownBlock {
+            name: name.to_owned(),
+        }
+    }
+
+    pub(crate) fn duplicate_block(name: &str) -> Self {
+        Self::DuplicateBlock {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidGrid { reason } => write!(f, "invalid characterization grid: {reason}"),
+            Self::UnknownBlock { name } => write!(f, "unknown block `{name}`"),
+            Self::DuplicateBlock { name } => write!(f, "block `{name}` is already registered"),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(PowerError::unknown_block("rf_tx")
+            .to_string()
+            .contains("rf_tx"));
+        assert!(PowerError::duplicate_block("mcu").to_string().contains("mcu"));
+        assert!(PowerError::invalid_grid("bad axis")
+            .to_string()
+            .contains("bad axis"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-event energy costs.
+//!
+//! Beyond mode-average power, a sensor node's consumption is proportional to
+//! the *amount of work*: "the number of data to be acquired" (§II-A). Each
+//! block advertises energy costs per discrete event — one sample converted,
+//! one byte transmitted, one memory word written — which the evaluation tool
+//! multiplies by the workload counts of the chosen configuration.
+
+use std::fmt;
+
+use monityre_units::Energy;
+use serde::{Deserialize, Serialize};
+
+use crate::WorkingConditions;
+
+/// The kind of discrete event a block charges energy for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// One analog sample acquired and converted.
+    Sample,
+    /// One byte radiated by the transmitter (framing included).
+    ByteTransmitted,
+    /// One word read from memory.
+    MemoryRead,
+    /// One word written to memory.
+    MemoryWrite,
+    /// One processing kernel executed (e.g. one contact-patch feature
+    /// extraction over a round's samples).
+    ComputeKernel,
+    /// One wake-up transition (mode switch from a gated state), charging the
+    /// re-charge of rail and clock-tree capacitance.
+    WakeUp,
+}
+
+impl EventKind {
+    /// All event kinds.
+    pub const ALL: [Self; 6] = [
+        Self::Sample,
+        Self::ByteTransmitted,
+        Self::MemoryRead,
+        Self::MemoryWrite,
+        Self::ComputeKernel,
+        Self::WakeUp,
+    ];
+
+    /// Short identifier.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Self::Sample => "sample",
+            Self::ByteTransmitted => "byte_tx",
+            Self::MemoryRead => "mem_read",
+            Self::MemoryWrite => "mem_write",
+            Self::ComputeKernel => "kernel",
+            Self::WakeUp => "wakeup",
+        }
+    }
+
+    /// Parses the identifier produced by [`EventKind::id`].
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.id() == id)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Energy charged per event, characterized at reference conditions and
+/// rescaled to the working point (`V²` like any switched-capacitance cost,
+/// plus the corner's dynamic multiplier).
+///
+/// ```
+/// use monityre_power::{EventCost, EventKind, WorkingConditions};
+/// use monityre_units::{Energy, Voltage};
+///
+/// let cost = EventCost::new(EventKind::Sample, Energy::from_nanos(18.0));
+/// let low = WorkingConditions::reference().with_supply(Voltage::from_volts(0.6));
+/// assert!(cost.energy(&low) < cost.energy(&WorkingConditions::reference()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventCost {
+    kind: EventKind,
+    reference: Energy,
+}
+
+impl EventCost {
+    /// Builds an event cost from the energy charged at reference conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is negative or non-finite.
+    #[must_use]
+    pub fn new(kind: EventKind, reference: Energy) -> Self {
+        assert!(
+            reference.is_finite() && !reference.is_negative(),
+            "event energy must be finite and non-negative, got {reference}"
+        );
+        Self { kind, reference }
+    }
+
+    /// The event kind.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// The reference-condition energy.
+    #[must_use]
+    pub fn reference(&self) -> Energy {
+        self.reference
+    }
+
+    /// The energy charged per event at the given working conditions.
+    #[must_use]
+    pub fn energy(&self, cond: &WorkingConditions) -> Energy {
+        let r = cond.supply_ratio();
+        self.reference * (r * r * cond.corner().dynamic_multiplier())
+    }
+
+    /// Returns a copy with the reference energy scaled by `factor`
+    /// (optimization hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "event scale factor must be finite and non-negative, got {factor}"
+        );
+        Self {
+            kind: self.kind,
+            reference: self.reference * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessCorner;
+    use monityre_units::Voltage;
+
+    #[test]
+    fn reference_energy_at_reference_conditions() {
+        let cost = EventCost::new(EventKind::Sample, Energy::from_nanos(20.0));
+        let e = cost.energy(&WorkingConditions::reference());
+        assert!(e.approx_eq(Energy::from_nanos(20.0), 1e-12));
+    }
+
+    #[test]
+    fn quadratic_in_supply() {
+        let cost = EventCost::new(EventKind::ByteTransmitted, Energy::from_nanos(100.0));
+        let low = WorkingConditions::reference().with_supply(Voltage::from_volts(0.6));
+        assert!(cost.energy(&low).approx_eq(Energy::from_nanos(25.0), 1e-9));
+    }
+
+    #[test]
+    fn corner_applies() {
+        let cost = EventCost::new(EventKind::WakeUp, Energy::from_nanos(50.0));
+        let ff = WorkingConditions::reference().with_corner(ProcessCorner::FastFast);
+        let expected = Energy::from_nanos(50.0 * ProcessCorner::FastFast.dynamic_multiplier());
+        assert!(cost.energy(&ff).approx_eq(expected, 1e-9));
+    }
+
+    #[test]
+    fn id_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(EventKind::from_id("nope"), None);
+    }
+
+    #[test]
+    fn scaled_event_cost() {
+        let cost = EventCost::new(EventKind::MemoryWrite, Energy::from_nanos(8.0)).scaled(0.5);
+        assert!(cost.reference().approx_eq(Energy::from_nanos(4.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "event energy must be finite")]
+    fn rejects_negative_energy() {
+        let _ = EventCost::new(EventKind::Sample, Energy::from_nanos(-1.0));
+    }
+}

@@ -1,0 +1,290 @@
+//! Characterization grids: measured power over a (supply, temperature) grid.
+//!
+//! Analog blocks (the sensing front-end, the RF power amplifier) are not
+//! well served by an α·C·V²·f model; their power figures come from
+//! transistor-level simulation at a handful of (V, T) points. `PowerGrid`
+//! stores such a table and answers queries by bilinear interpolation,
+//! clamping outside the characterized envelope — the behaviour an engineer
+//! expects from the "spreadsheet database" the paper describes.
+
+use monityre_units::{Power, Temperature, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PowerError;
+
+/// One axis of a characterization grid: strictly increasing sample points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridAxis {
+    points: Vec<f64>,
+}
+
+impl GridAxis {
+    /// Builds an axis from sample points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGrid`] when fewer than one point is
+    /// given, any point is non-finite, or the points are not strictly
+    /// increasing.
+    pub fn new(points: Vec<f64>) -> Result<Self, PowerError> {
+        if points.is_empty() {
+            return Err(PowerError::invalid_grid("axis needs at least one point"));
+        }
+        if points.iter().any(|p| !p.is_finite()) {
+            return Err(PowerError::invalid_grid("axis points must be finite"));
+        }
+        if points.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PowerError::invalid_grid(
+                "axis points must be strictly increasing",
+            ));
+        }
+        Ok(Self { points })
+    }
+
+    /// The sample points.
+    #[must_use]
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of sample points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the axis is empty (never true for a constructed axis).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Locates `x` on the axis: returns the bracketing segment index and
+    /// the interpolation weight in `[0, 1]`, clamping outside the range.
+    fn locate(&self, x: f64) -> (usize, f64) {
+        if self.points.len() == 1 || x <= self.points[0] {
+            return (0, 0.0);
+        }
+        let last = self.points.len() - 1;
+        if x >= self.points[last] {
+            return (last - 1, 1.0);
+        }
+        // partition_point returns the first index with point > x; the
+        // segment starts one before it.
+        let hi = self.points.partition_point(|&p| p <= x);
+        let lo = hi - 1;
+        let w = (x - self.points[lo]) / (self.points[hi] - self.points[lo]);
+        (lo, w)
+    }
+}
+
+/// A bilinear-interpolated power table over supply voltage and temperature.
+///
+/// ```
+/// use monityre_power::{GridAxis, PowerGrid};
+/// use monityre_units::{Power, Temperature, Voltage};
+///
+/// # fn main() -> Result<(), monityre_power::PowerError> {
+/// let grid = PowerGrid::new(
+///     GridAxis::new(vec![1.0, 1.2])?,             // volts
+///     GridAxis::new(vec![-40.0, 27.0, 125.0])?,   // °C
+///     vec![
+///         vec![Power::from_microwatts(8.0), Power::from_microwatts(10.0), Power::from_microwatts(15.0)],
+///         vec![Power::from_microwatts(11.0), Power::from_microwatts(14.0), Power::from_microwatts(21.0)],
+///     ],
+/// )?;
+/// let p = grid.sample(Voltage::from_volts(1.1), Temperature::from_celsius(27.0));
+/// assert!(p.approx_eq(Power::from_microwatts(12.0), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerGrid {
+    supply: GridAxis,
+    temperature: GridAxis,
+    /// `values[i][j]` is the power at `supply[i]`, `temperature[j]`.
+    values: Vec<Vec<Power>>,
+}
+
+impl PowerGrid {
+    /// Builds a grid; `values[i][j]` corresponds to supply point `i` and
+    /// temperature point `j` (temperature in °C on the axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGrid`] when the value matrix dimensions
+    /// do not match the axes or any value is negative/non-finite.
+    pub fn new(
+        supply: GridAxis,
+        temperature: GridAxis,
+        values: Vec<Vec<Power>>,
+    ) -> Result<Self, PowerError> {
+        if values.len() != supply.len() {
+            return Err(PowerError::invalid_grid(
+                "value rows must match supply axis length",
+            ));
+        }
+        for row in &values {
+            if row.len() != temperature.len() {
+                return Err(PowerError::invalid_grid(
+                    "value columns must match temperature axis length",
+                ));
+            }
+            if row.iter().any(|p| !p.is_finite() || p.is_negative()) {
+                return Err(PowerError::invalid_grid(
+                    "grid powers must be finite and non-negative",
+                ));
+            }
+        }
+        Ok(Self {
+            supply,
+            temperature,
+            values,
+        })
+    }
+
+    /// The supply axis (volts).
+    #[must_use]
+    pub fn supply_axis(&self) -> &GridAxis {
+        &self.supply
+    }
+
+    /// The temperature axis (°C).
+    #[must_use]
+    pub fn temperature_axis(&self) -> &GridAxis {
+        &self.temperature
+    }
+
+    /// Bilinear interpolation at `(supply, temperature)`, clamped to the
+    /// characterized envelope outside it.
+    #[must_use]
+    pub fn sample(&self, supply: Voltage, temperature: Temperature) -> Power {
+        let (i, wv) = self.supply.locate(supply.volts());
+        let (j, wt) = self.temperature.locate(temperature.celsius());
+        let i1 = (i + 1).min(self.supply.len() - 1);
+        let j1 = (j + 1).min(self.temperature.len() - 1);
+        let p00 = self.values[i][j].watts();
+        let p01 = self.values[i][j1].watts();
+        let p10 = self.values[i1][j].watts();
+        let p11 = self.values[i1][j1].watts();
+        let low = p00 + (p01 - p00) * wt;
+        let high = p10 + (p11 - p10) * wt;
+        Power::from_watts(low + (high - low) * wv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uw(x: f64) -> Power {
+        Power::from_microwatts(x)
+    }
+
+    fn grid_2x3() -> PowerGrid {
+        PowerGrid::new(
+            GridAxis::new(vec![1.0, 1.2]).unwrap(),
+            GridAxis::new(vec![-40.0, 27.0, 125.0]).unwrap(),
+            vec![
+                vec![uw(8.0), uw(10.0), uw(15.0)],
+                vec![uw(11.0), uw(14.0), uw(21.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_corner_lookup() {
+        let g = grid_2x3();
+        let p = g.sample(Voltage::from_volts(1.0), Temperature::from_celsius(-40.0));
+        assert!(p.approx_eq(uw(8.0), 1e-12));
+        let p = g.sample(Voltage::from_volts(1.2), Temperature::from_celsius(125.0));
+        assert!(p.approx_eq(uw(21.0), 1e-12));
+    }
+
+    #[test]
+    fn midpoint_interpolation() {
+        let g = grid_2x3();
+        let p = g.sample(Voltage::from_volts(1.1), Temperature::from_celsius(27.0));
+        assert!(p.approx_eq(uw(12.0), 1e-12));
+    }
+
+    #[test]
+    fn interpolation_along_temperature() {
+        let g = grid_2x3();
+        // Halfway between 27 and 125 °C at 1.0 V: (10+15)/2 = 12.5 µW.
+        let p = g.sample(Voltage::from_volts(1.0), Temperature::from_celsius(76.0));
+        assert!(p.approx_eq(uw(12.5), 1e-12));
+    }
+
+    #[test]
+    fn clamps_outside_envelope() {
+        let g = grid_2x3();
+        let low = g.sample(Voltage::from_volts(0.5), Temperature::from_celsius(-100.0));
+        assert!(low.approx_eq(uw(8.0), 1e-12));
+        let high = g.sample(Voltage::from_volts(2.0), Temperature::from_celsius(200.0));
+        assert!(high.approx_eq(uw(21.0), 1e-12));
+    }
+
+    #[test]
+    fn single_point_grid_is_constant() {
+        let g = PowerGrid::new(
+            GridAxis::new(vec![1.2]).unwrap(),
+            GridAxis::new(vec![27.0]).unwrap(),
+            vec![vec![uw(5.0)]],
+        )
+        .unwrap();
+        let p = g.sample(Voltage::from_volts(0.9), Temperature::from_celsius(90.0));
+        assert!(p.approx_eq(uw(5.0), 1e-12));
+    }
+
+    #[test]
+    fn rejects_unsorted_axis() {
+        assert!(GridAxis::new(vec![1.2, 1.0]).is_err());
+        assert!(GridAxis::new(vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_axis() {
+        assert!(GridAxis::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let r = PowerGrid::new(
+            GridAxis::new(vec![1.0, 1.2]).unwrap(),
+            GridAxis::new(vec![27.0]).unwrap(),
+            vec![vec![uw(1.0)]],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_negative_power() {
+        let r = PowerGrid::new(
+            GridAxis::new(vec![1.0]).unwrap(),
+            GridAxis::new(vec![27.0]).unwrap(),
+            vec![vec![Power::from_microwatts(-1.0)]],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn interpolation_is_monotone_for_monotone_data() {
+        let g = grid_2x3();
+        let mut last = Power::ZERO;
+        for celsius in (-40..=125).step_by(5) {
+            let p = g.sample(Voltage::from_volts(1.1), Temperature::from_celsius(f64::from(celsius)));
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = grid_2x3();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: PowerGrid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,243 @@
+//! Static (leakage) power model.
+//!
+//! §II of the paper: "Static power is mainly linked to the working
+//! temperature of the circuit" — and for deep-submicron technologies it
+//! "requires the same attention" as dynamic power. The model here is the
+//! standard compact form used in system-level estimation:
+//!
+//! ```text
+//! P_leak(V, T, corner) = P_ref · k_corner · 2^((T − T_ref)/T_double) · (V/V_ref)^γ
+//! ```
+//!
+//! * exponential in temperature with a *doubling interval* `T_double`
+//!   (subthreshold leakage roughly doubles every 8–12 °C);
+//! * polynomial in supply with exponent `γ` capturing DIBL plus gate
+//!   leakage (γ ≈ 2–4);
+//! * scaled by the process-corner multiplier.
+
+use monityre_units::{Power, Temperature};
+use serde::{Deserialize, Serialize};
+
+use crate::WorkingConditions;
+
+/// Temperature- and supply-dependent leakage model for one block.
+///
+/// ```
+/// use monityre_power::{LeakageModel, WorkingConditions};
+/// use monityre_units::{Power, Temperature};
+///
+/// let leak = LeakageModel::with_reference(Power::from_microwatts(1.0));
+/// let cold = WorkingConditions::reference()
+///     .with_temperature(Temperature::from_celsius(-20.0));
+/// let hot = WorkingConditions::reference()
+///     .with_temperature(Temperature::from_celsius(85.0));
+/// assert!(leak.power(&hot) > leak.power(&cold));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    /// Leakage at the reference conditions (1.2 V, 27 °C, TT).
+    reference: Power,
+    /// Temperature interval over which leakage doubles, in kelvin.
+    doubling_interval: f64,
+    /// Supply-voltage exponent (DIBL + gate leakage).
+    supply_exponent: f64,
+}
+
+/// Default leakage-doubling interval: 10 K.
+const DEFAULT_DOUBLING_K: f64 = 10.0;
+/// Default supply exponent.
+const DEFAULT_SUPPLY_EXP: f64 = 3.0;
+
+impl LeakageModel {
+    /// Builds a model from its reference leakage with default temperature
+    /// doubling (10 K) and supply exponent (3.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is negative or non-finite.
+    #[must_use]
+    pub fn with_reference(reference: Power) -> Self {
+        Self::new(reference, DEFAULT_DOUBLING_K, DEFAULT_SUPPLY_EXP)
+    }
+
+    /// Builds a fully parameterized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is negative/non-finite, if
+    /// `doubling_interval <= 0`, or if `supply_exponent < 0`.
+    #[must_use]
+    pub fn new(reference: Power, doubling_interval: f64, supply_exponent: f64) -> Self {
+        assert!(
+            reference.is_finite() && !reference.is_negative(),
+            "reference leakage must be finite and non-negative, got {reference}"
+        );
+        assert!(
+            doubling_interval > 0.0 && doubling_interval.is_finite(),
+            "doubling interval must be positive, got {doubling_interval}"
+        );
+        assert!(
+            supply_exponent >= 0.0 && supply_exponent.is_finite(),
+            "supply exponent must be non-negative, got {supply_exponent}"
+        );
+        Self {
+            reference,
+            doubling_interval,
+            supply_exponent,
+        }
+    }
+
+    /// A zero-leakage model (useful for ideal/abstract blocks).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::with_reference(Power::ZERO)
+    }
+
+    /// The leakage at reference conditions.
+    #[must_use]
+    pub fn reference(&self) -> Power {
+        self.reference
+    }
+
+    /// The doubling interval in kelvin.
+    #[must_use]
+    pub fn doubling_interval(&self) -> f64 {
+        self.doubling_interval
+    }
+
+    /// The supply exponent.
+    #[must_use]
+    pub fn supply_exponent(&self) -> f64 {
+        self.supply_exponent
+    }
+
+    /// Leakage power under the given working conditions (full rail; mode
+    /// gating is applied by [`crate::BlockPowerModel`]).
+    #[must_use]
+    pub fn power(&self, cond: &WorkingConditions) -> Power {
+        let dt = cond.temperature().delta_kelvin(Temperature::REFERENCE);
+        let thermal = (dt / self.doubling_interval).exp2();
+        let supply = cond.supply_ratio().powf(self.supply_exponent);
+        let corner = cond.corner().leakage_multiplier();
+        self.reference * (thermal * supply * corner)
+    }
+
+    /// Returns a copy with the reference leakage scaled by `factor` —
+    /// how optimization techniques (multi-Vt, power gating headers) are
+    /// applied to a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "leakage scale factor must be finite and non-negative, got {factor}"
+        );
+        Self {
+            reference: self.reference * factor,
+            ..*self
+        }
+    }
+}
+
+impl Default for LeakageModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessCorner;
+    use monityre_units::Voltage;
+
+    fn reference_model() -> LeakageModel {
+        LeakageModel::with_reference(Power::from_microwatts(1.0))
+    }
+
+    #[test]
+    fn reference_conditions_reproduce_reference_power() {
+        let leak = reference_model();
+        let p = leak.power(&WorkingConditions::reference());
+        assert!(p.approx_eq(Power::from_microwatts(1.0), 1e-12));
+    }
+
+    #[test]
+    fn doubles_every_interval() {
+        let leak = reference_model();
+        let warm = WorkingConditions::reference()
+            .with_temperature(Temperature::REFERENCE.offset_kelvin(10.0));
+        assert!(leak.power(&warm).approx_eq(Power::from_microwatts(2.0), 1e-9));
+        let warmer = WorkingConditions::reference()
+            .with_temperature(Temperature::REFERENCE.offset_kelvin(20.0));
+        assert!(leak.power(&warmer).approx_eq(Power::from_microwatts(4.0), 1e-9));
+    }
+
+    #[test]
+    fn halves_when_cooled() {
+        let leak = reference_model();
+        let cool = WorkingConditions::reference()
+            .with_temperature(Temperature::REFERENCE.offset_kelvin(-10.0));
+        assert!(leak.power(&cool).approx_eq(Power::from_microwatts(0.5), 1e-9));
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        let leak = reference_model();
+        let mut last = Power::ZERO;
+        for celsius in (-40..=125).step_by(5) {
+            let cond = WorkingConditions::reference()
+                .with_temperature(Temperature::from_celsius(f64::from(celsius)));
+            let p = leak.power(&cond);
+            assert!(p > last, "leakage must rise with temperature");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn supply_exponent_applies() {
+        let leak = LeakageModel::new(Power::from_microwatts(1.0), 10.0, 2.0);
+        let low = WorkingConditions::reference().with_supply(Voltage::from_volts(0.6));
+        // (0.5)^2 = 0.25
+        assert!(leak.power(&low).approx_eq(Power::from_microwatts(0.25), 1e-9));
+    }
+
+    #[test]
+    fn corner_multiplier_applies() {
+        let leak = reference_model();
+        let ff = WorkingConditions::reference().with_corner(ProcessCorner::FastFast);
+        let expected = Power::from_microwatts(ProcessCorner::FastFast.leakage_multiplier());
+        assert!(leak.power(&ff).approx_eq(expected, 1e-9));
+    }
+
+    #[test]
+    fn scaled_reduces_reference() {
+        let leak = reference_model().scaled(0.2);
+        let p = leak.power(&WorkingConditions::reference());
+        assert!(p.approx_eq(Power::from_microwatts(0.2), 1e-12));
+    }
+
+    #[test]
+    fn none_is_zero_everywhere() {
+        let leak = LeakageModel::none();
+        let hot = WorkingConditions::reference()
+            .with_temperature(Temperature::from_celsius(125.0))
+            .with_corner(ProcessCorner::FastFast);
+        assert_eq!(leak.power(&hot), Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "doubling interval must be positive")]
+    fn rejects_zero_doubling() {
+        let _ = LeakageModel::new(Power::from_microwatts(1.0), 0.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leakage scale factor")]
+    fn rejects_negative_scale() {
+        let _ = reference_model().scaled(-1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-block power models and the power-estimation database.
+//!
+//! This crate implements the *estimation* layer of the DATE 2011 flow: for
+//! every functional block of the Sensor Node it models
+//!
+//! * **dynamic power** — `P_dyn = α·C_sw·V²·f`, scaled per operating mode,
+//!   plus per-event energy costs (per sample, per byte transmitted, per
+//!   operation) that capture workload-proportional consumption;
+//! * **static power** — a leakage model exponential in temperature,
+//!   polynomial in supply voltage, and scaled by the process corner, since
+//!   "static power is mainly linked to the working temperature of the
+//!   circuit" (§II);
+//! * **working conditions** — the (supply, temperature, corner) triple the
+//!   paper calls working conditions and process variation;
+//! * **characterization grids** — measured/simulated power samples over a
+//!   (V, T) grid with bilinear interpolation, for blocks whose power figures
+//!   come from SPICE-level characterization instead of an analytic model;
+//! * **the power database** — the paper's "dynamic spreadsheet … to be
+//!   considered as a complete database for the energy analysis": a named
+//!   collection of block models queried by the energy evaluation tools.
+//!
+//! # Example
+//!
+//! ```
+//! use monityre_power::{BlockPowerModel, LeakageModel, DynamicPowerModel,
+//!                      OperatingMode, WorkingConditions};
+//! use monityre_units::{Capacitance, Frequency, Power, Voltage};
+//!
+//! let mcu = BlockPowerModel::builder("mcu")
+//!     .dynamic(DynamicPowerModel::new(
+//!         0.15,
+//!         Capacitance::from_picofarads(180.0),
+//!         Frequency::from_megahertz(8.0),
+//!     ))
+//!     .leakage(LeakageModel::with_reference(Power::from_microwatts(2.0)))
+//!     .build();
+//!
+//! let cond = WorkingConditions::reference();
+//! let p = mcu.power(OperatingMode::Active, &cond);
+//! assert!(p.total() > p.leakage);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod breakdown;
+mod conditions;
+mod corner;
+mod database;
+mod dynamic;
+mod error;
+mod event;
+mod grid;
+mod leakage;
+mod mode;
+
+pub use block::{BlockPowerModel, BlockPowerModelBuilder, ModePolicy};
+pub use breakdown::{EnergyBreakdown, PowerBreakdown};
+pub use conditions::{WorkingConditions, WorkingConditionsBuilder};
+pub use corner::ProcessCorner;
+pub use database::{BlockRecord, PowerDatabase, Provenance};
+pub use dynamic::DynamicPowerModel;
+pub use error::PowerError;
+pub use event::{EventCost, EventKind};
+pub use grid::{GridAxis, PowerGrid};
+pub use leakage::LeakageModel;
+pub use mode::OperatingMode;

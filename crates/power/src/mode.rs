@@ -1,0 +1,203 @@
+//! Operating modes of a functional block.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The operating mode of one functional block during a phase of the wheel
+/// round.
+///
+/// The paper's flow assigns each block a *duty cycle* — the share of a wheel
+/// round it spends in each mode — and evaluates energy per round from the
+/// (mode, duration) pairs. The mode ladder below covers the standard
+/// ultra-low-power design points from fully off to a peak burst.
+///
+/// ```
+/// use monityre_power::OperatingMode;
+/// assert!(OperatingMode::Burst.is_clocked());
+/// assert!(!OperatingMode::DeepSleep.is_clocked());
+/// assert!(OperatingMode::DeepSleep.retains_state());
+/// assert!(!OperatingMode::Off.retains_state());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub enum OperatingMode {
+    /// Power-gated, state lost, essentially zero leakage (only gate/switch
+    /// residue remains).
+    Off,
+    /// Power-gated with a retention rail: state kept in low-leakage
+    /// retention latches, logic rail collapsed.
+    DeepSleep,
+    /// Clock stopped, full rail up: full leakage, no dynamic activity.
+    #[default]
+    Sleep,
+    /// Clock running but datapath mostly idle (e.g. waiting on a timer).
+    Idle,
+    /// Normal operation.
+    Active,
+    /// Peak activity (e.g. the RF power amplifier keyed on, ADC converting
+    /// back-to-back).
+    Burst,
+}
+
+impl OperatingMode {
+    /// All modes, from least to most power-hungry.
+    pub const ALL: [Self; 6] = [
+        Self::Off,
+        Self::DeepSleep,
+        Self::Sleep,
+        Self::Idle,
+        Self::Active,
+        Self::Burst,
+    ];
+
+    /// Whether the block's clock toggles in this mode (i.e. whether dynamic
+    /// power is drawn at all).
+    #[must_use]
+    pub fn is_clocked(self) -> bool {
+        matches!(self, Self::Idle | Self::Active | Self::Burst)
+    }
+
+    /// Whether the block keeps its architectural state in this mode.
+    #[must_use]
+    pub fn retains_state(self) -> bool {
+        !matches!(self, Self::Off)
+    }
+
+    /// Whether the main power rail is collapsed (power-gated) in this mode.
+    #[must_use]
+    pub fn is_power_gated(self) -> bool {
+        matches!(self, Self::Off | Self::DeepSleep)
+    }
+
+    /// Default dynamic activity scale for this mode relative to
+    /// [`OperatingMode::Active`] = 1.0. Blocks can override per mode via
+    /// [`crate::ModePolicy`].
+    #[must_use]
+    pub fn default_activity(self) -> f64 {
+        match self {
+            Self::Off | Self::DeepSleep | Self::Sleep => 0.0,
+            Self::Idle => 0.05,
+            Self::Active => 1.0,
+            Self::Burst => 1.6,
+        }
+    }
+
+    /// Default fraction of nominal leakage drawn in this mode. Power gating
+    /// leaves a small residue through the sleep transistor; retention rails
+    /// keep a few percent.
+    #[must_use]
+    pub fn default_leakage_fraction(self) -> f64 {
+        match self {
+            Self::Off => 0.005,
+            Self::DeepSleep => 0.04,
+            Self::Sleep | Self::Idle | Self::Active | Self::Burst => 1.0,
+        }
+    }
+
+    /// Short machine-friendly identifier (used by reports and the
+    /// spreadsheet binding).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::DeepSleep => "deep_sleep",
+            Self::Sleep => "sleep",
+            Self::Idle => "idle",
+            Self::Active => "active",
+            Self::Burst => "burst",
+        }
+    }
+
+    /// Parses the identifier produced by [`OperatingMode::id`].
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.id() == id)
+    }
+}
+
+impl fmt::Display for OperatingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered_by_power_intent() {
+        for pair in OperatingMode::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn clock_gating_classification() {
+        assert!(!OperatingMode::Off.is_clocked());
+        assert!(!OperatingMode::DeepSleep.is_clocked());
+        assert!(!OperatingMode::Sleep.is_clocked());
+        assert!(OperatingMode::Idle.is_clocked());
+        assert!(OperatingMode::Active.is_clocked());
+        assert!(OperatingMode::Burst.is_clocked());
+    }
+
+    #[test]
+    fn only_off_loses_state() {
+        let losing: Vec<_> = OperatingMode::ALL
+            .into_iter()
+            .filter(|m| !m.retains_state())
+            .collect();
+        assert_eq!(losing, vec![OperatingMode::Off]);
+    }
+
+    #[test]
+    fn unclocked_modes_have_zero_activity() {
+        for mode in OperatingMode::ALL {
+            if !mode.is_clocked() {
+                assert_eq!(mode.default_activity(), 0.0, "{mode}");
+            } else {
+                assert!(mode.default_activity() > 0.0, "{mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn leakage_fraction_bounded() {
+        for mode in OperatingMode::ALL {
+            let frac = mode.default_leakage_fraction();
+            assert!((0.0..=1.0).contains(&frac), "{mode}");
+        }
+    }
+
+    #[test]
+    fn power_gated_modes_leak_less() {
+        for mode in OperatingMode::ALL {
+            if mode.is_power_gated() {
+                assert!(mode.default_leakage_fraction() < 0.1, "{mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn id_round_trip() {
+        for mode in OperatingMode::ALL {
+            assert_eq!(OperatingMode::from_id(mode.id()), Some(mode));
+        }
+        assert_eq!(OperatingMode::from_id("bogus"), None);
+    }
+
+    #[test]
+    fn burst_exceeds_active() {
+        assert!(OperatingMode::Burst.default_activity() > OperatingMode::Active.default_activity());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&OperatingMode::DeepSleep).unwrap();
+        let back: OperatingMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, OperatingMode::DeepSleep);
+    }
+}

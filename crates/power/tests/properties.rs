@@ -1,0 +1,162 @@
+//! Property-based tests for the power models.
+
+use monityre_power::{
+    BlockPowerModel, DynamicPowerModel, EventCost, EventKind, GridAxis, LeakageModel,
+    OperatingMode, PowerGrid, ProcessCorner, WorkingConditions,
+};
+use monityre_units::{Capacitance, Energy, Frequency, Power, Temperature, Voltage};
+use proptest::prelude::*;
+
+fn arb_conditions() -> impl Strategy<Value = WorkingConditions> {
+    (
+        0.6f64..1.5,
+        -40.0f64..125.0,
+        prop_oneof![
+            Just(ProcessCorner::SlowSlow),
+            Just(ProcessCorner::Typical),
+            Just(ProcessCorner::FastFast),
+        ],
+    )
+        .prop_map(|(v, t, corner)| {
+            WorkingConditions::builder()
+                .supply(Voltage::from_volts(v))
+                .temperature(Temperature::from_celsius(t))
+                .corner(corner)
+                .build()
+        })
+}
+
+fn arb_block() -> impl Strategy<Value = BlockPowerModel> {
+    (
+        0.01f64..1.0,   // activity
+        1.0f64..500.0,  // pF
+        0.1f64..32.0,   // MHz
+        0.0f64..20.0,   // leakage µW
+        0.1f64..200.0,  // sample cost nJ
+    )
+        .prop_map(|(alpha, pf, mhz, leak, nj)| {
+            BlockPowerModel::builder("block")
+                .dynamic(DynamicPowerModel::new(
+                    alpha,
+                    Capacitance::from_picofarads(pf),
+                    Frequency::from_megahertz(mhz),
+                ))
+                .leakage(LeakageModel::with_reference(Power::from_microwatts(leak)))
+                .event_cost(EventCost::new(EventKind::Sample, Energy::from_nanos(nj)))
+                .build()
+        })
+}
+
+proptest! {
+    /// Power is non-negative for every block, mode and condition.
+    #[test]
+    fn power_never_negative(block in arb_block(), cond in arb_conditions()) {
+        for mode in OperatingMode::ALL {
+            let p = block.power(mode, &cond);
+            prop_assert!(!p.dynamic.is_negative(), "{mode}: {p}");
+            prop_assert!(!p.leakage.is_negative(), "{mode}: {p}");
+        }
+    }
+
+    /// The mode ladder is monotone in total power for any digital block:
+    /// each mode draws at least as much as the previous one.
+    #[test]
+    fn mode_ladder_monotone(block in arb_block(), cond in arb_conditions()) {
+        let mut last = Power::ZERO;
+        for mode in OperatingMode::ALL {
+            let p = block.power(mode, &cond).total();
+            prop_assert!(p >= last * 0.999_999, "{mode} below predecessor");
+            last = p;
+        }
+    }
+
+    /// Leakage rises strictly with temperature (fixed everything else).
+    #[test]
+    fn leakage_monotone_in_temperature(
+        block in arb_block(),
+        t1 in -40.0f64..124.0,
+        dt in 0.5f64..40.0,
+    ) {
+        let leak_ref = block.leakage().reference();
+        prop_assume!(leak_ref > Power::ZERO);
+        let c1 = WorkingConditions::reference().with_temperature(Temperature::from_celsius(t1));
+        let c2 = WorkingConditions::reference()
+            .with_temperature(Temperature::from_celsius((t1 + dt).min(125.0)));
+        let p1 = block.power(OperatingMode::Sleep, &c1).leakage;
+        let p2 = block.power(OperatingMode::Sleep, &c2).leakage;
+        prop_assert!(p2 > p1);
+    }
+
+    /// Dynamic power scales exactly quadratically in supply.
+    #[test]
+    fn dynamic_quadratic_in_supply(block in arb_block(), v in 0.6f64..1.2) {
+        let base = WorkingConditions::reference();
+        let scaled = base.with_supply(Voltage::from_volts(v));
+        let p0 = block.power(OperatingMode::Active, &base).dynamic;
+        let p1 = block.power(OperatingMode::Active, &scaled).dynamic;
+        let ratio = (v / 1.2) * (v / 1.2);
+        prop_assert!(p1.approx_eq(p0 * ratio, 1e-9));
+    }
+
+    /// Corner ordering holds for leakage under all conditions.
+    #[test]
+    fn corners_order_leakage(block in arb_block(), cond in arb_conditions()) {
+        prop_assume!(block.leakage().reference() > Power::ZERO);
+        let ss = block.power(OperatingMode::Sleep, &cond.with_corner(ProcessCorner::SlowSlow));
+        let tt = block.power(OperatingMode::Sleep, &cond.with_corner(ProcessCorner::Typical));
+        let ff = block.power(OperatingMode::Sleep, &cond.with_corner(ProcessCorner::FastFast));
+        prop_assert!(ss.leakage < tt.leakage);
+        prop_assert!(tt.leakage < ff.leakage);
+    }
+
+    /// Event energy scales with V² — cheaper at lower supply.
+    #[test]
+    fn event_energy_supply_scaling(block in arb_block(), v in 0.6f64..1.19) {
+        let base = WorkingConditions::reference();
+        let low = base.with_supply(Voltage::from_volts(v));
+        let e_base = block.event_energy(EventKind::Sample, &base).unwrap();
+        let e_low = block.event_energy(EventKind::Sample, &low).unwrap();
+        prop_assert!(e_low < e_base);
+    }
+
+    /// Grid interpolation stays within the convex hull of its values.
+    #[test]
+    fn grid_interpolation_bounded(
+        p00 in 1.0f64..100.0, p01 in 1.0f64..100.0,
+        p10 in 1.0f64..100.0, p11 in 1.0f64..100.0,
+        v in 0.5f64..1.7, t in -60.0f64..150.0,
+    ) {
+        let grid = PowerGrid::new(
+            GridAxis::new(vec![1.0, 1.4]).unwrap(),
+            GridAxis::new(vec![-40.0, 125.0]).unwrap(),
+            vec![
+                vec![Power::from_microwatts(p00), Power::from_microwatts(p01)],
+                vec![Power::from_microwatts(p10), Power::from_microwatts(p11)],
+            ],
+        ).unwrap();
+        let sample = grid.sample(Voltage::from_volts(v), Temperature::from_celsius(t));
+        let lo = p00.min(p01).min(p10).min(p11);
+        let hi = p00.max(p01).max(p10).max(p11);
+        prop_assert!(sample.microwatts() >= lo - 1e-9);
+        prop_assert!(sample.microwatts() <= hi + 1e-9);
+    }
+
+    /// Block serde round-trips exactly.
+    #[test]
+    fn block_serde_round_trip(block in arb_block()) {
+        let json = serde_json::to_string(&block).unwrap();
+        let back: BlockPowerModel = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, block);
+    }
+
+    /// Leakage scaling hook composes multiplicatively.
+    #[test]
+    fn leakage_scaling_composes(block in arb_block(), a in 0.1f64..1.0, b in 0.1f64..1.0) {
+        let cond = WorkingConditions::reference();
+        let once = block.with_leakage(block.leakage().scaled(a * b));
+        let twice = block.with_leakage(block.leakage().scaled(a).scaled(b));
+        let p1 = once.power(OperatingMode::Sleep, &cond).leakage;
+        let p2 = twice.power(OperatingMode::Sleep, &cond).leakage;
+        prop_assert!(p1.approx_eq(p2, 1e-9));
+    }
+}

@@ -1,0 +1,468 @@
+//! Synthetic driving cycles and profile combinators.
+//!
+//! The cycles are *NEDC-inspired*: the elementary urban cycle (ECE-15
+//! shape: three stop-start humps to 15/32/50 km/h) and an extra-urban
+//! segment reaching 120 km/h. They are not certified regulatory traces —
+//! they reproduce the stop/cruise/accelerate texture that exercises the
+//! Sensor Node's activation threshold in the long-window emulation.
+
+use monityre_units::{Duration, Speed};
+
+use crate::{PiecewiseProfile, ProfileError, SpeedProfile};
+
+fn kmh(v: f64) -> Speed {
+    Speed::from_kmh(v)
+}
+
+fn at(t: f64) -> Duration {
+    Duration::from_secs(t)
+}
+
+/// An ECE-15-style elementary urban cycle (~195 s): three accelerate /
+/// cruise / brake / idle humps peaking at 15, 32 and 50 km/h.
+///
+/// ```
+/// use monityre_profile::{SpeedProfile, UrbanCycle};
+/// use monityre_units::Duration;
+///
+/// let cycle = UrbanCycle::new();
+/// assert!((cycle.duration().secs() - 195.0).abs() < 1e-9);
+/// assert_eq!(cycle.speed_at(Duration::ZERO).kmh(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UrbanCycle {
+    inner: PiecewiseProfile,
+}
+
+impl UrbanCycle {
+    /// Builds the cycle.
+    #[must_use]
+    pub fn new() -> Self {
+        let points = vec![
+            (at(0.0), kmh(0.0)),
+            (at(11.0), kmh(0.0)),   // initial idle
+            (at(15.0), kmh(15.0)),  // hump 1: accelerate
+            (at(23.0), kmh(15.0)),  // cruise
+            (at(28.0), kmh(0.0)),   // brake
+            (at(49.0), kmh(0.0)),   // idle
+            (at(61.0), kmh(32.0)),  // hump 2
+            (at(85.0), kmh(32.0)),
+            (at(96.0), kmh(0.0)),
+            (at(117.0), kmh(0.0)),
+            (at(143.0), kmh(50.0)), // hump 3
+            (at(155.0), kmh(50.0)),
+            (at(163.0), kmh(35.0)),
+            (at(176.0), kmh(35.0)),
+            (at(188.0), kmh(0.0)),
+            (at(195.0), kmh(0.0)),
+        ];
+        Self {
+            inner: PiecewiseProfile::new(points).expect("urban breakpoints are valid"),
+        }
+    }
+}
+
+impl Default for UrbanCycle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpeedProfile for UrbanCycle {
+    fn speed_at(&self, t: Duration) -> Speed {
+        self.inner.speed_at(t)
+    }
+
+    fn duration(&self) -> Duration {
+        self.inner.duration()
+    }
+}
+
+/// An EUDC-style extra-urban segment (~400 s) climbing through 70, 100 and
+/// 120 km/h plateaus before braking to rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtraUrbanCycle {
+    inner: PiecewiseProfile,
+}
+
+impl ExtraUrbanCycle {
+    /// Builds the cycle.
+    #[must_use]
+    pub fn new() -> Self {
+        let points = vec![
+            (at(0.0), kmh(0.0)),
+            (at(20.0), kmh(0.0)),
+            (at(61.0), kmh(70.0)),
+            (at(111.0), kmh(70.0)),
+            (at(119.0), kmh(50.0)),
+            (at(188.0), kmh(50.0)),
+            (at(201.0), kmh(70.0)),
+            (at(251.0), kmh(70.0)),
+            (at(286.0), kmh(100.0)),
+            (at(316.0), kmh(100.0)),
+            (at(336.0), kmh(120.0)),
+            (at(346.0), kmh(120.0)),
+            (at(380.0), kmh(0.0)),
+            (at(400.0), kmh(0.0)),
+        ];
+        Self {
+            inner: PiecewiseProfile::new(points).expect("extra-urban breakpoints are valid"),
+        }
+    }
+}
+
+impl Default for ExtraUrbanCycle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpeedProfile for ExtraUrbanCycle {
+    fn speed_at(&self, t: Duration) -> Speed {
+        self.inner.speed_at(t)
+    }
+
+    fn duration(&self) -> Duration {
+        self.inner.duration()
+    }
+}
+
+/// A steady motorway leg: ramp up to a cruise speed, hold, ramp down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotorwayCycle {
+    inner: PiecewiseProfile,
+}
+
+impl MotorwayCycle {
+    /// Builds a motorway leg cruising at `cruise` for `hold` seconds with
+    /// 30 s entry/exit ramps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidBreakpoints`] when `hold` is
+    /// non-positive or `cruise` is negative.
+    pub fn new(cruise: Speed, hold: Duration) -> Result<Self, ProfileError> {
+        if hold.secs() <= 0.0 {
+            return Err(ProfileError::invalid_breakpoints("hold must be positive"));
+        }
+        if cruise.is_negative() {
+            return Err(ProfileError::invalid_breakpoints(
+                "cruise speed must be non-negative",
+            ));
+        }
+        let ramp = 30.0;
+        let points = vec![
+            (at(0.0), kmh(0.0)),
+            (at(ramp), cruise),
+            (at(ramp + hold.secs()), cruise),
+            (at(2.0 * ramp + hold.secs()), kmh(0.0)),
+        ];
+        Ok(Self {
+            inner: PiecewiseProfile::new(points)?,
+        })
+    }
+}
+
+impl SpeedProfile for MotorwayCycle {
+    fn speed_at(&self, t: Duration) -> Speed {
+        self.inner.speed_at(t)
+    }
+
+    fn duration(&self) -> Duration {
+        self.inner.duration()
+    }
+}
+
+/// A WLTC-class-3-inspired cycle (~1800 s): four phases — low, medium,
+/// high and extra-high — with more frequent speed changes than the
+/// NEDC-style cycles and a 131 km/h extra-high peak. Like the other
+/// cycles it is an *inspired* trace, not the certified one: it reproduces
+/// the phase structure and dynamics that stress the activation threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WltcLikeCycle {
+    inner: PiecewiseProfile,
+}
+
+impl WltcLikeCycle {
+    /// Builds the cycle.
+    #[must_use]
+    pub fn new() -> Self {
+        let points = vec![
+            // Phase 1 — low (0–589 s): stop-and-go, peak ≈ 56 km/h.
+            (at(0.0), kmh(0.0)),
+            (at(11.0), kmh(0.0)),
+            (at(26.0), kmh(35.0)),
+            (at(45.0), kmh(20.0)),
+            (at(65.0), kmh(45.0)),
+            (at(95.0), kmh(10.0)),
+            (at(115.0), kmh(0.0)),
+            (at(140.0), kmh(0.0)),
+            (at(165.0), kmh(50.0)),
+            (at(200.0), kmh(56.0)),
+            (at(235.0), kmh(25.0)),
+            (at(265.0), kmh(40.0)),
+            (at(300.0), kmh(0.0)),
+            (at(330.0), kmh(0.0)),
+            (at(360.0), kmh(45.0)),
+            (at(410.0), kmh(30.0)),
+            (at(450.0), kmh(52.0)),
+            (at(500.0), kmh(15.0)),
+            (at(540.0), kmh(30.0)),
+            (at(575.0), kmh(0.0)),
+            (at(589.0), kmh(0.0)),
+            // Phase 2 — medium (589–1022 s): peak ≈ 76 km/h.
+            (at(620.0), kmh(45.0)),
+            (at(660.0), kmh(60.0)),
+            (at(700.0), kmh(40.0)),
+            (at(740.0), kmh(70.0)),
+            (at(790.0), kmh(76.0)),
+            (at(840.0), kmh(55.0)),
+            (at(880.0), kmh(65.0)),
+            (at(930.0), kmh(30.0)),
+            (at(970.0), kmh(50.0)),
+            (at(1005.0), kmh(0.0)),
+            (at(1022.0), kmh(0.0)),
+            // Phase 3 — high (1022–1477 s): peak ≈ 97 km/h.
+            (at(1060.0), kmh(60.0)),
+            (at(1110.0), kmh(80.0)),
+            (at(1160.0), kmh(65.0)),
+            (at(1210.0), kmh(97.0)),
+            (at(1270.0), kmh(85.0)),
+            (at(1330.0), kmh(92.0)),
+            (at(1390.0), kmh(60.0)),
+            (at(1440.0), kmh(30.0)),
+            (at(1465.0), kmh(0.0)),
+            (at(1477.0), kmh(0.0)),
+            // Phase 4 — extra-high (1477–1800 s): peak ≈ 131 km/h.
+            (at(1520.0), kmh(80.0)),
+            (at(1570.0), kmh(110.0)),
+            (at(1620.0), kmh(95.0)),
+            (at(1680.0), kmh(131.0)),
+            (at(1730.0), kmh(125.0)),
+            (at(1775.0), kmh(40.0)),
+            (at(1795.0), kmh(0.0)),
+            (at(1800.0), kmh(0.0)),
+        ];
+        Self {
+            inner: PiecewiseProfile::new(points).expect("wltc-like breakpoints are valid"),
+        }
+    }
+}
+
+impl Default for WltcLikeCycle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpeedProfile for WltcLikeCycle {
+    fn speed_at(&self, t: Duration) -> Speed {
+        self.inner.speed_at(t)
+    }
+
+    fn duration(&self) -> Duration {
+        self.inner.duration()
+    }
+}
+
+/// Concatenates profiles back to back.
+///
+/// ```
+/// use monityre_profile::{CompositeProfile, ConstantProfile, SpeedProfile};
+/// use monityre_units::{Duration, Speed};
+///
+/// let trip = CompositeProfile::new(vec![
+///     Box::new(ConstantProfile::new(Speed::from_kmh(50.0), Duration::from_mins(1.0))),
+///     Box::new(ConstantProfile::new(Speed::from_kmh(90.0), Duration::from_mins(2.0))),
+/// ]);
+/// assert!((trip.duration().mins() - 3.0).abs() < 1e-12);
+/// assert_eq!(trip.speed_at(Duration::from_secs(90.0)).kmh(), 90.0);
+/// ```
+pub struct CompositeProfile {
+    segments: Vec<Box<dyn SpeedProfile + Send + Sync>>,
+    duration: Duration,
+}
+
+impl CompositeProfile {
+    /// Builds a composite from an ordered list of segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty.
+    #[must_use]
+    pub fn new(segments: Vec<Box<dyn SpeedProfile + Send + Sync>>) -> Self {
+        assert!(!segments.is_empty(), "composite needs at least one segment");
+        let duration = segments
+            .iter()
+            .fold(Duration::ZERO, |acc, s| acc + s.duration());
+        Self { segments, duration }
+    }
+}
+
+impl std::fmt::Debug for CompositeProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeProfile")
+            .field("segments", &self.segments.len())
+            .field("duration", &self.duration)
+            .finish()
+    }
+}
+
+impl SpeedProfile for CompositeProfile {
+    fn speed_at(&self, t: Duration) -> Speed {
+        let mut offset = Duration::ZERO;
+        for segment in &self.segments {
+            let end = offset + segment.duration();
+            if t.secs() < end.secs() {
+                return segment.speed_at(t - offset);
+            }
+            offset = end;
+        }
+        let last = self.segments.last().expect("non-empty by construction");
+        last.speed_at(last.duration())
+    }
+
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+}
+
+/// Repeats a profile `n` times (e.g. four urban cycles as in NEDC).
+#[derive(Debug)]
+pub struct RepeatProfile<P> {
+    inner: P,
+    repeats: usize,
+}
+
+impl<P: SpeedProfile> RepeatProfile<P> {
+    /// Repeats `inner` `repeats` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats` is zero.
+    #[must_use]
+    pub fn new(inner: P, repeats: usize) -> Self {
+        assert!(repeats > 0, "repeat count must be positive");
+        Self { inner, repeats }
+    }
+}
+
+impl<P: SpeedProfile> SpeedProfile for RepeatProfile<P> {
+    fn speed_at(&self, t: Duration) -> Speed {
+        let period = self.inner.duration().secs();
+        let total = period * self.repeats as f64;
+        let wrapped = if t.secs() >= total {
+            period
+        } else {
+            t.secs() % period
+        };
+        self.inner.speed_at(Duration::from_secs(wrapped))
+    }
+
+    fn duration(&self) -> Duration {
+        self.inner.duration() * self.repeats as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urban_cycle_shape() {
+        let c = UrbanCycle::new();
+        // Peak of the third hump.
+        assert!((c.speed_at(at(146.0)).kmh() - 50.0).abs() < 2.0);
+        // Idle windows are at rest.
+        assert_eq!(c.speed_at(at(35.0)).kmh(), 0.0);
+        assert_eq!(c.speed_at(at(100.0)).kmh(), 0.0);
+    }
+
+    #[test]
+    fn urban_cycle_mean_is_citylike() {
+        let mean = UrbanCycle::new().mean_speed(1000);
+        assert!(mean.kmh() > 10.0 && mean.kmh() < 30.0, "mean {mean}");
+    }
+
+    #[test]
+    fn extra_urban_reaches_120() {
+        let c = ExtraUrbanCycle::new();
+        assert!((c.speed_at(at(340.0)).kmh() - 120.0).abs() < 1.0);
+        assert_eq!(c.speed_at(at(395.0)).kmh(), 0.0);
+    }
+
+    #[test]
+    fn motorway_cruises() {
+        let c = MotorwayCycle::new(kmh(130.0), Duration::from_mins(10.0)).unwrap();
+        assert!((c.speed_at(at(300.0)).kmh() - 130.0).abs() < 1e-9);
+        assert!((c.duration().secs() - 660.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn motorway_rejects_zero_hold() {
+        assert!(MotorwayCycle::new(kmh(130.0), Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn wltc_like_phases() {
+        let c = WltcLikeCycle::new();
+        assert!((c.duration().secs() - 1800.0).abs() < 1e-9);
+        // Extra-high peak.
+        assert!((c.speed_at(at(1680.0)).kmh() - 131.0).abs() < 1e-9);
+        // Low phase never exceeds 60 km/h.
+        for t in (0..589).step_by(7) {
+            assert!(c.speed_at(at(f64::from(t))).kmh() <= 60.0, "t={t}");
+        }
+        // Starts and ends at rest.
+        assert_eq!(c.speed_at(at(0.0)).kmh(), 0.0);
+        assert_eq!(c.speed_at(at(1800.0)).kmh(), 0.0);
+    }
+
+    #[test]
+    fn wltc_like_is_faster_than_urban_on_average() {
+        let wltc = WltcLikeCycle::new().mean_speed(2000);
+        let urban = UrbanCycle::new().mean_speed(2000);
+        assert!(wltc > urban);
+        // Representative of the real cycle's ~46.5 km/h average.
+        assert!(wltc.kmh() > 35.0 && wltc.kmh() < 60.0, "mean {wltc}");
+    }
+
+    #[test]
+    fn composite_switches_segments() {
+        let trip = CompositeProfile::new(vec![
+            Box::new(UrbanCycle::new()),
+            Box::new(ExtraUrbanCycle::new()),
+        ]);
+        assert!((trip.duration().secs() - 595.0).abs() < 1e-9);
+        // 195 + 340: inside the extra-urban 120 km/h plateau.
+        assert!((trip.speed_at(at(535.0)).kmh() - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn composite_past_end_holds_final_speed() {
+        let trip = CompositeProfile::new(vec![Box::new(UrbanCycle::new())]);
+        assert_eq!(trip.speed_at(at(10_000.0)).kmh(), 0.0);
+    }
+
+    #[test]
+    fn repeat_wraps_time() {
+        let four = RepeatProfile::new(UrbanCycle::new(), 4);
+        assert!((four.duration().secs() - 780.0).abs() < 1e-9);
+        let single = UrbanCycle::new();
+        // Same phase in the third repetition.
+        let t_in_third = at(2.0 * 195.0 + 146.0);
+        assert_eq!(four.speed_at(t_in_third), single.speed_at(at(146.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat count must be positive")]
+    fn repeat_rejects_zero() {
+        let _ = RepeatProfile::new(UrbanCycle::new(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "composite needs at least one segment")]
+    fn composite_rejects_empty() {
+        let _ = CompositeProfile::new(vec![]);
+    }
+}

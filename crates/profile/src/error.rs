@@ -1,0 +1,62 @@
+//! Error type for profile construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building profiles or parsing geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A tyre designation string did not parse.
+    InvalidTyreSpec {
+        /// The offending text.
+        spec: String,
+    },
+    /// A piecewise profile was given invalid breakpoints.
+    InvalidBreakpoints {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl ProfileError {
+    pub(crate) fn invalid_tyre_spec(spec: &str) -> Self {
+        Self::InvalidTyreSpec {
+            spec: spec.to_owned(),
+        }
+    }
+
+    pub(crate) fn invalid_breakpoints(reason: &str) -> Self {
+        Self::InvalidBreakpoints {
+            reason: reason.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidTyreSpec { spec } => {
+                write!(f, "invalid tyre designation `{spec}`: expected e.g. `225/45R17`")
+            }
+            Self::InvalidBreakpoints { reason } => {
+                write!(f, "invalid profile breakpoints: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(ProfileError::invalid_tyre_spec("xyz").to_string().contains("xyz"));
+        assert!(ProfileError::invalid_breakpoints("unsorted")
+            .to_string()
+            .contains("unsorted"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Driving profiles: wheel geometry, speed-vs-time cycles, temperatures.
+//!
+//! The paper's tools evaluate the Sensor Node "after setting a desired
+//! cruising speed profile" (§II-A). Pirelli's production traces are not
+//! public, so this crate generates synthetic but realistic inputs:
+//!
+//! * [`Wheel`] — rolling geometry, converting vehicle speed to wheel-round
+//!   rate and period (the wheel round is the flow's basic timing unit);
+//! * [`SpeedProfile`] implementations — constant cruise, ramps, piecewise
+//!   traces, NEDC-inspired urban/extra-urban/motorway cycles, and a seeded
+//!   stochastic cruise (Ornstein–Uhlenbeck around a set-point);
+//! * [`TemperatureProfile`] implementations plus a first-order tyre thermal
+//!   model coupling working temperature to speed — feeding the
+//!   temperature-dependent leakage model;
+//! * [`ProfileSampler`] — uniform time-stepped sampling used by the
+//!   transient emulator.
+//!
+//! # Example
+//!
+//! ```
+//! use monityre_profile::{SpeedProfile, UrbanCycle, Wheel};
+//! use monityre_units::{Duration, Speed};
+//!
+//! let wheel = Wheel::from_tyre_spec("225/45R17").unwrap();
+//! let cycle = UrbanCycle::new();
+//! let v = cycle.speed_at(Duration::from_secs(30.0));
+//! let rounds = wheel.rounds_per_second(v);
+//! assert!(rounds.hertz() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod error;
+mod sampler;
+mod speed;
+mod temperature;
+mod thermal;
+mod wheel;
+
+pub use cycles::{
+    CompositeProfile, ExtraUrbanCycle, MotorwayCycle, RepeatProfile, UrbanCycle, WltcLikeCycle,
+};
+pub use error::ProfileError;
+pub use sampler::{ProfileSample, ProfileSampler};
+pub use speed::{ConstantProfile, PiecewiseProfile, RampProfile, SpeedProfile, StochasticCruise};
+pub use temperature::{
+    ConstantTemperature, DiurnalTemperature, PiecewiseTemperature, TemperatureProfile,
+};
+pub use thermal::TyreThermalModel;
+pub use wheel::Wheel;

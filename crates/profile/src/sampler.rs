@@ -1,0 +1,134 @@
+//! Uniform time-stepped sampling of a speed profile.
+
+use monityre_units::{Duration, Speed};
+
+use crate::SpeedProfile;
+
+/// One sample of a profile: elapsed time and speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSample {
+    /// Elapsed time at the *start* of the step.
+    pub time: Duration,
+    /// Speed at that instant.
+    pub speed: Speed,
+    /// The step length (constant except possibly the final, truncated step).
+    pub step: Duration,
+}
+
+/// Iterator yielding uniform samples `(t, v, dt)` over a profile's window.
+///
+/// The final step is truncated so the samples exactly tile the window —
+/// the emulator relies on `Σ dt == duration` for energy conservation.
+///
+/// ```
+/// use monityre_profile::{ConstantProfile, ProfileSampler};
+/// use monityre_units::{Duration, Speed};
+///
+/// let p = ConstantProfile::new(Speed::from_kmh(50.0), Duration::from_secs(1.0));
+/// let steps: Vec<_> = ProfileSampler::new(&p, Duration::from_millis(300.0)).collect();
+/// assert_eq!(steps.len(), 4); // 0.3 + 0.3 + 0.3 + 0.1
+/// let total: f64 = steps.iter().map(|s| s.step.secs()).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct ProfileSampler<'a, P: ?Sized> {
+    profile: &'a P,
+    step: Duration,
+    cursor: Duration,
+    end: Duration,
+}
+
+impl<'a, P: SpeedProfile + ?Sized> ProfileSampler<'a, P> {
+    /// Creates a sampler with the given step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is non-positive or non-finite.
+    #[must_use]
+    pub fn new(profile: &'a P, step: Duration) -> Self {
+        assert!(
+            step.secs() > 0.0 && step.is_finite(),
+            "sampler step must be positive, got {step}"
+        );
+        Self {
+            profile,
+            step,
+            cursor: Duration::ZERO,
+            end: profile.duration(),
+        }
+    }
+}
+
+impl<'a, P: SpeedProfile + ?Sized> Iterator for ProfileSampler<'a, P> {
+    type Item = ProfileSample;
+
+    fn next(&mut self) -> Option<ProfileSample> {
+        let remaining = self.end - self.cursor;
+        if remaining.secs() <= 1e-12 {
+            return None;
+        }
+        let step = self.step.min(remaining);
+        let sample = ProfileSample {
+            time: self.cursor,
+            speed: self.profile.speed_at(self.cursor),
+            step,
+        };
+        self.cursor += step;
+        Some(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantProfile, RampProfile};
+
+    #[test]
+    fn tiles_window_exactly() {
+        let p = ConstantProfile::new(Speed::from_kmh(80.0), Duration::from_secs(10.0));
+        let total: f64 = ProfileSampler::new(&p, Duration::from_millis(700.0))
+            .map(|s| s.step.secs())
+            .sum();
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_division_has_uniform_steps() {
+        let p = ConstantProfile::new(Speed::from_kmh(80.0), Duration::from_secs(1.0));
+        let steps: Vec<_> = ProfileSampler::new(&p, Duration::from_millis(250.0)).collect();
+        assert_eq!(steps.len(), 4);
+        assert!(steps.iter().all(|s| (s.step.millis() - 250.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn samples_follow_the_profile() {
+        let p = RampProfile::new(Speed::ZERO, Speed::from_mps(10.0), Duration::from_secs(10.0));
+        let samples: Vec<_> = ProfileSampler::new(&p, Duration::from_secs(1.0)).collect();
+        assert_eq!(samples.len(), 10);
+        assert!(samples[0].speed.approx_eq(Speed::ZERO, 1e-12));
+        assert!(samples[5].speed.approx_eq(Speed::from_mps(5.0), 1e-12));
+    }
+
+    #[test]
+    fn times_are_cumulative() {
+        let p = ConstantProfile::new(Speed::from_kmh(50.0), Duration::from_secs(2.0));
+        let samples: Vec<_> = ProfileSampler::new(&p, Duration::from_millis(500.0)).collect();
+        let times: Vec<f64> = samples.iter().map(|s| s.time.secs()).collect();
+        assert_eq!(times, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler step must be positive")]
+    fn rejects_zero_step() {
+        let p = ConstantProfile::new(Speed::from_kmh(50.0), Duration::from_secs(1.0));
+        let _ = ProfileSampler::new(&p, Duration::ZERO);
+    }
+
+    #[test]
+    fn works_through_trait_object() {
+        let p = ConstantProfile::new(Speed::from_kmh(50.0), Duration::from_secs(1.0));
+        let dyn_p: &dyn crate::SpeedProfile = &p;
+        let n = ProfileSampler::new(dyn_p, Duration::from_millis(100.0)).count();
+        assert_eq!(n, 10);
+    }
+}

@@ -1,0 +1,376 @@
+//! Speed-vs-time profiles.
+
+use monityre_units::{Duration, Speed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ProfileError;
+
+/// A vehicle speed trace over a finite window.
+///
+/// Implementations must return a non-negative speed for every `t` in
+/// `[0, duration]`; queries past the end hold the final value (so callers
+/// can safely over-run by a step).
+pub trait SpeedProfile {
+    /// The speed at elapsed time `t`.
+    fn speed_at(&self, t: Duration) -> Speed;
+
+    /// The length of the profile window.
+    fn duration(&self) -> Duration;
+
+    /// The arithmetic mean of the speed sampled at `n` uniform points —
+    /// a convenience for reports.
+    fn mean_speed(&self, n: usize) -> Speed {
+        let n = n.max(1);
+        let dt = self.duration() / n as f64;
+        let sum: f64 = (0..n)
+            .map(|i| self.speed_at(dt * (i as f64 + 0.5)).mps())
+            .sum();
+        Speed::from_mps(sum / n as f64)
+    }
+}
+
+/// Constant cruising speed — the operating point of the paper's Fig. 2.
+///
+/// ```
+/// use monityre_profile::{ConstantProfile, SpeedProfile};
+/// use monityre_units::{Duration, Speed};
+///
+/// let cruise = ConstantProfile::new(Speed::from_kmh(90.0), Duration::from_mins(10.0));
+/// assert_eq!(cruise.speed_at(Duration::from_secs(1.0)), Speed::from_kmh(90.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantProfile {
+    speed: Speed,
+    duration: Duration,
+}
+
+impl ConstantProfile {
+    /// Creates a constant profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if speed is negative or duration non-positive.
+    #[must_use]
+    pub fn new(speed: Speed, duration: Duration) -> Self {
+        assert!(
+            !speed.is_negative() && speed.is_finite(),
+            "speed must be non-negative, got {speed}"
+        );
+        assert!(
+            duration.secs() > 0.0 && duration.is_finite(),
+            "duration must be positive, got {duration}"
+        );
+        Self { speed, duration }
+    }
+}
+
+impl SpeedProfile for ConstantProfile {
+    fn speed_at(&self, _t: Duration) -> Speed {
+        self.speed
+    }
+
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+}
+
+/// Linear ramp from a start to an end speed (acceleration or braking).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampProfile {
+    from: Speed,
+    to: Speed,
+    duration: Duration,
+}
+
+impl RampProfile {
+    /// Creates a ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either speed is negative or the duration non-positive.
+    #[must_use]
+    pub fn new(from: Speed, to: Speed, duration: Duration) -> Self {
+        assert!(
+            !from.is_negative() && !to.is_negative(),
+            "ramp speeds must be non-negative"
+        );
+        assert!(duration.secs() > 0.0, "ramp duration must be positive");
+        Self { from, to, duration }
+    }
+}
+
+impl SpeedProfile for RampProfile {
+    fn speed_at(&self, t: Duration) -> Speed {
+        let x = (t.secs() / self.duration.secs()).clamp(0.0, 1.0);
+        self.from + (self.to - self.from) * x
+    }
+
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+}
+
+/// A piecewise-linear profile through `(time, speed)` breakpoints.
+///
+/// ```
+/// use monityre_profile::{PiecewiseProfile, SpeedProfile};
+/// use monityre_units::{Duration, Speed};
+///
+/// # fn main() -> Result<(), monityre_profile::ProfileError> {
+/// let p = PiecewiseProfile::new(vec![
+///     (Duration::ZERO, Speed::ZERO),
+///     (Duration::from_secs(10.0), Speed::from_kmh(50.0)),
+///     (Duration::from_secs(30.0), Speed::from_kmh(50.0)),
+/// ])?;
+/// assert!((p.speed_at(Duration::from_secs(5.0)).kmh() - 25.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseProfile {
+    points: Vec<(Duration, Speed)>,
+}
+
+impl PiecewiseProfile {
+    /// Creates a piecewise profile from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidBreakpoints`] when fewer than two
+    /// points are given, times are not strictly increasing, the first time
+    /// is not zero, or any speed is negative/non-finite.
+    pub fn new(points: Vec<(Duration, Speed)>) -> Result<Self, ProfileError> {
+        if points.len() < 2 {
+            return Err(ProfileError::invalid_breakpoints(
+                "need at least two breakpoints",
+            ));
+        }
+        if points[0].0.secs() != 0.0 {
+            return Err(ProfileError::invalid_breakpoints(
+                "first breakpoint must be at t = 0",
+            ));
+        }
+        if points.windows(2).any(|w| w[0].0.secs() >= w[1].0.secs()) {
+            return Err(ProfileError::invalid_breakpoints(
+                "breakpoint times must be strictly increasing",
+            ));
+        }
+        if points
+            .iter()
+            .any(|(_, v)| v.is_negative() || !v.is_finite())
+        {
+            return Err(ProfileError::invalid_breakpoints(
+                "speeds must be non-negative and finite",
+            ));
+        }
+        Ok(Self { points })
+    }
+
+    /// The breakpoints.
+    #[must_use]
+    pub fn points(&self) -> &[(Duration, Speed)] {
+        &self.points
+    }
+}
+
+impl SpeedProfile for PiecewiseProfile {
+    fn speed_at(&self, t: Duration) -> Speed {
+        let secs = t.secs();
+        if secs <= 0.0 {
+            return self.points[0].1;
+        }
+        let last = self.points.len() - 1;
+        if secs >= self.points[last].0.secs() {
+            return self.points[last].1;
+        }
+        let hi = self.points.partition_point(|(pt, _)| pt.secs() <= secs);
+        let (t0, v0) = self.points[hi - 1];
+        let (t1, v1) = self.points[hi];
+        let w = (secs - t0.secs()) / (t1.secs() - t0.secs());
+        v0 + (v1 - v0) * w
+    }
+
+    fn duration(&self) -> Duration {
+        self.points[self.points.len() - 1].0
+    }
+}
+
+/// A seeded mean-reverting (Ornstein–Uhlenbeck) cruise around a set-point:
+/// realistic highway driving with speed fluctuations, reproducible across
+/// runs.
+///
+/// The process is pre-sampled at a fixed internal step on construction so
+/// `speed_at` is deterministic and cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticCruise {
+    samples: Vec<Speed>,
+    step: Duration,
+    duration: Duration,
+}
+
+impl StochasticCruise {
+    /// Builds a stochastic cruise.
+    ///
+    /// * `set_point` — the mean speed the driver tracks;
+    /// * `sigma` — fluctuation magnitude (m/s);
+    /// * `relaxation` — how quickly deviations decay;
+    /// * `seed` — RNG seed for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set-point is negative, sigma negative, relaxation or
+    /// duration non-positive.
+    #[must_use]
+    pub fn new(
+        set_point: Speed,
+        sigma: f64,
+        relaxation: Duration,
+        duration: Duration,
+        seed: u64,
+    ) -> Self {
+        assert!(!set_point.is_negative(), "set-point must be non-negative");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(relaxation.secs() > 0.0, "relaxation must be positive");
+        assert!(duration.secs() > 0.0, "duration must be positive");
+
+        let step = Duration::from_millis(250.0);
+        let n = (duration.secs() / step.secs()).ceil() as usize + 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theta = 1.0 / relaxation.secs();
+        let dt = step.secs();
+        let mut v = set_point.mps();
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(Speed::from_mps(v.max(0.0)));
+            // Euler–Maruyama step of dV = θ(µ−V)dt + σ√(2θ)·dW.
+            let noise: f64 = rng.gen_range(-1.0..1.0) * (3.0f64).sqrt(); // unit-variance uniform
+            v += theta * (set_point.mps() - v) * dt
+                + sigma * (2.0 * theta * dt).sqrt() * noise;
+        }
+        Self {
+            samples,
+            step,
+            duration,
+        }
+    }
+}
+
+impl SpeedProfile for StochasticCruise {
+    fn speed_at(&self, t: Duration) -> Speed {
+        let x = (t.secs() / self.step.secs()).clamp(0.0, (self.samples.len() - 1) as f64);
+        let i = x.floor() as usize;
+        let j = (i + 1).min(self.samples.len() - 1);
+        let w = x - i as f64;
+        self.samples[i] + (self.samples[j] - self.samples[i]) * w
+    }
+
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let p = ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(5.0));
+        for t in [0.0, 1.0, 100.0, 299.0, 10_000.0] {
+            assert_eq!(p.speed_at(Duration::from_secs(t)), Speed::from_kmh(60.0));
+        }
+        assert!(p.mean_speed(16).approx_eq(Speed::from_kmh(60.0), 1e-12));
+    }
+
+    #[test]
+    fn ramp_interpolates_and_clamps() {
+        let p = RampProfile::new(Speed::ZERO, Speed::from_mps(20.0), Duration::from_secs(10.0));
+        assert_eq!(p.speed_at(Duration::ZERO), Speed::ZERO);
+        assert!(p.speed_at(Duration::from_secs(5.0)).approx_eq(Speed::from_mps(10.0), 1e-12));
+        assert!(p.speed_at(Duration::from_secs(50.0)).approx_eq(Speed::from_mps(20.0), 1e-12));
+    }
+
+    #[test]
+    fn piecewise_interpolates() {
+        let p = PiecewiseProfile::new(vec![
+            (Duration::ZERO, Speed::ZERO),
+            (Duration::from_secs(10.0), Speed::from_mps(10.0)),
+            (Duration::from_secs(20.0), Speed::from_mps(4.0)),
+        ])
+        .unwrap();
+        assert!(p.speed_at(Duration::from_secs(15.0)).approx_eq(Speed::from_mps(7.0), 1e-12));
+        assert!(p.duration().approx_eq(Duration::from_secs(20.0), 1e-12));
+        // Past the end holds the last value.
+        assert!(p.speed_at(Duration::from_secs(99.0)).approx_eq(Speed::from_mps(4.0), 1e-12));
+    }
+
+    #[test]
+    fn piecewise_rejects_bad_breakpoints() {
+        let t = Duration::from_secs;
+        let v = Speed::from_mps;
+        assert!(PiecewiseProfile::new(vec![(t(0.0), v(1.0))]).is_err());
+        assert!(PiecewiseProfile::new(vec![(t(1.0), v(1.0)), (t(2.0), v(1.0))]).is_err());
+        assert!(PiecewiseProfile::new(vec![(t(0.0), v(1.0)), (t(0.0), v(1.0))]).is_err());
+        assert!(PiecewiseProfile::new(vec![(t(0.0), v(-1.0)), (t(1.0), v(1.0))]).is_err());
+    }
+
+    #[test]
+    fn stochastic_cruise_is_reproducible() {
+        let a = StochasticCruise::new(
+            Speed::from_kmh(110.0), 1.5, Duration::from_secs(20.0),
+            Duration::from_mins(5.0), 42,
+        );
+        let b = StochasticCruise::new(
+            Speed::from_kmh(110.0), 1.5, Duration::from_secs(20.0),
+            Duration::from_mins(5.0), 42,
+        );
+        for i in 0..60 {
+            let t = Duration::from_secs(f64::from(i) * 5.0);
+            assert_eq!(a.speed_at(t), b.speed_at(t));
+        }
+    }
+
+    #[test]
+    fn stochastic_cruise_tracks_set_point() {
+        let p = StochasticCruise::new(
+            Speed::from_kmh(110.0), 1.0, Duration::from_secs(15.0),
+            Duration::from_mins(20.0), 7,
+        );
+        let mean = p.mean_speed(500);
+        assert!((mean.kmh() - 110.0).abs() < 8.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn stochastic_cruise_never_negative() {
+        // Aggressive noise around a very low set-point.
+        let p = StochasticCruise::new(
+            Speed::from_kmh(3.0), 4.0, Duration::from_secs(5.0),
+            Duration::from_mins(2.0), 13,
+        );
+        for i in 0..240 {
+            let v = p.speed_at(Duration::from_secs(f64::from(i) * 0.5));
+            assert!(!v.is_negative());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = StochasticCruise::new(
+            Speed::from_kmh(110.0), 2.0, Duration::from_secs(20.0),
+            Duration::from_mins(5.0), 1,
+        );
+        let b = StochasticCruise::new(
+            Speed::from_kmh(110.0), 2.0, Duration::from_secs(20.0),
+            Duration::from_mins(5.0), 2,
+        );
+        let t = Duration::from_secs(60.0);
+        assert_ne!(a.speed_at(t), b.speed_at(t));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn constant_rejects_zero_duration() {
+        let _ = ConstantProfile::new(Speed::from_kmh(50.0), Duration::ZERO);
+    }
+}

@@ -1,0 +1,196 @@
+//! Ambient/working temperature profiles.
+//!
+//! Static power "is mainly linked to the working temperature of the
+//! circuit" (§II), so the long-window emulation needs a temperature input
+//! alongside the speed profile. Profiles here describe the *ambient/tyre*
+//! temperature over time; the speed-coupled self-heating lives in
+//! [`crate::TyreThermalModel`].
+
+use monityre_units::{Duration, Temperature};
+
+use crate::ProfileError;
+
+/// A temperature trace over time.
+///
+/// Queries past the end hold the final value.
+pub trait TemperatureProfile {
+    /// The temperature at elapsed time `t`.
+    fn temperature_at(&self, t: Duration) -> Temperature;
+}
+
+/// A constant temperature.
+///
+/// ```
+/// use monityre_profile::{ConstantTemperature, TemperatureProfile};
+/// use monityre_units::{Duration, Temperature};
+///
+/// let p = ConstantTemperature::new(Temperature::from_celsius(35.0));
+/// assert_eq!(p.temperature_at(Duration::from_mins(5.0)).celsius(), 35.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantTemperature {
+    value: Temperature,
+}
+
+impl ConstantTemperature {
+    /// Creates a constant profile.
+    #[must_use]
+    pub fn new(value: Temperature) -> Self {
+        Self { value }
+    }
+}
+
+impl TemperatureProfile for ConstantTemperature {
+    fn temperature_at(&self, _t: Duration) -> Temperature {
+        self.value
+    }
+}
+
+/// Piecewise-linear temperature through `(time, temperature)` breakpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseTemperature {
+    points: Vec<(Duration, Temperature)>,
+}
+
+impl PiecewiseTemperature {
+    /// Creates a piecewise temperature profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidBreakpoints`] when fewer than two
+    /// points are given, the first is not at `t = 0`, or times are not
+    /// strictly increasing.
+    pub fn new(points: Vec<(Duration, Temperature)>) -> Result<Self, ProfileError> {
+        if points.len() < 2 {
+            return Err(ProfileError::invalid_breakpoints(
+                "need at least two breakpoints",
+            ));
+        }
+        if points[0].0.secs() != 0.0 {
+            return Err(ProfileError::invalid_breakpoints(
+                "first breakpoint must be at t = 0",
+            ));
+        }
+        if points.windows(2).any(|w| w[0].0.secs() >= w[1].0.secs()) {
+            return Err(ProfileError::invalid_breakpoints(
+                "breakpoint times must be strictly increasing",
+            ));
+        }
+        Ok(Self { points })
+    }
+}
+
+impl TemperatureProfile for PiecewiseTemperature {
+    fn temperature_at(&self, t: Duration) -> Temperature {
+        let secs = t.secs();
+        if secs <= 0.0 {
+            return self.points[0].1;
+        }
+        let last = self.points.len() - 1;
+        if secs >= self.points[last].0.secs() {
+            return self.points[last].1;
+        }
+        let hi = self.points.partition_point(|(pt, _)| pt.secs() <= secs);
+        let (t0, v0) = self.points[hi - 1];
+        let (t1, v1) = self.points[hi];
+        let w = (secs - t0.secs()) / (t1.secs() - t0.secs());
+        v0.lerp(v1, w)
+    }
+}
+
+/// A sinusoidal day/night swing around a mean — the ambient input for
+/// multi-hour parking/driving scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalTemperature {
+    mean: Temperature,
+    amplitude_kelvin: f64,
+    /// Phase offset: the time of the daily maximum.
+    peak_at: Duration,
+}
+
+impl DiurnalTemperature {
+    /// One day.
+    const PERIOD_SECS: f64 = 24.0 * 3600.0;
+
+    /// Creates a diurnal profile with daily `mean`, half-swing
+    /// `amplitude_kelvin`, peaking at `peak_at` into the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude_kelvin` is negative or non-finite.
+    #[must_use]
+    pub fn new(mean: Temperature, amplitude_kelvin: f64, peak_at: Duration) -> Self {
+        assert!(
+            amplitude_kelvin >= 0.0 && amplitude_kelvin.is_finite(),
+            "amplitude must be non-negative, got {amplitude_kelvin}"
+        );
+        Self {
+            mean,
+            amplitude_kelvin,
+            peak_at,
+        }
+    }
+}
+
+impl TemperatureProfile for DiurnalTemperature {
+    fn temperature_at(&self, t: Duration) -> Temperature {
+        let phase =
+            (t.secs() - self.peak_at.secs()) / Self::PERIOD_SECS * std::f64::consts::TAU;
+        self.mean.offset_kelvin(self.amplitude_kelvin * phase.cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_holds() {
+        let p = ConstantTemperature::new(Temperature::from_celsius(-10.0));
+        assert_eq!(p.temperature_at(Duration::from_hours(3.0)).celsius(), -10.0);
+    }
+
+    #[test]
+    fn piecewise_interpolates() {
+        let p = PiecewiseTemperature::new(vec![
+            (Duration::ZERO, Temperature::from_celsius(20.0)),
+            (Duration::from_mins(10.0), Temperature::from_celsius(60.0)),
+        ])
+        .unwrap();
+        let mid = p.temperature_at(Duration::from_mins(5.0));
+        assert!((mid.celsius() - 40.0).abs() < 1e-9);
+        // Past the end holds.
+        assert!((p.temperature_at(Duration::from_hours(1.0)).celsius() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_rejects_invalid() {
+        assert!(PiecewiseTemperature::new(vec![(Duration::ZERO, Temperature::REFERENCE)]).is_err());
+        assert!(PiecewiseTemperature::new(vec![
+            (Duration::from_secs(1.0), Temperature::REFERENCE),
+            (Duration::from_secs(2.0), Temperature::REFERENCE),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn diurnal_peaks_at_configured_time() {
+        let p = DiurnalTemperature::new(
+            Temperature::from_celsius(20.0),
+            10.0,
+            Duration::from_hours(14.0),
+        );
+        let peak = p.temperature_at(Duration::from_hours(14.0));
+        assert!((peak.celsius() - 30.0).abs() < 1e-9);
+        let trough = p.temperature_at(Duration::from_hours(2.0));
+        assert!((trough.celsius() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_is_periodic() {
+        let p = DiurnalTemperature::new(Temperature::from_celsius(15.0), 8.0, Duration::ZERO);
+        let a = p.temperature_at(Duration::from_hours(5.0));
+        let b = p.temperature_at(Duration::from_hours(29.0));
+        assert!(a.approx_eq(b, 1e-12));
+    }
+}

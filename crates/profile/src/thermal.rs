@@ -1,0 +1,174 @@
+//! First-order tyre self-heating model.
+//!
+//! A rolling tyre heats above ambient through hysteresis losses roughly
+//! proportional to speed; at standstill it relaxes back to ambient. The
+//! transient emulator steps this model alongside the speed profile so the
+//! leakage term sees a realistic working temperature — the coupling the
+//! paper highlights between operating conditions and static power.
+
+use monityre_units::{Duration, Speed, Temperature};
+use serde::{Deserialize, Serialize};
+
+/// First-order thermal model: `dT/dt = (T_target − T)/τ` with
+/// `T_target = ambient + k·v`.
+///
+/// ```
+/// use monityre_profile::TyreThermalModel;
+/// use monityre_units::{Duration, Speed, Temperature};
+///
+/// let model = TyreThermalModel::reference();
+/// let ambient = Temperature::from_celsius(20.0);
+/// let mut t = ambient;
+/// for _ in 0..3600 {
+///     t = model.step(t, Speed::from_kmh(130.0), ambient, Duration::from_secs(1.0));
+/// }
+/// assert!(t.celsius() > 35.0); // motorway cruise warms the tyre well above ambient
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TyreThermalModel {
+    /// Steady-state rise per unit speed, in kelvin per (m/s).
+    heating_coefficient: f64,
+    /// Thermal relaxation time constant.
+    time_constant: Duration,
+}
+
+impl TyreThermalModel {
+    /// Builds a thermal model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient is negative/non-finite or the time
+    /// constant non-positive.
+    #[must_use]
+    pub fn new(heating_coefficient: f64, time_constant: Duration) -> Self {
+        assert!(
+            heating_coefficient >= 0.0 && heating_coefficient.is_finite(),
+            "heating coefficient must be non-negative, got {heating_coefficient}"
+        );
+        assert!(
+            time_constant.secs() > 0.0 && time_constant.is_finite(),
+            "time constant must be positive, got {time_constant}"
+        );
+        Self {
+            heating_coefficient,
+            time_constant,
+        }
+    }
+
+    /// The reference passenger-tyre model: ≈ 0.6 K per m/s steady-state
+    /// rise (≈ 22 K above ambient at 130 km/h) with a 8-minute time
+    /// constant — representative of published tyre-temperature studies.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::new(0.6, Duration::from_mins(8.0))
+    }
+
+    /// The steady-state rise per unit speed (K per m/s).
+    #[must_use]
+    pub fn heating_coefficient(&self) -> f64 {
+        self.heating_coefficient
+    }
+
+    /// The relaxation time constant.
+    #[must_use]
+    pub fn time_constant(&self) -> Duration {
+        self.time_constant
+    }
+
+    /// The steady-state temperature at a constant speed and ambient.
+    #[must_use]
+    pub fn steady_state(&self, speed: Speed, ambient: Temperature) -> Temperature {
+        ambient.offset_kelvin(self.heating_coefficient * speed.mps())
+    }
+
+    /// Advances the tyre temperature by one time step using the exact
+    /// exponential update (unconditionally stable for any `dt`).
+    #[must_use]
+    pub fn step(
+        &self,
+        current: Temperature,
+        speed: Speed,
+        ambient: Temperature,
+        dt: Duration,
+    ) -> Temperature {
+        let target = self.steady_state(speed, ambient);
+        let alpha = 1.0 - (-dt.secs() / self.time_constant.secs()).exp();
+        current.lerp(target, alpha)
+    }
+}
+
+impl Default for TyreThermalModel {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_steady_state() {
+        let model = TyreThermalModel::reference();
+        let ambient = Temperature::from_celsius(25.0);
+        let speed = Speed::from_kmh(100.0);
+        let mut t = ambient;
+        for _ in 0..(3600 * 2) {
+            t = model.step(t, speed, ambient, Duration::from_secs(1.0));
+        }
+        let target = model.steady_state(speed, ambient);
+        assert!(t.approx_eq(target, 1e-3), "t={t} target={target}");
+    }
+
+    #[test]
+    fn cools_back_to_ambient_at_rest() {
+        let model = TyreThermalModel::reference();
+        let ambient = Temperature::from_celsius(20.0);
+        let mut t = Temperature::from_celsius(55.0);
+        for _ in 0..(3600 * 2) {
+            t = model.step(t, Speed::ZERO, ambient, Duration::from_secs(1.0));
+        }
+        assert!(t.approx_eq(ambient, 1e-3), "t={t}");
+    }
+
+    #[test]
+    fn step_is_monotone_toward_target() {
+        let model = TyreThermalModel::reference();
+        let ambient = Temperature::from_celsius(10.0);
+        let speed = Speed::from_kmh(80.0);
+        let mut t = ambient;
+        let mut last = t;
+        for _ in 0..600 {
+            t = model.step(t, speed, ambient, Duration::from_secs(1.0));
+            assert!(t.kelvin() >= last.kelvin());
+            last = t;
+        }
+        assert!(t.kelvin() <= model.steady_state(speed, ambient).kelvin() + 1e-9);
+    }
+
+    #[test]
+    fn large_step_is_stable() {
+        let model = TyreThermalModel::reference();
+        let ambient = Temperature::from_celsius(20.0);
+        let speed = Speed::from_kmh(120.0);
+        // A single huge step lands exactly on steady state, no overshoot.
+        let t = model.step(ambient, speed, ambient, Duration::from_hours(10.0));
+        assert!(t.approx_eq(model.steady_state(speed, ambient), 1e-6));
+    }
+
+    #[test]
+    fn steady_state_scales_with_speed() {
+        let model = TyreThermalModel::new(0.5, Duration::from_mins(5.0));
+        let ambient = Temperature::from_celsius(0.0);
+        let slow = model.steady_state(Speed::from_mps(10.0), ambient);
+        let fast = model.steady_state(Speed::from_mps(30.0), ambient);
+        assert!((slow.celsius() - 5.0).abs() < 1e-9);
+        assert!((fast.celsius() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time constant must be positive")]
+    fn rejects_zero_time_constant() {
+        let _ = TyreThermalModel::new(0.5, Duration::ZERO);
+    }
+}

@@ -1,0 +1,214 @@
+//! Wheel geometry: the bridge between vehicle speed and wheel rounds.
+
+use std::fmt;
+
+use monityre_units::{AngularVelocity, Distance, Duration, Frequency, Speed};
+use serde::{Deserialize, Serialize};
+
+use crate::ProfileError;
+
+/// Rolling geometry of the instrumented wheel.
+///
+/// The paper's methodology treats the wheel round as "the basic timing
+/// unit"; every per-round energy figure is tied to a specific rolling
+/// circumference. The rolling circumference is slightly shorter than the
+/// geometric one because the loaded tyre flattens at the contact patch —
+/// the conventional ≈ 96 % factor is applied by
+/// [`Wheel::from_tyre_spec`].
+///
+/// ```
+/// use monityre_profile::Wheel;
+/// use monityre_units::Speed;
+///
+/// let wheel = Wheel::from_tyre_spec("205/55R16").unwrap();
+/// let f = wheel.rounds_per_second(Speed::from_kmh(72.0));
+/// assert!((f.hertz() - 10.35).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wheel {
+    rolling_circumference: Distance,
+}
+
+/// Contact-patch flattening: rolling circumference ≈ 96 % of geometric.
+const ROLLING_FACTOR: f64 = 0.96;
+
+impl Wheel {
+    /// Creates a wheel from its rolling circumference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circumference is not strictly positive and finite.
+    #[must_use]
+    pub fn new(rolling_circumference: Distance) -> Self {
+        assert!(
+            rolling_circumference.is_finite() && rolling_circumference.metres() > 0.0,
+            "rolling circumference must be positive, got {rolling_circumference}"
+        );
+        Self {
+            rolling_circumference,
+        }
+    }
+
+    /// Parses a European tyre designation like `"225/45R17"`:
+    /// width 225 mm, aspect ratio 45 %, rim 17 in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidTyreSpec`] when the string does not
+    /// match the `WWW/AARDD` pattern or a component fails to parse.
+    pub fn from_tyre_spec(spec: &str) -> Result<Self, ProfileError> {
+        let bad = || ProfileError::invalid_tyre_spec(spec);
+        let (width_str, rest) = spec.split_once('/').ok_or_else(bad)?;
+        let (aspect_str, rim_str) = rest
+            .split_once(['R', 'r'])
+            .ok_or_else(bad)?;
+        let width_mm: f64 = width_str.trim().parse().map_err(|_| bad())?;
+        let aspect_pct: f64 = aspect_str.trim().parse().map_err(|_| bad())?;
+        let rim_in: f64 = rim_str.trim().parse().map_err(|_| bad())?;
+        if !(width_mm > 0.0 && aspect_pct > 0.0 && rim_in > 0.0) {
+            return Err(bad());
+        }
+        let sidewall_mm = width_mm * aspect_pct / 100.0;
+        let diameter_mm = rim_in * 25.4 + 2.0 * sidewall_mm;
+        let circumference_m = diameter_mm * 1e-3 * std::f64::consts::PI * ROLLING_FACTOR;
+        Ok(Self::new(Distance::from_metres(circumference_m)))
+    }
+
+    /// The reference wheel used across the examples and benches: a common
+    /// 205/55R16 passenger-car fitment (rolling circumference ≈ 1.93 m).
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::from_tyre_spec("205/55R16").expect("reference spec is valid")
+    }
+
+    /// The rolling circumference.
+    #[must_use]
+    pub fn rolling_circumference(&self) -> Distance {
+        self.rolling_circumference
+    }
+
+    /// The rolling radius.
+    #[must_use]
+    pub fn rolling_radius(&self) -> Distance {
+        Distance::from_metres(self.rolling_circumference.metres() / std::f64::consts::TAU)
+    }
+
+    /// Wheel rounds per second at the given vehicle speed.
+    #[must_use]
+    pub fn rounds_per_second(&self, speed: Speed) -> Frequency {
+        speed / self.rolling_circumference
+    }
+
+    /// Duration of one wheel round at the given speed.
+    ///
+    /// Returns an infinite duration at standstill — callers treat the
+    /// round as never completing.
+    #[must_use]
+    pub fn round_period(&self, speed: Speed) -> Duration {
+        self.rounds_per_second(speed).period()
+    }
+
+    /// Number of (fractional) wheel rounds completed over `window` at a
+    /// constant `speed`.
+    #[must_use]
+    pub fn rounds_over(&self, speed: Speed, window: Duration) -> f64 {
+        self.rounds_per_second(speed).hertz() * window.secs()
+    }
+
+    /// Wheel angular velocity at the given speed.
+    #[must_use]
+    pub fn angular_velocity(&self, speed: Speed) -> AngularVelocity {
+        AngularVelocity::from_speed_radius(speed, self.rolling_radius())
+    }
+}
+
+impl Default for Wheel {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+impl fmt::Display for Wheel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wheel ({} rolling)", self.rolling_circumference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tyre_spec_geometry() {
+        // 205/55R16: sidewall 112.75 mm, diameter 631.9 mm,
+        // circumference π·0.6319·0.96 ≈ 1.906 m.
+        let wheel = Wheel::from_tyre_spec("205/55R16").unwrap();
+        assert!((wheel.rolling_circumference().metres() - 1.906).abs() < 0.005);
+    }
+
+    #[test]
+    fn bigger_tyre_longer_circumference() {
+        let small = Wheel::from_tyre_spec("195/50R15").unwrap();
+        let big = Wheel::from_tyre_spec("255/60R18").unwrap();
+        assert!(big.rolling_circumference() > small.rolling_circumference());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", "225", "225/45", "225-45R17", "a/bRc", "0/45R17", "225/45R0"] {
+            assert!(Wheel::from_tyre_spec(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn lowercase_r_accepted() {
+        assert!(Wheel::from_tyre_spec("205/55r16").is_ok());
+    }
+
+    #[test]
+    fn rounds_per_second_at_cruise() {
+        let wheel = Wheel::new(Distance::from_metres(2.0));
+        let f = wheel.rounds_per_second(Speed::from_mps(20.0));
+        assert!((f.hertz() - 10.0).abs() < 1e-12);
+        assert!(wheel.round_period(Speed::from_mps(20.0)).approx_eq(
+            monityre_units::Duration::from_millis(100.0),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn standstill_round_never_completes() {
+        let wheel = Wheel::reference();
+        assert!(wheel.round_period(Speed::ZERO).secs().is_infinite());
+        assert_eq!(wheel.rounds_per_second(Speed::ZERO).hertz(), 0.0);
+    }
+
+    #[test]
+    fn rounds_over_window() {
+        let wheel = Wheel::new(Distance::from_metres(2.0));
+        let n = wheel.rounds_over(Speed::from_mps(10.0), Duration::from_secs(4.0));
+        assert!((n - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_velocity_consistent_with_radius() {
+        let wheel = Wheel::new(Distance::from_metres(std::f64::consts::TAU));
+        // radius exactly 1 m → ω == v numerically.
+        let w = wheel.angular_velocity(Speed::from_mps(5.0));
+        assert!((w.rads() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rolling circumference must be positive")]
+    fn rejects_zero_circumference() {
+        let _ = Wheel::new(Distance::ZERO);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let wheel = Wheel::reference();
+        let json = serde_json::to_string(&wheel).unwrap();
+        let back: Wheel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wheel);
+    }
+}

@@ -1,0 +1,267 @@
+//! Hosting a power database on the live sheet.
+//!
+//! This is the paper's workflow made concrete: the power figures of every
+//! block live in spreadsheet cells; whole-node aggregates are formulas over
+//! them; changing a working condition updates the figure cells and the
+//! engine ripples the change through every derived cell.
+
+use monityre_power::{OperatingMode, PowerDatabase, WorkingConditions};
+use monityre_units::{Temperature, Voltage};
+
+use crate::{Sheet, SheetError};
+
+/// A [`Sheet`] populated from a [`PowerDatabase`].
+///
+/// Cell layout:
+///
+/// * `cond.supply_v`, `cond.temp_c` — the working-condition inputs;
+/// * `<block>.active_uw`, `<block>.sleep_uw`, `<block>.leak_uw` — per-block
+///   figures in µW, re-derived from the models whenever the conditions
+///   change;
+/// * `node.active_uw`, `node.sleep_uw`, `node.leak_uw` — whole-node
+///   aggregate formulas.
+///
+/// ```
+/// use monityre_power::{BlockPowerModel, LeakageModel, PowerDatabase};
+/// use monityre_sheet::PowerSheet;
+/// use monityre_units::{Power, Temperature};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut db = PowerDatabase::new();
+/// db.insert(BlockPowerModel::builder("dsp")
+///     .leakage(LeakageModel::with_reference(Power::from_microwatts(2.0)))
+///     .build())?;
+///
+/// let mut sheet = PowerSheet::new(&db)?;
+/// let cool = sheet.value("node.leak_uw")?;
+/// sheet.set_temperature(Temperature::from_celsius(85.0), &db)?;
+/// let hot = sheet.value("node.leak_uw")?;
+/// assert!(hot > cool);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PowerSheet {
+    sheet: Sheet,
+    conditions: WorkingConditions,
+}
+
+impl PowerSheet {
+    /// Builds a sheet from the database at reference conditions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (practically unreachable for valid block
+    /// names).
+    pub fn new(database: &PowerDatabase) -> Result<Self, SheetError> {
+        let conditions = WorkingConditions::reference();
+        let mut this = Self {
+            sheet: Sheet::new(),
+            conditions,
+        };
+        this.sheet
+            .set_number("cond.supply_v", conditions.supply().volts())?;
+        this.sheet
+            .set_number("cond.temp_c", conditions.temperature().celsius())?;
+        this.refresh(database)?;
+
+        // Aggregates: formulas over the per-block cells.
+        let suffixes = MODE_CELLS
+            .iter()
+            .map(|(suffix, _)| *suffix)
+            .chain(std::iter::once("leak_uw"));
+        for suffix in suffixes {
+            let terms: Vec<String> = database
+                .names()
+                .map(|n| format!("{n}.{suffix}"))
+                .collect();
+            if !terms.is_empty() {
+                this.sheet
+                    .set_formula(&format!("node.{suffix}"), &format!("sum({})", terms.join(", ")))?;
+            }
+        }
+        Ok(this)
+    }
+
+    /// The current working conditions.
+    #[must_use]
+    pub fn conditions(&self) -> WorkingConditions {
+        self.conditions
+    }
+
+    /// Read access to the underlying sheet.
+    #[must_use]
+    pub fn sheet(&self) -> &Sheet {
+        &self.sheet
+    }
+
+    /// Mutable access for user-defined derived cells.
+    pub fn sheet_mut(&mut self) -> &mut Sheet {
+        &mut self.sheet
+    }
+
+    /// Convenience: reads a cell value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError::UnknownCell`] when absent.
+    pub fn value(&self, name: &str) -> Result<f64, SheetError> {
+        self.sheet.value(name)
+    }
+
+    /// Changes the working temperature and re-derives every block cell
+    /// (and, through the engine, every dependent formula).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn set_temperature(
+        &mut self,
+        temperature: Temperature,
+        database: &PowerDatabase,
+    ) -> Result<(), SheetError> {
+        self.conditions = self.conditions.with_temperature(temperature);
+        self.sheet
+            .set_number("cond.temp_c", temperature.celsius())?;
+        self.refresh(database)
+    }
+
+    /// Changes the supply voltage and re-derives every block cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn set_supply(
+        &mut self,
+        supply: Voltage,
+        database: &PowerDatabase,
+    ) -> Result<(), SheetError> {
+        self.conditions = self.conditions.with_supply(supply);
+        self.sheet.set_number("cond.supply_v", supply.volts())?;
+        self.refresh(database)
+    }
+
+    /// Re-derives the per-block figure cells from the models at the current
+    /// conditions (called automatically by the setters; call directly after
+    /// replacing models in the database, e.g. post-optimization).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn refresh(&mut self, database: &PowerDatabase) -> Result<(), SheetError> {
+        for (name, record) in database.iter() {
+            for (suffix, mode) in MODE_CELLS {
+                let power = record.model().power(mode, &self.conditions);
+                self.sheet
+                    .set_number(&format!("{name}.{suffix}"), power.total().microwatts())?;
+            }
+            let leak = record
+                .model()
+                .power(OperatingMode::Sleep, &self.conditions)
+                .leakage;
+            self.sheet
+                .set_number(&format!("{name}.leak_uw"), leak.microwatts())?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-mode figure cells the binding maintains for each block.
+const MODE_CELLS: [(&str, OperatingMode); 2] = [
+    ("active_uw", OperatingMode::Active),
+    ("sleep_uw", OperatingMode::Sleep),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monityre_power::{BlockPowerModel, DynamicPowerModel, LeakageModel};
+    use monityre_units::{Capacitance, Frequency, Power};
+
+    fn sample_db() -> PowerDatabase {
+        let mut db = PowerDatabase::new();
+        db.insert(
+            BlockPowerModel::builder("dsp")
+                .dynamic(DynamicPowerModel::new(
+                    0.2,
+                    Capacitance::from_picofarads(200.0),
+                    Frequency::from_megahertz(8.0),
+                ))
+                .leakage(LeakageModel::with_reference(Power::from_microwatts(2.0)))
+                .build(),
+        )
+        .unwrap();
+        db.insert(
+            BlockPowerModel::builder("sram")
+                .leakage(LeakageModel::with_reference(Power::from_microwatts(3.0)))
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn populates_block_and_aggregate_cells() {
+        let db = sample_db();
+        let sheet = PowerSheet::new(&db).unwrap();
+        assert!(sheet.value("dsp.active_uw").unwrap() > 400.0);
+        assert!((sheet.value("sram.leak_uw").unwrap() - 3.0).abs() < 1e-9);
+        let total = sheet.value("node.active_uw").unwrap();
+        let parts = sheet.value("dsp.active_uw").unwrap() + sheet.value("sram.active_uw").unwrap();
+        assert!((total - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_edit_ripples_to_aggregates() {
+        let db = sample_db();
+        let mut sheet = PowerSheet::new(&db).unwrap();
+        let cool = sheet.value("node.sleep_uw").unwrap();
+        sheet
+            .set_temperature(Temperature::from_celsius(85.0), &db)
+            .unwrap();
+        let hot = sheet.value("node.sleep_uw").unwrap();
+        // 58 K above reference with 10 K doubling ≈ 55× — comfortably >10×.
+        assert!(hot > cool * 10.0, "cool={cool} hot={hot}");
+        assert!((sheet.value("cond.temp_c").unwrap() - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supply_edit_scales_dynamic_cells() {
+        let db = sample_db();
+        let mut sheet = PowerSheet::new(&db).unwrap();
+        let full = sheet.value("dsp.active_uw").unwrap();
+        sheet.set_supply(Voltage::from_volts(0.6), &db).unwrap();
+        let half = sheet.value("dsp.active_uw").unwrap();
+        // Dynamic part scales by 0.25; leakage by (0.5)³.
+        assert!(half < full * 0.3);
+    }
+
+    #[test]
+    fn user_formulas_track_condition_edits() {
+        let db = sample_db();
+        let mut sheet = PowerSheet::new(&db).unwrap();
+        sheet
+            .sheet_mut()
+            .set_formula("round.energy_uj", "node.active_uw * 0.005")
+            .unwrap();
+        let before = sheet.value("round.energy_uj").unwrap();
+        sheet
+            .set_temperature(Temperature::from_celsius(125.0), &db)
+            .unwrap();
+        let after = sheet.value("round.energy_uj").unwrap();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn refresh_after_model_replacement() {
+        let mut db = sample_db();
+        let mut sheet = PowerSheet::new(&db).unwrap();
+        let before = sheet.value("sram.leak_uw").unwrap();
+        let sram = db.block("sram").unwrap().clone();
+        db.replace(sram.with_leakage(sram.leakage().scaled(0.1)))
+            .unwrap();
+        sheet.refresh(&db).unwrap();
+        let after = sheet.value("sram.leak_uw").unwrap();
+        assert!((after - before * 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,639 @@
+//! The cell engine: storage, dependency graph, incremental recompute.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{parse, Expr, SheetError};
+
+/// What a cell holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellContent {
+    /// A literal number (an input cell).
+    Number(f64),
+    /// A formula (a derived cell). The source text is kept for
+    /// serialization and display; the AST is re-parsed on load.
+    Formula {
+        /// The formula source text.
+        source_text: String,
+        /// The parsed expression (not serialized; rebuilt from the text).
+        #[serde(skip, default)]
+        expr: Option<Expr>,
+    },
+}
+
+/// The dynamic spreadsheet: named cells, formulas, incremental recompute.
+///
+/// Editing a cell re-evaluates exactly its transitive dependents in
+/// topological order; [`Sheet::evaluation_count`] exposes how many formula
+/// evaluations have run, so the incrementality is testable (and is measured
+/// by the EXP-SHEET experiment).
+///
+/// ```
+/// use monityre_sheet::Sheet;
+///
+/// # fn main() -> Result<(), monityre_sheet::SheetError> {
+/// let mut sheet = Sheet::new();
+/// sheet.set_number("round_ms", 114.0)?;
+/// sheet.set_number("dsp.active_uw", 620.0)?;
+/// sheet.set_formula("dsp.energy_uj", "dsp.active_uw * 5.0 / 1000.0")?;
+/// sheet.set_formula("budget_uj", "dsp.energy_uj + 2.0")?;
+/// assert!((sheet.value("budget_uj")? - 5.1).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sheet {
+    cells: BTreeMap<String, CellContent>,
+    values: BTreeMap<String, f64>,
+    /// Reverse dependency edges: cell → cells whose formulas reference it.
+    dependents: BTreeMap<String, BTreeSet<String>>,
+    evaluations: u64,
+}
+
+impl Sheet {
+    /// Creates an empty sheet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the sheet has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether a cell exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.cells.contains_key(name)
+    }
+
+    /// Iterates over cell names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// The content of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError::UnknownCell`] when absent.
+    pub fn content(&self, name: &str) -> Result<&CellContent, SheetError> {
+        self.cells
+            .get(name)
+            .ok_or_else(|| SheetError::unknown_cell(name))
+    }
+
+    /// The current value of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError::UnknownCell`] when absent.
+    pub fn value(&self, name: &str) -> Result<f64, SheetError> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| SheetError::unknown_cell(name))
+    }
+
+    /// Total formula evaluations performed so far (for incrementality
+    /// measurements).
+    #[must_use]
+    pub fn evaluation_count(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Sets (or overwrites) a literal number cell and recomputes its
+    /// dependents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError::InvalidName`] for malformed names or
+    /// [`SheetError::NonFinite`] for non-finite inputs.
+    pub fn set_number(&mut self, name: &str, value: f64) -> Result<(), SheetError> {
+        validate_name(name)?;
+        if !value.is_finite() {
+            return Err(SheetError::non_finite(name));
+        }
+        self.unlink(name);
+        self.cells.insert(name.to_owned(), CellContent::Number(value));
+        self.values.insert(name.to_owned(), value);
+        self.recompute_dependents(name)
+    }
+
+    /// Sets (or overwrites) a formula cell and recomputes it plus its
+    /// dependents.
+    ///
+    /// # Errors
+    ///
+    /// * [`SheetError::Parse`] — the formula does not parse;
+    /// * [`SheetError::UnknownCell`] — a referenced cell does not exist
+    ///   yet (build sheets bottom-up);
+    /// * [`SheetError::Cycle`] — the formula would (transitively) depend
+    ///   on itself;
+    /// * [`SheetError::NonFinite`] — the formula evaluates to NaN/∞.
+    ///
+    /// On error the sheet is left unchanged.
+    pub fn set_formula(&mut self, name: &str, source_text: &str) -> Result<(), SheetError> {
+        validate_name(name)?;
+        let expr = parse(source_text)?;
+        let deps = expr.dependencies();
+        for dep in &deps {
+            if !self.cells.contains_key(dep) {
+                return Err(SheetError::unknown_cell(dep));
+            }
+        }
+        // Cycle check: would `name` be reachable from any dep through the
+        // *current* forward-dependency edges (plus the new edge set)?
+        if deps.contains(name) || deps.iter().any(|d| self.reaches(d, name)) {
+            return Err(SheetError::cycle(name));
+        }
+        // Trial evaluation before mutating anything.
+        let value = self.evaluate(&expr, name)?;
+
+        self.unlink(name);
+        for dep in &deps {
+            self.dependents
+                .entry(dep.clone())
+                .or_default()
+                .insert(name.to_owned());
+        }
+        self.cells.insert(
+            name.to_owned(),
+            CellContent::Formula {
+                source_text: source_text.to_owned(),
+                expr: Some(expr),
+            },
+        );
+        self.values.insert(name.to_owned(), value);
+        self.recompute_dependents(name)
+    }
+
+    /// Removes a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError::Cycle`] — reported as a dependency conflict —
+    /// when other formulas still reference the cell, or
+    /// [`SheetError::UnknownCell`] when absent.
+    pub fn remove(&mut self, name: &str) -> Result<(), SheetError> {
+        if !self.cells.contains_key(name) {
+            return Err(SheetError::unknown_cell(name));
+        }
+        if self
+            .dependents
+            .get(name)
+            .is_some_and(|d| !d.is_empty())
+        {
+            return Err(SheetError::cycle(name));
+        }
+        self.unlink(name);
+        self.cells.remove(name);
+        self.values.remove(name);
+        self.dependents.remove(name);
+        Ok(())
+    }
+
+    /// Forward dependencies of a cell (empty for literals).
+    #[must_use]
+    pub fn dependencies_of(&self, name: &str) -> BTreeSet<String> {
+        match self.cells.get(name) {
+            Some(CellContent::Formula { expr: Some(e), .. }) => e.dependencies(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Cells whose formulas reference `name`, directly.
+    #[must_use]
+    pub fn dependents_of(&self, name: &str) -> BTreeSet<String> {
+        self.dependents.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Renders a cell's dependency tree with current values — the
+    /// "where does this number come from?" view an engineer expects from
+    /// the spreadsheet.
+    ///
+    /// ```text
+    /// acq.total_uw = adc.active_uw + afe.active_uw  [290]
+    /// ├─ adc.active_uw  [210]
+    /// └─ afe.active_uw  [80]
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError::UnknownCell`] when absent.
+    pub fn explain(&self, name: &str) -> Result<String, SheetError> {
+        if !self.cells.contains_key(name) {
+            return Err(SheetError::unknown_cell(name));
+        }
+        let mut out = String::new();
+        self.explain_into(name, "", true, true, &mut out);
+        Ok(out)
+    }
+
+    fn explain_into(&self, name: &str, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+        let value = self.values.get(name).copied().unwrap_or(f64::NAN);
+        let header = match self.cells.get(name) {
+            Some(CellContent::Formula { source_text, .. }) => {
+                format!("{name} = {source_text}  [{value}]")
+            }
+            _ => format!("{name}  [{value}]"),
+        };
+        if is_root {
+            out.push_str(&header);
+        } else {
+            out.push_str(prefix);
+            out.push_str(if is_last { "└─ " } else { "├─ " });
+            out.push_str(&header);
+        }
+        out.push('\n');
+        let deps: Vec<String> = self.dependencies_of(name).into_iter().collect();
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "   " } else { "│  " })
+        };
+        for (i, dep) in deps.iter().enumerate() {
+            self.explain_into(dep, &child_prefix, i == deps.len() - 1, false, out);
+        }
+    }
+
+    /// Re-evaluates every formula cell from scratch (used after
+    /// deserialization, and by tests as the ground truth the incremental
+    /// path must match).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn recompute_all(&mut self) -> Result<(), SheetError> {
+        let order = self.topological_order(self.cells.keys().cloned().collect())?;
+        for name in order {
+            if let Some(CellContent::Formula { expr: Some(e), .. }) = self.cells.get(&name) {
+                let e = e.clone();
+                let value = self.evaluate(&e, &name)?;
+                self.values.insert(name, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the sheet (cell contents only; values are derived).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(&self.cells)
+    }
+
+    /// Restores a sheet serialized with [`Sheet::to_json`], re-parsing
+    /// formulas and recomputing all values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a boxed error on malformed JSON, unparsable formulas, or
+    /// inconsistent references.
+    pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let cells: BTreeMap<String, CellContent> = serde_json::from_str(json)?;
+        let mut sheet = Sheet::new();
+        // Insert literals first, then formulas in dependency order by
+        // retrying until fixpoint (sheets are small; O(n²) worst case).
+        let mut pending: Vec<(String, String)> = Vec::new();
+        for (name, content) in cells {
+            match content {
+                CellContent::Number(v) => sheet.set_number(&name, v)?,
+                CellContent::Formula { source_text, .. } => pending.push((name, source_text)),
+            }
+        }
+        let mut progress = true;
+        while progress && !pending.is_empty() {
+            progress = false;
+            let mut still_pending = Vec::new();
+            for (name, src) in pending {
+                match sheet.set_formula(&name, &src) {
+                    Ok(()) => progress = true,
+                    Err(SheetError::UnknownCell { .. }) => still_pending.push((name, src)),
+                    Err(e) => return Err(Box::new(e)),
+                }
+            }
+            pending = still_pending;
+        }
+        if let Some((name, _)) = pending.first() {
+            return Err(Box::new(SheetError::unknown_cell(name)));
+        }
+        Ok(sheet)
+    }
+
+    // -- internals --------------------------------------------------------
+
+    /// Removes `name`'s outgoing dependency edges (before re-definition).
+    fn unlink(&mut self, name: &str) {
+        let old_deps = self.dependencies_of(name);
+        for dep in old_deps {
+            if let Some(set) = self.dependents.get_mut(&dep) {
+                set.remove(name);
+            }
+        }
+    }
+
+    /// Whether `to` is reachable from `from` along forward dependency
+    /// edges (i.e. `from`'s formula transitively references `to`).
+    fn reaches(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack: Vec<String> = self.dependencies_of(from).into_iter().collect();
+        let mut seen = BTreeSet::new();
+        while let Some(current) = stack.pop() {
+            if current == to {
+                return true;
+            }
+            if seen.insert(current.clone()) {
+                stack.extend(self.dependencies_of(&current));
+            }
+        }
+        false
+    }
+
+    fn evaluate(&mut self, expr: &Expr, name: &str) -> Result<f64, SheetError> {
+        self.evaluations += 1;
+        let values = &self.values;
+        let value = expr.eval(&|dep: &str| {
+            values
+                .get(dep)
+                .copied()
+                .ok_or_else(|| SheetError::unknown_cell(dep))
+        })?;
+        if !value.is_finite() {
+            return Err(SheetError::non_finite(name));
+        }
+        Ok(value)
+    }
+
+    /// Recomputes the transitive dependents of `name` in topological order.
+    fn recompute_dependents(&mut self, name: &str) -> Result<(), SheetError> {
+        // Collect the affected set (dependents closure, excluding `name`).
+        let mut affected = BTreeSet::new();
+        let mut stack: Vec<String> = self.dependents_of(name).into_iter().collect();
+        while let Some(current) = stack.pop() {
+            if affected.insert(current.clone()) {
+                stack.extend(self.dependents_of(&current));
+            }
+        }
+        if affected.is_empty() {
+            return Ok(());
+        }
+        let order = self.topological_order(affected)?;
+        for cell in order {
+            if let Some(CellContent::Formula { expr: Some(e), .. }) = self.cells.get(&cell) {
+                let e = e.clone();
+                let value = self.evaluate(&e, &cell)?;
+                self.values.insert(cell, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Topologically orders `set` by forward dependencies restricted to the
+    /// set (dependencies outside the set are already up to date).
+    fn topological_order(&self, set: BTreeSet<String>) -> Result<Vec<String>, SheetError> {
+        let mut order = Vec::with_capacity(set.len());
+        let mut state: BTreeMap<String, u8> = BTreeMap::new(); // 1=visiting, 2=done
+        for root in &set {
+            self.topo_visit(root, &set, &mut state, &mut order)?;
+        }
+        Ok(order)
+    }
+
+    fn topo_visit(
+        &self,
+        node: &str,
+        set: &BTreeSet<String>,
+        state: &mut BTreeMap<String, u8>,
+        order: &mut Vec<String>,
+    ) -> Result<(), SheetError> {
+        match state.get(node) {
+            Some(2) => return Ok(()),
+            Some(1) => return Err(SheetError::cycle(node)),
+            _ => {}
+        }
+        state.insert(node.to_owned(), 1);
+        for dep in self.dependencies_of(node) {
+            if set.contains(&dep) {
+                self.topo_visit(&dep, set, state, order)?;
+            }
+        }
+        state.insert(node.to_owned(), 2);
+        order.push(node.to_owned());
+        Ok(())
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), SheetError> {
+    let mut chars = name.chars();
+    let valid = match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => chars
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'),
+        _ => false,
+    };
+    if valid {
+        Ok(())
+    } else {
+        Err(SheetError::invalid_name(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_sheet() -> Sheet {
+        let mut s = Sheet::new();
+        s.set_number("a", 1.0).unwrap();
+        s.set_formula("b", "a * 2").unwrap();
+        s.set_formula("c", "b + 1").unwrap();
+        s.set_formula("d", "c * c").unwrap();
+        s
+    }
+
+    #[test]
+    fn literal_and_formula_values() {
+        let s = chain_sheet();
+        assert_eq!(s.value("a").unwrap(), 1.0);
+        assert_eq!(s.value("b").unwrap(), 2.0);
+        assert_eq!(s.value("c").unwrap(), 3.0);
+        assert_eq!(s.value("d").unwrap(), 9.0);
+    }
+
+    #[test]
+    fn edit_propagates_through_chain() {
+        let mut s = chain_sheet();
+        s.set_number("a", 5.0).unwrap();
+        assert_eq!(s.value("b").unwrap(), 10.0);
+        assert_eq!(s.value("c").unwrap(), 11.0);
+        assert_eq!(s.value("d").unwrap(), 121.0);
+    }
+
+    #[test]
+    fn recompute_is_incremental() {
+        let mut s = chain_sheet();
+        s.set_number("x", 100.0).unwrap(); // unrelated cell
+        let before = s.evaluation_count();
+        s.set_number("x", 200.0).unwrap(); // no dependents
+        assert_eq!(s.evaluation_count(), before);
+        s.set_number("a", 2.0).unwrap(); // three dependents
+        assert_eq!(s.evaluation_count(), before + 3);
+    }
+
+    #[test]
+    fn diamond_dependencies_evaluate_once_in_order() {
+        let mut s = Sheet::new();
+        s.set_number("x", 1.0).unwrap();
+        s.set_formula("left", "x + 1").unwrap();
+        s.set_formula("right", "x * 10").unwrap();
+        s.set_formula("join", "left + right").unwrap();
+        let base = s.evaluation_count();
+        s.set_number("x", 2.0).unwrap();
+        // Exactly three re-evaluations: left, right, join — join once.
+        assert_eq!(s.evaluation_count(), base + 3);
+        assert_eq!(s.value("join").unwrap(), 23.0);
+    }
+
+    #[test]
+    fn cycle_rejected_directly_and_transitively() {
+        let mut s = chain_sheet();
+        assert!(matches!(
+            s.set_formula("a", "d + 1"),
+            Err(SheetError::Cycle { .. })
+        ));
+        // Self reference.
+        assert!(matches!(
+            s.set_formula("e", "e + 1"),
+            Err(SheetError::UnknownCell { .. }) | Err(SheetError::Cycle { .. })
+        ));
+        // Sheet unchanged after the rejected edit.
+        assert_eq!(s.value("a").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn redefining_formula_updates_edges() {
+        let mut s = chain_sheet();
+        s.set_formula("d", "a + 100").unwrap(); // d no longer depends on c
+        s.set_number("a", 2.0).unwrap();
+        assert_eq!(s.value("d").unwrap(), 102.0);
+        // c no longer feeds d.
+        assert!(!s.dependents_of("c").contains("d"));
+    }
+
+    #[test]
+    fn formula_referencing_missing_cell_fails_cleanly() {
+        let mut s = Sheet::new();
+        let err = s.set_formula("y", "ghost * 2").unwrap_err();
+        assert!(matches!(err, SheetError::UnknownCell { .. }));
+        assert!(!s.contains("y"));
+    }
+
+    #[test]
+    fn overwriting_formula_with_literal_freezes_value() {
+        let mut s = chain_sheet();
+        s.set_number("c", 42.0).unwrap();
+        assert_eq!(s.value("d").unwrap(), 42.0 * 42.0);
+        s.set_number("a", 7.0).unwrap();
+        // b still recomputes, c is frozen.
+        assert_eq!(s.value("b").unwrap(), 14.0);
+        assert_eq!(s.value("c").unwrap(), 42.0);
+    }
+
+    #[test]
+    fn remove_protects_referenced_cells() {
+        let mut s = chain_sheet();
+        assert!(s.remove("a").is_err());
+        s.remove("d").unwrap();
+        assert!(!s.contains("d"));
+        // Now c has no dependents and can go.
+        s.remove("c").unwrap();
+    }
+
+    #[test]
+    fn non_finite_results_rejected() {
+        let mut s = Sheet::new();
+        s.set_number("zero", 0.0).unwrap();
+        let err = s.set_formula("boom", "1 / zero").unwrap_err();
+        assert!(matches!(err, SheetError::NonFinite { .. }));
+        assert!(!s.contains("boom"));
+        assert!(s.set_number("nan_in", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut s = Sheet::new();
+        assert!(s.set_number("9lives", 1.0).is_err());
+        assert!(s.set_number("", 1.0).is_err());
+        assert!(s.set_number("has space", 1.0).is_err());
+        assert!(s.set_number("ok.name_2", 1.0).is_ok());
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let mut s = chain_sheet();
+        s.set_number("a", 3.5).unwrap();
+        let incremental: Vec<f64> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| s.value(n).unwrap())
+            .collect();
+        s.recompute_all().unwrap();
+        let full: Vec<f64> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| s.value(n).unwrap())
+            .collect();
+        assert_eq!(incremental, full);
+    }
+
+    #[test]
+    fn explain_renders_the_dependency_tree() {
+        let s = chain_sheet();
+        let text = s.explain("d").unwrap();
+        // Root shows the formula and value; children are indented.
+        assert!(text.starts_with("d = c * c  [9]"));
+        assert!(text.contains("└─ c = b + 1  [3]"));
+        assert!(text.contains("b = a * 2  [2]"));
+        assert!(text.contains("a  [1]"));
+        // Depth increases along the chain.
+        let a_line = text.lines().find(|l| l.contains("a  [1]")).unwrap();
+        let c_line = text.lines().find(|l| l.contains("c = ")).unwrap();
+        assert!(a_line.find('─').unwrap() > c_line.find('─').unwrap());
+    }
+
+    #[test]
+    fn explain_literal_and_missing() {
+        let s = chain_sheet();
+        assert!(s.explain("a").unwrap().starts_with("a  [1]"));
+        assert!(s.explain("ghost").is_err());
+    }
+
+    #[test]
+    fn json_round_trip_restores_values() {
+        let s = chain_sheet();
+        let json = s.to_json().unwrap();
+        let restored = Sheet::from_json(&json).unwrap();
+        for name in ["a", "b", "c", "d"] {
+            assert_eq!(restored.value(name).unwrap(), s.value(name).unwrap());
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_formulas_dynamically() {
+        let s = chain_sheet();
+        let mut restored = Sheet::from_json(&s.to_json().unwrap()).unwrap();
+        restored.set_number("a", 10.0).unwrap();
+        assert_eq!(restored.value("d").unwrap(), 441.0); // (10*2+1)²
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the spreadsheet engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the spreadsheet engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SheetError {
+    /// A formula failed to parse.
+    Parse {
+        /// The formula source text.
+        source_text: String,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// A referenced cell does not exist.
+    UnknownCell {
+        /// The missing cell's name.
+        name: String,
+    },
+    /// Setting the cell would create a dependency cycle.
+    Cycle {
+        /// The cell whose edit was rejected.
+        name: String,
+    },
+    /// A cell name is not a valid identifier.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// A formula evaluated to a non-finite number.
+    NonFinite {
+        /// The cell whose evaluation failed.
+        name: String,
+    },
+}
+
+impl SheetError {
+    pub(crate) fn parse(source_text: &str, reason: impl Into<String>) -> Self {
+        Self::Parse {
+            source_text: source_text.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn unknown_cell(name: &str) -> Self {
+        Self::UnknownCell {
+            name: name.to_owned(),
+        }
+    }
+
+    pub(crate) fn cycle(name: &str) -> Self {
+        Self::Cycle {
+            name: name.to_owned(),
+        }
+    }
+
+    pub(crate) fn invalid_name(name: &str) -> Self {
+        Self::InvalidName {
+            name: name.to_owned(),
+        }
+    }
+
+    pub(crate) fn non_finite(name: &str) -> Self {
+        Self::NonFinite {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for SheetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { source_text, reason } => {
+                write!(f, "cannot parse formula `{source_text}`: {reason}")
+            }
+            Self::UnknownCell { name } => write!(f, "unknown cell `{name}`"),
+            Self::Cycle { name } => {
+                write!(f, "setting `{name}` would create a dependency cycle")
+            }
+            Self::InvalidName { name } => write!(
+                f,
+                "invalid cell name `{name}`: use identifiers like `dsp.active_uw`"
+            ),
+            Self::NonFinite { name } => {
+                write!(f, "formula for `{name}` evaluated to a non-finite value")
+            }
+        }
+    }
+}
+
+impl Error for SheetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        assert!(SheetError::parse("1 +", "unexpected end")
+            .to_string()
+            .contains("1 +"));
+        assert!(SheetError::unknown_cell("a.b").to_string().contains("a.b"));
+        assert!(SheetError::cycle("x").to_string().contains("cycle"));
+        assert!(SheetError::invalid_name("9bad").to_string().contains("9bad"));
+        assert!(SheetError::non_finite("div").to_string().contains("div"));
+    }
+}

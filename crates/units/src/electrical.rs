@@ -1,0 +1,136 @@
+//! Electrical quantities: voltage, current, charge, capacitance, resistance.
+
+quantity! {
+    /// Electric potential in volts.
+    ///
+    /// Supply voltage is one of the paper's *working conditions*: dynamic
+    /// power scales with `V²` and leakage grows with supply.
+    ///
+    /// ```
+    /// use monityre_units::Voltage;
+    /// let vdd = Voltage::from_volts(1.2);
+    /// assert_eq!(format!("{vdd}"), "1.200 V");
+    /// ```
+    Voltage, unit: "V",
+    base: from_volts / volts,
+    scaled: from_millivolts / millivolts * 1e-3,
+}
+
+quantity! {
+    /// Electric current in amperes.
+    ///
+    /// The transient emulator works in currents when tracking the storage
+    /// element: load current = total power / supply voltage.
+    ///
+    /// ```
+    /// use monityre_units::Current;
+    /// let sleep = Current::from_nanoamps(300.0);
+    /// assert!(sleep < Current::from_microamps(1.0));
+    /// ```
+    Current, unit: "A",
+    base: from_amps / amps,
+    scaled: from_milliamps / milliamps * 1e-3,
+    scaled: from_microamps / microamps * 1e-6,
+    scaled: from_nanoamps / nanoamps * 1e-9,
+}
+
+quantity! {
+    /// Electric charge in coulombs.
+    ///
+    /// Supercapacitor state of charge is tracked in coulombs; `Q = C·V`.
+    ///
+    /// ```
+    /// use monityre_units::{Capacitance, Voltage, Charge};
+    /// let q: Charge = Capacitance::from_millifarads(100.0) * Voltage::from_volts(2.5);
+    /// assert!(q.approx_eq(Charge::from_coulombs(0.25), 1e-12));
+    /// ```
+    Charge, unit: "C",
+    base: from_coulombs / coulombs,
+    scaled: from_millicoulombs / millicoulombs * 1e-3,
+    scaled: from_microcoulombs / microcoulombs * 1e-6,
+}
+
+quantity! {
+    /// Capacitance in farads.
+    ///
+    /// Used both for storage supercapacitors (mF-class) and for the switched
+    /// capacitance in the dynamic power model (pF-class per block).
+    ///
+    /// ```
+    /// use monityre_units::Capacitance;
+    /// let c = Capacitance::from_picofarads(35.0);
+    /// assert_eq!(format!("{c}"), "35.000 pF");
+    /// ```
+    Capacitance, unit: "F",
+    base: from_farads / farads,
+    scaled: from_millifarads / millifarads * 1e-3,
+    scaled: from_microfarads / microfarads * 1e-6,
+    scaled: from_nanofarads / nanofarads * 1e-9,
+    scaled: from_picofarads / picofarads * 1e-12,
+}
+
+quantity! {
+    /// Electrical resistance in ohms.
+    ///
+    /// Models the equivalent series resistance (ESR) of storage elements and
+    /// regulator pass devices.
+    ///
+    /// ```
+    /// use monityre_units::Resistance;
+    /// let esr = Resistance::from_ohms(0.8);
+    /// assert!(esr < Resistance::from_ohms(1.0));
+    /// ```
+    Resistance, unit: "Ω",
+    base: from_ohms / ohms,
+    scaled: from_milliohms / milliohms * 1e-3,
+    scaled: from_kiloohms / kiloohms * 1e3,
+    scaled: from_megaohms / megaohms * 1e6,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_scaling() {
+        assert!(Voltage::from_millivolts(1200.0).approx_eq(Voltage::from_volts(1.2), 1e-12));
+    }
+
+    #[test]
+    fn current_prefix_chain() {
+        assert!(Current::from_milliamps(1.0).approx_eq(Current::from_microamps(1000.0), 1e-12));
+        assert!(Current::from_microamps(1.0).approx_eq(Current::from_nanoamps(1000.0), 1e-12));
+    }
+
+    #[test]
+    fn charge_scaling() {
+        assert!(
+            Charge::from_millicoulombs(2.5).approx_eq(Charge::from_coulombs(0.0025), 1e-12)
+        );
+    }
+
+    #[test]
+    fn capacitance_spans_pico_to_milli() {
+        assert!(
+            Capacitance::from_picofarads(1e9).approx_eq(Capacitance::from_millifarads(1.0), 1e-12)
+        );
+    }
+
+    #[test]
+    fn resistance_kilo_and_mega() {
+        assert!(Resistance::from_megaohms(1.0).approx_eq(Resistance::from_kiloohms(1000.0), 1e-12));
+    }
+
+    #[test]
+    fn resistance_parses_with_ohm_symbol() {
+        let r: Resistance = "4.7 kΩ".parse().unwrap();
+        assert!(r.approx_eq(Resistance::from_kiloohms(4.7), 1e-12));
+    }
+
+    #[test]
+    fn negative_current_allowed_for_net_flows() {
+        // Net storage current is negative while discharging.
+        let net = Current::from_microamps(3.0) - Current::from_microamps(10.0);
+        assert!(net.is_negative());
+    }
+}

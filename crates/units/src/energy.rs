@@ -1,0 +1,63 @@
+//! Energy.
+
+quantity! {
+    /// Energy in joules.
+    ///
+    /// The wheel round is the paper's basic timing unit: most energies in the
+    /// workspace are *per wheel round* budgets obtained by integrating block
+    /// power over its duty cycle within one round.
+    ///
+    /// ```
+    /// use monityre_units::{Energy, Power, Duration};
+    /// let round = Duration::from_millis(100.0);
+    /// let idle: Energy = Power::from_microwatts(12.0) * round;
+    /// assert!(idle.approx_eq(Energy::from_micros(1.2), 1e-12));
+    /// ```
+    Energy, unit: "J",
+    base: from_joules / joules,
+    scaled: from_millis / millijoules * 1e-3,
+    scaled: from_micros / microjoules * 1e-6,
+    scaled: from_nanos / nanojoules * 1e-9,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_constructors_agree() {
+        assert!(Energy::from_millis(1.0).approx_eq(Energy::from_joules(1e-3), 1e-12));
+        assert!(Energy::from_micros(1.0).approx_eq(Energy::from_joules(1e-6), 1e-12));
+        assert!(Energy::from_nanos(1.0).approx_eq(Energy::from_joules(1e-9), 1e-12));
+    }
+
+    #[test]
+    fn subtraction_can_go_negative() {
+        let deficit = Energy::from_micros(5.0) - Energy::from_micros(8.0);
+        assert!(deficit.is_negative());
+        assert!(deficit.abs().approx_eq(Energy::from_micros(3.0), 1e-12));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Energy::from_micros(2.0);
+        let b = Energy::from_micros(3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(Energy::from_micros(42.0).to_string(), "42.000 µJ");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_unit() {
+        assert!("5 W".parse::<Energy>().is_err());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Energy::default(), Energy::ZERO);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for quantity parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a quantity string fails to parse.
+///
+/// ```
+/// use monityre_units::Power;
+/// let err = "lots W".parse::<Power>().unwrap_err();
+/// assert!(err.to_string().contains("W"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    unit: &'static str,
+}
+
+impl ParseQuantityError {
+    pub(crate) fn new(input: &str, unit: &'static str) -> Self {
+        Self { input: input.to_owned(), unit }
+    }
+
+    /// The text that failed to parse.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The base unit symbol that was expected.
+    #[must_use]
+    pub fn expected_unit(&self) -> &'static str {
+        self.unit
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid quantity `{}`: expected a number with unit {}",
+            self.input, self.unit
+        )
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_input_and_unit() {
+        let err = ParseQuantityError::new("xyz", "W");
+        let msg = err.to_string();
+        assert!(msg.contains("xyz"));
+        assert!(msg.contains('W'));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ParseQuantityError::new("bad J", "J");
+        assert_eq!(err.input(), "bad J");
+        assert_eq!(err.expected_unit(), "J");
+    }
+}

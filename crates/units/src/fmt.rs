@@ -1,0 +1,197 @@
+//! Engineering-notation formatting and parsing helpers.
+//!
+//! The paper's analysis tool reports quantities spanning nine orders of
+//! magnitude (nW leakage to mW radio bursts, µJ per round to J per trip).
+//! Engineering prefixes keep reports readable; this module provides the
+//! shared machinery used by every quantity's `Display` and `FromStr`.
+
+/// An SI engineering prefix: symbol and the power of ten it denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefix {
+    /// Canonical symbol, e.g. `"m"`, `"µ"`, `"k"`.
+    pub symbol: &'static str,
+    /// Exponent of ten, e.g. `-3` for milli.
+    pub exponent: i32,
+}
+
+/// Prefixes supported for formatting and parsing, from pico to giga.
+pub const PREFIXES: &[Prefix] = &[
+    Prefix { symbol: "p", exponent: -12 },
+    Prefix { symbol: "n", exponent: -9 },
+    Prefix { symbol: "µ", exponent: -6 },
+    Prefix { symbol: "m", exponent: -3 },
+    Prefix { symbol: "", exponent: 0 },
+    Prefix { symbol: "k", exponent: 3 },
+    Prefix { symbol: "M", exponent: 6 },
+    Prefix { symbol: "G", exponent: 9 },
+];
+
+/// ASCII aliases accepted when parsing (`u` for `µ`).
+const MICRO_ALIASES: &[&str] = &["µ", "u", "μ"];
+
+/// Formats `value` in engineering notation with the given base unit symbol.
+///
+/// Picks the prefix that leaves the mantissa in `[1, 1000)` where possible;
+/// zero, non-finite and out-of-range values fall back to plain formatting.
+///
+/// ```
+/// assert_eq!(monityre_units::fmt::engineering(0.00315, "W"), "3.150 mW");
+/// assert_eq!(monityre_units::fmt::engineering(0.0, "J"), "0 J");
+/// ```
+pub fn engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs().log10();
+    // Engineering exponent: greatest multiple of 3 not exceeding magnitude.
+    let eng = (magnitude / 3.0).floor() as i32 * 3;
+    let eng = eng.clamp(-12, 9);
+    let prefix = PREFIXES
+        .iter()
+        .find(|p| p.exponent == eng)
+        .expect("clamped exponent is always in the table");
+    let mantissa = value / 10f64.powi(prefix.exponent);
+    format!("{mantissa:.3} {}{unit}", prefix.symbol)
+}
+
+/// Splits a quantity string like `"3.1 mW"` into `(number, prefix_factor)`.
+///
+/// `unit` is the base unit symbol the caller expects (e.g. `"W"`).
+/// Whitespace between the number and the unit is optional. Returns `None`
+/// when the text does not end with the unit, when the prefix is unknown, or
+/// when the numeric part fails to parse.
+pub fn parse_engineering(text: &str, unit: &str) -> Option<f64> {
+    let text = text.trim();
+    let body = text.strip_suffix(unit)?.trim_end();
+    // Longest-match the prefix (handles multi-byte µ and aliases).
+    let (number_part, factor) = match_prefix(body);
+    let number: f64 = number_part.trim().parse().ok()?;
+    Some(number * factor)
+}
+
+fn match_prefix(body: &str) -> (&str, f64) {
+    for alias in MICRO_ALIASES {
+        if let Some(rest) = body.strip_suffix(alias) {
+            // Guard against a bare number ending in "u"-like chars not meant
+            // as a prefix: require a digit or '.' before the prefix.
+            if rest.trim_end().ends_with(|c: char| c.is_ascii_digit() || c == '.') {
+                return (rest, 1e-6);
+            }
+        }
+    }
+    for prefix in PREFIXES {
+        if prefix.symbol.is_empty() {
+            continue;
+        }
+        if let Some(rest) = body.strip_suffix(prefix.symbol) {
+            if rest.trim_end().ends_with(|c: char| c.is_ascii_digit() || c == '.') {
+                return (rest, 10f64.powi(prefix.exponent));
+            }
+        }
+    }
+    (body, 1.0)
+}
+
+/// Relative approximate equality used across the workspace's tests and
+/// invariant checks.
+///
+/// Two values compare equal when their difference is within `rel_tol`
+/// of the larger magnitude, or within `rel_tol` absolutely for values
+/// near zero.
+pub fn approx_eq(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    ((a - b).abs() / scale) <= rel_tol || (a - b).abs() <= rel_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_milli_range() {
+        assert_eq!(engineering(0.00315, "W"), "3.150 mW");
+    }
+
+    #[test]
+    fn formats_micro_range() {
+        assert_eq!(engineering(42e-6, "J"), "42.000 µJ");
+    }
+
+    #[test]
+    fn formats_unity_range() {
+        assert_eq!(engineering(1.5, "V"), "1.500 V");
+    }
+
+    #[test]
+    fn formats_kilo_range() {
+        assert_eq!(engineering(1500.0, "Hz"), "1.500 kHz");
+    }
+
+    #[test]
+    fn formats_negative() {
+        assert_eq!(engineering(-2.5e-3, "A"), "-2.500 mA");
+    }
+
+    #[test]
+    fn formats_zero_without_prefix() {
+        assert_eq!(engineering(0.0, "W"), "0 W");
+    }
+
+    #[test]
+    fn clamps_below_pico() {
+        // 1e-15 is below the table; clamped to pico.
+        assert_eq!(engineering(1e-15, "W"), "0.001 pW");
+    }
+
+    #[test]
+    fn parses_plain() {
+        assert_eq!(parse_engineering("2.5 W", "W"), Some(2.5));
+    }
+
+    #[test]
+    fn parses_milli() {
+        assert_eq!(parse_engineering("3.1 mW", "W"), Some(0.0031000000000000003));
+    }
+
+    #[test]
+    fn parses_micro_unicode_and_ascii() {
+        let a = parse_engineering("7 µJ", "J").unwrap();
+        let b = parse_engineering("7 uJ", "J").unwrap();
+        assert!(approx_eq(a, b, 1e-12));
+        assert!(approx_eq(a, 7e-6, 1e-12));
+    }
+
+    #[test]
+    fn parses_without_space() {
+        assert_eq!(parse_engineering("10kHz", "Hz"), Some(10_000.0));
+    }
+
+    #[test]
+    fn rejects_wrong_unit() {
+        assert_eq!(parse_engineering("5 W", "J"), None);
+    }
+
+    #[test]
+    fn rejects_garbage_number() {
+        assert_eq!(parse_engineering("abc mW", "W"), None);
+    }
+
+    #[test]
+    fn approx_eq_handles_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-12));
+        assert!(approx_eq(0.0, 1e-300, 1e-12));
+        assert!(!approx_eq(0.0, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_is_relative() {
+        assert!(approx_eq(1e9, 1e9 + 1.0, 1e-6));
+        assert!(!approx_eq(1.0, 1.1, 1e-6));
+    }
+}

@@ -1,0 +1,58 @@
+//! Strongly-typed physical quantities for tyre-sensor energy analysis.
+//!
+//! Every quantity in the `monityre` workspace — power, energy, voltage,
+//! temperature, vehicle speed, duty cycles — is carried by a dedicated
+//! newtype from this crate instead of a bare `f64`. This statically rules
+//! out the classic energy-modelling bugs (adding a power to an energy,
+//! confusing a per-round energy with a per-second power, mixing Celsius
+//! and Kelvin) that a spreadsheet-based flow like the one in the DATE 2011
+//! paper is prone to.
+//!
+//! # Design
+//!
+//! * All quantities are `f64`-backed `Copy` newtypes with value semantics.
+//! * Same-dimension arithmetic (`+`, `-`, scaling by `f64`, ratios) is
+//!   implemented on each type; *cross*-dimension products that have a
+//!   physical meaning (`Power × Duration = Energy`, `Voltage × Current =
+//!   Power`, …) live in a dedicated operators module so dimensional errors are
+//!   compile errors.
+//! * Values format with engineering prefixes (`1.2 mW`, `350 µJ`) and parse
+//!   back from the same representation.
+//!
+//! # Example
+//!
+//! ```
+//! use monityre_units::{Power, Duration, Energy};
+//!
+//! let tx_power = Power::from_milliwatts(3.1);
+//! let burst = Duration::from_micros(480.0);
+//! let per_packet: Energy = tx_power * burst;
+//! assert!(per_packet.approx_eq(Energy::from_micros(1.488), 1e-9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod quantity;
+
+pub mod fmt;
+
+mod electrical;
+mod energy;
+mod error;
+mod motion;
+mod ops;
+mod power;
+mod ratio;
+mod thermal;
+mod time;
+
+pub use electrical::{Capacitance, Charge, Current, Resistance, Voltage};
+pub use energy::Energy;
+pub use error::ParseQuantityError;
+pub use motion::{AngularVelocity, Distance, Frequency, Speed};
+pub use power::Power;
+pub use ratio::{DutyCycle, DutyCycleError, Efficiency, EfficiencyError, Ratio};
+pub use thermal::Temperature;
+pub use time::Duration;

@@ -1,0 +1,99 @@
+//! Kinematic quantities: vehicle speed, angular velocity, distance, frequency.
+
+quantity! {
+    /// Vehicle speed, stored in metres per second.
+    ///
+    /// Cruising speed is the paper's primary operating condition: it sets
+    /// both the scavenger output and the wheel-round period. Reports use
+    /// km/h to match the paper's Fig. 2 axis.
+    ///
+    /// ```
+    /// use monityre_units::Speed;
+    /// let cruise = Speed::from_kmh(60.0);
+    /// assert!((cruise.mps() - 16.6667).abs() < 1e-3);
+    /// ```
+    Speed, unit: "m/s",
+    base: from_mps / mps,
+    scaled: from_kmh / kmh * (1.0 / 3.6),
+}
+
+quantity! {
+    /// Angular velocity in radians per second.
+    ///
+    /// The wheel's angular velocity drives the piezoelectric scavenger model:
+    /// `ω = v / r` for rolling without slip.
+    ///
+    /// ```
+    /// use monityre_units::AngularVelocity;
+    /// let w = AngularVelocity::from_rpm(60.0);
+    /// assert!((w.rads() - core::f64::consts::TAU).abs() < 1e-12);
+    /// ```
+    AngularVelocity, unit: "rad/s",
+    base: from_rads / rads,
+    scaled: from_rpm / rpm * (core::f64::consts::TAU / 60.0),
+}
+
+quantity! {
+    /// Distance in metres.
+    ///
+    /// Rolling circumference and trip lengths.
+    ///
+    /// ```
+    /// use monityre_units::Distance;
+    /// let circ = Distance::from_metres(1.95);
+    /// assert_eq!(format!("{circ}"), "1.950 m");
+    /// ```
+    Distance, unit: "m",
+    base: from_metres / metres,
+    scaled: from_millimetres / millimetres * 1e-3,
+    scaled: from_kilometres / kilometres * 1e3,
+}
+
+quantity! {
+    /// Frequency in hertz.
+    ///
+    /// Clock frequencies of the computing block and wheel-round rates.
+    ///
+    /// ```
+    /// use monityre_units::Frequency;
+    /// let clk = Frequency::from_megahertz(8.0);
+    /// assert_eq!(clk.hertz(), 8.0e6);
+    /// ```
+    Frequency, unit: "Hz",
+    base: from_hertz / hertz,
+    scaled: from_kilohertz / kilohertz * 1e3,
+    scaled: from_megahertz / megahertz * 1e6,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmh_round_trip() {
+        let v = Speed::from_kmh(100.0);
+        assert!((v.kmh() - 100.0).abs() < 1e-12);
+        assert!(v.approx_eq(Speed::from_mps(27.777_777_777_8), 1e-9));
+    }
+
+    #[test]
+    fn rpm_round_trip() {
+        let w = AngularVelocity::from_rpm(3000.0);
+        assert!((w.rpm() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_km() {
+        assert!(Distance::from_kilometres(1.5).approx_eq(Distance::from_metres(1500.0), 1e-12));
+    }
+
+    #[test]
+    fn frequency_prefixes() {
+        assert!(Frequency::from_megahertz(1.0).approx_eq(Frequency::from_kilohertz(1000.0), 1e-12));
+    }
+
+    #[test]
+    fn speed_ordering() {
+        assert!(Speed::from_kmh(30.0) < Speed::from_kmh(50.0));
+    }
+}

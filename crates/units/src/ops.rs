@@ -1,0 +1,450 @@
+//! Cross-dimension arithmetic.
+//!
+//! Every operator here encodes one physical law used by the energy analysis
+//! flow. Keeping them hand-written (rather than macro-generated for all
+//! pairs) means the set of legal dimension products is exactly the set of
+//! physically meaningful ones: `Power × Power` simply does not compile.
+
+use core::ops::{Div, Mul};
+
+use crate::{
+    AngularVelocity, Capacitance, Charge, Current, Distance, Duration, DutyCycle, Energy,
+    Frequency, Power, Resistance, Speed, Voltage,
+};
+
+// ---------------------------------------------------------------------------
+// Energy ⇄ power ⇄ time
+// ---------------------------------------------------------------------------
+
+/// `E = P · t`
+impl Mul<Duration> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Duration) -> Energy {
+        Energy::from_joules(self.watts() * rhs.secs())
+    }
+}
+
+/// `E = t · P`
+impl Mul<Power> for Duration {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+/// `P = E / t`
+impl Div<Duration> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Duration) -> Power {
+        Power::from_watts(self.joules() / rhs.secs())
+    }
+}
+
+/// `t = E / P`
+impl Div<Power> for Energy {
+    type Output = Duration;
+    fn div(self, rhs: Power) -> Duration {
+        Duration::from_secs(self.joules() / rhs.watts())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Electrical power
+// ---------------------------------------------------------------------------
+
+/// `P = V · I`
+impl Mul<Current> for Voltage {
+    type Output = Power;
+    fn mul(self, rhs: Current) -> Power {
+        Power::from_watts(self.volts() * rhs.amps())
+    }
+}
+
+/// `P = I · V`
+impl Mul<Voltage> for Current {
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        rhs * self
+    }
+}
+
+/// `I = P / V`
+impl Div<Voltage> for Power {
+    type Output = Current;
+    fn div(self, rhs: Voltage) -> Current {
+        Current::from_amps(self.watts() / rhs.volts())
+    }
+}
+
+/// `V = P / I`
+impl Div<Current> for Power {
+    type Output = Voltage;
+    fn div(self, rhs: Current) -> Voltage {
+        Voltage::from_volts(self.watts() / rhs.amps())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Charge
+// ---------------------------------------------------------------------------
+
+/// `Q = I · t`
+impl Mul<Duration> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Duration) -> Charge {
+        Charge::from_coulombs(self.amps() * rhs.secs())
+    }
+}
+
+/// `Q = t · I`
+impl Mul<Current> for Duration {
+    type Output = Charge;
+    fn mul(self, rhs: Current) -> Charge {
+        rhs * self
+    }
+}
+
+/// `I = Q / t`
+impl Div<Duration> for Charge {
+    type Output = Current;
+    fn div(self, rhs: Duration) -> Current {
+        Current::from_amps(self.coulombs() / rhs.secs())
+    }
+}
+
+/// `t = Q / I`
+impl Div<Current> for Charge {
+    type Output = Duration;
+    fn div(self, rhs: Current) -> Duration {
+        Duration::from_secs(self.coulombs() / rhs.amps())
+    }
+}
+
+/// `Q = C · V`
+impl Mul<Voltage> for Capacitance {
+    type Output = Charge;
+    fn mul(self, rhs: Voltage) -> Charge {
+        Charge::from_coulombs(self.farads() * rhs.volts())
+    }
+}
+
+/// `Q = V · C`
+impl Mul<Capacitance> for Voltage {
+    type Output = Charge;
+    fn mul(self, rhs: Capacitance) -> Charge {
+        rhs * self
+    }
+}
+
+/// `V = Q / C`
+impl Div<Capacitance> for Charge {
+    type Output = Voltage;
+    fn div(self, rhs: Capacitance) -> Voltage {
+        Voltage::from_volts(self.coulombs() / rhs.farads())
+    }
+}
+
+/// `C = Q / V`
+impl Div<Voltage> for Charge {
+    type Output = Capacitance;
+    fn div(self, rhs: Voltage) -> Capacitance {
+        Capacitance::from_farads(self.coulombs() / rhs.volts())
+    }
+}
+
+/// `E = Q · V`
+impl Mul<Voltage> for Charge {
+    type Output = Energy;
+    fn mul(self, rhs: Voltage) -> Energy {
+        Energy::from_joules(self.coulombs() * rhs.volts())
+    }
+}
+
+/// `E = V · Q`
+impl Mul<Charge> for Voltage {
+    type Output = Energy;
+    fn mul(self, rhs: Charge) -> Energy {
+        rhs * self
+    }
+}
+
+/// `Q = E / V`
+impl Div<Voltage> for Energy {
+    type Output = Charge;
+    fn div(self, rhs: Voltage) -> Charge {
+        Charge::from_coulombs(self.joules() / rhs.volts())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ohm's law
+// ---------------------------------------------------------------------------
+
+/// `V = I · R`
+impl Mul<Resistance> for Current {
+    type Output = Voltage;
+    fn mul(self, rhs: Resistance) -> Voltage {
+        Voltage::from_volts(self.amps() * rhs.ohms())
+    }
+}
+
+/// `V = R · I`
+impl Mul<Current> for Resistance {
+    type Output = Voltage;
+    fn mul(self, rhs: Current) -> Voltage {
+        rhs * self
+    }
+}
+
+/// `I = V / R`
+impl Div<Resistance> for Voltage {
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::from_amps(self.volts() / rhs.ohms())
+    }
+}
+
+/// `R = V / I`
+impl Div<Current> for Voltage {
+    type Output = Resistance;
+    fn div(self, rhs: Current) -> Resistance {
+        Resistance::from_ohms(self.volts() / rhs.amps())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kinematics
+// ---------------------------------------------------------------------------
+
+/// `d = v · t`
+impl Mul<Duration> for Speed {
+    type Output = Distance;
+    fn mul(self, rhs: Duration) -> Distance {
+        Distance::from_metres(self.mps() * rhs.secs())
+    }
+}
+
+/// `d = t · v`
+impl Mul<Speed> for Duration {
+    type Output = Distance;
+    fn mul(self, rhs: Speed) -> Distance {
+        rhs * self
+    }
+}
+
+/// `v = d / t`
+impl Div<Duration> for Distance {
+    type Output = Speed;
+    fn div(self, rhs: Duration) -> Speed {
+        Speed::from_mps(self.metres() / rhs.secs())
+    }
+}
+
+/// `t = d / v`
+impl Div<Speed> for Distance {
+    type Output = Duration;
+    fn div(self, rhs: Speed) -> Duration {
+        Duration::from_secs(self.metres() / rhs.mps())
+    }
+}
+
+/// Wheel-round rate: `f = v / circumference`.
+impl Div<Distance> for Speed {
+    type Output = Frequency;
+    fn div(self, rhs: Distance) -> Frequency {
+        Frequency::from_hertz(self.mps() / rhs.metres())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frequency ⇄ period, and duty-cycle weighting
+// ---------------------------------------------------------------------------
+
+impl Frequency {
+    /// The period of one cycle.
+    ///
+    /// ```
+    /// use monityre_units::{Frequency, Duration};
+    /// let rounds = Frequency::from_hertz(8.0);
+    /// assert!(rounds.period().approx_eq(Duration::from_millis(125.0), 1e-12));
+    /// ```
+    #[must_use]
+    pub fn period(self) -> Duration {
+        Duration::from_secs(1.0 / self.hertz())
+    }
+}
+
+impl Duration {
+    /// The frequency whose period is `self`.
+    #[must_use]
+    pub fn frequency(self) -> Frequency {
+        Frequency::from_hertz(1.0 / self.secs())
+    }
+}
+
+/// Mode-average power: active power weighted by its duty cycle.
+impl Mul<DutyCycle> for Power {
+    type Output = Power;
+    fn mul(self, rhs: DutyCycle) -> Power {
+        self * rhs.active_fraction()
+    }
+}
+
+/// Duty-cycle-weighted energy share.
+impl Mul<DutyCycle> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: DutyCycle) -> Energy {
+        self * rhs.active_fraction()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain helpers
+// ---------------------------------------------------------------------------
+
+impl Capacitance {
+    /// Energy stored in a capacitor charged to `v`: `E = ½·C·V²`.
+    ///
+    /// ```
+    /// use monityre_units::{Capacitance, Voltage, Energy};
+    /// let e = Capacitance::from_millifarads(100.0).energy_at(Voltage::from_volts(2.0));
+    /// assert!(e.approx_eq(Energy::from_millis(200.0), 1e-12));
+    /// ```
+    #[must_use]
+    pub fn energy_at(self, v: Voltage) -> Energy {
+        Energy::from_joules(0.5 * self.farads() * v.volts() * v.volts())
+    }
+}
+
+impl AngularVelocity {
+    /// Angular velocity of a wheel of rolling radius `radius` at vehicle
+    /// speed `speed` (rolling without slip: `ω = v / r`).
+    ///
+    /// ```
+    /// use monityre_units::{AngularVelocity, Speed, Distance};
+    /// let w = AngularVelocity::from_speed_radius(
+    ///     Speed::from_mps(31.0), Distance::from_metres(0.31));
+    /// assert!((w.rads() - 100.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn from_speed_radius(speed: Speed, radius: Distance) -> Self {
+        Self::from_rads(speed.mps() / radius.metres())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_milliwatts(2.0) * Duration::from_secs(3.0);
+        assert!(e.approx_eq(Energy::from_millis(6.0), 1e-12));
+        let e2 = Duration::from_secs(3.0) * Power::from_milliwatts(2.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_joules(6.0) / Duration::from_secs(2.0);
+        assert!(p.approx_eq(Power::from_watts(3.0), 1e-12));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Energy::from_joules(6.0) / Power::from_watts(2.0);
+        assert!(t.approx_eq(Duration::from_secs(3.0), 1e-12));
+    }
+
+    #[test]
+    fn electrical_power_triangle() {
+        let v = Voltage::from_volts(1.2);
+        let i = Current::from_milliamps(2.0);
+        let p = v * i;
+        assert!(p.approx_eq(Power::from_milliwatts(2.4), 1e-12));
+        assert!((p / v).approx_eq(i, 1e-12));
+        assert!((p / i).approx_eq(v, 1e-12));
+    }
+
+    #[test]
+    fn charge_relations() {
+        let q = Current::from_milliamps(5.0) * Duration::from_secs(2.0);
+        assert!(q.approx_eq(Charge::from_millicoulombs(10.0), 1e-12));
+        assert!((q / Duration::from_secs(2.0)).approx_eq(Current::from_milliamps(5.0), 1e-12));
+        assert!((q / Current::from_milliamps(5.0)).approx_eq(Duration::from_secs(2.0), 1e-12));
+    }
+
+    #[test]
+    fn capacitor_charge_voltage() {
+        let c = Capacitance::from_millifarads(47.0);
+        let v = Voltage::from_volts(2.5);
+        let q = c * v;
+        assert!((q / c).approx_eq(v, 1e-12));
+        assert!((q / v).approx_eq(c, 1e-12));
+    }
+
+    #[test]
+    fn charge_voltage_energy() {
+        let e = Charge::from_coulombs(0.1) * Voltage::from_volts(2.0);
+        assert!(e.approx_eq(Energy::from_millis(200.0), 1e-12));
+        assert!((e / Voltage::from_volts(2.0)).approx_eq(Charge::from_coulombs(0.1), 1e-12));
+    }
+
+    #[test]
+    fn ohms_law_triangle() {
+        let i = Current::from_milliamps(10.0);
+        let r = Resistance::from_ohms(120.0);
+        let v = i * r;
+        assert!(v.approx_eq(Voltage::from_volts(1.2), 1e-12));
+        assert!((v / r).approx_eq(i, 1e-12));
+        assert!((v / i).approx_eq(r, 1e-12));
+    }
+
+    #[test]
+    fn kinematics() {
+        let v = Speed::from_kmh(90.0);
+        let t = Duration::from_mins(2.0);
+        let d = v * t;
+        assert!(d.approx_eq(Distance::from_kilometres(3.0), 1e-12));
+        assert!((d / t).approx_eq(v, 1e-12));
+        assert!((d / v).approx_eq(t, 1e-12));
+    }
+
+    #[test]
+    fn wheel_round_rate() {
+        // 1.95 m rolling circumference at ~70.2 km/h → 10 rounds/s.
+        let f = Speed::from_mps(19.5) / Distance::from_metres(1.95);
+        assert!(f.approx_eq(Frequency::from_hertz(10.0), 1e-12));
+        assert!(f.period().approx_eq(Duration::from_millis(100.0), 1e-12));
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Frequency::from_kilohertz(32.768);
+        assert!(f.period().frequency().approx_eq(f, 1e-12));
+    }
+
+    #[test]
+    fn duty_weighting() {
+        let duty = DutyCycle::new(0.25).unwrap();
+        let avg = Power::from_milliwatts(4.0) * duty;
+        assert!(avg.approx_eq(Power::from_milliwatts(1.0), 1e-12));
+        let share = Energy::from_micros(8.0) * duty;
+        assert!(share.approx_eq(Energy::from_micros(2.0), 1e-12));
+    }
+
+    #[test]
+    fn half_cv_squared() {
+        let e = Capacitance::from_farads(1.0).energy_at(Voltage::from_volts(3.0));
+        assert!(e.approx_eq(Energy::from_joules(4.5), 1e-12));
+    }
+
+    #[test]
+    fn omega_from_speed_and_radius() {
+        let w = AngularVelocity::from_speed_radius(
+            Speed::from_mps(20.0),
+            Distance::from_metres(0.4),
+        );
+        assert!((w.rads() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Electrical power.
+
+quantity! {
+    /// Electrical power in watts.
+    ///
+    /// In this workspace `Power` always denotes an *instantaneous* or
+    /// *mode-average* dissipation; per-wheel-round budgets are [`crate::Energy`].
+    ///
+    /// ```
+    /// use monityre_units::Power;
+    /// let leak = Power::from_nanowatts(850.0);
+    /// let active = Power::from_milliwatts(1.2);
+    /// assert!(active > leak);
+    /// assert_eq!(format!("{active}"), "1.200 mW");
+    /// ```
+    Power, unit: "W",
+    base: from_watts / watts,
+    scaled: from_milliwatts / milliwatts * 1e-3,
+    scaled: from_microwatts / microwatts * 1e-6,
+    scaled: from_nanowatts / nanowatts * 1e-9,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_constructors_agree() {
+        assert!(Power::from_milliwatts(1.0).approx_eq(Power::from_watts(1e-3), 1e-12));
+        assert!(Power::from_microwatts(1.0).approx_eq(Power::from_watts(1e-6), 1e-12));
+        assert!(Power::from_nanowatts(1.0).approx_eq(Power::from_watts(1e-9), 1e-12));
+    }
+
+    #[test]
+    fn addition_and_scaling() {
+        let p = Power::from_milliwatts(2.0) + Power::from_microwatts(500.0);
+        assert!(p.approx_eq(Power::from_milliwatts(2.5), 1e-12));
+        assert!((p * 2.0).approx_eq(Power::from_milliwatts(5.0), 1e-12));
+        assert!((p / 2.0).approx_eq(Power::from_milliwatts(1.25), 1e-12));
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let r: f64 = Power::from_watts(3.0) / Power::from_watts(1.5);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn sums_over_iterators() {
+        let parts = [
+            Power::from_microwatts(10.0),
+            Power::from_microwatts(20.0),
+            Power::from_microwatts(30.0),
+        ];
+        let total: Power = parts.iter().sum();
+        assert!(total.approx_eq(Power::from_microwatts(60.0), 1e-12));
+    }
+
+    #[test]
+    fn parses_engineering_notation() {
+        let p: Power = "3.1 mW".parse().unwrap();
+        assert!(p.approx_eq(Power::from_milliwatts(3.1), 1e-12));
+        let q: Power = "850nW".parse().unwrap();
+        assert!(q.approx_eq(Power::from_nanowatts(850.0), 1e-12));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let p = Power::from_microwatts(123.456);
+        let back: Power = p.to_string().parse().unwrap();
+        assert!(p.approx_eq(back, 1e-3));
+    }
+
+    #[test]
+    fn clamp_orders_bounds() {
+        let p = Power::from_watts(5.0);
+        let clamped = p.clamp(Power::ZERO, Power::from_watts(1.0));
+        assert_eq!(clamped.watts(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp requires lo <= hi")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = Power::ZERO.clamp(Power::from_watts(1.0), Power::ZERO);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let p = Power::from_milliwatts(1.5);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "0.0015");
+        let back: Power = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,217 @@
+//! The `quantity!` macro: shared implementation of every f64-backed
+//! physical quantity newtype in this crate.
+//!
+//! Each invocation declares one quantity with its base SI unit plus any
+//! number of scaled constructors/getters, and generates the full set of
+//! same-dimension operators, formatting, parsing and serde support. Cross
+//! -dimension operators (e.g. `Power × Duration = Energy`) are *not*
+//! generated here — they are hand-written in [`crate::ops`] so the set of
+//! physically meaningful products stays explicit and reviewable.
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, unit: $unit:literal,
+        base: $base_ctor:ident / $base_getter:ident
+        $(, scaled: $ctor:ident / $getter:ident * $factor:expr)*
+        $(,)?
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default,
+            ::serde::Serialize, ::serde::Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a value from ", stringify!($base_getter), " (base unit: ", $unit, ").")]
+            #[must_use]
+            pub const fn $base_ctor(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the value in ", stringify!($base_getter), " (base unit: ", $unit, ").")]
+            #[must_use]
+            pub const fn $base_getter(self) -> f64 {
+                self.0
+            }
+
+            $(
+                #[doc = concat!("Creates a value from ", stringify!($getter), ".")]
+                #[must_use]
+                pub fn $ctor(value: f64) -> Self {
+                    Self(value * $factor)
+                }
+
+                #[doc = concat!("Returns the value in ", stringify!($getter), ".")]
+                #[must_use]
+                pub fn $getter(self) -> f64 {
+                    self.0 / $factor
+                }
+            )*
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(
+                    lo.0 <= hi.0,
+                    concat!(stringify!($name), "::clamp requires lo <= hi"),
+                );
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the underlying value is finite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` when the value is negative (strictly below zero).
+            #[must_use]
+            pub fn is_negative(self) -> bool {
+                self.0 < 0.0
+            }
+
+            /// Relative approximate equality (see [`crate::fmt::approx_eq`]).
+            #[must_use]
+            pub fn approx_eq(self, other: Self, rel_tol: f64) -> bool {
+                $crate::fmt::approx_eq(self.0, other.0, rel_tol)
+            }
+
+            /// Total ordering over the underlying `f64` (IEEE `totalOrd`).
+            #[must_use]
+            pub fn total_cmp(&self, other: &Self) -> ::core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl ::core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl ::core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl ::core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl ::core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl ::core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl ::core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two same-dimension quantities is dimensionless.
+        impl ::core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl ::core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl ::core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl ::core::ops::MulAssign<f64> for $name {
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl ::core::ops::DivAssign<f64> for $name {
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        impl ::core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> ::core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl ::core::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {
+                f.write_str(&$crate::fmt::engineering(self.0, $unit))
+            }
+        }
+
+        impl ::core::str::FromStr for $name {
+            type Err = $crate::ParseQuantityError;
+
+            /// Parses engineering notation, e.g. `"3.1 mW"` for `Power`.
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                $crate::fmt::parse_engineering(s, $unit)
+                    .map(Self)
+                    .ok_or_else(|| $crate::ParseQuantityError::new(s, $unit))
+            }
+        }
+    };
+}

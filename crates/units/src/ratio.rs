@@ -1,0 +1,326 @@
+//! Dimensionless quantities: generic ratios, duty cycles, efficiencies.
+//!
+//! Duty cycle — "active time over idle time in a single wheel round" in the
+//! paper's words, implemented as active-time over *round* time, the form the
+//! energy integral actually needs — is the pivotal quantity of the whole
+//! methodology: the optimization advisor selects techniques from the
+//! (dynamic/static split × duty cycle) pair.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An unconstrained dimensionless ratio.
+///
+/// ```
+/// use monityre_units::Ratio;
+/// let speedup = Ratio::new(2.5);
+/// assert_eq!(speedup.value(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Self = Self(0.0);
+    /// Unity.
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "ratio must be finite, got {value}");
+        Self(value)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value expressed in percent.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// Fraction of a wheel round a block spends active, in `[0, 1]`.
+///
+/// ```
+/// use monityre_units::DutyCycle;
+/// let d = DutyCycle::new(0.012).unwrap();
+/// assert!(d.is_short());
+/// assert!((d.idle_fraction() - 0.988).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DutyCycle(f64);
+
+/// Threshold below which a duty cycle counts as *short* for the advisor:
+/// the block is idle ≥ 90 % of the round, so idle-time (static) energy is
+/// a first-order term worth optimizing alongside dynamic energy.
+pub(crate) const SHORT_DUTY_THRESHOLD: f64 = 0.10;
+
+impl DutyCycle {
+    /// A block that is never active.
+    pub const ALWAYS_IDLE: Self = Self(0.0);
+    /// A block that is active the whole round.
+    pub const ALWAYS_ACTIVE: Self = Self(1.0);
+
+    /// Creates a duty cycle, validating `0 ≤ value ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DutyCycleError`] when the value is outside `[0, 1]` or not
+    /// finite.
+    pub fn new(value: f64) -> Result<Self, DutyCycleError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(DutyCycleError { value })
+        }
+    }
+
+    /// Creates a duty cycle, clamping into `[0, 1]` (NaN becomes 0).
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The active fraction of the round.
+    #[must_use]
+    pub const fn active_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The idle fraction of the round (`1 − active`).
+    #[must_use]
+    pub fn idle_fraction(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Whether this duty cycle is *short* in the paper's sense: the block
+    /// idles long enough that static-power optimization pays off too.
+    #[must_use]
+    pub fn is_short(self) -> bool {
+        self.0 < SHORT_DUTY_THRESHOLD
+    }
+
+    /// The ratio the paper's prose literally describes: active time over
+    /// *idle* time. Returns `f64::INFINITY` for an always-active block.
+    #[must_use]
+    pub fn active_over_idle(self) -> f64 {
+        if self.0 >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.0 / (1.0 - self.0)
+        }
+    }
+}
+
+impl fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} %", self.0 * 100.0)
+    }
+}
+
+/// Error returned when constructing a [`DutyCycle`] outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleError {
+    value: f64,
+}
+
+impl fmt::Display for DutyCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duty cycle must lie in [0, 1], got {}", self.value)
+    }
+}
+
+impl std::error::Error for DutyCycleError {}
+
+/// A power-conversion efficiency in `(0, 1]`.
+///
+/// Zero is excluded: an efficiency of zero would make every downstream
+/// division blow up, and a converter that delivers nothing is a modelling
+/// error, not an operating point.
+///
+/// ```
+/// use monityre_units::Efficiency;
+/// let eta = Efficiency::new(0.82).unwrap();
+/// assert!((eta.apply(10.0) - 8.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Efficiency(f64);
+
+impl Efficiency {
+    /// A lossless (ideal) conversion.
+    pub const IDEAL: Self = Self(1.0);
+
+    /// Creates an efficiency, validating `0 < value ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EfficiencyError`] for values outside `(0, 1]` or non-finite.
+    pub fn new(value: f64) -> Result<Self, EfficiencyError> {
+        if value.is_finite() && value > 0.0 && value <= 1.0 {
+            Ok(Self(value))
+        } else {
+            Err(EfficiencyError { value })
+        }
+    }
+
+    /// The raw value in `(0, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Applies the efficiency to an input amount (output = input × η).
+    #[must_use]
+    pub fn apply(self, input: f64) -> f64 {
+        input * self.0
+    }
+
+    /// Inverts the efficiency: the input needed to deliver `output`.
+    #[must_use]
+    pub fn required_input(self, output: f64) -> f64 {
+        output / self.0
+    }
+
+    /// Chains two conversion stages (η_total = η₁·η₂).
+    #[must_use]
+    pub fn chain(self, next: Self) -> Self {
+        Self(self.0 * next.0)
+    }
+}
+
+impl Default for Efficiency {
+    fn default() -> Self {
+        Self::IDEAL
+    }
+}
+
+impl fmt::Display for Efficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} %", self.0 * 100.0)
+    }
+}
+
+/// Error returned when constructing an [`Efficiency`] outside `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyError {
+    value: f64,
+}
+
+impl fmt::Display for EfficiencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "efficiency must lie in (0, 1], got {}", self.value)
+    }
+}
+
+impl std::error::Error for EfficiencyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_bounds() {
+        assert!(DutyCycle::new(0.0).is_ok());
+        assert!(DutyCycle::new(1.0).is_ok());
+        assert!(DutyCycle::new(-0.01).is_err());
+        assert!(DutyCycle::new(1.01).is_err());
+        assert!(DutyCycle::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn duty_cycle_saturating() {
+        assert_eq!(DutyCycle::saturating(-3.0).active_fraction(), 0.0);
+        assert_eq!(DutyCycle::saturating(7.0).active_fraction(), 1.0);
+        assert_eq!(DutyCycle::saturating(f64::NAN).active_fraction(), 0.0);
+        assert_eq!(DutyCycle::saturating(0.5).active_fraction(), 0.5);
+    }
+
+    #[test]
+    fn short_duty_threshold() {
+        assert!(DutyCycle::new(0.01).unwrap().is_short());
+        assert!(!DutyCycle::new(0.5).unwrap().is_short());
+        // Boundary: exactly at threshold is not short.
+        assert!(!DutyCycle::new(SHORT_DUTY_THRESHOLD).unwrap().is_short());
+    }
+
+    #[test]
+    fn active_over_idle_matches_paper_definition() {
+        let d = DutyCycle::new(0.2).unwrap();
+        assert!((d.active_over_idle() - 0.25).abs() < 1e-12);
+        assert!(DutyCycle::ALWAYS_ACTIVE.active_over_idle().is_infinite());
+    }
+
+    #[test]
+    fn idle_plus_active_is_one() {
+        let d = DutyCycle::new(0.37).unwrap();
+        assert!((d.active_fraction() + d.idle_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        assert!(Efficiency::new(1.0).is_ok());
+        assert!(Efficiency::new(0.0).is_err());
+        assert!(Efficiency::new(1.2).is_err());
+        assert!(Efficiency::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn efficiency_apply_and_invert_round_trip() {
+        let eta = Efficiency::new(0.75).unwrap();
+        let output = eta.apply(8.0);
+        assert!((eta.required_input(output) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_chain_multiplies() {
+        let a = Efficiency::new(0.9).unwrap();
+        let b = Efficiency::new(0.8).unwrap();
+        assert!((a.chain(b).value() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_percent() {
+        assert!((Ratio::new(0.42).percent() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be finite")]
+    fn ratio_rejects_nan() {
+        let _ = Ratio::new(f64::NAN);
+    }
+
+    #[test]
+    fn duty_cycle_error_message() {
+        let err = DutyCycle::new(2.0).unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn efficiency_display() {
+        assert_eq!(Efficiency::new(0.825).unwrap().to_string(), "82.5 %");
+    }
+}

@@ -1,0 +1,193 @@
+//! Temperature — hand-written because it is an *affine* quantity.
+//!
+//! Unlike the other quantities, temperatures cannot be added to each other
+//! (20 °C + 30 °C is meaningless), so `Temperature` does not go through the
+//! `quantity!` macro. Differences are plain `f64` kelvins and offsets are
+//! applied with [`Temperature::offset_kelvin`].
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Absolute temperature, stored in kelvin.
+///
+/// The working temperature of the circuit is the dominant parameter of the
+/// static-power model (§II of the paper: "Static power is mainly linked to
+/// the working temperature of the circuit"). In-tyre electronics see a wide
+/// automotive range, roughly −40 °C to +125 °C.
+///
+/// ```
+/// use monityre_units::Temperature;
+/// let t = Temperature::from_celsius(27.0);
+/// assert!((t.kelvin() - 300.15).abs() < 1e-9);
+/// assert!((t.celsius() - 27.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Temperature(f64);
+
+/// 0 °C in kelvin.
+const CELSIUS_OFFSET: f64 = 273.15;
+
+impl Temperature {
+    /// Absolute zero.
+    pub const ABSOLUTE_ZERO: Self = Self(0.0);
+
+    /// The standard reference temperature used across the power models
+    /// (27 °C / 300.15 K, the usual characterization point).
+    pub const REFERENCE: Self = Self(27.0 + CELSIUS_OFFSET);
+
+    /// Creates a temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is negative or not finite — there is no physical
+    /// temperature below absolute zero, and allowing one would silently
+    /// corrupt every exponential leakage model downstream.
+    #[must_use]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        assert!(
+            kelvin.is_finite() && kelvin >= 0.0,
+            "temperature must be finite and >= 0 K, got {kelvin}"
+        );
+        Self(kelvin)
+    }
+
+    /// Creates a temperature from degrees Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is below absolute zero or not finite.
+    #[must_use]
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self::from_kelvin(celsius + CELSIUS_OFFSET)
+    }
+
+    /// The value in kelvin.
+    #[must_use]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// The value in degrees Celsius.
+    #[must_use]
+    pub fn celsius(self) -> f64 {
+        self.0 - CELSIUS_OFFSET
+    }
+
+    /// Signed difference `self − other` in kelvins.
+    #[must_use]
+    pub fn delta_kelvin(self, other: Self) -> f64 {
+        self.0 - other.0
+    }
+
+    /// Returns `self` shifted by a signed kelvin offset, saturating at
+    /// absolute zero.
+    #[must_use]
+    pub fn offset_kelvin(self, delta: f64) -> Self {
+        Self((self.0 + delta).max(0.0))
+    }
+
+    /// Linear interpolation between two temperatures; `t` is clamped to
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn lerp(self, other: Self, t: f64) -> Self {
+        let t = t.clamp(0.0, 1.0);
+        Self(self.0 + (other.0 - self.0) * t)
+    }
+
+    /// The smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// The larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Relative approximate equality on the kelvin scale.
+    #[must_use]
+    pub fn approx_eq(self, other: Self, rel_tol: f64) -> bool {
+        crate::fmt::approx_eq(self.0, other.0, rel_tol)
+    }
+
+    /// Total ordering over the underlying kelvin value.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Default for Temperature {
+    /// Defaults to the characterization reference (27 °C), not absolute zero
+    /// — an accidental default should not zero out leakage.
+    fn default() -> Self {
+        Self::REFERENCE
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} °C", self.celsius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Temperature::from_celsius(85.0);
+        assert!((t.kelvin() - 358.15).abs() < 1e-12);
+        assert!((t.celsius() - 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_is_27c() {
+        assert!((Temperature::REFERENCE.celsius() - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_signed() {
+        let hot = Temperature::from_celsius(85.0);
+        let cold = Temperature::from_celsius(-20.0);
+        assert!((hot.delta_kelvin(cold) - 105.0).abs() < 1e-12);
+        assert!((cold.delta_kelvin(hot) + 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_saturates_at_absolute_zero() {
+        let t = Temperature::from_kelvin(10.0).offset_kelvin(-50.0);
+        assert_eq!(t.kelvin(), 0.0);
+    }
+
+    #[test]
+    fn lerp_clamps() {
+        let a = Temperature::from_celsius(0.0);
+        let b = Temperature::from_celsius(100.0);
+        assert!((a.lerp(b, 0.5).celsius() - 50.0).abs() < 1e-12);
+        assert!((a.lerp(b, -1.0).celsius()).abs() < 1e-12);
+        assert!((a.lerp(b, 2.0).celsius() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be finite")]
+    fn rejects_below_absolute_zero() {
+        let _ = Temperature::from_celsius(-300.0);
+    }
+
+    #[test]
+    fn default_is_reference() {
+        assert_eq!(Temperature::default(), Temperature::REFERENCE);
+    }
+
+    #[test]
+    fn displays_in_celsius() {
+        assert_eq!(Temperature::from_celsius(27.0).to_string(), "27.00 °C");
+    }
+}

@@ -1,0 +1,63 @@
+//! Time durations.
+
+quantity! {
+    /// A span of time in seconds.
+    ///
+    /// A dedicated type (rather than `std::time::Duration`) because energy
+    /// analysis needs signed arithmetic, fractional scaling, and division
+    /// into dimensionless ratios — and because durations here are model
+    /// quantities, not wall-clock measurements.
+    ///
+    /// ```
+    /// use monityre_units::Duration;
+    /// let round = Duration::from_millis(75.0);
+    /// let active = Duration::from_micros(900.0);
+    /// let duty = active / round; // dimensionless
+    /// assert!((duty - 0.012).abs() < 1e-12);
+    /// ```
+    Duration, unit: "s",
+    base: from_secs / secs,
+    scaled: from_millis / millis * 1e-3,
+    scaled: from_micros / micros * 1e-6,
+    scaled: from_nanos / nanos * 1e-9,
+    scaled: from_mins / mins * 60.0,
+    scaled: from_hours / hours * 3600.0,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert!(Duration::from_mins(1.0).approx_eq(Duration::from_secs(60.0), 1e-12));
+        assert!(Duration::from_hours(1.0).approx_eq(Duration::from_mins(60.0), 1e-12));
+        assert!(Duration::from_millis(1.0).approx_eq(Duration::from_micros(1000.0), 1e-12));
+    }
+
+    #[test]
+    fn duty_ratio() {
+        let duty = Duration::from_micros(500.0) / Duration::from_millis(50.0);
+        assert!((duty - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulates() {
+        let mut t = Duration::ZERO;
+        for _ in 0..10 {
+            t += Duration::from_millis(10.0);
+        }
+        assert!(t.approx_eq(Duration::from_millis(100.0), 1e-12));
+    }
+
+    #[test]
+    fn parses() {
+        let d: Duration = "250 ms".parse().unwrap();
+        assert!(d.approx_eq(Duration::from_millis(250.0), 1e-12));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_micros(480.0).to_string(), "480.000 µs");
+    }
+}

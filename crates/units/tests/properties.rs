@@ -1,0 +1,167 @@
+//! Property-based tests for dimensional arithmetic.
+//!
+//! These pin down the algebraic laws the rest of the workspace silently
+//! relies on: conversion round-trips, operator inverses, and formatting
+//! round-trips.
+
+use monityre_units::{
+    Capacitance, Charge, Current, Distance, Duration, DutyCycle, Efficiency, Energy, Frequency,
+    Power, Resistance, Speed, Temperature, Voltage,
+};
+use proptest::prelude::*;
+
+/// Positive magnitudes spanning the dynamic range the models use
+/// (nano to kilo) without hitting denormals or overflow.
+fn magnitude() -> impl Strategy<Value = f64> {
+    (1e-9f64..1e3).prop_filter("finite", |v| v.is_finite())
+}
+
+/// Signed magnitudes for quantities that may legitimately go negative
+/// (net energy, net current).
+fn signed_magnitude() -> impl Strategy<Value = f64> {
+    prop_oneof![magnitude(), magnitude().prop_map(|v| -v)]
+}
+
+proptest! {
+    #[test]
+    fn power_unit_round_trips(w in magnitude()) {
+        let p = Power::from_watts(w);
+        prop_assert!(Power::from_milliwatts(p.milliwatts()).approx_eq(p, 1e-12));
+        prop_assert!(Power::from_microwatts(p.microwatts()).approx_eq(p, 1e-12));
+        prop_assert!(Power::from_nanowatts(p.nanowatts()).approx_eq(p, 1e-12));
+    }
+
+    #[test]
+    fn energy_power_time_inverse(w in magnitude(), s in magnitude()) {
+        let p = Power::from_watts(w);
+        let t = Duration::from_secs(s);
+        let e: Energy = p * t;
+        prop_assert!((e / t).approx_eq(p, 1e-12));
+        prop_assert!((e / p).approx_eq(t, 1e-12));
+    }
+
+    #[test]
+    fn electrical_triangle_inverse(v in magnitude(), a in magnitude()) {
+        let volts = Voltage::from_volts(v);
+        let amps = Current::from_amps(a);
+        let p = volts * amps;
+        prop_assert!((p / volts).approx_eq(amps, 1e-12));
+        prop_assert!((p / amps).approx_eq(volts, 1e-12));
+    }
+
+    #[test]
+    fn charge_relations_inverse(c in magnitude(), v in magnitude()) {
+        let cap = Capacitance::from_farads(c);
+        let volts = Voltage::from_volts(v);
+        let q: Charge = cap * volts;
+        prop_assert!((q / cap).approx_eq(volts, 1e-12));
+        prop_assert!((q / volts).approx_eq(cap, 1e-12));
+    }
+
+    #[test]
+    fn ohms_law_inverse(a in magnitude(), r in magnitude()) {
+        let i = Current::from_amps(a);
+        let res = Resistance::from_ohms(r);
+        let v = i * res;
+        prop_assert!((v / res).approx_eq(i, 1e-12));
+        prop_assert!((v / i).approx_eq(res, 1e-12));
+    }
+
+    #[test]
+    fn kinematics_inverse(mps in magnitude(), s in magnitude()) {
+        let v = Speed::from_mps(mps);
+        let t = Duration::from_secs(s);
+        let d: Distance = v * t;
+        prop_assert!((d / t).approx_eq(v, 1e-12));
+        prop_assert!((d / v).approx_eq(t, 1e-12));
+    }
+
+    #[test]
+    fn addition_commutes_and_associates(a in signed_magnitude(), b in signed_magnitude(), c in signed_magnitude()) {
+        let (ea, eb, ec) = (Energy::from_joules(a), Energy::from_joules(b), Energy::from_joules(c));
+        prop_assert!((ea + eb).approx_eq(eb + ea, 1e-12));
+        prop_assert!(((ea + eb) + ec).approx_eq(ea + (eb + ec), 1e-9));
+    }
+
+    #[test]
+    fn scaling_distributes(a in signed_magnitude(), b in signed_magnitude(), k in magnitude()) {
+        let (pa, pb) = (Power::from_watts(a), Power::from_watts(b));
+        prop_assert!(((pa + pb) * k).approx_eq(pa * k + pb * k, 1e-9));
+    }
+
+    #[test]
+    fn display_parse_round_trip_power(w in magnitude()) {
+        let p = Power::from_watts(w);
+        let back: Power = p.to_string().parse().unwrap();
+        // Display keeps 3 fractional digits of the mantissa => ~1e-3 relative.
+        prop_assert!(p.approx_eq(back, 2e-3));
+    }
+
+    #[test]
+    fn display_parse_round_trip_energy(j in magnitude()) {
+        let e = Energy::from_joules(j);
+        let back: Energy = e.to_string().parse().unwrap();
+        prop_assert!(e.approx_eq(back, 2e-3));
+    }
+
+    #[test]
+    fn serde_round_trip(j in signed_magnitude()) {
+        let e = Energy::from_joules(j);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Energy = serde_json::from_str(&json).unwrap();
+        prop_assert!(e.approx_eq(back, 1e-12));
+    }
+
+    #[test]
+    fn frequency_period_involution(hz in magnitude()) {
+        let f = Frequency::from_hertz(hz);
+        prop_assert!(f.period().frequency().approx_eq(f, 1e-12));
+    }
+
+    #[test]
+    fn duty_cycle_partition(d in 0.0f64..=1.0) {
+        let duty = DutyCycle::new(d).unwrap();
+        prop_assert!((duty.active_fraction() + duty.idle_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycle_saturating_always_valid(x in proptest::num::f64::ANY) {
+        let duty = DutyCycle::saturating(x);
+        prop_assert!((0.0..=1.0).contains(&duty.active_fraction()));
+    }
+
+    #[test]
+    fn efficiency_apply_invert(eta in 0.01f64..=1.0, x in magnitude()) {
+        let e = Efficiency::new(eta).unwrap();
+        prop_assert!((e.required_input(e.apply(x)) - x).abs() / x < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_chain_never_gains(a in 0.01f64..=1.0, b in 0.01f64..=1.0) {
+        let chained = Efficiency::new(a).unwrap().chain(Efficiency::new(b).unwrap());
+        prop_assert!(chained.value() <= a.min(b) + 1e-15);
+    }
+
+    #[test]
+    fn temperature_celsius_round_trip(c in -273.0f64..1000.0) {
+        let t = Temperature::from_celsius(c);
+        prop_assert!((t.celsius() - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_lerp_bounded(c1 in -40.0f64..125.0, c2 in -40.0f64..125.0, x in proptest::num::f64::NORMAL) {
+        let a = Temperature::from_celsius(c1);
+        let b = Temperature::from_celsius(c2);
+        let m = a.lerp(b, x);
+        prop_assert!(m.kelvin() >= a.kelvin().min(b.kelvin()) - 1e-9);
+        prop_assert!(m.kelvin() <= a.kelvin().max(b.kelvin()) + 1e-9);
+    }
+
+    #[test]
+    fn capacitor_energy_quadratic_in_voltage(c in magnitude(), v in magnitude()) {
+        let cap = Capacitance::from_farads(c);
+        let e1 = cap.energy_at(Voltage::from_volts(v));
+        let e2 = cap.energy_at(Voltage::from_volts(2.0 * v));
+        prop_assert!(e2.approx_eq(e1 * 4.0, 1e-9));
+    }
+}

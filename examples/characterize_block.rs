@@ -1,0 +1,63 @@
+//! Characterize a digital block at the gate level and feed the result
+//! into the energy analysis flow — the paper's stage-1 estimation made
+//! concrete: netlist → switching activity → α·C model → power database →
+//! energy balance.
+//!
+//! ```sh
+//! cargo run --example characterize_block
+//! ```
+
+use monityre::core::{EnergyAnalyzer, EnergyBalance};
+use monityre::harvest::HarvestChain;
+use monityre::netlist::{designs, Activity};
+use monityre::node::Architecture;
+use monityre::power::{OperatingMode, WorkingConditions};
+use monityre::units::{Frequency, Speed, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the computing datapath as a gate-level netlist.
+    let datapath = designs::accumulator(32);
+    println!("datapath: {datapath}");
+    println!("census: {:?}", datapath.census());
+
+    // 2. Switching-activity analysis at the workload's input statistics.
+    let clock = Frequency::from_megahertz(8.0);
+    let activity = Activity::uniform(&datapath, 0.5, 0.3)?;
+    println!(
+        "effective activity factor {:.4}, switched capacitance {}, power {} at 8 MHz/1.2 V",
+        activity.activity_factor(),
+        activity.switched_capacitance(),
+        activity.average_power(Voltage::from_volts(1.2), clock),
+    );
+
+    // 3. Export into the power database: replace the DSP's hand-estimated
+    //    dynamic model with the characterized one (keeping its leakage
+    //    model and event costs).
+    let arch = Architecture::reference();
+    let dsp = arch.database().block("dsp")?.clone();
+    let characterized = dsp.with_dynamic(activity.to_dynamic_model(clock));
+    let refined = arch.with_block_model(characterized)?;
+
+    let cond = WorkingConditions::reference();
+    let before = arch
+        .database()
+        .block_power("dsp", OperatingMode::Active, &cond)?;
+    let after = refined
+        .database()
+        .block_power("dsp", OperatingMode::Active, &cond)?;
+    println!("dsp active power: spreadsheet estimate {} -> characterized {}", before.total(), after.total());
+
+    // 4. Re-run the energy balance with the refined database.
+    let chain = HarvestChain::reference();
+    for (label, a) in [("estimated", &arch), ("characterized", &refined)] {
+        let analyzer = EnergyAnalyzer::new(a, cond).with_wheel(*chain.wheel());
+        let be = EnergyBalance::new(&analyzer, &chain)
+            .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
+            .break_even();
+        println!(
+            "{label:>14}: break-even {}",
+            be.map_or("n/a".into(), |s| format!("{:.1} km/h", s.kmh()))
+        );
+    }
+    Ok(())
+}

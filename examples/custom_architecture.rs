@@ -1,0 +1,117 @@
+//! Build a custom Sensor Node architecture from scratch, host its power
+//! database on the dynamic spreadsheet, and explore a configuration sweep
+//! — the "custom architectures" workflow of §II-A.
+//!
+//! ```sh
+//! cargo run --example custom_architecture
+//! ```
+
+use monityre::core::{EnergyAnalyzer, EnergyBalance};
+use monityre::harvest::HarvestChain;
+use monityre::node::{
+    Architecture, BlockPlan, ConfigSpace, PhaseSpec, RoundSchedule, Span, Workload,
+};
+use monityre::power::{
+    BlockPowerModel, DynamicPowerModel, EventCost, EventKind, LeakageModel, OperatingMode,
+    WorkingConditions,
+};
+use monityre::sheet::PowerSheet;
+use monityre::units::{Capacitance, Energy, Frequency, Power, Speed, Temperature};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A stripped-down two-block node: a pressure sensor + a simple MCU.
+    let sensor = BlockPowerModel::builder("pressure")
+        .dynamic(DynamicPowerModel::new(
+            0.5,
+            Capacitance::from_picofarads(20.0),
+            Frequency::from_kilohertz(500.0),
+        ))
+        .leakage(LeakageModel::with_reference(Power::from_nanowatts(400.0)))
+        .event_cost(EventCost::new(EventKind::Sample, Energy::from_nanos(35.0)))
+        .build();
+    let mcu = BlockPowerModel::builder("mcu")
+        .dynamic(DynamicPowerModel::new(
+            0.15,
+            Capacitance::from_picofarads(150.0),
+            Frequency::from_megahertz(4.0),
+        ))
+        .leakage(LeakageModel::with_reference(Power::from_microwatts(3.0)))
+        .build();
+
+    let custom = Architecture::builder("pressure-only-node")
+        .block(
+            sensor,
+            BlockPlan::new(
+                RoundSchedule::new(
+                    vec![PhaseSpec::every_round(
+                        OperatingMode::Active,
+                        Span::Fraction(0.05),
+                    )],
+                    OperatingMode::Off,
+                )?,
+                Workload::new().with(EventKind::Sample, 8.0),
+            ),
+        )
+        .block(
+            mcu,
+            BlockPlan::new(
+                RoundSchedule::new(
+                    vec![PhaseSpec::every_round(
+                        OperatingMode::Active,
+                        Span::Fixed(monityre::units::Duration::from_millis(1.0)),
+                    )],
+                    OperatingMode::Sleep,
+                )?,
+                Workload::new(),
+            ),
+        )
+        .build()?;
+
+    let chain = HarvestChain::reference();
+    let analyzer = EnergyAnalyzer::new(&custom, WorkingConditions::reference())
+        .with_wheel(*chain.wheel());
+    let report = EnergyBalance::new(&analyzer, &chain).sweep(
+        Speed::from_kmh(5.0),
+        Speed::from_kmh(120.0),
+        116,
+    );
+    println!(
+        "custom node `{}`: break-even {:?} km/h",
+        custom.name(),
+        report.break_even().map(|s| s.kmh())
+    );
+
+    // Host the database on the live spreadsheet and poke a condition.
+    let mut sheet = PowerSheet::new(custom.database())?;
+    sheet
+        .sheet_mut()
+        .set_formula("mcu.share", "mcu.active_uw / node.active_uw")?;
+    println!(
+        "at 27 °C the MCU is {:.0} % of the active power",
+        sheet.value("mcu.share")? * 100.0
+    );
+    sheet.set_temperature(Temperature::from_celsius(85.0), custom.database())?;
+    println!(
+        "at 85 °C the chip leaks {:.2} µW (was parked in the sun)",
+        sheet.value("node.leak_uw")?
+    );
+
+    // Sweep the reference configuration grid for comparison.
+    let space = ConfigSpace::new(vec![32, 128, 512], vec![1, 4, 16], vec![32]);
+    println!("\nreference-node configuration sweep:");
+    for config in space.iter() {
+        let arch = Architecture::from_config(config);
+        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference())
+            .with_wheel(*chain.wheel());
+        let be = EnergyBalance::new(&analyzer, &chain)
+            .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 118)
+            .break_even();
+        println!(
+            "  {:>3} samples/round, TX every {:>2} rounds → break-even {}",
+            config.samples_per_round(),
+            config.tx_period_rounds(),
+            be.map_or("n/a".into(), |s| format!("{:.1} km/h", s.kmh())),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Vehicle-level view: four Sensor Nodes on one car, and the availability
+//! of the friction-estimation function that needs all of them at once.
+//!
+//! ```sh
+//! cargo run --example four_wheels
+//! ```
+
+use monityre::core::VehicleEmulator;
+use monityre::profile::{
+    CompositeProfile, ExtraUrbanCycle, MotorwayCycle, RepeatProfile, SpeedProfile, UrbanCycle,
+};
+use monityre::units::{Duration, Speed};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let emulator = VehicleEmulator::reference();
+
+    let trip = CompositeProfile::new(vec![
+        Box::new(RepeatProfile::new(UrbanCycle::new(), 3)),
+        Box::new(ExtraUrbanCycle::new()),
+        Box::new(MotorwayCycle::new(
+            Speed::from_kmh(120.0),
+            Duration::from_mins(10.0),
+        )?),
+    ]);
+    println!(
+        "trip: {:.0} s, mean {:.1} km/h",
+        trip.duration().secs(),
+        trip.mean_speed(2000).kmh()
+    );
+
+    let report = emulator.run(&trip)?;
+    for (pos, r) in &report.corners {
+        let last = r.samples.last().expect("samples recorded");
+        println!(
+            "  {}: coverage {:5.1} %, {} window(s), tyre ends at {}",
+            pos.label(),
+            r.coverage() * 100.0,
+            r.windows.len(),
+            last.tyre_temperature
+        );
+    }
+    println!(
+        "friction estimation available (all four corners) {:.1} % of the trip; bottleneck: {}",
+        report.all_active_fraction * 100.0,
+        report.bottleneck().label()
+    );
+    Ok(())
+}

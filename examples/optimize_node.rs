@@ -1,0 +1,57 @@
+//! Optimize the node the paper's way: select techniques per block from the
+//! (dynamic/static split × duty cycle) pair, apply, re-estimate, and show
+//! the activation-speed gain over the naive power-figures-only approach.
+//!
+//! ```sh
+//! cargo run --example optimize_node
+//! ```
+
+use monityre::core::{EnergyAnalyzer, EnergyBalance, OptimizationAdvisor, SelectionPolicy};
+use monityre::harvest::HarvestChain;
+use monityre::node::Architecture;
+use monityre::power::WorkingConditions;
+use monityre::units::Speed;
+
+fn break_even(arch: &Architecture, chain: &HarvestChain) -> Option<Speed> {
+    let analyzer =
+        EnergyAnalyzer::new(arch, WorkingConditions::reference()).with_wheel(*chain.wheel());
+    EnergyBalance::new(&analyzer, chain)
+        .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 391)
+        .break_even()
+}
+
+fn main() {
+    let architecture = Architecture::reference();
+    let chain = HarvestChain::reference();
+    let conditions = WorkingConditions::reference();
+    let design_speed = Speed::from_kmh(30.0);
+
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
+    let advisor = OptimizationAdvisor::new(&analyzer, design_speed);
+
+    for (label, policy) in [
+        ("power-figures-only (naive)", SelectionPolicy::PowerFigures),
+        ("duty-cycle-aware (paper)", SelectionPolicy::DutyCycleAware),
+    ] {
+        let outcome = advisor.optimize(policy).expect("optimization runs");
+        println!("== {label} ==");
+        for rec in &outcome.recommendations {
+            println!("  {:<8} {}", rec.block, rec.rationale);
+        }
+        println!(
+            "  energy per round @ {:.0} km/h: {} -> {} ({:.1} % saved)",
+            design_speed.kmh(),
+            outcome.energy_before,
+            outcome.energy_after,
+            outcome.saving() * 100.0
+        );
+        if let Some(be) = break_even(&outcome.architecture, &chain) {
+            println!("  break-even after optimization: {:.1} km/h", be.kmh());
+        }
+        println!();
+    }
+
+    if let Some(be) = break_even(&architecture, &chain) {
+        println!("baseline break-even (unoptimized): {:.1} km/h", be.kmh());
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: evaluate the reference Sensor Node's energy balance and
+//! find its break-even speed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use monityre::core::{EnergyAnalyzer, EnergyBalance};
+use monityre::harvest::HarvestChain;
+use monityre::node::Architecture;
+use monityre::power::WorkingConditions;
+use monityre::units::Speed;
+
+fn main() {
+    // 1. Define the architecture — the entry point of the flow.
+    let architecture = Architecture::reference();
+
+    // 2. Pick the working conditions (supply, temperature, corner).
+    let conditions = WorkingConditions::reference();
+
+    // 3. Evaluate energy per wheel round at a cruising speed.
+    let analyzer = EnergyAnalyzer::new(&architecture, conditions);
+    let energy = analyzer
+        .node_energy(Speed::from_kmh(60.0))
+        .expect("60 km/h is a valid operating point");
+    println!("energy per wheel round @ 60 km/h:");
+    for block in &energy.blocks {
+        println!(
+            "  {:<8} {}  (duty cycle {})",
+            block.name,
+            block.energy.total(),
+            block.duty_cycle
+        );
+    }
+    println!("  total    {}", energy.total().total());
+    println!("  average power: {}", energy.average_power());
+    println!();
+
+    // 4. Integrate the scavenger model and find the break-even speed.
+    let chain = HarvestChain::reference();
+    let balance = EnergyBalance::new(&analyzer, &chain);
+    let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196);
+    match report.break_even() {
+        Some(speed) => println!("break-even speed: {:.1} km/h", speed.kmh()),
+        None => println!("the node never reaches a positive balance"),
+    }
+}

@@ -1,0 +1,51 @@
+//! `monityre` — energy analysis methods and tools for modelling and
+//! optimizing monitoring tyre systems.
+//!
+//! A from-scratch Rust reproduction of the DATE 2011 paper by Bonanno,
+//! Bocca and Sabatini (Politecnico di Torino / Pirelli Tyre): a methodology
+//! and tool suite for the energy analysis of a **self-powered in-tyre
+//! Sensor Node** supplied by a rotation-driven energy scavenger.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`units`] — strongly-typed physical quantities;
+//! * [`power`] — per-block power models and the power database;
+//! * [`harvest`] — scavenger, regulator and storage models;
+//! * [`node`] — the Sensor Node architecture and wheel-round schedules;
+//! * [`netlist`] — gate-level switching-activity and power estimation;
+//! * [`profile`] — driving-cycle and temperature profiles;
+//! * [`sheet`] — the dependency-tracked "dynamic spreadsheet" engine;
+//! * [`core`] — the energy analysis flow: per-round evaluation, energy
+//!   balance vs speed, the optimization advisor, and the long-window
+//!   transient emulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use monityre::core::{EnergyAnalyzer, EnergyBalance};
+//! use monityre::harvest::HarvestChain;
+//! use monityre::node::Architecture;
+//! use monityre::power::WorkingConditions;
+//! use monityre::units::Speed;
+//!
+//! let arch = Architecture::reference();
+//! let chain = HarvestChain::reference();
+//! let cond = WorkingConditions::reference();
+//!
+//! let analyzer = EnergyAnalyzer::new(&arch, cond);
+//! let balance = EnergyBalance::new(&analyzer, &chain);
+//! let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196);
+//! println!("break-even: {:?}", report.break_even());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use monityre_core as core;
+pub use monityre_harvest as harvest;
+pub use monityre_netlist as netlist;
+pub use monityre_node as node;
+pub use monityre_power as power;
+pub use monityre_profile as profile;
+pub use monityre_sheet as sheet;
+pub use monityre_units as units;

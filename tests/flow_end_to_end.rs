@@ -1,0 +1,62 @@
+//! End-to-end integration: the full Fig. 1 flow through the facade crate.
+
+use monityre::core::{Flow, FlowReport, SelectionPolicy};
+use monityre::harvest::HarvestChain;
+use monityre::node::Architecture;
+use monityre::power::WorkingConditions;
+use monityre::profile::{CompositeProfile, ExtraUrbanCycle, UrbanCycle};
+use monityre::units::Speed;
+
+fn run_flow(policy: SelectionPolicy) -> FlowReport {
+    let flow = Flow::new(
+        Architecture::reference(),
+        WorkingConditions::reference(),
+        Speed::from_kmh(30.0),
+        policy,
+    );
+    let trip = CompositeProfile::new(vec![
+        Box::new(UrbanCycle::new()),
+        Box::new(ExtraUrbanCycle::new()),
+    ]);
+    flow.run(&HarvestChain::reference(), &trip)
+        .expect("the reference flow executes end to end")
+}
+
+#[test]
+fn flow_produces_all_six_stage_artifacts() {
+    let report = run_flow(SelectionPolicy::DutyCycleAware);
+    assert_eq!(report.power_estimates.len(), 6);
+    assert_eq!(report.initial_energy.blocks.len(), 6);
+    assert_eq!(report.optimization.recommendations.len(), 6);
+    assert!(report.balance.len() > 50);
+    assert!(!report.emulation.samples.is_empty());
+    assert!(!report.emulation.windows.is_empty());
+}
+
+#[test]
+fn optimization_reduces_energy_and_activation_speed() {
+    let report = run_flow(SelectionPolicy::DutyCycleAware);
+    assert!(report.optimization.saving() > 0.15, "saving {}", report.optimization.saving());
+    let before = report.break_even_before().unwrap();
+    let after = report.break_even_after().unwrap();
+    assert!(after < before);
+    // The paper's qualitative claim: activation speed drops by km/h-scale.
+    assert!(before.kmh() - after.kmh() > 1.0);
+}
+
+#[test]
+fn duty_cycle_aware_flow_beats_power_figures_flow() {
+    let aware = run_flow(SelectionPolicy::DutyCycleAware);
+    let naive = run_flow(SelectionPolicy::PowerFigures);
+    assert!(aware.optimization.energy_after < naive.optimization.energy_after);
+    assert!(aware.break_even_after().unwrap() <= naive.break_even_after().unwrap());
+}
+
+#[test]
+fn flow_summary_is_complete() {
+    let report = run_flow(SelectionPolicy::DutyCycleAware);
+    let text = report.summary();
+    for stage in 1..=6 {
+        assert!(text.contains(&format!("Stage {stage}")), "missing stage {stage}");
+    }
+}
