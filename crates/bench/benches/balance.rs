@@ -1,24 +1,39 @@
-//! Criterion bench: energy-balance sweep throughput (the FIG2 workload).
+//! Criterion bench: energy-balance sweep throughput (the FIG2 workload),
+//! serial and on the parallel sweep executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use monityre_bench::{analyzer_for, reference_fixture};
-use monityre_core::EnergyBalance;
+use monityre_bench::{reference_scenario, BENCH_THREADS};
+use monityre_core::{EnergyBalance, SweepExecutor};
 use monityre_units::Speed;
 
 fn bench_balance(c: &mut Criterion) {
-    let (arch, cond, chain) = reference_fixture();
-    let analyzer = analyzer_for(&arch, cond, &chain);
-    let balance = EnergyBalance::new(&analyzer, &chain);
+    let scenario = reference_scenario();
+    let balance = EnergyBalance::new(&scenario).expect("reference scenario evaluates");
 
     let mut group = c.benchmark_group("balance");
     for steps in [50usize, 200, 800] {
         group.bench_with_input(BenchmarkId::new("sweep", steps), &steps, |b, &steps| {
             b.iter(|| {
-                let report =
-                    balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), steps);
+                let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), steps);
                 std::hint::black_box(report.break_even())
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("sweep_parallel", steps),
+            &steps,
+            |b, &steps| {
+                let executor = SweepExecutor::new(BENCH_THREADS);
+                b.iter(|| {
+                    let report = balance.sweep_with(
+                        Speed::from_kmh(5.0),
+                        Speed::from_kmh(200.0),
+                        steps,
+                        &executor,
+                    );
+                    std::hint::black_box(report.break_even())
+                });
+            },
+        );
     }
     group.bench_function("single_point", |b| {
         b.iter(|| std::hint::black_box(balance.point(Speed::from_kmh(60.0)).unwrap()));

@@ -5,27 +5,26 @@
 //! a harsh all-urban trip (mean ≈ 19 km/h, mostly below break-even) where
 //! a static full-rate node drains out.
 
-use monityre_bench::{expect, header, parse_args};
+use monityre_bench::{expect, header, parse_args, reference_scenario};
 use monityre_core::report::Table;
 use monityre_core::{GovernedReport, Governor, GovernorLevel};
-use monityre_harvest::{HarvestChain, Supercap};
+use monityre_harvest::Supercap;
 use monityre_node::NodeConfig;
-use monityre_power::WorkingConditions;
 use monityre_profile::{RepeatProfile, UrbanCycle};
 
 fn run_static(label: &str, config: NodeConfig, min_soc: f64) -> (String, GovernedReport) {
     let governor = Governor::new(
+        &reference_scenario(),
         vec![GovernorLevel {
             label: label.to_owned(),
             min_soc,
             config,
         }],
-        WorkingConditions::reference(),
     )
     .expect("single-level ladder is valid");
     let mut storage = Supercap::reference();
     let report = governor
-        .run(&HarvestChain::reference(), &trip(), &mut storage)
+        .run(&trip(), &mut storage)
         .expect("static run executes");
     (label.to_owned(), report)
 }
@@ -38,12 +37,15 @@ fn trip() -> RepeatProfile<UrbanCycle> {
 
 fn main() {
     let options = parse_args();
-    header("EXP-ADAPTIVE", "SoC-driven configuration governor vs static configs");
+    header(
+        "EXP-ADAPTIVE",
+        "SoC-driven configuration governor vs static configs",
+    );
 
-    let governor = Governor::reference_ladder(WorkingConditions::reference());
+    let governor = Governor::reference_ladder(&reference_scenario());
     let mut storage = Supercap::reference();
     let adaptive = governor
-        .run(&HarvestChain::reference(), &trip(), &mut storage)
+        .run(&trip(), &mut storage)
         .expect("governed run executes");
 
     let full_rate = run_static(

@@ -1,11 +1,12 @@
 //! EXP-ARCH — §II-A claim: "The user can even evaluate custom
 //! architectures of the chip in order to strike a balance between energy
-//! requirement and system performance." Sweeps the configuration grid and
-//! prints the performance/break-even frontier.
+//! requirement and system performance." Sweeps the configuration grid
+//! (one scenario per configuration, fanned out over the sweep executor)
+//! and prints the performance/break-even frontier.
 
-use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_bench::{expect, header, parse_args, reference_scenario, BENCH_THREADS};
 use monityre_core::report::Table;
-use monityre_core::{EnergyAnalyzer, EnergyBalance};
+use monityre_core::{EnergyBalance, SweepExecutor};
 use monityre_node::{Architecture, ConfigSpace};
 use monityre_units::Speed;
 
@@ -19,26 +20,30 @@ struct Row {
 
 fn main() {
     let options = parse_args();
-    header("EXP-ARCH", "configuration sweep: performance vs activation speed");
+    header(
+        "EXP-ARCH",
+        "configuration sweep: performance vs activation speed",
+    );
 
-    let (_, cond, chain) = reference_fixture();
+    let scenario = reference_scenario();
     let space = ConfigSpace::reference_grid();
 
-    let mut rows = Vec::new();
-    for config in space.iter() {
-        let arch = Architecture::from_config(config);
-        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
-        let break_even = EnergyBalance::new(&analyzer, &chain)
+    let configs: Vec<_> = space.iter().collect();
+    let executor = SweepExecutor::new(BENCH_THREADS);
+    let rows = executor.map(&configs, |_, config| {
+        let varied = scenario.with_architecture(Architecture::from_config(*config));
+        let break_even = EnergyBalance::new(&varied)
+            .expect("grid configuration evaluates")
             .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 118)
             .break_even();
-        rows.push(Row {
+        Row {
             samples: config.samples_per_round(),
             tx_period: config.tx_period_rounds(),
             payload: config.payload_bytes(),
             throughput: config.samples_throughput(),
             break_even_kmh: break_even.map(|s| s.kmh()),
-        });
-    }
+        }
+    });
 
     if options.check {
         expect(options, "full grid evaluated", rows.len() == space.len());
@@ -49,7 +54,11 @@ fn main() {
                 .and_then(|r| r.break_even_kmh)
                 .expect("crossing exists")
         };
-        expect(options, "hungrier config needs more speed", be(512) > be(32));
+        expect(
+            options,
+            "hungrier config needs more speed",
+            be(512) > be(32),
+        );
         // Sparser telemetry lowers the activation speed.
         let be_tx = |tx: u32| {
             rows.iter()
@@ -57,7 +66,11 @@ fn main() {
                 .and_then(|r| r.break_even_kmh)
                 .expect("crossing exists")
         };
-        expect(options, "sparser TX lowers break-even", be_tx(16) < be_tx(1));
+        expect(
+            options,
+            "sparser TX lowers break-even",
+            be_tx(16) < be_tx(1),
+        );
         return;
     }
 
@@ -74,8 +87,7 @@ fn main() {
             r.tx_period.to_string(),
             r.payload.to_string(),
             format!("{:.0}", r.throughput),
-            r.break_even_kmh
-                .map_or("-".into(), |b| format!("{b:.1}")),
+            r.break_even_kmh.map_or("-".into(), |b| format!("{b:.1}")),
         ]);
     }
     println!("{}", table.to_csv());

@@ -49,8 +49,7 @@ fn main() {
         Wheel::reference(),
     );
     // Warm in-tyre working temperature while rolling.
-    let cond = WorkingConditions::reference()
-        .with_temperature(Temperature::from_celsius(45.0));
+    let cond = WorkingConditions::reference().with_temperature(Temperature::from_celsius(45.0));
     let pattern = UsagePattern::light_commuter();
 
     let mut rows = Vec::new();

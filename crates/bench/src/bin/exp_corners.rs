@@ -1,34 +1,49 @@
 //! EXP-CORNER — §II-A claim: process variation is one of the parameters
 //! "that contribute for modifying the expected power consumption".
 //! Per-round energy and break-even speed across SS/TT/FF corners and a
-//! supply sweep.
+//! supply sweep, with the corner × supply batch fanned out over the
+//! sweep executor.
 
-use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_bench::{expect, header, parse_args, reference_scenario, BENCH_THREADS};
 use monityre_core::report::Table;
-use monityre_core::{EnergyAnalyzer, EnergyBalance};
+use monityre_core::{EnergyBalance, SweepExecutor};
 use monityre_power::ProcessCorner;
 use monityre_units::{Speed, Voltage};
 
 fn main() {
     let options = parse_args();
-    header("EXP-CORNER", "process corners and supply voltage vs the balance");
+    header(
+        "EXP-CORNER",
+        "process corners and supply voltage vs the balance",
+    );
 
-    let (arch, base_cond, chain) = reference_fixture();
+    let scenario = reference_scenario();
     let design_speed = Speed::from_kmh(60.0);
 
-    let mut results = Vec::new();
+    let mut cases = Vec::new();
     for corner in ProcessCorner::ALL {
-        for mv in [1000, 1100, 1200, 1320] {
-            let supply = Voltage::from_millivolts(f64::from(mv));
-            let cond = base_cond.with_corner(corner).with_supply(supply);
-            let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
-            let energy = analyzer.required_per_round(design_speed).unwrap();
-            let break_even = EnergyBalance::new(&analyzer, &chain)
-                .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
-                .break_even();
-            results.push((corner, mv, energy, break_even));
+        for mv in [1000_u32, 1100, 1200, 1320] {
+            cases.push((corner, mv));
         }
     }
+    let executor = SweepExecutor::new(BENCH_THREADS);
+    let results = executor.map(&cases, |_, &(corner, mv)| {
+        let supply = Voltage::from_millivolts(f64::from(mv));
+        let cond = scenario
+            .conditions()
+            .with_corner(corner)
+            .with_supply(supply);
+        let balance =
+            EnergyBalance::new(&scenario.with_conditions(cond)).expect("corner case evaluates");
+        let energy = balance
+            .point(design_speed)
+            .expect("design speed is positive")
+            .required;
+        let break_even = balance
+            .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
+            .break_even();
+        (corner, mv, energy, break_even)
+    });
 
     if options.check {
         let energy_of = |corner: ProcessCorner| {
@@ -51,7 +66,11 @@ fn main() {
             .iter()
             .find(|(c, mv, ..)| *c == ProcessCorner::Typical && *mv == 1000)
             .unwrap();
-        expect(options, "undervolting cuts energy", undervolted.2 < nominal.2);
+        expect(
+            options,
+            "undervolting cuts energy",
+            undervolted.2 < nominal.2,
+        );
         expect(
             options,
             "undervolting lowers break-even",
@@ -60,7 +79,12 @@ fn main() {
         return;
     }
 
-    let mut table = Table::new(vec!["corner", "supply_mv", "energy_uj_per_round_60kmh", "break_even_kmh"]);
+    let mut table = Table::new(vec![
+        "corner",
+        "supply_mv",
+        "energy_uj_per_round_60kmh",
+        "break_even_kmh",
+    ]);
     for (corner, mv, energy, be) in &results {
         table.row(vec![
             corner.to_string(),

@@ -12,7 +12,10 @@ use monityre_units::{Frequency, Voltage};
 
 fn main() {
     let options = parse_args();
-    header("EXP-GATE", "gate-level characterization of the computing datapath");
+    header(
+        "EXP-GATE",
+        "gate-level characterization of the computing datapath",
+    );
 
     let clock = Frequency::from_megahertz(8.0);
     let vdd = Voltage::from_volts(1.2);
@@ -43,7 +46,11 @@ fn main() {
     let arch = monityre_node::Architecture::reference();
     let dsp_lumped = arch
         .database()
-        .block_power("dsp", OperatingMode::Active, &WorkingConditions::reference())
+        .block_power(
+            "dsp",
+            OperatingMode::Active,
+            &WorkingConditions::reference(),
+        )
         .expect("dsp exists")
         .dynamic;
 
@@ -57,8 +64,14 @@ fn main() {
             "characterized datapath power is µW-class at 8 MHz",
             acc32_mid.4.microwatts() > 1.0 && acc32_mid.4.microwatts() < 2000.0,
         );
-        let quiet = rows.iter().find(|(n, _, d, ..)| *n == "acc32" && *d == 0.1).unwrap();
-        let busy = rows.iter().find(|(n, _, d, ..)| *n == "acc32" && *d == 0.5).unwrap();
+        let quiet = rows
+            .iter()
+            .find(|(n, _, d, ..)| *n == "acc32" && *d == 0.1)
+            .unwrap();
+        let busy = rows
+            .iter()
+            .find(|(n, _, d, ..)| *n == "acc32" && *d == 0.5)
+            .unwrap();
         expect(options, "power rises with input activity", busy.4 > quiet.4);
         // Consistency: the lumped DSP model implies a gate count when
         // divided by the characterized per-gate power — it must land in

@@ -2,7 +2,7 @@
 //! paper's §II claim that adding temporal information to the technique
 //! selection "increases the efficiency of the optimization step".
 
-use monityre_bench::{analyzer_for, expect, header, parse_args, reference_fixture};
+use monityre_bench::{expect, header, parse_args, reference_scenario};
 use monityre_core::report::Table;
 use monityre_core::{OptimizationAdvisor, SelectionPolicy};
 use monityre_units::Speed;
@@ -11,8 +11,8 @@ fn main() {
     let options = parse_args();
     header("EXP-OPT", "duty-cycle-aware vs naive optimization");
 
-    let (arch, cond, chain) = reference_fixture();
-    let analyzer = analyzer_for(&arch, cond, &chain);
+    let scenario = reference_scenario();
+    let analyzer = scenario.analyzer();
     let advisor = OptimizationAdvisor::new(&analyzer, Speed::from_kmh(30.0));
 
     let naive = advisor
@@ -23,7 +23,11 @@ fn main() {
         .expect("aware optimization runs");
 
     if options.check {
-        expect(options, "both policies save energy", naive.saving() > 0.0 && aware.saving() > 0.0);
+        expect(
+            options,
+            "both policies save energy",
+            naive.saving() > 0.0 && aware.saving() > 0.0,
+        );
         expect(
             options,
             "duty-cycle-aware beats power-figures-only",

@@ -9,7 +9,10 @@ use monityre_units::Temperature;
 
 fn main() {
     let options = parse_args();
-    header("EXP-SHEET", "dynamic spreadsheet hosting the power database");
+    header(
+        "EXP-SHEET",
+        "dynamic spreadsheet hosting the power database",
+    );
 
     let (arch, _, _) = reference_fixture();
     let db = arch.database().clone();
@@ -51,7 +54,12 @@ fn main() {
         return;
     }
 
-    let mut table = Table::new(vec!["temp_c", "node_active_uw", "node_leak_uw", "round_sleep_uj"]);
+    let mut table = Table::new(vec![
+        "temp_c",
+        "node_active_uw",
+        "node_leak_uw",
+        "round_sleep_uj",
+    ]);
     for (t, active, leak, uj) in &rows {
         table.row(vec![
             format!("{t:.0}"),

@@ -1,34 +1,31 @@
 //! EXP-SIZING — §I claim: "the available energy depends almost on the
 //! size of such a scavenging device and mostly on the tyre rotation
-//! speed". Break-even speed as a function of scavenger size.
+//! speed". Break-even speed as a function of scavenger size, one scaled
+//! scenario per size, the batch fanned out over the sweep executor.
 
-use monityre_bench::{analyzer_for, expect, header, parse_args, reference_fixture};
+use monityre_bench::{expect, header, parse_args, BENCH_THREADS};
 use monityre_core::report::{ascii_chart, Series, Table};
-use monityre_core::EnergyBalance;
-use monityre_harvest::{HarvestChain, PiezoScavenger, Regulator};
-use monityre_profile::Wheel;
+use monityre_core::{EnergyBalance, Scenario, SweepExecutor};
+use monityre_harvest::HarvestChain;
 use monityre_units::Speed;
 
 fn main() {
     let options = parse_args();
     header("EXP-SIZING", "scavenger size vs break-even speed");
 
-    let (arch, cond, reference_chain) = reference_fixture();
-    let analyzer = analyzer_for(&arch, cond, &reference_chain);
-
-    let mut rows = Vec::new();
-    for pct in (25..=400).step_by(25) {
+    let sizes: Vec<u32> = (25..=400).step_by(25).collect();
+    let executor = SweepExecutor::new(BENCH_THREADS);
+    let rows = executor.map(&sizes, |_, &pct| {
         let scale = f64::from(pct) / 100.0;
-        let chain = HarvestChain::new(
-            PiezoScavenger::reference().scaled(scale),
-            Regulator::reference(),
-            Wheel::reference(),
-        );
-        let break_even = EnergyBalance::new(&analyzer, &chain)
+        let scenario = Scenario::builder()
+            .chain(HarvestChain::reference().scaled(scale))
+            .build();
+        let break_even = EnergyBalance::new(&scenario)
+            .expect("scaled scenario evaluates")
             .sweep(Speed::from_kmh(5.0), Speed::from_kmh(220.0), 216)
             .break_even();
-        rows.push((scale, break_even));
-    }
+        (scale, break_even)
+    });
 
     if options.check {
         let be = |scale: f64| {
@@ -69,7 +66,11 @@ fn main() {
     println!(
         "{}",
         ascii_chart(
-            &[Series { label: "break-even (km/h) vs device size", glyph: '*', points }],
+            &[Series {
+                label: "break-even (km/h) vs device size",
+                glyph: '*',
+                points
+            }],
             80,
             18,
         )

@@ -39,20 +39,37 @@ fn main() {
             .expect("emulator configures");
         let mut storage = reservoir(mf);
         let report = emulator.run(&trip(), &mut storage);
-        cap_rows.push((mf, report.coverage(), report.windows.len(), report.brownouts));
+        cap_rows.push((
+            mf,
+            report.coverage(),
+            report.windows.len(),
+            report.brownouts,
+        ));
     }
 
     // Sweep 2: hysteresis window at the 10 mF reservoir.
     let mut hyst_rows = Vec::new();
-    for (on, off) in [(0.20, 0.15), (0.35, 0.15), (0.50, 0.15), (0.35, 0.05), (0.35, 0.30)] {
+    for (on, off) in [
+        (0.20, 0.15),
+        (0.35, 0.15),
+        (0.50, 0.15),
+        (0.35, 0.05),
+        (0.35, 0.30),
+    ] {
         let mut config = EmulatorConfig::new();
         config.activate_soc = on;
         config.deactivate_soc = off;
-        let emulator = TransientEmulator::new(&arch, &chain, cond, config)
-            .expect("emulator configures");
+        let emulator =
+            TransientEmulator::new(&arch, &chain, cond, config).expect("emulator configures");
         let mut storage = reservoir(10.0);
         let report = emulator.run(&trip(), &mut storage);
-        hyst_rows.push((on, off, report.coverage(), report.windows.len(), report.brownouts));
+        hyst_rows.push((
+            on,
+            off,
+            report.coverage(),
+            report.windows.len(),
+            report.brownouts,
+        ));
     }
 
     if options.check {
@@ -60,10 +77,7 @@ fn main() {
         // ride through the idles, while an oversized one (same initial
         // voltage, below the activation SoC) spends the whole trip
         // charging toward its threshold.
-        let best = cap_rows
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let best = cap_rows.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         let first = cap_rows.first().unwrap();
         let last = cap_rows.last().unwrap();
         expect(
@@ -83,8 +97,14 @@ fn main() {
             "an eager activation threshold yields at least the coverage of a cautious one",
             eager.2 >= cautious.2,
         );
-        let default = hyst_rows.iter().find(|r| r.0 == 0.35 && r.1 == 0.15).unwrap();
-        let tight = hyst_rows.iter().find(|r| r.0 == 0.35 && r.1 == 0.30).unwrap();
+        let default = hyst_rows
+            .iter()
+            .find(|r| r.0 == 0.35 && r.1 == 0.15)
+            .unwrap();
+        let tight = hyst_rows
+            .iter()
+            .find(|r| r.0 == 0.35 && r.1 == 0.30)
+            .unwrap();
         expect(
             options,
             "a narrow hysteresis band fragments the operating windows",
@@ -93,7 +113,12 @@ fn main() {
         return;
     }
 
-    let mut table = Table::new(vec!["capacitance_mf", "coverage_pct", "windows", "brownouts"]);
+    let mut table = Table::new(vec![
+        "capacitance_mf",
+        "coverage_pct",
+        "windows",
+        "brownouts",
+    ]);
     for (mf, cov, windows, brownouts) in &cap_rows {
         table.row(vec![
             format!("{mf:.0}"),

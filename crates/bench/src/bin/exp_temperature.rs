@@ -1,10 +1,11 @@
 //! EXP-TEMP — §II claim: "Static power is mainly linked to the working
 //! temperature of the circuit." Leakage power and break-even speed across
-//! the automotive temperature range.
+//! the automotive temperature range, one scenario per temperature, the
+//! batch fanned out over the sweep executor.
 
-use monityre_bench::{expect, header, parse_args, reference_fixture};
+use monityre_bench::{expect, header, parse_args, reference_scenario, BENCH_THREADS};
 use monityre_core::report::{ascii_chart, Series, Table};
-use monityre_core::{EnergyAnalyzer, EnergyBalance};
+use monityre_core::{EnergyBalance, SweepExecutor};
 use monityre_power::OperatingMode;
 use monityre_units::{Speed, Temperature};
 
@@ -12,21 +13,25 @@ fn main() {
     let options = parse_args();
     header("EXP-TEMP", "working temperature vs leakage and break-even");
 
-    let (arch, base_cond, chain) = reference_fixture();
+    let scenario = reference_scenario();
 
-    let mut rows = Vec::new();
-    for celsius in (-20..=85).step_by(5) {
-        let cond = base_cond.with_temperature(Temperature::from_celsius(f64::from(celsius)));
-        let leakage = arch
+    let temps: Vec<i32> = (-20..=85).step_by(5).collect();
+    let executor = SweepExecutor::new(BENCH_THREADS);
+    let rows = executor.map(&temps, |_, &celsius| {
+        let cond = scenario
+            .conditions()
+            .with_temperature(Temperature::from_celsius(f64::from(celsius)));
+        let leakage = scenario
+            .architecture()
             .database()
             .total_power(OperatingMode::Sleep, &cond)
             .leakage;
-        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
-        let break_even = EnergyBalance::new(&analyzer, &chain)
+        let break_even = EnergyBalance::new(&scenario.with_conditions(cond))
+            .expect("temperature case evaluates")
             .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
             .break_even();
-        rows.push((f64::from(celsius), leakage, break_even));
-    }
+        (f64::from(celsius), leakage, break_even)
+    });
 
     if options.check {
         let first_leak = rows.first().unwrap().1;
@@ -38,7 +43,11 @@ fn main() {
         );
         let be_cold = rows.first().unwrap().2.expect("crosses when cold");
         let be_hot = rows.last().unwrap().2.expect("crosses when hot");
-        expect(options, "break-even rises with temperature", be_hot > be_cold);
+        expect(
+            options,
+            "break-even rises with temperature",
+            be_hot > be_cold,
+        );
         return;
     }
 
@@ -56,7 +65,11 @@ fn main() {
     println!(
         "{}",
         ascii_chart(
-            &[Series { label: "chip leakage (µW)", glyph: '*', points: leak_series }],
+            &[Series {
+                label: "chip leakage (µW)",
+                glyph: '*',
+                points: leak_series
+            }],
             80,
             18,
         )

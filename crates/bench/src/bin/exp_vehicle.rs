@@ -3,21 +3,28 @@
 //! nodes active simultaneously) vs per-corner coverage over an NEDC-like
 //! trip.
 
-use monityre_bench::{expect, header, parse_args};
+use monityre_bench::{expect, header, parse_args, BENCH_THREADS};
 use monityre_core::report::Table;
-use monityre_core::VehicleEmulator;
-use monityre_profile::{CompositeProfile, ExtraUrbanCycle, RepeatProfile, SpeedProfile, UrbanCycle};
+use monityre_core::{SweepExecutor, VehicleEmulator};
+use monityre_profile::{
+    CompositeProfile, ExtraUrbanCycle, RepeatProfile, SpeedProfile, UrbanCycle,
+};
 
 fn main() {
     let options = parse_args();
-    header("EXP-VEHICLE", "four-corner availability for friction estimation");
+    header(
+        "EXP-VEHICLE",
+        "four-corner availability for friction estimation",
+    );
 
     let emulator = VehicleEmulator::reference();
     let trip = CompositeProfile::new(vec![
         Box::new(RepeatProfile::new(UrbanCycle::new(), 4)),
         Box::new(ExtraUrbanCycle::new()),
     ]);
-    let report = emulator.run(&trip).expect("vehicle emulation runs");
+    let report = emulator
+        .run_with(&trip, &SweepExecutor::new(BENCH_THREADS))
+        .expect("vehicle emulation runs");
 
     if options.check {
         expect(options, "four corners emulated", report.corners.len() == 4);

@@ -39,7 +39,11 @@ fn main() {
             "coverage is partial on urban stop-and-go",
             report.coverage() > 0.05 && report.coverage() < 1.0,
         );
-        expect(options, "windows were identified", !report.windows.is_empty());
+        expect(
+            options,
+            "windows were identified",
+            !report.windows.is_empty(),
+        );
         return;
     }
 
@@ -68,8 +72,16 @@ fn main() {
         "{}",
         ascii_chart(
             &[
-                Series { label: "state of charge (%)", glyph: '*', points: soc },
-                Series { label: "speed (km/h)", glyph: '.', points: speed },
+                Series {
+                    label: "state of charge (%)",
+                    glyph: '*',
+                    points: soc
+                },
+                Series {
+                    label: "speed (km/h)",
+                    glyph: '.',
+                    points: speed
+                },
             ],
             96,
             20,

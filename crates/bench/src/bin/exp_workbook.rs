@@ -24,7 +24,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut worst_rel = 0.0f64;
     for &kmh in &speeds {
-        workbook.set_speed(Speed::from_kmh(kmh)).expect("valid speed");
+        workbook
+            .set_speed(Speed::from_kmh(kmh))
+            .expect("valid speed");
         let sheet_uj = workbook.node_energy().unwrap().microjoules();
         let rust_uj = analyzer
             .required_per_round(Speed::from_kmh(kmh))
@@ -44,11 +46,7 @@ fn main() {
             worst_rel < 1e-9,
         );
         expect(options, "workbook carries a real cell graph", cells > 50);
-        expect(
-            options,
-            "speed edits recompute incrementally",
-            evals > 0,
-        );
+        expect(options, "speed edits recompute incrementally", evals > 0);
         return;
     }
 
@@ -62,10 +60,16 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("{cells} cells, {evals} formula evaluations across {} speed edits", speeds.len());
+    println!(
+        "{cells} cells, {evals} formula evaluations across {} speed edits",
+        speeds.len()
+    );
     println!();
     println!("where does the number come from? (node total at 200 km/h)");
-    let explain = workbook.sheet().explain("node.energy_uj").expect("cell exists");
+    let explain = workbook
+        .sheet()
+        .explain("node.energy_uj")
+        .expect("cell exists");
     // The full tree is deep; show the first levels.
     for line in explain.lines().take(10) {
         println!("{line}");

@@ -1,9 +1,10 @@
 //! FIG1 — the energy analysis flow of the paper's Fig. 1, executed end to
 //! end: estimate → evaluate → optimize → re-estimate → integrate source →
-//! emulate, printing every stage's artifact.
+//! emulate, printing every stage's artifact. The evaluation sweeps inside
+//! the flow run on the sweep executor.
 
-use monityre_bench::{expect, header, parse_args, reference_fixture};
-use monityre_core::{Flow, SelectionPolicy};
+use monityre_bench::{expect, header, parse_args, reference_scenario, BENCH_THREADS};
+use monityre_core::{Flow, SelectionPolicy, SweepExecutor};
 use monityre_profile::{CompositeProfile, ExtraUrbanCycle, UrbanCycle};
 use monityre_units::Speed;
 
@@ -11,16 +12,25 @@ fn main() {
     let options = parse_args();
     header("FIG1", "energy analysis flow (Fig. 1)");
 
-    let (arch, cond, chain) = reference_fixture();
-    let flow = Flow::new(arch, cond, Speed::from_kmh(30.0), SelectionPolicy::DutyCycleAware);
+    let scenario = reference_scenario();
+    let flow = Flow::new(
+        &scenario,
+        Speed::from_kmh(30.0),
+        SelectionPolicy::DutyCycleAware,
+    )
+    .with_executor(SweepExecutor::new(BENCH_THREADS));
     let profile = CompositeProfile::new(vec![
         Box::new(UrbanCycle::new()),
         Box::new(ExtraUrbanCycle::new()),
     ]);
-    let report = flow.run(&chain, &profile).expect("flow executes");
+    let report = flow.run(&profile).expect("flow executes");
 
     if options.check {
-        expect(options, "six blocks estimated", report.power_estimates.len() == 6);
+        expect(
+            options,
+            "six blocks estimated",
+            report.power_estimates.len() == 6,
+        );
         expect(
             options,
             "optimization saves energy",

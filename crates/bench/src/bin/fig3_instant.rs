@@ -2,7 +2,7 @@
 //! timing window (Fig. 3 of the paper): the per-round phase structure at
 //! 60 km/h, 100 µs resolution, ~0.5 s window.
 
-use monityre_bench::{analyzer_for, expect, header, parse_args, reference_fixture};
+use monityre_bench::{expect, header, parse_args, reference_scenario};
 use monityre_core::report::{ascii_chart, Series, Table};
 use monityre_core::InstantTrace;
 use monityre_units::{Duration, Speed};
@@ -11,8 +11,8 @@ fn main() {
     let options = parse_args();
     header("FIG3", "instant power in a limited timing window (Fig. 3)");
 
-    let (arch, cond, chain) = reference_fixture();
-    let analyzer = analyzer_for(&arch, cond, &chain);
+    let scenario = reference_scenario();
+    let analyzer = scenario.analyzer();
     let speed = Speed::from_kmh(60.0);
     let trace = InstantTrace::generate(
         &analyzer,
@@ -23,7 +23,11 @@ fn main() {
     .expect("trace generates");
 
     if options.check {
-        expect(options, "mW-class TX spikes", trace.peak().milliwatts() > 15.0);
+        expect(
+            options,
+            "mW-class TX spikes",
+            trace.peak().milliwatts() > 15.0,
+        );
         expect(options, "µW-class floor", trace.floor().microwatts() < 25.0);
         expect(
             options,
@@ -50,7 +54,11 @@ fn main() {
     println!(
         "{}",
         ascii_chart(
-            &[Series { label: "node power (µW)", glyph: '*', points }],
+            &[Series {
+                label: "node power (µW)",
+                glyph: '*',
+                points
+            }],
             96,
             24,
         )

@@ -5,13 +5,22 @@
 //! every binary supports `--check`, which runs the experiment and asserts
 //! its expected qualitative shape instead of printing — the integration
 //! tests drive that mode.
+//!
+//! Sweep-shaped harnesses additionally time their batch serial vs
+//! parallel and record the throughput in `BENCH_sweep.json` at the
+//! repository root (skipped in `--check` mode so concurrent test runs
+//! never race on the file).
 
 #![forbid(unsafe_code)]
 
-use monityre_core::EnergyAnalyzer;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use monityre_core::{EnergyAnalyzer, Scenario, SweepExecutor};
 use monityre_harvest::HarvestChain;
 use monityre_node::Architecture;
 use monityre_power::WorkingConditions;
+use serde::{Deserialize, Serialize};
 
 /// Parsed harness options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +57,12 @@ pub fn reference_fixture() -> (Architecture, WorkingConditions, HarvestChain) {
     )
 }
 
+/// The standard evaluation session every sweep-shaped harness starts from.
+#[must_use]
+pub fn reference_scenario() -> Scenario {
+    Scenario::reference()
+}
+
 /// Builds an analyzer over borrowed fixture parts.
 #[must_use]
 pub fn analyzer_for<'a>(
@@ -78,6 +93,126 @@ pub fn expect(options: HarnessOptions, what: &str, condition: bool) {
     }
 }
 
+/// The worker count sweep benchmarks report against.
+pub const BENCH_THREADS: usize = 4;
+
+/// One throughput row of `BENCH_sweep.json`: the same sweep batch timed
+/// serially and on [`BENCH_THREADS`] workers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepBenchResult {
+    /// Which harness/batch was measured (the merge key).
+    pub name: String,
+    /// Batch size in sweep points (or Monte Carlo draws).
+    pub points: usize,
+    /// How many independent copies of the batch one timed executor pass
+    /// evaluates. Throughput covers `points × batches`; values above one
+    /// measure sustained throughput (worker startup amortized over the
+    /// pass) rather than single-batch latency.
+    pub batches: usize,
+    /// Worker threads used for the parallel measurement.
+    pub threads: usize,
+    /// Hardware threads available when the row was measured. Speedup is
+    /// bounded by this: a 1-CPU container measures ≈ 1x however many
+    /// workers run, so read `speedup` against `cpus`, not `threads`.
+    pub cpus: usize,
+    /// Serial throughput in points per second.
+    pub serial_points_per_sec: f64,
+    /// Parallel throughput in points per second.
+    pub parallel_points_per_sec: f64,
+    /// `parallel_points_per_sec / serial_points_per_sec`.
+    pub speedup: f64,
+}
+
+/// Times `run` (best of `reps` runs) and returns points per second.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or the measured time is not positive.
+#[must_use]
+pub fn points_per_sec<F: FnMut()>(points: usize, reps: usize, mut run: F) -> f64 {
+    assert!(reps >= 1, "need at least one timing rep");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    assert!(best > 0.0, "timed batch finished in zero time");
+    points as f64 / best
+}
+
+/// Measures one named sweep batch serially and on [`BENCH_THREADS`]
+/// workers, returning the comparison row. `run` receives the executor and
+/// must evaluate `points × batches` sweep points in one executor pass;
+/// pass `batches > 1` (a replicated batch) to measure sustained
+/// throughput with worker startup amortized over the pass.
+#[must_use]
+pub fn measure_sweep<F: FnMut(&SweepExecutor)>(
+    name: &str,
+    points: usize,
+    batches: usize,
+    reps: usize,
+    mut run: F,
+) -> SweepBenchResult {
+    let total = points * batches;
+    let serial = points_per_sec(total, reps, || run(&SweepExecutor::serial()));
+    let executor = SweepExecutor::new(BENCH_THREADS);
+    let parallel = points_per_sec(total, reps, || run(&executor));
+    SweepBenchResult {
+        name: name.to_owned(),
+        points,
+        batches,
+        threads: BENCH_THREADS,
+        cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serial_points_per_sec: serial,
+        parallel_points_per_sec: parallel,
+        speedup: parallel / serial,
+    }
+}
+
+/// Where the sweep benchmark rows live: `BENCH_sweep.json` at the
+/// repository root.
+#[must_use]
+pub fn sweep_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_sweep.json")
+}
+
+/// Merges `result` into `BENCH_sweep.json`, replacing any existing row
+/// with the same name, and prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read, parsed or written — a harness
+/// misconfiguration worth failing loudly on.
+pub fn record_sweep_bench(result: SweepBenchResult) {
+    let path = sweep_bench_path();
+    let mut rows: Vec<SweepBenchResult> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_sweep.json parses"),
+        Err(_) => Vec::new(),
+    };
+    println!(
+        "bench {}: {} points x {} batches, serial {:.0} pts/s, {} threads {:.0} pts/s ({:.2}x on {} cpu(s))",
+        result.name,
+        result.points,
+        result.batches,
+        result.serial_points_per_sec,
+        result.threads,
+        result.parallel_points_per_sec,
+        result.speedup,
+        result.cpus
+    );
+    match rows.iter_mut().find(|row| row.name == result.name) {
+        Some(row) => *row = result,
+        None => rows.push(result),
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let text = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&path, text + "\n").expect("BENCH_sweep.json writes");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,8 +226,49 @@ mod tests {
     }
 
     #[test]
+    fn scenario_matches_fixture() {
+        let scenario = reference_scenario();
+        assert_eq!(scenario.architecture().len(), 6);
+        assert_eq!(scenario.wheel(), scenario.chain().wheel());
+    }
+
+    #[test]
     #[should_panic(expected = "expectation failed")]
     fn expect_panics_on_failure() {
         expect(HarnessOptions::default(), "impossible", false);
+    }
+
+    #[test]
+    fn measure_sweep_reports_throughput() {
+        let result = measure_sweep("unit-test", 64, 2, 2, |executor| {
+            let items: Vec<u64> = (0..128).collect();
+            let _ = executor.map(&items, |_, &x| x.wrapping_mul(3));
+        });
+        assert_eq!(result.points, 64);
+        assert_eq!(result.batches, 2);
+        assert_eq!(result.threads, BENCH_THREADS);
+        assert!(result.cpus >= 1);
+        assert!(result.serial_points_per_sec > 0.0);
+        assert!(result.parallel_points_per_sec > 0.0);
+        assert!(result.speedup > 0.0);
+    }
+
+    #[test]
+    fn bench_rows_round_trip() {
+        let row = SweepBenchResult {
+            name: "round-trip".into(),
+            points: 196,
+            batches: 64,
+            threads: 4,
+            cpus: 4,
+            serial_points_per_sec: 1000.0,
+            parallel_points_per_sec: 2500.0,
+            speedup: 2.5,
+        };
+        let json = serde_json::to_string(&vec![row]).unwrap();
+        let back: Vec<SweepBenchResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "round-trip");
+        assert_eq!(back[0].points, 196);
     }
 }

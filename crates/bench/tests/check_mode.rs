@@ -36,7 +36,10 @@ fn run_check(bin: &str) {
         String::from_utf8_lossy(&output.stderr)
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("ok:"), "{bin} reported no checks:\n{stdout}");
+    assert!(
+        stdout.contains("ok:"),
+        "{bin} reported no checks:\n{stdout}"
+    );
 }
 
 #[test]

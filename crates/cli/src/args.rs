@@ -88,9 +88,9 @@ impl Args {
         self.note(name);
         match self.values.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::new(format!("flag --{name}: `{raw}` is not a number"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::new(format!("flag --{name}: `{raw}` is not a number"))),
         }
     }
 
@@ -182,8 +182,7 @@ impl Args {
         let consumed = self.consumed.borrow();
         for name in self.values.keys() {
             if !consumed.iter().any(|c| c == name) {
-                let mut accepted: Vec<&str> =
-                    consumed.iter().map(String::as_str).collect();
+                let mut accepted: Vec<&str> = consumed.iter().map(String::as_str).collect();
                 accepted.sort_unstable();
                 accepted.dedup();
                 return Err(CliError::new(format!(

@@ -4,12 +4,13 @@ use std::fmt::Write as _;
 
 use monityre_core::report::{ascii_chart, Series, Table};
 use monityre_core::{
-    EmulatorConfig, EnergyAnalyzer, EnergyBalance, Flow, InstantTrace, MonteCarlo,
-    LifetimeEstimator, OptimizationAdvisor, SelectionPolicy, TransientEmulator, UsagePattern,
-    VariationModel, VehicleEmulator,
+    EmulatorConfig, EnergyAnalyzer, EnergyBalance, Flow, InstantTrace, LifetimeEstimator,
+    MonteCarlo, OptimizationAdvisor, Scenario, SelectionPolicy, SweepExecutor, TransientEmulator,
+    UsagePattern, VariationModel, VehicleEmulator,
 };
-use monityre_harvest::{HarvestChain, IdealBattery, Supercap};
+use monityre_harvest::{IdealBattery, Supercap};
 use monityre_node::Architecture;
+use monityre_power::WorkingConditions;
 use monityre_profile::{
     CompositeProfile, ExtraUrbanCycle, RepeatProfile, SpeedProfile, UrbanCycle, WltcLikeCycle,
 };
@@ -22,28 +23,37 @@ fn eval_error(e: impl std::error::Error) -> CliError {
     CliError::new(format!("evaluation failed: {e}"))
 }
 
+/// The reference scenario under caller-chosen working conditions.
+fn scenario_for(conditions: WorkingConditions) -> Scenario {
+    Scenario::builder().conditions(conditions).build()
+}
+
+/// Parses the shared `--threads` flag into an executor.
+fn executor_from(args: &Args) -> Result<SweepExecutor, CliError> {
+    let threads = args.count("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::new("flag --threads: must be at least 1"));
+    }
+    Ok(SweepExecutor::new(threads))
+}
+
 /// `monityre balance` — the Fig. 2 sweep.
 pub(crate) fn balance(args: &Args) -> Result<String, CliError> {
     let from = args.number("from", 5.0)?;
     let to = args.number("to", 200.0)?;
     let steps = args.count("steps", 100)?;
     let chart = args.flag("chart");
+    let executor = executor_from(args)?;
     let conditions = args.conditions()?;
     args.finish()?;
     if !(from > 0.0 && to > from && steps >= 2) {
-        return Err(CliError::new(
-            "need 0 < --from < --to and --steps >= 2",
-        ));
+        return Err(CliError::new("need 0 < --from < --to and --steps >= 2"));
     }
 
-    let architecture = Architecture::reference();
-    let chain = HarvestChain::reference();
-    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
-    let report = EnergyBalance::new(&analyzer, &chain).sweep(
-        Speed::from_kmh(from),
-        Speed::from_kmh(to),
-        steps,
-    );
+    let scenario = scenario_for(conditions);
+    let report = EnergyBalance::new(&scenario)
+        .map_err(eval_error)?
+        .sweep_with(Speed::from_kmh(from), Speed::from_kmh(to), steps, &executor);
 
     let mut out = String::new();
     let mut table = Table::new(vec!["speed_kmh", "generated_uj", "required_uj", "net_uj"]);
@@ -69,8 +79,16 @@ pub(crate) fn balance(args: &Args) -> Result<String, CliError> {
             .collect();
         out.push_str(&ascii_chart(
             &[
-                Series { label: "generated (µJ/round)", glyph: '*', points: generated },
-                Series { label: "required (µJ/round)", glyph: 'o', points: required },
+                Series {
+                    label: "generated (µJ/round)",
+                    glyph: '*',
+                    points: generated,
+                },
+                Series {
+                    label: "required (µJ/round)",
+                    glyph: 'o',
+                    points: required,
+                },
             ],
             90,
             22,
@@ -78,10 +96,17 @@ pub(crate) fn balance(args: &Args) -> Result<String, CliError> {
     }
     match report.break_even() {
         Some(speed) => {
-            let _ = writeln!(out, "break-even speed: {:.1} km/h (at {conditions})", speed.kmh());
+            let _ = writeln!(
+                out,
+                "break-even speed: {:.1} km/h (at {conditions})",
+                speed.kmh()
+            );
         }
         None => {
-            let _ = writeln!(out, "break-even speed: none in the swept range (at {conditions})");
+            let _ = writeln!(
+                out,
+                "break-even speed: none in the swept range (at {conditions})"
+            );
         }
     }
     Ok(out)
@@ -112,7 +137,11 @@ pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
         .map(|s| (s.time.millis(), s.total.microwatts()))
         .collect();
     out.push_str(&ascii_chart(
-        &[Series { label: "node power (µW)", glyph: '*', points }],
+        &[Series {
+            label: "node power (µW)",
+            glyph: '*',
+            points,
+        }],
         90,
         22,
     ));
@@ -187,10 +216,14 @@ pub(crate) fn emulate(args: &Args) -> Result<String, CliError> {
     }
 
     let cycle = build_cycle(&cycle_name, repeat)?;
-    let architecture = Architecture::reference();
-    let chain = HarvestChain::reference();
-    let emulator = TransientEmulator::new(&architecture, &chain, conditions, EmulatorConfig::new())
-        .map_err(eval_error)?;
+    let scenario = scenario_for(conditions);
+    let emulator = TransientEmulator::new(
+        scenario.architecture(),
+        scenario.chain(),
+        scenario.conditions(),
+        EmulatorConfig::new(),
+    )
+    .map_err(eval_error)?;
     let mut storage = Supercap::new(
         Capacitance::from_millifarads(cap_mf),
         Voltage::from_volts(1.8),
@@ -207,7 +240,11 @@ pub(crate) fn emulate(args: &Args) -> Result<String, CliError> {
         .map(|s| (s.time.secs(), s.soc * 100.0))
         .collect();
     out.push_str(&ascii_chart(
-        &[Series { label: "state of charge (%)", glyph: '*', points: soc }],
+        &[Series {
+            label: "state of charge (%)",
+            glyph: '*',
+            points: soc,
+        }],
         90,
         16,
     ));
@@ -243,8 +280,8 @@ pub(crate) fn optimize(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let architecture = Architecture::reference();
-    let analyzer = EnergyAnalyzer::new(&architecture, conditions);
+    let scenario = scenario_for(conditions);
+    let analyzer = scenario.analyzer();
     let advisor = OptimizationAdvisor::new(&analyzer, Speed::from_kmh(speed));
     let outcome = advisor.optimize(policy).map_err(eval_error)?;
 
@@ -265,22 +302,21 @@ pub(crate) fn optimize(args: &Args) -> Result<String, CliError> {
 /// `monityre flow` — the Fig. 1 pipeline.
 pub(crate) fn flow(args: &Args) -> Result<String, CliError> {
     let speed = args.number("speed", 30.0)?;
+    let executor = executor_from(args)?;
     let conditions = args.conditions()?;
     args.finish()?;
 
     let flow = Flow::new(
-        Architecture::reference(),
-        conditions,
+        &scenario_for(conditions),
         Speed::from_kmh(speed),
         SelectionPolicy::DutyCycleAware,
-    );
+    )
+    .with_executor(executor);
     let profile = CompositeProfile::new(vec![
         Box::new(UrbanCycle::new()),
         Box::new(ExtraUrbanCycle::new()),
     ]);
-    let report = flow
-        .run(&HarvestChain::reference(), &profile)
-        .map_err(eval_error)?;
+    let report = flow.run(&profile).map_err(eval_error)?;
     Ok(report.summary())
 }
 
@@ -288,14 +324,14 @@ pub(crate) fn flow(args: &Args) -> Result<String, CliError> {
 pub(crate) fn montecarlo(args: &Args) -> Result<String, CliError> {
     let samples = args.count("samples", 128)?;
     let seed = args.number("seed", 2011.0)? as u64;
+    let executor = executor_from(args)?;
     let conditions = args.conditions()?;
     args.finish()?;
 
-    let architecture = Architecture::reference();
-    let chain = HarvestChain::reference();
-    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
-    let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), seed);
-    let dist = mc.break_even_distribution(samples).map_err(eval_error)?;
+    let mc = MonteCarlo::new(&scenario_for(conditions), VariationModel::reference(), seed);
+    let dist = mc
+        .break_even_distribution_with(samples, &executor)
+        .map_err(eval_error)?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -324,10 +360,9 @@ pub(crate) fn lifetime(args: &Args) -> Result<String, CliError> {
     let conditions = args.conditions()?;
     args.finish()?;
 
-    let architecture = Architecture::reference();
-    let chain = HarvestChain::reference();
-    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
-    let estimator = LifetimeEstimator::new(&analyzer, &chain);
+    let scenario = scenario_for(conditions);
+    let analyzer = scenario.analyzer();
+    let estimator = LifetimeEstimator::new(&analyzer, scenario.chain());
     let pattern = UsagePattern {
         daily_driving: Duration::from_hours(hours),
         mean_speed: Speed::from_kmh(kmh),
@@ -355,7 +390,11 @@ pub(crate) fn lifetime(args: &Args) -> Result<String, CliError> {
         "battery lasts {:.0} days vs tyre life {:.0} days -> battery outlives tyre: {}",
         report.battery_days, report.tyre_days, report.battery_outlives_tyre
     );
-    let _ = writeln!(out, "scavenger sustains the load: {}", report.scavenger_sustains);
+    let _ = writeln!(
+        out,
+        "scavenger sustains the load: {}",
+        report.scavenger_sustains
+    );
     Ok(out)
 }
 
@@ -363,11 +402,14 @@ pub(crate) fn lifetime(args: &Args) -> Result<String, CliError> {
 pub(crate) fn vehicle(args: &Args) -> Result<String, CliError> {
     let cycle_name = args.text("cycle", "nedc");
     let repeat = args.count("repeat", 1)?;
+    let executor = executor_from(args)?;
     args.finish()?;
 
     let cycle = build_cycle(&cycle_name, repeat)?;
     let emulator = VehicleEmulator::reference();
-    let report = emulator.run(cycle.as_ref()).map_err(eval_error)?;
+    let report = emulator
+        .run_with(cycle.as_ref(), &executor)
+        .map_err(eval_error)?;
 
     let mut out = String::new();
     let mut table = Table::new(vec!["corner", "coverage_pct", "windows"]);

@@ -81,6 +81,8 @@ COMMON FLAGS:
     --temp <C>          working temperature in °C        (default 27)
     --corner <ss|tt|ff> process corner                   (default tt)
     --supply <V>        supply voltage in volts          (default 1.2)
+    --threads <N>       sweep worker threads (balance, flow, mc, vehicle;
+                        results are identical to serial)  (default 1)
 
 Run `monityre <command> --help` is not needed — unknown flags are
 rejected with the list of flags the command accepts.
@@ -160,7 +162,10 @@ mod tests {
     fn flow_prints_all_stages() {
         let out = run_line("flow").unwrap();
         for stage in 1..=6 {
-            assert!(out.contains(&format!("Stage {stage}")), "missing stage {stage}");
+            assert!(
+                out.contains(&format!("Stage {stage}")),
+                "missing stage {stage}"
+            );
         }
     }
 

@@ -347,7 +347,10 @@ mod tests {
         let (arch, cond) = setup();
         let analyzer = EnergyAnalyzer::new(&arch, cond);
         let advisor = OptimizationAdvisor::new(&analyzer, Speed::from_kmh(30.0));
-        for policy in [SelectionPolicy::PowerFigures, SelectionPolicy::DutyCycleAware] {
+        for policy in [
+            SelectionPolicy::PowerFigures,
+            SelectionPolicy::DutyCycleAware,
+        ] {
             let outcome = advisor.optimize(policy).unwrap();
             assert!(outcome.energy_after <= outcome.energy_before, "{policy:?}");
         }

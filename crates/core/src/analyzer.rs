@@ -301,7 +301,10 @@ mod tests {
         let arch = reference();
         let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
         let slow = analyzer.node_energy(Speed::from_kmh(10.0)).unwrap().total();
-        let fast = analyzer.node_energy(Speed::from_kmh(150.0)).unwrap().total();
+        let fast = analyzer
+            .node_energy(Speed::from_kmh(150.0))
+            .unwrap()
+            .total();
         assert!(slow.leakage > fast.leakage); // longer round ⇒ more idle leakage
     }
 
@@ -324,9 +327,9 @@ mod tests {
     fn corner_shifts_total() {
         let arch = reference();
         let tt = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-        let ff = tt.clone().with_conditions(
-            WorkingConditions::reference().with_corner(ProcessCorner::FastFast),
-        );
+        let ff = tt
+            .clone()
+            .with_conditions(WorkingConditions::reference().with_corner(ProcessCorner::FastFast));
         let v = Speed::from_kmh(50.0);
         assert!(ff.required_per_round(v).unwrap() > tt.required_per_round(v).unwrap());
     }
@@ -348,7 +351,10 @@ mod tests {
         let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
         let standby = analyzer.standby_power();
         let rolling = analyzer.average_power(Speed::from_kmh(60.0)).unwrap();
-        assert!(standby < rolling * 0.2, "standby {standby} rolling {rolling}");
+        assert!(
+            standby < rolling * 0.2,
+            "standby {standby} rolling {rolling}"
+        );
         assert!(standby > Power::ZERO);
     }
 

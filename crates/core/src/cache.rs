@@ -1,0 +1,275 @@
+//! Memoized per-block energy figures.
+//!
+//! A sweep evaluates the same architecture under the same conditions at
+//! hundreds of speeds, but only the round *period* changes between points:
+//! every power lookup (`model.power(mode, conditions)`) and every
+//! workload event energy is speed-independent. [`EvalCache`] hoists those
+//! out of the per-point loop once per [`Scenario`], so a sweep point costs
+//! one `resolve()` walk instead of a full database traversal.
+//!
+//! The cached evaluation replays the exact floating-point operations of
+//! [`crate::EnergyAnalyzer::block_energy`] in the exact order, so cached and
+//! uncached figures are bit-identical — the property the parallel sweep
+//! tests pin down.
+
+use monityre_node::RoundSchedule;
+use monityre_power::PowerBreakdown;
+use monityre_profile::Wheel;
+use monityre_units::{Duration, Energy, Power, Speed};
+
+use crate::{BlockEnergy, CoreError, NodeEnergy, Scenario};
+
+/// One block's speed-independent figures.
+#[derive(Debug, Clone)]
+struct BlockFigures {
+    name: String,
+    schedule: RoundSchedule,
+    rest_power: PowerBreakdown,
+    /// Power in each scheduled phase's mode, aligned with
+    /// `schedule.phases()` (and therefore with `schedule.resolve(..)`).
+    phase_powers: Vec<PowerBreakdown>,
+    /// Pre-multiplied `per_event × count` workload contributions, in
+    /// workload iteration order.
+    event_contributions: Vec<Energy>,
+}
+
+impl BlockFigures {
+    /// Replays [`crate::EnergyAnalyzer::block_energy`] for a concrete period.
+    fn energy(&self, period: Duration) -> BlockEnergy {
+        // Baseline: the whole round in the rest mode…
+        let mut energy = self.rest_power.over(period);
+        // …corrected by each phase's amortized delta over the rest mode.
+        for (phase, phase_power) in self.schedule.resolve(period).iter().zip(&self.phase_powers) {
+            let delta_dyn = phase_power.dynamic - self.rest_power.dynamic;
+            let delta_leak = phase_power.leakage - self.rest_power.leakage;
+            let share = phase.amortized_duration();
+            energy.dynamic += delta_dyn * share;
+            energy.leakage += delta_leak * share;
+        }
+        // Event energy is workload-proportional switching energy.
+        for contribution in &self.event_contributions {
+            energy.dynamic += *contribution;
+        }
+        BlockEnergy {
+            name: self.name.clone(),
+            energy,
+            duty_cycle: self.schedule.duty_cycle(period),
+        }
+    }
+}
+
+/// Per-block, per-conditions energy figures hoisted out of the sweep loop.
+///
+/// Built once per [`Scenario`] (see [`Scenario::cache`]) and immutable
+/// afterwards, so sweep workers can evaluate points through a shared
+/// reference.
+///
+/// ```
+/// use monityre_core::{EvalCache, Scenario};
+/// use monityre_units::Speed;
+///
+/// let scenario = Scenario::reference();
+/// let cache = scenario.cache().unwrap();
+/// let direct = scenario.analyzer().required_per_round(Speed::from_kmh(60.0)).unwrap();
+/// let cached = cache.required_per_round(Speed::from_kmh(60.0)).unwrap();
+/// assert_eq!(cached.joules().to_bits(), direct.joules().to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    wheel: Wheel,
+    blocks: Vec<BlockFigures>,
+}
+
+impl EvalCache {
+    /// Precomputes every speed-independent figure of the scenario's
+    /// architecture, in `block_names()` order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors for malformed architectures.
+    pub fn new(scenario: &Scenario) -> Result<Self, CoreError> {
+        let architecture = scenario.architecture();
+        let conditions = scenario.conditions();
+        let mut blocks = Vec::with_capacity(architecture.len());
+        for name in architecture.block_names() {
+            let plan = architecture.plan(name)?;
+            let model = architecture.database().block(name)?;
+            let schedule = plan.schedule().clone();
+            let rest_power = model.power(schedule.rest_mode(), &conditions);
+            let phase_powers = schedule
+                .phases()
+                .iter()
+                .map(|phase| model.power(phase.mode, &conditions))
+                .collect();
+            let mut event_contributions = Vec::new();
+            for (kind, count) in plan.workload().iter() {
+                if let Some(per_event) = model.event_energy(kind, &conditions) {
+                    event_contributions.push(per_event * count);
+                }
+            }
+            blocks.push(BlockFigures {
+                name: name.to_owned(),
+                schedule,
+                rest_power,
+                phase_powers,
+                event_contributions,
+            });
+        }
+        Ok(Self {
+            wheel: *scenario.wheel(),
+            blocks,
+        })
+    }
+
+    /// The number of cached blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The wheel-round period at `speed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RoundUndefined`] at standstill or below.
+    pub fn round_period(&self, speed: Speed) -> Result<Duration, CoreError> {
+        if speed.mps() <= 0.0 || !speed.is_finite() {
+            return Err(CoreError::round_undefined(speed.kmh()));
+        }
+        Ok(self.wheel.round_period(speed))
+    }
+
+    /// The whole node's energy per wheel round at `speed` — bit-identical
+    /// to [`crate::EnergyAnalyzer::node_energy`] on the same scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RoundUndefined`] at standstill.
+    pub fn node_energy(&self, speed: Speed) -> Result<NodeEnergy, CoreError> {
+        let round_period = self.round_period(speed)?;
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|figures| figures.energy(round_period))
+            .collect();
+        Ok(NodeEnergy {
+            speed,
+            round_period,
+            blocks,
+        })
+    }
+
+    /// Required energy per round at `speed` — the demand curve of Fig. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RoundUndefined`] at standstill.
+    pub fn required_per_round(&self, speed: Speed) -> Result<Energy, CoreError> {
+        Ok(self.node_energy(speed)?.total().total())
+    }
+
+    /// Average node power while rolling at `speed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RoundUndefined`] at standstill.
+    pub fn average_power(&self, speed: Speed) -> Result<Power, CoreError> {
+        Ok(self.node_energy(speed)?.average_power())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monityre_node::{Architecture, NodeConfig};
+    use monityre_power::{ProcessCorner, WorkingConditions};
+    use monityre_units::Temperature;
+
+    fn scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::reference(),
+            Scenario::builder()
+                .conditions(
+                    WorkingConditions::reference()
+                        .with_temperature(Temperature::from_celsius(85.0)),
+                )
+                .build(),
+            Scenario::builder()
+                .conditions(WorkingConditions::reference().with_corner(ProcessCorner::FastFast))
+                .build(),
+            Scenario::builder()
+                .architecture(Architecture::from_config(
+                    NodeConfig::reference()
+                        .with_samples_per_round(512)
+                        .with_tx_period_rounds(1),
+                ))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn cached_node_energy_is_bit_identical_to_analyzer() {
+        for scenario in scenarios() {
+            let cache = scenario.cache().unwrap();
+            let analyzer = scenario.analyzer();
+            for kmh in [6.0, 13.7, 30.0, 61.3, 99.0, 187.5] {
+                let v = Speed::from_kmh(kmh);
+                let direct = analyzer.node_energy(v).unwrap();
+                let cached = cache.node_energy(v).unwrap();
+                assert_eq!(direct.blocks.len(), cached.blocks.len());
+                for (d, c) in direct.blocks.iter().zip(&cached.blocks) {
+                    assert_eq!(d.name, c.name);
+                    assert_eq!(
+                        d.energy.dynamic.joules().to_bits(),
+                        c.energy.dynamic.joules().to_bits(),
+                        "dynamic of {} at {kmh} km/h",
+                        d.name
+                    );
+                    assert_eq!(
+                        d.energy.leakage.joules().to_bits(),
+                        c.energy.leakage.joules().to_bits(),
+                        "leakage of {} at {kmh} km/h",
+                        d.name
+                    );
+                    assert_eq!(d.duty_cycle, c.duty_cycle);
+                }
+                assert_eq!(
+                    direct.total().total().joules().to_bits(),
+                    cache.required_per_round(v).unwrap().joules().to_bits(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn standstill_is_rejected() {
+        let cache = Scenario::reference().cache().unwrap();
+        assert!(cache.node_energy(Speed::ZERO).is_err());
+        assert!(cache.round_period(Speed::from_kmh(-3.0)).is_err());
+    }
+
+    #[test]
+    fn cache_covers_every_block() {
+        let scenario = Scenario::reference();
+        let cache = scenario.cache().unwrap();
+        assert_eq!(cache.len(), scenario.architecture().len());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn average_power_matches_analyzer() {
+        let scenario = Scenario::reference();
+        let cache = scenario.cache().unwrap();
+        let v = Speed::from_kmh(90.0);
+        assert_eq!(
+            cache.average_power(v).unwrap(),
+            scenario.analyzer().average_power(v).unwrap()
+        );
+    }
+}

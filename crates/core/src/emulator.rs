@@ -239,8 +239,8 @@ impl<'a> TransientEmulator<'a> {
                 .thermal
                 .step(tyre_temp, v, self.config.ambient, step);
             let conditions = self.base_conditions.with_temperature(tyre_temp);
-            let analyzer = EnergyAnalyzer::new(self.architecture, conditions)
-                .with_wheel(*self.chain.wheel());
+            let analyzer =
+                EnergyAnalyzer::new(self.architecture, conditions).with_wheel(*self.chain.wheel());
 
             // Supply side.
             let inflow = self.chain.delivered_power(v) * step;
@@ -334,10 +334,7 @@ mod tests {
         (Architecture::reference(), HarvestChain::reference())
     }
 
-    fn emulator<'a>(
-        arch: &'a Architecture,
-        chain: &'a HarvestChain,
-    ) -> TransientEmulator<'a> {
+    fn emulator<'a>(arch: &'a Architecture, chain: &'a HarvestChain) -> TransientEmulator<'a> {
         TransientEmulator::new(
             arch,
             chain,
@@ -438,9 +435,18 @@ mod tests {
         let (arch, chain) = setup();
         let emu = emulator(&arch, &chain);
         let trip = CompositeProfile::new(vec![
-            Box::new(ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(2.0))),
-            Box::new(ConstantProfile::new(Speed::from_kmh(5.0), Duration::from_mins(20.0))),
-            Box::new(ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(2.0))),
+            Box::new(ConstantProfile::new(
+                Speed::from_kmh(60.0),
+                Duration::from_mins(2.0),
+            )),
+            Box::new(ConstantProfile::new(
+                Speed::from_kmh(5.0),
+                Duration::from_mins(20.0),
+            )),
+            Box::new(ConstantProfile::new(
+                Speed::from_kmh(60.0),
+                Duration::from_mins(2.0),
+            )),
         ]);
         let mut storage = Supercap::reference();
         let report = emu.run(&trip, &mut storage);
@@ -474,13 +480,9 @@ mod tests {
         let mut config = EmulatorConfig::new();
         config.activate_soc = 0.1;
         config.deactivate_soc = 0.5;
-        assert!(TransientEmulator::new(
-            &arch,
-            &chain,
-            WorkingConditions::reference(),
-            config
-        )
-        .is_err());
+        assert!(
+            TransientEmulator::new(&arch, &chain, WorkingConditions::reference(), config).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Deterministic parallel batch evaluation.
+//!
+//! Every experiment in this crate is sweep-shaped: a list of independent
+//! points (speeds, temperatures, supplies, corners, configuration-grid
+//! cells, Monte Carlo draws) mapped through a pure evaluation. A
+//! [`SweepExecutor`] runs that map across scoped OS threads in
+//! fixed-size chunks and reassembles the results in input order, so the
+//! parallel output is **bit-identical** to the serial one: no reduction
+//! happens across threads, only element-wise mapping.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A chunked, order-preserving parallel map over sweep points.
+///
+/// `threads == 1` (the default) runs inline with no thread machinery, so
+/// the serial path is also the zero-overhead path.
+///
+/// ```
+/// use monityre_core::SweepExecutor;
+///
+/// let squares = SweepExecutor::new(4).map(&[1, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepExecutor {
+    threads: usize,
+    chunk_size: Option<usize>,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl SweepExecutor {
+    /// The serial executor: evaluates inline on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            chunk_size: None,
+        }
+    }
+
+    /// An executor with `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            chunk_size: None,
+        }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    #[must_use]
+    pub fn available() -> Self {
+        let threads = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::new(threads)
+    }
+
+    /// Overrides the chunk size (points handed to a worker at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size >= 1, "chunk size must be at least 1");
+        self.chunk_size = Some(chunk_size);
+        self
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The chunk size used for `len` items: the override if set, else
+    /// enough chunks for ~4 hand-outs per worker (bounded load imbalance
+    /// without fine-grained contention).
+    #[must_use]
+    pub fn chunk_for(&self, len: usize) -> usize {
+        self.chunk_size
+            .unwrap_or_else(|| len.div_ceil(self.threads * 4))
+            .max(1)
+    }
+
+    /// Maps `f` over `items`, preserving input order in the output.
+    ///
+    /// `f` receives the item's index and the item. The result equals
+    /// `items.iter().enumerate().map(..).collect()` exactly — workers only
+    /// partition the index space, they never reorder or combine results.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let chunk = self.chunk_for(items.len());
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        let workers = self.threads.min(items.len().div_ceil(chunk));
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    let batch: Vec<R> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, item)| f(start + offset, item))
+                        .collect();
+                    done.lock()
+                        .expect("a sweep worker panicked while holding the result lock")
+                        .push((start, batch));
+                });
+            }
+        });
+
+        let mut chunks = done
+            .into_inner()
+            .expect("a sweep worker panicked while holding the result lock");
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let results: Vec<R> = chunks.into_iter().flat_map(|(_, batch)| batch).collect();
+        debug_assert_eq!(results.len(), items.len());
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..503).collect();
+        let serial = SweepExecutor::serial().map(&items, |i, &x| x * 3 + i as u64);
+        for threads in [2, 3, 4, 8] {
+            for chunk in [1, 7, 64, 1024] {
+                let parallel = SweepExecutor::new(threads)
+                    .with_chunk_size(chunk)
+                    .map(&items, |i, &x| x * 3 + i as u64);
+                assert_eq!(parallel, serial, "threads {threads} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<i32> = Vec::new();
+        assert!(SweepExecutor::new(4).map(&none, |_, &x| x).is_empty());
+        assert_eq!(SweepExecutor::new(4).map(&[9], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e", "f", "g"];
+        let indexed = SweepExecutor::new(3)
+            .with_chunk_size(2)
+            .map(&items, |i, &s| (i, s));
+        for (position, (index, _)) in indexed.iter().enumerate() {
+            assert_eq!(position, *index);
+        }
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(SweepExecutor::new(0).threads(), 1);
+        assert!(SweepExecutor::available().threads() >= 1);
+    }
+
+    #[test]
+    fn default_chunking_covers_input() {
+        let executor = SweepExecutor::new(4);
+        let chunk = executor.chunk_for(196);
+        assert!(chunk >= 1);
+        // Enough hand-outs to balance, few enough to amortize locking.
+        assert!(196usize.div_ceil(chunk) >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be at least 1")]
+    fn zero_chunk_rejected() {
+        let _ = SweepExecutor::new(2).with_chunk_size(0);
+    }
+}

@@ -8,15 +8,15 @@
 //! Each stage's artifact is kept in the [`FlowReport`], so a harness can
 //! print the same intermediate results the paper's tool surfaces.
 
-use monityre_harvest::{HarvestChain, Storage, Supercap};
+use monityre_harvest::{Storage, Supercap};
 use monityre_node::Architecture;
-use monityre_power::{OperatingMode, PowerBreakdown, WorkingConditions};
+use monityre_power::{OperatingMode, PowerBreakdown};
 use monityre_profile::SpeedProfile;
 use monityre_units::Speed;
 
 use crate::{
-    BalanceReport, CoreError, EmulationReport, EmulatorConfig, EnergyAnalyzer, EnergyBalance,
-    NodeEnergy, NodeOptimization, SelectionPolicy, TransientEmulator,
+    BalanceReport, CoreError, EmulationReport, EmulatorConfig, EnergyBalance, NodeEnergy,
+    NodeOptimization, Scenario, SelectionPolicy, SweepExecutor, TransientEmulator,
 };
 
 /// The complete artifact trail of one flow execution.
@@ -63,15 +63,10 @@ impl FlowReport {
         for b in &self.initial_energy.blocks {
             out.push_str(&format!(
                 "  {:<8} {}  (duty {})\n",
-                b.name,
-                b.energy,
-                b.duty_cycle
+                b.name, b.energy, b.duty_cycle
             ));
         }
-        out.push_str(&format!(
-            "  total    {}\n",
-            self.initial_energy.total()
-        ));
+        out.push_str(&format!("  total    {}\n", self.initial_energy.total()));
         out.push_str("== Stage 3: optimization ==\n");
         for rec in &self.optimization.recommendations {
             out.push_str(&format!("  {:<8} {}\n", rec.block, rec.rationale));
@@ -99,51 +94,42 @@ impl FlowReport {
     }
 }
 
-/// The Fig. 1 pipeline runner.
+/// The Fig. 1 pipeline runner over one [`Scenario`].
 ///
 /// ```
-/// use monityre_core::{Flow, SelectionPolicy};
-/// use monityre_harvest::HarvestChain;
-/// use monityre_node::Architecture;
-/// use monityre_power::WorkingConditions;
-/// use monityre_profile::{ConstantProfile};
+/// use monityre_core::{Flow, Scenario, SelectionPolicy};
+/// use monityre_profile::ConstantProfile;
 /// use monityre_units::{Duration, Speed};
 ///
 /// let flow = Flow::new(
-///     Architecture::reference(),
-///     WorkingConditions::reference(),
+///     &Scenario::reference(),
 ///     Speed::from_kmh(30.0),
 ///     SelectionPolicy::DutyCycleAware,
 /// );
 /// let profile = ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(1.0));
-/// let report = flow.run(&HarvestChain::reference(), &profile).unwrap();
+/// let report = flow.run(&profile).unwrap();
 /// assert!(report.optimization.saving() > 0.0);
 /// ```
 #[derive(Debug)]
 pub struct Flow {
-    architecture: Architecture,
-    conditions: WorkingConditions,
+    scenario: Scenario,
     design_speed: Speed,
     policy: SelectionPolicy,
     emulator_config: EmulatorConfig,
+    executor: SweepExecutor,
 }
 
 impl Flow {
-    /// Creates a flow over an architecture: the paper's "entry point of
-    /// this flow is the definition of the architecture".
+    /// Creates a flow over a scenario: the paper's "entry point of this
+    /// flow is the definition of the architecture".
     #[must_use]
-    pub fn new(
-        architecture: Architecture,
-        conditions: WorkingConditions,
-        design_speed: Speed,
-        policy: SelectionPolicy,
-    ) -> Self {
+    pub fn new(scenario: &Scenario, design_speed: Speed, policy: SelectionPolicy) -> Self {
         Self {
-            architecture,
-            conditions,
+            scenario: scenario.clone(),
             design_speed,
             policy,
             emulator_config: EmulatorConfig::new(),
+            executor: SweepExecutor::serial(),
         }
     }
 
@@ -154,18 +140,27 @@ impl Flow {
         self
     }
 
+    /// Runs stage-5 sweeps on `executor` (bit-identical to serial).
+    #[must_use]
+    pub fn with_executor(mut self, executor: SweepExecutor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The evaluation session this flow runs in.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
     /// Runs every stage with the default reservoir (reference supercap).
     ///
     /// # Errors
     ///
     /// Propagates evaluation errors from any stage.
-    pub fn run(
-        &self,
-        chain: &HarvestChain,
-        profile: &dyn SpeedProfile,
-    ) -> Result<FlowReport, CoreError> {
+    pub fn run(&self, profile: &dyn SpeedProfile) -> Result<FlowReport, CoreError> {
         let mut storage = Supercap::reference();
-        self.run_with_storage(chain, profile, &mut storage)
+        self.run_with_storage(profile, &mut storage)
     }
 
     /// Runs every stage against a caller-supplied storage element.
@@ -175,19 +170,21 @@ impl Flow {
     /// Propagates evaluation errors from any stage.
     pub fn run_with_storage<S: Storage>(
         &self,
-        chain: &HarvestChain,
         profile: &dyn SpeedProfile,
         storage: &mut S,
     ) -> Result<FlowReport, CoreError> {
+        let architecture = self.scenario.architecture();
+        let conditions = self.scenario.conditions();
+        let chain = self.scenario.chain();
+
         // Stage 1: power estimation.
-        let analyzer = EnergyAnalyzer::new(&self.architecture, self.conditions)
-            .with_wheel(*chain.wheel());
+        let analyzer = self.scenario.analyzer();
         let mut power_estimates = Vec::new();
-        for name in self.architecture.block_names() {
-            let p = self
-                .architecture
-                .database()
-                .block_power(name, OperatingMode::Active, &self.conditions)?;
+        for name in architecture.block_names() {
+            let p =
+                architecture
+                    .database()
+                    .block_power(name, OperatingMode::Active, &conditions)?;
             power_estimates.push((name.to_owned(), p));
         }
 
@@ -199,19 +196,14 @@ impl Flow {
         let optimization = advisor.optimize(self.policy)?;
 
         // Stage 5: energy-source integration (both architectures).
-        let sweep = |arch: &Architecture| -> BalanceReport {
-            let a = EnergyAnalyzer::new(arch, self.conditions).with_wheel(*chain.wheel());
-            let b = EnergyBalance::new(&a, chain);
-            b.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 118)
-        };
-        let balance_before = sweep(&self.architecture);
-        let balance = sweep(&optimization.architecture);
+        let balance_before = self.stage5_sweep(architecture)?;
+        let balance = self.stage5_sweep(&optimization.architecture)?;
 
         // Stage 6: long-window emulation of the optimized node.
         let emulator = TransientEmulator::new(
             &optimization.architecture,
             chain,
-            self.conditions,
+            conditions,
             self.emulator_config.clone(),
         )?;
         let emulation = emulator.run(profile, storage);
@@ -225,6 +217,17 @@ impl Flow {
             emulation,
         })
     }
+
+    /// The stage-5 balance sweep for one candidate architecture.
+    fn stage5_sweep(&self, architecture: &Architecture) -> Result<BalanceReport, CoreError> {
+        let session = self.scenario.with_architecture(architecture.clone());
+        Ok(EnergyBalance::new(&session)?.sweep_with(
+            Speed::from_kmh(5.0),
+            Speed::from_kmh(200.0),
+            118,
+            &self.executor,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -235,13 +238,12 @@ mod tests {
 
     fn run_reference() -> FlowReport {
         let flow = Flow::new(
-            Architecture::reference(),
-            WorkingConditions::reference(),
+            &Scenario::reference(),
             Speed::from_kmh(30.0),
             SelectionPolicy::DutyCycleAware,
         );
         let profile = ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(1.0));
-        flow.run(&HarvestChain::reference(), &profile).unwrap()
+        flow.run(&profile).unwrap()
     }
 
     #[test]
@@ -288,5 +290,20 @@ mod tests {
         let report = run_reference();
         // At 60 km/h the optimized node must hold coverage.
         assert!(report.emulation.coverage() > 0.9);
+    }
+
+    #[test]
+    fn parallel_flow_matches_serial() {
+        let serial = run_reference();
+        let flow = Flow::new(
+            &Scenario::reference(),
+            Speed::from_kmh(30.0),
+            SelectionPolicy::DutyCycleAware,
+        )
+        .with_executor(SweepExecutor::new(4));
+        let profile = ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(1.0));
+        let parallel = flow.run(&profile).unwrap();
+        assert_eq!(parallel.balance, serial.balance);
+        assert_eq!(parallel.balance_before, serial.balance_before);
     }
 }

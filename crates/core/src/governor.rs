@@ -8,13 +8,12 @@
 //! reduced → TPMS-class) selected by the storage state of charge, so the
 //! node *degrades gracefully* through deficits instead of going dark.
 
-use monityre_harvest::{HarvestChain, Storage};
+use monityre_harvest::Storage;
 use monityre_node::{Architecture, NodeConfig};
-use monityre_power::WorkingConditions;
 use monityre_profile::{ProfileSampler, SpeedProfile};
 use monityre_units::{Duration, Energy, Power};
 
-use crate::{CoreError, EnergyAnalyzer};
+use crate::{CoreError, EnergyAnalyzer, Scenario};
 
 /// One rung of the governor's ladder.
 #[derive(Debug, Clone)]
@@ -64,41 +63,38 @@ impl GovernedReport {
 /// Levels must be ordered from highest to lowest `min_soc`; the governor
 /// picks the *first* level whose threshold the current SoC meets, with a
 /// small hysteresis band (2 % SoC) to avoid thrashing. Below every
-/// threshold the node is off (standby only).
+/// threshold the node is off (standby only). The harvest chain, the
+/// working conditions and the wheel all come from the [`Scenario`].
 ///
 /// ```
-/// use monityre_core::Governor;
-/// use monityre_harvest::{HarvestChain, Supercap};
-/// use monityre_power::WorkingConditions;
+/// use monityre_core::{Governor, Scenario};
+/// use monityre_harvest::Supercap;
 /// use monityre_profile::ConstantProfile;
 /// use monityre_units::{Duration, Speed};
 ///
-/// let governor = Governor::reference_ladder(WorkingConditions::reference());
+/// let governor = Governor::reference_ladder(&Scenario::reference());
 /// let cruise = ConstantProfile::new(Speed::from_kmh(90.0), Duration::from_mins(2.0));
 /// let mut storage = Supercap::reference();
-/// let report = governor.run(&HarvestChain::reference(), &cruise, &mut storage).unwrap();
+/// let report = governor.run(&cruise, &mut storage).unwrap();
 /// assert!(report.active_fraction() > 0.9);
 /// ```
 #[derive(Debug)]
 pub struct Governor {
+    scenario: Scenario,
     levels: Vec<GovernorLevel>,
     architectures: Vec<Architecture>,
-    conditions: WorkingConditions,
     step: Duration,
     hysteresis: f64,
 }
 
 impl Governor {
-    /// Builds a governor from a ladder of levels.
+    /// Builds a governor from a ladder of levels over one scenario.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] when the ladder is empty,
     /// thresholds are outside `[0, 1]`, or not strictly decreasing.
-    pub fn new(
-        levels: Vec<GovernorLevel>,
-        conditions: WorkingConditions,
-    ) -> Result<Self, CoreError> {
+    pub fn new(scenario: &Scenario, levels: Vec<GovernorLevel>) -> Result<Self, CoreError> {
         if levels.is_empty() {
             return Err(CoreError::invalid_parameter("governor needs >= 1 level"));
         }
@@ -119,9 +115,9 @@ impl Governor {
             .map(|l| Architecture::from_config(l.config))
             .collect();
         Ok(Self {
+            scenario: scenario.clone(),
             levels,
             architectures,
-            conditions,
             step: Duration::from_millis(10.0),
             hysteresis: 0.02,
         })
@@ -135,8 +131,9 @@ impl Governor {
     ///
     /// Never panics: the reference ladder is statically valid.
     #[must_use]
-    pub fn reference_ladder(conditions: WorkingConditions) -> Self {
+    pub fn reference_ladder(scenario: &Scenario) -> Self {
         Self::new(
+            scenario,
             vec![
                 GovernorLevel {
                     label: "full-rate".to_owned(),
@@ -159,7 +156,6 @@ impl Governor {
                         .with_acquisition_fraction(0.03),
                 },
             ],
-            conditions,
         )
         .expect("reference ladder is valid")
     }
@@ -170,6 +166,12 @@ impl Governor {
         &self.levels
     }
 
+    /// The evaluation session the governor runs in.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
     /// Runs the governed emulation.
     ///
     /// # Errors
@@ -177,14 +179,15 @@ impl Governor {
     /// Propagates evaluation errors.
     pub fn run<S: Storage>(
         &self,
-        chain: &HarvestChain,
         profile: &dyn SpeedProfile,
         storage: &mut S,
     ) -> Result<GovernedReport, CoreError> {
+        let chain = self.scenario.chain();
+        let conditions = self.scenario.conditions();
         let analyzers: Vec<EnergyAnalyzer<'_>> = self
             .architectures
             .iter()
-            .map(|a| EnergyAnalyzer::new(a, self.conditions).with_wheel(*chain.wheel()))
+            .map(|a| EnergyAnalyzer::new(a, conditions).with_wheel(*self.scenario.wheel()))
             .collect();
         let off_index = self.levels.len();
         let mut level_time = vec![Duration::ZERO; off_index + 1];
@@ -233,8 +236,8 @@ impl Governor {
                     .average_power(v)
                     .unwrap_or_else(|_| analyzer.standby_power());
                 let rounds_per_sec = chain.wheel().rounds_per_second(v).hertz();
-                let samples_per_sec = f64::from(self.levels[current].config.samples_per_round())
-                    * rounds_per_sec;
+                let samples_per_sec =
+                    f64::from(self.levels[current].config.samples_per_round()) * rounds_per_sec;
                 (p, samples_per_sec)
             } else if current < off_index {
                 (analyzers[current].standby_power(), 0.0)
@@ -280,19 +283,16 @@ mod tests {
     use monityre_profile::{CompositeProfile, ConstantProfile, UrbanCycle, WltcLikeCycle};
     use monityre_units::Speed;
 
-    fn fixture() -> (Governor, HarvestChain) {
-        (
-            Governor::reference_ladder(WorkingConditions::reference()),
-            HarvestChain::reference(),
-        )
+    fn fixture() -> Governor {
+        Governor::reference_ladder(&Scenario::reference())
     }
 
     #[test]
     fn highway_runs_full_rate() {
-        let (governor, chain) = fixture();
+        let governor = fixture();
         let cruise = ConstantProfile::new(Speed::from_kmh(120.0), Duration::from_mins(5.0));
         let mut storage = Supercap::reference();
-        let report = governor.run(&chain, &cruise, &mut storage).unwrap();
+        let report = governor.run(&cruise, &mut storage).unwrap();
         // Starts at 50 % SoC: full-rate from the first step, surplus keeps
         // it there.
         let full = report.level_time[0].secs();
@@ -302,14 +302,18 @@ mod tests {
 
     #[test]
     fn crawl_degrades_instead_of_dying() {
-        let (governor, chain) = fixture();
+        let governor = fixture();
         // 12 km/h: deep deficit for full-rate, near break-even for the
         // TPMS-class trickle.
         let crawl = ConstantProfile::new(Speed::from_kmh(12.0), Duration::from_mins(40.0));
         let mut storage = Supercap::reference();
-        let report = governor.run(&chain, &crawl, &mut storage).unwrap();
+        let report = governor.run(&crawl, &mut storage).unwrap();
         // The node must pass through the lower rungs.
-        assert!(report.level_time[2].secs() > 60.0, "tpms time {:?}", report.level_time);
+        assert!(
+            report.level_time[2].secs() > 60.0,
+            "tpms time {:?}",
+            report.level_time
+        );
         // And keep acquiring *some* samples late in the window.
         assert!(report.samples_acquired > 0.0);
     }
@@ -318,7 +322,7 @@ mod tests {
     fn governed_node_outlives_static_full_rate() {
         // Static full-rate on an urban crawl dies; the governed ladder
         // keeps monitoring (at reduced quality) for longer.
-        let (governor, chain) = fixture();
+        let governor = fixture();
         let trip = CompositeProfile::new(vec![
             Box::new(UrbanCycle::new()),
             Box::new(UrbanCycle::new()),
@@ -327,9 +331,10 @@ mod tests {
         ]);
 
         let mut governed_storage = Supercap::reference();
-        let governed = governor.run(&chain, &trip, &mut governed_storage).unwrap();
+        let governed = governor.run(&trip, &mut governed_storage).unwrap();
 
         let static_full = Governor::new(
+            &Scenario::reference(),
             vec![GovernorLevel {
                 label: "full-rate-only".to_owned(),
                 min_soc: 0.15,
@@ -337,11 +342,10 @@ mod tests {
                     .with_samples_per_round(512)
                     .with_tx_period_rounds(2),
             }],
-            WorkingConditions::reference(),
         )
         .unwrap();
         let mut static_storage = Supercap::reference();
-        let static_report = static_full.run(&chain, &trip, &mut static_storage).unwrap();
+        let static_report = static_full.run(&trip, &mut static_storage).unwrap();
 
         assert!(
             governed.active_fraction() >= static_report.active_fraction(),
@@ -353,11 +357,9 @@ mod tests {
 
     #[test]
     fn wltc_mix_visits_multiple_levels() {
-        let (governor, chain) = fixture();
+        let governor = fixture();
         let mut storage = Supercap::reference();
-        let report = governor
-            .run(&chain, &WltcLikeCycle::new(), &mut storage)
-            .unwrap();
+        let report = governor.run(&WltcLikeCycle::new(), &mut storage).unwrap();
         let visited = report
             .level_time
             .iter()
@@ -370,18 +372,18 @@ mod tests {
 
     #[test]
     fn level_times_tile_the_span() {
-        let (governor, chain) = fixture();
+        let governor = fixture();
         let cruise = ConstantProfile::new(Speed::from_kmh(60.0), Duration::from_mins(3.0));
         let mut storage = Supercap::reference();
-        let report = governor.run(&chain, &cruise, &mut storage).unwrap();
+        let report = governor.run(&cruise, &mut storage).unwrap();
         let total: f64 = report.level_time.iter().map(|d| d.secs()).sum();
         assert!((total - report.span.secs()).abs() < 1e-6);
     }
 
     #[test]
     fn ladder_validation() {
-        let cond = WorkingConditions::reference();
-        assert!(Governor::new(vec![], cond).is_err());
+        let scenario = Scenario::reference();
+        assert!(Governor::new(&scenario, vec![]).is_err());
         let unordered = vec![
             GovernorLevel {
                 label: "a".into(),
@@ -394,12 +396,12 @@ mod tests {
                 config: NodeConfig::reference(),
             },
         ];
-        assert!(Governor::new(unordered, cond).is_err());
+        assert!(Governor::new(&scenario, unordered).is_err());
         let bad_threshold = vec![GovernorLevel {
             label: "a".into(),
             min_soc: 1.5,
             config: NodeConfig::reference(),
         }];
-        assert!(Governor::new(bad_threshold, cond).is_err());
+        assert!(Governor::new(&scenario, bad_threshold).is_err());
     }
 }

@@ -21,20 +21,26 @@
 //! 6. **Reporting** ([`report`]) — text tables, CSV series and ASCII
 //!    charts used by every experiment harness.
 //!
+//! All of them run inside a shared evaluation session: a [`Scenario`]
+//! bundles architecture + conditions + harvest chain + wheel, an
+//! [`EvalCache`] memoizes the per-block, per-conditions figures, and a
+//! [`SweepExecutor`] fans sweep batches out across threads with
+//! bit-identical-to-serial results.
+//!
 //! # Example: find the break-even speed
 //!
 //! ```
-//! use monityre_core::{EnergyAnalyzer, EnergyBalance};
-//! use monityre_harvest::HarvestChain;
-//! use monityre_node::Architecture;
-//! use monityre_power::WorkingConditions;
+//! use monityre_core::{EnergyBalance, Scenario, SweepExecutor};
 //! use monityre_units::Speed;
 //!
-//! let arch = Architecture::reference();
-//! let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-//! let chain = HarvestChain::reference();
-//! let balance = EnergyBalance::new(&analyzer, &chain);
-//! let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196);
+//! let scenario = Scenario::reference();
+//! let balance = EnergyBalance::new(&scenario).unwrap();
+//! let report = balance.sweep_with(
+//!     Speed::from_kmh(5.0),
+//!     Speed::from_kmh(200.0),
+//!     196,
+//!     &SweepExecutor::new(4),
+//! );
 //! let break_even = report.break_even().expect("curves cross");
 //! assert!(break_even.kmh() > 10.0 && break_even.kmh() < 60.0);
 //! ```
@@ -45,13 +51,16 @@
 mod advisor;
 mod analyzer;
 mod balance;
+mod cache;
 mod emulator;
 mod error;
+mod executor;
 mod flow;
 mod governor;
 mod lifetime;
 mod montecarlo;
 pub mod report;
+mod scenario;
 mod trace;
 mod vehicle;
 mod workbook;
@@ -60,13 +69,16 @@ pub use advisor::{
     NodeOptimization, OptimizationAdvisor, Recommendation, SelectionPolicy, Technique,
 };
 pub use analyzer::{BlockEnergy, EnergyAnalyzer, NodeEnergy};
-pub use balance::{BalancePoint, BalanceReport, EnergyBalance};
+pub use balance::{speed_grid, BalancePoint, BalanceReport, EnergyBalance};
+pub use cache::EvalCache;
 pub use emulator::{EmulationReport, EmulatorConfig, OperatingWindow, TransientEmulator};
 pub use error::CoreError;
+pub use executor::SweepExecutor;
 pub use flow::{Flow, FlowReport};
 pub use governor::{GovernedReport, Governor, GovernorLevel};
 pub use lifetime::{LifetimeEstimator, LifetimeReport, UsagePattern};
 pub use montecarlo::{BreakEvenDistribution, MonteCarlo, VariationModel};
+pub use scenario::{Scenario, ScenarioBuilder};
 pub use trace::{InstantTrace, TraceSample};
 pub use vehicle::{CornerSetup, VehicleEmulator, VehicleReport, WheelPosition};
 pub use workbook::EnergyWorkbook;

@@ -262,13 +262,15 @@ mod tests {
         let analyzer = EnergyAnalyzer::new(&arch, cond);
         let estimator = LifetimeEstimator::new(&analyzer, &chain);
         let report = estimator
-            .compare(UsagePattern::light_commuter(), IdealBattery::coin_cell_in_tyre())
+            .compare(
+                UsagePattern::light_commuter(),
+                IdealBattery::coin_cell_in_tyre(),
+            )
             .unwrap();
         assert!(
             !report.battery_outlives_tyre,
             "battery {:.0} days vs tyre {:.0} days",
-            report.battery_days,
-            report.tyre_days
+            report.battery_days, report.tyre_days
         );
         assert!(report.scavenger_sustains);
     }
@@ -301,7 +303,11 @@ mod tests {
         let report = estimator
             .compare(UsagePattern::long_haul(), IdealBattery::coin_cell_in_tyre())
             .unwrap();
-        assert!(report.tyre_days < 150.0, "tyre {:.0} days", report.tyre_days);
+        assert!(
+            report.tyre_days < 150.0,
+            "tyre {:.0} days",
+            report.tyre_days
+        );
     }
 
     #[test]
@@ -344,9 +350,7 @@ mod tests {
             daily_driving: Duration::from_hours(2.0),
             mean_speed: Speed::from_kmh(15.0),
         };
-        let report = estimator
-            .compare(crawl, IdealBattery::coin_cell())
-            .unwrap();
+        let report = estimator.compare(crawl, IdealBattery::coin_cell()).unwrap();
         assert!(!report.scavenger_sustains);
     }
 

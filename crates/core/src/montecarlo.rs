@@ -6,15 +6,18 @@
 //! dynamic-power multipliers and reports the resulting *distribution* of
 //! the break-even speed — the yield question "what fraction of
 //! manufactured nodes activates below X km/h?".
+//!
+//! Each draw owns an independent RNG seeded from `mix(seed, index)`, so
+//! draws can be evaluated on any [`SweepExecutor`] in any schedule and the
+//! distribution stays bit-identical to the serial run.
 
-use monityre_harvest::HarvestChain;
 use monityre_node::Architecture;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use monityre_units::Speed;
 
-use crate::{CoreError, EnergyAnalyzer, EnergyBalance};
+use crate::{CoreError, EnergyBalance, Scenario, SweepExecutor};
 
 /// Spread parameters of the manufacturing distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,54 +124,47 @@ impl BreakEvenDistribution {
 /// The Monte Carlo runner.
 ///
 /// ```
-/// use monityre_core::{EnergyAnalyzer, MonteCarlo, VariationModel};
-/// use monityre_harvest::HarvestChain;
-/// use monityre_node::Architecture;
-/// use monityre_power::WorkingConditions;
+/// use monityre_core::{MonteCarlo, Scenario, VariationModel};
 /// use monityre_units::Speed;
 ///
-/// let arch = Architecture::reference();
-/// let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-/// let chain = HarvestChain::reference();
-/// let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 42);
+/// let scenario = Scenario::reference();
+/// let mc = MonteCarlo::new(&scenario, VariationModel::reference(), 42);
 /// let dist = mc.break_even_distribution(64).unwrap();
 /// assert!(dist.mean().kmh() > 20.0 && dist.mean().kmh() < 60.0);
 /// ```
-#[derive(Debug)]
-pub struct MonteCarlo<'a> {
-    analyzer: &'a EnergyAnalyzer<'a>,
-    chain: &'a HarvestChain,
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    scenario: Scenario,
     variation: VariationModel,
     seed: u64,
 }
 
-impl<'a> MonteCarlo<'a> {
+impl MonteCarlo {
     /// Creates a runner with a fixed RNG seed (reproducible draws).
     #[must_use]
-    pub fn new(
-        analyzer: &'a EnergyAnalyzer<'a>,
-        chain: &'a HarvestChain,
-        variation: VariationModel,
-        seed: u64,
-    ) -> Self {
+    pub fn new(scenario: &Scenario, variation: VariationModel, seed: u64) -> Self {
         Self {
-            analyzer,
-            chain,
+            scenario: scenario.clone(),
             variation,
             seed,
         }
     }
 
+    /// The nominal (undrawn) evaluation session.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
     /// Draws one manufactured instance of the architecture: every block's
     /// leakage scaled log-normally, dynamic scaled normally.
     fn draw(&self, rng: &mut StdRng) -> Result<Architecture, CoreError> {
-        let mut arch = self.analyzer.architecture().clone();
+        let mut arch = self.scenario.architecture().clone();
         let names: Vec<String> = arch.block_names().map(str::to_owned).collect();
         for name in names {
             let model = arch.database().block(&name)?.clone();
             let leak_factor = (standard_normal(rng) * self.variation.leakage_sigma).exp();
-            let dyn_factor =
-                (1.0 + standard_normal(rng) * self.variation.dynamic_sigma).max(0.5);
+            let dyn_factor = (1.0 + standard_normal(rng) * self.variation.dynamic_sigma).max(0.5);
             let varied = model
                 .with_leakage(model.leakage().scaled(leak_factor))
                 .with_dynamic(model.dynamic().scaled(dyn_factor));
@@ -177,30 +173,51 @@ impl<'a> MonteCarlo<'a> {
         Ok(arch)
     }
 
-    /// Samples `n` instances and collects the break-even distribution.
+    /// Evaluates draw `index`: an independent RNG, a varied architecture,
+    /// and the break-even of its balance (or `None` when it never crosses).
+    fn sample(&self, index: u64) -> Result<Option<Speed>, CoreError> {
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, index));
+        let arch = self.draw(&mut rng)?;
+        let varied = self.scenario.with_architecture(arch);
+        let report =
+            EnergyBalance::new(&varied)?.sweep(Speed::from_kmh(6.0), Speed::from_kmh(220.0), 108);
+        Ok(report.break_even())
+    }
+
+    /// Samples `n` instances serially and collects the break-even
+    /// distribution.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for `n == 0`, an invalid
     /// variation model, or when *no* sampled instance ever crosses.
     pub fn break_even_distribution(&self, n: usize) -> Result<BreakEvenDistribution, CoreError> {
+        self.break_even_distribution_with(n, &SweepExecutor::serial())
+    }
+
+    /// Samples `n` instances on `executor`'s workers. Seeds are
+    /// partitioned per draw, so the distribution is bit-identical to
+    /// [`Self::break_even_distribution`] for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `n == 0`, an invalid
+    /// variation model, or when *no* sampled instance ever crosses.
+    pub fn break_even_distribution_with(
+        &self,
+        n: usize,
+        executor: &SweepExecutor,
+    ) -> Result<BreakEvenDistribution, CoreError> {
         if n == 0 {
             return Err(CoreError::invalid_parameter("need at least one sample"));
         }
         self.variation.validate()?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let indices: Vec<u64> = (0..n as u64).collect();
+        let outcomes = executor.map(&indices, |_, &index| self.sample(index));
         let mut samples = Vec::with_capacity(n);
         let mut never_crossed = 0usize;
-        for _ in 0..n {
-            let arch = self.draw(&mut rng)?;
-            let analyzer = EnergyAnalyzer::new(&arch, self.analyzer.conditions())
-                .with_wheel(*self.analyzer.wheel());
-            let report = EnergyBalance::new(&analyzer, self.chain).sweep(
-                Speed::from_kmh(6.0),
-                Speed::from_kmh(220.0),
-                108,
-            );
-            match report.break_even() {
+        for outcome in outcomes {
+            match outcome? {
                 Some(speed) => samples.push(speed),
                 None => never_crossed += 1,
             }
@@ -218,6 +235,17 @@ impl<'a> MonteCarlo<'a> {
     }
 }
 
+/// Derives draw `index`'s seed from the base seed: a splitmix64 finalizer
+/// over `base ⊕ index·φ64`, so neighbouring indices land in uncorrelated
+/// streams and every draw is schedule-independent.
+fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Approximately standard-normal draw (Irwin–Hall with 12 uniforms),
 /// adequate for spread modelling and free of extra dependencies.
 fn standard_normal(rng: &mut StdRng) -> f64 {
@@ -228,22 +256,16 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use monityre_power::WorkingConditions;
-
-    fn fixture() -> (Architecture, HarvestChain) {
-        (Architecture::reference(), HarvestChain::reference())
-    }
 
     #[test]
     fn distribution_centers_near_nominal() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference())
-            .with_wheel(*chain.wheel());
-        let nominal = EnergyBalance::new(&analyzer, &chain)
+        let scenario = Scenario::reference();
+        let nominal = EnergyBalance::new(&scenario)
+            .unwrap()
             .sweep(Speed::from_kmh(6.0), Speed::from_kmh(220.0), 108)
             .break_even()
             .unwrap();
-        let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 7);
+        let mc = MonteCarlo::new(&scenario, VariationModel::reference(), 7);
         let dist = mc.break_even_distribution(96).unwrap();
         assert!(
             (dist.mean().kmh() - nominal.kmh()).abs() < 5.0,
@@ -255,9 +277,7 @@ mod tests {
 
     #[test]
     fn quantiles_are_ordered() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-        let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 11);
+        let mc = MonteCarlo::new(&Scenario::reference(), VariationModel::reference(), 11);
         let dist = mc.break_even_distribution(64).unwrap();
         assert!(dist.quantile(0.05) <= dist.quantile(0.5));
         assert!(dist.quantile(0.5) <= dist.quantile(0.95));
@@ -265,26 +285,51 @@ mod tests {
 
     #[test]
     fn seeded_runs_are_reproducible() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-        let a = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 5)
+        let scenario = Scenario::reference();
+        let a = MonteCarlo::new(&scenario, VariationModel::reference(), 5)
             .break_even_distribution(32)
             .unwrap();
-        let b = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 5)
+        let b = MonteCarlo::new(&scenario, VariationModel::reference(), 5)
             .break_even_distribution(32)
             .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
+    fn parallel_draws_match_serial_bit_for_bit() {
+        let mc = MonteCarlo::new(&Scenario::reference(), VariationModel::reference(), 13);
+        let serial = mc.break_even_distribution(48).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = mc
+                .break_even_distribution_with(48, &SweepExecutor::new(threads))
+                .unwrap();
+            assert_eq!(parallel.samples().len(), serial.samples().len());
+            for (s, p) in serial.samples().iter().zip(parallel.samples()) {
+                assert_eq!(s.mps().to_bits(), p.mps().to_bits(), "threads {threads}");
+            }
+            assert_eq!(parallel.never_crossed(), serial.never_crossed());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = Scenario::reference();
+        let a = MonteCarlo::new(&scenario, VariationModel::reference(), 5)
+            .break_even_distribution(32)
+            .unwrap();
+        let b = MonteCarlo::new(&scenario, VariationModel::reference(), 6)
+            .break_even_distribution(32)
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn zero_variation_collapses_the_distribution() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
         let model = VariationModel {
             leakage_sigma: 0.0,
             dynamic_sigma: 0.0,
         };
-        let dist = MonteCarlo::new(&analyzer, &chain, model, 3)
+        let dist = MonteCarlo::new(&Scenario::reference(), model, 3)
             .break_even_distribution(16)
             .unwrap();
         assert!(dist.std_dev() < 1e-9, "std {}", dist.std_dev());
@@ -292,20 +337,23 @@ mod tests {
 
     #[test]
     fn wider_spread_widens_the_distribution() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
+        let scenario = Scenario::reference();
         let narrow = MonteCarlo::new(
-            &analyzer,
-            &chain,
-            VariationModel { leakage_sigma: 0.1, dynamic_sigma: 0.01 },
+            &scenario,
+            VariationModel {
+                leakage_sigma: 0.1,
+                dynamic_sigma: 0.01,
+            },
             9,
         )
         .break_even_distribution(64)
         .unwrap();
         let wide = MonteCarlo::new(
-            &analyzer,
-            &chain,
-            VariationModel { leakage_sigma: 0.8, dynamic_sigma: 0.08 },
+            &scenario,
+            VariationModel {
+                leakage_sigma: 0.8,
+                dynamic_sigma: 0.08,
+            },
             9,
         )
         .break_even_distribution(64)
@@ -315,9 +363,7 @@ mod tests {
 
     #[test]
     fn yield_is_monotone_in_target() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-        let dist = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 21)
+        let dist = MonteCarlo::new(&Scenario::reference(), VariationModel::reference(), 21)
             .break_even_distribution(64)
             .unwrap();
         let y30 = dist.yield_at(Speed::from_kmh(30.0));
@@ -329,16 +375,25 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        let (arch, chain) = fixture();
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference());
-        let mc = MonteCarlo::new(&analyzer, &chain, VariationModel::reference(), 1);
+        let scenario = Scenario::reference();
+        let mc = MonteCarlo::new(&scenario, VariationModel::reference(), 1);
         assert!(mc.break_even_distribution(0).is_err());
         let bad = MonteCarlo::new(
-            &analyzer,
-            &chain,
-            VariationModel { leakage_sigma: -1.0, dynamic_sigma: 0.0 },
+            &scenario,
+            VariationModel {
+                leakage_sigma: -1.0,
+                dynamic_sigma: 0.0,
+            },
             1,
         );
         assert!(bad.break_even_distribution(4).is_err());
+    }
+
+    #[test]
+    fn mixed_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            assert!(seen.insert(mix_seed(42, i)));
+        }
     }
 }

@@ -174,11 +174,7 @@ pub fn ascii_chart(series: &[Series<'_>], width: usize, height: usize) -> String
         let _ = writeln!(out, "{:>12} │{line}", "");
     }
     let _ = writeln!(out, "{y_min:>12.4} ┤");
-    let _ = writeln!(
-        out,
-        "{:>13}{x_min:<.4} … {x_max:.4}",
-        ""
-    );
+    let _ = writeln!(out, "{:>13}{x_min:<.4} … {x_max:.4}", "");
     for s in series {
         let _ = writeln!(out, "{:>13}{} {}", "", s.glyph, s.label);
     }
@@ -286,10 +282,7 @@ mod tests {
             30,
             8,
         );
-        let plot_lines: Vec<&str> = chart
-            .lines()
-            .filter(|l| l.contains('│'))
-            .collect();
+        let plot_lines: Vec<&str> = chart.lines().filter(|l| l.contains('│')).collect();
         // Top plot row has the max point, bottom has the min point.
         assert!(plot_lines.first().unwrap().contains('#'));
         assert!(plot_lines.last().unwrap().contains('#'));

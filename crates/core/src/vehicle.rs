@@ -9,13 +9,13 @@
 //! module runs the four emulations against a shared speed profile with
 //! per-corner parameter spreads and computes exactly that.
 
-use monityre_harvest::{HarvestChain, PiezoScavenger, Regulator, Supercap};
-use monityre_node::Architecture;
-use monityre_power::WorkingConditions;
-use monityre_profile::{SpeedProfile, TyreThermalModel, Wheel};
+use monityre_harvest::Supercap;
+use monityre_profile::{SpeedProfile, TyreThermalModel};
 use monityre_units::Duration;
 
-use crate::{CoreError, EmulationReport, EmulatorConfig, TransientEmulator};
+use crate::{
+    CoreError, EmulationReport, EmulatorConfig, Scenario, SweepExecutor, TransientEmulator,
+};
 
 /// The four wheel stations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,10 +129,12 @@ impl VehicleReport {
 
 /// Runs the four per-wheel emulations against one speed profile.
 ///
+/// Each corner derives its chain from the scenario's chain (scaled by the
+/// corner's scavenger spread), so one [`Scenario`] describes the whole
+/// vehicle.
+///
 /// ```
-/// use monityre_core::{EmulatorConfig, VehicleEmulator};
-/// use monityre_node::Architecture;
-/// use monityre_power::WorkingConditions;
+/// use monityre_core::VehicleEmulator;
 /// use monityre_profile::ConstantProfile;
 /// use monityre_units::{Duration, Speed};
 ///
@@ -143,64 +145,66 @@ impl VehicleReport {
 /// ```
 #[derive(Debug)]
 pub struct VehicleEmulator {
-    architecture: Architecture,
-    conditions: WorkingConditions,
+    scenario: Scenario,
     config: EmulatorConfig,
     corners: [CornerSetup; 4],
 }
 
 impl VehicleEmulator {
-    /// The reference vehicle: reference node at every corner with the
-    /// reference spreads.
+    /// The reference vehicle: the reference scenario at every corner with
+    /// the reference spreads.
     #[must_use]
     pub fn reference() -> Self {
-        Self {
-            architecture: Architecture::reference(),
-            conditions: WorkingConditions::reference(),
-            config: EmulatorConfig::new(),
-            corners: CornerSetup::reference(),
-        }
+        Self::new(
+            &Scenario::reference(),
+            EmulatorConfig::new(),
+            CornerSetup::reference(),
+        )
     }
 
     /// Builds a custom vehicle.
     #[must_use]
-    pub fn new(
-        architecture: Architecture,
-        conditions: WorkingConditions,
-        config: EmulatorConfig,
-        corners: [CornerSetup; 4],
-    ) -> Self {
+    pub fn new(scenario: &Scenario, config: EmulatorConfig, corners: [CornerSetup; 4]) -> Self {
         Self {
-            architecture,
-            conditions,
+            scenario: scenario.clone(),
             config,
             corners,
         }
     }
 
-    /// Runs the trip on all four corners.
+    /// The per-corner base session.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the trip on all four corners serially.
     ///
     /// # Errors
     ///
     /// Propagates emulator configuration errors.
-    pub fn run(&self, profile: &dyn SpeedProfile) -> Result<VehicleReport, CoreError> {
+    pub fn run(&self, profile: &(dyn SpeedProfile + Sync)) -> Result<VehicleReport, CoreError> {
+        self.run_with(profile, &SweepExecutor::serial())
+    }
+
+    /// Runs the trip with the corners fanned out on `executor`'s workers.
+    /// Corners are independent, so the report is bit-identical to
+    /// [`Self::run`] for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator configuration errors.
+    pub fn run_with(
+        &self,
+        profile: &(dyn SpeedProfile + Sync),
+        executor: &SweepExecutor,
+    ) -> Result<VehicleReport, CoreError> {
+        let outcomes = executor.map(&self.corners, |_, setup| {
+            self.emulate_corner(setup, profile)
+        });
         let mut corners = Vec::with_capacity(4);
-        for setup in &self.corners {
-            let chain = HarvestChain::new(
-                PiezoScavenger::reference().scaled(setup.scavenger_scale),
-                Regulator::reference(),
-                Wheel::reference(),
-            );
-            let mut config = self.config.clone();
-            config.thermal = TyreThermalModel::new(
-                config.thermal.heating_coefficient() * setup.thermal_scale,
-                config.thermal.time_constant(),
-            );
-            let emulator =
-                TransientEmulator::new(&self.architecture, &chain, self.conditions, config)?;
-            let mut storage = Supercap::reference();
-            let report = emulator.run(profile, &mut storage);
-            corners.push((setup.position, report));
+        for outcome in outcomes {
+            corners.push(outcome?);
         }
 
         let span = profile.duration();
@@ -212,6 +216,30 @@ impl VehicleEmulator {
             all_active_fraction: all_active,
             any_active_fraction: any_active,
         })
+    }
+
+    /// One corner's emulation: the scenario's chain scaled by the corner's
+    /// scavenger spread, the thermal model scaled by the axle spread.
+    fn emulate_corner(
+        &self,
+        setup: &CornerSetup,
+        profile: &dyn SpeedProfile,
+    ) -> Result<(WheelPosition, EmulationReport), CoreError> {
+        let chain = self.scenario.chain().scaled(setup.scavenger_scale);
+        let mut config = self.config.clone();
+        config.thermal = TyreThermalModel::new(
+            config.thermal.heating_coefficient() * setup.thermal_scale,
+            config.thermal.time_constant(),
+        );
+        let emulator = TransientEmulator::new(
+            self.scenario.architecture(),
+            &chain,
+            self.scenario.conditions(),
+            config,
+        )?;
+        let mut storage = Supercap::reference();
+        let report = emulator.run(profile, &mut storage);
+        Ok((setup.position, report))
     }
 }
 
@@ -264,7 +292,11 @@ mod tests {
         let cruise = ConstantProfile::new(Speed::from_kmh(110.0), Duration::from_mins(3.0));
         let report = emulator.run(&cruise).unwrap();
         assert_eq!(report.corners.len(), 4);
-        assert!(report.all_active_fraction > 0.9, "{}", report.all_active_fraction);
+        assert!(
+            report.all_active_fraction > 0.9,
+            "{}",
+            report.all_active_fraction
+        );
     }
 
     #[test]
@@ -272,7 +304,10 @@ mod tests {
         let emulator = VehicleEmulator::reference();
         let trip = CompositeProfile::new(vec![
             Box::new(RepeatProfile::new(UrbanCycle::new(), 2)),
-            Box::new(ConstantProfile::new(Speed::from_kmh(90.0), Duration::from_mins(2.0))),
+            Box::new(ConstantProfile::new(
+                Speed::from_kmh(90.0),
+                Duration::from_mins(2.0),
+            )),
         ]);
         let report = emulator.run(&trip).unwrap();
         let worst = report
@@ -319,5 +354,23 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn parallel_corners_match_serial() {
+        let emulator = VehicleEmulator::reference();
+        let cruise = ConstantProfile::new(Speed::from_kmh(80.0), Duration::from_mins(2.0));
+        let serial = emulator.run(&cruise).unwrap();
+        let parallel = emulator.run_with(&cruise, &SweepExecutor::new(4)).unwrap();
+        assert_eq!(parallel.corners.len(), serial.corners.len());
+        for ((sp, sr), (pp, pr)) in serial.corners.iter().zip(&parallel.corners) {
+            assert_eq!(sp, pp);
+            assert_eq!(sr.coverage().to_bits(), pr.coverage().to_bits());
+            assert_eq!(sr.windows.len(), pr.windows.len());
+        }
+        assert_eq!(
+            serial.all_active_fraction.to_bits(),
+            parallel.all_active_fraction.to_bits()
+        );
     }
 }

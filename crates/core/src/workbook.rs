@@ -77,7 +77,10 @@ impl EnergyWorkbook {
             .map_err(sh)?;
         // Round period in seconds: circumference / (speed in m/s).
         sheet
-            .set_formula("round.period_s", "in.circumference_m / (in.speed_kmh / 3.6)")
+            .set_formula(
+                "round.period_s",
+                "in.circumference_m / (in.speed_kmh / 3.6)",
+            )
             .map_err(sh)?;
 
         let mut block_names = Vec::new();
@@ -188,7 +191,10 @@ impl EnergyWorkbook {
         }
 
         sheet
-            .set_formula("node.energy_uj", &format!("sum({})", total_terms.join(", ")))
+            .set_formula(
+                "node.energy_uj",
+                &format!("sum({})", total_terms.join(", ")),
+            )
             .map_err(sh)?;
 
         Ok(Self { sheet, block_names })
@@ -282,8 +288,7 @@ mod tests {
 
     #[test]
     fn workbook_matches_analyzer_when_hot() {
-        let cond = WorkingConditions::reference()
-            .with_temperature(Temperature::from_celsius(85.0));
+        let cond = WorkingConditions::reference().with_temperature(Temperature::from_celsius(85.0));
         let (got, expected) = equivalence_at(NodeConfig::reference(), cond, 45.0);
         assert!(got.approx_eq(expected, 1e-9), "{got} vs {expected}");
     }
@@ -300,8 +305,7 @@ mod tests {
                 .with_acquisition_fraction(0.03),
         ];
         for config in configs {
-            let (got, expected) =
-                equivalence_at(config, WorkingConditions::reference(), 50.0);
+            let (got, expected) = equivalence_at(config, WorkingConditions::reference(), 50.0);
             assert!(got.approx_eq(expected, 1e-9), "{got} vs {expected}");
         }
     }
@@ -337,7 +341,10 @@ mod tests {
             workbook.set_speed(Speed::from_kmh(kmh)).unwrap();
             let expected = analyzer.required_per_round(Speed::from_kmh(kmh)).unwrap();
             let got = workbook.node_energy().unwrap();
-            assert!(got.approx_eq(expected, 1e-9), "at {kmh}: {got} vs {expected}");
+            assert!(
+                got.approx_eq(expected, 1e-9),
+                "at {kmh}: {got} vs {expected}"
+            );
         }
     }
 
@@ -365,13 +372,10 @@ mod tests {
     fn rejects_standstill() {
         let arch = Architecture::reference();
         let wheel = Wheel::reference();
-        assert!(EnergyWorkbook::build(
-            &arch,
-            WorkingConditions::reference(),
-            &wheel,
-            Speed::ZERO
-        )
-        .is_err());
+        assert!(
+            EnergyWorkbook::build(&arch, WorkingConditions::reference(), &wheel, Speed::ZERO)
+                .is_err()
+        );
         let mut workbook = EnergyWorkbook::build(
             &arch,
             WorkingConditions::reference(),

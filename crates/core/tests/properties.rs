@@ -1,9 +1,8 @@
 //! Property-based tests for the analysis flow invariants.
 
 use monityre_core::{
-    EnergyAnalyzer, EnergyBalance, InstantTrace, OptimizationAdvisor, SelectionPolicy,
+    EnergyAnalyzer, EnergyBalance, InstantTrace, OptimizationAdvisor, Scenario, SelectionPolicy,
 };
-use monityre_harvest::HarvestChain;
 use monityre_node::{Architecture, NodeConfig};
 use monityre_power::{ProcessCorner, WorkingConditions};
 use monityre_units::{Duration, Frequency, Speed, Temperature, Voltage};
@@ -123,10 +122,11 @@ proptest! {
     /// point 5 km/h above it is surplus, 5 km/h below deficit.
     #[test]
     fn break_even_consistent_with_points(config in arb_config(), cond in arb_conditions()) {
-        let arch = Architecture::from_config(config);
-        let chain = HarvestChain::reference();
-        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
-        let balance = EnergyBalance::new(&analyzer, &chain);
+        let scenario = Scenario::builder()
+            .architecture(Architecture::from_config(config))
+            .conditions(cond)
+            .build();
+        let balance = EnergyBalance::new(&scenario).unwrap();
         let report = balance.sweep(Speed::from_kmh(6.0), Speed::from_kmh(220.0), 216);
         if let Some(be) = report.break_even() {
             prop_assume!(be.kmh() > 12.0 && be.kmh() < 214.0);

@@ -99,6 +99,31 @@ impl HarvestChain {
         let e = self.delivered_per_round(speed);
         Power::from_watts(e.joules() * self.wheel.rounds_per_second(speed).hertz())
     }
+
+    /// A copy of the chain with the transducer scaled by `factor` — how
+    /// the vehicle emulator spreads scavenger sizes across the corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            scavenger: self.scavenger.scaled_box(factor),
+            regulator: self.regulator,
+            wheel: self.wheel,
+        }
+    }
+}
+
+impl Clone for HarvestChain {
+    fn clone(&self) -> Self {
+        Self {
+            scavenger: self.scavenger.clone_box(),
+            regulator: self.regulator,
+            wheel: self.wheel,
+        }
+    }
 }
 
 impl fmt::Debug for HarvestChain {
@@ -120,7 +145,10 @@ mod tests {
         let chain = HarvestChain::reference();
         for kmh in [20.0, 50.0, 100.0, 150.0] {
             let v = Speed::from_kmh(kmh);
-            assert!(chain.delivered_per_round(v) < chain.raw_per_round(v), "at {kmh}");
+            assert!(
+                chain.delivered_per_round(v) < chain.raw_per_round(v),
+                "at {kmh}"
+            );
         }
     }
 
@@ -138,7 +166,10 @@ mod tests {
     #[test]
     fn nothing_below_cut_in() {
         let chain = HarvestChain::reference();
-        assert_eq!(chain.delivered_per_round(Speed::from_kmh(4.0)), Energy::ZERO);
+        assert_eq!(
+            chain.delivered_per_round(Speed::from_kmh(4.0)),
+            Energy::ZERO
+        );
         assert_eq!(chain.delivered_power(Speed::from_kmh(4.0)), Power::ZERO);
     }
 
@@ -177,5 +208,39 @@ mod tests {
     fn debug_shows_scavenger_name() {
         let chain = HarvestChain::reference();
         assert!(format!("{chain:?}").contains("piezo"));
+    }
+
+    #[test]
+    fn clone_matches_original_bit_for_bit() {
+        let chain = HarvestChain::reference();
+        let copy = chain.clone();
+        for kmh in [10.0, 40.0, 90.0, 160.0] {
+            let v = Speed::from_kmh(kmh);
+            assert_eq!(
+                copy.delivered_per_round(v).joules().to_bits(),
+                chain.delivered_per_round(v).joules().to_bits(),
+                "at {kmh} km/h"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_chain_matches_scaled_scavenger() {
+        // The piezo chain must take the native scaling path: bit-identical
+        // to composing a scaled PiezoScavenger by hand.
+        let by_hand = HarvestChain::new(
+            PiezoScavenger::reference().scaled(1.04),
+            Regulator::reference(),
+            Wheel::reference(),
+        );
+        let derived = HarvestChain::reference().scaled(1.04);
+        for kmh in [15.0, 55.0, 120.0] {
+            let v = Speed::from_kmh(kmh);
+            assert_eq!(
+                derived.delivered_per_round(v).joules().to_bits(),
+                by_hand.delivered_per_round(v).joules().to_bits(),
+                "at {kmh} km/h"
+            );
+        }
     }
 }

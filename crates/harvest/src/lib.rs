@@ -50,7 +50,7 @@ pub use chain::HarvestChain;
 pub use error::StorageError;
 pub use piezo::{ElectromagneticScavenger, PiezoScavenger};
 pub use regulator::Regulator;
-pub use scavenger::Scavenger;
+pub use scavenger::{ScaledScavenger, Scavenger};
 pub use supercap::Supercap;
 
 use monityre_units::{Duration, Energy};

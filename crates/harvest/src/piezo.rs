@@ -136,6 +136,16 @@ impl Scavenger for PiezoScavenger {
     fn cut_in(&self) -> Speed {
         self.cut_in
     }
+
+    fn clone_box(&self) -> Box<dyn Scavenger + Send + Sync> {
+        Box::new(*self)
+    }
+
+    fn scaled_box(&self, factor: f64) -> Box<dyn Scavenger + Send + Sync> {
+        // Scale the native saturation parameter instead of wrapping, so
+        // a scaled piezo stays a `PiezoScavenger` with identical numerics.
+        Box::new(self.scaled(factor))
+    }
 }
 
 /// An electromagnetic (coil + magnet) alternative: per-round energy linear
@@ -202,6 +212,10 @@ impl Scavenger for ElectromagneticScavenger {
 
     fn cut_in(&self) -> Speed {
         self.cut_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Scavenger + Send + Sync> {
+        Box::new(*self)
     }
 }
 

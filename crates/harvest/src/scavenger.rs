@@ -27,6 +27,83 @@ pub trait Scavenger {
         let e = self.energy_per_round(speed);
         Power::from_watts(e.joules() * wheel.rounds_per_second(speed).hertz())
     }
+
+    /// An owned boxed copy of this transducer, so type-erased chains can
+    /// be cloned and shared across evaluation sessions.
+    fn clone_box(&self) -> Box<dyn Scavenger + Send + Sync>;
+
+    /// A boxed copy whose per-round output is scaled by `factor` — the
+    /// "size of the scavenging device" knob of §I.
+    ///
+    /// The default wraps the clone in a [`ScaledScavenger`]; concrete
+    /// models with a native size parameter should override it.
+    fn scaled_box(&self, factor: f64) -> Box<dyn Scavenger + Send + Sync> {
+        Box::new(ScaledScavenger::new(self.clone_box(), factor))
+    }
+}
+
+/// A transducer wrapper multiplying the inner per-round energy by a fixed
+/// size factor. Produced by the default [`Scavenger::scaled_box`].
+pub struct ScaledScavenger {
+    inner: Box<dyn Scavenger + Send + Sync>,
+    factor: f64,
+}
+
+impl ScaledScavenger {
+    /// Wraps `inner`, scaling its output by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn new(inner: Box<dyn Scavenger + Send + Sync>, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative, got {factor}"
+        );
+        Self { inner, factor }
+    }
+
+    /// The size factor applied to the inner transducer.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl std::fmt::Debug for ScaledScavenger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScaledScavenger")
+            .field("inner", &self.inner.name())
+            .field("factor", &self.factor)
+            .finish()
+    }
+}
+
+impl Scavenger for ScaledScavenger {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn energy_per_round(&self, speed: Speed) -> Energy {
+        self.inner.energy_per_round(speed) * self.factor
+    }
+
+    fn cut_in(&self) -> Speed {
+        self.inner.cut_in()
+    }
+
+    fn clone_box(&self) -> Box<dyn Scavenger + Send + Sync> {
+        Box::new(Self {
+            inner: self.inner.clone_box(),
+            factor: self.factor,
+        })
+    }
+
+    fn scaled_box(&self, factor: f64) -> Box<dyn Scavenger + Send + Sync> {
+        // Collapse nested wrappers into one multiplication.
+        Box::new(Self::new(self.inner.clone_box(), self.factor * factor))
+    }
 }
 
 #[cfg(test)]
@@ -49,6 +126,10 @@ mod tests {
         fn cut_in(&self) -> Speed {
             Speed::ZERO
         }
+
+        fn clone_box(&self) -> Box<dyn Scavenger + Send + Sync> {
+            Box::new(Linear)
+        }
     }
 
     #[test]
@@ -63,5 +144,37 @@ mod tests {
     fn average_power_zero_at_standstill() {
         let wheel = Wheel::new(Distance::from_metres(2.0));
         assert_eq!(Linear.average_power(Speed::ZERO, &wheel), Power::ZERO);
+    }
+
+    #[test]
+    fn scaled_box_multiplies_energy() {
+        let half = Linear.scaled_box(0.5);
+        let v = Speed::from_mps(10.0);
+        assert!(half
+            .energy_per_round(v)
+            .approx_eq(Linear.energy_per_round(v) * 0.5, 1e-12));
+        assert_eq!(half.name(), "linear");
+        assert_eq!(half.cut_in(), Linear.cut_in());
+    }
+
+    #[test]
+    fn nested_scaling_collapses() {
+        let quarter = Linear.scaled_box(0.5).scaled_box(0.5);
+        let v = Speed::from_mps(8.0);
+        assert!(quarter
+            .energy_per_round(v)
+            .approx_eq(Linear.energy_per_round(v) * 0.25, 1e-12));
+    }
+
+    #[test]
+    fn clone_box_preserves_behaviour() {
+        let wheel = Wheel::new(Distance::from_metres(2.0));
+        let copy = Linear.clone_box();
+        let v = Speed::from_mps(10.0);
+        assert_eq!(copy.energy_per_round(v), Linear.energy_per_round(v));
+        assert_eq!(
+            copy.average_power(v, &wheel),
+            Linear.average_power(v, &wheel)
+        );
     }
 }

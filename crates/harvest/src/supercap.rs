@@ -196,7 +196,9 @@ mod tests {
     fn overdraw_fails_without_side_effects() {
         let mut cap = fresh();
         let available = cap.available();
-        let err = cap.withdraw(available + Energy::from_millis(1.0)).unwrap_err();
+        let err = cap
+            .withdraw(available + Energy::from_millis(1.0))
+            .unwrap_err();
         assert!(err.shortfall().approx_eq(Energy::from_millis(1.0), 1e-6));
         assert!(cap.available().approx_eq(available, 1e-12));
     }
@@ -242,9 +244,7 @@ mod tests {
     fn capacity_matches_half_cv2_window() {
         let cap = fresh();
         // ½·47 mF·(3.6² − 1.8²) = ½·0.047·9.72 = 228.42 mJ.
-        assert!(cap
-            .capacity()
-            .approx_eq(Energy::from_millis(228.42), 1e-3));
+        assert!(cap.capacity().approx_eq(Energy::from_millis(228.42), 1e-3));
     }
 
     #[test]

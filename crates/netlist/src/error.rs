@@ -44,11 +44,17 @@ impl fmt::Display for NetlistError {
         match self {
             Self::UnknownSignal { index } => write!(f, "unknown signal index {index}"),
             Self::CombinationalCycle => {
-                write!(f, "combinational cycle: feedback must pass through a register")
+                write!(
+                    f,
+                    "combinational cycle: feedback must pass through a register"
+                )
             }
             Self::InvalidInput { reason } => write!(f, "invalid analysis input: {reason}"),
             Self::NoConvergence { iterations } => {
-                write!(f, "sequential fixpoint did not converge in {iterations} iterations")
+                write!(
+                    f,
+                    "sequential fixpoint did not converge in {iterations} iterations"
+                )
             }
         }
     }
@@ -66,6 +72,8 @@ mod tests {
         assert!(NetlistError::CombinationalCycle
             .to_string()
             .contains("register"));
-        assert!(NetlistError::invalid_input("bad p").to_string().contains("bad p"));
+        assert!(NetlistError::invalid_input("bad p")
+            .to_string()
+            .contains("bad p"));
     }
 }

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Capacitance figures are femto-farad-class values representative of a
 /// 130 nm standard-cell library (input gate cap + output/internal cap per
 /// cell); they only need to be self-consistent for the methodology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GateKind {
     /// Buffer (1 input).
     Buf,

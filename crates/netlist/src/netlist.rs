@@ -310,14 +310,16 @@ impl NetlistBuilder {
             return Err(NetlistError::unknown_signal(d.0));
         }
         match self.nodes.get_mut(dff.0) {
-            Some(Node::Dff { driver: driver @ None }) => {
+            Some(Node::Dff {
+                driver: driver @ None,
+            }) => {
                 *driver = Some(d);
                 self.pending_dffs.retain(|&i| i != dff.0);
                 Ok(())
             }
-            Some(Node::Dff { .. }) => Err(NetlistError::invalid_input(
-                "register is already driven",
-            )),
+            Some(Node::Dff { .. }) => {
+                Err(NetlistError::invalid_input("register is already driven"))
+            }
             _ => Err(NetlistError::unknown_signal(dff.0)),
         }
     }
@@ -428,10 +430,7 @@ mod tests {
     fn undriven_forward_dff_rejected() {
         let mut b = Netlist::builder();
         let (_q, _handle) = b.dff_forward();
-        assert!(matches!(
-            b.build(),
-            Err(NetlistError::InvalidInput { .. })
-        ));
+        assert!(matches!(b.build(), Err(NetlistError::InvalidInput { .. })));
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl Architecture {
                 .analog(flat_grid(Power::from_microwatts(1.2)))
                 .leakage(LeakageModel::with_reference(Power::from_nanowatts(300.0)))
                 .build(),
-            BlockPlan::new(RoundSchedule::always(OperatingMode::Active), Workload::new()),
+            BlockPlan::new(
+                RoundSchedule::always(OperatingMode::Active),
+                Workload::new(),
+            ),
         );
 
         // --- Analog front-end: awake for the contact-patch window.
@@ -162,8 +165,7 @@ impl Architecture {
                     OperatingMode::Off,
                 )
                 .expect("adc schedule"),
-                Workload::new()
-                    .with(EventKind::Sample, f64::from(config.samples_per_round())),
+                Workload::new().with(EventKind::Sample, f64::from(config.samples_per_round())),
             ),
         );
 
@@ -208,8 +210,14 @@ impl Architecture {
                 ))
                 .leakage(LeakageModel::with_reference(Power::from_microwatts(8.0)))
                 .mode_policy(OperatingMode::DeepSleep, ModePolicy::new(0.0, 0.08))
-                .event_cost(EventCost::new(EventKind::MemoryWrite, Energy::from_nanos(5.0)))
-                .event_cost(EventCost::new(EventKind::MemoryRead, Energy::from_nanos(3.0)))
+                .event_cost(EventCost::new(
+                    EventKind::MemoryWrite,
+                    Energy::from_nanos(5.0),
+                ))
+                .event_cost(EventCost::new(
+                    EventKind::MemoryRead,
+                    Energy::from_nanos(3.0),
+                ))
                 .build(),
             BlockPlan::new(
                 RoundSchedule::new(
@@ -221,7 +229,10 @@ impl Architecture {
                 )
                 .expect("sram schedule"),
                 Workload::new()
-                    .with(EventKind::MemoryWrite, f64::from(config.samples_per_round()))
+                    .with(
+                        EventKind::MemoryWrite,
+                        f64::from(config.samples_per_round()),
+                    )
                     .with(EventKind::MemoryRead, f64::from(config.samples_per_round())),
             ),
         );
@@ -269,7 +280,9 @@ impl Architecture {
             ),
         );
 
-        builder.build().expect("reference architecture is consistent")
+        builder
+            .build()
+            .expect("reference architecture is consistent")
     }
 
     /// The architecture's name.
@@ -444,7 +457,11 @@ mod tests {
         let arch = Architecture::reference();
         let p = arch
             .database()
-            .block_power("radio", OperatingMode::Burst, &WorkingConditions::reference())
+            .block_power(
+                "radio",
+                OperatingMode::Burst,
+                &WorkingConditions::reference(),
+            )
             .unwrap();
         assert!(p.total().milliwatts() > 15.0, "got {}", p.total());
     }
@@ -541,6 +558,8 @@ mod tests {
         let plan = arch.plan("dsp").unwrap();
         let resolved = plan.schedule().resolve(Duration::from_millis(100.0));
         assert_eq!(resolved.len(), 1);
-        assert!(resolved[0].duration.approx_eq(Duration::from_millis(5.0), 1e-12));
+        assert!(resolved[0]
+            .duration
+            .approx_eq(Duration::from_millis(5.0), 1e-12));
     }
 }

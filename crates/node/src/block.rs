@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The set follows §I of the paper (acquisition, computing, wireless
 /// communication) plus the memory and always-on power-management blocks any
 /// real implementation carries.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum BlockKind {
     /// Analog sensing front-end (accelerometer/pressure signal chain).
     AnalogFrontEnd,

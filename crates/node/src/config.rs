@@ -283,7 +283,9 @@ mod tests {
     fn compute_time_scales_with_clock() {
         let base = NodeConfig::reference();
         let slow = base.with_dsp_clock(Frequency::from_megahertz(4.0));
-        assert!(slow.compute_time().approx_eq(base.compute_time() * 2.0, 1e-12));
+        assert!(slow
+            .compute_time()
+            .approx_eq(base.compute_time() * 2.0, 1e-12));
     }
 
     #[test]

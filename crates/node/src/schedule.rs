@@ -269,7 +269,10 @@ mod tests {
     #[test]
     fn fraction_scales_with_period() {
         let s = RoundSchedule::new(
-            vec![PhaseSpec::every_round(OperatingMode::Active, Span::Fraction(0.25))],
+            vec![PhaseSpec::every_round(
+                OperatingMode::Active,
+                Span::Fraction(0.25),
+            )],
             OperatingMode::Sleep,
         )
         .unwrap();
@@ -282,7 +285,10 @@ mod tests {
     #[test]
     fn fixed_is_speed_independent_until_truncation() {
         let s = RoundSchedule::new(
-            vec![PhaseSpec::every_round(OperatingMode::Burst, Span::Fixed(ms(2.0)))],
+            vec![PhaseSpec::every_round(
+                OperatingMode::Burst,
+                Span::Fixed(ms(2.0)),
+            )],
             OperatingMode::Off,
         )
         .unwrap();
@@ -364,7 +370,10 @@ mod tests {
     #[test]
     fn standstill_duty_follows_rest_mode() {
         let s = RoundSchedule::new(
-            vec![PhaseSpec::every_round(OperatingMode::Active, Span::Fraction(0.5))],
+            vec![PhaseSpec::every_round(
+                OperatingMode::Active,
+                Span::Fraction(0.5),
+            )],
             OperatingMode::Sleep,
         )
         .unwrap();
@@ -400,7 +409,10 @@ mod tests {
     #[test]
     fn rejects_negative_fraction() {
         let r = RoundSchedule::new(
-            vec![PhaseSpec::every_round(OperatingMode::Active, Span::Fraction(-0.1))],
+            vec![PhaseSpec::every_round(
+                OperatingMode::Active,
+                Span::Fraction(-0.1),
+            )],
             OperatingMode::Sleep,
         );
         assert!(r.is_err());

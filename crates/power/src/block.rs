@@ -281,7 +281,10 @@ mod tests {
                 Frequency::from_megahertz(8.0),
             ))
             .leakage(LeakageModel::with_reference(Power::from_microwatts(2.0)))
-            .event_cost(EventCost::new(EventKind::ComputeKernel, Energy::from_nanos(40.0)))
+            .event_cost(EventCost::new(
+                EventKind::ComputeKernel,
+                Energy::from_nanos(40.0),
+            ))
             .build()
     }
 
@@ -329,7 +332,10 @@ mod tests {
     fn burst_exceeds_active() {
         let b = digital_block();
         let cond = WorkingConditions::reference();
-        assert!(b.power(OperatingMode::Burst, &cond).total() > b.power(OperatingMode::Active, &cond).total());
+        assert!(
+            b.power(OperatingMode::Burst, &cond).total()
+                > b.power(OperatingMode::Active, &cond).total()
+        );
     }
 
     #[test]
@@ -344,10 +350,7 @@ mod tests {
 
     #[test]
     fn mode_policy_override_applies() {
-        let b = digital_block().with_mode_policy(
-            OperatingMode::Sleep,
-            ModePolicy::new(0.0, 0.1),
-        );
+        let b = digital_block().with_mode_policy(OperatingMode::Sleep, ModePolicy::new(0.0, 0.1));
         let p = b.power(OperatingMode::Sleep, &WorkingConditions::reference());
         assert!(p.leakage.approx_eq(Power::from_microwatts(0.2), 1e-9));
     }
@@ -366,8 +369,10 @@ mod tests {
         let b = digital_block();
         let optimized = b.with_leakage(b.leakage().scaled(0.3));
         let cond = WorkingConditions::reference();
-        assert!(b.power(OperatingMode::Sleep, &cond).leakage
-            > optimized.power(OperatingMode::Sleep, &cond).leakage);
+        assert!(
+            b.power(OperatingMode::Sleep, &cond).leakage
+                > optimized.power(OperatingMode::Sleep, &cond).leakage
+        );
     }
 
     #[test]

@@ -246,7 +246,8 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_both() {
-        let e = EnergyBreakdown::new(Energy::from_micros(1.0), Energy::from_micros(2.0)).scaled(3.0);
+        let e =
+            EnergyBreakdown::new(Energy::from_micros(1.0), Energy::from_micros(2.0)).scaled(3.0);
         assert!(e.dynamic.approx_eq(Energy::from_micros(3.0), 1e-12));
         assert!(e.leakage.approx_eq(Energy::from_micros(6.0), 1e-12));
     }

@@ -142,7 +142,8 @@ impl PowerDatabase {
         if self.blocks.contains_key(&name) {
             return Err(PowerError::duplicate_block(&name));
         }
-        self.blocks.insert(name, BlockRecord::new(model, provenance));
+        self.blocks
+            .insert(name, BlockRecord::new(model, provenance));
         Ok(())
     }
 
@@ -293,7 +294,9 @@ mod tests {
                 Capacitance::from_picofarads(100.0),
                 Frequency::from_megahertz(4.0),
             ))
-            .leakage(LeakageModel::with_reference(Power::from_microwatts(leak_uw)))
+            .leakage(LeakageModel::with_reference(Power::from_microwatts(
+                leak_uw,
+            )))
             .build()
     }
 

@@ -95,9 +95,12 @@ impl DynamicPowerModel {
     #[must_use]
     pub fn power(&self, mode_scale: f64, cond: &WorkingConditions) -> Power {
         let v = cond.supply().volts();
-        let raw =
-            self.activity * mode_scale * self.switched_capacitance.farads() * v * v
-                * self.clock.hertz();
+        let raw = self.activity
+            * mode_scale
+            * self.switched_capacitance.farads()
+            * v
+            * v
+            * self.clock.hertz();
         Power::from_watts(raw * cond.corner().dynamic_multiplier())
     }
 
@@ -172,7 +175,10 @@ mod tests {
 
     #[test]
     fn zero_scale_draws_nothing() {
-        assert_eq!(model().power(0.0, &WorkingConditions::reference()), Power::ZERO);
+        assert_eq!(
+            model().power(0.0, &WorkingConditions::reference()),
+            Power::ZERO
+        );
     }
 
     #[test]
@@ -187,14 +193,18 @@ mod tests {
     fn dvfs_clock_swap_is_linear() {
         let cond = WorkingConditions::reference();
         let slow = model().with_clock(Frequency::from_megahertz(4.0));
-        assert!(slow.power(1.0, &cond).approx_eq(model().power(1.0, &cond) * 0.5, 1e-9));
+        assert!(slow
+            .power(1.0, &cond)
+            .approx_eq(model().power(1.0, &cond) * 0.5, 1e-9));
     }
 
     #[test]
     fn scaled_reduces_effective_capacitance() {
         let cond = WorkingConditions::reference();
         let gated = model().scaled(0.7);
-        assert!(gated.power(1.0, &cond).approx_eq(model().power(1.0, &cond) * 0.7, 1e-9));
+        assert!(gated
+            .power(1.0, &cond)
+            .approx_eq(model().power(1.0, &cond) * 0.7, 1e-9));
     }
 
     #[test]

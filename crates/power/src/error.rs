@@ -65,7 +65,9 @@ mod tests {
         assert!(PowerError::unknown_block("rf_tx")
             .to_string()
             .contains("rf_tx"));
-        assert!(PowerError::duplicate_block("mcu").to_string().contains("mcu"));
+        assert!(PowerError::duplicate_block("mcu")
+            .to_string()
+            .contains("mcu"));
         assert!(PowerError::invalid_grid("bad axis")
             .to_string()
             .contains("bad axis"));

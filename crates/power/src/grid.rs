@@ -274,7 +274,10 @@ mod tests {
         let g = grid_2x3();
         let mut last = Power::ZERO;
         for celsius in (-40..=125).step_by(5) {
-            let p = g.sample(Voltage::from_volts(1.1), Temperature::from_celsius(f64::from(celsius)));
+            let p = g.sample(
+                Voltage::from_volts(1.1),
+                Temperature::from_celsius(f64::from(celsius)),
+            );
             assert!(p >= last);
             last = p;
         }

@@ -170,10 +170,14 @@ mod tests {
         let leak = reference_model();
         let warm = WorkingConditions::reference()
             .with_temperature(Temperature::REFERENCE.offset_kelvin(10.0));
-        assert!(leak.power(&warm).approx_eq(Power::from_microwatts(2.0), 1e-9));
+        assert!(leak
+            .power(&warm)
+            .approx_eq(Power::from_microwatts(2.0), 1e-9));
         let warmer = WorkingConditions::reference()
             .with_temperature(Temperature::REFERENCE.offset_kelvin(20.0));
-        assert!(leak.power(&warmer).approx_eq(Power::from_microwatts(4.0), 1e-9));
+        assert!(leak
+            .power(&warmer)
+            .approx_eq(Power::from_microwatts(4.0), 1e-9));
     }
 
     #[test]
@@ -181,7 +185,9 @@ mod tests {
         let leak = reference_model();
         let cool = WorkingConditions::reference()
             .with_temperature(Temperature::REFERENCE.offset_kelvin(-10.0));
-        assert!(leak.power(&cool).approx_eq(Power::from_microwatts(0.5), 1e-9));
+        assert!(leak
+            .power(&cool)
+            .approx_eq(Power::from_microwatts(0.5), 1e-9));
     }
 
     #[test]
@@ -202,7 +208,9 @@ mod tests {
         let leak = LeakageModel::new(Power::from_microwatts(1.0), 10.0, 2.0);
         let low = WorkingConditions::reference().with_supply(Voltage::from_volts(0.6));
         // (0.5)^2 = 0.25
-        assert!(leak.power(&low).approx_eq(Power::from_microwatts(0.25), 1e-9));
+        assert!(leak
+            .power(&low)
+            .approx_eq(Power::from_microwatts(0.25), 1e-9));
     }
 
     #[test]

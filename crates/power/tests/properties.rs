@@ -28,11 +28,11 @@ fn arb_conditions() -> impl Strategy<Value = WorkingConditions> {
 
 fn arb_block() -> impl Strategy<Value = BlockPowerModel> {
     (
-        0.01f64..1.0,   // activity
-        1.0f64..500.0,  // pF
-        0.1f64..32.0,   // MHz
-        0.0f64..20.0,   // leakage µW
-        0.1f64..200.0,  // sample cost nJ
+        0.01f64..1.0,  // activity
+        1.0f64..500.0, // pF
+        0.1f64..32.0,  // MHz
+        0.0f64..20.0,  // leakage µW
+        0.1f64..200.0, // sample cost nJ
     )
         .prop_map(|(alpha, pf, mhz, leak, nj)| {
             BlockPowerModel::builder("block")

@@ -40,12 +40,12 @@ impl UrbanCycle {
     pub fn new() -> Self {
         let points = vec![
             (at(0.0), kmh(0.0)),
-            (at(11.0), kmh(0.0)),   // initial idle
-            (at(15.0), kmh(15.0)),  // hump 1: accelerate
-            (at(23.0), kmh(15.0)),  // cruise
-            (at(28.0), kmh(0.0)),   // brake
-            (at(49.0), kmh(0.0)),   // idle
-            (at(61.0), kmh(32.0)),  // hump 2
+            (at(11.0), kmh(0.0)),  // initial idle
+            (at(15.0), kmh(15.0)), // hump 1: accelerate
+            (at(23.0), kmh(15.0)), // cruise
+            (at(28.0), kmh(0.0)),  // brake
+            (at(49.0), kmh(0.0)),  // idle
+            (at(61.0), kmh(32.0)), // hump 2
             (at(85.0), kmh(32.0)),
             (at(96.0), kmh(0.0)),
             (at(117.0), kmh(0.0)),

@@ -37,7 +37,10 @@ impl fmt::Display for ProfileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidTyreSpec { spec } => {
-                write!(f, "invalid tyre designation `{spec}`: expected e.g. `225/45R17`")
+                write!(
+                    f,
+                    "invalid tyre designation `{spec}`: expected e.g. `225/45R17`"
+                )
             }
             Self::InvalidBreakpoints { reason } => {
                 write!(f, "invalid profile breakpoints: {reason}")
@@ -54,7 +57,9 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        assert!(ProfileError::invalid_tyre_spec("xyz").to_string().contains("xyz"));
+        assert!(ProfileError::invalid_tyre_spec("xyz")
+            .to_string()
+            .contains("xyz"));
         assert!(ProfileError::invalid_breakpoints("unsorted")
             .to_string()
             .contains("unsorted"));

@@ -102,7 +102,11 @@ mod tests {
 
     #[test]
     fn samples_follow_the_profile() {
-        let p = RampProfile::new(Speed::ZERO, Speed::from_mps(10.0), Duration::from_secs(10.0));
+        let p = RampProfile::new(
+            Speed::ZERO,
+            Speed::from_mps(10.0),
+            Duration::from_secs(10.0),
+        );
         let samples: Vec<_> = ProfileSampler::new(&p, Duration::from_secs(1.0)).collect();
         assert_eq!(samples.len(), 10);
         assert!(samples[0].speed.approx_eq(Speed::ZERO, 1e-12));

@@ -230,7 +230,10 @@ impl StochasticCruise {
         seed: u64,
     ) -> Self {
         assert!(!set_point.is_negative(), "set-point must be non-negative");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         assert!(relaxation.secs() > 0.0, "relaxation must be positive");
         assert!(duration.secs() > 0.0, "duration must be positive");
 
@@ -245,8 +248,7 @@ impl StochasticCruise {
             samples.push(Speed::from_mps(v.max(0.0)));
             // Euler–Maruyama step of dV = θ(µ−V)dt + σ√(2θ)·dW.
             let noise: f64 = rng.gen_range(-1.0..1.0) * (3.0f64).sqrt(); // unit-variance uniform
-            v += theta * (set_point.mps() - v) * dt
-                + sigma * (2.0 * theta * dt).sqrt() * noise;
+            v += theta * (set_point.mps() - v) * dt + sigma * (2.0 * theta * dt).sqrt() * noise;
         }
         Self {
             samples,
@@ -285,10 +287,18 @@ mod tests {
 
     #[test]
     fn ramp_interpolates_and_clamps() {
-        let p = RampProfile::new(Speed::ZERO, Speed::from_mps(20.0), Duration::from_secs(10.0));
+        let p = RampProfile::new(
+            Speed::ZERO,
+            Speed::from_mps(20.0),
+            Duration::from_secs(10.0),
+        );
         assert_eq!(p.speed_at(Duration::ZERO), Speed::ZERO);
-        assert!(p.speed_at(Duration::from_secs(5.0)).approx_eq(Speed::from_mps(10.0), 1e-12));
-        assert!(p.speed_at(Duration::from_secs(50.0)).approx_eq(Speed::from_mps(20.0), 1e-12));
+        assert!(p
+            .speed_at(Duration::from_secs(5.0))
+            .approx_eq(Speed::from_mps(10.0), 1e-12));
+        assert!(p
+            .speed_at(Duration::from_secs(50.0))
+            .approx_eq(Speed::from_mps(20.0), 1e-12));
     }
 
     #[test]
@@ -299,10 +309,14 @@ mod tests {
             (Duration::from_secs(20.0), Speed::from_mps(4.0)),
         ])
         .unwrap();
-        assert!(p.speed_at(Duration::from_secs(15.0)).approx_eq(Speed::from_mps(7.0), 1e-12));
+        assert!(p
+            .speed_at(Duration::from_secs(15.0))
+            .approx_eq(Speed::from_mps(7.0), 1e-12));
         assert!(p.duration().approx_eq(Duration::from_secs(20.0), 1e-12));
         // Past the end holds the last value.
-        assert!(p.speed_at(Duration::from_secs(99.0)).approx_eq(Speed::from_mps(4.0), 1e-12));
+        assert!(p
+            .speed_at(Duration::from_secs(99.0))
+            .approx_eq(Speed::from_mps(4.0), 1e-12));
     }
 
     #[test]
@@ -318,12 +332,18 @@ mod tests {
     #[test]
     fn stochastic_cruise_is_reproducible() {
         let a = StochasticCruise::new(
-            Speed::from_kmh(110.0), 1.5, Duration::from_secs(20.0),
-            Duration::from_mins(5.0), 42,
+            Speed::from_kmh(110.0),
+            1.5,
+            Duration::from_secs(20.0),
+            Duration::from_mins(5.0),
+            42,
         );
         let b = StochasticCruise::new(
-            Speed::from_kmh(110.0), 1.5, Duration::from_secs(20.0),
-            Duration::from_mins(5.0), 42,
+            Speed::from_kmh(110.0),
+            1.5,
+            Duration::from_secs(20.0),
+            Duration::from_mins(5.0),
+            42,
         );
         for i in 0..60 {
             let t = Duration::from_secs(f64::from(i) * 5.0);
@@ -334,8 +354,11 @@ mod tests {
     #[test]
     fn stochastic_cruise_tracks_set_point() {
         let p = StochasticCruise::new(
-            Speed::from_kmh(110.0), 1.0, Duration::from_secs(15.0),
-            Duration::from_mins(20.0), 7,
+            Speed::from_kmh(110.0),
+            1.0,
+            Duration::from_secs(15.0),
+            Duration::from_mins(20.0),
+            7,
         );
         let mean = p.mean_speed(500);
         assert!((mean.kmh() - 110.0).abs() < 8.0, "mean was {mean}");
@@ -345,8 +368,11 @@ mod tests {
     fn stochastic_cruise_never_negative() {
         // Aggressive noise around a very low set-point.
         let p = StochasticCruise::new(
-            Speed::from_kmh(3.0), 4.0, Duration::from_secs(5.0),
-            Duration::from_mins(2.0), 13,
+            Speed::from_kmh(3.0),
+            4.0,
+            Duration::from_secs(5.0),
+            Duration::from_mins(2.0),
+            13,
         );
         for i in 0..240 {
             let v = p.speed_at(Duration::from_secs(f64::from(i) * 0.5));
@@ -357,12 +383,18 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = StochasticCruise::new(
-            Speed::from_kmh(110.0), 2.0, Duration::from_secs(20.0),
-            Duration::from_mins(5.0), 1,
+            Speed::from_kmh(110.0),
+            2.0,
+            Duration::from_secs(20.0),
+            Duration::from_mins(5.0),
+            1,
         );
         let b = StochasticCruise::new(
-            Speed::from_kmh(110.0), 2.0, Duration::from_secs(20.0),
-            Duration::from_mins(5.0), 2,
+            Speed::from_kmh(110.0),
+            2.0,
+            Duration::from_secs(20.0),
+            Duration::from_mins(5.0),
+            2,
         );
         let t = Duration::from_secs(60.0);
         assert_ne!(a.speed_at(t), b.speed_at(t));

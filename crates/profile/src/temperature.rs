@@ -134,8 +134,7 @@ impl DiurnalTemperature {
 
 impl TemperatureProfile for DiurnalTemperature {
     fn temperature_at(&self, t: Duration) -> Temperature {
-        let phase =
-            (t.secs() - self.peak_at.secs()) / Self::PERIOD_SECS * std::f64::consts::TAU;
+        let phase = (t.secs() - self.peak_at.secs()) / Self::PERIOD_SECS * std::f64::consts::TAU;
         self.mean.offset_kelvin(self.amplitude_kelvin * phase.cos())
     }
 }

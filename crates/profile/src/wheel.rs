@@ -59,9 +59,7 @@ impl Wheel {
     pub fn from_tyre_spec(spec: &str) -> Result<Self, ProfileError> {
         let bad = || ProfileError::invalid_tyre_spec(spec);
         let (width_str, rest) = spec.split_once('/').ok_or_else(bad)?;
-        let (aspect_str, rim_str) = rest
-            .split_once(['R', 'r'])
-            .ok_or_else(bad)?;
+        let (aspect_str, rim_str) = rest.split_once(['R', 'r']).ok_or_else(bad)?;
         let width_mm: f64 = width_str.trim().parse().map_err(|_| bad())?;
         let aspect_pct: f64 = aspect_str.trim().parse().map_err(|_| bad())?;
         let rim_in: f64 = rim_str.trim().parse().map_err(|_| bad())?;
@@ -155,7 +153,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed_specs() {
-        for bad in ["", "225", "225/45", "225-45R17", "a/bRc", "0/45R17", "225/45R0"] {
+        for bad in [
+            "",
+            "225",
+            "225/45",
+            "225-45R17",
+            "a/bRc",
+            "0/45R17",
+            "225/45R0",
+        ] {
             assert!(Wheel::from_tyre_spec(bad).is_err(), "{bad}");
         }
     }
@@ -170,10 +176,9 @@ mod tests {
         let wheel = Wheel::new(Distance::from_metres(2.0));
         let f = wheel.rounds_per_second(Speed::from_mps(20.0));
         assert!((f.hertz() - 10.0).abs() < 1e-12);
-        assert!(wheel.round_period(Speed::from_mps(20.0)).approx_eq(
-            monityre_units::Duration::from_millis(100.0),
-            1e-12
-        ));
+        assert!(wheel
+            .round_period(Speed::from_mps(20.0))
+            .approx_eq(monityre_units::Duration::from_millis(100.0), 1e-12));
     }
 
     #[test]

@@ -71,13 +71,12 @@ impl PowerSheet {
             .map(|(suffix, _)| *suffix)
             .chain(std::iter::once("leak_uw"));
         for suffix in suffixes {
-            let terms: Vec<String> = database
-                .names()
-                .map(|n| format!("{n}.{suffix}"))
-                .collect();
+            let terms: Vec<String> = database.names().map(|n| format!("{n}.{suffix}")).collect();
             if !terms.is_empty() {
-                this.sheet
-                    .set_formula(&format!("node.{suffix}"), &format!("sum({})", terms.join(", ")))?;
+                this.sheet.set_formula(
+                    &format!("node.{suffix}"),
+                    &format!("sum({})", terms.join(", ")),
+                )?;
             }
         }
         Ok(this)

@@ -124,7 +124,8 @@ impl Sheet {
             return Err(SheetError::non_finite(name));
         }
         self.unlink(name);
-        self.cells.insert(name.to_owned(), CellContent::Number(value));
+        self.cells
+            .insert(name.to_owned(), CellContent::Number(value));
         self.values.insert(name.to_owned(), value);
         self.recompute_dependents(name)
     }
@@ -188,11 +189,7 @@ impl Sheet {
         if !self.cells.contains_key(name) {
             return Err(SheetError::unknown_cell(name));
         }
-        if self
-            .dependents
-            .get(name)
-            .is_some_and(|d| !d.is_empty())
-        {
+        if self.dependents.get(name).is_some_and(|d| !d.is_empty()) {
             return Err(SheetError::cycle(name));
         }
         self.unlink(name);
@@ -239,7 +236,14 @@ impl Sheet {
         Ok(out)
     }
 
-    fn explain_into(&self, name: &str, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+    fn explain_into(
+        &self,
+        name: &str,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        out: &mut String,
+    ) {
         let value = self.values.get(name).copied().unwrap_or(f64::NAN);
         let header = match self.cells.get(name) {
             Some(CellContent::Formula { source_text, .. }) => {
@@ -440,8 +444,9 @@ impl Sheet {
 fn validate_name(name: &str) -> Result<(), SheetError> {
     let mut chars = name.chars();
     let valid = match chars.next() {
-        Some(c) if c.is_ascii_alphabetic() || c == '_' => chars
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'),
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        }
         _ => false,
     };
     if valid {

@@ -72,7 +72,10 @@ impl SheetError {
 impl fmt::Display for SheetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Parse { source_text, reason } => {
+            Self::Parse {
+                source_text,
+                reason,
+            } => {
                 write!(f, "cannot parse formula `{source_text}`: {reason}")
             }
             Self::UnknownCell { name } => write!(f, "unknown cell `{name}`"),
@@ -103,7 +106,9 @@ mod tests {
             .contains("1 +"));
         assert!(SheetError::unknown_cell("a.b").to_string().contains("a.b"));
         assert!(SheetError::cycle("x").to_string().contains("cycle"));
-        assert!(SheetError::invalid_name("9bad").to_string().contains("9bad"));
+        assert!(SheetError::invalid_name("9bad")
+            .to_string()
+            .contains("9bad"));
         assert!(SheetError::non_finite("div").to_string().contains("div"));
     }
 }

@@ -206,7 +206,9 @@ impl Expr {
                     Func::Exp => values[0].exp(),
                     Func::Ln => values[0].ln(),
                     Func::Exp2 => values[0].exp2(),
-                    Func::Clamp => values[0].clamp(values[1].min(values[2]), values[2].max(values[1])),
+                    Func::Clamp => {
+                        values[0].clamp(values[1].min(values[2]), values[2].max(values[1]))
+                    }
                     Func::If => unreachable!("handled above"),
                 }
             }
@@ -626,7 +628,10 @@ mod tests {
 
     #[test]
     fn cell_references() {
-        let v = eval_with("dsp.active_uw * duty", &[("dsp.active_uw", 600.0), ("duty", 0.05)]);
+        let v = eval_with(
+            "dsp.active_uw * duty",
+            &[("dsp.active_uw", 600.0), ("duty", 0.05)],
+        );
         assert_eq!(v, 30.0);
     }
 

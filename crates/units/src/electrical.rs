@@ -104,9 +104,7 @@ mod tests {
 
     #[test]
     fn charge_scaling() {
-        assert!(
-            Charge::from_millicoulombs(2.5).approx_eq(Charge::from_coulombs(0.0025), 1e-12)
-        );
+        assert!(Charge::from_millicoulombs(2.5).approx_eq(Charge::from_coulombs(0.0025), 1e-12));
     }
 
     #[test]

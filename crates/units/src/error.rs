@@ -18,7 +18,10 @@ pub struct ParseQuantityError {
 
 impl ParseQuantityError {
     pub(crate) fn new(input: &str, unit: &'static str) -> Self {
-        Self { input: input.to_owned(), unit }
+        Self {
+            input: input.to_owned(),
+            unit,
+        }
     }
 
     /// The text that failed to parse.

@@ -16,14 +16,38 @@ pub struct Prefix {
 
 /// Prefixes supported for formatting and parsing, from pico to giga.
 pub const PREFIXES: &[Prefix] = &[
-    Prefix { symbol: "p", exponent: -12 },
-    Prefix { symbol: "n", exponent: -9 },
-    Prefix { symbol: "µ", exponent: -6 },
-    Prefix { symbol: "m", exponent: -3 },
-    Prefix { symbol: "", exponent: 0 },
-    Prefix { symbol: "k", exponent: 3 },
-    Prefix { symbol: "M", exponent: 6 },
-    Prefix { symbol: "G", exponent: 9 },
+    Prefix {
+        symbol: "p",
+        exponent: -12,
+    },
+    Prefix {
+        symbol: "n",
+        exponent: -9,
+    },
+    Prefix {
+        symbol: "µ",
+        exponent: -6,
+    },
+    Prefix {
+        symbol: "m",
+        exponent: -3,
+    },
+    Prefix {
+        symbol: "",
+        exponent: 0,
+    },
+    Prefix {
+        symbol: "k",
+        exponent: 3,
+    },
+    Prefix {
+        symbol: "M",
+        exponent: 6,
+    },
+    Prefix {
+        symbol: "G",
+        exponent: 9,
+    },
 ];
 
 /// ASCII aliases accepted when parsing (`u` for `µ`).
@@ -77,7 +101,10 @@ fn match_prefix(body: &str) -> (&str, f64) {
         if let Some(rest) = body.strip_suffix(alias) {
             // Guard against a bare number ending in "u"-like chars not meant
             // as a prefix: require a digit or '.' before the prefix.
-            if rest.trim_end().ends_with(|c: char| c.is_ascii_digit() || c == '.') {
+            if rest
+                .trim_end()
+                .ends_with(|c: char| c.is_ascii_digit() || c == '.')
+            {
                 return (rest, 1e-6);
             }
         }
@@ -87,7 +114,10 @@ fn match_prefix(body: &str) -> (&str, f64) {
             continue;
         }
         if let Some(rest) = body.strip_suffix(prefix.symbol) {
-            if rest.trim_end().ends_with(|c: char| c.is_ascii_digit() || c == '.') {
+            if rest
+                .trim_end()
+                .ends_with(|c: char| c.is_ascii_digit() || c == '.')
+            {
                 return (rest, 10f64.powi(prefix.exponent));
             }
         }
@@ -156,7 +186,10 @@ mod tests {
 
     #[test]
     fn parses_milli() {
-        assert_eq!(parse_engineering("3.1 mW", "W"), Some(0.0031000000000000003));
+        assert_eq!(
+            parse_engineering("3.1 mW", "W"),
+            Some(0.0031000000000000003)
+        );
     }
 
     #[test]

@@ -441,10 +441,8 @@ mod tests {
 
     #[test]
     fn omega_from_speed_and_radius() {
-        let w = AngularVelocity::from_speed_radius(
-            Speed::from_mps(20.0),
-            Distance::from_metres(0.4),
-        );
+        let w =
+            AngularVelocity::from_speed_radius(Speed::from_mps(20.0), Distance::from_metres(0.4));
         assert!((w.rads() - 50.0).abs() < 1e-12);
     }
 }

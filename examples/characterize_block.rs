@@ -7,8 +7,7 @@
 //! cargo run --example characterize_block
 //! ```
 
-use monityre::core::{EnergyAnalyzer, EnergyBalance};
-use monityre::harvest::HarvestChain;
+use monityre::core::{EnergyBalance, Scenario};
 use monityre::netlist::{designs, Activity};
 use monityre::node::Architecture;
 use monityre::power::{OperatingMode, WorkingConditions};
@@ -45,13 +44,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let after = refined
         .database()
         .block_power("dsp", OperatingMode::Active, &cond)?;
-    println!("dsp active power: spreadsheet estimate {} -> characterized {}", before.total(), after.total());
+    println!(
+        "dsp active power: spreadsheet estimate {} -> characterized {}",
+        before.total(),
+        after.total()
+    );
 
     // 4. Re-run the energy balance with the refined database.
-    let chain = HarvestChain::reference();
     for (label, a) in [("estimated", &arch), ("characterized", &refined)] {
-        let analyzer = EnergyAnalyzer::new(a, cond).with_wheel(*chain.wheel());
-        let be = EnergyBalance::new(&analyzer, &chain)
+        let scenario = Scenario::builder()
+            .architecture((*a).clone())
+            .conditions(cond)
+            .build();
+        let be = EnergyBalance::new(&scenario)?
             .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196)
             .break_even();
         println!(

@@ -6,8 +6,7 @@
 //! cargo run --example custom_architecture
 //! ```
 
-use monityre::core::{EnergyAnalyzer, EnergyBalance};
-use monityre::harvest::HarvestChain;
+use monityre::core::{EnergyBalance, Scenario, SweepExecutor};
 use monityre::node::{
     Architecture, BlockPlan, ConfigSpace, PhaseSpec, RoundSchedule, Span, Workload,
 };
@@ -67,14 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .build()?;
 
-    let chain = HarvestChain::reference();
-    let analyzer = EnergyAnalyzer::new(&custom, WorkingConditions::reference())
-        .with_wheel(*chain.wheel());
-    let report = EnergyBalance::new(&analyzer, &chain).sweep(
-        Speed::from_kmh(5.0),
-        Speed::from_kmh(120.0),
-        116,
-    );
+    let scenario = Scenario::builder()
+        .architecture(custom.clone())
+        .conditions(WorkingConditions::reference())
+        .build();
+    let report =
+        EnergyBalance::new(&scenario)?.sweep(Speed::from_kmh(5.0), Speed::from_kmh(120.0), 116);
     println!(
         "custom node `{}`: break-even {:?} km/h",
         custom.name(),
@@ -96,16 +93,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sheet.value("node.leak_uw")?
     );
 
-    // Sweep the reference configuration grid for comparison.
+    // Sweep the reference configuration grid for comparison, fanning the
+    // grid out over the parallel sweep executor.
     let space = ConfigSpace::new(vec![32, 128, 512], vec![1, 4, 16], vec![32]);
     println!("\nreference-node configuration sweep:");
-    for config in space.iter() {
-        let arch = Architecture::from_config(config);
-        let analyzer = EnergyAnalyzer::new(&arch, WorkingConditions::reference())
-            .with_wheel(*chain.wheel());
-        let be = EnergyBalance::new(&analyzer, &chain)
+    let reference = Scenario::reference();
+    let configs: Vec<_> = space.iter().collect();
+    let results = SweepExecutor::new(4).map(&configs, |_, config| {
+        EnergyBalance::new(&reference.with_architecture(Architecture::from_config(*config)))
+            .expect("grid configuration evaluates")
             .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 118)
-            .break_even();
+            .break_even()
+    });
+    for (config, be) in configs.iter().zip(&results) {
         println!(
             "  {:>3} samples/round, TX every {:>2} rounds → break-even {}",
             config.samples_per_round(),

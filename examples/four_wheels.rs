@@ -5,7 +5,7 @@
 //! cargo run --example four_wheels
 //! ```
 
-use monityre::core::VehicleEmulator;
+use monityre::core::{SweepExecutor, VehicleEmulator};
 use monityre::profile::{
     CompositeProfile, ExtraUrbanCycle, MotorwayCycle, RepeatProfile, SpeedProfile, UrbanCycle,
 };
@@ -28,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trip.mean_speed(2000).kmh()
     );
 
-    let report = emulator.run(&trip)?;
+    // One worker per corner; the result is bit-identical to a serial run.
+    let report = emulator.run_with(&trip, &SweepExecutor::new(4))?;
     for (pos, r) in &report.corners {
         let last = r.samples.last().expect("samples recorded");
         println!(

@@ -6,27 +6,21 @@
 //! cargo run --example optimize_node
 //! ```
 
-use monityre::core::{EnergyAnalyzer, EnergyBalance, OptimizationAdvisor, SelectionPolicy};
-use monityre::harvest::HarvestChain;
-use monityre::node::Architecture;
-use monityre::power::WorkingConditions;
+use monityre::core::{EnergyBalance, OptimizationAdvisor, Scenario, SelectionPolicy};
 use monityre::units::Speed;
 
-fn break_even(arch: &Architecture, chain: &HarvestChain) -> Option<Speed> {
-    let analyzer =
-        EnergyAnalyzer::new(arch, WorkingConditions::reference()).with_wheel(*chain.wheel());
-    EnergyBalance::new(&analyzer, chain)
+fn break_even(scenario: &Scenario) -> Option<Speed> {
+    EnergyBalance::new(scenario)
+        .expect("scenario evaluates")
         .sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 391)
         .break_even()
 }
 
 fn main() {
-    let architecture = Architecture::reference();
-    let chain = HarvestChain::reference();
-    let conditions = WorkingConditions::reference();
+    let scenario = Scenario::reference();
     let design_speed = Speed::from_kmh(30.0);
 
-    let analyzer = EnergyAnalyzer::new(&architecture, conditions).with_wheel(*chain.wheel());
+    let analyzer = scenario.analyzer();
     let advisor = OptimizationAdvisor::new(&analyzer, design_speed);
 
     for (label, policy) in [
@@ -45,13 +39,13 @@ fn main() {
             outcome.energy_after,
             outcome.saving() * 100.0
         );
-        if let Some(be) = break_even(&outcome.architecture, &chain) {
+        if let Some(be) = break_even(&scenario.with_architecture(outcome.architecture.clone())) {
             println!("  break-even after optimization: {:.1} km/h", be.kmh());
         }
         println!();
     }
 
-    if let Some(be) = break_even(&architecture, &chain) {
+    if let Some(be) = break_even(&scenario) {
         println!("baseline break-even (unoptimized): {:.1} km/h", be.kmh());
     }
 }

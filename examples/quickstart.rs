@@ -5,21 +5,23 @@
 //! cargo run --example quickstart
 //! ```
 
-use monityre::core::{EnergyAnalyzer, EnergyBalance};
+use monityre::core::{EnergyBalance, Scenario};
 use monityre::harvest::HarvestChain;
 use monityre::node::Architecture;
 use monityre::power::WorkingConditions;
 use monityre::units::Speed;
 
 fn main() {
-    // 1. Define the architecture — the entry point of the flow.
-    let architecture = Architecture::reference();
+    // 1. Bundle architecture, conditions and harvest chain into a scenario
+    //    — the immutable evaluation session everything else consumes.
+    let scenario = Scenario::builder()
+        .architecture(Architecture::reference())
+        .conditions(WorkingConditions::reference())
+        .chain(HarvestChain::reference())
+        .build();
 
-    // 2. Pick the working conditions (supply, temperature, corner).
-    let conditions = WorkingConditions::reference();
-
-    // 3. Evaluate energy per wheel round at a cruising speed.
-    let analyzer = EnergyAnalyzer::new(&architecture, conditions);
+    // 2. Evaluate energy per wheel round at a cruising speed.
+    let analyzer = scenario.analyzer();
     let energy = analyzer
         .node_energy(Speed::from_kmh(60.0))
         .expect("60 km/h is a valid operating point");
@@ -36,9 +38,8 @@ fn main() {
     println!("  average power: {}", energy.average_power());
     println!();
 
-    // 4. Integrate the scavenger model and find the break-even speed.
-    let chain = HarvestChain::reference();
-    let balance = EnergyBalance::new(&analyzer, &chain);
+    // 3. Integrate the scavenger model and find the break-even speed.
+    let balance = EnergyBalance::new(&scenario).expect("reference scenario evaluates");
     let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196);
     match report.break_even() {
         Some(speed) => println!("break-even speed: {:.1} km/h", speed.kmh()),

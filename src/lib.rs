@@ -22,19 +22,17 @@
 //! # Quickstart
 //!
 //! ```
-//! use monityre::core::{EnergyAnalyzer, EnergyBalance};
-//! use monityre::harvest::HarvestChain;
-//! use monityre::node::Architecture;
-//! use monityre::power::WorkingConditions;
+//! use monityre::core::{EnergyBalance, Scenario, SweepExecutor};
 //! use monityre::units::Speed;
 //!
-//! let arch = Architecture::reference();
-//! let chain = HarvestChain::reference();
-//! let cond = WorkingConditions::reference();
-//!
-//! let analyzer = EnergyAnalyzer::new(&arch, cond);
-//! let balance = EnergyBalance::new(&analyzer, &chain);
-//! let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 196);
+//! let scenario = Scenario::reference();
+//! let balance = EnergyBalance::new(&scenario).unwrap();
+//! let report = balance.sweep_with(
+//!     Speed::from_kmh(5.0),
+//!     Speed::from_kmh(200.0),
+//!     196,
+//!     &SweepExecutor::new(4),
+//! );
 //! println!("break-even: {:?}", report.break_even());
 //! ```
 

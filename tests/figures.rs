@@ -1,21 +1,12 @@
 //! Integration assertions on the shapes of the paper's data figures.
 
-use monityre::core::{EnergyAnalyzer, EnergyBalance, InstantTrace};
-use monityre::harvest::HarvestChain;
-use monityre::node::Architecture;
-use monityre::power::WorkingConditions;
+use monityre::core::{EnergyBalance, InstantTrace, Scenario};
 use monityre::units::{Duration, Speed};
-
-fn fixture() -> (Architecture, HarvestChain) {
-    (Architecture::reference(), HarvestChain::reference())
-}
 
 #[test]
 fn fig2_has_paper_shape() {
-    let (arch, chain) = fixture();
-    let analyzer =
-        EnergyAnalyzer::new(&arch, WorkingConditions::reference()).with_wheel(*chain.wheel());
-    let balance = EnergyBalance::new(&analyzer, &chain);
+    let scenario = Scenario::reference();
+    let balance = EnergyBalance::new(&scenario).unwrap();
     let report = balance.sweep(Speed::from_kmh(5.0), Speed::from_kmh(200.0), 391);
 
     // Generated: zero at cut-in, monotone increasing, saturating.
@@ -47,9 +38,8 @@ fn fig2_has_paper_shape() {
 
 #[test]
 fn fig3_has_paper_structure() {
-    let (arch, chain) = fixture();
-    let analyzer =
-        EnergyAnalyzer::new(&arch, WorkingConditions::reference()).with_wheel(*chain.wheel());
+    let scenario = Scenario::reference();
+    let analyzer = scenario.analyzer();
     let speed = Speed::from_kmh(60.0);
     let trace = InstantTrace::generate(
         &analyzer,
@@ -68,7 +58,10 @@ fn fig3_has_paper_structure() {
         .iter()
         .filter(|s| s.total.microwatts() > 200.0 && s.total.milliwatts() < 5.0)
         .count();
-    assert!(plateau > 100, "acquisition plateau missing ({plateau} samples)");
+    assert!(
+        plateau > 100,
+        "acquisition plateau missing ({plateau} samples)"
+    );
 
     // Periodicity at the wheel round.
     let period = trace.round_period();
@@ -94,9 +87,8 @@ fn fig3_has_paper_structure() {
 fn fig2_and_fig3_are_mutually_consistent() {
     // The Fig. 3 trace's mean power must match the Fig. 2 required energy
     // divided by the round period (over whole TX cycles).
-    let (arch, chain) = fixture();
-    let analyzer =
-        EnergyAnalyzer::new(&arch, WorkingConditions::reference()).with_wheel(*chain.wheel());
+    let scenario = Scenario::reference();
+    let analyzer = scenario.analyzer();
     let speed = Speed::from_kmh(60.0);
     let period = analyzer.round_period(speed).unwrap();
     let trace = InstantTrace::generate(
@@ -109,5 +101,10 @@ fn fig2_and_fig3_are_mutually_consistent() {
     let required = analyzer.required_per_round(speed).unwrap();
     let expected_mean = required / period;
     let rel = (trace.mean().watts() - expected_mean.watts()).abs() / expected_mean.watts();
-    assert!(rel < 0.02, "trace mean {} vs analyzer {}", trace.mean(), expected_mean);
+    assert!(
+        rel < 0.02,
+        "trace mean {} vs analyzer {}",
+        trace.mean(),
+        expected_mean
+    );
 }

@@ -1,24 +1,17 @@
 //! End-to-end integration: the full Fig. 1 flow through the facade crate.
 
-use monityre::core::{Flow, FlowReport, SelectionPolicy};
-use monityre::harvest::HarvestChain;
-use monityre::node::Architecture;
-use monityre::power::WorkingConditions;
+use monityre::core::{Flow, FlowReport, Scenario, SelectionPolicy, SweepExecutor};
 use monityre::profile::{CompositeProfile, ExtraUrbanCycle, UrbanCycle};
 use monityre::units::Speed;
 
 fn run_flow(policy: SelectionPolicy) -> FlowReport {
-    let flow = Flow::new(
-        Architecture::reference(),
-        WorkingConditions::reference(),
-        Speed::from_kmh(30.0),
-        policy,
-    );
+    let flow = Flow::new(&Scenario::reference(), Speed::from_kmh(30.0), policy)
+        .with_executor(SweepExecutor::new(2));
     let trip = CompositeProfile::new(vec![
         Box::new(UrbanCycle::new()),
         Box::new(ExtraUrbanCycle::new()),
     ]);
-    flow.run(&HarvestChain::reference(), &trip)
+    flow.run(&trip)
         .expect("the reference flow executes end to end")
 }
 
@@ -36,7 +29,11 @@ fn flow_produces_all_six_stage_artifacts() {
 #[test]
 fn optimization_reduces_energy_and_activation_speed() {
     let report = run_flow(SelectionPolicy::DutyCycleAware);
-    assert!(report.optimization.saving() > 0.15, "saving {}", report.optimization.saving());
+    assert!(
+        report.optimization.saving() > 0.15,
+        "saving {}",
+        report.optimization.saving()
+    );
     let before = report.break_even_before().unwrap();
     let after = report.break_even_after().unwrap();
     assert!(after < before);
@@ -57,6 +54,9 @@ fn flow_summary_is_complete() {
     let report = run_flow(SelectionPolicy::DutyCycleAware);
     let text = report.summary();
     for stage in 1..=6 {
-        assert!(text.contains(&format!("Stage {stage}")), "missing stage {stage}");
+        assert!(
+            text.contains(&format!("Stage {stage}")),
+            "missing stage {stage}"
+        );
     }
 }

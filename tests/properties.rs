@@ -1,7 +1,7 @@
 //! Cross-crate property tests: invariants that must hold for arbitrary
 //! configurations, conditions and drive profiles.
 
-use monityre::core::{EmulatorConfig, EnergyAnalyzer, EnergyBalance, TransientEmulator};
+use monityre::core::{EmulatorConfig, EnergyAnalyzer, EnergyBalance, Scenario, TransientEmulator};
 use monityre::harvest::{HarvestChain, PiezoScavenger, Regulator, Supercap};
 use monityre::node::{Architecture, NodeConfig};
 use monityre::power::{ProcessCorner, WorkingConditions};
@@ -99,14 +99,14 @@ proptest! {
     /// any scavenger sizing (monotone supply vs near-monotone demand).
     #[test]
     fn at_most_one_crossing(scale in 0.2f64..4.0, cond in arb_conditions()) {
-        let arch = Architecture::reference();
         let chain = HarvestChain::new(
             PiezoScavenger::reference().scaled(scale),
             Regulator::reference(),
             Wheel::reference(),
         );
-        let analyzer = EnergyAnalyzer::new(&arch, cond).with_wheel(*chain.wheel());
-        let report = EnergyBalance::new(&analyzer, &chain)
+        let scenario = Scenario::builder().conditions(cond).chain(chain).build();
+        let report = EnergyBalance::new(&scenario)
+            .unwrap()
             .sweep(Speed::from_kmh(6.0), Speed::from_kmh(220.0), 108);
         let crossings = report
             .points()

@@ -1,0 +1,217 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Supports the harness surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple warm-up + fixed-budget
+//! measurement loop printing mean ns/iter; there is no statistical analysis
+//! or HTML reporting.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, `name/param`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted wherever a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id text.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, balancing warm-up and a fixed
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measurement: enough iterations to fill ~200 ms, at least 10.
+        let target = ((0.2 / per_iter) as u64).clamp(10, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_text(), f);
+        self
+    }
+
+    /// Compatibility no-op (real criterion parses CLI flags here).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Compatibility no-op (real criterion prints the final report here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_text()), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.text), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label}: no measurement (Bencher::iter not called)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    println!("{label}: {ns:.1} ns/iter ({} iters)", bencher.iterations);
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,550 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`, which
+//! are unavailable offline): the input item is parsed into a small shape
+//! description, and the impl is emitted as source text parsed back into a
+//! `TokenStream`. Supported shapes are exactly what the workspace uses:
+//!
+//! * named-field structs (with `#[serde(skip)]` / `#[serde(default)]`);
+//! * tuple structs, typically `#[serde(transparent)]` newtypes;
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like real serde's default representation).
+//!
+//! Anything outside that set (generics, lifetimes, unknown serde attributes)
+//! fails the build with an explicit message rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Shape model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    transparent: bool,
+    skip: bool,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses one `#[serde(...)]` attribute body (the tokens inside the parens),
+/// folding the recognized flags into `attrs`. Panics on unknown flags so a
+/// silently unsupported representation can never ship.
+fn apply_serde_attr(tokens: TokenStream, attrs: &mut SerdeAttrs, context: &str) {
+    for tree in tokens {
+        match tree {
+            TokenTree::Ident(ident) => match ident.to_string().as_str() {
+                "transparent" => attrs.transparent = true,
+                "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                "default" => attrs.default = true,
+                other => panic!(
+                    "serde derive (vendored): unsupported serde attribute `{other}` on {context}"
+                ),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde derive (vendored): unexpected token `{other}` in serde attribute on {context}"
+            ),
+        }
+    }
+}
+
+/// Consumes leading attributes from `iter`, returning the serde flags found.
+/// Non-serde attributes (doc comments, `#[default]`, ...) are skipped.
+fn take_attrs(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    context: &str,
+) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                let group = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    other => panic!("serde derive (vendored): malformed attribute near {other:?}"),
+                };
+                let mut inner = group.stream().into_iter();
+                match inner.next() {
+                    Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {
+                        match inner.next() {
+                            Some(TokenTree::Group(args))
+                                if args.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                apply_serde_attr(args.stream(), &mut attrs, context);
+                            }
+                            other => panic!(
+                                "serde derive (vendored): malformed serde attribute near {other:?}"
+                            ),
+                        }
+                    }
+                    _ => {} // doc comment, #[default], #[must_use], ... — ignore
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(crate)` visibility marker if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes a type (everything up to a top-level `,`), tracking `<`/`>`
+/// nesting so generic arguments' commas don't end the field early.
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = iter.peek() {
+        match tree {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    iter.next(); // consume the separator itself
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                }
+                iter.next();
+            }
+            _ => {
+                iter.next();
+            }
+        }
+    }
+}
+
+/// Parses the body of a named-fields group (`{ a: T, #[serde(skip)] b: U }`).
+fn parse_named_fields(stream: TokenStream, context: &str) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let attrs = take_attrs(&mut iter, context);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!(
+                "serde derive (vendored): expected field name in {context}, found {other:?}"
+            ),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive (vendored): expected `:` after field `{name}`, found {other:?}"
+            ),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple group (`(A, B<C, D>)` → 2).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    while iter.peek().is_some() {
+        // Each field may carry attributes and visibility before its type.
+        let _ = take_attrs(&mut iter, "tuple field");
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        let _attrs = take_attrs(&mut iter, "enum variant");
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("serde derive (vendored): expected variant name, found {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                match count_tuple_fields(g) {
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), "enum struct variant");
+                iter.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(tree) = iter.peek() {
+                if matches!(tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                iter.next();
+            }
+        }
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let attrs = take_attrs(&mut iter, "container");
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive (vendored): expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive (vendored): expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream(), "struct field"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde derive (vendored): malformed struct `{name}` near {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive (vendored): malformed enum `{name}` near {other:?}"),
+        },
+        other => panic!("serde derive (vendored): cannot derive for `{other}` items"),
+    };
+    Input { name, attrs, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.shape {
+        Shape::Named(fields) => {
+            if input.attrs.transparent {
+                let inner = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .unwrap_or_else(|| panic!("transparent struct `{name}` has no field"));
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{})", inner.name);
+            } else {
+                body.push_str(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for field in fields.iter().filter(|f| !f.attrs.skip) {
+                    let _ = writeln!(
+                        body,
+                        "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                        field.name
+                    );
+                }
+                body.push_str("::serde::Value::Map(fields)");
+            }
+        }
+        Shape::Tuple(arity) => {
+            if input.attrs.transparent || *arity == 1 {
+                body.push_str("::serde::Serialize::to_value(&self.0)");
+            } else {
+                body.push_str("::serde::Value::Seq(vec![");
+                for idx in 0..*arity {
+                    let _ = write!(body, "::serde::Serialize::to_value(&self.{idx}),");
+                }
+                body.push_str("])");
+            }
+        }
+        Shape::Unit => body.push_str("::serde::Value::Null"),
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "Self::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantShape::Newtype => {
+                        let _ = writeln!(
+                            body,
+                            "Self::{vname}(__f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let _ = writeln!(
+                            body,
+                            "Self::{vname}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let kept: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+                        let pattern = if kept.len() == fields.len() {
+                            kept.iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        } else if kept.is_empty() {
+                            "..".to_owned()
+                        } else {
+                            format!(
+                                "{}, ..",
+                                kept.iter()
+                                    .map(|f| f.name.clone())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        let entries = kept
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = writeln!(
+                            body,
+                            "Self::{vname} {{ {pattern} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(vec![{entries}]))]),"
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+/// Emits the expression rebuilding one named field from map entries bound to
+/// `__entries`.
+fn named_field_expr(ty: &str, field: &Field) -> String {
+    if field.attrs.skip {
+        return format!("{}: ::std::default::Default::default(),", field.name);
+    }
+    let fallback = if field.attrs.default {
+        "::std::default::Default::default()".to_owned()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty}\", \"{}\"))",
+            field.name
+        )
+    };
+    format!(
+        "{0}: match ::serde::find_field(__entries, \"{0}\") {{ ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, ::std::option::Option::None => {fallback} }},",
+        field.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.shape {
+        Shape::Named(fields) => {
+            if input.attrs.transparent {
+                let kept: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+                let inner = kept
+                    .first()
+                    .unwrap_or_else(|| panic!("transparent struct `{name}` has no field"));
+                let _ = write!(
+                    body,
+                    "::std::result::Result::Ok(Self {{ {}: ::serde::Deserialize::from_value(value)?, ",
+                    inner.name
+                );
+                for field in fields.iter().filter(|f| f.attrs.skip) {
+                    let _ = write!(body, "{}: ::std::default::Default::default(), ", field.name);
+                }
+                body.push_str("})");
+            } else {
+                let _ = write!(
+                    body,
+                    "let __entries = value.as_map().ok_or_else(|| ::serde::Error::invalid(\"map for struct `{name}`\", value))?;\n::std::result::Result::Ok(Self {{\n"
+                );
+                for field in fields {
+                    body.push_str(&named_field_expr(name, field));
+                    body.push('\n');
+                }
+                body.push_str("})");
+            }
+        }
+        Shape::Tuple(arity) => {
+            if input.attrs.transparent || *arity == 1 {
+                body.push_str(
+                    "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))",
+                );
+            } else {
+                let _ = write!(
+                    body,
+                    "let __items = value.as_seq().ok_or_else(|| ::serde::Error::invalid(\"sequence for `{name}`\", value))?;\nif __items.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for `{name}`\")); }}\n::std::result::Result::Ok(Self("
+                );
+                for idx in 0..*arity {
+                    let _ = write!(body, "::serde::Deserialize::from_value(&__items[{idx}])?,");
+                }
+                body.push_str("))");
+            }
+        }
+        Shape::Unit => body.push_str("::std::result::Result::Ok(Self)"),
+        Shape::Enum(variants) => {
+            // Externally tagged: unit variants are bare strings, payload
+            // variants are single-entry maps keyed by the variant name.
+            body.push_str("match value {\n::serde::Value::Str(__tag) => match __tag.as_str() {\n");
+            for variant in variants {
+                if matches!(variant.shape, VariantShape::Unit) {
+                    let _ = writeln!(
+                        body,
+                        "\"{0}\" => ::std::result::Result::Ok(Self::{0}),",
+                        variant.name
+                    );
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n}},\n"
+            );
+            body.push_str(
+                "::serde::Value::Map(__outer) if __outer.len() == 1 => {\nlet (__tag, __inner) = &__outer[0];\nmatch __tag.as_str() {\n",
+            );
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Newtype => {
+                        let _ = writeln!(
+                            body,
+                            "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => {{\nlet __items = __inner.as_seq().ok_or_else(|| ::serde::Error::invalid(\"sequence for variant `{vname}`\", __inner))?;\nif __items.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for variant `{vname}`\")); }}\n::std::result::Result::Ok(Self::{vname}("
+                        );
+                        for idx in 0..*arity {
+                            let _ =
+                                write!(body, "::serde::Deserialize::from_value(&__items[{idx}])?,");
+                        }
+                        body.push_str("))\n},\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => {{\nlet __entries = __inner.as_map().ok_or_else(|| ::serde::Error::invalid(\"map for variant `{vname}`\", __inner))?;\n::std::result::Result::Ok(Self::{vname} {{\n"
+                        );
+                        for field in fields {
+                            // `Self::Variant { field: ... }` init syntax is
+                            // identical to struct init, so reuse the helper.
+                            body.push_str(&named_field_expr(name, field));
+                            body.push('\n');
+                        }
+                        body.push_str("})\n},\n");
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n}}\n}},\n__other => ::std::result::Result::Err(::serde::Error::invalid(\"enum `{name}`\", __other)),\n}}"
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive (vendored): generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive (vendored): generated Deserialize impl failed to parse")
+}
