@@ -1,0 +1,113 @@
+//! EXP-SERVE — loopback throughput of the batch evaluation server:
+//! concurrent clients drive `monityre-serve` over real TCP connections
+//! in lockstep (one outstanding request per connection) and the harness
+//! reports end-to-end requests per second plus the server's own service
+//! time percentiles. The batch is a warm-cache break-even sweep, so the
+//! row measures serving overhead on top of evaluation, not the one-off
+//! `EvalCache` construction.
+
+use std::thread;
+use std::time::Instant;
+
+use monityre_bench::{expect, header, parse_args, record_serve_bench, ServeBenchResult};
+use monityre_serve::{Client, Op, Request, ServerConfig};
+
+/// Concurrent client connections.
+const CLIENTS: usize = 4;
+/// Requests each client sends during the timed pass.
+const BATCH: usize = 64;
+/// Server worker-pool size.
+const WORKERS: usize = 2;
+
+/// The benchmarked request: a small break-even sweep that hits the
+/// shared scenario cache after the warm-up round.
+fn breakeven(id: u64) -> Request {
+    let mut request = Request::new(Op::Breakeven).with_id(id);
+    request.params.steps = Some(32);
+    request
+}
+
+fn main() {
+    let options = parse_args();
+    header(
+        "EXP-SERVE",
+        "loopback throughput of the batch evaluation server",
+    );
+
+    let handle = ServerConfig {
+        workers: WORKERS,
+        ..ServerConfig::default()
+    }
+    .start()
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let batch = if options.check { 8 } else { BATCH };
+
+    // Warm the scenario/EvalCache LRU so the timed pass measures serving.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let response = client.request(&breakeven(0)).expect("warm-up");
+        assert!(response.is_ok(), "warm-up failed: {response:?}");
+    }
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..batch {
+                    let id = (c * batch + i) as u64;
+                    let response = client.request(&breakeven(id)).expect("request");
+                    assert!(response.is_ok(), "request {id} failed: {response:?}");
+                    assert_eq!(response.id, Some(id));
+                }
+                batch
+            })
+        })
+        .collect();
+    let served: usize = clients
+        .into_iter()
+        .map(|client| client.join().expect("client thread"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = handle.stats();
+    handle.shutdown();
+
+    let total = CLIENTS * batch;
+    assert_eq!(served, total, "every request must be answered");
+    let result = ServeBenchResult {
+        name: "exp-serve-loopback".to_owned(),
+        clients: CLIENTS,
+        batches: batch,
+        workers: WORKERS,
+        cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        requests_per_sec: total as f64 / elapsed,
+        p50_ms: stats.p50_ms,
+        p99_ms: stats.p99_ms,
+    };
+
+    expect(
+        options,
+        "server counted every request (warm-up included)",
+        stats.served >= (total + 1) as u64,
+    );
+    expect(
+        options,
+        "lockstep clients never overflow the queue",
+        stats.rejected == 0 && stats.timed_out == 0,
+    );
+    expect(
+        options,
+        "the warm cache absorbed the identical scenarios",
+        stats.cache_misses == 1 && stats.cache_hits >= total as u64,
+    );
+    expect(
+        options,
+        "throughput is positive and percentiles are ordered",
+        result.requests_per_sec > 0.0 && result.p50_ms <= result.p99_ms,
+    );
+    if options.check {
+        return; // never race concurrent test runs on BENCH_serve.json
+    }
+    record_serve_bench(result);
+}

@@ -213,6 +213,75 @@ pub fn record_sweep_bench(result: SweepBenchResult) {
     std::fs::write(&path, text + "\n").expect("BENCH_sweep.json writes");
 }
 
+/// One throughput row of `BENCH_serve.json`: concurrent loopback clients
+/// driving the batch evaluation server in lockstep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchResult {
+    /// Which serving scenario was measured (the merge key).
+    pub name: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends — the measured pass serves
+    /// `clients × batches` requests in total.
+    pub batches: usize,
+    /// Server worker-pool size during the measurement.
+    pub workers: usize,
+    /// Hardware threads available when the row was measured. Loopback
+    /// throughput is bounded by this: client threads, connection
+    /// handlers and workers all share the same CPUs.
+    pub cpus: usize,
+    /// End-to-end served requests per second across all clients.
+    pub requests_per_sec: f64,
+    /// Median per-request service time reported by the server (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile per-request service time reported by the server
+    /// (ms).
+    pub p99_ms: f64,
+}
+
+/// Where the serving benchmark rows live: `BENCH_serve.json` at the
+/// repository root.
+#[must_use]
+pub fn serve_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_serve.json")
+}
+
+/// Merges `result` into `BENCH_serve.json`, replacing any existing row
+/// with the same name, and prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read, parsed or written — a harness
+/// misconfiguration worth failing loudly on.
+pub fn record_serve_bench(result: ServeBenchResult) {
+    let path = serve_bench_path();
+    let mut rows: Vec<ServeBenchResult> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_serve.json parses"),
+        Err(_) => Vec::new(),
+    };
+    println!(
+        "bench {}: {} client(s) x {} request(s) on {} worker(s), {:.0} req/s (p50 {:.2} ms, p99 {:.2} ms, {} cpu(s))",
+        result.name,
+        result.clients,
+        result.batches,
+        result.workers,
+        result.requests_per_sec,
+        result.p50_ms,
+        result.p99_ms,
+        result.cpus
+    );
+    match rows.iter_mut().find(|row| row.name == result.name) {
+        Some(row) => *row = result,
+        None => rows.push(result),
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let text = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&path, text + "\n").expect("BENCH_serve.json writes");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +339,25 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].name, "round-trip");
         assert_eq!(back[0].points, 196);
+    }
+
+    #[test]
+    fn serve_bench_rows_round_trip() {
+        let row = ServeBenchResult {
+            name: "serve-round-trip".into(),
+            clients: 4,
+            batches: 64,
+            workers: 2,
+            cpus: 4,
+            requests_per_sec: 1234.5,
+            p50_ms: 0.8,
+            p99_ms: 2.5,
+        };
+        let json = serde_json::to_string(&vec![row]).unwrap();
+        let back: Vec<ServeBenchResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "serve-round-trip");
+        assert_eq!(back[0].batches, 64);
+        assert!(back[0].requests_per_sec > 0.0);
     }
 }

@@ -23,6 +23,7 @@ fn run_check(bin: &str) {
         "exp_vehicle" => env!("CARGO_BIN_EXE_exp_vehicle"),
         "exp_adaptive" => env!("CARGO_BIN_EXE_exp_adaptive"),
         "exp_workbook" => env!("CARGO_BIN_EXE_exp_workbook"),
+        "exp_serve" => env!("CARGO_BIN_EXE_exp_serve"),
         other => panic!("unknown harness {other}"),
     };
     let output = Command::new(path)
@@ -130,6 +131,11 @@ fn exp_adaptive_check() {
 #[test]
 fn exp_workbook_check() {
     run_check("exp_workbook");
+}
+
+#[test]
+fn exp_serve_check() {
+    run_check("exp_serve");
 }
 
 #[test]

@@ -12,7 +12,7 @@ use monityre_harvest::{IdealBattery, Supercap};
 use monityre_node::Architecture;
 use monityre_power::WorkingConditions;
 use monityre_profile::{
-    CompositeProfile, ExtraUrbanCycle, RepeatProfile, SpeedProfile, UrbanCycle, WltcLikeCycle,
+    named_cycle, CompositeProfile, ExtraUrbanCycle, SpeedProfile, UrbanCycle, NAMED_CYCLES,
 };
 use monityre_sheet::PowerSheet;
 use monityre_units::{Capacitance, Duration, Resistance, Speed, Voltage};
@@ -28,8 +28,10 @@ fn scenario_for(conditions: WorkingConditions) -> Scenario {
     Scenario::builder().conditions(conditions).build()
 }
 
-/// Parses the shared `--threads` flag into an executor.
-fn executor_from(args: &Args) -> Result<SweepExecutor, CliError> {
+/// Parses the shared `--threads` flag into an executor. Every evaluating
+/// subcommand calls this, so `--threads` is accepted uniformly even where
+/// the evaluation happens to be serial.
+pub(crate) fn executor_from(args: &Args) -> Result<SweepExecutor, CliError> {
     let threads = args.count("threads", 1)?;
     if threads == 0 {
         return Err(CliError::new("flag --threads: must be at least 1"));
@@ -117,6 +119,7 @@ pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
     let speed = args.number("speed", 60.0)?;
     let window_ms = args.number("window-ms", 500.0)?;
     let step_us = args.number("step-us", 100.0)?;
+    executor_from(args)?; // the trace is serial; the flag is still accepted
     let conditions = args.conditions()?;
     args.finish()?;
 
@@ -157,51 +160,12 @@ pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
 }
 
 fn build_cycle(name: &str, repeat: usize) -> Result<Box<dyn SpeedProfile + Send + Sync>, CliError> {
-    let single: Box<dyn SpeedProfile + Send + Sync> = match name {
-        "urban" => Box::new(UrbanCycle::new()),
-        "eudc" => Box::new(ExtraUrbanCycle::new()),
-        "wltc" => Box::new(WltcLikeCycle::new()),
-        "nedc" => Box::new(CompositeProfile::new(vec![
-            Box::new(RepeatProfile::new(UrbanCycle::new(), 4)),
-            Box::new(ExtraUrbanCycle::new()),
-        ])),
-        other => {
-            return Err(CliError::new(format!(
-                "flag --cycle: `{other}` is not one of urban, eudc, wltc, nedc"
-            )))
-        }
-    };
-    Ok(if repeat > 1 {
-        Box::new(RepeatWrapper {
-            inner: single,
-            repeats: repeat,
-        })
-    } else {
-        single
+    named_cycle(name, repeat).ok_or_else(|| {
+        CliError::new(format!(
+            "flag --cycle: `{name}` is not one of {}",
+            NAMED_CYCLES.join(", ")
+        ))
     })
-}
-
-/// Repeats a boxed profile (RepeatProfile is generic; this erases it).
-struct RepeatWrapper {
-    inner: Box<dyn SpeedProfile + Send + Sync>,
-    repeats: usize,
-}
-
-impl SpeedProfile for RepeatWrapper {
-    fn speed_at(&self, t: Duration) -> Speed {
-        let period = self.inner.duration().secs();
-        let total = period * self.repeats as f64;
-        let wrapped = if t.secs() >= total {
-            period
-        } else {
-            t.secs() % period
-        };
-        self.inner.speed_at(Duration::from_secs(wrapped))
-    }
-
-    fn duration(&self) -> Duration {
-        self.inner.duration() * self.repeats as f64
-    }
 }
 
 /// `monityre emulate` — the long-window emulation.
@@ -209,6 +173,7 @@ pub(crate) fn emulate(args: &Args) -> Result<String, CliError> {
     let cycle_name = args.text("cycle", "nedc");
     let repeat = args.count("repeat", 1)?;
     let cap_mf = args.number("cap-mf", 47.0)?;
+    executor_from(args)?; // the emulation is serial; the flag is still accepted
     let conditions = args.conditions()?;
     args.finish()?;
     if cap_mf <= 0.0 {
@@ -268,6 +233,7 @@ pub(crate) fn emulate(args: &Args) -> Result<String, CliError> {
 pub(crate) fn optimize(args: &Args) -> Result<String, CliError> {
     let speed = args.number("speed", 30.0)?;
     let policy_text = args.text("policy", "aware");
+    executor_from(args)?; // re-estimation is serial; the flag is still accepted
     let conditions = args.conditions()?;
     args.finish()?;
     let policy = match policy_text.as_str() {
@@ -357,6 +323,7 @@ pub(crate) fn lifetime(args: &Args) -> Result<String, CliError> {
     let hours = args.number("hours-per-day", 1.5)?;
     let kmh = args.number("mean-kmh", 55.0)?;
     let in_tyre = args.flag("in-tyre-cell");
+    executor_from(args)?; // the estimate is serial; the flag is still accepted
     let conditions = args.conditions()?;
     args.finish()?;
 
@@ -434,6 +401,7 @@ pub(crate) fn vehicle(args: &Args) -> Result<String, CliError> {
 /// `monityre sheet` — the dynamic spreadsheet.
 pub(crate) fn sheet(args: &Args) -> Result<String, CliError> {
     let explain = args.text_opt("explain");
+    executor_from(args)?; // cell evaluation is serial; the flag is still accepted
     let conditions = args.conditions()?;
     args.finish()?;
 

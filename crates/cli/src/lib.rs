@@ -12,6 +12,10 @@
 //! monityre optimize  [--speed 30] [--policy aware|naive]
 //! monityre flow      [--speed 30]
 //! monityre sheet     [--temp 27] [--explain node.active_uw]
+//! monityre serve     [--bind 127.0.0.1] [--port 0] [--workers 2]
+//!                    [--queue 64] [--cache 16] [--announce /tmp/addr]
+//! monityre request   [--addr HOST:PORT | --local] [--op breakeven] [--id 1]
+//!                    [--deadline-ms 5000] [--steps 96] [--temp 85]
 //! ```
 //!
 //! The command implementations return their output as a `String`, so the
@@ -22,6 +26,7 @@
 
 mod args;
 mod commands;
+mod remote;
 
 pub use args::{Args, CliError};
 
@@ -51,6 +56,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "mc" => commands::montecarlo(&args),
         "lifetime" => commands::lifetime(&args),
         "vehicle" => commands::vehicle(&args),
+        "serve" => remote::serve(&args),
+        "request" => remote::request(&args),
         other => Err(CliError::new(format!(
             "unknown command `{other}` (try `monityre help`)"
         ))),
@@ -76,13 +83,15 @@ COMMANDS:
     mc         Monte Carlo process variation of the break-even speed
     lifetime   coin-cell vs tyre lifetime vs scavenger
     vehicle    four-corner availability over a driving cycle
+    serve      run the batch evaluation server (line-delimited JSON over TCP)
+    request    send one request to a server (or --local) and print the JSON
 
 COMMON FLAGS:
     --temp <C>          working temperature in °C        (default 27)
     --corner <ss|tt|ff> process corner                   (default tt)
     --supply <V>        supply voltage in volts          (default 1.2)
-    --threads <N>       sweep worker threads (balance, flow, mc, vehicle;
-                        results are identical to serial)  (default 1)
+    --threads <N>       sweep worker threads; accepted by every evaluating
+                        command, results are identical to serial (default 1)
 
 Run `monityre <command> --help` is not needed — unknown flags are
 rejected with the list of flags the command accepts.
@@ -213,5 +222,102 @@ mod tests {
     fn bad_corner_is_rejected() {
         let err = run_line("balance --corner xx").unwrap_err();
         assert!(err.to_string().contains("xx"));
+    }
+
+    /// The `--threads` flag is accepted uniformly: every evaluating
+    /// subcommand parses it (serial commands simply validate and ignore
+    /// it) and every one rejects a non-positive value.
+    #[test]
+    fn every_evaluating_subcommand_accepts_threads() {
+        let commands = [
+            "balance --steps 24",
+            "trace --window-ms 100",
+            "emulate --cycle urban",
+            "optimize",
+            "flow",
+            "sheet",
+            "mc --samples 8",
+            "lifetime",
+            "vehicle --cycle urban",
+            "request --local --op ping",
+        ];
+        for command in commands {
+            let line = format!("{command} --threads 2");
+            run_line(&line).unwrap_or_else(|e| panic!("`{line}` rejected --threads: {e}"));
+            let line = format!("{command} --threads 0");
+            assert!(
+                run_line(&line).is_err(),
+                "`{line}` must reject zero threads"
+            );
+        }
+    }
+
+    #[test]
+    fn request_local_evaluates_without_a_server() {
+        let out = run_line("request --local --op breakeven --steps 48 --id 5").unwrap();
+        assert!(out.contains("\"id\":5"), "{out}");
+        assert!(out.contains("Breakeven"), "{out}");
+    }
+
+    #[test]
+    fn request_reports_unknown_op_with_candidates() {
+        let err = run_line("request --local --op frobnicate").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        assert!(err.to_string().contains("breakeven"));
+    }
+
+    #[test]
+    fn request_command_drives_a_live_server() {
+        let handle = monityre_serve::ServerConfig::default()
+            .start()
+            .expect("bind loopback");
+        let addr = handle.addr();
+        let out = run_line(&format!("request --addr {addr} --op ping --id 3")).unwrap();
+        assert!(out.contains("Pong"), "{out}");
+        assert!(out.contains("\"id\":3"), "{out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_command_announces_and_drains() {
+        use monityre_serve::{Op, Request};
+        let announce = std::env::temp_dir().join(format!(
+            "monityre-serve-announce-{}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&announce);
+        let line = format!(
+            "serve --port 0 --workers 1 --announce {}",
+            announce.display()
+        );
+        let server = std::thread::spawn(move || run_line(&line));
+
+        // Poll the announce file for the resolved ephemeral address.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&announce) {
+                let text = text.trim().to_owned();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never announced its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let mut client = monityre_serve::Client::connect(addr.as_str()).expect("connect");
+        let pong = client.request(&Request::new(Op::Ping)).expect("ping");
+        assert!(pong.is_ok());
+        let ack = client
+            .request(&Request::new(Op::Shutdown))
+            .expect("shutdown");
+        assert!(ack.is_ok());
+
+        let out = server.join().expect("serve thread").expect("serve result");
+        assert!(out.contains("server drained"), "{out}");
+        let _ = std::fs::remove_file(&announce);
     }
 }

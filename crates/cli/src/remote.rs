@@ -1,0 +1,143 @@
+//! The `serve` and `request` subcommands — the CLI face of
+//! `monityre-serve`.
+//!
+//! `serve` runs the batch evaluation server until a client sends the
+//! `shutdown` op; `request` builds one wire request from flags and either
+//! sends it to a running server (`--addr`) or evaluates it in-process
+//! (`--local`). Both print the raw JSON response line, so scripts can
+//! assert on structured error codes without a JSON library.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use monityre_serve::{evaluate, Client, Op, Request, Response, ServerConfig};
+
+use crate::commands::executor_from;
+use crate::{Args, CliError};
+
+/// Parses an optional `--name value` flag into any `FromStr` type.
+fn parse_opt<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, CliError> {
+    match args.text_opt(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::new(format!("flag --{name}: cannot parse `{raw}`"))),
+    }
+}
+
+/// `monityre serve` — run the evaluation server on `--bind`/`--port`
+/// until a client sends the `shutdown` op, then report the drain summary.
+pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
+    let host = args.text("bind", "127.0.0.1");
+    let port: u16 = parse_opt(args, "port")?.unwrap_or(0);
+    let workers = args.count("workers", 2)?;
+    let queue = args.count("queue", 64)?;
+    let cache = args.count("cache", 16)?;
+    // 0 means auto (`SweepExecutor::available()`, which honours the
+    // MONITYRE_THREADS environment override); the flag itself must be ≥ 1.
+    let threads = match args.text_opt("threads") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(CliError::new(format!(
+                    "flag --threads: `{raw}` is not a positive integer"
+                )))
+            }
+        },
+    };
+    let announce = args.text_opt("announce");
+    args.finish()?;
+
+    let handle = ServerConfig {
+        bind: format!("{host}:{port}"),
+        workers,
+        threads,
+        queue_capacity: queue,
+        cache_capacity: cache,
+    }
+    .start()
+    .map_err(|e| CliError::new(format!("serve: cannot bind {host}:{port}: {e}")))?;
+    let addr = handle.addr();
+
+    // Announce the resolved address *before* blocking, so scripts that
+    // pass `--port 0` can discover the ephemeral port (also via
+    // `--announce <file>`, which is easier to poll than stdout).
+    println!("listening on {addr} ({workers} worker(s), queue {queue}, cache {cache})");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &announce {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::new(format!("flag --announce: cannot write `{path}`: {e}")))?;
+    }
+
+    let stats = handle.wait();
+    Ok(format!(
+        "server drained: served {}, rejected {}, timed out {}, bad requests {}\n",
+        stats.served, stats.rejected, stats.timed_out, stats.bad_requests
+    ))
+}
+
+/// `monityre request` — send one request to a running server (or
+/// evaluate it locally) and print the raw JSON response line.
+pub(crate) fn request(args: &Args) -> Result<String, CliError> {
+    let op_name = args.text("op", "breakeven");
+    let addr = args.text_opt("addr");
+    let local = args.flag("local");
+    let timeout_ms = args.count("timeout-ms", 30_000)?;
+    let executor = executor_from(args)?; // --threads drives --local evaluation
+
+    let op = Op::from_name(&op_name).ok_or_else(|| {
+        CliError::new(format!(
+            "flag --op: `{op_name}` is not one of {}",
+            Op::ALL
+                .iter()
+                .map(|op| op.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+    let mut request = Request::new(op);
+    request.id = parse_opt(args, "id")?;
+    request.deadline_ms = parse_opt(args, "deadline-ms")?;
+    request.scenario.temp_c = parse_opt(args, "temp")?;
+    request.scenario.supply_v = parse_opt(args, "supply")?;
+    request.scenario.corner = args.text_opt("corner");
+    request.scenario.samples_per_round = parse_opt(args, "samples-per-round")?;
+    request.scenario.tx_period_rounds = parse_opt(args, "tx-period")?;
+    request.scenario.payload_bytes = parse_opt(args, "payload-bytes")?;
+    request.scenario.chain_scale = parse_opt(args, "chain-scale")?;
+    request.params.from_kmh = parse_opt(args, "from")?;
+    request.params.to_kmh = parse_opt(args, "to")?;
+    request.params.steps = parse_opt(args, "steps")?;
+    request.params.samples = parse_opt(args, "samples")?;
+    request.params.seed = parse_opt(args, "seed")?;
+    request.params.cycle = args.text_opt("cycle");
+    request.params.repeat = parse_opt(args, "repeat")?;
+    request.params.cap_mf = parse_opt(args, "cap-mf")?;
+    args.finish()?;
+
+    let raw = if local {
+        let response = match evaluate(&request, &executor) {
+            Ok(payload) => Response::success(request.id, payload),
+            Err((code, message)) => Response::failure(request.id, code, message),
+        };
+        serde_json::to_string(&response)
+            .map_err(|e| CliError::new(format!("serialize response: {e}")))?
+    } else {
+        let addr = addr.ok_or_else(|| {
+            CliError::new(
+                "flag --addr <host:port> is required (or pass --local to evaluate in-process)",
+            )
+        })?;
+        let mut client = Client::connect(addr.as_str())
+            .map_err(|e| CliError::new(format!("request: cannot connect to {addr}: {e}")))?;
+        client
+            .set_timeout(Some(Duration::from_millis(timeout_ms as u64)))
+            .map_err(|e| CliError::new(format!("request: {e}")))?;
+        client
+            .request_raw(&request)
+            .map_err(|e| CliError::new(format!("request to {addr} failed: {e}")))?
+    };
+    Ok(format!("{raw}\n"))
+}

@@ -8,9 +8,15 @@
 //! parallel output is **bit-identical** to the serial one: no reduction
 //! happens across threads, only element-wise mapping.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+/// Environment variable overriding [`SweepExecutor::available`]'s worker
+/// count, so deployments (servers, CI) can pin parallelism without
+/// plumbing flags. Values are clamped to at least 1; non-numeric values
+/// are ignored.
+pub const THREADS_ENV_VAR: &str = "MONITYRE_THREADS";
 
 /// A chunked, order-preserving parallel map over sweep points.
 ///
@@ -54,10 +60,17 @@ impl SweepExecutor {
         }
     }
 
-    /// An executor sized to the machine's available parallelism.
+    /// An executor sized to the machine's available parallelism, unless
+    /// the [`THREADS_ENV_VAR`] environment variable overrides it: a
+    /// numeric value is clamped to at least 1 worker, anything else is
+    /// ignored.
     #[must_use]
     pub fn available() -> Self {
-        let threads = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let hardware = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .unwrap_or(hardware);
         Self::new(threads)
     }
 
@@ -100,18 +113,53 @@ impl SweepExecutor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_cancellable(items, &|| false, f)
+            .expect("a never-cancelled map always completes")
+    }
+
+    /// Like [`Self::map`], but polls `cancelled` between chunks and gives
+    /// up cooperatively: once any worker observes `cancelled() == true`,
+    /// no further chunk is started and the call returns `None`.
+    ///
+    /// A completed map (`Some`) is bit-identical to [`Self::map`]: the
+    /// cancellation poll happens only at chunk boundaries and never
+    /// changes the partitioning or evaluation order. Deadline-aware
+    /// callers (the serving layer) pass `|| Instant::now() >= deadline`.
+    pub fn map_cancellable<T, R, F, C>(&self, items: &[T], cancelled: &C, f: F) -> Option<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        C: Fn() -> bool + Sync,
+    {
+        if cancelled() {
+            return None;
+        }
+        let chunk = self.chunk_for(items.len().max(1));
         if self.threads <= 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut results = Vec::with_capacity(items.len());
+            for (start, batch) in items.chunks(chunk).enumerate() {
+                if start > 0 && cancelled() {
+                    return None;
+                }
+                let base = start * chunk;
+                results.extend(batch.iter().enumerate().map(|(o, t)| f(base + o, t)));
+            }
+            return Some(results);
         }
 
-        let chunk = self.chunk_for(items.len());
         let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
         let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
         let workers = self.threads.min(items.len().div_ceil(chunk));
 
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) || cancelled() {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
@@ -129,13 +177,16 @@ impl SweepExecutor {
             }
         });
 
+        if stop.load(Ordering::Relaxed) {
+            return None;
+        }
         let mut chunks = done
             .into_inner()
             .expect("a sweep worker panicked while holding the result lock");
         chunks.sort_unstable_by_key(|(start, _)| *start);
         let results: Vec<R> = chunks.into_iter().flat_map(|(_, batch)| batch).collect();
         debug_assert_eq!(results.len(), items.len());
-        results
+        Some(results)
     }
 }
 
@@ -194,5 +245,63 @@ mod tests {
     #[should_panic(expected = "chunk size must be at least 1")]
     fn zero_chunk_rejected() {
         let _ = SweepExecutor::new(2).with_chunk_size(0);
+    }
+
+    #[test]
+    fn cancellable_map_completes_when_never_cancelled() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected = SweepExecutor::serial().map(&items, |i, &x| x + i as u64);
+        for threads in [1, 2, 4] {
+            let got = SweepExecutor::new(threads)
+                .with_chunk_size(8)
+                .map_cancellable(&items, &|| false, |i, &x| x + i as u64)
+                .expect("not cancelled");
+            assert_eq!(got, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn cancelled_upfront_returns_none() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 4] {
+            let out = SweepExecutor::new(threads).map_cancellable(&items, &|| true, |_, &x| x);
+            assert!(out.is_none(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_run_is_observed_at_chunk_boundaries() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..1024).collect();
+        let evaluated = AtomicUsize::new(0);
+        let out = SweepExecutor::new(2).with_chunk_size(4).map_cancellable(
+            &items,
+            &|| evaluated.load(Ordering::Relaxed) >= 8,
+            |_, &x| {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+        );
+        assert!(out.is_none());
+        // Far fewer evaluations than items: the map gave up early.
+        assert!(evaluated.load(Ordering::Relaxed) < items.len());
+    }
+
+    #[test]
+    fn env_var_overrides_available_parallelism() {
+        // Runs in one test so the env mutations cannot race each other.
+        std::env::set_var(THREADS_ENV_VAR, "3");
+        assert_eq!(SweepExecutor::available().threads(), 3);
+        std::env::set_var(THREADS_ENV_VAR, " 7 ");
+        assert_eq!(SweepExecutor::available().threads(), 7);
+        // Clamped to at least one worker.
+        std::env::set_var(THREADS_ENV_VAR, "0");
+        assert_eq!(SweepExecutor::available().threads(), 1);
+        // Non-numeric values are ignored.
+        let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        std::env::set_var(THREADS_ENV_VAR, "lots");
+        assert_eq!(SweepExecutor::available().threads(), hardware);
+        std::env::remove_var(THREADS_ENV_VAR);
+        assert_eq!(SweepExecutor::available().threads(), hardware);
     }
 }

@@ -73,7 +73,7 @@ pub use balance::{speed_grid, BalancePoint, BalanceReport, EnergyBalance};
 pub use cache::EvalCache;
 pub use emulator::{EmulationReport, EmulatorConfig, OperatingWindow, TransientEmulator};
 pub use error::CoreError;
-pub use executor::SweepExecutor;
+pub use executor::{SweepExecutor, THREADS_ENV_VAR};
 pub use flow::{Flow, FlowReport};
 pub use governor::{GovernedReport, Governor, GovernorLevel};
 pub use lifetime::{LifetimeEstimator, LifetimeReport, UsagePattern};

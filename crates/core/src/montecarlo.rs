@@ -14,13 +14,14 @@
 use monityre_node::Architecture;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use monityre_units::Speed;
 
 use crate::{CoreError, EnergyBalance, Scenario, SweepExecutor};
 
 /// Spread parameters of the manufacturing distribution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VariationModel {
     /// Sigma of the log-normal leakage multiplier (lnN(0, σ)); leakage
     /// spreads by multiples across a lot.
@@ -58,7 +59,7 @@ impl VariationModel {
 }
 
 /// The sampled break-even distribution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BreakEvenDistribution {
     /// Sorted break-even speeds of the samples that crossed.
     samples: Vec<Speed>,
@@ -208,12 +209,36 @@ impl MonteCarlo {
         n: usize,
         executor: &SweepExecutor,
     ) -> Result<BreakEvenDistribution, CoreError> {
+        self.break_even_distribution_cancellable(n, executor, &|| false)
+            .map(|dist| dist.expect("a never-cancelled run always completes"))
+    }
+
+    /// Samples `n` instances on `executor`'s workers, polling `cancelled`
+    /// between draw chunks; returns `Ok(None)` when the run was abandoned.
+    /// A completed run is bit-identical to
+    /// [`Self::break_even_distribution_with`] — the serving layer uses
+    /// this to honour per-request deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `n == 0`, an invalid
+    /// variation model, or when *no* sampled instance ever crosses.
+    pub fn break_even_distribution_cancellable<C: Fn() -> bool + Sync>(
+        &self,
+        n: usize,
+        executor: &SweepExecutor,
+        cancelled: &C,
+    ) -> Result<Option<BreakEvenDistribution>, CoreError> {
         if n == 0 {
             return Err(CoreError::invalid_parameter("need at least one sample"));
         }
         self.variation.validate()?;
         let indices: Vec<u64> = (0..n as u64).collect();
-        let outcomes = executor.map(&indices, |_, &index| self.sample(index));
+        let Some(outcomes) =
+            executor.map_cancellable(&indices, cancelled, |_, &index| self.sample(index))
+        else {
+            return Ok(None);
+        };
         let mut samples = Vec::with_capacity(n);
         let mut never_crossed = 0usize;
         for outcome in outcomes {
@@ -228,10 +253,10 @@ impl MonteCarlo {
             ));
         }
         samples.sort_by(Speed::total_cmp);
-        Ok(BreakEvenDistribution {
+        Ok(Some(BreakEvenDistribution {
             samples,
             never_crossed,
-        })
+        }))
     }
 }
 
@@ -387,6 +412,30 @@ mod tests {
             1,
         );
         assert!(bad.break_even_distribution(4).is_err());
+    }
+
+    #[test]
+    fn cancellable_run_matches_and_cancels() {
+        let mc = MonteCarlo::new(&Scenario::reference(), VariationModel::reference(), 17);
+        let plain = mc.break_even_distribution(24).unwrap();
+        let completed = mc
+            .break_even_distribution_cancellable(24, &SweepExecutor::new(2), &|| false)
+            .unwrap()
+            .expect("not cancelled");
+        assert_eq!(plain, completed);
+        let abandoned = mc
+            .break_even_distribution_cancellable(24, &SweepExecutor::new(2), &|| true)
+            .unwrap();
+        assert!(abandoned.is_none());
+    }
+
+    #[test]
+    fn distribution_round_trips_through_json() {
+        let mc = MonteCarlo::new(&Scenario::reference(), VariationModel::reference(), 23);
+        let dist = mc.break_even_distribution(16).unwrap();
+        let json = serde_json::to_string(&dist).unwrap();
+        let back: BreakEvenDistribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(dist, back);
     }
 
     #[test]

@@ -364,6 +364,36 @@ impl<P: SpeedProfile> SpeedProfile for RepeatProfile<P> {
     }
 }
 
+/// The cycle names [`named_cycle`] accepts, for error messages and docs.
+pub const NAMED_CYCLES: &[&str] = &["urban", "eudc", "wltc", "nedc"];
+
+/// Builds one of the named driving cycles every tool exposes (`urban`,
+/// `eudc`, `wltc`, `nedc` — see [`NAMED_CYCLES`]), repeated `repeat`
+/// times; `repeat` values below 2 leave the cycle un-wrapped. Returns
+/// `None` for unknown names.
+///
+/// The CLI and the serving layer both resolve cycles through this one
+/// function, so a cycle requested over the wire is the exact profile a
+/// local run evaluates.
+#[must_use]
+pub fn named_cycle(name: &str, repeat: usize) -> Option<Box<dyn SpeedProfile + Send + Sync>> {
+    let single: Box<dyn SpeedProfile + Send + Sync> = match name {
+        "urban" => Box::new(UrbanCycle::new()),
+        "eudc" => Box::new(ExtraUrbanCycle::new()),
+        "wltc" => Box::new(WltcLikeCycle::new()),
+        "nedc" => Box::new(CompositeProfile::new(vec![
+            Box::new(RepeatProfile::new(UrbanCycle::new(), 4)),
+            Box::new(ExtraUrbanCycle::new()),
+        ])),
+        _ => return None,
+    };
+    Some(if repeat > 1 {
+        Box::new(RepeatProfile::new(single, repeat))
+    } else {
+        single
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +431,29 @@ mod tests {
     #[test]
     fn motorway_rejects_zero_hold() {
         assert!(MotorwayCycle::new(kmh(130.0), Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn named_cycles_resolve_and_repeat() {
+        for name in NAMED_CYCLES {
+            let cycle = named_cycle(name, 1).expect("known name");
+            assert!(cycle.duration().secs() > 0.0, "{name}");
+            let doubled = named_cycle(name, 2).expect("known name");
+            assert!((doubled.duration().secs() - 2.0 * cycle.duration().secs()).abs() < 1e-9);
+            // The repeated cycle replays the base one.
+            let t = Duration::from_secs(42.0);
+            assert_eq!(doubled.speed_at(t), cycle.speed_at(t));
+        }
+        assert!(named_cycle("autobahn", 1).is_none());
+    }
+
+    #[test]
+    fn nedc_is_four_urban_plus_eudc() {
+        let nedc = named_cycle("nedc", 1).unwrap();
+        let urban = UrbanCycle::new();
+        let eudc = ExtraUrbanCycle::new();
+        let expected = 4.0 * urban.duration().secs() + eudc.duration().secs();
+        assert!((nedc.duration().secs() - expected).abs() < 1e-9);
     }
 
     #[test]

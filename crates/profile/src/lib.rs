@@ -40,7 +40,8 @@ mod thermal;
 mod wheel;
 
 pub use cycles::{
-    CompositeProfile, ExtraUrbanCycle, MotorwayCycle, RepeatProfile, UrbanCycle, WltcLikeCycle,
+    named_cycle, CompositeProfile, ExtraUrbanCycle, MotorwayCycle, RepeatProfile, UrbanCycle,
+    WltcLikeCycle, NAMED_CYCLES,
 };
 pub use error::ProfileError;
 pub use sampler::{ProfileSample, ProfileSampler};

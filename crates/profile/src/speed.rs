@@ -30,6 +30,16 @@ pub trait SpeedProfile {
     }
 }
 
+impl<P: SpeedProfile + ?Sized> SpeedProfile for Box<P> {
+    fn speed_at(&self, t: Duration) -> Speed {
+        (**self).speed_at(t)
+    }
+
+    fn duration(&self) -> Duration {
+        (**self).duration()
+    }
+}
+
 /// Constant cruising speed — the operating point of the paper's Fig. 2.
 ///
 /// ```

@@ -1,0 +1,132 @@
+//! A minimal blocking client for the line-delimited JSON protocol.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+
+/// A blocking connection to a `monityre-serve` instance, issuing one
+/// request at a time in lockstep.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-clone failures.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Caps how long [`Self::request`] may wait for a response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and parses the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a response that does not parse is
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let raw = self.request_raw(request)?;
+        serde_json::from_str(&raw)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends one request and returns the *raw* response line (without the
+    /// trailing newline) — the byte-identity tests compare these.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn request_raw(&mut self, request: &Request) -> io::Result<String> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.send_line(&line)
+    }
+
+    /// Sends one raw line verbatim (plus a newline) and reads one raw
+    /// response line — lets tests exercise malformed requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; an oversized or closed response is
+    /// [`io::ErrorKind::UnexpectedEof`] / [`io::ErrorKind::InvalidData`].
+    pub fn send_line(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Reads one raw response line without sending anything — for
+    /// collecting the answer to a previously fired request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a closed connection is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn recv_raw(&mut self) -> io::Result<String> {
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut raw = Vec::new();
+        loop {
+            let before = raw.len();
+            match self.reader.read_until(b'\n', &mut raw) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(_) if raw.last() == Some(&b'\n') => break,
+                Ok(_) => {} // EOF mid-line is caught by the next Ok(0)
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) && raw.len() > before => {}
+                Err(e) => return Err(e),
+            }
+            if raw.len() > MAX_LINE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response line exceeds the protocol maximum",
+                ));
+            }
+        }
+        while matches!(raw.last(), Some(b'\n' | b'\r')) {
+            raw.pop();
+        }
+        String::from_utf8(raw)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))
+    }
+}

@@ -1,0 +1,54 @@
+//! The batch evaluation server.
+//!
+//! `monityre-serve` turns the evaluation stack — [`monityre_core`]'s
+//! `Scenario` + `EvalCache` + `SweepExecutor` — into a long-running TCP
+//! service speaking a line-delimited JSON protocol (one request per line,
+//! one response per line, see [`protocol`]). The paper's tools answer
+//! questions like "where is the break-even under these conditions?"; this
+//! crate lets a fleet of clients batch such questions against one warm
+//! process instead of paying a cold start per evaluation.
+//!
+//! Design pillars (each pinned by a test):
+//!
+//! * **Bit-identity** — a served result is byte-identical to the same
+//!   evaluation serialized in-process: both sides build the same payload
+//!   types and serialize through the same `serde_json`.
+//! * **Backpressure, not buffering** — jobs enter a *bounded* queue
+//!   ([`queue::BoundedQueue`]); when it is full the request is shed
+//!   immediately with a structured `queue_full` error, never blocked or
+//!   dropped silently.
+//! * **Deadlines** — each request may carry `deadline_ms`; expiry is
+//!   honoured in the queue *and* mid-sweep, via the cooperative
+//!   cancellation hook on `SweepExecutor::map_cancellable`.
+//! * **Graceful shutdown** — a `shutdown` op (or [`ServerHandle::shutdown`])
+//!   stops the acceptor, drains every queued and in-flight job, answers
+//!   the remaining clients, and joins all threads.
+//!
+//! ```no_run
+//! use monityre_serve::{Client, Op, Request, ServerConfig};
+//!
+//! let handle = ServerConfig::default().start().unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let response = client.request(&Request::new(Op::Breakeven)).unwrap();
+//! assert!(response.is_ok());
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+mod worker;
+
+pub use client::Client;
+pub use protocol::{
+    ErrorCode, Op, Params, Payload, Request, Response, ScenarioSpec, WireError, MAX_LINE_BYTES,
+};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{ServerConfig, ServerHandle};
+pub use stats::StatsSnapshot;
+pub use worker::evaluate;

@@ -1,0 +1,687 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, in order. A request names
+//! an operation ([`Op`]), an optional scenario override ([`ScenarioSpec`])
+//! and operation parameters ([`Params`]); the response carries either an
+//! `ok` payload ([`Payload`]) or a structured `error` ([`WireError`]) with
+//! a machine-readable [`ErrorCode`]. All physical quantities travel in
+//! base SI units (m/s, joules, seconds) exactly as the core report types
+//! serialize them, so a served result is byte-identical to the same
+//! evaluation serialized in-process.
+
+use monityre_core::{BalanceReport, Scenario};
+use monityre_node::NodeConfig;
+use monityre_power::{ProcessCorner, WorkingConditions};
+use monityre_profile::NAMED_CYCLES;
+use monityre_units::{Temperature, Voltage};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::stats::StatsSnapshot;
+
+/// Longest request or response line the server will read (1 MiB).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The operations the server accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Fig. 2 sweep returning the summary (break-even + point counts).
+    Balance,
+    /// Fig. 2 sweep returning only the break-even speed.
+    Breakeven,
+    /// Fig. 2 sweep returning the full point series.
+    Sweep,
+    /// Monte Carlo break-even distribution summary.
+    Montecarlo,
+    /// Long-window emulation over a named driving cycle.
+    Emulate,
+    /// Server statistics snapshot (handled inline, never queued).
+    Stats,
+    /// Liveness probe (handled inline, never queued).
+    Ping,
+    /// Graceful shutdown: stop accepting, drain, exit (handled inline).
+    Shutdown,
+}
+
+impl Op {
+    /// Every operation, for enumeration in tests and docs.
+    pub const ALL: [Op; 8] = [
+        Op::Balance,
+        Op::Breakeven,
+        Op::Sweep,
+        Op::Montecarlo,
+        Op::Emulate,
+        Op::Stats,
+        Op::Ping,
+        Op::Shutdown,
+    ];
+
+    /// The wire name (lowercase).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Balance => "balance",
+            Op::Breakeven => "breakeven",
+            Op::Sweep => "sweep",
+            Op::Montecarlo => "montecarlo",
+            Op::Emulate => "emulate",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|op| op.name() == name)
+    }
+
+    /// Whether the operation is served inline by the connection handler
+    /// (control plane) instead of going through the bounded job queue.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(self, Op::Stats | Op::Ping | Op::Shutdown)
+    }
+}
+
+impl Serialize for Op {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for Op {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::Error::invalid("operation name", value))?;
+        Self::from_name(name)
+            .ok_or_else(|| serde::Error::custom(format!("unknown operation `{name}`")))
+    }
+}
+
+/// Machine-readable error codes of the structured error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The bounded job queue was full — load was shed, retry later.
+    QueueFull,
+    /// The request's deadline elapsed before evaluation finished.
+    DeadlineExceeded,
+    /// The request line did not parse or failed validation.
+    BadRequest,
+    /// The evaluation itself failed (malformed architecture, no crossing).
+    EvalFailed,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Every error code, for enumeration in tests and docs.
+    pub const ALL: [ErrorCode; 5] = [
+        ErrorCode::QueueFull,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::BadRequest,
+        ErrorCode::EvalFailed,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// The wire name (snake_case).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::EvalFailed => "eval_failed",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|code| code.name() == name)
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for ErrorCode {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::Error::invalid("error code", value))?;
+        Self::from_name(name)
+            .ok_or_else(|| serde::Error::custom(format!("unknown error code `{name}`")))
+    }
+}
+
+/// Scenario overrides: every field defaults to the reference value, so an
+/// empty spec is the reference scenario. The spec doubles as the warm
+/// scenario cache's key (via [`ScenarioSpec::cache_key`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Working temperature in °C (reference: 27).
+    #[serde(default)]
+    pub temp_c: Option<f64>,
+    /// Supply voltage in volts (reference: 1.2).
+    #[serde(default)]
+    pub supply_v: Option<f64>,
+    /// Process corner: `ss`, `tt` or `ff` (reference: `tt`).
+    #[serde(default)]
+    pub corner: Option<String>,
+    /// ADC samples acquired per wheel round.
+    #[serde(default)]
+    pub samples_per_round: Option<u32>,
+    /// Rounds between radio transmissions.
+    #[serde(default)]
+    pub tx_period_rounds: Option<u32>,
+    /// Radio payload size in bytes.
+    #[serde(default)]
+    pub payload_bytes: Option<u32>,
+    /// Scale factor on the reference harvesting chain (e.g. 2.0 = a
+    /// scavenger twice the size).
+    #[serde(default)]
+    pub chain_scale: Option<f64>,
+}
+
+impl ScenarioSpec {
+    /// Validates ranges (mirroring the CLI's checks) without building.
+    ///
+    /// # Errors
+    ///
+    /// Returns a printable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(temp) = self.temp_c {
+            if !(-273.0..=200.0).contains(&temp) {
+                return Err(format!("temp_c: {temp} °C is not a physical temperature"));
+            }
+        }
+        if let Some(supply) = self.supply_v {
+            if !(0.3..=2.0).contains(&supply) {
+                return Err(format!(
+                    "supply_v: {supply} V is outside the sane 0.3–2.0 V range"
+                ));
+            }
+        }
+        if let Some(corner) = &self.corner {
+            if ProcessCorner::from_id(corner).is_none() {
+                return Err(format!("corner: `{corner}` is not one of ss, tt, ff"));
+            }
+        }
+        if let Some(scale) = self.chain_scale {
+            if !(scale.is_finite() && scale > 0.0 && scale <= 100.0) {
+                return Err(format!("chain_scale: {scale} is not in (0, 100]"));
+            }
+        }
+        for (name, value) in [
+            ("samples_per_round", self.samples_per_round),
+            ("tx_period_rounds", self.tx_period_rounds),
+        ] {
+            if value == Some(0) {
+                return Err(format!("{name}: must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the scenario this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a printable message for out-of-range fields.
+    pub fn build(&self) -> Result<Scenario, String> {
+        self.validate()?;
+        let reference = WorkingConditions::reference();
+        let mut builder = WorkingConditions::builder()
+            .supply(
+                self.supply_v
+                    .map_or(reference.supply(), Voltage::from_volts),
+            )
+            .temperature(
+                self.temp_c
+                    .map_or(reference.temperature(), Temperature::from_celsius),
+            );
+        if let Some(corner) = &self.corner {
+            builder = builder.corner(ProcessCorner::from_id(corner).expect("validated above"));
+        }
+        let conditions = builder.build();
+
+        let mut config = NodeConfig::reference();
+        if let Some(samples) = self.samples_per_round {
+            config = config.with_samples_per_round(samples);
+        }
+        if let Some(rounds) = self.tx_period_rounds {
+            config = config.with_tx_period_rounds(rounds);
+        }
+        if let Some(bytes) = self.payload_bytes {
+            config = config.with_payload_bytes(bytes);
+        }
+
+        let mut scenario = Scenario::builder().config(config).conditions(conditions);
+        if let Some(scale) = self.chain_scale {
+            scenario = scenario.chain(monityre_harvest::HarvestChain::reference().scaled(scale));
+        }
+        Ok(scenario.build())
+    }
+
+    /// The canonical cache key: the spec's own JSON rendering (field
+    /// order is fixed by the struct, floats render shortest-round-trip),
+    /// so equal specs — and only equal specs — share a warm cache slot.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        serde_json::to_string(self).expect("spec serializes")
+    }
+}
+
+/// Operation parameters; every field has an operation-specific default.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Params {
+    /// Sweep start in km/h (default 5).
+    #[serde(default)]
+    pub from_kmh: Option<f64>,
+    /// Sweep end in km/h (default 200).
+    #[serde(default)]
+    pub to_kmh: Option<f64>,
+    /// Sweep sample count (default 100, clamped to [2, 1_000_000]).
+    #[serde(default)]
+    pub steps: Option<usize>,
+    /// Monte Carlo draw count (default 128, clamped to [1, 65_536]).
+    #[serde(default)]
+    pub samples: Option<usize>,
+    /// Monte Carlo RNG seed (default 2011).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Driving cycle name for `emulate` (default `nedc`).
+    #[serde(default)]
+    pub cycle: Option<String>,
+    /// Cycle repeat count for `emulate` (default 1).
+    #[serde(default)]
+    pub repeat: Option<usize>,
+    /// Supercap size in millifarads for `emulate` (default 47).
+    #[serde(default)]
+    pub cap_mf: Option<f64>,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// The operation to run.
+    pub op: Op,
+    /// Caller-chosen correlation id, echoed verbatim in the response.
+    #[serde(default)]
+    pub id: Option<u64>,
+    /// Per-request deadline in milliseconds, measured from the moment the
+    /// server parses the request. Jobs exceeding it — in the queue or
+    /// mid-sweep — get a `deadline_exceeded` error.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Scenario overrides (empty = reference scenario).
+    #[serde(default)]
+    pub scenario: ScenarioSpec,
+    /// Operation parameters (empty = defaults).
+    #[serde(default)]
+    pub params: Params,
+}
+
+impl Request {
+    /// A request for `op` with reference scenario and default parameters.
+    #[must_use]
+    pub fn new(op: Op) -> Self {
+        Self {
+            op,
+            id: None,
+            deadline_ms: None,
+            scenario: ScenarioSpec::default(),
+            params: Params::default(),
+        }
+    }
+
+    /// Sets the correlation id.
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Sets the deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Validates the parameter ranges this request's operation reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a printable message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        self.scenario.validate()?;
+        let p = &self.params;
+        match self.op {
+            Op::Balance | Op::Breakeven | Op::Sweep => {
+                let from = p.from_kmh.unwrap_or(5.0);
+                let to = p.to_kmh.unwrap_or(200.0);
+                let steps = p.steps.unwrap_or(100);
+                if !(from.is_finite() && to.is_finite() && from > 0.0 && to > from) {
+                    return Err(format!("need 0 < from_kmh < to_kmh, got {from}..{to}"));
+                }
+                if !(2..=1_000_000).contains(&steps) {
+                    return Err(format!("steps: {steps} is not in [2, 1000000]"));
+                }
+            }
+            Op::Montecarlo => {
+                let samples = p.samples.unwrap_or(128);
+                if !(1..=65_536).contains(&samples) {
+                    return Err(format!("samples: {samples} is not in [1, 65536]"));
+                }
+            }
+            Op::Emulate => {
+                let cycle = p.cycle.as_deref().unwrap_or("nedc");
+                if !NAMED_CYCLES.contains(&cycle) {
+                    return Err(format!(
+                        "cycle: `{cycle}` is not one of {}",
+                        NAMED_CYCLES.join(", ")
+                    ));
+                }
+                let repeat = p.repeat.unwrap_or(1);
+                if !(1..=64).contains(&repeat) {
+                    return Err(format!("repeat: {repeat} is not in [1, 64]"));
+                }
+                let cap = p.cap_mf.unwrap_or(47.0);
+                if !(cap.is_finite() && cap > 0.0) {
+                    return Err(format!("cap_mf: {cap} must be positive"));
+                }
+            }
+            Op::Stats | Op::Ping | Op::Shutdown => {}
+        }
+        Ok(())
+    }
+}
+
+/// The `ok` payload of a successful response, tagged by result kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Summary of a balance sweep.
+    Balance {
+        /// Break-even speed in km/h, `null` when the curves never cross.
+        break_even_kmh: Option<f64>,
+        /// Swept sample count.
+        steps: usize,
+        /// Samples running at an energy surplus.
+        surplus_steps: usize,
+    },
+    /// Only the break-even speed.
+    Breakeven {
+        /// Break-even speed in km/h, `null` when the curves never cross.
+        break_even_kmh: Option<f64>,
+    },
+    /// The full swept series, bit-identical to a direct evaluation.
+    Sweep {
+        /// The swept points in base SI units (m/s, joules).
+        report: BalanceReport,
+        /// Break-even speed in km/h, `null` when the curves never cross.
+        break_even_kmh: Option<f64>,
+    },
+    /// Monte Carlo break-even distribution summary.
+    Montecarlo {
+        /// Draws that reached surplus.
+        samples: usize,
+        /// Draws that never crossed in the swept range.
+        never_crossed: usize,
+        /// Mean break-even in km/h.
+        mean_kmh: f64,
+        /// 5th percentile in km/h.
+        p05_kmh: f64,
+        /// Median in km/h.
+        p50_kmh: f64,
+        /// 95th percentile in km/h.
+        p95_kmh: f64,
+        /// Standard deviation in m/s.
+        std_dev_mps: f64,
+    },
+    /// Long-window emulation summary.
+    Emulate {
+        /// Fraction of the window the node was active.
+        coverage: f64,
+        /// Operating window count.
+        windows: usize,
+        /// Brownout count.
+        brownouts: usize,
+        /// Harvested energy in joules.
+        harvested_j: f64,
+        /// Consumed energy in joules.
+        consumed_j: f64,
+        /// Spilled (reservoir-full) energy in joules.
+        spilled_j: f64,
+        /// Emulated span in seconds.
+        span_s: f64,
+    },
+    /// Server statistics.
+    Stats(StatsSnapshot),
+    /// Liveness probe answer.
+    Pong,
+    /// Shutdown acknowledged; the server drains and exits.
+    Draining,
+}
+
+/// The structured error of a failed response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable code (`queue_full`, `deadline_exceeded`, ...).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One response line: exactly one of `ok` / `error` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id, echoed back (`null` when the request
+    /// did not parse far enough to recover one).
+    #[serde(default)]
+    pub id: Option<u64>,
+    /// The result payload on success.
+    #[serde(default)]
+    pub ok: Option<Payload>,
+    /// The structured error on failure.
+    #[serde(default)]
+    pub error: Option<WireError>,
+}
+
+impl Response {
+    /// A success response.
+    #[must_use]
+    pub fn success(id: Option<u64>, payload: Payload) -> Self {
+        Self {
+            id,
+            ok: Some(payload),
+            error: None,
+        }
+    }
+
+    /// A failure response.
+    #[must_use]
+    pub fn failure(id: Option<u64>, code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            ok: None,
+            error: Some(WireError {
+                code,
+                message: message.into(),
+            }),
+        }
+    }
+
+    /// Whether this is a success response.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.ok.is_some()
+    }
+
+    /// The error code, if this is a failure response.
+    #[must_use]
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        self.error.as_ref().map(|e| e.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names_round_trip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_name(op.name()), Some(op));
+            let json = serde_json::to_string(&op).unwrap();
+            let back: Op = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, op);
+        }
+        assert!(Op::from_name("frobnicate").is_none());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_name(code.name()), Some(code));
+            let json = serde_json::to_string(&code).unwrap();
+            assert_eq!(json, format!("\"{}\"", code.name()));
+            let back: ErrorCode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, code);
+        }
+    }
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let request: Request = serde_json::from_str(r#"{"op":"balance"}"#).unwrap();
+        assert_eq!(request.op, Op::Balance);
+        assert_eq!(request.id, None);
+        assert_eq!(request.scenario, ScenarioSpec::default());
+        assert_eq!(request.params, Params::default());
+        assert!(request.validate().is_ok());
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let request = Request {
+            op: Op::Sweep,
+            id: Some(7),
+            deadline_ms: Some(250),
+            scenario: ScenarioSpec {
+                temp_c: Some(85.0),
+                corner: Some("ff".to_owned()),
+                chain_scale: Some(2.0),
+                ..ScenarioSpec::default()
+            },
+            params: Params {
+                from_kmh: Some(5.0),
+                to_kmh: Some(200.0),
+                steps: Some(196),
+                ..Params::default()
+            },
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn reference_spec_builds_reference_scenario() {
+        let spec = ScenarioSpec::default();
+        let scenario = spec.build().unwrap();
+        let reference = Scenario::reference();
+        assert_eq!(scenario.conditions(), reference.conditions());
+        assert_eq!(
+            scenario.architecture().len(),
+            reference.architecture().len()
+        );
+    }
+
+    #[test]
+    fn spec_overrides_apply() {
+        let spec = ScenarioSpec {
+            temp_c: Some(85.0),
+            supply_v: Some(1.0),
+            corner: Some("ff".to_owned()),
+            samples_per_round: Some(32),
+            ..ScenarioSpec::default()
+        };
+        let scenario = spec.build().unwrap();
+        assert!((scenario.conditions().temperature().celsius() - 85.0).abs() < 1e-9);
+        assert!((scenario.conditions().supply().volts() - 1.0).abs() < 1e-12);
+        assert_eq!(scenario.conditions().corner().id(), "ff");
+    }
+
+    #[test]
+    fn spec_validation_rejects_out_of_range() {
+        for spec in [
+            ScenarioSpec {
+                temp_c: Some(-400.0),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                supply_v: Some(9.0),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                corner: Some("zz".to_owned()),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                chain_scale: Some(0.0),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                samples_per_round: Some(0),
+                ..ScenarioSpec::default()
+            },
+        ] {
+            assert!(spec.validate().is_err(), "{spec:?}");
+            assert!(spec.build().is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn request_validation_rejects_bad_params() {
+        let mut request = Request::new(Op::Sweep);
+        request.params.steps = Some(1);
+        assert!(request.validate().is_err());
+        let mut request = Request::new(Op::Montecarlo);
+        request.params.samples = Some(0);
+        assert!(request.validate().is_err());
+        let mut request = Request::new(Op::Emulate);
+        request.params.cycle = Some("autobahn".to_owned());
+        assert!(request.validate().is_err());
+    }
+
+    #[test]
+    fn cache_keys_distinguish_specs() {
+        let a = ScenarioSpec::default();
+        let b = ScenarioSpec {
+            temp_c: Some(85.0),
+            ..ScenarioSpec::default()
+        };
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_eq!(a.cache_key(), ScenarioSpec::default().cache_key());
+    }
+
+    #[test]
+    fn responses_carry_exactly_one_arm() {
+        let ok = Response::success(Some(1), Payload::Pong);
+        assert!(ok.is_ok());
+        assert_eq!(ok.error_code(), None);
+        let err = Response::failure(Some(2), ErrorCode::QueueFull, "shed");
+        assert!(!err.is_ok());
+        assert_eq!(err.error_code(), Some(ErrorCode::QueueFull));
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("queue_full"), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, err);
+    }
+}

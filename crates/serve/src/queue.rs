@@ -1,0 +1,247 @@
+//! The bounded job queue: backpressure instead of unbounded buffering.
+//!
+//! Producers (connection handlers) *never block*: [`BoundedQueue::try_push`]
+//! either enqueues or returns the job so the caller can answer with a
+//! structured `queue_full` error. Consumers (workers) block on
+//! [`BoundedQueue::pop`]. Closing the queue wakes every consumer; `pop`
+//! keeps draining whatever is still queued and only then returns `None`,
+//! which is exactly the graceful-shutdown semantics the server needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue held `capacity` jobs — shed the load.
+    Full,
+    /// The queue was closed — the server is shutting down.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` jobs (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The hard capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of queued jobs right now.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is empty right now.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`Self::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Enqueues without ever blocking; on refusal the job comes back to
+    /// the caller together with the reason.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the queue is at capacity,
+    /// [`PushError::Closed`] after [`Self::close`].
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err((PushError::Closed, item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is *closed and
+    /// drained*; `None` means no job will ever come again.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Removes one queued job without blocking (used to drain with
+    /// per-job bookkeeping at shutdown).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("queue lock").items.pop_front()
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain the backlog
+    /// and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let queue = BoundedQueue::new(4);
+        for i in 0..4 {
+            queue.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(queue.pop(), Some(i));
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push(1).unwrap();
+        assert_eq!(queue.try_push(2), Err((PushError::Full, 2)));
+    }
+
+    #[test]
+    fn full_queue_sheds_without_blocking() {
+        let queue = BoundedQueue::new(2);
+        queue.try_push("a").unwrap();
+        queue.try_push("b").unwrap();
+        let (why, item) = queue.try_push("c").unwrap_err();
+        assert_eq!(why, PushError::Full);
+        assert_eq!(item, "c");
+        // Shedding must not have corrupted the backlog.
+        assert_eq!(queue.pop(), Some("a"));
+        queue.try_push("d").unwrap();
+        assert_eq!(queue.pop(), Some("b"));
+        assert_eq!(queue.pop(), Some("d"));
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_and_drains_pops() {
+        let queue = BoundedQueue::new(8);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        queue.close();
+        assert!(queue.is_closed());
+        assert_eq!(queue.try_push(3), Err((PushError::Closed, 3)));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let queue = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.pop())
+        };
+        // Give the consumer time to block on the condvar.
+        thread::sleep(Duration::from_millis(50));
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let queue = Arc::new(BoundedQueue::new(4));
+        let produced = 200u32;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut shed = 0u32;
+                    for i in 0..produced / 4 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match queue.try_push(item) {
+                                Ok(()) => break,
+                                Err((PushError::Full, back)) => {
+                                    item = back;
+                                    shed += 1;
+                                    thread::yield_now();
+                                }
+                                Err((PushError::Closed, _)) => unreachable!(),
+                            }
+                        }
+                    }
+                    shed
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut got = 0u32;
+                    while queue.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        queue.close();
+        let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, produced);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.try_pop(), None);
+        queue.try_push(9).unwrap();
+        assert_eq!(queue.try_pop(), Some(9));
+        assert_eq!(queue.try_pop(), None);
+    }
+}

@@ -1,0 +1,417 @@
+//! The TCP server: acceptor, connection handlers, worker pool, shutdown.
+//!
+//! Threading model (all `std::net` + `std::thread`, no async runtime):
+//!
+//! * one **acceptor** thread blocks on `accept` and spawns a handler per
+//!   connection;
+//! * each **connection handler** reads line-delimited requests in
+//!   lockstep (one outstanding job per connection), with a short read
+//!   timeout so it can poll the shutdown flag;
+//! * a fixed **worker pool** pops jobs from the bounded queue and
+//!   evaluates them on a shared `SweepExecutor`.
+//!
+//! Shutdown (the `shutdown` op or [`ServerHandle::shutdown`]) flips one
+//! flag, closes the queue, and pokes the acceptor with a loopback
+//! connection so `accept` returns. Workers drain the queued backlog —
+//! every accepted job still gets its response — and every thread joins
+//! before [`ServerHandle::wait`] returns.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use monityre_core::SweepExecutor;
+
+use crate::protocol::{ErrorCode, Op, Payload, Request, Response, MAX_LINE_BYTES};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::worker::{worker_loop, Engine, Job};
+
+/// How often blocked reads wake up to poll the shutdown flag.
+const POLL_PERIOD: Duration = Duration::from_millis(200);
+
+/// Server tuning; every field has a sensible default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub bind: String,
+    /// Worker-pool size (clamped to ≥ 1).
+    pub workers: usize,
+    /// Threads of the shared `SweepExecutor`; 0 means
+    /// [`SweepExecutor::available`] (which honours `MONITYRE_THREADS`).
+    pub threads: usize,
+    /// Bounded job-queue capacity; excess load is shed with `queue_full`.
+    pub queue_capacity: usize,
+    /// Scenario LRU capacity (warm `EvalCache` entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            threads: 0,
+            queue_capacity: 64,
+            cache_capacity: 16,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Binds, spawns the acceptor and the worker pool, and returns the
+    /// running server's handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.bind)?;
+        let addr = listener.local_addr()?;
+        let executor = if self.threads == 0 {
+            SweepExecutor::available()
+        } else {
+            SweepExecutor::new(self.threads)
+        };
+        let shared = Arc::new(Shared {
+            addr,
+            shutdown: AtomicBool::new(false),
+            queue: BoundedQueue::new(self.queue_capacity),
+            engine: Engine {
+                executor,
+                lru: crate::worker::ScenarioLru::new(self.cache_capacity),
+                stats: Arc::new(Stats::new()),
+            },
+        });
+        let workers: Vec<JoinHandle<()>> = (0..self.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared.queue, &shared.engine))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+struct Shared {
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    queue: BoundedQueue<Job>,
+    engine: Engine,
+}
+
+impl Shared {
+    /// Idempotent shutdown trigger: flag, queue close, acceptor poke.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Unblock `accept` so the acceptor observes the flag. The poke
+        // connection is handled (and immediately dropped) like any other.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully (so a panicking test never leaks threads); call
+/// [`Self::wait`] to instead serve until a client sends `shutdown`.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A statistics snapshot, read directly (no wire round trip).
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.engine.stats.snapshot()
+    }
+
+    /// Whether shutdown has been triggered.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Initiates graceful shutdown and blocks until every queued job is
+    /// answered and every thread has joined.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        self.join_all();
+    }
+
+    /// Blocks until a client triggers shutdown (the `shutdown` op), then
+    /// drains and joins — the body of `monityre serve`. Returns the final
+    /// statistics snapshot for the exit summary.
+    pub fn wait(mut self) -> StatsSnapshot {
+        self.join_all();
+        self.shared.engine.stats.snapshot()
+    }
+
+    fn join_all(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The shutdown poke (or a late client); stop accepting.
+                    drop(stream);
+                    break;
+                }
+                let shared = Arc::clone(shared);
+                handlers.push(thread::spawn(move || handle_connection(stream, &shared)));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure; keep serving.
+            }
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(POLL_PERIOD)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    // The line buffer persists across reads: a timeout can strike
+    // mid-line, and the bytes already consumed from the socket stay here
+    // until the terminating newline arrives.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match read_more(&mut reader, &mut line) {
+            ReadOutcome::Line => {
+                if line.len() > MAX_LINE_BYTES {
+                    let response = Response::failure(
+                        None,
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                    shared.engine.stats.record_bad_request();
+                    let _ = write_response(&mut writer, &response);
+                    return;
+                }
+                let keep_going = serve_line(&line, &mut writer, shared);
+                line.clear();
+                if !keep_going {
+                    return;
+                }
+            }
+            ReadOutcome::WouldBlock => {
+                if line.len() > MAX_LINE_BYTES {
+                    let response = Response::failure(
+                        None,
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                    shared.engine.stats.record_bad_request();
+                    let _ = write_response(&mut writer, &response);
+                    return;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            ReadOutcome::Eof => {
+                if !line.is_empty() {
+                    // Final unterminated line: serve it, then hang up.
+                    let _ = serve_line(&line, &mut writer, shared);
+                }
+                return;
+            }
+            ReadOutcome::Error => return,
+        }
+    }
+}
+
+enum ReadOutcome {
+    /// A complete `\n`-terminated line sits in the buffer.
+    Line,
+    /// The read timed out (possibly mid-line); poll the shutdown flag.
+    WouldBlock,
+    /// The peer closed the connection.
+    Eof,
+    /// A hard I/O error; drop the connection.
+    Error,
+}
+
+/// Reads until a newline, EOF, or timeout. Partial bytes accumulate in
+/// `line` across calls — `read_until` appends everything it consumed
+/// before an error, so nothing is lost to a timeout.
+fn read_more<R: Read>(reader: &mut BufReader<R>, line: &mut Vec<u8>) -> ReadOutcome {
+    match reader.read_until(b'\n', line) {
+        Ok(0) => ReadOutcome::Eof,
+        Ok(_) => {
+            if line.last() == Some(&b'\n') {
+                ReadOutcome::Line
+            } else {
+                // `read_until` only returns a short read at EOF.
+                ReadOutcome::Eof
+            }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+            ) =>
+        {
+            ReadOutcome::WouldBlock
+        }
+        Err(_) => ReadOutcome::Error,
+    }
+}
+
+/// Serves one request line; returns `false` when the connection (or the
+/// whole server) should stop.
+fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    let received = Instant::now();
+    let stats = &shared.engine.stats;
+    let text = match std::str::from_utf8(raw) {
+        Ok(text) => text.trim_end_matches(['\n', '\r']).trim(),
+        Err(_) => {
+            stats.record_bad_request();
+            let response =
+                Response::failure(None, ErrorCode::BadRequest, "request line is not UTF-8");
+            return write_response(writer, &response).is_ok();
+        }
+    };
+    if text.is_empty() {
+        return true; // blank keep-alive line
+    }
+    let request: Request = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => {
+            stats.record_bad_request();
+            let response = Response::failure(
+                None,
+                ErrorCode::BadRequest,
+                format!("request does not parse: {e}"),
+            );
+            return write_response(writer, &response).is_ok();
+        }
+    };
+    let id = request.id;
+    if let Err(message) = request.validate() {
+        stats.record_bad_request();
+        let response = Response::failure(id, ErrorCode::BadRequest, message);
+        return write_response(writer, &response).is_ok();
+    }
+    if request.op.is_control() {
+        return match request.op {
+            Op::Ping => write_response(writer, &Response::success(id, Payload::Pong)).is_ok(),
+            Op::Stats => {
+                let snapshot = stats.snapshot();
+                write_response(writer, &Response::success(id, Payload::Stats(snapshot))).is_ok()
+            }
+            _ => {
+                // Acknowledge first so the client sees the answer even
+                // though this connection closes right after.
+                let _ = write_response(writer, &Response::success(id, Payload::Draining));
+                shared.trigger_shutdown();
+                false
+            }
+        };
+    }
+    // Evaluation op: enqueue and wait in lockstep for this connection's
+    // reply. The bounded queue never blocks the push — excess load is
+    // shed right here with a structured error.
+    let deadline = request
+        .deadline_ms
+        .map(|ms| received + Duration::from_millis(ms));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        request,
+        deadline,
+        received,
+        reply: reply_tx,
+    };
+    let response = match shared.queue.try_push(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(response) => response,
+            Err(_) => Response::failure(id, ErrorCode::EvalFailed, "worker disappeared"),
+        },
+        Err((PushError::Full, _)) => {
+            stats.record_rejected();
+            Response::failure(
+                id,
+                ErrorCode::QueueFull,
+                format!(
+                    "job queue is at capacity ({}); retry later",
+                    shared.queue.capacity()
+                ),
+            )
+        }
+        Err((PushError::Closed, _)) => {
+            Response::failure(id, ErrorCode::ShuttingDown, "server is draining")
+        }
+    };
+    write_response(writer, &response).is_ok()
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut payload = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    payload.push('\n');
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Resolves a `host:port` string to a socket address (first match).
+///
+/// # Errors
+///
+/// Propagates resolution failures; an empty resolution is
+/// [`io::ErrorKind::AddrNotAvailable`].
+pub fn resolve_addr(spec: &str) -> io::Result<SocketAddr> {
+    spec.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            format!("`{spec}` resolves to no address"),
+        )
+    })
+}

@@ -1,0 +1,218 @@
+//! Server statistics: lock-free counters plus a service-time reservoir.
+//!
+//! Counters are relaxed atomics — they are monotone tallies, not
+//! synchronization. Service times land in a fixed-size ring (most recent
+//! `WINDOW` completions) from which the `stats` op computes p50/p99 on
+//! demand; a snapshot is a plain serializable struct so it travels over
+//! the wire like any other payload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// How many recent service times the percentile window keeps.
+const WINDOW: usize = 1024;
+
+/// Shared, thread-safe statistics registry.
+#[derive(Debug)]
+pub(crate) struct Stats {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    bad_requests: AtomicU64,
+    eval_failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Ring of recent service times in microseconds.
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    times_us: Vec<u64>,
+    next: usize,
+}
+
+impl Stats {
+    pub(crate) fn new() -> Self {
+        Self {
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            eval_failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                times_us: Vec::with_capacity(WINDOW),
+                next: 0,
+            }),
+        }
+    }
+
+    /// A job completed successfully after `elapsed` in the server.
+    pub(crate) fn record_served(&self, elapsed: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.ring.lock().expect("stats lock");
+        if ring.times_us.len() < WINDOW {
+            ring.times_us.push(us);
+        } else {
+            let slot = ring.next;
+            ring.times_us[slot] = us;
+        }
+        ring.next = (ring.next + 1) % WINDOW;
+    }
+
+    /// A job was shed with `queue_full`.
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job missed its deadline (queued or mid-evaluation).
+    pub(crate) fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request line failed to parse or validate.
+    pub(crate) fn record_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An evaluation failed after being accepted.
+    pub(crate) fn record_eval_failed(&self) {
+        self.eval_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The scenario LRU answered from warm state.
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The scenario LRU had to build a fresh entry.
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A self-consistent (per counter; relaxed across counters) snapshot.
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let mut times = self.ring.lock().expect("stats lock").times_us.clone();
+        times.sort_unstable();
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            eval_failed: self.eval_failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            p50_ms: percentile_ms(&times, 0.50),
+            p99_ms: percentile_ms(&times, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over sorted microsecond samples, in ms.
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+/// What the `stats` op returns: cumulative counters since start plus
+/// percentiles over the most recent service times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Jobs evaluated and answered successfully.
+    pub served: u64,
+    /// Jobs shed with `queue_full`.
+    pub rejected: u64,
+    /// Jobs that missed their deadline.
+    pub timed_out: u64,
+    /// Lines that failed to parse or validate.
+    pub bad_requests: u64,
+    /// Accepted jobs whose evaluation failed.
+    pub eval_failed: u64,
+    /// Scenario-cache hits.
+    pub cache_hits: u64,
+    /// Scenario-cache misses.
+    pub cache_misses: u64,
+    /// Median service time (parse-to-response) in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile service time in milliseconds.
+    pub p99_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally() {
+        let stats = Stats::new();
+        stats.record_served(Duration::from_millis(2));
+        stats.record_served(Duration::from_millis(4));
+        stats.record_rejected();
+        stats.record_timed_out();
+        stats.record_bad_request();
+        stats.record_eval_failed();
+        stats.record_cache_hit();
+        stats.record_cache_miss();
+        let snap = stats.snapshot();
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.bad_requests, 1);
+        assert_eq!(snap.eval_failed, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn percentiles_track_the_window() {
+        let stats = Stats::new();
+        for ms in 1..=100u64 {
+            stats.record_served(Duration::from_millis(ms));
+        }
+        let snap = stats.snapshot();
+        assert!((snap.p50_ms - 50.0).abs() <= 1.5, "p50 {}", snap.p50_ms);
+        assert!((snap.p99_ms - 99.0).abs() <= 1.5, "p99 {}", snap.p99_ms);
+        assert!(snap.p50_ms <= snap.p99_ms);
+    }
+
+    #[test]
+    fn empty_window_reports_zero() {
+        let snap = Stats::new().snapshot();
+        assert_eq!(snap.p50_ms, 0.0);
+        assert_eq!(snap.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_samples() {
+        let stats = Stats::new();
+        // Fill the window with slow samples, then overwrite with fast ones.
+        for _ in 0..WINDOW {
+            stats.record_served(Duration::from_millis(500));
+        }
+        for _ in 0..WINDOW {
+            stats.record_served(Duration::from_millis(1));
+        }
+        let snap = stats.snapshot();
+        assert!(snap.p99_ms < 10.0, "p99 {}", snap.p99_ms);
+        assert_eq!(snap.served, 2 * WINDOW as u64);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let stats = Stats::new();
+        stats.record_served(Duration::from_micros(1234));
+        let snap = stats.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,420 @@
+//! Job evaluation: the worker loop, the scenario LRU, and the shared
+//! op dispatcher.
+//!
+//! The same [`run_op`] body serves two callers: the server's worker pool
+//! (warm [`EvalCache`] from the LRU, deadline-driven cancellation) and the
+//! public [`evaluate`] helper (fresh cache, never cancelled). Both build
+//! the same [`Payload`] values and serialize through the same
+//! `serde_json`, which is what makes a served response byte-identical to
+//! a direct in-process evaluation — the loopback tests pin that down.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use monityre_core::EmulatorConfig;
+use monityre_core::{
+    EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor, TransientEmulator,
+    VariationModel,
+};
+use monityre_harvest::Supercap;
+use monityre_profile::named_cycle;
+use monityre_units::{Capacitance, Resistance, Speed, Voltage};
+
+use crate::protocol::{ErrorCode, Payload, Request, Response, ScenarioSpec};
+use crate::stats::Stats;
+
+/// A scenario with its precomputed per-block figures, shared by every job
+/// that names the same spec.
+pub(crate) struct CachedScenario {
+    scenario: Scenario,
+    cache: EvalCache,
+}
+
+impl CachedScenario {
+    fn build(spec: &ScenarioSpec) -> Result<Self, (ErrorCode, String)> {
+        let scenario = spec
+            .build()
+            .map_err(|message| (ErrorCode::BadRequest, message))?;
+        let cache = scenario
+            .cache()
+            .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+        Ok(Self { scenario, cache })
+    }
+}
+
+/// Least-recently-used map from canonical [`ScenarioSpec`] keys to warm
+/// [`CachedScenario`]s. The working set is tiny (a handful of specs per
+/// batch), so a vector scan under one mutex beats a hashed structure and
+/// keeps eviction order trivial: hits move to the back, the front is the
+/// coldest entry.
+pub(crate) struct ScenarioLru {
+    capacity: usize,
+    entries: Mutex<Vec<(String, Arc<CachedScenario>)>>,
+}
+
+impl ScenarioLru {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().expect("lru lock").len()
+    }
+
+    /// Returns the warm entry for `spec`, building (and recording a cache
+    /// miss) when absent.
+    pub(crate) fn get_or_build(
+        &self,
+        spec: &ScenarioSpec,
+        stats: &Stats,
+    ) -> Result<Arc<CachedScenario>, (ErrorCode, String)> {
+        let key = spec.cache_key();
+        {
+            let mut entries = self.entries.lock().expect("lru lock");
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+                let entry = entries.remove(pos);
+                let cached = Arc::clone(&entry.1);
+                entries.push(entry);
+                stats.record_cache_hit();
+                return Ok(cached);
+            }
+        }
+        // Build outside the lock — cache construction walks the whole
+        // power database and must not serialize unrelated jobs.
+        stats.record_cache_miss();
+        let built = Arc::new(CachedScenario::build(spec)?);
+        let mut entries = self.entries.lock().expect("lru lock");
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            // Another worker raced us to the same spec; adopt its entry.
+            let entry = entries.remove(pos);
+            let cached = Arc::clone(&entry.1);
+            entries.push(entry);
+            return Ok(cached);
+        }
+        if entries.len() >= self.capacity {
+            entries.remove(0);
+        }
+        entries.push((key, Arc::clone(&built)));
+        Ok(built)
+    }
+}
+
+/// One queued evaluation: the parsed request plus reply plumbing.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    /// Absolute expiry derived from `deadline_ms` at parse time.
+    pub(crate) deadline: Option<Instant>,
+    /// When the server parsed the request (service-time origin).
+    pub(crate) received: Instant,
+    /// Where the connection handler waits for the answer.
+    pub(crate) reply: mpsc::Sender<Response>,
+}
+
+/// What the worker pool shares.
+pub(crate) struct Engine {
+    pub(crate) executor: SweepExecutor,
+    pub(crate) lru: ScenarioLru,
+    pub(crate) stats: Arc<Stats>,
+}
+
+impl Engine {
+    /// Evaluates one job end to end, producing the response to send.
+    pub(crate) fn process(&self, job: &Job) -> Response {
+        let id = job.request.id;
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                self.stats.record_timed_out();
+                return Response::failure(
+                    id,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline elapsed while queued",
+                );
+            }
+        }
+        let cached = match self.lru.get_or_build(&job.request.scenario, &self.stats) {
+            Ok(cached) => cached,
+            Err((code, message)) => {
+                self.record_failure(code);
+                return Response::failure(id, code, message);
+            }
+        };
+        let cancelled = || {
+            job.deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+        };
+        match run_op(&job.request, &cached, &self.executor, &cancelled) {
+            Ok(Some(payload)) => {
+                self.stats.record_served(job.received.elapsed());
+                Response::success(id, payload)
+            }
+            Ok(None) => {
+                self.stats.record_timed_out();
+                Response::failure(
+                    id,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline elapsed mid-evaluation",
+                )
+            }
+            Err((code, message)) => {
+                self.record_failure(code);
+                Response::failure(id, code, message)
+            }
+        }
+    }
+
+    fn record_failure(&self, code: ErrorCode) {
+        match code {
+            ErrorCode::BadRequest => self.stats.record_bad_request(),
+            _ => self.stats.record_eval_failed(),
+        }
+    }
+}
+
+/// The worker-pool loop: drain the queue until it is closed *and* empty,
+/// answering every job — including the backlog left at shutdown.
+pub(crate) fn worker_loop(queue: &crate::queue::BoundedQueue<Job>, engine: &Engine) {
+    while let Some(job) = queue.pop() {
+        let response = engine.process(&job);
+        // A vanished client (dropped receiver) is not a server error.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs the request's operation against a warm scenario, polling
+/// `cancelled` at chunk boundaries; `Ok(None)` means the deadline fired.
+fn run_op<C: Fn() -> bool + Sync>(
+    request: &Request,
+    cached: &CachedScenario,
+    executor: &SweepExecutor,
+    cancelled: &C,
+) -> Result<Option<Payload>, (ErrorCode, String)> {
+    use crate::protocol::Op;
+    if cancelled() {
+        return Ok(None);
+    }
+    let p = &request.params;
+    match request.op {
+        Op::Balance | Op::Breakeven | Op::Sweep => {
+            let lo = Speed::from_kmh(p.from_kmh.unwrap_or(5.0));
+            let hi = Speed::from_kmh(p.to_kmh.unwrap_or(200.0));
+            let steps = p.steps.unwrap_or(100);
+            let balance = EnergyBalance::with_cache(&cached.scenario, cached.cache.clone());
+            let Some(report) = balance.sweep_cancellable(lo, hi, steps, executor, cancelled) else {
+                return Ok(None);
+            };
+            let break_even_kmh = report.break_even().map(|s| s.kmh());
+            Ok(Some(match request.op {
+                Op::Breakeven => Payload::Breakeven { break_even_kmh },
+                Op::Sweep => Payload::Sweep {
+                    report,
+                    break_even_kmh,
+                },
+                _ => Payload::Balance {
+                    break_even_kmh,
+                    steps: report.len(),
+                    surplus_steps: report.points().iter().filter(|pt| pt.is_surplus()).count(),
+                },
+            }))
+        }
+        Op::Montecarlo => {
+            let samples = p.samples.unwrap_or(128);
+            let seed = p.seed.unwrap_or(2011);
+            let mc = MonteCarlo::new(&cached.scenario, VariationModel::reference(), seed);
+            let dist = mc
+                .break_even_distribution_cancellable(samples, executor, cancelled)
+                .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            let Some(dist) = dist else {
+                return Ok(None);
+            };
+            Ok(Some(Payload::Montecarlo {
+                samples: dist.samples().len(),
+                never_crossed: dist.never_crossed(),
+                mean_kmh: dist.mean().kmh(),
+                p05_kmh: dist.quantile(0.05).kmh(),
+                p50_kmh: dist.quantile(0.50).kmh(),
+                p95_kmh: dist.quantile(0.95).kmh(),
+                std_dev_mps: dist.std_dev(),
+            }))
+        }
+        Op::Emulate => {
+            let cycle_name = p.cycle.as_deref().unwrap_or("nedc");
+            let repeat = p.repeat.unwrap_or(1);
+            let cycle = named_cycle(cycle_name, repeat).ok_or_else(|| {
+                (
+                    ErrorCode::BadRequest,
+                    format!("cycle: unknown driving cycle `{cycle_name}`"),
+                )
+            })?;
+            let emulator = TransientEmulator::new(
+                cached.scenario.architecture(),
+                cached.scenario.chain(),
+                cached.scenario.conditions(),
+                EmulatorConfig::new(),
+            )
+            .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            // Same reservoir as `monityre emulate`: 1.8–3.6 V usable
+            // window, 5 MΩ self-discharge, starting at 2.7 V.
+            let mut storage = Supercap::new(
+                Capacitance::from_millifarads(p.cap_mf.unwrap_or(47.0)),
+                Voltage::from_volts(1.8),
+                Voltage::from_volts(3.6),
+                Resistance::from_megaohms(5.0),
+                Voltage::from_volts(2.7),
+            );
+            // The emulator integrates serially; the deadline is honoured
+            // before and after, not mid-integration.
+            let report = emulator.run(&cycle, &mut storage);
+            if cancelled() {
+                return Ok(None);
+            }
+            Ok(Some(Payload::Emulate {
+                coverage: report.coverage(),
+                windows: report.windows.len(),
+                brownouts: report.brownouts as usize,
+                harvested_j: report.harvested.joules(),
+                consumed_j: report.consumed.joules(),
+                spilled_j: report.spilled.joules(),
+                span_s: report.span.secs(),
+            }))
+        }
+        Op::Stats | Op::Ping | Op::Shutdown => Err((
+            ErrorCode::BadRequest,
+            format!("op `{}` is a control operation", request.op.name()),
+        )),
+    }
+}
+
+/// Evaluates `request` directly in-process, exactly as a server worker
+/// would (fresh cache, no deadline). The returned [`Payload`] serializes
+/// byte-identically to the `ok` field a server sends for the same
+/// request — the property the loopback tests and `monityre request
+/// --local` rely on.
+///
+/// # Errors
+///
+/// Returns the structured error code and message a server would put in
+/// its `error` field. Control ops (`stats`, `ping`, `shutdown`) are
+/// rejected as `bad_request` except `ping`, which answers locally.
+pub fn evaluate(
+    request: &Request,
+    executor: &SweepExecutor,
+) -> Result<Payload, (ErrorCode, String)> {
+    request
+        .validate()
+        .map_err(|message| (ErrorCode::BadRequest, message))?;
+    if request.op == crate::protocol::Op::Ping {
+        return Ok(Payload::Pong);
+    }
+    let cached = CachedScenario::build(&request.scenario)?;
+    run_op(request, &cached, executor, &|| false)
+        .map(|payload| payload.expect("a never-cancelled evaluation always completes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Op;
+    use monityre_units::Speed as _Speed;
+
+    fn reference_breakeven_kmh() -> f64 {
+        let scenario = Scenario::reference();
+        let balance = EnergyBalance::new(&scenario).unwrap();
+        balance
+            .sweep(_Speed::from_kmh(5.0), _Speed::from_kmh(200.0), 100)
+            .break_even()
+            .unwrap()
+            .kmh()
+    }
+
+    #[test]
+    fn evaluate_balance_matches_direct_sweep() {
+        let executor = SweepExecutor::serial();
+        let payload = evaluate(&Request::new(Op::Breakeven), &executor).unwrap();
+        let Payload::Breakeven { break_even_kmh } = payload else {
+            panic!("wrong payload kind: {payload:?}");
+        };
+        assert_eq!(
+            break_even_kmh.unwrap().to_bits(),
+            reference_breakeven_kmh().to_bits()
+        );
+    }
+
+    #[test]
+    fn lru_hits_evicts_and_caps() {
+        let lru = ScenarioLru::new(2);
+        let stats = Stats::new();
+        let a = ScenarioSpec::default();
+        let b = ScenarioSpec {
+            temp_c: Some(85.0),
+            ..ScenarioSpec::default()
+        };
+        let c = ScenarioSpec {
+            temp_c: Some(-10.0),
+            ..ScenarioSpec::default()
+        };
+        let first = lru.get_or_build(&a, &stats).unwrap();
+        let again = lru.get_or_build(&a, &stats).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "second lookup must be a hit");
+        lru.get_or_build(&b, &stats).unwrap();
+        lru.get_or_build(&c, &stats).unwrap(); // evicts `a` (coldest)
+        assert_eq!(lru.len(), 2);
+        let rebuilt = lru.get_or_build(&a, &stats).unwrap();
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "evicted entry was rebuilt");
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 4);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_work() {
+        let cached = CachedScenario::build(&ScenarioSpec::default()).unwrap();
+        let request = Request::new(Op::Balance);
+        let outcome = run_op(&request, &cached, &SweepExecutor::serial(), &|| true).unwrap();
+        assert!(outcome.is_none());
+    }
+
+    #[test]
+    fn control_ops_are_rejected_by_run_op() {
+        let cached = CachedScenario::build(&ScenarioSpec::default()).unwrap();
+        for op in [Op::Stats, Op::Shutdown] {
+            let err = run_op(
+                &Request::new(op),
+                &cached,
+                &SweepExecutor::serial(),
+                &|| false,
+            )
+            .unwrap_err();
+            assert_eq!(err.0, ErrorCode::BadRequest);
+        }
+    }
+
+    #[test]
+    fn evaluate_rejects_invalid_requests() {
+        let executor = SweepExecutor::serial();
+        let mut request = Request::new(Op::Sweep);
+        request.params.steps = Some(1);
+        let (code, _) = evaluate(&request, &executor).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn evaluate_emulate_reports_coverage() {
+        let executor = SweepExecutor::serial();
+        let mut request = Request::new(Op::Emulate);
+        request.params.cycle = Some("urban".to_owned());
+        let payload = evaluate(&request, &executor).unwrap();
+        let Payload::Emulate {
+            coverage, span_s, ..
+        } = payload
+        else {
+            panic!("wrong payload kind: {payload:?}");
+        };
+        assert!((0.0..=1.0).contains(&coverage));
+        assert!(span_s > 0.0);
+    }
+}

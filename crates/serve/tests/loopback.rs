@@ -1,0 +1,315 @@
+//! Loopback integration tests: a real server on an ephemeral port, real
+//! TCP clients, and the four serving guarantees — bit-identity,
+//! backpressure, deadlines, graceful shutdown.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use monityre_core::SweepExecutor;
+use monityre_serve::{evaluate, Client, ErrorCode, Op, Payload, Request, Response, ServerConfig};
+
+/// The workspace's pinned reference break-even (see
+/// `crates/core/tests/sweep_determinism.rs`); a served result must carry
+/// exactly this value.
+const REFERENCE_BREAK_EVEN_KMH: f64 = 34.526_307_817_678_656;
+
+fn start_default() -> monityre_serve::ServerHandle {
+    ServerConfig::default().start().expect("bind loopback")
+}
+
+/// The response line the server must produce for `request`, built by
+/// evaluating directly in-process and serializing through the same
+/// serde_json.
+fn expected_line(request: &Request) -> String {
+    let payload = evaluate(request, &SweepExecutor::serial()).expect("direct evaluation");
+    serde_json::to_string(&Response::success(request.id, payload)).expect("serialize")
+}
+
+#[test]
+fn concurrent_clients_receive_bit_identical_payloads() {
+    let handle = start_default();
+    let addr = handle.addr();
+
+    // A mixed batch; every client sends all of them.
+    let mut sweep = Request::new(Op::Sweep).with_id(3);
+    sweep.params.steps = Some(24);
+    let mut montecarlo = Request::new(Op::Montecarlo).with_id(4);
+    montecarlo.params.samples = Some(12);
+    montecarlo.params.seed = Some(7);
+    let requests = vec![
+        Request::new(Op::Balance).with_id(1),
+        Request::new(Op::Breakeven).with_id(2),
+        sweep,
+        montecarlo,
+    ];
+    let expected: Vec<String> = requests.iter().map(expected_line).collect();
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let requests = requests.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                requests
+                    .iter()
+                    .map(|request| client.request_raw(request).expect("request"))
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+
+    for client in clients {
+        let lines = client.join().expect("client thread");
+        assert_eq!(
+            lines, expected,
+            "served bytes differ from direct evaluation"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn reference_break_even_is_pinned_through_the_wire() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // The same grid the pinned core test sweeps: 5..200 km/h, 196 steps.
+    let mut request = Request::new(Op::Breakeven).with_id(11);
+    request.params.from_kmh = Some(5.0);
+    request.params.to_kmh = Some(200.0);
+    request.params.steps = Some(196);
+    let response = client.request(&request).expect("request");
+    let Some(Payload::Breakeven { break_even_kmh }) = response.ok else {
+        panic!("unexpected response: {response:?}");
+    };
+    assert_eq!(
+        break_even_kmh.expect("curves cross").to_bits(),
+        REFERENCE_BREAK_EVEN_KMH.to_bits(),
+        "served break-even drifted from the pinned reference"
+    );
+    handle.shutdown();
+}
+
+/// Writes a request line without reading the response, so the job sits
+/// in the server while we probe the queue from another connection.
+fn fire_and_forget(addr: std::net::SocketAddr, request: &Request) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut line = serde_json::to_string(request).expect("serialize");
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.flush().expect("flush");
+    stream
+}
+
+fn slow_sweep(id: u64) -> Request {
+    let mut request = Request::new(Op::Sweep).with_id(id);
+    request.params.steps = Some(400_000);
+    request
+}
+
+#[test]
+fn full_queue_sheds_with_structured_queue_full() {
+    let handle = ServerConfig {
+        workers: 1,
+        threads: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    }
+    .start()
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // Occupy the single worker, then the single queue slot.
+    let busy = fire_and_forget(addr, &slow_sweep(100));
+    thread::sleep(Duration::from_millis(150)); // worker picks up the job
+    let queued = fire_and_forget(addr, &slow_sweep(101));
+    thread::sleep(Duration::from_millis(150)); // job reaches the queue
+
+    // A burst against the full queue: every extra request is shed
+    // immediately with `queue_full` — no blocking, no panic.
+    let mut shed = 0;
+    for i in 0..4 {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let response = client
+            .request(&Request::new(Op::Breakeven).with_id(200 + i))
+            .expect("burst request must be answered promptly");
+        if response.error_code() == Some(ErrorCode::QueueFull) {
+            shed += 1;
+        }
+    }
+    assert!(shed >= 1, "a burst against a size-1 queue must shed load");
+
+    // The occupying jobs still complete normally.
+    for stream in [busy, queued] {
+        let mut client = Client::from_stream(stream).expect("wrap");
+        client
+            .set_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let raw = client.recv_raw().expect("read pending response");
+        let response: Response = serde_json::from_str(&raw).expect("parse");
+        assert!(response.is_ok(), "occupying job failed: {response:?}");
+    }
+    let stats = handle.stats();
+    assert!(stats.rejected >= 1, "stats must count shed jobs");
+    handle.shutdown();
+}
+
+#[test]
+fn tight_deadline_on_a_large_sweep_is_cancelled() {
+    let handle = ServerConfig {
+        workers: 1,
+        threads: 1,
+        ..ServerConfig::default()
+    }
+    .start()
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let request = slow_sweep(31).with_deadline_ms(1);
+    let response = client.request(&request).expect("request");
+    assert_eq!(
+        response.error_code(),
+        Some(ErrorCode::DeadlineExceeded),
+        "a 1 ms deadline on a 400k-point sweep must expire: {response:?}"
+    );
+    assert!(handle.stats().timed_out >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let handle = ServerConfig {
+        workers: 1,
+        threads: 1,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    }
+    .start()
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // One job runs, one waits in the queue; both must be answered even
+    // though shutdown arrives while they are in flight.
+    let busy = fire_and_forget(addr, &slow_sweep(50));
+    thread::sleep(Duration::from_millis(150));
+    let queued = fire_and_forget(addr, &slow_sweep(51));
+    thread::sleep(Duration::from_millis(50));
+
+    let mut controller = Client::connect(addr).expect("connect");
+    let ack = controller
+        .request(&Request::new(Op::Shutdown).with_id(99))
+        .expect("shutdown request");
+    assert_eq!(ack.ok, Some(Payload::Draining), "{ack:?}");
+
+    for (name, stream) in [("busy", busy), ("queued", queued)] {
+        let mut client = Client::from_stream(stream).expect("wrap");
+        client
+            .set_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let raw = client.recv_raw().expect("drained response");
+        let response: Response = serde_json::from_str(&raw).expect("parse");
+        assert!(
+            response.is_ok(),
+            "{name} job must be drained, got {response:?}"
+        );
+        assert_eq!(response.id, Some(if name == "busy" { 50 } else { 51 }));
+    }
+
+    // wait() returns only after every thread joined — the graceful exit.
+    assert!(handle.is_shutting_down());
+    handle.wait();
+
+    // New connections are refused or reset once the listener is gone.
+    assert!(
+        Client::connect(addr).is_err() || {
+            let mut late = Client::connect(addr).unwrap();
+            late.set_timeout(Some(Duration::from_secs(2))).unwrap();
+            late.request(&Request::new(Op::Ping)).is_err()
+        }
+    );
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_structured_errors() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let raw = client.send_line("this is not json").expect("send");
+    let response: Response = serde_json::from_str(&raw).expect("parse");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+
+    let raw = client.send_line(r#"{"op":"frobnicate"}"#).expect("send");
+    let response: Response = serde_json::from_str(&raw).expect("parse");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+
+    // Validation failures echo the request id.
+    let raw = client
+        .send_line(r#"{"op":"sweep","id":77,"params":{"steps":1}}"#)
+        .expect("send");
+    let response: Response = serde_json::from_str(&raw).expect("parse");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+    assert_eq!(response.id, Some(77));
+
+    // The connection survives all of the above.
+    let pong = client.request(&Request::new(Op::Ping)).expect("ping");
+    assert_eq!(pong.ok, Some(Payload::Pong));
+    assert!(handle.stats().bad_requests >= 3);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_op_reports_counters_and_percentiles() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for i in 0..3 {
+        let response = client
+            .request(&Request::new(Op::Breakeven).with_id(i))
+            .expect("request");
+        assert!(response.is_ok());
+    }
+    let response = client
+        .request(&Request::new(Op::Stats).with_id(9))
+        .expect("stats");
+    let Some(Payload::Stats(snapshot)) = response.ok else {
+        panic!("unexpected stats response: {response:?}");
+    };
+    assert_eq!(snapshot.served, 3);
+    assert_eq!(snapshot.rejected, 0);
+    assert!(snapshot.p50_ms >= 0.0 && snapshot.p50_ms <= snapshot.p99_ms);
+    // The three identical requests share one scenario cache entry.
+    assert_eq!(snapshot.cache_misses, 1);
+    assert_eq!(snapshot.cache_hits, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn scenario_overrides_travel_the_wire() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut reference = Request::new(Op::Breakeven).with_id(1);
+    reference.params.steps = Some(96);
+    let mut hot = reference.clone();
+    hot.id = Some(2);
+    hot.scenario.temp_c = Some(85.0);
+    let mut big_chain = reference.clone();
+    big_chain.id = Some(3);
+    big_chain.scenario.chain_scale = Some(2.0);
+
+    let mut kmh = |request: &Request| -> f64 {
+        let response = client.request(request).expect("request");
+        let Some(Payload::Breakeven { break_even_kmh }) = response.ok else {
+            panic!("unexpected response: {response:?}");
+        };
+        break_even_kmh.expect("curves cross")
+    };
+    let base = kmh(&reference);
+    assert!(kmh(&hot) > base, "heat must raise the break-even");
+    assert!(
+        kmh(&big_chain) < base,
+        "a larger scavenger must lower the break-even"
+    );
+    handle.shutdown();
+}

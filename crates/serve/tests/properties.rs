@@ -1,0 +1,203 @@
+//! Property tests of the wire protocol: any representable request or
+//! response serializes to one JSON line and parses back identically,
+//! with float fields surviving bit-for-bit.
+
+use monityre_serve::{ErrorCode, Op, Params, Payload, Request, Response, ScenarioSpec, WireError};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+fn arb_op() -> BoxedStrategy<Op> {
+    (0usize..Op::ALL.len()).prop_map(|i| Op::ALL[i]).boxed()
+}
+
+fn arb_error_code() -> BoxedStrategy<ErrorCode> {
+    (0usize..ErrorCode::ALL.len())
+        .prop_map(|i| ErrorCode::ALL[i])
+        .boxed()
+}
+
+fn option_of<T: Clone + 'static>(inner: BoxedStrategy<T>) -> BoxedStrategy<Option<T>> {
+    prop_oneof![Just(None), inner.prop_map(Some)].boxed()
+}
+
+fn arb_scenario_spec() -> BoxedStrategy<ScenarioSpec> {
+    (
+        option_of((-50.0..150.0f64).boxed()),
+        option_of((0.6..1.8f64).boxed()),
+        option_of(
+            (0usize..3)
+                .prop_map(|i| ["ss", "tt", "ff"][i].to_owned())
+                .boxed(),
+        ),
+        option_of((1u32..512).boxed()),
+        option_of((1u32..64).boxed()),
+        option_of((1u32..64).boxed()),
+        option_of((0.1..4.0f64).boxed()),
+    )
+        .prop_map(
+            |(
+                temp_c,
+                supply_v,
+                corner,
+                samples_per_round,
+                tx_period_rounds,
+                payload_bytes,
+                chain_scale,
+            )| {
+                ScenarioSpec {
+                    temp_c,
+                    supply_v,
+                    corner,
+                    samples_per_round,
+                    tx_period_rounds,
+                    payload_bytes,
+                    chain_scale,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn arb_params() -> BoxedStrategy<Params> {
+    (
+        option_of((1.0..50.0f64).boxed()),
+        option_of((60.0..300.0f64).boxed()),
+        option_of((2usize..500).boxed()),
+        option_of((1usize..256).boxed()),
+        option_of((0u64..u64::MAX).boxed()),
+        option_of(
+            (0usize..4)
+                .prop_map(|i| ["urban", "eudc", "wltc", "nedc"][i].to_owned())
+                .boxed(),
+        ),
+        option_of((1usize..8).boxed()),
+        option_of((1.0..470.0f64).boxed()),
+    )
+        .prop_map(
+            |(from_kmh, to_kmh, steps, samples, seed, cycle, repeat, cap_mf)| Params {
+                from_kmh,
+                to_kmh,
+                steps,
+                samples,
+                seed,
+                cycle,
+                repeat,
+                cap_mf,
+            },
+        )
+        .boxed()
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    (
+        arb_op(),
+        option_of((0u64..u64::MAX).boxed()),
+        option_of((1u64..60_000).boxed()),
+        arb_scenario_spec(),
+        arb_params(),
+    )
+        .prop_map(|(op, id, deadline_ms, scenario, params)| Request {
+            op,
+            id,
+            deadline_ms,
+            scenario,
+            params,
+        })
+        .boxed()
+}
+
+fn arb_payload() -> BoxedStrategy<Payload> {
+    let f = || proptest::num::f64::Normal.boxed();
+    prop_oneof![
+        (option_of(f()), (2usize..1000), (0usize..1000)).prop_map(
+            |(break_even_kmh, steps, surplus_steps)| Payload::Balance {
+                break_even_kmh,
+                steps,
+                surplus_steps,
+            }
+        ),
+        option_of(f()).prop_map(|break_even_kmh| Payload::Breakeven { break_even_kmh }),
+        (
+            (1usize..512),
+            (0usize..64),
+            f(),
+            f(),
+            f(),
+            f(),
+            (0.0..10.0f64)
+        )
+            .prop_map(
+                |(samples, never_crossed, mean_kmh, p05_kmh, p50_kmh, p95_kmh, std_dev_mps)| {
+                    Payload::Montecarlo {
+                        samples,
+                        never_crossed,
+                        mean_kmh,
+                        p05_kmh,
+                        p50_kmh,
+                        p95_kmh,
+                        std_dev_mps,
+                    }
+                }
+            ),
+        Just(Payload::Pong),
+        Just(Payload::Draining),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (option_of((0u64..u64::MAX).boxed()), arb_payload())
+            .prop_map(|(id, payload)| Response::success(id, payload)),
+        (
+            option_of((0u64..u64::MAX).boxed()),
+            arb_error_code(),
+            (0usize..4).prop_map(|i| {
+                ["shed", "deadline elapsed", "", "worker disappeared"][i].to_owned()
+            })
+        )
+            .prop_map(|(id, code, message)| Response::failure(id, code, message)),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn request_round_trips_through_the_wire(request in arb_request()) {
+        let line = serde_json::to_string(&request).unwrap();
+        prop_assert!(!line.contains('\n'), "a wire line must be newline-free");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(&back, &request);
+        // Serialization is canonical: a second pass is byte-identical.
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), line);
+    }
+
+    fn response_round_trips_through_the_wire(response in arb_response()) {
+        let line = serde_json::to_string(&response).unwrap();
+        prop_assert!(!line.contains('\n'));
+        let back: Response = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(&back, &response);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), line);
+    }
+
+    fn float_params_survive_bit_for_bit(kmh in proptest::num::f64::Normal) {
+        let mut request = Request::new(Op::Balance);
+        request.params.from_kmh = Some(kmh);
+        let line = serde_json::to_string(&request).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(back.params.from_kmh.unwrap().to_bits(), kmh.to_bits());
+    }
+}
+
+#[test]
+fn wire_error_round_trips() {
+    let error = WireError {
+        code: ErrorCode::DeadlineExceeded,
+        message: "deadline elapsed mid-evaluation".to_owned(),
+    };
+    let json = serde_json::to_string(&error).unwrap();
+    assert!(json.contains("deadline_exceeded"), "{json}");
+    let back: WireError = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, error);
+}
