@@ -282,6 +282,71 @@ pub fn record_serve_bench(result: ServeBenchResult) {
     std::fs::write(&path, text + "\n").expect("BENCH_serve.json writes");
 }
 
+/// One row of `BENCH_obs.json`: the same sweep batch timed with the
+/// observability spans enabled (the default) and disabled
+/// (`monityre_obs::set_enabled(false)`), to guard the instrumentation
+/// overhead budget (< 2 %).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsBenchResult {
+    /// Which batch was measured (the merge key).
+    pub name: String,
+    /// Batch size in sweep points.
+    pub points: usize,
+    /// Independent copies of the batch per timed pass.
+    pub batches: usize,
+    /// Hardware threads available when the row was measured.
+    pub cpus: usize,
+    /// Throughput with spans recording into the global registry.
+    pub enabled_points_per_sec: f64,
+    /// Throughput with spans disabled (inert guards).
+    pub disabled_points_per_sec: f64,
+    /// `(disabled - enabled) / disabled × 100` — the cost of leaving the
+    /// instrumentation on, as a percentage of disabled throughput.
+    pub overhead_pct: f64,
+}
+
+/// Where the observability-overhead rows live: `BENCH_obs.json` at the
+/// repository root.
+#[must_use]
+pub fn obs_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_obs.json")
+}
+
+/// Merges `result` into `BENCH_obs.json`, replacing any existing row with
+/// the same name, and prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read, parsed or written — a harness
+/// misconfiguration worth failing loudly on.
+pub fn record_obs_bench(result: ObsBenchResult) {
+    let path = obs_bench_path();
+    let mut rows: Vec<ObsBenchResult> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_obs.json parses"),
+        Err(_) => Vec::new(),
+    };
+    println!(
+        "bench {}: {} points x {} batches, spans on {:.0} pts/s, off {:.0} pts/s ({:+.2} % overhead on {} cpu(s))",
+        result.name,
+        result.points,
+        result.batches,
+        result.enabled_points_per_sec,
+        result.disabled_points_per_sec,
+        result.overhead_pct,
+        result.cpus
+    );
+    match rows.iter_mut().find(|row| row.name == result.name) {
+        Some(row) => *row = result,
+        None => rows.push(result),
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let text = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&path, text + "\n").expect("BENCH_obs.json writes");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +404,24 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].name, "round-trip");
         assert_eq!(back[0].points, 196);
+    }
+
+    #[test]
+    fn obs_bench_rows_round_trip() {
+        let row = ObsBenchResult {
+            name: "obs-round-trip".into(),
+            points: 196,
+            batches: 32,
+            cpus: 4,
+            enabled_points_per_sec: 9900.0,
+            disabled_points_per_sec: 10000.0,
+            overhead_pct: 1.0,
+        };
+        let json = serde_json::to_string(&vec![row]).unwrap();
+        let back: Vec<ObsBenchResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "obs-round-trip");
+        assert!((back[0].overhead_pct - 1.0).abs() < 1e-12);
     }
 
     #[test]

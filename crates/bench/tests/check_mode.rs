@@ -24,6 +24,7 @@ fn run_check(bin: &str) {
         "exp_adaptive" => env!("CARGO_BIN_EXE_exp_adaptive"),
         "exp_workbook" => env!("CARGO_BIN_EXE_exp_workbook"),
         "exp_serve" => env!("CARGO_BIN_EXE_exp_serve"),
+        "exp_sweep" => env!("CARGO_BIN_EXE_exp_sweep"),
         other => panic!("unknown harness {other}"),
     };
     let output = Command::new(path)
@@ -136,6 +137,11 @@ fn exp_workbook_check() {
 #[test]
 fn exp_serve_check() {
     run_check("exp_serve");
+}
+
+#[test]
+fn exp_sweep_check() {
+    run_check("exp_sweep");
 }
 
 #[test]

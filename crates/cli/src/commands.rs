@@ -28,13 +28,20 @@ fn scenario_for(conditions: WorkingConditions) -> Scenario {
     Scenario::builder().conditions(conditions).build()
 }
 
-/// Parses the shared `--threads` flag into an executor. Every evaluating
-/// subcommand calls this, so `--threads` is accepted uniformly even where
-/// the evaluation happens to be serial.
+/// Parses the shared `--threads` and `--trace-out` flags. Every
+/// evaluating subcommand calls this, so both are accepted uniformly even
+/// where the evaluation happens to be serial. `--trace-out <file>` routes
+/// the process-wide span trace (one JSON line per finished span) to the
+/// given path, exactly like setting the `MONITYRE_TRACE` environment
+/// variable.
 pub(crate) fn executor_from(args: &Args) -> Result<SweepExecutor, CliError> {
     let threads = args.count("threads", 1)?;
     if threads == 0 {
         return Err(CliError::new("flag --threads: must be at least 1"));
+    }
+    if let Some(path) = args.text_opt("trace-out") {
+        monityre_obs::set_trace_path(std::path::Path::new(&path))
+            .map_err(|message| CliError::new(format!("flag --trace-out: {message}")))?;
     }
     Ok(SweepExecutor::new(threads))
 }

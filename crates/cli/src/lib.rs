@@ -16,6 +16,7 @@
 //!                    [--queue 64] [--cache 16] [--announce /tmp/addr]
 //! monityre request   [--addr HOST:PORT | --local] [--op breakeven] [--id 1]
 //!                    [--deadline-ms 5000] [--steps 96] [--temp 85]
+//! monityre obs       --addr HOST:PORT [--prometheus]
 //! ```
 //!
 //! The command implementations return their output as a `String`, so the
@@ -58,6 +59,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "vehicle" => commands::vehicle(&args),
         "serve" => remote::serve(&args),
         "request" => remote::request(&args),
+        "obs" => remote::obs(&args),
         other => Err(CliError::new(format!(
             "unknown command `{other}` (try `monityre help`)"
         ))),
@@ -85,6 +87,7 @@ COMMANDS:
     vehicle    four-corner availability over a driving cycle
     serve      run the batch evaluation server (line-delimited JSON over TCP)
     request    send one request to a server (or --local) and print the JSON
+    obs        fetch a server's stats snapshot (or --prometheus exposition)
 
 COMMON FLAGS:
     --temp <C>          working temperature in °C        (default 27)
@@ -92,6 +95,8 @@ COMMON FLAGS:
     --supply <V>        supply voltage in volts          (default 1.2)
     --threads <N>       sweep worker threads; accepted by every evaluating
                         command, results are identical to serial (default 1)
+    --trace-out <file>  write one JSON line per profiling span (same as
+                        setting MONITYRE_TRACE=<file>)
 
 Run `monityre <command> --help` is not needed — unknown flags are
 rejected with the list of flags the command accepts.
@@ -275,6 +280,54 @@ mod tests {
         let out = run_line(&format!("request --addr {addr} --op ping --id 3")).unwrap();
         assert!(out.contains("Pong"), "{out}");
         assert!(out.contains("\"id\":3"), "{out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_out_captures_span_lines() {
+        let trace =
+            std::env::temp_dir().join(format!("monityre-cli-trace-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&trace);
+        let out = run_line(&format!(
+            "balance --steps 24 --trace-out {}",
+            trace.display()
+        ))
+        .unwrap();
+        assert!(out.contains("break-even"), "{out}");
+        let captured = std::fs::read_to_string(&trace).expect("trace file written");
+        assert!(
+            captured
+                .lines()
+                .any(|l| l.contains("\"span\":\"balance.sweep\"")),
+            "balance sweep span missing from trace: {captured}"
+        );
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn obs_requires_an_address() {
+        let err = run_line("obs").unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+    }
+
+    #[test]
+    fn obs_command_reports_a_live_server() {
+        let handle = monityre_serve::ServerConfig::default()
+            .start()
+            .expect("bind loopback");
+        let addr = handle.addr();
+        // Serve one evaluation so the counters move.
+        let out = run_line(&format!("request --addr {addr} --op breakeven --id 1")).unwrap();
+        assert!(out.contains("Breakeven"), "{out}");
+
+        let report = run_line(&format!("obs --addr {addr}")).unwrap();
+        assert!(report.contains("served        1"), "{report}");
+        assert!(report.contains("speed memo"), "{report}");
+        assert!(report.contains("breakeven"), "{report}");
+
+        let text = run_line(&format!("obs --addr {addr} --prometheus")).unwrap();
+        assert!(text.contains("monityre_serve_served 1"), "{text}");
+        assert!(text.contains("# TYPE"), "{text}");
         handle.shutdown();
     }
 

@@ -7,10 +7,11 @@
 //! (`--local`). Both print the raw JSON response line, so scripts can
 //! assert on structured error codes without a JSON library.
 
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Duration;
 
-use monityre_serve::{evaluate, Client, Op, Request, Response, ServerConfig};
+use monityre_serve::{evaluate, Client, Op, Payload, Request, Response, ServerConfig};
 
 use crate::commands::executor_from;
 use crate::{Args, CliError};
@@ -76,6 +77,83 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         "server drained: served {}, rejected {}, timed out {}, bad requests {}\n",
         stats.served, stats.rejected, stats.timed_out, stats.bad_requests
     ))
+}
+
+/// `monityre obs` — fetch a running server's observability state and
+/// pretty-print it. By default renders the `stats` snapshot as a readable
+/// report; `--prometheus` instead prints the raw `metrics` exposition
+/// (what a Prometheus scraper would ingest).
+pub(crate) fn obs(args: &Args) -> Result<String, CliError> {
+    let addr = args.text_opt("addr").ok_or_else(|| {
+        CliError::new("flag --addr <host:port> is required (a running `monityre serve`)")
+    })?;
+    let prometheus = args.flag("prometheus");
+    let timeout_ms = args.count("timeout-ms", 30_000)?;
+    args.finish()?;
+
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| CliError::new(format!("obs: cannot connect to {addr}: {e}")))?;
+    client
+        .set_timeout(Some(Duration::from_millis(timeout_ms as u64)))
+        .map_err(|e| CliError::new(format!("obs: {e}")))?;
+
+    if prometheus {
+        let response = client
+            .request(&Request::new(Op::Metrics))
+            .map_err(|e| CliError::new(format!("obs: metrics request to {addr} failed: {e}")))?;
+        let Some(Payload::Metrics(text)) = response.ok else {
+            return Err(CliError::new(format!(
+                "obs: unexpected metrics response: {response:?}"
+            )));
+        };
+        return Ok(text);
+    }
+
+    let response = client
+        .request(&Request::new(Op::Stats))
+        .map_err(|e| CliError::new(format!("obs: stats request to {addr} failed: {e}")))?;
+    let Some(Payload::Stats(snapshot)) = response.ok else {
+        return Err(CliError::new(format!(
+            "obs: unexpected stats response: {response:?}"
+        )));
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "server {addr}");
+    let _ = writeln!(out, "  requests:");
+    let _ = writeln!(out, "    served        {}", snapshot.served);
+    let _ = writeln!(out, "    rejected      {}", snapshot.rejected);
+    let _ = writeln!(out, "    timed out     {}", snapshot.timed_out);
+    let _ = writeln!(out, "    bad requests  {}", snapshot.bad_requests);
+    let _ = writeln!(out, "    eval failed   {}", snapshot.eval_failed);
+    let _ = writeln!(out, "  service time:");
+    let _ = writeln!(out, "    p50  {:.3} ms", snapshot.p50_ms);
+    let _ = writeln!(out, "    p99  {:.3} ms", snapshot.p99_ms);
+    let _ = writeln!(out, "  scenario cache:");
+    let _ = writeln!(out, "    hits    {}", snapshot.cache_hits);
+    let _ = writeln!(out, "    misses  {}", snapshot.cache_misses);
+    let _ = writeln!(out, "  speed memo (warm scenarios):");
+    let _ = writeln!(out, "    hits       {}", snapshot.eval_memo.hits);
+    let _ = writeln!(out, "    misses     {}", snapshot.eval_memo.misses);
+    let _ = writeln!(out, "    evictions  {}", snapshot.eval_memo.evictions);
+    if snapshot.ops.is_empty() {
+        let _ = writeln!(out, "  per-op latency: (no jobs served yet)");
+    } else {
+        let _ = writeln!(out, "  per-op latency (bucket estimates):");
+        let _ = writeln!(
+            out,
+            "    {:<12} {:>8} {:>10} {:>10} {:>10}",
+            "op", "count", "p50_ms", "p90_ms", "p99_ms"
+        );
+        for op in &snapshot.ops {
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                op.op, op.count, op.p50_ms, op.p90_ms, op.p99_ms
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// `monityre request` — send one request to a running server (or

@@ -14,9 +14,33 @@ use std::thread;
 
 /// Environment variable overriding [`SweepExecutor::available`]'s worker
 /// count, so deployments (servers, CI) can pin parallelism without
-/// plumbing flags. Values are clamped to at least 1; non-numeric values
-/// are ignored.
+/// plumbing flags. The value must be a positive integer; `0` or anything
+/// non-numeric is rejected — [`SweepExecutor::available`] warns and falls
+/// back to the hardware count, [`SweepExecutor::try_available`] errors.
 pub const THREADS_ENV_VAR: &str = "MONITYRE_THREADS";
+
+/// The machine's available parallelism (1 when undetectable).
+fn hardware_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses a [`THREADS_ENV_VAR`] value into a worker count. `Ok(None)`
+/// means unset (use the hardware count); a set-but-invalid value — zero,
+/// negative, non-numeric — is an error, never a silent fallback.
+fn parse_threads_override(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV_VAR}={raw:?} is invalid: the worker count must be at least 1"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{THREADS_ENV_VAR}={raw:?} is invalid: expected a positive integer"
+        )),
+    }
+}
 
 /// A chunked, order-preserving parallel map over sweep points.
 ///
@@ -61,17 +85,33 @@ impl SweepExecutor {
     }
 
     /// An executor sized to the machine's available parallelism, unless
-    /// the [`THREADS_ENV_VAR`] environment variable overrides it: a
-    /// numeric value is clamped to at least 1 worker, anything else is
-    /// ignored.
+    /// the [`THREADS_ENV_VAR`] environment variable overrides it with a
+    /// positive integer. An invalid override (`0`, non-numeric) is
+    /// **rejected**, not silently absorbed: this constructor warns on
+    /// stderr and uses the hardware count; strict callers (the server's
+    /// startup path) use [`Self::try_available`] to fail fast instead.
     #[must_use]
     pub fn available() -> Self {
-        let hardware = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let threads = std::env::var(THREADS_ENV_VAR)
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-            .unwrap_or(hardware);
-        Self::new(threads)
+        match Self::try_available() {
+            Ok(executor) => executor,
+            Err(message) => {
+                eprintln!("warning: {message}; using the hardware thread count");
+                Self::new(hardware_parallelism())
+            }
+        }
+    }
+
+    /// Like [`Self::available`], but a set-and-invalid [`THREADS_ENV_VAR`]
+    /// is an error instead of a warning-and-fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the rejected value when the environment
+    /// variable is set to `0` or to anything non-numeric.
+    pub fn try_available() -> Result<Self, String> {
+        let raw = std::env::var(THREADS_ENV_VAR).ok();
+        let threads = parse_threads_override(raw.as_deref())?.unwrap_or_else(hardware_parallelism);
+        Ok(Self::new(threads))
     }
 
     /// Overrides the chunk size (points handed to a worker at a time).
@@ -135,6 +175,9 @@ impl SweepExecutor {
         if cancelled() {
             return None;
         }
+        // One span per batch — never per point — so a 196-step sweep pays
+        // for a single histogram record.
+        let _span = monityre_obs::span!("sweep.batch");
         let chunk = self.chunk_for(items.len().max(1));
         if self.threads <= 1 || items.len() <= 1 {
             let mut results = Vec::with_capacity(items.len());
@@ -292,16 +335,34 @@ mod tests {
         // Runs in one test so the env mutations cannot race each other.
         std::env::set_var(THREADS_ENV_VAR, "3");
         assert_eq!(SweepExecutor::available().threads(), 3);
+        assert_eq!(SweepExecutor::try_available().unwrap().threads(), 3);
         std::env::set_var(THREADS_ENV_VAR, " 7 ");
         assert_eq!(SweepExecutor::available().threads(), 7);
-        // Clamped to at least one worker.
-        std::env::set_var(THREADS_ENV_VAR, "0");
-        assert_eq!(SweepExecutor::available().threads(), 1);
-        // Non-numeric values are ignored.
+        // Invalid overrides: `available` warns and falls back to the
+        // hardware count; `try_available` rejects them outright.
         let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        std::env::set_var(THREADS_ENV_VAR, "0");
+        assert_eq!(SweepExecutor::available().threads(), hardware);
+        let err = SweepExecutor::try_available().unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
         std::env::set_var(THREADS_ENV_VAR, "lots");
         assert_eq!(SweepExecutor::available().threads(), hardware);
+        let err = SweepExecutor::try_available().unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
         std::env::remove_var(THREADS_ENV_VAR);
         assert_eq!(SweepExecutor::available().threads(), hardware);
+        assert_eq!(SweepExecutor::try_available().unwrap().threads(), hardware);
+    }
+
+    #[test]
+    fn threads_override_parsing() {
+        assert_eq!(parse_threads_override(None).unwrap(), None);
+        assert_eq!(parse_threads_override(Some("4")).unwrap(), Some(4));
+        assert_eq!(parse_threads_override(Some(" 12 ")).unwrap(), Some(12));
+        assert!(parse_threads_override(Some("0")).is_err());
+        assert!(parse_threads_override(Some("-2")).is_err());
+        assert!(parse_threads_override(Some("4.5")).is_err());
+        assert!(parse_threads_override(Some("lots")).is_err());
+        assert!(parse_threads_override(Some("")).is_err());
     }
 }

@@ -70,7 +70,7 @@ pub use advisor::{
 };
 pub use analyzer::{BlockEnergy, EnergyAnalyzer, NodeEnergy};
 pub use balance::{speed_grid, BalancePoint, BalanceReport, EnergyBalance};
-pub use cache::EvalCache;
+pub use cache::{CacheCounts, EvalCache};
 pub use emulator::{EmulationReport, EmulatorConfig, OperatingWindow, TransientEmulator};
 pub use error::CoreError;
 pub use executor::{SweepExecutor, THREADS_ENV_VAR};

@@ -233,6 +233,7 @@ impl MonteCarlo {
             return Err(CoreError::invalid_parameter("need at least one sample"));
         }
         self.variation.validate()?;
+        let _span = monityre_obs::span!("mc.draws");
         let indices: Vec<u64> = (0..n as u64).collect();
         let Some(outcomes) =
             executor.map_cancellable(&indices, cancelled, |_, &index| self.sample(index))

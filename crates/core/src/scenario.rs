@@ -95,6 +95,7 @@ impl Scenario {
     ///
     /// Propagates lookup errors for malformed architectures.
     pub fn cache(&self) -> Result<EvalCache, CoreError> {
+        let _span = monityre_obs::span!("scenario.cache_build");
         EvalCache::new(self)
     }
 

@@ -1,0 +1,137 @@
+//! Prometheus text exposition (version 0.0.4) for registry snapshots.
+//!
+//! Metric names are prefixed `monityre_` and sanitized (dots and any
+//! other non-`[a-zA-Z0-9_]` become underscores). Histograms are rendered
+//! in base seconds as `<name>_seconds_bucket{le="…"}` cumulative series
+//! plus `_sum`/`_count`, which is what Prometheus' `histogram_quantile`
+//! expects.
+
+use std::fmt::Write as _;
+
+use crate::registry::RegistrySnapshot;
+
+/// Prefix applied to every exported metric name.
+const PREFIX: &str = "monityre_";
+
+/// `balance.sweep` → `monityre_balance_sweep`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects: plain decimal, no
+/// exponent needed for our ranges.
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for counter in &self.counters {
+            let name = sanitize(&counter.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.value);
+        }
+        for gauge in &self.gauges {
+            let name = sanitize(&gauge.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", gauge.value);
+        }
+        for hist in &self.histograms {
+            let name = format!("{}_seconds", sanitize(&hist.name));
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for bucket in &hist.buckets {
+                cumulative += bucket.count;
+                let le = fmt_f64(bucket.le_us as f64 / 1e6);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{name}_sum {}", fmt_f64(hist.sum_us as f64 / 1e6));
+            let _ = writeln!(out, "{name}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn exposition_has_types_values_and_cumulative_buckets() {
+        let registry = Registry::new();
+        registry.counter("serve.served").add(12);
+        registry.gauge("serve.queue_depth").set(3);
+        let hist = registry.histogram("serve.execute");
+        hist.record(Duration::from_micros(15)); // first finite bucket is 10 µs
+        hist.record(Duration::from_micros(15));
+        hist.record(Duration::from_secs(3600)); // overflow → +Inf only
+        let text = registry.snapshot().to_prometheus();
+
+        assert!(
+            text.contains("# TYPE monityre_serve_served counter"),
+            "{text}"
+        );
+        assert!(text.contains("monityre_serve_served 12"), "{text}");
+        assert!(
+            text.contains("# TYPE monityre_serve_queue_depth gauge"),
+            "{text}"
+        );
+        assert!(text.contains("monityre_serve_queue_depth 3"), "{text}");
+        assert!(
+            text.contains("# TYPE monityre_serve_execute_seconds histogram"),
+            "{text}"
+        );
+        // 15 µs lands in le=2e-05; both finite buckets from there on see 2.
+        assert!(
+            text.contains("monityre_serve_execute_seconds_bucket{le=\"0.00002\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("monityre_serve_execute_seconds_bucket{le=\"50.0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("monityre_serve_execute_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("monityre_serve_execute_seconds_count 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("monityre_serve_execute_seconds_sum 3600.00003"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn every_line_is_well_formed() {
+        let registry = Registry::new();
+        registry.counter("a.b-c d").inc();
+        registry.histogram("h").record(Duration::from_millis(1));
+        for line in registry.snapshot().to_prometheus().lines() {
+            assert!(
+                line.starts_with("# TYPE monityre_") || line.starts_with("monityre_"),
+                "unexpected line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Observability for the monityre evaluation and serving stack.
+//!
+//! The paper's whole contribution is *visibility into where energy goes* —
+//! per-block power split by dynamic/static and weighted by duty cycle. This
+//! crate gives the reproduction the same visibility into where *time* goes,
+//! with three layers and no heavy dependencies:
+//!
+//! 1. a **metrics registry** ([`Registry`]) — lock-sharded maps of named
+//!    [`Counter`]s, [`Gauge`]s and fixed-bucket latency [`Histogram`]s with
+//!    p50/p90/p99 estimation. One process-wide instance ([`Registry::global`])
+//!    collects the core evaluation spans; subsystems that need exact,
+//!    isolated counters (the serving layer's `stats` op) own private
+//!    instances of the same type;
+//! 2. a **span API** ([`span!`]/[`span`]) — lightweight timer guards that
+//!    record wall time into a global histogram on drop, and optionally emit
+//!    one JSON line per span to a trace sink selected via the
+//!    [`TRACE_ENV_VAR`] environment variable or [`set_trace_path`] (the CLI's
+//!    `--trace-out`);
+//! 3. an **exporter** ([`RegistrySnapshot::to_prometheus`]) — Prometheus
+//!    text exposition format, served by `monityre-serve`'s `metrics` op and
+//!    scraped by CI.
+//!
+//! Instrumentation is on by default and costs one relaxed atomic load when
+//! disabled via [`set_enabled`]; the spans sit at *batch* boundaries
+//! (per sweep, per Monte Carlo run, per cache build, per served request),
+//! never inside per-point loops, so the measured overhead on a full sweep
+//! stays well under the 2 % budget pinned by `BENCH_obs.json`.
+//!
+//! ```
+//! use monityre_obs as obs;
+//!
+//! {
+//!     let _guard = obs::span!("doc.example");
+//!     // ... timed work ...
+//! }
+//! let snapshot = obs::Registry::global().snapshot();
+//! assert!(snapshot.histograms.iter().any(|h| h.name == "doc.example"));
+//! let text = snapshot.to_prometheus();
+//! assert!(text.contains("monityre_doc_example_seconds_count"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+mod sink;
+mod span;
+
+pub use metrics::{
+    BucketCount, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
+    Reservoir, BUCKET_BOUNDS_US,
+};
+pub use registry::{Registry, RegistrySnapshot};
+pub use sink::{set_trace_path, set_trace_writer, trace_event, trace_sink_active, TRACE_ENV_VAR};
+pub use span::{enabled, set_enabled, span, SpanGuard};
+
+/// Starts a named timer scope recording into the global registry — see
+/// [`span`]. The guard records on drop:
+///
+/// ```
+/// let _guard = monityre_obs::span!("sweep.batch");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

@@ -1,0 +1,392 @@
+//! The metric primitives: counters, gauges, fixed-bucket latency
+//! histograms, and an exact-percentile reservoir.
+//!
+//! Everything here is lock-free (relaxed atomics) except [`Reservoir`],
+//! whose ring needs a mutex; all of it is safe to hammer from sweep
+//! workers. Histograms use one fixed, log-spaced microsecond bucket
+//! layout ([`BUCKET_BOUNDS_US`]) so every latency series in the process
+//! is comparable and the Prometheus exposition needs no per-metric
+//! configuration.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone event tally.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current tally.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, warm entries).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The fixed log-spaced bucket upper bounds, in microseconds. The final
+/// implicit bucket is `+Inf`. 10 µs resolution at the bottom (a cache
+/// lookup), 50 s at the top (a pathological emulation) — wide enough for
+/// every latency this workspace produces.
+pub const BUCKET_BOUNDS_US: [u64; 19] = [
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000, 2_000_000, 5_000_000, 50_000_000,
+];
+
+/// Bucket count including the `+Inf` overflow bucket.
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket latency histogram over [`BUCKET_BOUNDS_US`].
+///
+/// Recording is two relaxed `fetch_add`s plus one already-counted
+/// `fetch_add` for the bucket — cheap enough for batch boundaries, too
+/// coarse-grained to sit inside a per-point loop (by design).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records one observed duration.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram state.
+    #[must_use]
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count,
+            sum_us,
+            p50_us: estimate_quantile(&buckets, count, 0.50),
+            p90_us: estimate_quantile(&buckets, count, 0.90),
+            p99_us: estimate_quantile(&buckets, count, 0.99),
+            buckets: BUCKET_BOUNDS_US
+                .iter()
+                .zip(&buckets)
+                .map(|(&le_us, &count)| BucketCount { le_us, count })
+                .collect(),
+        }
+    }
+}
+
+/// Estimates the `q`-quantile in microseconds by linear interpolation
+/// inside the bucket holding the target rank. Returns 0 for an empty
+/// histogram; observations in the overflow bucket report the largest
+/// finite bound (a floor, clearly documented in DESIGN §8).
+fn estimate_quantile(buckets: &[u64], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = (count as f64 * q).max(1.0);
+    let mut seen = 0.0;
+    for (idx, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let next = seen + n as f64;
+        if next >= target {
+            let hi = BUCKET_BOUNDS_US
+                .get(idx)
+                .copied()
+                .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1])
+                as f64;
+            let lo = if idx == 0 {
+                0.0
+            } else {
+                BUCKET_BOUNDS_US[(idx - 1).min(BUCKET_BOUNDS_US.len() - 1)] as f64
+            };
+            let within = (target - seen) / n as f64;
+            return lo + (hi - lo) * within;
+        }
+        seen = next;
+    }
+    BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64
+}
+
+/// One cumulative-from-zero bucket of a [`HistogramSnapshot`] (the count
+/// here is per-bucket; the Prometheus renderer accumulates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Upper bound of the bucket, microseconds (inclusive).
+    pub le_us: u64,
+    /// Observations that fell in this bucket.
+    pub count: u64,
+}
+
+/// Serializable point-in-time state of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// The registered metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Estimated median, microseconds.
+    pub p50_us: f64,
+    /// Estimated 90th percentile, microseconds.
+    pub p90_us: f64,
+    /// Estimated 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Per-bucket observation counts (excluding the `+Inf` overflow, whose
+    /// count is `count - sum(buckets)`).
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Serializable point-in-time value of one [`Counter`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// The registered metric name.
+    pub name: String,
+    /// The tally.
+    pub value: u64,
+}
+
+/// Serializable point-in-time value of one [`Gauge`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// The registered metric name.
+    pub name: String,
+    /// The value.
+    pub value: i64,
+}
+
+/// How many recent samples a [`Reservoir`] keeps.
+pub const RESERVOIR_WINDOW: usize = 1024;
+
+/// A fixed-size ring of recent microsecond samples with *exact*
+/// nearest-rank percentiles over the window — the serving layer's
+/// service-time view, where bucket quantization would move the pinned
+/// `p50_ms`/`p99_ms` wire fields.
+#[derive(Debug, Default)]
+pub struct Reservoir {
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    samples_us: Vec<u64>,
+    next: usize,
+}
+
+impl Reservoir {
+    /// An empty reservoir.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.ring.lock().expect("reservoir lock");
+        if ring.samples_us.len() < RESERVOIR_WINDOW {
+            ring.samples_us.push(us);
+        } else {
+            let slot = ring.next;
+            ring.samples_us[slot] = us;
+        }
+        ring.next = (ring.next + 1) % RESERVOIR_WINDOW;
+    }
+
+    /// Nearest-rank percentiles over the current window, in milliseconds,
+    /// for each requested quantile. An empty window reports zeros.
+    #[must_use]
+    pub fn percentiles_ms(&self, quantiles: &[f64]) -> Vec<f64> {
+        let mut samples = self.ring.lock().expect("reservoir lock").samples_us.clone();
+        samples.sort_unstable();
+        quantiles
+            .iter()
+            .map(|&q| {
+                if samples.is_empty() {
+                    0.0
+                } else {
+                    let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                    samples[idx] as f64 / 1000.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_tally() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(4);
+        assert_eq!(counter.get(), 5);
+        let gauge = Gauge::new();
+        gauge.set(7);
+        gauge.add(-3);
+        assert_eq!(gauge.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let hist = Histogram::new();
+        for ms in 1..=100u64 {
+            hist.record(Duration::from_millis(ms));
+        }
+        let snap = hist.snapshot("t");
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum_us, (1..=100u64).sum::<u64>() * 1000);
+        // Bucketed estimates: right order of magnitude, ordered.
+        assert!(
+            snap.p50_us >= 20_000.0 && snap.p50_us <= 100_000.0,
+            "{snap:?}"
+        );
+        assert!(snap.p50_us <= snap.p90_us && snap.p90_us <= snap.p99_us);
+        let bucketed: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucketed, 100, "nothing in the overflow bucket");
+    }
+
+    #[test]
+    fn histogram_overflow_lands_in_inf_bucket() {
+        let hist = Histogram::new();
+        hist.record(Duration::from_secs(3600));
+        let snap = hist.snapshot("t");
+        assert_eq!(snap.count, 1);
+        let finite: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(finite, 0, "the observation exceeds every finite bound");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_quantiles() {
+        let snap = Histogram::new().snapshot("t");
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50_us, 0.0);
+        assert_eq!(snap.p99_us, 0.0);
+    }
+
+    #[test]
+    fn reservoir_is_exact_over_the_window() {
+        let reservoir = Reservoir::new();
+        for ms in 1..=100u64 {
+            reservoir.record(Duration::from_millis(ms));
+        }
+        let p = reservoir.percentiles_ms(&[0.50, 0.99]);
+        assert!((p[0] - 50.0).abs() <= 1.5, "p50 {}", p[0]);
+        assert!((p[1] - 99.0).abs() <= 1.5, "p99 {}", p[1]);
+    }
+
+    #[test]
+    fn reservoir_overwrites_oldest() {
+        let reservoir = Reservoir::new();
+        for _ in 0..RESERVOIR_WINDOW {
+            reservoir.record(Duration::from_millis(500));
+        }
+        for _ in 0..RESERVOIR_WINDOW {
+            reservoir.record(Duration::from_millis(1));
+        }
+        let p = reservoir.percentiles_ms(&[0.99]);
+        assert!(p[0] < 10.0, "p99 {}", p[0]);
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_json() {
+        let hist = Histogram::new();
+        hist.record(Duration::from_micros(1234));
+        let snap = hist.snapshot("round.trip");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,291 @@
+//! The lock-sharded metrics registry.
+//!
+//! Names map to metric handles through a small fixed set of shards, each
+//! its own mutex — lookups for different names rarely contend, and the
+//! returned handles are `Arc`s whose hot-path operations (`inc`,
+//! `record`) touch no lock at all. Callers that update a metric
+//! repeatedly should resolve the handle once and keep the `Arc`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
+};
+
+/// How many shards a registry spreads its names over.
+const SHARDS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named-metric registry: get-or-create semantics, lock-sharded by
+/// name hash.
+///
+/// The process-wide instance ([`Registry::global`]) collects the core
+/// evaluation spans; private instances give subsystems (one server, one
+/// test) exact counters unpolluted by their neighbours.
+#[derive(Debug)]
+pub struct Registry {
+    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a — stable, allocation-free shard selection.
+fn shard_of(name: &str) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % SHARDS as u64) as usize
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The process-wide registry the span API records into.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn get_or_insert<T, F, G>(&self, name: &str, wrap: F, unwrap: G) -> Arc<T>
+    where
+        F: FnOnce() -> Metric,
+        G: Fn(&Metric) -> Option<Arc<T>>,
+    {
+        let mut shard = self.shards[shard_of(name)].lock().expect("registry shard");
+        if let Some(existing) = shard.get(name) {
+            return unwrap(existing).unwrap_or_else(|| {
+                panic!(
+                    "metric `{name}` is already registered as a {}",
+                    existing.kind()
+                )
+            });
+        }
+        let metric = wrap();
+        let handle = unwrap(&metric).expect("freshly wrapped metric matches");
+        shard.insert(name.to_owned(), metric);
+        handle
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |metric| match metric {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |metric| match metric {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |metric| match metric {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name
+    /// (deterministic output for diffs, tests and the wire).
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut snapshot = RegistrySnapshot::default();
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().expect("registry shard").iter() {
+                match metric {
+                    Metric::Counter(c) => snapshot.counters.push(CounterSnapshot {
+                        name: name.clone(),
+                        value: c.get(),
+                    }),
+                    Metric::Gauge(g) => snapshot.gauges.push(GaugeSnapshot {
+                        name: name.clone(),
+                        value: g.get(),
+                    }),
+                    Metric::Histogram(h) => snapshot.histograms.push(h.snapshot(name)),
+                }
+            }
+        }
+        snapshot.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        snapshot.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        snapshot.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snapshot
+    }
+}
+
+/// Every metric of one [`Registry`] at one instant, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Merges `other`'s metrics into this snapshot (used to combine a
+    /// private registry with the global span registry for one exposition).
+    /// Duplicate names keep both rows; callers namespace to avoid that.
+    #[must_use]
+    pub fn merged(mut self, other: RegistrySnapshot) -> RegistrySnapshot {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_or_create_returns_the_same_handle() {
+        let registry = Registry::new();
+        let a = registry.counter("requests");
+        let b = registry.counter("requests");
+        a.inc();
+        b.add(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let registry = Registry::new();
+        let _ = registry.counter("x");
+        let _ = registry.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let registry = Registry::new();
+        registry.counter("b.count").add(2);
+        registry.counter("a.count").add(1);
+        registry.gauge("depth").set(5);
+        registry.histogram("lat").record(Duration::from_millis(3));
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.count", "b.count"]);
+        assert_eq!(snap.gauges[0].value, 5);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn shards_spread_names() {
+        // Not a correctness requirement, but the sharding function should
+        // not collapse everything onto one shard.
+        let shards: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("metric.{i}"))).collect();
+        assert!(shards.len() > 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_all_counted() {
+        let registry = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let counter = registry.counter("hammer");
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("hammer thread");
+        }
+        assert_eq!(registry.counter("hammer").get(), 4000);
+    }
+
+    #[test]
+    fn merged_combines_and_sorts() {
+        let a = Registry::new();
+        a.counter("z").inc();
+        let b = Registry::new();
+        b.counter("a").inc();
+        let merged = a.snapshot().merged(b.snapshot());
+        let names: Vec<&str> = merged.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_through_json() {
+        let registry = Registry::new();
+        registry.counter("c").add(7);
+        registry.histogram("h").record(Duration::from_micros(42));
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

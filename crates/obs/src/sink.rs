@@ -1,0 +1,152 @@
+//! The optional JSON-lines trace sink.
+//!
+//! Spans always record into the registry; additionally, when a sink is
+//! configured, every finished span appends one JSON line
+//! (`{"ts_us":…,"span":"…","dur_us":…}`) to it. The sink is selected
+//! once per process: from the [`TRACE_ENV_VAR`] environment variable at
+//! first use, or explicitly via [`set_trace_path`] (the CLI's
+//! `--trace-out` flag) / [`set_trace_writer`] (tests). When no sink is
+//! configured the cost of a finished span stays one relaxed atomic load.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable naming the trace output file. Set it to a path
+/// to capture one JSON line per span without touching the CLI.
+pub const TRACE_ENV_VAR: &str = "MONITYRE_TRACE";
+
+/// Fast-path flag: true iff a writer is installed. Lets `trace_event`
+/// skip the mutex entirely in the (default) no-sink case.
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+type SharedWriter = Mutex<Option<Box<dyn Write + Send>>>;
+
+fn sink() -> &'static SharedWriter {
+    static SINK: OnceLock<SharedWriter> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let from_env = std::env::var(TRACE_ENV_VAR)
+            .ok()
+            .filter(|path| !path.trim().is_empty())
+            .and_then(|path| open_writer(Path::new(&path)));
+        if from_env.is_some() {
+            SINK_ACTIVE.store(true, Ordering::Release);
+        }
+        Mutex::new(from_env)
+    })
+}
+
+fn open_writer(path: &Path) -> Option<Box<dyn Write + Send>> {
+    match File::create(path) {
+        Ok(file) => Some(Box::new(BufWriter::new(file))),
+        Err(err) => {
+            eprintln!(
+                "monityre-obs: cannot open trace file {}: {err}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// Routes span events to a JSON-lines file at `path`, replacing any
+/// sink configured earlier (including one taken from [`TRACE_ENV_VAR`]).
+/// Returns an error message if the file cannot be created.
+pub fn set_trace_path(path: &Path) -> Result<(), String> {
+    let writer = File::create(path)
+        .map(|file| Box::new(BufWriter::new(file)) as Box<dyn Write + Send>)
+        .map_err(|err| format!("cannot open trace file {}: {err}", path.display()))?;
+    set_trace_writer(writer);
+    Ok(())
+}
+
+/// Installs an arbitrary writer as the span sink (tests use an in-memory
+/// buffer). Replaces any previous sink; the old writer is flushed by drop.
+pub fn set_trace_writer(writer: Box<dyn Write + Send>) {
+    *sink().lock().expect("trace sink lock") = Some(writer);
+    SINK_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Whether a trace sink is currently installed.
+#[must_use]
+pub fn trace_sink_active() -> bool {
+    // Force env-var initialization so the answer is accurate before the
+    // first span fires.
+    let _ = sink();
+    SINK_ACTIVE.load(Ordering::Acquire)
+}
+
+/// The span drop path's probe: one atomic load once the env sink has been
+/// resolved, so inactive-sink spans skip the timestamp math entirely.
+pub(crate) fn active() -> bool {
+    if SINK_ACTIVE.load(Ordering::Acquire) {
+        return true;
+    }
+    let _ = sink(); // one-time env-var resolution
+    SINK_ACTIVE.load(Ordering::Acquire)
+}
+
+/// Appends one span event line to the sink, if one is installed. Write
+/// errors disable the sink (reported once) rather than failing the span.
+pub fn trace_event(name: &str, start_us: u64, dur_us: u64) {
+    if !SINK_ACTIVE.load(Ordering::Acquire) {
+        // Cheap probe first; fall through to init the env-var sink once.
+        let _ = sink();
+        if !SINK_ACTIVE.load(Ordering::Acquire) {
+            return;
+        }
+    }
+    let mut guard = sink().lock().expect("trace sink lock");
+    let Some(writer) = guard.as_mut() else {
+        return;
+    };
+    let line = format!(
+        "{{\"ts_us\":{start_us},\"span\":{},\"dur_us\":{dur_us}}}\n",
+        serde_json::to_string(&name.to_owned()).unwrap_or_else(|_| "\"?\"".to_owned())
+    );
+    let write = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.flush());
+    if let Err(err) = write {
+        eprintln!("monityre-obs: trace sink write failed, disabling: {err}");
+        *guard = None;
+        SINK_ACTIVE.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Write impl that appends into a shared buffer.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_json_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        set_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        assert!(trace_sink_active());
+        trace_event("unit.sink", 17, 250);
+        let captured = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let line = captured
+            .lines()
+            .find(|l| l.contains("unit.sink"))
+            .expect("event line present");
+        assert!(line.contains("\"span\":\"unit.sink\""), "{line}");
+        assert!(line.contains("\"dur_us\":250"), "{line}");
+        assert!(line.contains("\"ts_us\":17"), "{line}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Named timer scopes.
+//!
+//! [`span`] (or the [`crate::span!`] macro) returns a [`SpanGuard`] that,
+//! when dropped, records the elapsed wall time into the global registry
+//! histogram of the same name and — if a trace sink is installed — emits
+//! one JSON event line. Spans sit at batch boundaries (a whole sweep, a
+//! whole Monte Carlo run), so the per-span cost (one `Instant::now` pair,
+//! one histogram record) is amortized over thousands of evaluations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::registry::Registry;
+use crate::sink::trace_event;
+
+/// Process-wide instrumentation switch, on by default. Disabling turns
+/// [`span`] into a single relaxed load returning an inert guard.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether spans currently record.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide. The bench harness uses
+/// this to measure instrumented-vs-inert sweep throughput.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The instant the span clock first ticked; trace `ts_us` fields are
+/// relative to this so events within one process are ordered and small.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Starts a named timer scope. The returned guard records into the
+/// global registry histogram `name` when it drops:
+///
+/// ```
+/// {
+///     let _guard = monityre_obs::span("example.work");
+///     // ... timed work ...
+/// }
+/// assert!(monityre_obs::Registry::global()
+///     .snapshot()
+///     .histograms
+///     .iter()
+///     .any(|h| h.name == "example.work" && h.count >= 1));
+/// ```
+#[must_use = "the span records when the guard drops; binding it to `_` drops immediately"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None, name };
+    }
+    let start = Instant::now();
+    SpanGuard {
+        live: Some(start),
+        name,
+    }
+}
+
+/// An active timer scope; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when instrumentation was disabled at creation — drop is a no-op.
+    live: Option<Instant>,
+    name: &'static str,
+}
+
+impl SpanGuard {
+    /// The span's registered name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.live else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        Registry::global().histogram(self.name).record(elapsed);
+        if crate::sink::active() {
+            let start_us =
+                u64::try_from(start.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX);
+            let dur_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+            trace_event(self.name, start_us, dur_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_the_global_registry() {
+        {
+            let guard = span("span.unit");
+            assert_eq!(guard.name(), "span.unit");
+        }
+        let snap = Registry::global().snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "span.unit")
+            .expect("histogram registered");
+        assert!(hist.count >= 1);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        set_enabled(false);
+        {
+            let _guard = span("span.disabled");
+        }
+        set_enabled(true);
+        let snap = Registry::global().snapshot();
+        assert!(
+            !snap.histograms.iter().any(|h| h.name == "span.disabled"),
+            "disabled span must not touch the registry"
+        );
+    }
+}

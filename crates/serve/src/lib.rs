@@ -50,5 +50,5 @@ pub use protocol::{
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServerConfig, ServerHandle};
-pub use stats::StatsSnapshot;
+pub use stats::{OpLatency, StatsSnapshot};
 pub use worker::evaluate;

@@ -36,6 +36,9 @@ pub enum Op {
     Emulate,
     /// Server statistics snapshot (handled inline, never queued).
     Stats,
+    /// Prometheus text exposition of the server's metric registry
+    /// (handled inline, never queued).
+    Metrics,
     /// Liveness probe (handled inline, never queued).
     Ping,
     /// Graceful shutdown: stop accepting, drain, exit (handled inline).
@@ -44,13 +47,14 @@ pub enum Op {
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 8] = [
+    pub const ALL: [Op; 9] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
         Op::Montecarlo,
         Op::Emulate,
         Op::Stats,
+        Op::Metrics,
         Op::Ping,
         Op::Shutdown,
     ];
@@ -65,6 +69,7 @@ impl Op {
             Op::Montecarlo => "montecarlo",
             Op::Emulate => "emulate",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
         }
@@ -80,7 +85,7 @@ impl Op {
     /// (control plane) instead of going through the bounded job queue.
     #[must_use]
     pub fn is_control(self) -> bool {
-        matches!(self, Op::Stats | Op::Ping | Op::Shutdown)
+        matches!(self, Op::Stats | Op::Metrics | Op::Ping | Op::Shutdown)
     }
 }
 
@@ -398,7 +403,7 @@ impl Request {
                     return Err(format!("cap_mf: {cap} must be positive"));
                 }
             }
-            Op::Stats | Op::Ping | Op::Shutdown => {}
+            Op::Stats | Op::Metrics | Op::Ping | Op::Shutdown => {}
         }
         Ok(())
     }
@@ -464,6 +469,8 @@ pub enum Payload {
     },
     /// Server statistics.
     Stats(StatsSnapshot),
+    /// Prometheus text exposition of the server's metric registry.
+    Metrics(String),
     /// Liveness probe answer.
     Pong,
     /// Shutdown acknowledged; the server drains and exits.

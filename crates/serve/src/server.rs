@@ -112,6 +112,37 @@ struct Shared {
 }
 
 impl Shared {
+    /// Renders the `metrics` op body: refresh the point-in-time gauges,
+    /// then expose this server's private registry merged with the
+    /// process-global one (where the core evaluation spans live).
+    fn prometheus_text(&self) -> String {
+        let stats = &self.engine.stats;
+        let registry = stats.registry();
+        let clamp = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
+        registry
+            .gauge("serve.queue_depth")
+            .set(clamp(self.queue.len()));
+        registry
+            .gauge("serve.queue_capacity")
+            .set(clamp(self.queue.capacity()));
+        registry
+            .gauge("serve.lru_entries")
+            .set(clamp(self.engine.lru.len()));
+        let memo = self.engine.lru.memo_counts();
+        let memo_gauge = |name: &str, value: u64| {
+            registry
+                .gauge(name)
+                .set(i64::try_from(value).unwrap_or(i64::MAX));
+        };
+        memo_gauge("serve.memo_hits", memo.hits);
+        memo_gauge("serve.memo_misses", memo.misses);
+        memo_gauge("serve.memo_evictions", memo.evictions);
+        registry
+            .snapshot()
+            .merged(monityre_obs::Registry::global().snapshot())
+            .to_prometheus()
+    }
+
     /// Idempotent shutdown trigger: flag, queue close, acceptor poke.
     fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
@@ -143,7 +174,14 @@ impl ServerHandle {
     /// A statistics snapshot, read directly (no wire round trip).
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.engine.stats.snapshot()
+        self.shared.engine.snapshot()
+    }
+
+    /// The Prometheus text exposition the `metrics` op serves, read
+    /// directly (no wire round trip).
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        self.shared.prometheus_text()
     }
 
     /// Whether shutdown has been triggered.
@@ -164,7 +202,7 @@ impl ServerHandle {
     /// statistics snapshot for the exit summary.
     pub fn wait(mut self) -> StatsSnapshot {
         self.join_all();
-        self.shared.engine.stats.snapshot()
+        self.shared.engine.snapshot()
     }
 
     fn join_all(&mut self) {
@@ -345,8 +383,12 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
         return match request.op {
             Op::Ping => write_response(writer, &Response::success(id, Payload::Pong)).is_ok(),
             Op::Stats => {
-                let snapshot = stats.snapshot();
+                let snapshot = shared.engine.snapshot();
                 write_response(writer, &Response::success(id, Payload::Stats(snapshot))).is_ok()
+            }
+            Op::Metrics => {
+                let text = shared.prometheus_text();
+                write_response(writer, &Response::success(id, Payload::Metrics(text))).is_ok()
             }
             _ => {
                 // Acknowledge first so the client sees the answer even

@@ -1,130 +1,170 @@
-//! Server statistics: lock-free counters plus a service-time reservoir.
+//! Server statistics, rebuilt on the `monityre-obs` metrics registry.
 //!
-//! Counters are relaxed atomics — they are monotone tallies, not
-//! synchronization. Service times land in a fixed-size ring (most recent
-//! `WINDOW` completions) from which the `stats` op computes p50/p99 on
-//! demand; a snapshot is a plain serializable struct so it travels over
-//! the wire like any other payload.
+//! Each server owns a **private** [`Registry`] so its counters are exact
+//! and unpolluted by other servers in the same process (the loopback
+//! tests pin exact counts). The legacy `stats` op is a thin snapshot view
+//! over that registry — its original nine wire fields keep their exact
+//! values (counters straight from the registry, percentiles from an
+//! exact-rank [`Reservoir`], never bucketed) — extended with the
+//! evaluation-cache tallies and per-op latency series. The `metrics` op
+//! renders the same registry (merged with the process-global span
+//! registry) as Prometheus text.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
+use monityre_core::CacheCounts;
+use monityre_obs::{Counter, Registry, Reservoir};
 use serde::{Deserialize, Serialize};
-
-/// How many recent service times the percentile window keeps.
-const WINDOW: usize = 1024;
 
 /// Shared, thread-safe statistics registry.
 #[derive(Debug)]
 pub(crate) struct Stats {
-    served: AtomicU64,
-    rejected: AtomicU64,
-    timed_out: AtomicU64,
-    bad_requests: AtomicU64,
-    eval_failed: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    /// Ring of recent service times in microseconds.
-    ring: Mutex<Ring>,
-}
-
-#[derive(Debug)]
-struct Ring {
-    times_us: Vec<u64>,
-    next: usize,
+    /// This server's private metric registry (counters below live in it,
+    /// as do the per-op / queue-wait / execute histograms).
+    registry: Registry,
+    served: Arc<Counter>,
+    rejected: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    eval_failed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    /// Exact-rank window over recent service times: the pinned
+    /// `p50_ms`/`p99_ms` wire fields must not move to bucket estimates.
+    service: Reservoir,
 }
 
 impl Stats {
     pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        let counter = |name: &str| registry.counter(name);
         Self {
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            bad_requests: AtomicU64::new(0),
-            eval_failed: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            ring: Mutex::new(Ring {
-                times_us: Vec::with_capacity(WINDOW),
-                next: 0,
-            }),
+            served: counter("serve.served"),
+            rejected: counter("serve.rejected"),
+            timed_out: counter("serve.timed_out"),
+            bad_requests: counter("serve.bad_requests"),
+            eval_failed: counter("serve.eval_failed"),
+            cache_hits: counter("serve.cache_hits"),
+            cache_misses: counter("serve.cache_misses"),
+            service: Reservoir::new(),
+            registry,
         }
     }
 
-    /// A job completed successfully after `elapsed` in the server.
-    pub(crate) fn record_served(&self, elapsed: Duration) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let mut ring = self.ring.lock().expect("stats lock");
-        if ring.times_us.len() < WINDOW {
-            ring.times_us.push(us);
-        } else {
-            let slot = ring.next;
-            ring.times_us[slot] = us;
-        }
-        ring.next = (ring.next + 1) % WINDOW;
+    /// The server's private registry, for the `metrics` op exposition and
+    /// for gauges set at scrape time.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A job for `op` completed successfully after `elapsed` in the server
+    /// (parse to response — the service time the percentiles summarize).
+    pub(crate) fn record_served(&self, op: &str, elapsed: Duration) {
+        self.served.inc();
+        self.service.record(elapsed);
+        self.registry
+            .histogram(&format!("serve.op.{op}"))
+            .record(elapsed);
+    }
+
+    /// How long a job sat in the bounded queue before a worker picked it up.
+    pub(crate) fn record_queue_wait(&self, elapsed: Duration) {
+        self.registry.histogram("serve.queue_wait").record(elapsed);
+    }
+
+    /// How long a job's evaluation phase ran (excluding queue wait).
+    pub(crate) fn record_execute(&self, elapsed: Duration) {
+        self.registry.histogram("serve.execute").record(elapsed);
     }
 
     /// A job was shed with `queue_full`.
     pub(crate) fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// A job missed its deadline (queued or mid-evaluation).
     pub(crate) fn record_timed_out(&self) {
-        self.timed_out.fetch_add(1, Ordering::Relaxed);
+        self.timed_out.inc();
     }
 
     /// A request line failed to parse or validate.
     pub(crate) fn record_bad_request(&self) {
-        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.bad_requests.inc();
     }
 
     /// An evaluation failed after being accepted.
     pub(crate) fn record_eval_failed(&self) {
-        self.eval_failed.fetch_add(1, Ordering::Relaxed);
+        self.eval_failed.inc();
     }
 
     /// The scenario LRU answered from warm state.
     pub(crate) fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// The scenario LRU had to build a fresh entry.
     pub(crate) fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// A self-consistent (per counter; relaxed across counters) snapshot.
+    /// `eval_memo` is left zeroed here — the engine, which owns the
+    /// scenario LRU, fills it in.
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
-        let mut times = self.ring.lock().expect("stats lock").times_us.clone();
-        times.sort_unstable();
+        let percentiles = self.service.percentiles_ms(&[0.50, 0.99]);
+        let ops = self
+            .registry
+            .snapshot()
+            .histograms
+            .into_iter()
+            .filter_map(|h| {
+                h.name.strip_prefix("serve.op.").map(|op| OpLatency {
+                    op: op.to_owned(),
+                    count: h.count,
+                    p50_ms: h.p50_us / 1000.0,
+                    p90_ms: h.p90_us / 1000.0,
+                    p99_ms: h.p99_us / 1000.0,
+                })
+            })
+            .collect();
         StatsSnapshot {
-            served: self.served.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
-            eval_failed: self.eval_failed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            p50_ms: percentile_ms(&times, 0.50),
-            p99_ms: percentile_ms(&times, 0.99),
+            served: self.served.get(),
+            rejected: self.rejected.get(),
+            timed_out: self.timed_out.get(),
+            bad_requests: self.bad_requests.get(),
+            eval_failed: self.eval_failed.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            p50_ms: percentiles[0],
+            p99_ms: percentiles[1],
+            eval_memo: CacheCounts::default(),
+            ops,
         }
     }
 }
 
-/// Nearest-rank percentile over sorted microsecond samples, in ms.
-fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[idx] as f64 / 1000.0
+/// Bucket-estimated latency summary of one evaluation op, from the
+/// server's `serve.op.<name>` histograms.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// The wire op name (`balance`, `sweep`, ...).
+    pub op: String,
+    /// Completed jobs of this op.
+    pub count: u64,
+    /// Estimated median service time, milliseconds.
+    pub p50_ms: f64,
+    /// Estimated 90th-percentile service time, milliseconds.
+    pub p90_ms: f64,
+    /// Estimated 99th-percentile service time, milliseconds.
+    pub p99_ms: f64,
 }
 
 /// What the `stats` op returns: cumulative counters since start plus
-/// percentiles over the most recent service times.
+/// percentiles over the most recent service times. The first nine fields
+/// predate the metrics registry and keep their exact wire values; the
+/// tail (`eval_memo`, `ops`) is additive, with defaults so old snapshots
+/// still parse.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     /// Jobs evaluated and answered successfully.
@@ -145,6 +185,13 @@ pub struct StatsSnapshot {
     pub p50_ms: f64,
     /// 99th-percentile service time in milliseconds.
     pub p99_ms: f64,
+    /// Per-speed evaluation-memo tallies aggregated over the warm
+    /// scenarios currently in the LRU.
+    #[serde(default)]
+    pub eval_memo: CacheCounts,
+    /// Per-op latency series, sorted by op name.
+    #[serde(default)]
+    pub ops: Vec<OpLatency>,
 }
 
 #[cfg(test)]
@@ -154,8 +201,8 @@ mod tests {
     #[test]
     fn counters_tally() {
         let stats = Stats::new();
-        stats.record_served(Duration::from_millis(2));
-        stats.record_served(Duration::from_millis(4));
+        stats.record_served("breakeven", Duration::from_millis(2));
+        stats.record_served("sweep", Duration::from_millis(4));
         stats.record_rejected();
         stats.record_timed_out();
         stats.record_bad_request();
@@ -173,10 +220,25 @@ mod tests {
     }
 
     #[test]
+    fn per_op_latencies_split_by_op() {
+        let stats = Stats::new();
+        stats.record_served("breakeven", Duration::from_millis(2));
+        stats.record_served("sweep", Duration::from_millis(4));
+        stats.record_served("sweep", Duration::from_millis(6));
+        let snap = stats.snapshot();
+        let names: Vec<&str> = snap.ops.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(names, vec!["breakeven", "sweep"]);
+        assert_eq!(snap.ops[0].count, 1);
+        assert_eq!(snap.ops[1].count, 2);
+        assert!(snap.ops[1].p50_ms > 0.0);
+        assert!(snap.ops[1].p50_ms <= snap.ops[1].p99_ms);
+    }
+
+    #[test]
     fn percentiles_track_the_window() {
         let stats = Stats::new();
         for ms in 1..=100u64 {
-            stats.record_served(Duration::from_millis(ms));
+            stats.record_served("sweep", Duration::from_millis(ms));
         }
         let snap = stats.snapshot();
         assert!((snap.p50_ms - 50.0).abs() <= 1.5, "p50 {}", snap.p50_ms);
@@ -189,30 +251,62 @@ mod tests {
         let snap = Stats::new().snapshot();
         assert_eq!(snap.p50_ms, 0.0);
         assert_eq!(snap.p99_ms, 0.0);
+        assert!(snap.ops.is_empty());
+        assert_eq!(snap.eval_memo, CacheCounts::default());
     }
 
     #[test]
-    fn ring_overwrites_oldest_samples() {
+    fn phase_histograms_register() {
         let stats = Stats::new();
-        // Fill the window with slow samples, then overwrite with fast ones.
-        for _ in 0..WINDOW {
-            stats.record_served(Duration::from_millis(500));
-        }
-        for _ in 0..WINDOW {
-            stats.record_served(Duration::from_millis(1));
-        }
-        let snap = stats.snapshot();
-        assert!(snap.p99_ms < 10.0, "p99 {}", snap.p99_ms);
-        assert_eq!(snap.served, 2 * WINDOW as u64);
+        stats.record_queue_wait(Duration::from_micros(150));
+        stats.record_execute(Duration::from_millis(3));
+        let snap = stats.registry().snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"serve.queue_wait"), "{names:?}");
+        assert!(names.contains(&"serve.execute"), "{names:?}");
+    }
+
+    #[test]
+    fn exposition_covers_counters_and_phases() {
+        let stats = Stats::new();
+        stats.record_served("breakeven", Duration::from_millis(2));
+        stats.record_queue_wait(Duration::from_micros(10));
+        let text = stats.registry().snapshot().to_prometheus();
+        assert!(text.contains("monityre_serve_served 1"), "{text}");
+        assert!(
+            text.contains("monityre_serve_queue_wait_seconds_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("monityre_serve_op_breakeven_seconds_count 1"),
+            "{text}"
+        );
     }
 
     #[test]
     fn snapshot_round_trips_through_json() {
         let stats = Stats::new();
-        stats.record_served(Duration::from_micros(1234));
-        let snap = stats.snapshot();
+        stats.record_served("montecarlo", Duration::from_micros(1234));
+        let mut snap = stats.snapshot();
+        snap.eval_memo = CacheCounts {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+        };
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn legacy_snapshots_without_new_fields_still_parse() {
+        // A pre-registry peer (or an old recorded snapshot) omits
+        // `eval_memo` and `ops` entirely.
+        let legacy = r#"{"served":3,"rejected":0,"timed_out":1,"bad_requests":0,
+            "eval_failed":0,"cache_hits":2,"cache_misses":1,"p50_ms":1.5,"p99_ms":9.0}"#;
+        let snap: StatsSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(snap.served, 3);
+        assert_eq!(snap.eval_memo, CacheCounts::default());
+        assert!(snap.ops.is_empty());
     }
 }

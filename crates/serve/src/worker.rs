@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use monityre_core::EmulatorConfig;
 use monityre_core::{
-    EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor, TransientEmulator,
+    CacheCounts, EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor, TransientEmulator,
     VariationModel,
 };
 use monityre_harvest::Supercap;
@@ -23,6 +23,11 @@ use monityre_units::{Capacitance, Resistance, Speed, Voltage};
 
 use crate::protocol::{ErrorCode, Payload, Request, Response, ScenarioSpec};
 use crate::stats::Stats;
+
+/// Per-warm-scenario speed-memo capacity. Repeated requests against the
+/// same spec mostly revisit the same default grids, so a few thousand
+/// distinct speeds cover the realistic working set.
+const SPEED_MEMO_CAPACITY: usize = 4096;
 
 /// A scenario with its precomputed per-block figures, shared by every job
 /// that names the same spec.
@@ -36,10 +41,18 @@ impl CachedScenario {
         let scenario = spec
             .build()
             .map_err(|message| (ErrorCode::BadRequest, message))?;
+        // The serving layer revisits the same speed grids across requests,
+        // so warm scenarios memoize per-speed figures (bit-identically).
         let cache = scenario
             .cache()
-            .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?
+            .with_memo(SPEED_MEMO_CAPACITY);
         Ok(Self { scenario, cache })
+    }
+
+    /// The per-speed memo tallies of this warm scenario.
+    pub(crate) fn memo_counts(&self) -> CacheCounts {
+        self.cache.stats()
     }
 }
 
@@ -61,9 +74,21 @@ impl ScenarioLru {
         }
     }
 
-    #[cfg(test)]
+    /// How many warm scenarios are currently resident.
     pub(crate) fn len(&self) -> usize {
         self.entries.lock().expect("lru lock").len()
+    }
+
+    /// The per-speed memo tallies summed over every resident scenario —
+    /// the node-wide evaluation-cache view the `stats` op reports.
+    pub(crate) fn memo_counts(&self) -> CacheCounts {
+        self.entries
+            .lock()
+            .expect("lru lock")
+            .iter()
+            .fold(CacheCounts::default(), |acc, (_, cached)| {
+                acc.merged(cached.memo_counts())
+            })
     }
 
     /// Returns the warm entry for `spec`, building (and recording a cache
@@ -123,9 +148,19 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
+    /// The full statistics snapshot: the stats registry's view plus the
+    /// evaluation-memo tallies only the scenario LRU can aggregate.
+    pub(crate) fn snapshot(&self) -> crate::stats::StatsSnapshot {
+        let mut snapshot = self.stats.snapshot();
+        snapshot.eval_memo = self.lru.memo_counts();
+        snapshot
+    }
+
     /// Evaluates one job end to end, producing the response to send.
     pub(crate) fn process(&self, job: &Job) -> Response {
         let id = job.request.id;
+        // Everything before this call was queue wait.
+        self.stats.record_queue_wait(job.received.elapsed());
         if let Some(deadline) = job.deadline {
             if Instant::now() >= deadline {
                 self.stats.record_timed_out();
@@ -147,9 +182,12 @@ impl Engine {
             job.deadline
                 .is_some_and(|deadline| Instant::now() >= deadline)
         };
+        let exec_start = Instant::now();
         match run_op(&job.request, &cached, &self.executor, &cancelled) {
             Ok(Some(payload)) => {
-                self.stats.record_served(job.received.elapsed());
+                self.stats.record_execute(exec_start.elapsed());
+                self.stats
+                    .record_served(job.request.op.name(), job.received.elapsed());
                 Response::success(id, payload)
             }
             Ok(None) => {
@@ -282,7 +320,7 @@ fn run_op<C: Fn() -> bool + Sync>(
                 span_s: report.span.secs(),
             }))
         }
-        Op::Stats | Op::Ping | Op::Shutdown => Err((
+        Op::Stats | Op::Metrics | Op::Ping | Op::Shutdown => Err((
             ErrorCode::BadRequest,
             format!("op `{}` is a control operation", request.op.name()),
         )),
@@ -298,8 +336,9 @@ fn run_op<C: Fn() -> bool + Sync>(
 /// # Errors
 ///
 /// Returns the structured error code and message a server would put in
-/// its `error` field. Control ops (`stats`, `ping`, `shutdown`) are
-/// rejected as `bad_request` except `ping`, which answers locally.
+/// its `error` field. Control ops (`stats`, `metrics`, `ping`,
+/// `shutdown`) are rejected as `bad_request` except `ping`, which
+/// answers locally.
 pub fn evaluate(
     request: &Request,
     executor: &SweepExecutor,

@@ -281,6 +281,106 @@ fn stats_op_reports_counters_and_percentiles() {
     // The three identical requests share one scenario cache entry.
     assert_eq!(snapshot.cache_misses, 1);
     assert_eq!(snapshot.cache_hits, 2);
+    // The registry rebuild rides along: per-op latency series and the
+    // per-speed memo tallies of the warm scenario.
+    let breakeven = snapshot
+        .ops
+        .iter()
+        .find(|op| op.op == "breakeven")
+        .expect("breakeven latency series");
+    assert_eq!(breakeven.count, 3);
+    assert!(breakeven.p50_ms <= breakeven.p99_ms);
+    assert!(
+        snapshot.eval_memo.misses > 0,
+        "the warm scenario's speed memo must have been exercised: {:?}",
+        snapshot.eval_memo
+    );
+    assert!(
+        snapshot.eval_memo.hits > 0,
+        "repeating the same grid must hit the speed memo: {:?}",
+        snapshot.eval_memo
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn stats_snapshots_are_monotonic_across_requests() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let stats_of = |client: &mut Client| -> monityre_serve::StatsSnapshot {
+        let response = client.request(&Request::new(Op::Stats)).expect("stats");
+        let Some(Payload::Stats(snapshot)) = response.ok else {
+            panic!("unexpected stats response: {response:?}");
+        };
+        snapshot
+    };
+    let mut previous = stats_of(&mut client);
+    for i in 0..4 {
+        if i == 2 {
+            // Interleave a bad request so that counter moves too.
+            let _ = client.send_line("not json").expect("send");
+        }
+        let response = client
+            .request(&Request::new(Op::Breakeven).with_id(i))
+            .expect("request");
+        assert!(response.is_ok());
+        let current = stats_of(&mut client);
+        assert!(current.served >= previous.served, "served went backwards");
+        assert!(current.served > previous.served, "served must advance");
+        assert!(current.rejected >= previous.rejected);
+        assert!(current.timed_out >= previous.timed_out);
+        assert!(current.bad_requests >= previous.bad_requests);
+        assert!(current.eval_failed >= previous.eval_failed);
+        assert!(current.cache_hits >= previous.cache_hits);
+        assert!(current.cache_misses >= previous.cache_misses);
+        assert!(current.eval_memo.hits >= previous.eval_memo.hits);
+        assert!(current.eval_memo.misses >= previous.eval_memo.misses);
+        previous = current;
+    }
+    assert!(previous.bad_requests >= 1, "the bad line must be counted");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_op_serves_prometheus_text() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let response = client
+        .request(&Request::new(Op::Breakeven).with_id(1))
+        .expect("request");
+    assert!(response.is_ok());
+    let response = client
+        .request(&Request::new(Op::Metrics).with_id(2))
+        .expect("metrics");
+    let Some(Payload::Metrics(text)) = response.ok else {
+        panic!("unexpected metrics response: {response:?}");
+    };
+    assert!(!text.is_empty(), "exposition must not be empty");
+    assert!(text.contains("# TYPE"), "{text}");
+    assert!(text.contains("monityre_serve_served 1"), "{text}");
+    assert!(
+        text.contains("monityre_serve_op_breakeven_seconds_count 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("monityre_serve_queue_wait_seconds_count"),
+        "{text}"
+    );
+    assert!(text.contains("monityre_serve_queue_capacity"), "{text}");
+    // Every non-comment line must parse as `name[{labels}] value`.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name/value split");
+        assert!(!name.is_empty(), "metric name missing in {line:?}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in {line:?}"
+        );
+    }
+    // The handle-side exposition agrees in shape.
+    assert!(handle.prometheus_text().contains("monityre_serve_served 1"));
     handle.shutdown();
 }
 
