@@ -282,6 +282,78 @@ pub fn record_serve_bench(result: ServeBenchResult) {
     std::fs::write(&path, text + "\n").expect("BENCH_serve.json writes");
 }
 
+/// One row of `BENCH_faults.json`: the same loopback batch served clean
+/// and under an armed fault plan through the retrying client, to price
+/// the cost of resilience (retries, dedup replays) in throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultsBenchResult {
+    /// Which chaos scenario was measured (the merge key).
+    pub name: String,
+    /// The armed fault spec (`<seed>:<kind=p,...>`) of the faulty pass.
+    pub plan: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends — `clients × batches` per pass.
+    pub batches: usize,
+    /// Server worker-pool size during the measurement.
+    pub workers: usize,
+    /// Hardware threads available when the row was measured.
+    pub cpus: usize,
+    /// Served requests per second with the fault hooks inert.
+    pub clean_requests_per_sec: f64,
+    /// Served requests per second with the plan armed (same client).
+    pub faulty_requests_per_sec: f64,
+    /// Faults the plan fired during the faulty pass.
+    pub faults_injected: u64,
+    /// Retries the clients performed during the faulty pass.
+    pub retries: u64,
+    /// Idempotent replays the server answered from the dedup map.
+    pub dedup_hits: u64,
+}
+
+/// Where the fault-injection rows live: `BENCH_faults.json` at the
+/// repository root.
+#[must_use]
+pub fn faults_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_faults.json")
+}
+
+/// Merges `result` into `BENCH_faults.json`, replacing any existing row
+/// with the same name, and prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read, parsed or written — a harness
+/// misconfiguration worth failing loudly on.
+pub fn record_faults_bench(result: FaultsBenchResult) {
+    let path = faults_bench_path();
+    let mut rows: Vec<FaultsBenchResult> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_faults.json parses"),
+        Err(_) => Vec::new(),
+    };
+    println!(
+        "bench {}: plan `{}`, clean {:.0} req/s, faulty {:.0} req/s ({} fault(s), {} retr(ies), {} replay(s), {} cpu(s))",
+        result.name,
+        result.plan,
+        result.clean_requests_per_sec,
+        result.faulty_requests_per_sec,
+        result.faults_injected,
+        result.retries,
+        result.dedup_hits,
+        result.cpus
+    );
+    match rows.iter_mut().find(|row| row.name == result.name) {
+        Some(row) => *row = result,
+        None => rows.push(result),
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let text = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&path, text + "\n").expect("BENCH_faults.json writes");
+}
+
 /// One row of `BENCH_obs.json`: the same sweep batch timed with the
 /// observability spans enabled (the default) and disabled
 /// (`monityre_obs::set_enabled(false)`), to guard the instrumentation
@@ -422,6 +494,29 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].name, "obs-round-trip");
         assert!((back[0].overhead_pct - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faults_bench_rows_round_trip() {
+        let row = FaultsBenchResult {
+            name: "faults-round-trip".into(),
+            plan: "2011:conn_reset=0.25".into(),
+            clients: 4,
+            batches: 48,
+            workers: 2,
+            cpus: 4,
+            clean_requests_per_sec: 900.0,
+            faulty_requests_per_sec: 600.0,
+            faults_injected: 37,
+            retries: 41,
+            dedup_hits: 12,
+        };
+        let json = serde_json::to_string(&vec![row]).unwrap();
+        let back: Vec<FaultsBenchResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "faults-round-trip");
+        assert_eq!(back[0].faults_injected, 37);
+        assert!(back[0].clean_requests_per_sec > back[0].faulty_requests_per_sec);
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn run_check(bin: &str) {
         "exp_adaptive" => env!("CARGO_BIN_EXE_exp_adaptive"),
         "exp_workbook" => env!("CARGO_BIN_EXE_exp_workbook"),
         "exp_serve" => env!("CARGO_BIN_EXE_exp_serve"),
+        "exp_faults" => env!("CARGO_BIN_EXE_exp_faults"),
         "exp_sweep" => env!("CARGO_BIN_EXE_exp_sweep"),
         other => panic!("unknown harness {other}"),
     };
@@ -137,6 +138,11 @@ fn exp_workbook_check() {
 #[test]
 fn exp_serve_check() {
     run_check("exp_serve");
+}
+
+#[test]
+fn exp_faults_check() {
+    run_check("exp_faults");
 }
 
 #[test]

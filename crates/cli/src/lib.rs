@@ -13,9 +13,12 @@
 //! monityre flow      [--speed 30]
 //! monityre sheet     [--temp 27] [--explain node.active_uw]
 //! monityre serve     [--bind 127.0.0.1] [--port 0] [--workers 2]
-//!                    [--queue 64] [--cache 16] [--announce /tmp/addr]
+//!                    [--queue 64] [--cache 16] [--dedup 256]
+//!                    [--faults SEED:KIND=P,...] [--announce /tmp/addr]
 //! monityre request   [--addr HOST:PORT | --local] [--op breakeven] [--id 1]
 //!                    [--deadline-ms 5000] [--steps 96] [--temp 85]
+//!                    [--retry] [--retry-attempts 8] [--retry-backoff-ms 10]
+//!                    [--retry-deadline-ms 60000] [--retry-seed N] [--idem K]
 //! monityre obs       --addr HOST:PORT [--prometheus]
 //! ```
 //!
@@ -281,6 +284,34 @@ mod tests {
         assert!(out.contains("Pong"), "{out}");
         assert!(out.contains("\"id\":3"), "{out}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn request_retry_survives_an_armed_fault_plan() {
+        // conn_reset at 50%: a plain client would see torn connections;
+        // the retrying client must still print the fault-free bytes.
+        let plan = monityre_faults::FaultPlan::parse("2011:conn_reset=0.5").expect("plan");
+        let handle = monityre_serve::ServerConfig {
+            faults: Some(std::sync::Arc::new(plan)),
+            ..Default::default()
+        }
+        .start()
+        .expect("bind loopback");
+        let addr = handle.addr();
+        let out = run_line(&format!(
+            "request --addr {addr} --op breakeven --id 7 --steps 48 \
+             --retry --retry-attempts 12 --retry-seed 9"
+        ))
+        .unwrap();
+        assert!(out.contains("\"id\":7"), "{out}");
+        assert!(out.contains("Breakeven"), "{out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_malformed_fault_specs() {
+        let err = run_line("serve --faults nonsense").unwrap_err();
+        assert!(err.to_string().contains("--faults"), "{err}");
     }
 
     #[test]

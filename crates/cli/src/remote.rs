@@ -9,9 +9,13 @@
 
 use std::fmt::Write as _;
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
-use monityre_serve::{evaluate, Client, Op, Payload, Request, Response, ServerConfig};
+use monityre_faults::FaultPlan;
+use monityre_serve::{
+    evaluate, Client, Op, Payload, Request, Response, RetryPolicy, RetryingClient, ServerConfig,
+};
 
 use crate::commands::executor_from;
 use crate::{Args, CliError};
@@ -35,6 +39,16 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     let workers = args.count("workers", 2)?;
     let queue = args.count("queue", 64)?;
     let cache = args.count("cache", 16)?;
+    let dedup = args.count("dedup", 256)?;
+    // `--faults <seed>:<kind=p,...>` arms the deterministic fault plan for
+    // chaos drills; without it the hooks stay inert (the MONITYRE_FAULTS
+    // environment variable still applies as a fallback inside `start`).
+    let faults = match args.text_opt("faults") {
+        None => None,
+        Some(spec) => Some(Arc::new(
+            FaultPlan::parse(&spec).map_err(|e| CliError::new(format!("flag --faults: {e}")))?,
+        )),
+    };
     // 0 means auto (`SweepExecutor::available()`, which honours the
     // MONITYRE_THREADS environment override); the flag itself must be ≥ 1.
     let threads = match args.text_opt("threads") {
@@ -57,6 +71,8 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         threads,
         queue_capacity: queue,
         cache_capacity: cache,
+        dedup_capacity: dedup,
+        faults: faults.clone(),
     }
     .start()
     .map_err(|e| CliError::new(format!("serve: cannot bind {host}:{port}: {e}")))?;
@@ -66,6 +82,9 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     // pass `--port 0` can discover the ephemeral port (also via
     // `--announce <file>`, which is easier to poll than stdout).
     println!("listening on {addr} ({workers} worker(s), queue {queue}, cache {cache})");
+    if let Some(plan) = &faults {
+        println!("fault plan armed: {}", plan.describe());
+    }
     let _ = std::io::stdout().flush();
     if let Some(path) = &announce {
         std::fs::write(path, format!("{addr}\n"))
@@ -163,6 +182,14 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     let addr = args.text_opt("addr");
     let local = args.flag("local");
     let timeout_ms = args.count("timeout-ms", 30_000)?;
+    // `--retry` routes the call through the resilient client: bounded
+    // attempts with jittered backoff and an idempotency key, so a flaky
+    // (or fault-injected) server still yields the fault-free bytes.
+    let retry = args.flag("retry");
+    let retry_attempts = args.count("retry-attempts", 8)?;
+    let retry_backoff_ms = args.count("retry-backoff-ms", 10)?;
+    let retry_deadline_ms = args.count("retry-deadline-ms", 60_000)?;
+    let retry_seed: Option<u64> = parse_opt(args, "retry-seed")?;
     let executor = executor_from(args)?; // --threads drives --local evaluation
 
     let op = Op::from_name(&op_name).ok_or_else(|| {
@@ -178,6 +205,7 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     let mut request = Request::new(op);
     request.id = parse_opt(args, "id")?;
     request.deadline_ms = parse_opt(args, "deadline-ms")?;
+    request.idem = parse_opt(args, "idem")?;
     request.scenario.temp_c = parse_opt(args, "temp")?;
     request.scenario.supply_v = parse_opt(args, "supply")?;
     request.scenario.corner = args.text_opt("corner");
@@ -208,14 +236,31 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
                 "flag --addr <host:port> is required (or pass --local to evaluate in-process)",
             )
         })?;
-        let mut client = Client::connect(addr.as_str())
-            .map_err(|e| CliError::new(format!("request: cannot connect to {addr}: {e}")))?;
-        client
-            .set_timeout(Some(Duration::from_millis(timeout_ms as u64)))
-            .map_err(|e| CliError::new(format!("request: {e}")))?;
-        client
-            .request_raw(&request)
-            .map_err(|e| CliError::new(format!("request to {addr} failed: {e}")))?
+        if retry {
+            let defaults = RetryPolicy::default();
+            let policy = RetryPolicy {
+                attempts: u32::try_from(retry_attempts).unwrap_or(u32::MAX),
+                base_backoff: Duration::from_millis(retry_backoff_ms as u64),
+                attempt_timeout: Duration::from_millis(timeout_ms as u64),
+                overall_deadline: Duration::from_millis(retry_deadline_ms as u64),
+                jitter_seed: retry_seed.unwrap_or(defaults.jitter_seed),
+                ..defaults
+            };
+            let mut client = RetryingClient::resolve(addr.as_str(), policy)
+                .map_err(|e| CliError::new(format!("request: cannot resolve {addr}: {e}")))?;
+            client
+                .call_raw(&request)
+                .map_err(|e| CliError::new(format!("request to {addr} failed: {e}")))?
+        } else {
+            let mut client = Client::connect(addr.as_str())
+                .map_err(|e| CliError::new(format!("request: cannot connect to {addr}: {e}")))?;
+            client
+                .set_timeout(Some(Duration::from_millis(timeout_ms as u64)))
+                .map_err(|e| CliError::new(format!("request: {e}")))?;
+            client
+                .request_raw(&request)
+                .map_err(|e| CliError::new(format!("request to {addr} failed: {e}")))?
+        }
     };
     Ok(format!("{raw}\n"))
 }

@@ -44,6 +44,7 @@
 
 mod export;
 mod metrics;
+pub mod names;
 mod registry;
 mod sink;
 mod span;

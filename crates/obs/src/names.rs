@@ -1,0 +1,34 @@
+//! Well-known metric names shared across crates.
+//!
+//! The registry is stringly keyed on purpose — subsystems mint names
+//! freely — but a few names form cross-crate contracts: the fault layer
+//! increments them, the serving layer exposes them, and the chaos suite
+//! asserts on them. Those live here so a rename cannot silently split a
+//! metric in two.
+
+/// Total injected faults (process-global; per-kind counters append
+/// `.<kind>`, e.g. `faults.injected.conn_reset`).
+pub const FAULTS_INJECTED: &str = "faults.injected";
+
+/// Retries performed by `RetryingClient` (process-global).
+pub const CLIENT_RETRIES: &str = "client.retries";
+
+/// Idempotent-replay hits served from the server's dedup map (per-server
+/// private registry).
+pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_prometheus_safe() {
+        let all = [FAULTS_INJECTED, CLIENT_RETRIES, SERVE_DEDUP_HITS];
+        for (i, name) in all.iter().enumerate() {
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'));
+            assert!(!all[..i].contains(name), "duplicate metric name {name}");
+        }
+    }
+}

@@ -23,6 +23,12 @@
 //! * **Graceful shutdown** — a `shutdown` op (or [`ServerHandle::shutdown`])
 //!   stops the acceptor, drains every queued and in-flight job, answers
 //!   the remaining clients, and joins all threads.
+//! * **Fault tolerance, proven by injection** — the server compiles in
+//!   inert fault hooks (armed via [`ServerConfig`] or the
+//!   `MONITYRE_FAULTS` env var, see [`monityre_faults`]); the
+//!   [`RetryingClient`] retries with backoff and idempotency keys so a
+//!   chaos run returns the same bytes a fault-free run would, which
+//!   `tests/chaos.rs` pins.
 //!
 //! ```no_run
 //! use monityre_serve::{Client, Op, Request, ServerConfig};
@@ -38,15 +44,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod dedup;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
 mod worker;
 
-pub use client::Client;
+pub use client::{Client, ClientError, RetryPolicy, RetryingClient, DEFAULT_IO_TIMEOUT};
 pub use protocol::{
-    ErrorCode, Op, Params, Payload, Request, Response, ScenarioSpec, WireError, MAX_LINE_BYTES,
+    decode_request_line, decode_response_line, ErrorCode, Op, Params, Payload, ProtocolError,
+    Request, Response, ScenarioSpec, WireError, MAX_LINE_BYTES,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServerConfig, ServerHandle};

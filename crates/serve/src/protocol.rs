@@ -118,16 +118,20 @@ pub enum ErrorCode {
     EvalFailed,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The server hit an internal failure (e.g. a worker panic) before
+    /// the job completed — nothing was committed, safe to retry.
+    Internal,
 }
 
 impl ErrorCode {
     /// Every error code, for enumeration in tests and docs.
-    pub const ALL: [ErrorCode; 5] = [
+    pub const ALL: [ErrorCode; 6] = [
         ErrorCode::QueueFull,
         ErrorCode::DeadlineExceeded,
         ErrorCode::BadRequest,
         ErrorCode::EvalFailed,
         ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
     ];
 
     /// The wire name (snake_case).
@@ -139,6 +143,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::EvalFailed => "eval_failed",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
         }
     }
 
@@ -146,6 +151,21 @@ impl ErrorCode {
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|code| code.name() == name)
+    }
+
+    /// Whether a client may transparently retry after this error — the
+    /// single classification the resilient client and the docs share.
+    ///
+    /// `queue_full` is an explicit invitation to retry later; `internal`
+    /// means the job aborted before completing (with an idempotency key,
+    /// a retry is deduplicated server-side either way). Everything else
+    /// is terminal: the request itself is wrong (`bad_request`), the
+    /// evaluation deterministically fails (`eval_failed`), the deadline
+    /// budget is spent (`deadline_exceeded`), or the server is going
+    /// away (`shutting_down`).
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::QueueFull | ErrorCode::Internal)
     }
 }
 
@@ -325,6 +345,14 @@ pub struct Request {
     /// mid-sweep — get a `deadline_exceeded` error.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Idempotency key. When present, the server deduplicates: the first
+    /// completed evaluation for a key is remembered and every later
+    /// request carrying the same key is answered from that memory,
+    /// byte-identically, without re-executing. The retrying client
+    /// stamps one per *logical* call so retried batches are never
+    /// double-executed or double-counted.
+    #[serde(default)]
+    pub idem: Option<u64>,
     /// Scenario overrides (empty = reference scenario).
     #[serde(default)]
     pub scenario: ScenarioSpec,
@@ -341,6 +369,7 @@ impl Request {
             op,
             id: None,
             deadline_ms: None,
+            idem: None,
             scenario: ScenarioSpec::default(),
             params: Params::default(),
         }
@@ -357,6 +386,13 @@ impl Request {
     #[must_use]
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the idempotency key.
+    #[must_use]
+    pub fn with_idem(mut self, key: u64) -> Self {
+        self.idem = Some(key);
         self
     }
 
@@ -538,6 +574,75 @@ impl Response {
     }
 }
 
+/// Why a raw wire line failed to decode. Every way a frame can be
+/// damaged — truncated, interleaved, byte-flipped, oversized — maps to
+/// one of these variants; the decoders below never panic, which the
+/// fuzzing suite in `tests/properties.rs` pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The line exceeds [`MAX_LINE_BYTES`].
+    Oversize {
+        /// The offending line length.
+        len: usize,
+    },
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The line is empty (or only whitespace) — a keep-alive, never a
+    /// frame.
+    Empty,
+    /// The line is UTF-8 but is not the expected JSON shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversize { len } => {
+                write!(f, "line of {len} bytes exceeds {MAX_LINE_BYTES}")
+            }
+            ProtocolError::NotUtf8 => f.write_str("line is not UTF-8"),
+            ProtocolError::Empty => f.write_str("line is empty"),
+            ProtocolError::Malformed(detail) => write!(f, "line does not parse: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Shared frame plumbing: bounds-checks, strips the newline, checks
+/// UTF-8. Returns the trimmed text ready for JSON parsing.
+fn decode_text(raw: &[u8]) -> Result<&str, ProtocolError> {
+    if raw.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError::Oversize { len: raw.len() });
+    }
+    let text = std::str::from_utf8(raw).map_err(|_| ProtocolError::NotUtf8)?;
+    let text = text.trim_end_matches(['\n', '\r']).trim();
+    if text.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    Ok(text)
+}
+
+/// Decodes one raw request line (with or without the trailing newline).
+///
+/// # Errors
+///
+/// Returns the typed [`ProtocolError`]; never panics, whatever the bytes.
+pub fn decode_request_line(raw: &[u8]) -> Result<Request, ProtocolError> {
+    let text = decode_text(raw)?;
+    serde_json::from_str(text).map_err(|e| ProtocolError::Malformed(e.to_string()))
+}
+
+/// Decodes one raw response line (with or without the trailing newline).
+///
+/// # Errors
+///
+/// Returns the typed [`ProtocolError`]; never panics, whatever the bytes.
+pub fn decode_response_line(raw: &[u8]) -> Result<Response, ProtocolError> {
+    let text = decode_text(raw)?;
+    serde_json::from_str(text).map_err(|e| ProtocolError::Malformed(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +685,7 @@ mod tests {
             op: Op::Sweep,
             id: Some(7),
             deadline_ms: Some(250),
+            idem: Some(0xdead_beef),
             scenario: ScenarioSpec {
                 temp_c: Some(85.0),
                 corner: Some("ff".to_owned()),
@@ -676,6 +782,37 @@ mod tests {
         };
         assert_ne!(a.cache_key(), b.cache_key());
         assert_eq!(a.cache_key(), ScenarioSpec::default().cache_key());
+    }
+
+    #[test]
+    fn retryability_splits_the_codes() {
+        for code in ErrorCode::ALL {
+            let expected = matches!(code, ErrorCode::QueueFull | ErrorCode::Internal);
+            assert_eq!(code.is_retryable(), expected, "{code:?}");
+        }
+    }
+
+    #[test]
+    fn decoders_classify_damaged_lines() {
+        let line = serde_json::to_string(&Request::new(Op::Balance).with_id(3)).unwrap();
+        assert!(decode_request_line(line.as_bytes()).is_ok());
+        assert!(decode_request_line(format!("{line}\n").as_bytes()).is_ok());
+        assert_eq!(decode_request_line(b"  \n"), Err(ProtocolError::Empty));
+        assert_eq!(
+            decode_request_line(&[0xff, 0xfe, b'{']),
+            Err(ProtocolError::NotUtf8)
+        );
+        assert!(matches!(
+            decode_request_line(&line.as_bytes()[..line.len() / 2]),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let oversize = vec![b'x'; MAX_LINE_BYTES + 1];
+        assert!(matches!(
+            decode_request_line(&oversize),
+            Err(ProtocolError::Oversize { .. })
+        ));
+        let response = serde_json::to_string(&Response::success(Some(1), Payload::Pong)).unwrap();
+        assert!(decode_response_line(response.as_bytes()).is_ok());
     }
 
     #[test]

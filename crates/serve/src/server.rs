@@ -17,14 +17,16 @@
 //! before [`ServerHandle::wait`] returns.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use monityre_core::SweepExecutor;
+use monityre_faults::{FaultKind, FaultPlan};
 
+use crate::dedup::DedupMap;
 use crate::protocol::{ErrorCode, Op, Payload, Request, Response, MAX_LINE_BYTES};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{Stats, StatsSnapshot};
@@ -47,6 +49,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Scenario LRU capacity (warm `EvalCache` entries).
     pub cache_capacity: usize,
+    /// Idempotency-dedup capacity (remembered responses). In-flight keys
+    /// are never evicted; completed ones go FIFO past this bound.
+    pub dedup_capacity: usize,
+    /// Fault plan to inject. `None` falls back to the
+    /// [`monityre_faults::FAULTS_ENV_VAR`] environment variable at
+    /// [`ServerConfig::start`]; absent both, the hooks are inert.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +66,8 @@ impl Default for ServerConfig {
             threads: 0,
             queue_capacity: 64,
             cache_capacity: 16,
+            dedup_capacity: 256,
+            faults: None,
         }
     }
 }
@@ -76,6 +87,14 @@ impl ServerConfig {
         } else {
             SweepExecutor::new(self.threads)
         };
+        let faults = match self.faults {
+            Some(plan) => Some(plan),
+            // A malformed env spec must fail loudly, not silently disarm
+            // the chaos run.
+            None => FaultPlan::from_env()
+                .map_err(|message| io::Error::new(io::ErrorKind::InvalidInput, message))?
+                .map(Arc::new),
+        };
         let shared = Arc::new(Shared {
             addr,
             shutdown: AtomicBool::new(false),
@@ -84,12 +103,16 @@ impl ServerConfig {
                 executor,
                 lru: crate::worker::ScenarioLru::new(self.cache_capacity),
                 stats: Arc::new(Stats::new()),
+                dedup: DedupMap::new(self.dedup_capacity),
             },
+            faults,
         });
         let workers: Vec<JoinHandle<()>> = (0..self.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared.queue, &shared.engine))
+                thread::spawn(move || {
+                    worker_loop(&shared.queue, &shared.engine, shared.faults.as_deref());
+                })
             })
             .collect();
         let acceptor = {
@@ -109,6 +132,8 @@ struct Shared {
     shutdown: AtomicBool,
     queue: BoundedQueue<Job>,
     engine: Engine,
+    /// The installed fault plan; `None` keeps every hook inert.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -128,6 +153,9 @@ impl Shared {
         registry
             .gauge("serve.lru_entries")
             .set(clamp(self.engine.lru.len()));
+        registry
+            .gauge("serve.dedup_entries")
+            .set(clamp(self.engine.dedup.len()));
         let memo = self.engine.lru.memo_counts();
         let memo_gauge = |name: &str, value: u64| {
             registry
@@ -232,6 +260,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     drop(stream);
                     break;
                 }
+                if let Some(plan) = shared.faults.as_deref() {
+                    if plan.decide(FaultKind::AcceptDrop) {
+                        // Injected: the dial succeeded, then the peer
+                        // vanished before reading anything.
+                        drop(stream);
+                        continue;
+                    }
+                }
                 let shared = Arc::clone(shared);
                 handlers.push(thread::spawn(move || handle_connection(stream, &shared)));
             }
@@ -271,7 +307,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                         format!("request line exceeds {MAX_LINE_BYTES} bytes"),
                     );
                     shared.engine.stats.record_bad_request();
-                    let _ = write_response(&mut writer, &response);
+                    let _ = send_response(&mut writer, &response, shared.faults.as_deref());
                     return;
                 }
                 let keep_going = serve_line(&line, &mut writer, shared);
@@ -288,7 +324,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                         format!("request line exceeds {MAX_LINE_BYTES} bytes"),
                     );
                     shared.engine.stats.record_bad_request();
-                    let _ = write_response(&mut writer, &response);
+                    let _ = send_response(&mut writer, &response, shared.faults.as_deref());
                     return;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -349,13 +385,20 @@ fn read_more<R: Read>(reader: &mut BufReader<R>, line: &mut Vec<u8>) -> ReadOutc
 fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
     let received = Instant::now();
     let stats = &shared.engine.stats;
+    let faults = shared.faults.as_deref();
+    if let Some(plan) = faults {
+        if plan.decide(FaultKind::SlowRead) {
+            // Injected: a slow server — the request sits unparsed.
+            thread::sleep(plan.delay());
+        }
+    }
     let text = match std::str::from_utf8(raw) {
         Ok(text) => text.trim_end_matches(['\n', '\r']).trim(),
         Err(_) => {
             stats.record_bad_request();
             let response =
                 Response::failure(None, ErrorCode::BadRequest, "request line is not UTF-8");
-            return write_response(writer, &response).is_ok();
+            return send_response(writer, &response, faults).is_ok();
         }
     };
     if text.is_empty() {
@@ -370,29 +413,42 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
                 ErrorCode::BadRequest,
                 format!("request does not parse: {e}"),
             );
-            return write_response(writer, &response).is_ok();
+            return send_response(writer, &response, faults).is_ok();
         }
     };
     let id = request.id;
     if let Err(message) = request.validate() {
         stats.record_bad_request();
         let response = Response::failure(id, ErrorCode::BadRequest, message);
-        return write_response(writer, &response).is_ok();
+        return send_response(writer, &response, faults).is_ok();
     }
     if request.op.is_control() {
         return match request.op {
-            Op::Ping => write_response(writer, &Response::success(id, Payload::Pong)).is_ok(),
+            Op::Ping => {
+                send_response(writer, &Response::success(id, Payload::Pong), faults).is_ok()
+            }
             Op::Stats => {
                 let snapshot = shared.engine.snapshot();
-                write_response(writer, &Response::success(id, Payload::Stats(snapshot))).is_ok()
+                send_response(
+                    writer,
+                    &Response::success(id, Payload::Stats(snapshot)),
+                    faults,
+                )
+                .is_ok()
             }
             Op::Metrics => {
                 let text = shared.prometheus_text();
-                write_response(writer, &Response::success(id, Payload::Metrics(text))).is_ok()
+                send_response(
+                    writer,
+                    &Response::success(id, Payload::Metrics(text)),
+                    faults,
+                )
+                .is_ok()
             }
             _ => {
                 // Acknowledge first so the client sees the answer even
-                // though this connection closes right after.
+                // though this connection closes right after. Never
+                // faulted: losing the ack would strand the drain.
                 let _ = write_response(writer, &Response::success(id, Payload::Draining));
                 shared.trigger_shutdown();
                 false
@@ -432,7 +488,7 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
             Response::failure(id, ErrorCode::ShuttingDown, "server is draining")
         }
     };
-    write_response(writer, &response).is_ok()
+    send_response(writer, &response, faults).is_ok()
 }
 
 fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
@@ -440,6 +496,72 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()>
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     payload.push('\n');
     writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// [`write_response`] behind the response-path fault hooks. Every hook is
+/// a conditional on the (usually absent) plan, so the fault-free path
+/// costs one branch.
+///
+/// Injection sites, in the order they are considered:
+///
+/// * `conn_reset` — close the socket instead of answering; the result
+///   exists server-side (and, with an `idem` key, in the dedup map) but
+///   never travels.
+/// * `stall_read` / `delay_response` — hold the response for the plan's
+///   stall/delay; the client's read timeout (not a hang) must handle it.
+/// * `truncate_frame` — write a newline-less prefix, then close.
+/// * `corrupt_frame` — flip the first byte to an invalid-UTF-8 value
+///   (`{` ⊕ 0x80), so damage is always *detectable*: an arbitrary bit
+///   flip could still parse and silently return a wrong result.
+/// * `partial_write` — split the write in two flushes with a pause
+///   between; benign, the frame still completes.
+fn send_response(
+    writer: &mut TcpStream,
+    response: &Response,
+    faults: Option<&FaultPlan>,
+) -> io::Result<()> {
+    let Some(plan) = faults else {
+        return write_response(writer, response);
+    };
+    if plan.decide(FaultKind::ConnReset) {
+        let _ = writer.shutdown(Shutdown::Both);
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected connection reset",
+        ));
+    }
+    if plan.decide(FaultKind::StallRead) {
+        thread::sleep(plan.stall());
+    } else if plan.decide(FaultKind::DelayResponse) {
+        thread::sleep(plan.delay());
+    }
+    let mut payload = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    payload.push('\n');
+    let mut bytes = payload.into_bytes();
+    if plan.decide(FaultKind::TruncateFrame) {
+        let cut = bytes.len() / 2;
+        writer.write_all(&bytes[..cut])?;
+        writer.flush()?;
+        let _ = writer.shutdown(Shutdown::Both);
+        return Err(io::Error::new(
+            io::ErrorKind::WriteZero,
+            "injected truncated frame",
+        ));
+    }
+    if plan.decide(FaultKind::CorruptFrame) {
+        bytes[0] ^= 0x80;
+    }
+    if plan.decide(FaultKind::PartialWrite) {
+        let cut = (bytes.len() / 2).max(1);
+        writer.write_all(&bytes[..cut])?;
+        writer.flush()?;
+        thread::sleep(plan.pause());
+        writer.write_all(&bytes[cut..])?;
+        return writer.flush();
+    }
+    writer.write_all(&bytes)?;
     writer.flush()
 }
 

@@ -30,6 +30,7 @@ pub(crate) struct Stats {
     eval_failed: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
     /// Exact-rank window over recent service times: the pinned
     /// `p50_ms`/`p99_ms` wire fields must not move to bucket estimates.
     service: Reservoir,
@@ -47,6 +48,7 @@ impl Stats {
             eval_failed: counter("serve.eval_failed"),
             cache_hits: counter("serve.cache_hits"),
             cache_misses: counter("serve.cache_misses"),
+            dedup_hits: counter(monityre_obs::names::SERVE_DEDUP_HITS),
             service: Reservoir::new(),
             registry,
         }
@@ -108,6 +110,12 @@ impl Stats {
         self.cache_misses.inc();
     }
 
+    /// An idempotent retry was answered from the dedup map without
+    /// re-executing.
+    pub(crate) fn record_dedup_hit(&self) {
+        self.dedup_hits.inc();
+    }
+
     /// A self-consistent (per counter; relaxed across counters) snapshot.
     /// `eval_memo` is left zeroed here — the engine, which owns the
     /// scenario LRU, fills it in.
@@ -140,6 +148,7 @@ impl Stats {
             p99_ms: percentiles[1],
             eval_memo: CacheCounts::default(),
             ops,
+            dedup_hits: self.dedup_hits.get(),
         }
     }
 }
@@ -192,6 +201,10 @@ pub struct StatsSnapshot {
     /// Per-op latency series, sorted by op name.
     #[serde(default)]
     pub ops: Vec<OpLatency>,
+    /// Idempotent retries answered from the dedup map without
+    /// re-executing.
+    #[serde(default)]
+    pub dedup_hits: u64,
 }
 
 #[cfg(test)]

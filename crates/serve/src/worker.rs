@@ -8,6 +8,7 @@
 //! `serde_json`, which is what makes a served response byte-identical to
 //! a direct in-process evaluation — the loopback tests pin that down.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -17,10 +18,12 @@ use monityre_core::{
     CacheCounts, EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor, TransientEmulator,
     VariationModel,
 };
+use monityre_faults::{FaultKind, FaultPlan};
 use monityre_harvest::Supercap;
 use monityre_profile::named_cycle;
 use monityre_units::{Capacitance, Resistance, Speed, Voltage};
 
+use crate::dedup::{Begin, DedupMap};
 use crate::protocol::{ErrorCode, Payload, Request, Response, ScenarioSpec};
 use crate::stats::Stats;
 
@@ -145,6 +148,7 @@ pub(crate) struct Engine {
     pub(crate) executor: SweepExecutor,
     pub(crate) lru: ScenarioLru,
     pub(crate) stats: Arc<Stats>,
+    pub(crate) dedup: DedupMap,
 }
 
 impl Engine {
@@ -157,7 +161,15 @@ impl Engine {
     }
 
     /// Evaluates one job end to end, producing the response to send.
-    pub(crate) fn process(&self, job: &Job) -> Response {
+    ///
+    /// Idempotency: when the request carries an `idem` key, the dedup
+    /// map decides whether this worker executes (first claimer) or
+    /// replays the remembered response; only *successful* responses are
+    /// remembered, so a failed or panicked attempt frees the key for
+    /// re-execution. The injected [`FaultKind::WorkerPanic`] fires after
+    /// the claim, exercising exactly the unwind path the claim guard
+    /// protects.
+    pub(crate) fn process(&self, job: &Job, faults: Option<&FaultPlan>) -> Response {
         let id = job.request.id;
         // Everything before this call was queue wait.
         self.stats.record_queue_wait(job.received.elapsed());
@@ -171,6 +183,39 @@ impl Engine {
                 );
             }
         }
+        let claim = match job.request.idem {
+            Some(key) => match self.dedup.begin(key) {
+                Begin::Replay(mut response) => {
+                    self.stats.record_dedup_hit();
+                    // Echo the *incoming* correlation id (retries reuse
+                    // the same id, so this is normally a no-op).
+                    response.id = id;
+                    return response;
+                }
+                Begin::Owner(claim) => Some(claim),
+            },
+            None => None,
+        };
+        if let Some(plan) = faults {
+            if plan.decide(FaultKind::WorkerPanic) {
+                panic!("injected worker panic (fault-plan seed {})", plan.seed());
+            }
+        }
+        let response = self.execute(job);
+        if let Some(claim) = claim {
+            if response.is_ok() {
+                claim.complete(&response);
+            }
+            // A failed attempt drops the claim, aborting: the key is
+            // freed so a retry re-executes instead of replaying failure.
+        }
+        response
+    }
+
+    /// The evaluation body (scenario lookup + op dispatch), shared by
+    /// first executions and (absent an `idem` key) every request.
+    fn execute(&self, job: &Job) -> Response {
+        let id = job.request.id;
         let cached = match self.lru.get_or_build(&job.request.scenario, &self.stats) {
             Ok(cached) => cached,
             Err((code, message)) => {
@@ -215,9 +260,31 @@ impl Engine {
 
 /// The worker-pool loop: drain the queue until it is closed *and* empty,
 /// answering every job — including the backlog left at shutdown.
-pub(crate) fn worker_loop(queue: &crate::queue::BoundedQueue<Job>, engine: &Engine) {
+///
+/// Every job is answered even if evaluation panics (injected or real):
+/// the unwind is caught, the dedup claim's drop guard has already freed
+/// the idempotency key, and the client sees a retryable `internal`
+/// error instead of a dead connection.
+pub(crate) fn worker_loop(
+    queue: &crate::queue::BoundedQueue<Job>,
+    engine: &Engine,
+    faults: Option<&FaultPlan>,
+) {
     while let Some(job) = queue.pop() {
-        let response = engine.process(&job);
+        if let Some(plan) = faults {
+            if plan.decide(FaultKind::QueueStall) {
+                std::thread::sleep(plan.pause());
+            }
+        }
+        let id = job.request.id;
+        let response = catch_unwind(AssertUnwindSafe(|| engine.process(&job, faults)))
+            .unwrap_or_else(|_| {
+                Response::failure(
+                    id,
+                    ErrorCode::Internal,
+                    "worker panicked mid-job; nothing was committed, safe to retry",
+                )
+            });
         // A vanished client (dropped receiver) is not a server error.
         let _ = job.reply.send(response);
     }

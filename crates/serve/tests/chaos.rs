@@ -1,0 +1,373 @@
+//! The deterministic chaos harness: a seeded matrix of fault plans over
+//! a loopback server, driven through the [`RetryingClient`].
+//!
+//! Invariants pinned for every (seed, spec) cell:
+//!
+//! 1. **Exactly-once effects** — after a run where every logical call
+//!    succeeded, `stats.served` equals the number of *distinct* requests:
+//!    no request was both executed twice and double-counted, however many
+//!    wire attempts the faults forced.
+//! 2. **Correct result or classified error** — every call returns either
+//!    the right answer or a typed [`ClientError`]; nothing hangs, nothing
+//!    panics through.
+//! 3. **Byte identity under retry** — the raw response line equals the
+//!    fault-free serialization of the same evaluation, bit for bit.
+//! 4. **Clean drain** — `handle.shutdown()` joins every thread after
+//!    every plan (a stuck handler would hang the test).
+//!
+//! The schedules are deterministic in the pinned seeds (see
+//! `monityre_faults::FaultPlan::decide`), so these cells never flake;
+//! the `#[ignore]`d randomized run (CI's scheduled chaos job) logs its
+//! seed for reproduction.
+
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+use monityre_core::SweepExecutor;
+use monityre_faults::{FaultKind, FaultPlan};
+use monityre_serve::{
+    evaluate, Client, ClientError, ErrorCode, Op, Request, Response, RetryPolicy, RetryingClient,
+    ServerConfig,
+};
+
+/// Silences the default panic hook for *injected* worker panics only —
+/// they are expected output of the chaos matrix, and real panics must
+/// still print.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|message| message.contains("injected worker panic"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Chaos-grade retry tuning: enough attempts to ride out pinned-seed
+/// fault bursts, millisecond backoffs to keep the matrix fast.
+fn chaos_policy(jitter_seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        attempts: 12,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(10),
+        attempt_timeout: Duration::from_millis(800),
+        overall_deadline: Duration::from_secs(30),
+        jitter_seed,
+    }
+}
+
+/// Shrinks the plan's sleeps so a full matrix stays inside the CI
+/// budget; the *sites* exercised are unchanged.
+fn fast(plan: FaultPlan) -> FaultPlan {
+    plan.with_timings(
+        Duration::from_millis(5),   // delay (slow_read / delay_response)
+        Duration::from_millis(150), // stall (benign here; the dedicated stall test exceeds the timeout)
+        Duration::from_millis(2),   // pause (partial_write / queue_stall)
+    )
+}
+
+/// The request set each cell replays: distinct ids, mixed ops, parameter
+/// and scenario variation — so dedup keys, LRU entries, and per-op
+/// stats all see traffic.
+fn chaos_requests() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for i in 0..4u64 {
+        let mut request = Request::new(Op::Breakeven).with_id(i);
+        request.params.steps = Some(60 + i as usize * 20);
+        requests.push(request);
+    }
+    for i in 4..7u64 {
+        let mut request = Request::new(Op::Balance).with_id(i);
+        request.params.steps = Some(40 + (i as usize - 4) * 10);
+        requests.push(request);
+    }
+    for i in 7..9u64 {
+        let mut request = Request::new(Op::Montecarlo).with_id(i);
+        request.params.samples = Some(8);
+        request.params.seed = Some(100 + i);
+        requests.push(request);
+    }
+    let mut request = Request::new(Op::Sweep).with_id(9);
+    request.params.steps = Some(24);
+    requests.push(request);
+    let mut request = Request::new(Op::Breakeven).with_id(10);
+    request.scenario.temp_c = Some(85.0);
+    requests.push(request);
+    requests
+}
+
+/// The fault-free ground truth: what a server must answer for `request`,
+/// serialized exactly as the server serializes it.
+fn expected_line(request: &Request) -> String {
+    let payload =
+        evaluate(request, &SweepExecutor::serial()).expect("chaos requests evaluate cleanly");
+    serde_json::to_string(&Response::success(request.id, payload)).expect("response serializes")
+}
+
+/// Runs one matrix cell: a server armed with `spec` under `seed`, the
+/// full request set through a retrying client, then the four invariants.
+fn run_cell(seed: u64, spec: &str) {
+    quiet_injected_panics();
+    let plan = fast(FaultPlan::parse(&format!("{seed}:{spec}")).expect("spec parses"));
+    let config = ServerConfig {
+        faults: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    };
+    let handle = config.start().expect("server starts");
+    let mut client = RetryingClient::new(handle.addr(), chaos_policy(seed));
+    let requests = chaos_requests();
+    for request in &requests {
+        let raw = client.call_raw(request).unwrap_or_else(|e| {
+            panic!("seed {seed} spec `{spec}` id {:?}: {e}", request.id);
+        });
+        assert_eq!(
+            raw,
+            expected_line(request),
+            "seed {seed} spec `{spec}` id {:?}: bytes must match the fault-free run",
+            request.id
+        );
+    }
+    let stats = handle.stats();
+    assert_eq!(
+        stats.served,
+        requests.len() as u64,
+        "seed {seed} spec `{spec}`: every request executed exactly once \
+         (retries must replay, never re-execute)"
+    );
+    assert_eq!(stats.bad_requests, 0, "seed {seed} spec `{spec}`");
+    assert_eq!(stats.eval_failed, 0, "seed {seed} spec `{spec}`");
+    // Clean drain: joins the acceptor, handlers, and workers. A stuck
+    // thread turns this into a visible test hang.
+    handle.shutdown();
+}
+
+const PINNED_SEEDS: [u64; 2] = [2011, 42];
+
+const MIXED_STORM: &str = "accept_drop=0.1,conn_reset=0.1,truncate_frame=0.1,corrupt_frame=0.1,\
+                           worker_panic=0.1,partial_write=0.2,delay_response=0.1,queue_stall=0.1";
+
+#[test]
+fn chaos_matrix_connection_faults() {
+    for seed in PINNED_SEEDS {
+        run_cell(seed, "accept_drop=0.3");
+        run_cell(seed, "conn_reset=0.35");
+    }
+}
+
+#[test]
+fn chaos_matrix_frame_faults() {
+    for seed in PINNED_SEEDS {
+        run_cell(seed, "truncate_frame=0.3,corrupt_frame=0.25");
+        run_cell(seed, "partial_write=0.5,delay_response=0.3,slow_read=0.3");
+    }
+}
+
+#[test]
+fn chaos_matrix_worker_faults() {
+    for seed in PINNED_SEEDS {
+        run_cell(seed, "worker_panic=0.35,queue_stall=0.25");
+    }
+}
+
+#[test]
+fn chaos_matrix_mixed_storm() {
+    for seed in PINNED_SEEDS {
+        run_cell(seed, MIXED_STORM);
+    }
+}
+
+/// CI's scheduled chaos job runs this with `--ignored`: one randomized
+/// seed per run, logged so any failure is reproducible by pinning it.
+#[test]
+#[ignore = "randomized seed; run explicitly (cargo test -p monityre-serve --test chaos -- --ignored)"]
+fn chaos_randomized_seed() {
+    let seed = u64::from(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .subsec_nanos(),
+    ) | 1;
+    eprintln!(
+        "chaos_randomized_seed: seed {seed} spec `{MIXED_STORM}` (pin this seed to reproduce)"
+    );
+    run_cell(seed, MIXED_STORM);
+}
+
+/// Satellite (d): the paper's reference break-even, byte-identical
+/// through a 50 %-connection-drop plan, across executor thread counts.
+/// (`ServerConfig::threads` is set directly — the in-process equivalent
+/// of `MONITYRE_THREADS=1,2,4` without racing other tests' environment.)
+#[test]
+fn golden_breakeven_survives_drops_across_thread_counts() {
+    const GOLDEN_KMH: f64 = 34.526307817678656;
+    // The pinned core grid (see crates/core/tests/sweep_determinism.rs):
+    // 5..200 km/h, 196 steps.
+    let mut request = Request::new(Op::Breakeven).with_id(1);
+    request.params.from_kmh = Some(5.0);
+    request.params.to_kmh = Some(200.0);
+    request.params.steps = Some(196);
+    let expected = expected_line(&request);
+    for threads in [1usize, 2, 4] {
+        let plan = fast(FaultPlan::parse("2011:conn_reset=0.5").expect("spec parses"));
+        let config = ServerConfig {
+            threads,
+            faults: Some(Arc::new(plan)),
+            ..ServerConfig::default()
+        };
+        let handle = config.start().expect("server starts");
+        let mut client = RetryingClient::new(handle.addr(), chaos_policy(2011));
+        let raw = client
+            .call_raw(&request)
+            .unwrap_or_else(|e| panic!("threads {threads}: {e}"));
+        assert_eq!(raw, expected, "threads {threads}");
+        let response: Response = serde_json::from_str(&raw).expect("response parses");
+        let Some(monityre_serve::Payload::Breakeven {
+            break_even_kmh: Some(kmh),
+        }) = response.ok
+        else {
+            panic!("threads {threads}: wrong payload in {raw}");
+        };
+        assert_eq!(
+            kmh.to_bits(),
+            GOLDEN_KMH.to_bits(),
+            "threads {threads}: golden break-even moved"
+        );
+        handle.shutdown();
+    }
+}
+
+/// Satellite (c): a stalled server must yield a client *timeout*, not a
+/// hang — for the plain [`Client`] and, classified, for the
+/// [`RetryingClient`].
+#[test]
+fn stalled_read_times_out_instead_of_hanging() {
+    let plan = FaultPlan::new(5)
+        .with_fault(FaultKind::StallRead, 1.0)
+        .with_timings(
+            Duration::from_millis(1),
+            Duration::from_millis(400), // stall > every client timeout below
+            Duration::from_millis(1),
+        );
+    let config = ServerConfig {
+        faults: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    };
+    let handle = config.start().expect("server starts");
+
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    client
+        .set_timeout(Some(Duration::from_millis(60)))
+        .expect("timeout sets");
+    let started = Instant::now();
+    let err = client
+        .request(&Request::new(Op::Ping).with_id(1))
+        .expect_err("a stalled response must not succeed within the timeout");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "want a timeout kind, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the client must fail fast, not hang: {:?}",
+        started.elapsed()
+    );
+
+    let mut retrying = RetryingClient::new(
+        handle.addr(),
+        RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            attempt_timeout: Duration::from_millis(60),
+            overall_deadline: Duration::from_secs(5),
+            jitter_seed: 5,
+        },
+    );
+    match retrying.call(&Request::new(Op::Ping).with_id(2)) {
+        Err(ClientError::Exhausted { attempts, last }) => {
+            assert_eq!(attempts, 2);
+            assert!(last.contains("transport"), "{last}");
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// A terminal server error must surface immediately — no retries burned
+/// on a request that deterministically fails.
+#[test]
+fn terminal_errors_are_not_retried() {
+    let handle = ServerConfig::default().start().expect("server starts");
+    let mut client = RetryingClient::new(handle.addr(), chaos_policy(1));
+    let mut request = Request::new(Op::Sweep).with_id(1);
+    request.params.steps = Some(1); // invalid: below the [2, 1e6] floor
+    match client.call(&request) {
+        Err(ClientError::Server(error)) => assert_eq!(error.code, ErrorCode::BadRequest),
+        other => panic!("expected a terminal server error, got {other:?}"),
+    }
+    assert_eq!(
+        client.retries_performed(),
+        0,
+        "terminal errors burn no retries"
+    );
+    handle.shutdown();
+}
+
+/// A pinned idempotency key replays the remembered response bytes
+/// without re-executing — the dedup path observable via `stats`.
+#[test]
+fn pinned_idem_key_replays_bit_identically() {
+    let handle = ServerConfig::default().start().expect("server starts");
+    let mut client = RetryingClient::new(handle.addr(), chaos_policy(1));
+    let request = Request::new(Op::Breakeven).with_id(3).with_idem(99);
+    let first = client.call_raw(&request).expect("first call");
+    let second = client.call_raw(&request).expect("second call");
+    assert_eq!(first, second, "a replay is byte-identical");
+    let stats = handle.stats();
+    assert_eq!(
+        stats.served, 1,
+        "the second call must replay, not re-execute"
+    );
+    assert_eq!(stats.dedup_hits, 1);
+    handle.shutdown();
+}
+
+/// Even a hopeless plan (every response reset) ends in a classified
+/// error and a clean drain — never a hang.
+#[test]
+fn hopeless_plans_classify_and_drain() {
+    let plan = fast(FaultPlan::parse("3:conn_reset=1.0").expect("spec parses"));
+    let config = ServerConfig {
+        faults: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    };
+    let handle = config.start().expect("server starts");
+    let mut client = RetryingClient::new(
+        handle.addr(),
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            attempt_timeout: Duration::from_millis(200),
+            overall_deadline: Duration::from_secs(5),
+            jitter_seed: 3,
+        },
+    );
+    match client.call(&Request::new(Op::Ping).with_id(1)) {
+        Err(ClientError::Exhausted { attempts, last }) => {
+            assert_eq!(attempts, 4);
+            assert!(last.contains("transport"), "{last}");
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+    handle.shutdown();
+}

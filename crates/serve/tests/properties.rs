@@ -1,8 +1,13 @@
 //! Property tests of the wire protocol: any representable request or
 //! response serializes to one JSON line and parses back identically,
-//! with float fields surviving bit-for-bit.
+//! with float fields surviving bit-for-bit — and the frame decoders
+//! survive arbitrary damage (truncation, interleaving, byte corruption)
+//! with a typed [`ProtocolError`], never a panic.
 
-use monityre_serve::{ErrorCode, Op, Params, Payload, Request, Response, ScenarioSpec, WireError};
+use monityre_serve::{
+    decode_request_line, decode_response_line, ErrorCode, Op, Params, Payload, ProtocolError,
+    Request, Response, ScenarioSpec, WireError,
+};
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
 
@@ -93,13 +98,15 @@ fn arb_request() -> BoxedStrategy<Request> {
         arb_op(),
         option_of((0u64..u64::MAX).boxed()),
         option_of((1u64..60_000).boxed()),
+        option_of((0u64..u64::MAX).boxed()),
         arb_scenario_spec(),
         arb_params(),
     )
-        .prop_map(|(op, id, deadline_ms, scenario, params)| Request {
+        .prop_map(|(op, id, deadline_ms, idem, scenario, params)| Request {
             op,
             id,
             deadline_ms,
+            idem,
             scenario,
             params,
         })
@@ -187,6 +194,75 @@ proptest! {
         let line = serde_json::to_string(&request).unwrap();
         let back: Request = serde_json::from_str(&line).unwrap();
         prop_assert_eq!(back.params.from_kmh.unwrap().to_bits(), kmh.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// A truncated frame is always rejected with a typed error — the
+    /// closing brace lives at the end of the line, so no strict prefix
+    /// of a frame is valid JSON.
+    fn truncated_frames_decode_to_typed_errors(request in arb_request(), cut_pct in 0usize..100) {
+        let line = serde_json::to_string(&request).unwrap();
+        let cut = cut_pct * line.len() / 100;
+        match decode_request_line(&line.as_bytes()[..cut]) {
+            Err(ProtocolError::Empty) => prop_assert_eq!(cut, 0),
+            Err(ProtocolError::Malformed(_)) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "truncated frame decoded as {:?}", other),
+        }
+    }
+
+    /// One corrupted byte anywhere in a response frame never panics the
+    /// decoder: it either still parses (a benign flip) or classifies as
+    /// not-UTF-8 / malformed.
+    fn corrupted_bytes_never_panic(
+        response in arb_response(),
+        pos_frac in 0.0..1.0f64,
+        byte in 0u32..256,
+    ) {
+        let line = serde_json::to_string(&response).unwrap();
+        let mut bytes = line.into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = byte as u8;
+        match decode_response_line(&bytes) {
+            Ok(_) => {} // the flip happened to stay valid
+            Err(ProtocolError::NotUtf8 | ProtocolError::Malformed(_) | ProtocolError::Empty) => {}
+            Err(e) => prop_assert!(false, "unexpected classification {:?}", e),
+        }
+    }
+
+    /// Interleaved frames — two lines glued with an interior newline, or
+    /// a second frame spliced mid-line — are rejected, never misparsed
+    /// as either constituent.
+    fn interleaved_frames_are_rejected(a in arb_request(), b in arb_request()) {
+        let la = serde_json::to_string(&a).unwrap();
+        let lb = serde_json::to_string(&b).unwrap();
+        let glued = format!("{la}\n{lb}");
+        prop_assert!(matches!(
+            decode_request_line(glued.as_bytes()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let spliced = [&la.as_bytes()[..la.len() / 2], lb.as_bytes()].concat();
+        prop_assert!(decode_request_line(&spliced).is_err());
+    }
+}
+
+#[test]
+fn arbitrary_garbage_never_panics_the_decoders() {
+    // A deterministic xorshift byte soup — cheap coverage of the fully
+    // unstructured case alongside the shaped proptest damage above.
+    let mut state = 0x2011_2011_2011_2011u64;
+    for len in 0..256usize {
+        let mut bytes = vec![0u8; len];
+        for byte in &mut bytes {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *byte = state as u8;
+        }
+        let _ = decode_request_line(&bytes);
+        let _ = decode_response_line(&bytes);
     }
 }
 
