@@ -15,11 +15,14 @@
 //! monityre serve     [--bind 127.0.0.1] [--port 0] [--workers 2]
 //!                    [--queue 64] [--cache 16] [--dedup 256]
 //!                    [--faults SEED:KIND=P,...] [--announce /tmp/addr]
+//!                    [--flight-recorder /tmp/dump.jsonl]
 //! monityre request   [--addr HOST:PORT | --local] [--op breakeven] [--id 1]
 //!                    [--deadline-ms 5000] [--steps 96] [--temp 85]
 //!                    [--retry] [--retry-attempts 8] [--retry-backoff-ms 10]
 //!                    [--retry-deadline-ms 60000] [--retry-seed N] [--idem K]
-//! monityre obs       --addr HOST:PORT [--prometheus]
+//!                    [--trace TRACE:SPAN]
+//! monityre obs       --addr HOST:PORT [--prometheus] [--dump]
+//! monityre obs trace TRACE_ID --from /tmp/dump.jsonl
 //! ```
 //!
 //! The command implementations return their output as a `String`, so the
@@ -48,6 +51,23 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     };
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(usage());
+    }
+    // `obs trace <trace-id>` carries a positional the flag parser would
+    // reject, so it is peeled off before `Args::parse`.
+    if command == "obs" {
+        if let Some((sub, tail)) = rest.split_first() {
+            if sub == "trace" {
+                let Some((trace_id, tail)) =
+                    tail.split_first().filter(|(id, _)| !id.starts_with("--"))
+                else {
+                    return Err(CliError::new(
+                        "usage: monityre obs trace <trace-id> --from <dump.jsonl>",
+                    ));
+                };
+                let args = Args::parse(tail)?;
+                return remote::obs_trace(trace_id, &args);
+            }
+        }
     }
     let args = Args::parse(rest)?;
     match command {
@@ -90,7 +110,10 @@ COMMANDS:
     vehicle    four-corner availability over a driving cycle
     serve      run the batch evaluation server (line-delimited JSON over TCP)
     request    send one request to a server (or --local) and print the JSON
-    obs        fetch a server's stats snapshot (or --prometheus exposition)
+    obs        fetch a server's stats snapshot (--prometheus for the raw
+               exposition, --dump to trigger a flight-recorder dump)
+    obs trace  pretty-print one request's span tree from a dump file
+               (monityre obs trace <trace-id> --from <dump.jsonl>)
 
 COMMON FLAGS:
     --temp <C>          working temperature in °C        (default 27)
@@ -309,6 +332,71 @@ mod tests {
     }
 
     #[test]
+    fn request_rejects_malformed_trace_contexts() {
+        let err = run_line("request --local --op ping --trace not-a-trace").unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
+        assert!(err.to_string().contains("16 hex"), "{err}");
+    }
+
+    #[test]
+    fn obs_trace_requires_an_id_and_a_dump_file() {
+        let err = run_line("obs trace").unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err = run_line("obs trace 00000000000000a1").unwrap_err();
+        assert!(err.to_string().contains("--from"), "{err}");
+        let err = run_line("obs trace zzz --from /dev/null").unwrap_err();
+        assert!(err.to_string().contains("hexadecimal"), "{err}");
+    }
+
+    /// The acceptance path end to end: a fault-injected server, a pinned
+    /// `--trace` retrying request, a flight-recorder dump, and `obs trace`
+    /// reconstructing the causal tree — client attempts as siblings under
+    /// the logical call, server phases nested under the attempt that
+    /// carried them.
+    #[test]
+    fn obs_trace_reconstructs_a_request_tree_from_a_dump() {
+        let plan = monityre_faults::FaultPlan::parse("2011:conn_reset=0.5").expect("plan");
+        let handle = monityre_serve::ServerConfig {
+            faults: Some(std::sync::Arc::new(plan)),
+            ..Default::default()
+        }
+        .start()
+        .expect("bind loopback");
+        let addr = handle.addr();
+        let trace = "00000000000000a1:0000000000000001";
+        let out = run_line(&format!(
+            "request --addr {addr} --op breakeven --id 7 --steps 48 \
+             --retry --retry-attempts 12 --retry-seed 9 --trace {trace}"
+        ))
+        .unwrap();
+        assert!(out.contains("Breakeven"), "{out}");
+        handle.shutdown();
+
+        // Dump the in-process rings (client and server threads share them
+        // in this test binary) and reconstruct the tree from the file.
+        let dump =
+            std::env::temp_dir().join(format!("monityre-cli-dump-{}.jsonl", std::process::id()));
+        let mut bytes = Vec::new();
+        monityre_obs::recorder::dump_to(&mut bytes, "cli-test").expect("dump renders");
+        std::fs::write(&dump, bytes).expect("dump file written");
+
+        let tree = run_line(&format!(
+            "obs trace 00000000000000a1 --from {}",
+            dump.display()
+        ))
+        .unwrap();
+        assert!(tree.starts_with("trace 00000000000000a1"), "{tree}");
+        assert!(tree.contains("client.call"), "{tree}");
+        // The attempt nests under the logical call; the server phases nest
+        // under the attempt that carried them over the wire.
+        assert!(tree.contains("  └─ client.attempt"), "{tree}");
+        assert!(tree.contains("    └─ serve.queue_wait"), "{tree}");
+        assert!(tree.contains("    └─ serve.dedup"), "{tree}");
+        assert!(tree.contains("    └─ serve.execute"), "{tree}");
+        let _ = std::fs::remove_file(&dump);
+    }
+
+    #[test]
     fn serve_rejects_malformed_fault_specs() {
         let err = run_line("serve --faults nonsense").unwrap_err();
         assert!(err.to_string().contains("--faults"), "{err}");
@@ -369,10 +457,16 @@ mod tests {
             "monityre-serve-announce-{}.txt",
             std::process::id()
         ));
+        let recorder = std::env::temp_dir().join(format!(
+            "monityre-serve-recorder-{}.jsonl",
+            std::process::id()
+        ));
         let _ = std::fs::remove_file(&announce);
+        let _ = std::fs::remove_file(&recorder);
         let line = format!(
-            "serve --port 0 --workers 1 --announce {}",
-            announce.display()
+            "serve --port 0 --workers 1 --announce {} --flight-recorder {}",
+            announce.display(),
+            recorder.display()
         );
         let server = std::thread::spawn(move || run_line(&line));
 
@@ -395,6 +489,20 @@ mod tests {
         let mut client = monityre_serve::Client::connect(addr.as_str()).expect("connect");
         let pong = client.request(&Request::new(Op::Ping)).expect("ping");
         assert!(pong.is_ok());
+
+        // `obs --dump` is the wire replacement for SIGUSR1: the server
+        // appends its flight-recorder rings to the armed path and acks.
+        let dumped = run_line(&format!("obs --addr {addr} --dump")).unwrap();
+        assert!(dumped.contains("flight recorder dumped"), "{dumped}");
+        assert!(dumped.contains(&recorder.display().to_string()), "{dumped}");
+        let dump_text = std::fs::read_to_string(&recorder).expect("dump file written");
+        // `contains`, not `starts_with`: once the path is armed, fault
+        // injections from tests running in parallel may dump first.
+        assert!(
+            dump_text.contains("{\"dump\":\"wire_request\""),
+            "{dump_text}"
+        );
+
         let ack = client
             .request(&Request::new(Op::Shutdown))
             .expect("shutdown");
@@ -403,5 +511,6 @@ mod tests {
         let out = server.join().expect("serve thread").expect("serve result");
         assert!(out.contains("server drained"), "{out}");
         let _ = std::fs::remove_file(&announce);
+        let _ = std::fs::remove_file(&recorder);
     }
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 use monityre_faults::FaultPlan;
 use monityre_serve::{
     evaluate, Client, Op, Payload, Request, Response, RetryPolicy, RetryingClient, ServerConfig,
+    TraceContext,
 };
 
 use crate::commands::executor_from;
@@ -63,7 +64,14 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         },
     };
     let announce = args.text_opt("announce");
+    // `--flight-recorder <path>` arms post-mortem dumps: worker panics,
+    // injected faults, deadline misses, and wire `dump` requests append
+    // the flight-recorder rings to this file as JSON lines.
+    let flight_recorder = args.text_opt("flight-recorder");
     args.finish()?;
+    if let Some(path) = &flight_recorder {
+        monityre_obs::recorder::set_dump_path(std::path::Path::new(path));
+    }
 
     let handle = ServerConfig {
         bind: format!("{host}:{port}"),
@@ -84,6 +92,9 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     println!("listening on {addr} ({workers} worker(s), queue {queue}, cache {cache})");
     if let Some(plan) = &faults {
         println!("fault plan armed: {}", plan.describe());
+    }
+    if let Some(path) = &flight_recorder {
+        println!("flight recorder armed: dumps append to {path}");
     }
     let _ = std::io::stdout().flush();
     if let Some(path) = &announce {
@@ -107,6 +118,7 @@ pub(crate) fn obs(args: &Args) -> Result<String, CliError> {
         CliError::new("flag --addr <host:port> is required (a running `monityre serve`)")
     })?;
     let prometheus = args.flag("prometheus");
+    let dump = args.flag("dump");
     let timeout_ms = args.count("timeout-ms", 30_000)?;
     args.finish()?;
 
@@ -115,6 +127,26 @@ pub(crate) fn obs(args: &Args) -> Result<String, CliError> {
     client
         .set_timeout(Some(Duration::from_millis(timeout_ms as u64)))
         .map_err(|e| CliError::new(format!("obs: {e}")))?;
+
+    // `--dump` replaces the usual SIGUSR1 kick: the server appends its
+    // flight-recorder rings to the armed dump path and acks over the wire.
+    if dump {
+        let response = client
+            .request(&Request::new(Op::Dump))
+            .map_err(|e| CliError::new(format!("obs: dump request to {addr} failed: {e}")))?;
+        let Some(Payload::Dumped { path, records }) = response.ok else {
+            return Err(CliError::new(format!(
+                "obs: unexpected dump response: {response:?}"
+            )));
+        };
+        return Ok(match path {
+            Some(path) => format!("flight recorder dumped {records} record(s) to {path}\n"),
+            None => format!(
+                "flight recorder is not armed on the server ({records} record(s) buffered); \
+                 start it with --flight-recorder <path> or MONITYRE_FLIGHT_RECORDER\n"
+            ),
+        });
+    }
 
     if prometheus {
         let response = client
@@ -175,6 +207,216 @@ pub(crate) fn obs(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One line of a flight-recorder dump (or trace-sink) file. Header lines
+/// (`{"dump":…}`) have no `span` field and are skipped; unknown fields
+/// are ignored, so both producers parse with the one shape.
+#[derive(Debug, serde::Deserialize)]
+struct DumpLine {
+    #[serde(default)]
+    ts_us: u64,
+    #[serde(default)]
+    span: Option<String>,
+    #[serde(default)]
+    dur_us: u64,
+    #[serde(default)]
+    trace: Option<String>,
+    #[serde(default)]
+    span_id: Option<String>,
+    #[serde(default)]
+    parent: Option<String>,
+    #[serde(default)]
+    event: bool,
+    #[serde(default)]
+    truncated: bool,
+}
+
+/// One record of the requested trace, decoded and hex-parsed.
+struct TraceRecord {
+    ts_us: u64,
+    name: String,
+    dur_us: u64,
+    span_id: u64,
+    parent: u64,
+    event: bool,
+    truncated: bool,
+}
+
+impl TraceRecord {
+    /// The span id this record hangs under in the rendered tree. Events
+    /// carry the *enclosing* span's id in `span_id` (their `parent` is 0),
+    /// so they attach beneath that span rather than floating at the root.
+    fn tree_parent(&self) -> u64 {
+        if self.event {
+            self.span_id
+        } else {
+            self.parent
+        }
+    }
+
+    fn render(&self, out: &mut String, depth: usize, base_us: u64) {
+        let indent = "  ".repeat(depth);
+        let marker = if depth == 0 { "" } else { "└─ " };
+        let at_ms = (self.ts_us.saturating_sub(base_us)) as f64 / 1000.0;
+        if self.event {
+            let _ = writeln!(out, "{indent}{marker}• {}  (at +{at_ms:.3} ms)", self.name);
+            return;
+        }
+        let dur_ms = self.dur_us as f64 / 1000.0;
+        let tail = if self.truncated {
+            "  [truncated: still open at dump]"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{indent}{marker}{}  {dur_ms:.3} ms  (at +{at_ms:.3} ms, span {:016x}){tail}",
+            self.name, self.span_id
+        );
+    }
+}
+
+/// Renders `record` and, depth-first, every child under it. `visited`
+/// guards against a corrupt dump that links spans into a cycle.
+fn render_subtree(
+    out: &mut String,
+    records: &[TraceRecord],
+    children: &std::collections::HashMap<u64, Vec<usize>>,
+    index: usize,
+    depth: usize,
+    base_us: u64,
+    visited: &mut Vec<bool>,
+) {
+    if visited[index] {
+        return;
+    }
+    visited[index] = true;
+    let record = &records[index];
+    record.render(out, depth, base_us);
+    if record.event {
+        return;
+    }
+    if let Some(kids) = children.get(&record.span_id) {
+        for &kid in kids {
+            if kid != index {
+                render_subtree(out, records, children, kid, depth + 1, base_us, visited);
+            }
+        }
+    }
+}
+
+/// `monityre obs trace <trace-id> --from <dump.jsonl>` — reconstruct one
+/// request's causal span tree from a flight-recorder dump file and
+/// pretty-print it: children indented under parents, siblings in start
+/// order, events and truncated (still-open) spans marked.
+pub(crate) fn obs_trace(trace_id: &str, args: &Args) -> Result<String, CliError> {
+    let from = args.text_opt("from").ok_or_else(|| {
+        CliError::new("flag --from <dump.jsonl> is required (a flight-recorder dump file)")
+    })?;
+    args.finish()?;
+
+    let id = u64::from_str_radix(trace_id.trim_start_matches("0x"), 16).map_err(|_| {
+        CliError::new(format!(
+            "trace id `{trace_id}` is not hexadecimal (dumps print 16-hex-digit ids)"
+        ))
+    })?;
+    let want = format!("{id:016x}");
+    let text = std::fs::read_to_string(&from)
+        .map_err(|e| CliError::new(format!("obs trace: cannot read `{from}`: {e}")))?;
+
+    // Successive dumps append, and the rings persist between them, so the
+    // same record can appear many times — identical lines collapse to one.
+    let mut seen = std::collections::HashSet::new();
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut other_traces = std::collections::BTreeSet::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if !seen.insert(line) {
+            continue;
+        }
+        let Ok(parsed) = serde_json::from_str::<DumpLine>(line) else {
+            continue; // dump headers of a foreign shape, torn tail lines
+        };
+        let (Some(name), Some(trace)) = (parsed.span, parsed.trace) else {
+            continue; // header lines and unlinked (trace-less) records
+        };
+        if trace != want {
+            other_traces.insert(trace);
+            continue;
+        }
+        let hex = |field: Option<&str>| field.and_then(|s| u64::from_str_radix(s, 16).ok());
+        let Some(span_id) = hex(parsed.span_id.as_deref()) else {
+            continue;
+        };
+        records.push(TraceRecord {
+            ts_us: parsed.ts_us,
+            name,
+            dur_us: parsed.dur_us,
+            span_id,
+            parent: hex(parsed.parent.as_deref()).unwrap_or(0),
+            event: parsed.event,
+            truncated: parsed.truncated,
+        });
+    }
+
+    if records.is_empty() {
+        let mut message = format!("obs trace: no records for trace {want} in `{from}`");
+        if !other_traces.is_empty() {
+            let sample: Vec<&str> = other_traces.iter().take(8).map(String::as_str).collect();
+            let _ = write!(message, "; traces present: {}", sample.join(", "));
+            if other_traces.len() > sample.len() {
+                let _ = write!(message, ", … ({} total)", other_traces.len());
+            }
+        }
+        return Err(CliError::new(message));
+    }
+
+    records.sort_by_key(|r| (r.ts_us, r.span_id));
+    let span_ids: std::collections::HashSet<u64> = records
+        .iter()
+        .filter(|r| !r.event)
+        .map(|r| r.span_id)
+        .collect();
+    let mut children: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (index, record) in records.iter().enumerate() {
+        children
+            .entry(record.tree_parent())
+            .or_default()
+            .push(index);
+    }
+    let base_us = records.iter().map(|r| r.ts_us).min().unwrap_or(0);
+
+    let mut out = format!("trace {want}: {} record(s)\n", records.len());
+    let mut visited = vec![false; records.len()];
+    // Roots: spans whose parent was never recorded (the client's logical
+    // root context has no span record of its own) plus orphaned events.
+    for (index, record) in records.iter().enumerate() {
+        let parent = record.tree_parent();
+        if parent == 0 || !span_ids.contains(&parent) {
+            render_subtree(
+                &mut out,
+                &records,
+                &children,
+                index,
+                0,
+                base_us,
+                &mut visited,
+            );
+        }
+    }
+    // Anything a cycle or self-parent link kept unreachable still prints.
+    for index in 0..records.len() {
+        render_subtree(
+            &mut out,
+            &records,
+            &children,
+            index,
+            0,
+            base_us,
+            &mut visited,
+        );
+    }
+    Ok(out)
+}
+
 /// `monityre request` — send one request to a running server (or
 /// evaluate it locally) and print the raw JSON response line.
 pub(crate) fn request(args: &Args) -> Result<String, CliError> {
@@ -203,6 +445,17 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
         ))
     })?;
     let mut request = Request::new(op);
+    // `--trace <trace>:<span>` (two 16-hex-digit halves) pins the trace
+    // context carried on the wire; the retrying client adopts it as the
+    // logical-call root, so scripts know the id to look up in a dump.
+    if let Some(raw) = args.text_opt("trace") {
+        let ctx = TraceContext::parse(&raw).ok_or_else(|| {
+            CliError::new(format!(
+                "flag --trace: `{raw}` is not `<16 hex digits>:<16 hex digits>`"
+            ))
+        })?;
+        request = request.with_trace(ctx);
+    }
     request.id = parse_opt(args, "id")?;
     request.deadline_ms = parse_opt(args, "deadline-ms")?;
     request.idem = parse_opt(args, "idem")?;

@@ -196,26 +196,33 @@ impl SweepExecutor {
         let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
         let workers = self.threads.min(items.len().div_ceil(chunk));
 
+        // Trace context is thread-local; capture the caller's and
+        // re-install it inside each scoped worker so spans recorded there
+        // stay in the request's causal tree.
+        let ctx = monityre_obs::current_context();
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if stop.load(Ordering::Relaxed) || cancelled() {
-                        stop.store(true, Ordering::Relaxed);
-                        break;
+                scope.spawn(|| {
+                    let _ctx = ctx.map(monityre_obs::install_context);
+                    loop {
+                        if stop.load(Ordering::Relaxed) || cancelled() {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        let batch: Vec<R> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(offset, item)| f(start + offset, item))
+                            .collect();
+                        done.lock()
+                            .expect("a sweep worker panicked while holding the result lock")
+                            .push((start, batch));
                     }
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(items.len());
-                    let batch: Vec<R> = items[start..end]
-                        .iter()
-                        .enumerate()
-                        .map(|(offset, item)| f(start + offset, item))
-                        .collect();
-                    done.lock()
-                        .expect("a sweep worker panicked while holding the result lock")
-                        .push((start, batch));
                 });
             }
         });
@@ -249,6 +256,22 @@ mod tests {
                 assert_eq!(parallel, serial, "threads {threads} chunk {chunk}");
             }
         }
+    }
+
+    #[test]
+    fn trace_context_propagates_into_scoped_workers() {
+        let ctx = monityre_obs::TraceContext::root(3);
+        let _g = monityre_obs::install_context(ctx);
+        let items: Vec<u64> = (0..64).collect();
+        let seen = SweepExecutor::new(4)
+            .with_chunk_size(4)
+            .map(&items, |_, _| {
+                monityre_obs::current_context().map(|c| c.trace_id)
+            });
+        assert!(
+            seen.iter().all(|id| *id == Some(ctx.trace_id)),
+            "every worker must see the caller's trace context"
+        );
     }
 
     #[test]

@@ -245,6 +245,12 @@ impl FaultPlan {
         if fire {
             self.injected_total.inc();
             self.injected_kind[kind.index()].inc();
+            // Leave a flight-recorder event (linked to the current trace
+            // context, if any) and trigger a post-mortem dump when one is
+            // armed — an injected fault is exactly the moment the recent
+            // span history is worth keeping.
+            monityre_obs::recorder::record_event(format!("fault.{}", kind.name()));
+            monityre_obs::recorder::dump("fault_injected");
         }
         fire
     }

@@ -59,7 +59,22 @@ impl RegistrySnapshot {
             for bucket in &hist.buckets {
                 cumulative += bucket.count;
                 let le = fmt_f64(bucket.le_us as f64 / 1e6);
-                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                let _ = write!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                // OpenMetrics exemplar suffix: the last trace id this
+                // bucket saw, so a tail bucket points at a concrete trace.
+                if let Some(exemplar) = hist
+                    .exemplars
+                    .as_deref()
+                    .and_then(|ex| ex.iter().find(|e| e.le_us == bucket.le_us))
+                {
+                    let _ = write!(
+                        out,
+                        " # {{trace_id=\"{}\"}} {}",
+                        exemplar.trace_id,
+                        fmt_f64(exemplar.value_us as f64 / 1e6)
+                    );
+                }
+                out.push('\n');
             }
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
             let _ = writeln!(out, "{name}_sum {}", fmt_f64(hist.sum_us as f64 / 1e6));
@@ -118,6 +133,26 @@ mod tests {
         );
         assert!(
             text.contains("monityre_serve_execute_seconds_sum 3600.00003"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn traced_buckets_carry_exemplar_suffixes() {
+        let registry = Registry::new();
+        let hist = registry.histogram("serve.execute");
+        hist.record_us_traced(15, 0xabc);
+        hist.record(Duration::from_micros(150)); // untraced bucket
+        let text = registry.snapshot().to_prometheus();
+        assert!(
+            text.contains(
+                "monityre_serve_execute_seconds_bucket{le=\"0.00002\"} 1 # {trace_id=\"0000000000000abc\"} 0.000015"
+            ),
+            "{text}"
+        );
+        // The untraced bucket renders without a suffix (cumulative 2).
+        assert!(
+            text.contains("monityre_serve_execute_seconds_bucket{le=\"0.0002\"} 2\n"),
             "{text}"
         );
     }

@@ -18,7 +18,17 @@
 //!    `--trace-out`);
 //! 3. an **exporter** ([`RegistrySnapshot::to_prometheus`]) — Prometheus
 //!    text exposition format, served by `monityre-serve`'s `metrics` op and
-//!    scraped by CI.
+//!    scraped by CI, with per-bucket **exemplar** trace ids on traced
+//!    histograms so a tail bucket points at a concrete request;
+//! 4. a **trace context** ([`TraceContext`]) — a wire-propagated
+//!    (trace id, span id) pair installed per thread; every span started
+//!    while a context is current links itself into one causal tree per
+//!    request, emitted to the trace sink and the flight recorder;
+//! 5. a **flight recorder** ([`recorder`]) — always-on fixed-size
+//!    per-thread rings of recent span/event records, dumped as JSON lines
+//!    (to [`FLIGHT_RECORDER_ENV_VAR`]) on worker panic, injected fault,
+//!    deadline miss, or explicit `obs dump` — post-mortem visibility
+//!    without steady-state trace-sink overhead.
 //!
 //! Instrumentation is on by default and costs one relaxed atomic load when
 //! disabled via [`set_enabled`]; the spans sit at *batch* boundaries
@@ -42,20 +52,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
 mod export;
 mod metrics;
 pub mod names;
+pub mod recorder;
 mod registry;
 mod sink;
 mod span;
 
-pub use metrics::{
-    BucketCount, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
-    Reservoir, BUCKET_BOUNDS_US,
+pub use context::{
+    current_context, install_context, splitmix64, ContextGuard, SpanIds, TraceContext,
 };
+pub use metrics::{
+    BucketCount, Counter, CounterSnapshot, ExemplarSnapshot, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, Reservoir, BUCKET_BOUNDS_US,
+};
+pub use recorder::{FlightRecord, RecordKind, FLIGHT_RECORDER_ENV_VAR};
 pub use registry::{Registry, RegistrySnapshot};
-pub use sink::{set_trace_path, set_trace_writer, trace_event, trace_sink_active, TRACE_ENV_VAR};
-pub use span::{enabled, set_enabled, span, SpanGuard};
+pub use sink::{
+    set_trace_path, set_trace_writer, trace_event, trace_event_with, trace_sink_active,
+    TRACE_ENV_VAR,
+};
+pub use span::{enabled, record_phase, set_enabled, span, SpanGuard};
 
 /// Starts a named timer scope recording into the global registry — see
 /// [`span`]. The guard records on drop:

@@ -96,6 +96,13 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_us: AtomicU64,
+    /// Last trace id observed per bucket (0 = none): the exemplar that
+    /// lets a Prometheus p99 bucket point at a concrete offending trace.
+    /// Best-effort last-write-wins; the paired value may be one write
+    /// behind under contention, which exemplars tolerate by design.
+    exemplar_trace: [AtomicU64; BUCKETS],
+    /// The observed value (µs) paired with `exemplar_trace`.
+    exemplar_us: [AtomicU64; BUCKETS],
 }
 
 impl Default for Histogram {
@@ -112,11 +119,19 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_us: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
     /// Records one observation of `us` microseconds.
     pub fn record_us(&self, us: u64) {
+        self.record_us_traced(us, 0);
+    }
+
+    /// Records one observation and, when `trace_id` is nonzero, stamps it
+    /// as the bucket's exemplar.
+    pub fn record_us_traced(&self, us: u64, trace_id: u64) {
         let idx = BUCKET_BOUNDS_US
             .iter()
             .position(|&bound| us <= bound)
@@ -124,11 +139,23 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplar_trace[idx].store(trace_id, Ordering::Relaxed);
+            self.exemplar_us[idx].store(us, Ordering::Relaxed);
+        }
     }
 
     /// Records one observed duration.
     pub fn record(&self, elapsed: Duration) {
         self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one observed duration with an exemplar trace id.
+    pub fn record_traced(&self, elapsed: Duration, trace_id: u64) {
+        self.record_us_traced(
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            trace_id,
+        );
     }
 
     /// Total observations.
@@ -147,6 +174,16 @@ impl Histogram {
             .collect();
         let count: u64 = buckets.iter().sum();
         let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let exemplars: Vec<ExemplarSnapshot> = (0..BUCKETS)
+            .filter_map(|idx| {
+                let trace_id = self.exemplar_trace[idx].load(Ordering::Relaxed);
+                (trace_id != 0).then(|| ExemplarSnapshot {
+                    le_us: BUCKET_BOUNDS_US.get(idx).copied().unwrap_or(u64::MAX),
+                    trace_id: format!("{trace_id:016x}"),
+                    value_us: self.exemplar_us[idx].load(Ordering::Relaxed),
+                })
+            })
+            .collect();
         HistogramSnapshot {
             name: name.to_owned(),
             count,
@@ -159,6 +196,7 @@ impl Histogram {
                 .zip(&buckets)
                 .map(|(&le_us, &count)| BucketCount { le_us, count })
                 .collect(),
+            exemplars: (!exemplars.is_empty()).then_some(exemplars),
         }
     }
 }
@@ -225,6 +263,22 @@ pub struct HistogramSnapshot {
     /// Per-bucket observation counts (excluding the `+Inf` overflow, whose
     /// count is `count - sum(buckets)`).
     pub buckets: Vec<BucketCount>,
+    /// Last trace id observed per bucket, for buckets that saw a traced
+    /// observation. Absent (and omitted from the wire — PR 3-era
+    /// snapshots stay byte-identical) when nothing was traced.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub exemplars: Option<Vec<ExemplarSnapshot>>,
+}
+
+/// The last traced observation one histogram bucket saw.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExemplarSnapshot {
+    /// Upper bound of the bucket, microseconds (`u64::MAX` for `+Inf`).
+    pub le_us: u64,
+    /// The trace id, 16 lowercase hex digits.
+    pub trace_id: String,
+    /// The observed value that stamped the exemplar, microseconds.
+    pub value_us: u64,
 }
 
 /// Serializable point-in-time value of one [`Counter`].
@@ -273,7 +327,12 @@ impl Reservoir {
     /// Records one duration.
     pub fn record(&self, elapsed: Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let mut ring = self.ring.lock().expect("reservoir lock");
+        // A panicking recorder leaves the ring structurally intact (at
+        // worst one stale slot), so recover rather than wedge stats.
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.samples_us.len() < RESERVOIR_WINDOW {
             ring.samples_us.push(us);
         } else {
@@ -287,7 +346,12 @@ impl Reservoir {
     /// for each requested quantile. An empty window reports zeros.
     #[must_use]
     pub fn percentiles_ms(&self, quantiles: &[f64]) -> Vec<f64> {
-        let mut samples = self.ring.lock().expect("reservoir lock").samples_us.clone();
+        let mut samples = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .samples_us
+            .clone();
         samples.sort_unstable();
         quantiles
             .iter()
@@ -388,5 +452,55 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn untraced_snapshots_omit_exemplars_from_the_wire() {
+        let hist = Histogram::new();
+        hist.record(Duration::from_micros(42));
+        let snap = hist.snapshot("plain");
+        assert!(snap.exemplars.is_none());
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(
+            !json.contains("exemplar"),
+            "PR 3-era snapshot bytes must be unchanged: {json}"
+        );
+        // And a PR 3-era snapshot (no field at all) still parses.
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn traced_observations_stamp_bucket_exemplars() {
+        let hist = Histogram::new();
+        hist.record_us_traced(15, 0xdead_beef);
+        hist.record_us_traced(15, 0xfeed_face); // same bucket: last wins
+        hist.record_us(120); // untraced: no exemplar for this bucket
+        let snap = hist.snapshot("traced");
+        let exemplars = snap.exemplars.clone().expect("exemplars present");
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].le_us, 20, "15 µs falls in the ≤20 µs bucket");
+        assert_eq!(exemplars[0].trace_id, format!("{:016x}", 0xfeed_faceu64));
+        assert_eq!(exemplars[0].value_us, 15);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn poisoned_reservoir_recovers() {
+        let reservoir = std::sync::Arc::new(Reservoir::new());
+        let poisoner = std::sync::Arc::clone(&reservoir);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner
+                .ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("poison the reservoir (intentional)");
+        })
+        .join();
+        reservoir.record(Duration::from_millis(5));
+        let p = reservoir.percentiles_ms(&[0.5]);
+        assert!((p[0] - 5.0).abs() < 0.5, "p50 {}", p[0]);
     }
 }

@@ -17,13 +17,45 @@ pub const CLIENT_RETRIES: &str = "client.retries";
 /// private registry).
 pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
 
+/// The retrying client's logical-call root span: one per `call`, parent
+/// of every attempt. The chaos suite asserts trace trees hang off it.
+pub const CLIENT_CALL: &str = "client.call";
+
+/// One client attempt span (per connect-send-receive try); retries show
+/// up as siblings under [`CLIENT_CALL`].
+pub const CLIENT_ATTEMPT: &str = "client.attempt";
+
+/// Queue-wait phase of one served request (private stats histogram; also
+/// the trace-tree span name for the same phase).
+pub const SERVE_QUEUE_WAIT: &str = "serve.queue_wait";
+
+/// Execution phase of one served request (private stats histogram; also
+/// the trace-tree span name for the same phase).
+pub const SERVE_EXECUTE: &str = "serve.execute";
+
+/// Dedup-map lookup/claim span of one served request.
+pub const SERVE_DEDUP: &str = "serve.dedup";
+
+/// Write-back span: committing a finished response to the dedup map.
+pub const SERVE_WRITEBACK: &str = "serve.writeback";
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn names_are_distinct_and_prometheus_safe() {
-        let all = [FAULTS_INJECTED, CLIENT_RETRIES, SERVE_DEDUP_HITS];
+        let all = [
+            FAULTS_INJECTED,
+            CLIENT_RETRIES,
+            SERVE_DEDUP_HITS,
+            CLIENT_CALL,
+            CLIENT_ATTEMPT,
+            SERVE_QUEUE_WAIT,
+            SERVE_EXECUTE,
+            SERVE_DEDUP,
+            SERVE_WRITEBACK,
+        ];
         for (i, name) in all.iter().enumerate() {
             assert!(name
                 .chars()

@@ -83,7 +83,13 @@ impl Registry {
         F: FnOnce() -> Metric,
         G: Fn(&Metric) -> Option<Arc<T>>,
     {
-        let mut shard = self.shards[shard_of(name)].lock().expect("registry shard");
+        // Shard maps stay structurally valid across a holder's panic (the
+        // critical sections only insert), so recover poisoned locks: a
+        // crashing worker must never wedge metrics for the whole process,
+        // least of all while the flight recorder dumps mid-panic.
+        let mut shard = self.shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(existing) = shard.get(name) {
             return unwrap(existing).unwrap_or_else(|| {
                 panic!(
@@ -152,7 +158,11 @@ impl Registry {
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut snapshot = RegistrySnapshot::default();
         for shard in &self.shards {
-            for (name, metric) in shard.lock().expect("registry shard").iter() {
+            for (name, metric) in shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+            {
                 match metric {
                     Metric::Counter(c) => snapshot.counters.push(CounterSnapshot {
                         name: name.clone(),
@@ -276,6 +286,30 @@ mod tests {
         let merged = a.snapshot().merged(b.snapshot());
         let names: Vec<&str> = merged.counters.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("survivor").inc();
+        let poisoner = Arc::clone(&registry);
+        let _ = std::thread::spawn(move || {
+            let shard = shard_of("survivor");
+            let _guard = poisoner.shards[shard]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("poison the shard (intentional)");
+        })
+        .join();
+        // Both lookup and snapshot must keep working on the poisoned shard.
+        registry.counter("survivor").inc();
+        let snap = registry.snapshot();
+        let survivor = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "survivor")
+            .expect("still visible");
+        assert_eq!(survivor.value, 2);
     }
 
     #[test]

@@ -65,7 +65,13 @@ pub fn set_trace_path(path: &Path) -> Result<(), String> {
 /// Installs an arbitrary writer as the span sink (tests use an in-memory
 /// buffer). Replaces any previous sink; the old writer is flushed by drop.
 pub fn set_trace_writer(writer: Box<dyn Write + Send>) {
-    *sink().lock().expect("trace sink lock") = Some(writer);
+    // Recover a poisoned lock: a worker that panicked mid-`trace_event`
+    // left a valid (at worst partially written) sink behind, and wedging
+    // every later span on its poison would turn one panic into a
+    // process-wide observability outage.
+    *sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(writer);
     SINK_ACTIVE.store(true, Ordering::Release);
 }
 
@@ -91,6 +97,14 @@ pub(crate) fn active() -> bool {
 /// Appends one span event line to the sink, if one is installed. Write
 /// errors disable the sink (reported once) rather than failing the span.
 pub fn trace_event(name: &str, start_us: u64, dur_us: u64) {
+    trace_event_with(name, start_us, dur_us, None);
+}
+
+/// [`trace_event`] with trace linkage: when `ids` is present the line
+/// additionally carries `"trace"`, `"span_id"` and `"parent"` fields (the
+/// same shape the flight recorder dumps), so a `MONITYRE_TRACE` file can
+/// feed `monityre obs trace` directly.
+pub fn trace_event_with(name: &str, start_us: u64, dur_us: u64, ids: Option<crate::SpanIds>) {
     if !SINK_ACTIVE.load(Ordering::Acquire) {
         // Cheap probe first; fall through to init the env-var sink once.
         let _ = sink();
@@ -98,12 +112,22 @@ pub fn trace_event(name: &str, start_us: u64, dur_us: u64) {
             return;
         }
     }
-    let mut guard = sink().lock().expect("trace sink lock");
+    // A panic between here and the unlock leaves at most a torn line;
+    // recovering the poison keeps every later span's telemetry flowing.
+    let mut guard = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(writer) = guard.as_mut() else {
         return;
     };
+    let linkage = ids.map_or_else(String::new, |ids| {
+        format!(
+            ",\"trace\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent\":\"{:016x}\"",
+            ids.trace_id, ids.span_id, ids.parent_id
+        )
+    });
     let line = format!(
-        "{{\"ts_us\":{start_us},\"span\":{},\"dur_us\":{dur_us}}}\n",
+        "{{\"ts_us\":{start_us},\"span\":{},\"dur_us\":{dur_us}{linkage}}}\n",
         serde_json::to_string(&name.to_owned()).unwrap_or_else(|_| "\"?\"".to_owned())
     );
     let write = writer
@@ -134,8 +158,17 @@ mod tests {
         }
     }
 
+    /// The sink is process-global; tests that install writers serialize
+    /// on this so concurrent test threads never steal each other's events.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn events_are_json_lines() {
+        let _serial = test_lock();
         let buf = Arc::new(Mutex::new(Vec::new()));
         set_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
         assert!(trace_sink_active());
@@ -148,5 +181,50 @@ mod tests {
         assert!(line.contains("\"span\":\"unit.sink\""), "{line}");
         assert!(line.contains("\"dur_us\":250"), "{line}");
         assert!(line.contains("\"ts_us\":17"), "{line}");
+    }
+
+    #[test]
+    fn traced_events_carry_linkage_fields() {
+        let _serial = test_lock();
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        set_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        trace_event_with(
+            "unit.linked",
+            5,
+            9,
+            Some(crate::SpanIds {
+                trace_id: 0xabcd,
+                span_id: 0x1234,
+                parent_id: 0,
+            }),
+        );
+        let captured = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let line = captured
+            .lines()
+            .find(|l| l.contains("unit.linked"))
+            .expect("event line present");
+        assert!(line.contains("\"trace\":\"000000000000abcd\""), "{line}");
+        assert!(line.contains("\"span_id\":\"0000000000001234\""), "{line}");
+        assert!(line.contains("\"parent\":\"0000000000000000\""), "{line}");
+    }
+
+    #[test]
+    fn poisoned_sink_lock_recovers() {
+        let _serial = test_lock();
+        // Poison the sink mutex by panicking while holding it, as a
+        // crashing worker mid-`trace_event` would.
+        let _ = std::thread::spawn(|| {
+            let _guard = sink()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("poison the sink lock (intentional)");
+        })
+        .join();
+        // Both the installer and the event path must shrug it off.
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        set_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        trace_event("unit.poison", 1, 2);
+        let captured = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(captured.contains("unit.poison"), "{captured}");
     }
 }

@@ -9,10 +9,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::context::{SpanIds, TraceContext};
 use crate::registry::Registry;
-use crate::sink::trace_event;
+use crate::sink::trace_event_with;
 
 /// Process-wide instrumentation switch, on by default. Disabling turns
 /// [`span`] into a single relaxed load returning an inert guard.
@@ -37,6 +38,17 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds since the span epoch, for records and dump headers.
+#[must_use]
+pub(crate) fn now_us() -> u64 {
+    instant_us(Instant::now())
+}
+
+/// `instant` as microseconds since the span epoch (0 if it predates it).
+fn instant_us(instant: Instant) -> u64 {
+    u64::try_from(instant.saturating_duration_since(epoch()).as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Starts a named timer scope. The returned guard records into the
 /// global registry histogram `name` when it drops:
 ///
@@ -54,12 +66,25 @@ fn epoch() -> Instant {
 #[must_use = "the span records when the guard drops; binding it to `_` drops immediately"]
 pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { live: None, name };
+        return SpanGuard {
+            live: None,
+            name,
+            ids: None,
+            restore: None,
+            open_token: None,
+        };
     }
     let start = Instant::now();
+    // Link into the current trace (if any): the span gets its own id with
+    // the current context as parent, and becomes current for its extent.
+    let (ids, restore) = crate::context::enter_span();
+    let open_token = crate::recorder::open_span(name, instant_us(start), ids);
     SpanGuard {
         live: Some(start),
         name,
+        ids,
+        restore,
+        open_token,
     }
 }
 
@@ -69,6 +94,12 @@ pub struct SpanGuard {
     /// `None` when instrumentation was disabled at creation — drop is a no-op.
     live: Option<Instant>,
     name: &'static str,
+    /// Trace linkage when a [`TraceContext`] was current at creation.
+    ids: Option<SpanIds>,
+    /// Previous thread-current context to restore on drop.
+    restore: Option<Option<TraceContext>>,
+    /// Flight-recorder open-span registration, closed on drop.
+    open_token: Option<u64>,
 }
 
 impl SpanGuard {
@@ -77,21 +108,50 @@ impl SpanGuard {
     pub fn name(&self) -> &'static str {
         self.name
     }
+
+    /// The span's trace linkage, if it runs inside an installed context.
+    #[must_use]
+    pub fn ids(&self) -> Option<SpanIds> {
+        self.ids
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        crate::context::exit_span(self.restore.take());
         let Some(start) = self.live else {
             return;
         };
         let elapsed = start.elapsed();
         Registry::global().histogram(self.name).record(elapsed);
+        let start_us = instant_us(start);
+        let dur_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        crate::recorder::close_span(self.open_token.take());
+        crate::recorder::record_span(self.name, start_us, dur_us, self.ids);
         if crate::sink::active() {
-            let start_us =
-                u64::try_from(start.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX);
-            let dur_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-            trace_event(self.name, start_us, dur_us);
+            trace_event_with(self.name, start_us, dur_us, self.ids);
         }
+    }
+}
+
+/// Records an externally timed phase (one the caller measured itself,
+/// like queue wait between threads) as a finished span: into the flight
+/// recorder and the trace sink, linked under this thread's current
+/// context exactly like a [`span`] guard. Unlike [`span`], no histogram
+/// is touched — callers that aggregate the phase (the serving layer's
+/// private stats registry) keep doing so themselves, so the merged
+/// Prometheus exposition never double-counts.
+pub fn record_phase(name: &'static str, start: Instant, elapsed: Duration) {
+    if !enabled() {
+        return;
+    }
+    let (ids, restore) = crate::context::enter_span();
+    crate::context::exit_span(restore);
+    let start_us = instant_us(start);
+    let dur_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    crate::recorder::record_span(name, start_us, dur_us, ids);
+    if crate::sink::active() {
+        trace_event_with(name, start_us, dur_us, ids);
     }
 }
 

@@ -16,7 +16,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use monityre_obs::{names, Counter, Registry};
+use monityre_obs::{names, Counter, Registry, SpanGuard, TraceContext};
 
 use crate::protocol::{
     decode_response_line, ErrorCode, ProtocolError, Request, Response, WireError, MAX_LINE_BYTES,
@@ -398,7 +398,18 @@ impl RetryingClient {
 
     fn call_inner(&mut self, request: &Request) -> Result<(String, Response), ClientError> {
         let started = Instant::now();
-        let line = self.stamped_line(request)?;
+        let stamped = self.stamped_request(request)?;
+        // The logical-call root context: the caller's, or a fresh root
+        // derived from the idem key — which is itself deterministic under
+        // a pinned `jitter_seed`, so a seeded chaos run replays the same
+        // trace ids every time.
+        let root = stamped
+            .trace
+            .unwrap_or_else(|| TraceContext::root(stamped.idem.unwrap_or(self.policy.jitter_seed)));
+        let _root_guard = monityre_obs::install_context(root);
+        // One root span per logical call; each attempt below is a child,
+        // so retries show up as siblings in the trace tree.
+        let _call_span = monityre_obs::span(names::CLIENT_CALL);
         let attempts = self.policy.attempts.max(1);
         let mut last: Option<AttemptError> = None;
         for attempt in 0..attempts {
@@ -416,6 +427,8 @@ impl RetryingClient {
             if remaining.is_zero() {
                 return Err(Self::deadline_error(attempt, last));
             }
+            let attempt_span = monityre_obs::span(names::CLIENT_ATTEMPT);
+            let line = Self::attempt_line(&stamped, &attempt_span)?;
             match self.attempt(&line, remaining) {
                 Ok((raw, response)) => {
                     if let Some(error) = response.error.clone() {
@@ -441,26 +454,45 @@ impl RetryingClient {
         })
     }
 
-    /// Serializes `request`, stamping a fresh idempotency key unless the
-    /// caller chose one.
-    fn stamped_line(&mut self, request: &Request) -> Result<String, ClientError> {
-        let to_line = |request: &Request| {
-            serde_json::to_string(request).map_err(|e| {
-                ClientError::Server(WireError {
-                    code: ErrorCode::BadRequest,
-                    message: format!("request does not serialize: {e}"),
-                })
+    /// Serializes `request` (no trace stamp — see [`Self::attempt_line`]
+    /// for the per-attempt serialization).
+    fn to_line(request: &Request) -> Result<String, ClientError> {
+        serde_json::to_string(request).map_err(|e| {
+            ClientError::Server(WireError {
+                code: ErrorCode::BadRequest,
+                message: format!("request does not serialize: {e}"),
             })
-        };
-        let line = to_line(request)?;
+        })
+    }
+
+    /// Stamps a fresh idempotency key unless the caller chose one. The
+    /// key hashes the *trace-free* serialization, so the same request
+    /// retried under different attempt contexts keeps one key.
+    fn stamped_request(&mut self, request: &Request) -> Result<Request, ClientError> {
         if request.idem.is_some() {
-            return Ok(line);
+            return Ok(request.clone());
         }
+        let line = Self::to_line(request)?;
         self.idem_counter = self.idem_counter.wrapping_add(1);
         let key = splitmix64(
             self.policy.jitter_seed ^ fnv1a(line.as_bytes()) ^ splitmix64(self.idem_counter),
         );
-        to_line(&request.clone().with_idem(key))
+        Ok(request.clone().with_idem(key))
+    }
+
+    /// The wire line for one attempt: the stamped request carrying the
+    /// attempt span's context, so server-side spans parent under exactly
+    /// the attempt that caused them. With spans disabled the guard has no
+    /// ids and the line carries whatever the stamped request already had
+    /// (usually nothing — byte-identical to the pre-tracing wire).
+    fn attempt_line(stamped: &Request, attempt_span: &SpanGuard) -> Result<String, ClientError> {
+        match attempt_span.ids() {
+            Some(ids) => Self::to_line(&stamped.clone().with_trace(TraceContext {
+                trace_id: ids.trace_id,
+                span_id: ids.span_id,
+            })),
+            None => Self::to_line(stamped),
+        }
     }
 
     fn remaining(&self, started: Instant) -> Duration {
@@ -571,16 +603,39 @@ mod tests {
         use crate::protocol::{Op, Request};
         let mut client = RetryingClient::new(local(9), fast_policy());
         let request = Request::new(Op::Breakeven);
-        let a = client.stamped_line(&request).unwrap();
-        let b = client.stamped_line(&request).unwrap();
-        assert_ne!(a, b, "each logical call gets a fresh key");
-        let req_a: Request = serde_json::from_str(&a).unwrap();
-        let req_b: Request = serde_json::from_str(&b).unwrap();
-        assert!(req_a.idem.is_some() && req_b.idem.is_some());
-        assert_ne!(req_a.idem, req_b.idem);
-        let pinned = client.stamped_line(&request.with_idem(77)).unwrap();
-        let req: Request = serde_json::from_str(&pinned).unwrap();
-        assert_eq!(req.idem, Some(77), "a caller-chosen key is kept");
+        let a = client.stamped_request(&request).unwrap();
+        let b = client.stamped_request(&request).unwrap();
+        assert!(a.idem.is_some() && b.idem.is_some());
+        assert_ne!(a.idem, b.idem, "each logical call gets a fresh key");
+        let pinned = client.stamped_request(&request.with_idem(77)).unwrap();
+        assert_eq!(pinned.idem, Some(77), "a caller-chosen key is kept");
+    }
+
+    #[test]
+    fn attempt_lines_share_the_trace_and_key_but_not_the_span() {
+        use crate::protocol::{Op, Request};
+        let mut client = RetryingClient::new(local(9), fast_policy());
+        let stamped = client
+            .stamped_request(&Request::new(Op::Breakeven))
+            .unwrap();
+        let root = TraceContext::root(stamped.idem.unwrap());
+        let _g = monityre_obs::install_context(root);
+        let _call = monityre_obs::span(names::CLIENT_CALL);
+        let first = {
+            let span = monityre_obs::span(names::CLIENT_ATTEMPT);
+            RetryingClient::attempt_line(&stamped, &span).unwrap()
+        };
+        let second = {
+            let span = monityre_obs::span(names::CLIENT_ATTEMPT);
+            RetryingClient::attempt_line(&stamped, &span).unwrap()
+        };
+        let a: Request = serde_json::from_str(&first).unwrap();
+        let b: Request = serde_json::from_str(&second).unwrap();
+        let (ta, tb) = (a.trace.expect("stamped"), b.trace.expect("stamped"));
+        assert_eq!(ta.trace_id, root.trace_id, "one trace per logical call");
+        assert_eq!(tb.trace_id, root.trace_id);
+        assert_ne!(ta.span_id, tb.span_id, "retries are sibling spans");
+        assert_eq!(a.idem, b.idem, "retries keep one idempotency key");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod stats;
 mod worker;
 
 pub use client::{Client, ClientError, RetryPolicy, RetryingClient, DEFAULT_IO_TIMEOUT};
+pub use monityre_obs::TraceContext;
 pub use protocol::{
     decode_request_line, decode_response_line, ErrorCode, Op, Params, Payload, ProtocolError,
     Request, Response, ScenarioSpec, WireError, MAX_LINE_BYTES,

@@ -11,6 +11,7 @@
 
 use monityre_core::{BalanceReport, Scenario};
 use monityre_node::NodeConfig;
+use monityre_obs::TraceContext;
 use monityre_power::{ProcessCorner, WorkingConditions};
 use monityre_profile::NAMED_CYCLES;
 use monityre_units::{Temperature, Voltage};
@@ -41,13 +42,18 @@ pub enum Op {
     Metrics,
     /// Liveness probe (handled inline, never queued).
     Ping,
+    /// Flight-recorder dump: append the server's recent span/event rings
+    /// to its armed dump file (handled inline, never queued). The wire
+    /// replacement for `SIGUSR1` — works over the protocol and on
+    /// platforms without signals.
+    Dump,
     /// Graceful shutdown: stop accepting, drain, exit (handled inline).
     Shutdown,
 }
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 9] = [
+    pub const ALL: [Op; 10] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
@@ -56,6 +62,7 @@ impl Op {
         Op::Stats,
         Op::Metrics,
         Op::Ping,
+        Op::Dump,
         Op::Shutdown,
     ];
 
@@ -71,6 +78,7 @@ impl Op {
             Op::Stats => "stats",
             Op::Metrics => "metrics",
             Op::Ping => "ping",
+            Op::Dump => "dump",
             Op::Shutdown => "shutdown",
         }
     }
@@ -85,7 +93,10 @@ impl Op {
     /// (control plane) instead of going through the bounded job queue.
     #[must_use]
     pub fn is_control(self) -> bool {
-        matches!(self, Op::Stats | Op::Metrics | Op::Ping | Op::Shutdown)
+        matches!(
+            self,
+            Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown
+        )
     }
 }
 
@@ -353,6 +364,14 @@ pub struct Request {
     /// double-executed or double-counted.
     #[serde(default)]
     pub idem: Option<u64>,
+    /// Trace context propagated from the client: `"<trace id>:<parent
+    /// span id>"` as two 16-hex-digit halves. When present, every span
+    /// the server records while handling this request links under the
+    /// client's logical-call tree; when absent (e.g. an old client), the
+    /// field is omitted from the wire entirely, keeping request bytes
+    /// identical to the pre-tracing protocol.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceContext>,
     /// Scenario overrides (empty = reference scenario).
     #[serde(default)]
     pub scenario: ScenarioSpec,
@@ -370,6 +389,7 @@ impl Request {
             id: None,
             deadline_ms: None,
             idem: None,
+            trace: None,
             scenario: ScenarioSpec::default(),
             params: Params::default(),
         }
@@ -393,6 +413,13 @@ impl Request {
     #[must_use]
     pub fn with_idem(mut self, key: u64) -> Self {
         self.idem = Some(key);
+        self
+    }
+
+    /// Sets the trace context to propagate.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
         self
     }
 
@@ -439,7 +466,7 @@ impl Request {
                     return Err(format!("cap_mf: {cap} must be positive"));
                 }
             }
-            Op::Stats | Op::Metrics | Op::Ping | Op::Shutdown => {}
+            Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => {}
         }
         Ok(())
     }
@@ -507,6 +534,14 @@ pub enum Payload {
     Stats(StatsSnapshot),
     /// Prometheus text exposition of the server's metric registry.
     Metrics(String),
+    /// Flight-recorder dump acknowledgement.
+    Dumped {
+        /// Where the dump landed, `null` when no dump path is armed (the
+        /// records were still snapshotted, just had nowhere to go).
+        path: Option<String>,
+        /// How many records the dump contained.
+        records: usize,
+    },
     /// Liveness probe answer.
     Pong,
     /// Shutdown acknowledged; the server drains and exits.
@@ -686,6 +721,7 @@ mod tests {
             id: Some(7),
             deadline_ms: Some(250),
             idem: Some(0xdead_beef),
+            trace: Some(TraceContext::root(0xdead_beef)),
             scenario: ScenarioSpec {
                 temp_c: Some(85.0),
                 corner: Some("ff".to_owned()),
@@ -702,6 +738,48 @@ mod tests {
         let json = serde_json::to_string(&request).unwrap();
         let back: Request = serde_json::from_str(&json).unwrap();
         assert_eq!(back, request);
+    }
+
+    #[test]
+    fn traceless_requests_serialize_without_the_field() {
+        // Back-compat anchor: a request that carries no trace context
+        // must be byte-identical to what a pre-tracing client sends —
+        // the field is omitted, not `"trace":null`.
+        let request = Request::new(Op::Breakeven).with_id(9).with_idem(42);
+        let json = serde_json::to_string(&request).unwrap();
+        assert!(!json.contains("trace"), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace, None);
+    }
+
+    #[test]
+    fn traced_requests_round_trip_the_context() {
+        let ctx = TraceContext::root(2011);
+        let request = Request::new(Op::Balance).with_trace(ctx);
+        let json = serde_json::to_string(&request).unwrap();
+        assert!(
+            json.contains(&format!("\"trace\":\"{}\"", ctx.wire())),
+            "{json}"
+        );
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace, Some(ctx));
+    }
+
+    #[test]
+    fn damaged_trace_fields_are_malformed_not_panics() {
+        for bad in [
+            r#"{"op":"balance","trace":"xyz"}"#,
+            r#"{"op":"balance","trace":17}"#,
+            r#"{"op":"balance","trace":"00:00"}"#,
+        ] {
+            assert!(matches!(
+                decode_request_line(bad.as_bytes()),
+                Err(ProtocolError::Malformed(_))
+            ));
+        }
+        // An explicit null is tolerated (it is what `default` means).
+        let request: Request = serde_json::from_str(r#"{"op":"balance","trace":null}"#).unwrap();
+        assert_eq!(request.trace, None);
     }
 
     #[test]

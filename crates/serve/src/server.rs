@@ -422,6 +422,9 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
         let response = Response::failure(id, ErrorCode::BadRequest, message);
         return send_response(writer, &response, faults).is_ok();
     }
+    // Install the wire trace context for inline (control) handling; the
+    // worker re-installs it on its own thread for queued jobs.
+    let _trace = request.trace.map(monityre_obs::install_context);
     if request.op.is_control() {
         return match request.op {
             Op::Ping => {
@@ -444,6 +447,23 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
                     faults,
                 )
                 .is_ok()
+            }
+            Op::Dump => {
+                monityre_obs::recorder::record_event("dump.requested");
+                let payload = match monityre_obs::recorder::dump("wire_request") {
+                    Some((path, records)) => Payload::Dumped {
+                        path: Some(path.display().to_string()),
+                        records,
+                    },
+                    // Unarmed (or the write failed): still acknowledge
+                    // with the record count so the caller learns the
+                    // recorder is alive but has nowhere to dump.
+                    None => Payload::Dumped {
+                        path: None,
+                        records: monityre_obs::recorder::snapshot().len(),
+                    },
+                };
+                send_response(writer, &Response::success(id, payload), faults).is_ok()
             }
             _ => {
                 // Acknowledge first so the client sees the answer even

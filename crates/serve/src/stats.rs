@@ -17,6 +17,12 @@ use monityre_core::CacheCounts;
 use monityre_obs::{Counter, Registry, Reservoir};
 use serde::{Deserialize, Serialize};
 
+/// The trace id of the installed request context, `0` (no exemplar) when
+/// the job carried no trace.
+fn current_trace_id() -> u64 {
+    monityre_obs::current_context().map_or(0, |ctx| ctx.trace_id)
+}
+
 /// Shared, thread-safe statistics registry.
 #[derive(Debug)]
 pub(crate) struct Stats {
@@ -70,14 +76,22 @@ impl Stats {
             .record(elapsed);
     }
 
-    /// How long a job sat in the bounded queue before a worker picked it up.
+    /// How long a job sat in the bounded queue before a worker picked it
+    /// up. Stamps the current trace id (if a request context is
+    /// installed) as the bucket's exemplar, so a tail `queue_wait` bucket
+    /// in the Prometheus exposition names an offending trace.
     pub(crate) fn record_queue_wait(&self, elapsed: Duration) {
-        self.registry.histogram("serve.queue_wait").record(elapsed);
+        self.registry
+            .histogram(monityre_obs::names::SERVE_QUEUE_WAIT)
+            .record_traced(elapsed, current_trace_id());
     }
 
     /// How long a job's evaluation phase ran (excluding queue wait).
+    /// Exemplar-stamped like [`Self::record_queue_wait`].
     pub(crate) fn record_execute(&self, elapsed: Duration) {
-        self.registry.histogram("serve.execute").record(elapsed);
+        self.registry
+            .histogram(monityre_obs::names::SERVE_EXECUTE)
+            .record_traced(elapsed, current_trace_id());
     }
 
     /// A job was shed with `queue_full`.
@@ -294,6 +308,31 @@ mod tests {
             text.contains("monityre_serve_op_breakeven_seconds_count 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn phase_records_stamp_exemplars_under_a_trace_context() {
+        let stats = Stats::new();
+        let ctx = monityre_obs::TraceContext::root(7);
+        {
+            let _g = monityre_obs::install_context(ctx);
+            stats.record_execute(Duration::from_micros(15));
+        }
+        stats.record_queue_wait(Duration::from_micros(15)); // no context
+        let snap = stats.registry().snapshot();
+        let execute = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == monityre_obs::names::SERVE_EXECUTE)
+            .unwrap();
+        let exemplar = &execute.exemplars.as_deref().expect("traced")[0];
+        assert_eq!(exemplar.trace_id, format!("{:016x}", ctx.trace_id));
+        let wait = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == monityre_obs::names::SERVE_QUEUE_WAIT)
+            .unwrap();
+        assert!(wait.exemplars.is_none(), "untraced record has no exemplar");
     }
 
     #[test]

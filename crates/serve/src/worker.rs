@@ -171,11 +171,19 @@ impl Engine {
     /// protects.
     pub(crate) fn process(&self, job: &Job, faults: Option<&FaultPlan>) -> Response {
         let id = job.request.id;
+        // Install the request's wire-propagated trace context for the
+        // whole job: every span and stats record below links under the
+        // client's attempt span (and stamps histogram exemplars).
+        let _trace = job.request.trace.map(monityre_obs::install_context);
         // Everything before this call was queue wait.
-        self.stats.record_queue_wait(job.received.elapsed());
+        let wait = job.received.elapsed();
+        self.stats.record_queue_wait(wait);
+        monityre_obs::record_phase(monityre_obs::names::SERVE_QUEUE_WAIT, job.received, wait);
         if let Some(deadline) = job.deadline {
             if Instant::now() >= deadline {
                 self.stats.record_timed_out();
+                monityre_obs::recorder::record_event("deadline.miss");
+                monityre_obs::recorder::dump("deadline_miss");
                 return Response::failure(
                     id,
                     ErrorCode::DeadlineExceeded,
@@ -184,16 +192,22 @@ impl Engine {
             }
         }
         let claim = match job.request.idem {
-            Some(key) => match self.dedup.begin(key) {
-                Begin::Replay(mut response) => {
-                    self.stats.record_dedup_hit();
-                    // Echo the *incoming* correlation id (retries reuse
-                    // the same id, so this is normally a no-op).
-                    response.id = id;
-                    return response;
+            Some(key) => {
+                let begin = {
+                    let _dedup = monityre_obs::span(monityre_obs::names::SERVE_DEDUP);
+                    self.dedup.begin(key)
+                };
+                match begin {
+                    Begin::Replay(mut response) => {
+                        self.stats.record_dedup_hit();
+                        // Echo the *incoming* correlation id (retries reuse
+                        // the same id, so this is normally a no-op).
+                        response.id = id;
+                        return response;
+                    }
+                    Begin::Owner(claim) => Some(claim),
                 }
-                Begin::Owner(claim) => Some(claim),
-            },
+            }
             None => None,
         };
         if let Some(plan) = faults {
@@ -204,6 +218,7 @@ impl Engine {
         let response = self.execute(job);
         if let Some(claim) = claim {
             if response.is_ok() {
+                let _writeback = monityre_obs::span(monityre_obs::names::SERVE_WRITEBACK);
                 claim.complete(&response);
             }
             // A failed attempt drops the claim, aborting: the key is
@@ -230,13 +245,17 @@ impl Engine {
         let exec_start = Instant::now();
         match run_op(&job.request, &cached, &self.executor, &cancelled) {
             Ok(Some(payload)) => {
-                self.stats.record_execute(exec_start.elapsed());
+                let elapsed = exec_start.elapsed();
+                self.stats.record_execute(elapsed);
+                monityre_obs::record_phase(monityre_obs::names::SERVE_EXECUTE, exec_start, elapsed);
                 self.stats
                     .record_served(job.request.op.name(), job.received.elapsed());
                 Response::success(id, payload)
             }
             Ok(None) => {
                 self.stats.record_timed_out();
+                monityre_obs::recorder::record_event("deadline.miss");
+                monityre_obs::recorder::dump("deadline_miss");
                 Response::failure(
                     id,
                     ErrorCode::DeadlineExceeded,
@@ -279,6 +298,13 @@ pub(crate) fn worker_loop(
         let id = job.request.id;
         let response = catch_unwind(AssertUnwindSafe(|| engine.process(&job, faults)))
             .unwrap_or_else(|_| {
+                // The guard that installed the request context unwound
+                // with the panic; re-install it so the panic event (and
+                // the dump trigger) link into the request's trace tree.
+                // The rings still hold the spans truncated mid-panic.
+                let _trace = job.request.trace.map(monityre_obs::install_context);
+                monityre_obs::recorder::record_event("worker.panic");
+                monityre_obs::recorder::dump("worker_panic");
                 Response::failure(
                     id,
                     ErrorCode::Internal,
@@ -387,7 +413,7 @@ fn run_op<C: Fn() -> bool + Sync>(
                 span_s: report.span.secs(),
             }))
         }
-        Op::Stats | Op::Metrics | Op::Ping | Op::Shutdown => Err((
+        Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => Err((
             ErrorCode::BadRequest,
             format!("op `{}` is a control operation", request.op.name()),
         )),

@@ -341,6 +341,89 @@ fn pinned_idem_key_replays_bit_identically() {
     handle.shutdown();
 }
 
+/// The tracing acceptance pin: a fault-injected, retried call under a
+/// pinned trace context leaves flight-recorder records that link into one
+/// causal tree — attempts as siblings under the logical call, the server
+/// phases (queue wait, dedup, execute, write-back) under the attempt that
+/// carried them — and the response bytes stay identical to the fault-free
+/// run.
+#[test]
+fn traced_chaos_calls_record_a_complete_causal_tree() {
+    use monityre_obs::recorder::{self, RecordKind};
+    use monityre_obs::{names, TraceContext};
+
+    let plan = fast(FaultPlan::parse("2011:conn_reset=0.5").expect("spec parses"));
+    let config = ServerConfig {
+        faults: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    };
+    let handle = config.start().expect("server starts");
+    let mut client = RetryingClient::new(handle.addr(), chaos_policy(2011));
+    let ctx = TraceContext::root(0x7e5d_0001);
+    let mut request = Request::new(Op::Breakeven).with_id(7).with_trace(ctx);
+    request.params.steps = Some(48);
+    let raw = client
+        .call_raw(&request)
+        .expect("the retried call succeeds");
+    assert_eq!(
+        raw,
+        expected_line(&request),
+        "tracing must not change the response bytes"
+    );
+    handle.shutdown();
+
+    let records = recorder::snapshot();
+    let ours: Vec<_> = records
+        .iter()
+        .filter(|r| r.ids.is_some_and(|ids| ids.trace_id == ctx.trace_id))
+        .collect();
+    let call = ours
+        .iter()
+        .find(|r| r.name == names::CLIENT_CALL)
+        .expect("the logical call span is recorded");
+    let call_ids = call.ids.expect("call span is linked");
+    assert_eq!(
+        call_ids.parent_id, ctx.span_id,
+        "the call roots under the caller-pinned context"
+    );
+    let attempt_ids: std::collections::HashSet<u64> = ours
+        .iter()
+        .filter(|r| r.name == names::CLIENT_ATTEMPT)
+        .map(|r| {
+            let ids = r.ids.expect("attempt span is linked");
+            assert_eq!(
+                ids.parent_id, call_ids.span_id,
+                "attempts are siblings under the one logical call"
+            );
+            ids.span_id
+        })
+        .collect();
+    assert!(!attempt_ids.is_empty(), "at least one attempt recorded");
+    for phase in [
+        names::SERVE_QUEUE_WAIT,
+        names::SERVE_DEDUP,
+        names::SERVE_EXECUTE,
+        names::SERVE_WRITEBACK,
+    ] {
+        let record = ours
+            .iter()
+            .find(|r| r.name == phase)
+            .unwrap_or_else(|| panic!("`{phase}` span missing from the trace"));
+        let parent = record.ids.expect("phase span is linked").parent_id;
+        assert!(
+            attempt_ids.contains(&parent),
+            "`{phase}` must hang under one of the wire attempts"
+        );
+    }
+    assert_eq!(
+        ours.iter()
+            .filter(|r| r.name == names::SERVE_EXECUTE && r.kind == RecordKind::Span)
+            .count(),
+        1,
+        "retries replay; the scenario executes exactly once"
+    );
+}
+
 /// Even a hopeless plan (every response reset) ends in a classified
 /// error and a clean drain — never a hang.
 #[test]

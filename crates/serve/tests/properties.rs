@@ -6,7 +6,7 @@
 
 use monityre_serve::{
     decode_request_line, decode_response_line, ErrorCode, Op, Params, Payload, ProtocolError,
-    Request, Response, ScenarioSpec, WireError,
+    Request, Response, ScenarioSpec, TraceContext, WireError,
 };
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
@@ -93,23 +93,33 @@ fn arb_params() -> BoxedStrategy<Params> {
         .boxed()
 }
 
+fn arb_trace() -> BoxedStrategy<TraceContext> {
+    ((0u64..u64::MAX), (0u64..u64::MAX))
+        .prop_map(|(trace_id, span_id)| TraceContext { trace_id, span_id })
+        .boxed()
+}
+
 fn arb_request() -> BoxedStrategy<Request> {
     (
         arb_op(),
         option_of((0u64..u64::MAX).boxed()),
         option_of((1u64..60_000).boxed()),
         option_of((0u64..u64::MAX).boxed()),
+        option_of(arb_trace()),
         arb_scenario_spec(),
         arb_params(),
     )
-        .prop_map(|(op, id, deadline_ms, idem, scenario, params)| Request {
-            op,
-            id,
-            deadline_ms,
-            idem,
-            scenario,
-            params,
-        })
+        .prop_map(
+            |(op, id, deadline_ms, idem, trace, scenario, params)| Request {
+                op,
+                id,
+                deadline_ms,
+                idem,
+                trace,
+                scenario,
+                params,
+            },
+        )
         .boxed()
 }
 
@@ -194,6 +204,68 @@ proptest! {
         let line = serde_json::to_string(&request).unwrap();
         let back: Request = serde_json::from_str(&line).unwrap();
         prop_assert_eq!(back.params.from_kmh.unwrap().to_bits(), kmh.to_bits());
+    }
+
+    /// Adding then removing the optional trace field is lossless: a
+    /// trace-less request is byte-identical to the pre-tracing wire shape
+    /// (no `"trace"` key at all — old servers and clients keep working),
+    /// while a traced one round-trips the context exactly.
+    fn trace_field_is_optional_and_back_compatible(
+        request in arb_request(),
+        trace in arb_trace(),
+    ) {
+        let mut bare = request.clone();
+        bare.trace = None;
+        let bare_line = serde_json::to_string(&bare).unwrap();
+        prop_assert!(!bare_line.contains("\"trace\""), "{}", bare_line);
+
+        let traced = bare.clone().with_trace(trace);
+        let traced_line = serde_json::to_string(&traced).unwrap();
+        let back: Request = serde_json::from_str(&traced_line).unwrap();
+        prop_assert_eq!(back.trace, Some(trace));
+
+        // Stripping the context restores the exact bare bytes.
+        let mut stripped = back;
+        stripped.trace = None;
+        prop_assert_eq!(serde_json::to_string(&stripped).unwrap(), bare_line);
+    }
+
+    /// A damaged trace value never panics the decoder: anything that is
+    /// not a `16-hex:16-hex` string classifies as a malformed frame.
+    fn damaged_trace_values_never_panic(
+        request in arb_request(),
+        seed in (0u64..u64::MAX),
+        shape in (0usize..6),
+    ) {
+        // Damage shapes: valid wire form, uppercase hex, truncated halves,
+        // missing separator, non-hex text, empty — seeded so shrinking
+        // stays deterministic.
+        let garbage = match shape {
+            0 => format!("{seed:016x}:{:016x}", seed.rotate_left(17)),
+            1 => format!("{seed:016X}:{:016x}", seed.rotate_left(17)),
+            2 => format!("{seed:08x}:{seed:08x}"),
+            3 => format!("{seed:032x}"),
+            4 => format!("not-a-trace-{seed}"),
+            _ => String::new(),
+        };
+        let mut bare = request;
+        bare.trace = None;
+        let line = serde_json::to_string(&bare).unwrap();
+        let encoded = serde_json::to_string(&garbage).unwrap();
+        let spliced = format!(
+            "{},\"trace\":{}}}",
+            &line[..line.len() - 1],
+            encoded
+        );
+        match decode_request_line(spliced.as_bytes()) {
+            Ok(parsed) => {
+                // Only a well-formed wire context may parse.
+                prop_assert!(parsed.trace.is_some());
+                prop_assert_eq!(parsed.trace, TraceContext::parse(&garbage));
+            }
+            Err(ProtocolError::Malformed(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected classification {:?}", e),
+        }
     }
 }
 

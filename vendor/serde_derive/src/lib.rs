@@ -5,7 +5,8 @@
 //! description, and the impl is emitted as source text parsed back into a
 //! `TokenStream`. Supported shapes are exactly what the workspace uses:
 //!
-//! * named-field structs (with `#[serde(skip)]` / `#[serde(default)]`);
+//! * named-field structs (with `#[serde(skip)]` / `#[serde(default)]` /
+//!   `#[serde(skip_serializing_if = "Option::is_none")]`);
 //! * tuple structs, typically `#[serde(transparent)]` newtypes;
 //! * enums with unit, newtype, tuple, and struct variants (externally
 //!   tagged, like real serde's default representation).
@@ -25,6 +26,12 @@ struct SerdeAttrs {
     transparent: bool,
     skip: bool,
     default: bool,
+    /// `skip_serializing_if = "Option::is_none"`: omit the field from the
+    /// serialized map when its value serializes to `Value::Null`. Only the
+    /// `Option::is_none` predicate is supported — the check is performed on
+    /// the serialized value, which for an `Option` is `Null` exactly when
+    /// the field is `None`.
+    skip_none: bool,
 }
 
 struct Field {
@@ -65,12 +72,35 @@ struct Input {
 /// folding the recognized flags into `attrs`. Panics on unknown flags so a
 /// silently unsupported representation can never ship.
 fn apply_serde_attr(tokens: TokenStream, attrs: &mut SerdeAttrs, context: &str) {
-    for tree in tokens {
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(tree) = iter.next() {
         match tree {
             TokenTree::Ident(ident) => match ident.to_string().as_str() {
                 "transparent" => attrs.transparent = true,
                 "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
                 "default" => attrs.default = true,
+                "skip_serializing_if" => {
+                    // Only the `= "Option::is_none"` form is supported; the
+                    // emitted code skips the field when its serialized value
+                    // is `Null`, which is equivalent for `Option` fields.
+                    match iter.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                        other => panic!(
+                            "serde derive (vendored): expected `=` after `skip_serializing_if` on {context}, found {other:?}"
+                        ),
+                    }
+                    match iter.next() {
+                        Some(TokenTree::Literal(lit))
+                            if lit.to_string() == "\"Option::is_none\"" =>
+                        {
+                            attrs.skip_none = true;
+                        }
+                        other => panic!(
+                            "serde derive (vendored): `skip_serializing_if` supports only \
+                             \"Option::is_none\" on {context}, found {other:?}"
+                        ),
+                    }
+                }
                 other => panic!(
                     "serde derive (vendored): unsupported serde attribute `{other}` on {context}"
                 ),
@@ -298,11 +328,19 @@ fn gen_serialize(input: &Input) -> String {
                     "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
                 );
                 for field in fields.iter().filter(|f| !f.attrs.skip) {
-                    let _ = writeln!(
-                        body,
-                        "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
-                        field.name
-                    );
+                    if field.attrs.skip_none {
+                        let _ = writeln!(
+                            body,
+                            "match ::serde::Serialize::to_value(&self.{0}) {{ ::serde::Value::Null => {{}}, __v => fields.push((::std::string::String::from(\"{0}\"), __v)) }}",
+                            field.name
+                        );
+                    } else {
+                        let _ = writeln!(
+                            body,
+                            "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                            field.name
+                        );
+                    }
                 }
                 body.push_str("::serde::Value::Map(fields)");
             }
@@ -350,6 +388,12 @@ fn gen_serialize(input: &Input) -> String {
                         );
                     }
                     VariantShape::Struct(fields) => {
+                        if fields.iter().any(|f| f.attrs.skip_none) {
+                            panic!(
+                                "serde derive (vendored): `skip_serializing_if` is only supported \
+                                 on named-struct fields, not enum variant `{vname}`"
+                            );
+                        }
                         let kept: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
                         let pattern = if kept.len() == fields.len() {
                             kept.iter()
