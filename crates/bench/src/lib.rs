@@ -27,9 +27,14 @@ use serde::{Deserialize, Serialize};
 pub struct HarnessOptions {
     /// Assert the expected shape instead of printing series.
     pub check: bool,
+    /// Run a scaled-down pass that still exercises the full pipeline
+    /// (including BENCH file writes) and asserts the recorded schema —
+    /// what CI runs to validate a harness end to end without paying for
+    /// full-size measurements.
+    pub smoke: bool,
 }
 
-/// Parses harness CLI arguments (`--check` only).
+/// Parses harness CLI arguments (`--check` and `--smoke`).
 ///
 /// # Panics
 ///
@@ -40,7 +45,8 @@ pub fn parse_args() -> HarnessOptions {
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--check" => options.check = true,
-            other => panic!("unknown argument `{other}` (supported: --check)"),
+            "--smoke" => options.smoke = true,
+            other => panic!("unknown argument `{other}` (supported: --check, --smoke)"),
         }
     }
     options
@@ -88,7 +94,7 @@ pub fn header(id: &str, title: &str) {
 /// Panics when `condition` is false.
 pub fn expect(options: HarnessOptions, what: &str, condition: bool) {
     assert!(condition, "expectation failed: {what}");
-    if options.check {
+    if options.check || options.smoke {
         println!("ok: {what}");
     }
 }
@@ -389,6 +395,88 @@ pub fn record_faults_bench(result: FaultsBenchResult) {
     std::fs::write(&path, text + "\n").expect("BENCH_faults.json writes");
 }
 
+/// One row of `BENCH_sheet.json`: the synthetic layered workbook timed
+/// on the compiled recalculation engine — full rebuild vs incremental
+/// edit vs value cutoff — at a given worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SheetBenchResult {
+    /// Which recalculation scenario was measured (the merge key).
+    pub name: String,
+    /// Total cells in the workbook (literals + formulas).
+    pub cells: usize,
+    /// Formula cells one full rebuild recomputes.
+    pub formulas: usize,
+    /// Incremental literal edits per timed pass.
+    pub edits: usize,
+    /// Full rebuilds one timed pass performs.
+    pub batches: usize,
+    /// Worker threads wide levels fan across.
+    pub threads: usize,
+    /// Hardware threads available when the row was measured. Parallel
+    /// speedup is bounded by this: a 1-CPU container measures ≈ 1x
+    /// however many workers run, so read `parallel_speedup` against
+    /// `cpus`, not `threads`.
+    pub cpus: usize,
+    /// Full-rebuild throughput in formula cells per second.
+    pub full_cells_per_sec: f64,
+    /// Incremental single-literal edits per second (each propagating
+    /// through the dirty cone only).
+    pub incremental_edits_per_sec: f64,
+    /// How many incremental edits fit in the time of one full rebuild:
+    /// `incremental_edits_per_sec / (full_cells_per_sec / formulas)`.
+    pub incremental_speedup: f64,
+    /// Dependent cells the value cutoff stopped from recomputing during
+    /// the incremental pass (bit-equal saturated clamps).
+    pub cutoff_cut_cells: u64,
+    /// `full_cells_per_sec` at this thread count over the 1-thread row.
+    pub parallel_speedup: f64,
+}
+
+/// Where the sheet recalculation rows live: `BENCH_sheet.json` at the
+/// repository root.
+#[must_use]
+pub fn sheet_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_sheet.json")
+}
+
+/// Merges `result` into `BENCH_sheet.json`, replacing any existing row
+/// with the same name, and prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read, parsed or written — a harness
+/// misconfiguration worth failing loudly on.
+pub fn record_sheet_bench(result: SheetBenchResult) {
+    let path = sheet_bench_path();
+    let mut rows: Vec<SheetBenchResult> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_sheet.json parses"),
+        Err(_) => Vec::new(),
+    };
+    println!(
+        "bench {}: {} cells ({} formulas), full {:.0} cells/s on {} thread(s) ({:.2}x vs serial, {} cpu(s)), incremental {:.0} edits/s ({:.0}x a rebuild), {} cut",
+        result.name,
+        result.cells,
+        result.formulas,
+        result.full_cells_per_sec,
+        result.threads,
+        result.parallel_speedup,
+        result.cpus,
+        result.incremental_edits_per_sec,
+        result.incremental_speedup,
+        result.cutoff_cut_cells
+    );
+    match rows.iter_mut().find(|row| row.name == result.name) {
+        Some(row) => *row = result,
+        None => rows.push(result),
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let text = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&path, text + "\n").expect("BENCH_sheet.json writes");
+}
+
 /// One row of `BENCH_obs.json`: the same sweep batch timed with the
 /// observability spans enabled (the default) and disabled
 /// (`monityre_obs::set_enabled(false)`), to guard the instrumentation
@@ -511,6 +599,31 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].name, "round-trip");
         assert_eq!(back[0].points, 196);
+    }
+
+    #[test]
+    fn sheet_bench_rows_round_trip() {
+        let row = SheetBenchResult {
+            name: "sheet-round-trip".into(),
+            cells: 1536,
+            formulas: 1280,
+            edits: 64,
+            batches: 2,
+            threads: 4,
+            cpus: 4,
+            full_cells_per_sec: 1_000_000.0,
+            incremental_edits_per_sec: 40_000.0,
+            incremental_speedup: 51.2,
+            cutoff_cut_cells: 8192,
+            parallel_speedup: 2.4,
+        };
+        let json = serde_json::to_string(&vec![row]).unwrap();
+        let back: Vec<SheetBenchResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "sheet-round-trip");
+        assert_eq!(back[0].formulas, 1280);
+        assert_eq!(back[0].cutoff_cut_cells, 8192);
+        assert!(back[0].incremental_speedup > 10.0);
     }
 
     #[test]

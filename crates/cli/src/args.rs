@@ -30,10 +30,13 @@ impl fmt::Display for CliError {
 impl Error for CliError {}
 
 /// Parsed `--flag value` pairs. Values are kept as text and converted on
-/// access; boolean flags hold an empty value.
+/// access; boolean flags hold an empty value. A flag given more than once
+/// keeps every occurrence in order: the scalar accessors read the last
+/// one (so overrides compose left to right), and [`Args::texts`] exposes
+/// the full list for repeatable flags such as `sheet --set`.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
-    values: BTreeMap<String, String>,
+    values: BTreeMap<String, Vec<String>>,
     consumed: std::cell::RefCell<Vec<String>>,
 }
 
@@ -44,7 +47,7 @@ impl Args {
     ///
     /// Returns [`CliError`] for tokens that are not `--flag`-shaped.
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
-        let mut values = BTreeMap::new();
+        let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
         let mut i = 0;
         while i < argv.len() {
             let token = &argv[i];
@@ -60,11 +63,14 @@ impl Args {
             // value; otherwise it is a boolean flag.
             match argv.get(i + 1) {
                 Some(v) if !v.starts_with("--") => {
-                    values.insert(name.to_owned(), v.clone());
+                    values.entry(name.to_owned()).or_default().push(v.clone());
                     i += 2;
                 }
                 _ => {
-                    values.insert(name.to_owned(), String::new());
+                    values
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(String::new());
                     i += 1;
                 }
             }
@@ -79,6 +85,12 @@ impl Args {
         self.consumed.borrow_mut().push(name.to_owned());
     }
 
+    /// The last occurrence of a flag, if any. Scalar accessors all read
+    /// through here so a repeated flag means "last one wins".
+    fn last(&self, name: &str) -> Option<&String> {
+        self.values.get(name).and_then(|v| v.last())
+    }
+
     /// A numeric flag with a default.
     ///
     /// # Errors
@@ -86,7 +98,7 @@ impl Args {
     /// Returns [`CliError`] when present but unparsable.
     pub fn number(&self, name: &str, default: f64) -> Result<f64, CliError> {
         self.note(name);
-        match self.values.get(name) {
+        match self.last(name) {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
@@ -101,7 +113,7 @@ impl Args {
     /// Returns [`CliError`] when present but unparsable or non-positive.
     pub fn count(&self, name: &str, default: usize) -> Result<usize, CliError> {
         self.note(name);
-        match self.values.get(name) {
+        match self.last(name) {
             None => Ok(default),
             Some(raw) => {
                 let n: usize = raw.parse().map_err(|_| {
@@ -119,8 +131,7 @@ impl Args {
     #[must_use]
     pub fn text(&self, name: &str, default: &str) -> String {
         self.note(name);
-        self.values
-            .get(name)
+        self.last(name)
             .cloned()
             .unwrap_or_else(|| default.to_owned())
     }
@@ -129,7 +140,15 @@ impl Args {
     #[must_use]
     pub fn text_opt(&self, name: &str) -> Option<String> {
         self.note(name);
-        self.values.get(name).cloned()
+        self.last(name).cloned()
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    /// Absent flags yield an empty list.
+    #[must_use]
+    pub fn texts(&self, name: &str) -> Vec<String> {
+        self.note(name);
+        self.values.get(name).cloned().unwrap_or_default()
     }
 
     /// A boolean flag.
@@ -229,6 +248,16 @@ mod tests {
         // `-20` does not start with `--`, so it is a value.
         let args = parse("--temp -20");
         assert_eq!(args.number("temp", 0.0).unwrap(), -20.0);
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_in_order() {
+        let args = parse("--set a=1 --set b=2 --set a=3 --speed 40 --speed 60");
+        assert_eq!(args.texts("set"), vec!["a=1", "b=2", "a=3"]);
+        // Scalar reads of a repeated flag take the last occurrence.
+        assert_eq!(args.number("speed", 0.0).unwrap(), 60.0);
+        assert!(args.texts("missing").is_empty());
+        assert!(args.finish().is_ok());
     }
 
     #[test]

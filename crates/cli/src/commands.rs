@@ -406,21 +406,47 @@ pub(crate) fn vehicle(args: &Args) -> Result<String, CliError> {
 }
 
 /// `monityre sheet` — the dynamic spreadsheet.
+///
+/// `--set name=value` (repeatable, applied in order) edits cells before
+/// the table is printed: a numeric right-hand side writes a literal, any
+/// other text is parsed as a formula. Recompute runs on the compiled
+/// engine with wide levels fanned across `--threads` workers.
 pub(crate) fn sheet(args: &Args) -> Result<String, CliError> {
     let explain = args.text_opt("explain");
-    executor_from(args)?; // cell evaluation is serial; the flag is still accepted
+    let edits = args.texts("set");
+    let executor = executor_from(args)?;
     let conditions = args.conditions()?;
     args.finish()?;
 
     let architecture = Architecture::reference();
     let db = architecture.database().clone();
     let mut sheet = PowerSheet::new(&db).map_err(eval_error)?;
+    monityre_core::install_parallel_recompute(sheet.sheet_mut(), executor);
     sheet
         .set_temperature(conditions.temperature(), &db)
         .map_err(eval_error)?;
     sheet
         .set_supply(conditions.supply(), &db)
         .map_err(eval_error)?;
+    for spec in &edits {
+        let Some((name, raw)) = spec.split_once('=') else {
+            return Err(CliError::new(format!(
+                "flag --set: `{spec}` is not `cell=value` or `cell=formula`"
+            )));
+        };
+        let (name, raw) = (name.trim(), raw.trim());
+        if name.is_empty() || raw.is_empty() {
+            return Err(CliError::new(format!(
+                "flag --set: `{spec}` needs a cell name and a value"
+            )));
+        }
+        if let Ok(value) = raw.parse::<f64>() {
+            sheet.sheet_mut().set_number(name, value)
+        } else {
+            sheet.sheet_mut().set_formula(name, raw)
+        }
+        .map_err(|e| CliError::new(format!("flag --set {spec}: {e}")))?;
+    }
 
     let mut out = String::new();
     let mut table = Table::new(vec!["cell", "value"]);
@@ -429,6 +455,14 @@ pub(crate) fn sheet(args: &Args) -> Result<String, CliError> {
         table.row(vec![name.to_owned(), format!("{value:.4}")]);
     }
     out.push_str(&table.to_string());
+    if !edits.is_empty() {
+        let stats = sheet.sheet().last_recompute();
+        let _ = writeln!(
+            out,
+            "last edit: {} cell(s) recomputed, {} cut by value, {} level(s)",
+            stats.evaluated, stats.cut, stats.levels
+        );
+    }
     if let Some(cell) = explain {
         out.push('\n');
         out.push_str(&sheet.sheet().explain(&cell).map_err(eval_error)?);

@@ -11,7 +11,7 @@
 //! monityre emulate   [--cycle urban|eudc|wltc|nedc] [--repeat 1] [--cap-mf 47]
 //! monityre optimize  [--speed 30] [--policy aware|naive]
 //! monityre flow      [--speed 30]
-//! monityre sheet     [--temp 27] [--explain node.active_uw]
+//! monityre sheet     [--temp 27] [--set cell=value]... [--explain node.active_uw]
 //! monityre serve     [--bind 127.0.0.1] [--port 0] [--workers 2]
 //!                    [--queue 64] [--cache 16] [--dedup 256]
 //!                    [--faults SEED:KIND=P,...] [--announce /tmp/addr]
@@ -21,6 +21,7 @@
 //!                    [--retry] [--retry-attempts 8] [--retry-backoff-ms 10]
 //!                    [--retry-deadline-ms 60000] [--retry-seed N] [--idem K]
 //!                    [--trace TRACE:SPAN]
+//!                    [--cell NAME] [--value V | --formula EXPR]   (sheet ops)
 //! monityre obs       --addr HOST:PORT [--prometheus] [--dump]
 //! monityre obs trace TRACE_ID --from /tmp/dump.jsonl
 //! ```
@@ -214,6 +215,38 @@ mod tests {
         let out = run_line("sheet --temp 85 --explain node.leak_uw").unwrap();
         assert!(out.contains("node.leak_uw"));
         assert!(out.contains("└─"));
+    }
+
+    /// `--set` is repeatable and applied in order: a numeric right-hand
+    /// side is a literal, anything else a formula; the recompute summary
+    /// line reports the compiled engine's wave counters.
+    #[test]
+    fn sheet_set_edits_cells_in_order() {
+        let out =
+            run_line("sheet --set what_if.base=2 --set what_if.double=what_if.base*2 --threads 2")
+                .unwrap();
+        assert!(out.contains("what_if.base"), "{out}");
+        assert!(out.contains("4.0000"), "{out}");
+        assert!(out.contains("recomputed"), "{out}");
+    }
+
+    #[test]
+    fn sheet_rejects_malformed_set_specs() {
+        let err = run_line("sheet --set nonsense").unwrap_err();
+        assert!(err.to_string().contains("--set"), "{err}");
+        let err = run_line("sheet --set no.such.cell=oops+1").unwrap_err();
+        assert!(err.to_string().contains("no.such.cell"), "{err}");
+    }
+
+    #[test]
+    fn request_local_sheet_ops_round_trip() {
+        let out =
+            run_line("request --local --op sheet_edit --cell what_if.base --value 2.5 --id 11")
+                .unwrap();
+        assert!(out.contains("SheetEdit"), "{out}");
+        assert!(out.contains("\"id\":11"), "{out}");
+        let out = run_line("request --local --op sheet_eval --cell node.active_uw").unwrap();
+        assert!(out.contains("SheetEval"), "{out}");
     }
 
     #[test]

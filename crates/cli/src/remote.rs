@@ -474,6 +474,11 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     request.params.cycle = args.text_opt("cycle");
     request.params.repeat = parse_opt(args, "repeat")?;
     request.params.cap_mf = parse_opt(args, "cap-mf")?;
+    // The stateful sheet ops: `--cell` names the target for both, and a
+    // sheet_edit carries either `--value` (literal) or `--formula`.
+    request.params.cell = args.text_opt("cell");
+    request.params.value = parse_opt(args, "value")?;
+    request.params.formula = args.text_opt("formula");
     args.finish()?;
 
     let raw = if local {

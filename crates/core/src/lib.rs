@@ -61,6 +61,7 @@ mod lifetime;
 mod montecarlo;
 pub mod report;
 mod scenario;
+mod sheet_par;
 mod trace;
 mod vehicle;
 mod workbook;
@@ -79,6 +80,7 @@ pub use governor::{GovernedReport, Governor, GovernorLevel};
 pub use lifetime::{LifetimeEstimator, LifetimeReport, UsagePattern};
 pub use montecarlo::{BreakEvenDistribution, MonteCarlo, VariationModel};
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use sheet_par::{install_parallel_recompute, SweepLevelMap};
 pub use trace::{InstantTrace, TraceSample};
 pub use vehicle::{CornerSetup, VehicleEmulator, VehicleReport, WheelPosition};
 pub use workbook::EnergyWorkbook;

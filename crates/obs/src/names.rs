@@ -39,6 +39,14 @@ pub const SERVE_DEDUP: &str = "serve.dedup";
 /// Write-back span: committing a finished response to the dedup map.
 pub const SERVE_WRITEBACK: &str = "serve.writeback";
 
+/// One spreadsheet recompute wave triggered by a served `sheet_edit`
+/// (span name in the trace tree; histogram in the server's registry).
+pub const SHEET_RECOMPUTE: &str = "sheet.recompute";
+
+/// Cells whose recomputed value was bit-equal to the old one during
+/// served sheet recomputes — propagation stopped there (value cutoff).
+pub const SHEET_CELLS_CUT: &str = "sheet.cells_cut";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +63,8 @@ mod tests {
             SERVE_EXECUTE,
             SERVE_DEDUP,
             SERVE_WRITEBACK,
+            SHEET_RECOMPUTE,
+            SHEET_CELLS_CUT,
         ];
         for (i, name) in all.iter().enumerate() {
             assert!(name

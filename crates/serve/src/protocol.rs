@@ -35,6 +35,13 @@ pub enum Op {
     Montecarlo,
     /// Long-window emulation over a named driving cycle.
     Emulate,
+    /// One edit against the server's shared compiled workbook: set a cell
+    /// to a literal (`params.value`) or a formula (`params.formula`) and
+    /// recompute its dependents incrementally (queued like evaluations;
+    /// idempotent, so `DedupMap` replay is safe).
+    SheetEdit,
+    /// Read one cell of the server's shared compiled workbook.
+    SheetEval,
     /// Server statistics snapshot (handled inline, never queued).
     Stats,
     /// Prometheus text exposition of the server's metric registry
@@ -53,12 +60,14 @@ pub enum Op {
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 10] = [
+    pub const ALL: [Op; 12] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
         Op::Montecarlo,
         Op::Emulate,
+        Op::SheetEdit,
+        Op::SheetEval,
         Op::Stats,
         Op::Metrics,
         Op::Ping,
@@ -75,6 +84,8 @@ impl Op {
             Op::Sweep => "sweep",
             Op::Montecarlo => "montecarlo",
             Op::Emulate => "emulate",
+            Op::SheetEdit => "sheet_edit",
+            Op::SheetEval => "sheet_eval",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
             Op::Ping => "ping",
@@ -341,6 +352,15 @@ pub struct Params {
     /// Supercap size in millifarads for `emulate` (default 47).
     #[serde(default)]
     pub cap_mf: Option<f64>,
+    /// Target cell for `sheet_edit` / `sheet_eval` (required for both).
+    #[serde(default)]
+    pub cell: Option<String>,
+    /// Literal value for `sheet_edit` (exclusive with `formula`).
+    #[serde(default)]
+    pub value: Option<f64>,
+    /// Formula source text for `sheet_edit` (exclusive with `value`).
+    #[serde(default)]
+    pub formula: Option<String>,
 }
 
 /// One request line.
@@ -466,6 +486,36 @@ impl Request {
                     return Err(format!("cap_mf: {cap} must be positive"));
                 }
             }
+            Op::SheetEdit => {
+                if p.cell.as_deref().unwrap_or("").is_empty() {
+                    return Err("cell: sheet_edit requires a target cell".to_owned());
+                }
+                match (p.value, p.formula.as_deref()) {
+                    (Some(value), None) => {
+                        if !value.is_finite() {
+                            return Err(format!("value: {value} is not finite"));
+                        }
+                    }
+                    (None, Some(formula)) => {
+                        if formula.trim().is_empty() {
+                            return Err("formula: must not be empty".to_owned());
+                        }
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err(
+                            "sheet_edit takes either `value` or `formula`, not both".to_owned()
+                        );
+                    }
+                    (None, None) => {
+                        return Err("sheet_edit requires `value` or `formula`".to_owned());
+                    }
+                }
+            }
+            Op::SheetEval => {
+                if p.cell.as_deref().unwrap_or("").is_empty() {
+                    return Err("cell: sheet_eval requires a cell".to_owned());
+                }
+            }
             Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => {}
         }
         Ok(())
@@ -529,6 +579,25 @@ pub enum Payload {
         spilled_j: f64,
         /// Emulated span in seconds.
         span_s: f64,
+    },
+    /// One applied workbook edit plus its recompute-wave counters.
+    SheetEdit {
+        /// The edited cell.
+        cell: String,
+        /// The cell's value after the edit.
+        value: f64,
+        /// Formula cells the recompute wave evaluated.
+        evaluated: u64,
+        /// Cells cut by value cutoff (bit-equal result stopped
+        /// propagation there).
+        cut: u64,
+    },
+    /// One workbook cell read.
+    SheetEval {
+        /// The read cell.
+        cell: String,
+        /// Its current value.
+        value: f64,
     },
     /// Server statistics.
     Stats(StatsSnapshot),

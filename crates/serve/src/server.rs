@@ -104,6 +104,7 @@ impl ServerConfig {
                 lru: crate::worker::ScenarioLru::new(self.cache_capacity),
                 stats: Arc::new(Stats::new()),
                 dedup: DedupMap::new(self.dedup_capacity),
+                sheet: std::sync::Mutex::new(crate::worker::reference_sheet(executor)),
             },
             faults,
         });

@@ -37,6 +37,7 @@ pub(crate) struct Stats {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     dedup_hits: Arc<Counter>,
+    sheet_cells_cut: Arc<Counter>,
     /// Exact-rank window over recent service times: the pinned
     /// `p50_ms`/`p99_ms` wire fields must not move to bucket estimates.
     service: Reservoir,
@@ -55,6 +56,7 @@ impl Stats {
             cache_hits: counter("serve.cache_hits"),
             cache_misses: counter("serve.cache_misses"),
             dedup_hits: counter(monityre_obs::names::SERVE_DEDUP_HITS),
+            sheet_cells_cut: counter(monityre_obs::names::SHEET_CELLS_CUT),
             service: Reservoir::new(),
             registry,
         }
@@ -128,6 +130,16 @@ impl Stats {
     /// re-executing.
     pub(crate) fn record_dedup_hit(&self) {
         self.dedup_hits.inc();
+    }
+
+    /// A `sheet_edit` recompute wave finished: `elapsed` goes into the
+    /// `sheet.recompute` histogram (exemplar-stamped like the phase
+    /// histograms) and `cut` cells accumulate into `sheet.cells_cut`.
+    pub(crate) fn record_sheet_recompute(&self, elapsed: Duration, cut: u64) {
+        self.registry
+            .histogram(monityre_obs::names::SHEET_RECOMPUTE)
+            .record_traced(elapsed, current_trace_id());
+        self.sheet_cells_cut.add(cut);
     }
 
     /// A self-consistent (per counter; relaxed across counters) snapshot.

@@ -20,11 +20,13 @@ use monityre_core::{
 };
 use monityre_faults::{FaultKind, FaultPlan};
 use monityre_harvest::Supercap;
+use monityre_node::Architecture;
 use monityre_profile::named_cycle;
+use monityre_sheet::PowerSheet;
 use monityre_units::{Capacitance, Resistance, Speed, Voltage};
 
 use crate::dedup::{Begin, DedupMap};
-use crate::protocol::{ErrorCode, Payload, Request, Response, ScenarioSpec};
+use crate::protocol::{ErrorCode, Op, Payload, Request, Response, ScenarioSpec};
 use crate::stats::Stats;
 
 /// Per-warm-scenario speed-memo capacity. Repeated requests against the
@@ -149,6 +151,26 @@ pub(crate) struct Engine {
     pub(crate) lru: ScenarioLru,
     pub(crate) stats: Arc<Stats>,
     pub(crate) dedup: DedupMap,
+    /// The shared compiled workbook the `sheet_edit`/`sheet_eval` ops
+    /// serve. One mutex, not per-cell locking: edits are short (a
+    /// compiled incremental wave) and must serialize anyway to keep the
+    /// workbook state — and dedup replays of it — deterministic.
+    pub(crate) sheet: Mutex<PowerSheet>,
+}
+
+/// Builds the workbook a server (or the in-process [`evaluate`] helper)
+/// hosts: the reference architecture's power database bound onto a
+/// sheet, compiled, with parallel level recompute installed over
+/// `executor`.
+pub(crate) fn reference_sheet(executor: SweepExecutor) -> PowerSheet {
+    let mut sheet =
+        PowerSheet::new(Architecture::reference().database()).expect("reference workbook builds");
+    monityre_core::install_parallel_recompute(sheet.sheet_mut(), executor);
+    sheet
+        .sheet_mut()
+        .compile()
+        .expect("reference workbook compiles");
+    sheet
 }
 
 impl Engine {
@@ -231,6 +253,35 @@ impl Engine {
     /// first executions and (absent an `idem` key) every request.
     fn execute(&self, job: &Job) -> Response {
         let id = job.request.id;
+        if matches!(job.request.op, Op::SheetEdit | Op::SheetEval) {
+            // Sheet ops hit the shared workbook, not a scenario: no LRU.
+            let exec_start = Instant::now();
+            let result = {
+                let mut sheet = self.sheet.lock().expect("sheet lock");
+                run_sheet_op(&job.request, &mut sheet)
+            };
+            return match result {
+                Ok(payload) => {
+                    let elapsed = exec_start.elapsed();
+                    self.stats.record_execute(elapsed);
+                    monityre_obs::record_phase(
+                        monityre_obs::names::SERVE_EXECUTE,
+                        exec_start,
+                        elapsed,
+                    );
+                    if let Payload::SheetEdit { cut, .. } = &payload {
+                        self.stats.record_sheet_recompute(elapsed, *cut);
+                    }
+                    self.stats
+                        .record_served(job.request.op.name(), job.received.elapsed());
+                    Response::success(id, payload)
+                }
+                Err((code, message)) => {
+                    self.record_failure(code);
+                    Response::failure(id, code, message)
+                }
+            };
+        }
         let cached = match self.lru.get_or_build(&job.request.scenario, &self.stats) {
             Ok(cached) => cached,
             Err((code, message)) => {
@@ -316,6 +367,61 @@ pub(crate) fn worker_loop(
     }
 }
 
+/// Runs a `sheet_edit` / `sheet_eval` against a workbook. Shared by the
+/// worker pool (the server's long-lived sheet, under its mutex) and the
+/// in-process [`evaluate`] helper (a fresh reference workbook), so both
+/// produce identical payloads for identical workbook states.
+///
+/// Edits are idempotent by construction — re-applying the same edit
+/// leaves the same state (the second literal write is a pure cutoff) —
+/// which is what makes `DedupMap` replay safe for a *stateful* op.
+pub(crate) fn run_sheet_op(
+    request: &Request,
+    sheet: &mut PowerSheet,
+) -> Result<Payload, (ErrorCode, String)> {
+    let p = &request.params;
+    let cell = p.cell.as_deref().unwrap_or_default();
+    match request.op {
+        Op::SheetEdit => {
+            let _span = monityre_obs::span(monityre_obs::names::SHEET_RECOMPUTE);
+            let outcome = if let Some(value) = p.value {
+                sheet.sheet_mut().set_number(cell, value)
+            } else if let Some(formula) = p.formula.as_deref() {
+                sheet.sheet_mut().set_formula(cell, formula)
+            } else {
+                return Err((
+                    ErrorCode::BadRequest,
+                    "sheet_edit requires `value` or `formula`".to_owned(),
+                ));
+            };
+            outcome.map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            let wave = sheet.sheet().last_recompute();
+            let value = sheet
+                .value(cell)
+                .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            Ok(Payload::SheetEdit {
+                cell: cell.to_owned(),
+                value,
+                evaluated: wave.evaluated,
+                cut: wave.cut,
+            })
+        }
+        Op::SheetEval => {
+            let value = sheet
+                .value(cell)
+                .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            Ok(Payload::SheetEval {
+                cell: cell.to_owned(),
+                value,
+            })
+        }
+        _ => Err((
+            ErrorCode::BadRequest,
+            format!("op `{}` is not a sheet operation", request.op.name()),
+        )),
+    }
+}
+
 /// Runs the request's operation against a warm scenario, polling
 /// `cancelled` at chunk boundaries; `Ok(None)` means the deadline fired.
 fn run_op<C: Fn() -> bool + Sync>(
@@ -324,7 +430,6 @@ fn run_op<C: Fn() -> bool + Sync>(
     executor: &SweepExecutor,
     cancelled: &C,
 ) -> Result<Option<Payload>, (ErrorCode, String)> {
-    use crate::protocol::Op;
     if cancelled() {
         return Ok(None);
     }
@@ -413,6 +518,12 @@ fn run_op<C: Fn() -> bool + Sync>(
                 span_s: report.span.secs(),
             }))
         }
+        // Sheet ops never reach here: `Engine::execute` and `evaluate`
+        // dispatch them to `run_sheet_op` before any scenario lookup.
+        Op::SheetEdit | Op::SheetEval => Err((
+            ErrorCode::BadRequest,
+            format!("op `{}` does not take a scenario", request.op.name()),
+        )),
         Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => Err((
             ErrorCode::BadRequest,
             format!("op `{}` is a control operation", request.op.name()),
@@ -439,8 +550,14 @@ pub fn evaluate(
     request
         .validate()
         .map_err(|message| (ErrorCode::BadRequest, message))?;
-    if request.op == crate::protocol::Op::Ping {
+    if request.op == Op::Ping {
         return Ok(Payload::Pong);
+    }
+    if matches!(request.op, Op::SheetEdit | Op::SheetEval) {
+        // A fresh reference workbook per call: the payload matches what a
+        // freshly-started server answers for the same request.
+        let mut sheet = reference_sheet(*executor);
+        return run_sheet_op(request, &mut sheet);
     }
     let cached = CachedScenario::build(&request.scenario)?;
     run_op(request, &cached, executor, &|| false)

@@ -454,3 +454,95 @@ fn hopeless_plans_classify_and_drain() {
     }
     handle.shutdown();
 }
+
+/// The stateful sheet ops under chaos: edits are applied exactly once
+/// (dedup replay, never re-execution), every response is byte-stable
+/// against the precomputed ground truth, and the workbook state the
+/// faults raced over ends up exactly where a fault-free run ends.
+#[test]
+fn sheet_edits_are_dedup_replay_safe_under_chaos() {
+    use monityre_serve::Payload;
+    quiet_injected_panics();
+    for seed in PINNED_SEEDS {
+        let plan = fast(FaultPlan::parse(&format!("{seed}:{MIXED_STORM}")).expect("spec parses"));
+        let config = ServerConfig {
+            faults: Some(Arc::new(plan)),
+            ..ServerConfig::default()
+        };
+        let handle = config.start().expect("server starts");
+        let mut client = RetryingClient::new(handle.addr(), chaos_policy(seed));
+
+        let mut base = Request::new(Op::SheetEdit).with_id(1);
+        base.params.cell = Some("what_if.base".to_owned());
+        base.params.value = Some(2.5);
+        let mut double = Request::new(Op::SheetEdit).with_id(2);
+        double.params.cell = Some("what_if.double".to_owned());
+        double.params.formula = Some("what_if.base * 2".to_owned());
+        let mut read = Request::new(Op::SheetEval).with_id(3);
+        read.params.cell = Some("what_if.double".to_owned());
+        let mut rewrite = Request::new(Op::SheetEdit).with_id(4);
+        rewrite.params.cell = Some("what_if.base".to_owned());
+        rewrite.params.value = Some(2.5);
+
+        // Ground truth: what a fault-free server answers for this exact
+        // sequence. The rewrite is a pure cutoff *only if* the first edit
+        // was applied exactly once — a double-applied retry would still
+        // yield these bytes, so the served-counter check below closes
+        // that hole.
+        let script = [
+            (
+                &base,
+                Payload::SheetEdit {
+                    cell: "what_if.base".to_owned(),
+                    value: 2.5,
+                    evaluated: 0,
+                    cut: 0,
+                },
+            ),
+            (
+                &double,
+                Payload::SheetEdit {
+                    cell: "what_if.double".to_owned(),
+                    value: 5.0,
+                    evaluated: 0,
+                    cut: 0,
+                },
+            ),
+            (
+                &read,
+                Payload::SheetEval {
+                    cell: "what_if.double".to_owned(),
+                    value: 5.0,
+                },
+            ),
+            (
+                &rewrite,
+                Payload::SheetEdit {
+                    cell: "what_if.base".to_owned(),
+                    value: 2.5,
+                    evaluated: 0,
+                    cut: 1,
+                },
+            ),
+        ];
+        for (request, payload) in script {
+            let expected = serde_json::to_string(&Response::success(request.id, payload))
+                .expect("response serializes");
+            let raw = client.call_raw(request).unwrap_or_else(|e| {
+                panic!("seed {seed} id {:?}: {e}", request.id);
+            });
+            assert_eq!(
+                raw, expected,
+                "seed {seed} id {:?}: sheet bytes must be stable under faults",
+                request.id
+            );
+        }
+        let stats = handle.stats();
+        assert_eq!(
+            stats.served, 4,
+            "seed {seed}: every sheet op executed exactly once"
+        );
+        assert_eq!(stats.eval_failed, 0, "seed {seed}");
+        handle.shutdown();
+    }
+}

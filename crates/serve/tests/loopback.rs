@@ -413,3 +413,101 @@ fn scenario_overrides_travel_the_wire() {
     );
     handle.shutdown();
 }
+
+#[test]
+fn sheet_ops_serve_the_shared_workbook() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A read of the untouched workbook is byte-identical to evaluating
+    // the same request in-process against a fresh reference workbook.
+    let mut read = Request::new(Op::SheetEval).with_id(1);
+    read.params.cell = Some("node.active_uw".to_owned());
+    assert_eq!(
+        client.request_raw(&read).expect("eval"),
+        expected_line(&read)
+    );
+
+    // So is the first edit (the server's workbook is still pristine).
+    let mut edit = Request::new(Op::SheetEdit).with_id(2);
+    edit.params.cell = Some("what_if.base".to_owned());
+    edit.params.value = Some(2.0);
+    assert_eq!(
+        client.request_raw(&edit).expect("edit"),
+        expected_line(&edit)
+    );
+
+    // A formula over the new cell, then a dependent-triggering edit: the
+    // recompute wave's counters travel in the payload.
+    let mut formula = Request::new(Op::SheetEdit).with_id(3);
+    formula.params.cell = Some("what_if.double".to_owned());
+    formula.params.formula = Some("what_if.base * 2".to_owned());
+    let response = client.request(&formula).expect("formula");
+    let Some(Payload::SheetEdit { value, .. }) = response.ok else {
+        panic!("unexpected response: {response:?}");
+    };
+    assert_eq!(value, 4.0);
+
+    let mut bump = Request::new(Op::SheetEdit).with_id(4);
+    bump.params.cell = Some("what_if.base".to_owned());
+    bump.params.value = Some(3.0);
+    let response = client.request(&bump).expect("bump");
+    let Some(Payload::SheetEdit { evaluated, cut, .. }) = response.ok else {
+        panic!("unexpected response: {response:?}");
+    };
+    assert_eq!((evaluated, cut), (1, 0), "one dependent recomputed");
+
+    let mut read_double = Request::new(Op::SheetEval).with_id(5);
+    read_double.params.cell = Some("what_if.double".to_owned());
+    let response = client.request(&read_double).expect("read");
+    let Some(Payload::SheetEval { value, .. }) = response.ok else {
+        panic!("unexpected response: {response:?}");
+    };
+    assert_eq!(value, 6.0);
+
+    // A bit-identical rewrite is a pure cutoff over the wire: zero
+    // dependents recomputed.
+    let mut noop = bump.clone();
+    noop.id = Some(6);
+    let response = client.request(&noop).expect("noop");
+    let Some(Payload::SheetEdit {
+        value,
+        evaluated,
+        cut,
+        ..
+    }) = response.ok
+    else {
+        panic!("unexpected response: {response:?}");
+    };
+    assert_eq!((value, evaluated, cut), (3.0, 0, 1));
+
+    // Dedup replay: the same idempotency key answers byte-identically
+    // without re-executing the (stateful!) edit.
+    let mut keyed = Request::new(Op::SheetEdit).with_id(7).with_idem(0x5eed);
+    keyed.params.cell = Some("what_if.base".to_owned());
+    keyed.params.value = Some(9.5);
+    let first = client.request_raw(&keyed).expect("keyed edit");
+    let replay = client.request_raw(&keyed).expect("keyed replay");
+    assert_eq!(first, replay, "replay must be byte-identical");
+    assert!(handle.stats().dedup_hits >= 1);
+
+    // Validation failures come back as structured bad_request errors.
+    let no_cell = Request::new(Op::SheetEdit).with_id(8);
+    let response = client.request(&no_cell).expect("bad edit");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+    let mut both = Request::new(Op::SheetEdit).with_id(9);
+    both.params.cell = Some("what_if.base".to_owned());
+    both.params.value = Some(1.0);
+    both.params.formula = Some("1 + 1".to_owned());
+    let response = client.request(&both).expect("ambiguous edit");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+
+    // The sheet metrics are live in the Prometheus exposition.
+    let text = handle.prometheus_text();
+    assert!(text.contains("monityre_sheet_cells_cut"), "{text}");
+    assert!(
+        text.contains("monityre_sheet_recompute_seconds_count"),
+        "{text}"
+    );
+    handle.shutdown();
+}

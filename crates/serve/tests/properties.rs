@@ -88,6 +88,9 @@ fn arb_params() -> BoxedStrategy<Params> {
                 cycle,
                 repeat,
                 cap_mf,
+                cell: None,
+                value: None,
+                formula: None,
             },
         )
         .boxed()

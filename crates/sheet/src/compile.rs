@@ -1,0 +1,493 @@
+//! Compiling formulas to stack bytecode.
+//!
+//! The engine's recalc loop used to walk the [`Expr`] tree for every
+//! evaluation. This module lowers each formula once into a flat
+//! [`Program`] — a stack-machine bytecode — that a register-free [`Vm`]
+//! replays per recompute. The lowering is *semantics-preserving to the
+//! bit*: every arithmetic step is the same `f64` operation, in the same
+//! order, as the interpreter in [`Expr::eval`], including the lazy `if`
+//! (compiled to conditional jumps so the untaken branch never executes).
+//!
+//! Cell references are resolved through a slot table: `Load(i)` reads the
+//! value of the `i`-th entry of [`Program::cells`]. The engine maps those
+//! slots to cell ids once per graph rebuild, so the hot loop never touches
+//! a string.
+
+use std::fmt;
+
+use crate::formula::{BinOp, Expr, Func};
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Inst {
+    /// Push a constant.
+    Const(f64),
+    /// Push the value of referenced-cell slot `i` (see [`Program::cells`]).
+    Load(u32),
+    /// Negate the top of stack.
+    Neg,
+    /// Pop two values, push the binary result.
+    Bin(BinOp),
+    /// Pop one value, push the unary function result.
+    Unary(Unary),
+    /// Fold the top `argc` values with a variadic reduction.
+    Fold(Fold, u32),
+    /// Pop `hi`, `lo`, `x`; push `x.clamp(lo.min(hi), hi.max(lo))`.
+    Clamp,
+    /// Pop the condition; jump to the absolute target when it equals zero
+    /// (the `else` edge of a lazy `if`).
+    JumpIfZero(u32),
+    /// Unconditional jump (the `end` edge after a taken `then` branch).
+    Jump(u32),
+}
+
+/// Unary scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unary {
+    Abs,
+    Sqrt,
+    Exp,
+    Ln,
+    Exp2,
+}
+
+/// Variadic reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fold {
+    Min,
+    Max,
+    Sum,
+}
+
+/// A compiled formula: flat bytecode plus the referenced-cell slot table.
+///
+/// Programs are immutable once compiled; the engine caches one per formula
+/// cell (keyed by the cell, invalidated when the formula is edited) and
+/// shares it across graph rebuilds via `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    code: Vec<Inst>,
+    cells: Vec<String>,
+    max_stack: usize,
+}
+
+impl Program {
+    /// The referenced cells, in `Load`-slot order (deduplicated).
+    #[must_use]
+    pub fn cells(&self) -> &[String] {
+        &self.cells
+    }
+
+    /// Instruction count (for diagnostics and size accounting).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program has no instructions (never true for a program
+    /// produced by [`compile`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The operand-stack high-water mark, so a [`Vm`] can pre-size its
+    /// stack and never reallocate mid-run.
+    #[must_use]
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
+    /// Convenience one-shot evaluation: runs the program on a fresh [`Vm`]
+    /// with `resolve` mapping referenced-cell slots to values.
+    #[must_use]
+    pub fn run(&self, resolve: impl Fn(usize) -> f64) -> f64 {
+        Vm::new().run(self, resolve)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.code.iter().enumerate() {
+            match inst {
+                Inst::Const(v) => writeln!(f, "{pc:4}  const {v}")?,
+                Inst::Load(slot) => {
+                    writeln!(f, "{pc:4}  load  {} ; {}", slot, self.cells[*slot as usize])?;
+                }
+                Inst::Neg => writeln!(f, "{pc:4}  neg")?,
+                Inst::Bin(op) => writeln!(f, "{pc:4}  bin   {op:?}")?,
+                Inst::Unary(u) => writeln!(f, "{pc:4}  un    {u:?}")?,
+                Inst::Fold(fold, n) => writeln!(f, "{pc:4}  fold  {fold:?} x{n}")?,
+                Inst::Clamp => writeln!(f, "{pc:4}  clamp")?,
+                Inst::JumpIfZero(t) => writeln!(f, "{pc:4}  jz    {t}")?,
+                Inst::Jump(t) => writeln!(f, "{pc:4}  jmp   {t}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers an expression to a [`Program`].
+///
+/// The pass is a straightforward post-order walk: operands first, operator
+/// after, `if` via a `JumpIfZero`/`Jump` diamond so the untaken branch is
+/// skipped exactly like the interpreter's lazy evaluation.
+#[must_use]
+pub fn compile(expr: &Expr) -> Program {
+    let mut builder = Builder {
+        code: Vec::new(),
+        cells: Vec::new(),
+    };
+    builder.emit(expr);
+    let max_stack = stack_high_water(expr);
+    Program {
+        code: builder.code,
+        cells: builder.cells,
+        max_stack,
+    }
+}
+
+struct Builder {
+    code: Vec<Inst>,
+    cells: Vec<String>,
+}
+
+impl Builder {
+    fn slot(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.cells.iter().position(|c| c == name) {
+            return u32::try_from(i).expect("slot table fits in u32");
+        }
+        self.cells.push(name.to_owned());
+        u32::try_from(self.cells.len() - 1).expect("slot table fits in u32")
+    }
+
+    fn emit(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Number(n) => self.code.push(Inst::Const(*n)),
+            Expr::Cell(name) => {
+                let slot = self.slot(name);
+                self.code.push(Inst::Load(slot));
+            }
+            Expr::Neg(inner) => {
+                self.emit(inner);
+                self.code.push(Inst::Neg);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.emit(lhs);
+                self.emit(rhs);
+                self.code.push(Inst::Bin(*op));
+            }
+            Expr::Call { func, args } => self.emit_call(*func, args),
+        }
+    }
+
+    fn emit_call(&mut self, func: Func, args: &[Expr]) {
+        match func {
+            Func::If => {
+                // cond; jz ELSE; then; jmp END; ELSE: else; END:
+                self.emit(&args[0]);
+                let jz_at = self.code.len();
+                self.code.push(Inst::JumpIfZero(0));
+                self.emit(&args[1]);
+                let jmp_at = self.code.len();
+                self.code.push(Inst::Jump(0));
+                let else_at = u32::try_from(self.code.len()).expect("program fits in u32");
+                self.emit(&args[2]);
+                let end_at = u32::try_from(self.code.len()).expect("program fits in u32");
+                self.code[jz_at] = Inst::JumpIfZero(else_at);
+                self.code[jmp_at] = Inst::Jump(end_at);
+            }
+            Func::Min | Func::Max | Func::Sum => {
+                for arg in args {
+                    self.emit(arg);
+                }
+                let fold = match func {
+                    Func::Min => Fold::Min,
+                    Func::Max => Fold::Max,
+                    _ => Fold::Sum,
+                };
+                let n = u32::try_from(args.len()).expect("argument count fits in u32");
+                self.code.push(Inst::Fold(fold, n));
+            }
+            Func::Abs | Func::Sqrt | Func::Exp | Func::Ln | Func::Exp2 => {
+                self.emit(&args[0]);
+                let unary = match func {
+                    Func::Abs => Unary::Abs,
+                    Func::Sqrt => Unary::Sqrt,
+                    Func::Exp => Unary::Exp,
+                    Func::Ln => Unary::Ln,
+                    _ => Unary::Exp2,
+                };
+                self.code.push(Inst::Unary(unary));
+            }
+            Func::Clamp => {
+                self.emit(&args[0]);
+                self.emit(&args[1]);
+                self.emit(&args[2]);
+                self.code.push(Inst::Clamp);
+            }
+        }
+    }
+}
+
+/// The exact operand-stack high-water mark of the compiled form of `expr`.
+fn stack_high_water(expr: &Expr) -> usize {
+    match expr {
+        Expr::Number(_) | Expr::Cell(_) => 1,
+        Expr::Neg(inner) => stack_high_water(inner),
+        Expr::Binary { lhs, rhs, .. } => stack_high_water(lhs).max(1 + stack_high_water(rhs)),
+        Expr::Call { func, args } => match func {
+            // Branches never coexist on the stack.
+            Func::If => args.iter().map(stack_high_water).max().unwrap_or(1),
+            _ => args
+                .iter()
+                .enumerate()
+                .map(|(i, arg)| i + stack_high_water(arg))
+                .max()
+                .unwrap_or(1)
+                .max(1),
+        },
+    }
+}
+
+/// A register-free stack machine executing [`Program`]s.
+///
+/// The operand stack is reused across runs, so a `Vm` held per worker
+/// amortizes the allocation over a whole level of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Vm {
+    stack: Vec<f64>,
+}
+
+impl Vm {
+    /// Creates a `Vm` with an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes `program`, resolving `Load(i)` through `resolve(i)`.
+    ///
+    /// The caller guarantees `resolve` covers every slot in
+    /// [`Program::cells`]; the engine upholds this by validating
+    /// references at edit time.
+    pub fn run(&mut self, program: &Program, resolve: impl Fn(usize) -> f64) -> f64 {
+        let stack = &mut self.stack;
+        stack.clear();
+        stack.reserve(program.max_stack);
+        let code = &program.code;
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match code[pc] {
+                Inst::Const(v) => stack.push(v),
+                Inst::Load(slot) => stack.push(resolve(slot as usize)),
+                Inst::Neg => {
+                    let v = stack.pop().expect("neg operand");
+                    stack.push(-v);
+                }
+                Inst::Bin(op) => {
+                    let b = stack.pop().expect("rhs operand");
+                    let a = stack.pop().expect("lhs operand");
+                    stack.push(match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => a / b,
+                        BinOp::Pow => a.powf(b),
+                        BinOp::Lt => f64::from(a < b),
+                        BinOp::Le => f64::from(a <= b),
+                        BinOp::Gt => f64::from(a > b),
+                        BinOp::Ge => f64::from(a >= b),
+                        BinOp::Eq => f64::from(a == b),
+                        BinOp::Ne => f64::from(a != b),
+                    });
+                }
+                Inst::Unary(u) => {
+                    let v = stack.pop().expect("unary operand");
+                    stack.push(match u {
+                        Unary::Abs => v.abs(),
+                        Unary::Sqrt => v.sqrt(),
+                        Unary::Exp => v.exp(),
+                        Unary::Ln => v.ln(),
+                        Unary::Exp2 => v.exp2(),
+                    });
+                }
+                Inst::Fold(fold, n) => {
+                    let base = stack.len() - n as usize;
+                    // Folded in argument order, from the same seed, with
+                    // the same combining function as the interpreter —
+                    // bit-identical including -0.0 and NaN behavior.
+                    let value = match fold {
+                        Fold::Min => stack[base..].iter().copied().fold(f64::INFINITY, f64::min),
+                        Fold::Max => stack[base..]
+                            .iter()
+                            .copied()
+                            .fold(f64::NEG_INFINITY, f64::max),
+                        Fold::Sum => stack[base..].iter().sum(),
+                    };
+                    stack.truncate(base);
+                    stack.push(value);
+                }
+                Inst::Clamp => {
+                    let hi = stack.pop().expect("clamp hi");
+                    let lo = stack.pop().expect("clamp lo");
+                    let x = stack.pop().expect("clamp value");
+                    stack.push(x.clamp(lo.min(hi), hi.max(lo)));
+                }
+                Inst::JumpIfZero(target) => {
+                    let cond = stack.pop().expect("branch condition");
+                    // `cond != 0.0` selects `then` in the interpreter; NaN
+                    // compares unequal to zero, so NaN falls through to
+                    // `then` here as well.
+                    if cond == 0.0 {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Inst::Jump(target) => {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        stack.pop().expect("program leaves its result on the stack")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, SheetError};
+
+    /// Compiles `src` and runs it with `bind` resolving cell references;
+    /// also evaluates the AST directly and asserts bit-identity.
+    fn run_both(src: &str, bind: &[(&str, f64)]) -> f64 {
+        let expr = parse(src).unwrap();
+        let program = compile(&expr);
+        let compiled = program.run(|slot| {
+            let name = &program.cells()[slot];
+            bind.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("unbound cell {name}"))
+        });
+        let interpreted = expr
+            .eval(&|name: &str| {
+                bind.iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| SheetError::unknown_cell(name))
+            })
+            .unwrap();
+        assert_eq!(
+            compiled.to_bits(),
+            interpreted.to_bits(),
+            "`{src}`: compiled {compiled} vs interpreted {interpreted}"
+        );
+        compiled
+    }
+
+    #[test]
+    fn arithmetic_matches_interpreter() {
+        assert_eq!(run_both("2 + 3 * 4", &[]), 14.0);
+        assert_eq!(run_both("(2 + 3) * 4", &[]), 20.0);
+        assert_eq!(run_both("2 ^ 3 ^ 2", &[]), 512.0);
+        assert_eq!(run_both("-2 ^ 2", &[]), -4.0);
+        assert_eq!(run_both("--5", &[]), 5.0);
+        assert_eq!(run_both("7 / 2 - 1", &[]), 2.5);
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        assert_eq!(run_both("3 > 2", &[]), 1.0);
+        assert_eq!(run_both("3 <= 2", &[]), 0.0);
+        assert_eq!(run_both("1 == 1", &[]), 1.0);
+        assert_eq!(run_both("1 != 1", &[]), 0.0);
+        assert_eq!(run_both("2 >= 2", &[]), 1.0);
+        assert_eq!(run_both("2 < 2", &[]), 0.0);
+    }
+
+    #[test]
+    fn functions_match_interpreter() {
+        assert_eq!(run_both("min(3, 1, 2)", &[]), 1.0);
+        assert_eq!(run_both("max(3, 1, 2)", &[]), 3.0);
+        assert_eq!(run_both("sum(1, 2, 3, 4)", &[]), 10.0);
+        assert_eq!(run_both("abs(-7)", &[]), 7.0);
+        assert_eq!(run_both("sqrt(16)", &[]), 4.0);
+        assert_eq!(run_both("exp2(3)", &[]), 8.0);
+        assert_eq!(run_both("clamp(5, 0, 2)", &[]), 2.0);
+        assert_eq!(run_both("clamp(5, 2, 0)", &[]), 2.0); // swapped bounds
+        run_both("exp(1) + ln(2)", &[]);
+    }
+
+    #[test]
+    fn if_compiles_to_lazy_branches() {
+        assert_eq!(run_both("if(2 > 1, 10, 20)", &[]), 10.0);
+        assert_eq!(run_both("if(2 < 1, 10, 20)", &[]), 20.0);
+        // The untaken branch must not execute: it loads a cell the
+        // resolver would panic on.
+        let expr = parse("if(flag, a, ghost)").unwrap();
+        let program = compile(&expr);
+        let value = program.run(|slot| match program.cells()[slot].as_str() {
+            "flag" => 1.0,
+            "a" => 5.0,
+            other => panic!("lazy branch executed: loaded {other}"),
+        });
+        assert_eq!(value, 5.0);
+    }
+
+    #[test]
+    fn nan_condition_takes_then_branch() {
+        // `NaN != 0.0` is true, so the interpreter takes `then`.
+        let v = run_both("if(n, 1, 2)", &[("n", f64::NAN)]);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn cell_slots_deduplicate() {
+        let expr = parse("a + a * b + a").unwrap();
+        let program = compile(&expr);
+        assert_eq!(program.cells(), ["a".to_owned(), "b".to_owned()]);
+        let v = program.run(|slot| [2.0, 10.0][slot]);
+        assert_eq!(v, 24.0);
+    }
+
+    #[test]
+    fn signed_zero_and_sum_seed_match() {
+        // The interpreter folds sums from 0.0, which normalizes -0.0; the
+        // VM must do exactly the same.
+        run_both("sum(z)", &[("z", -0.0)]);
+        run_both("min(z, 0)", &[("z", -0.0)]);
+    }
+
+    #[test]
+    fn stack_high_water_is_respected() {
+        let expr = parse("sum(1, 2, 3, 4, 5) + max(1, 2) * (3 - 4)").unwrap();
+        let program = compile(&expr);
+        assert!(program.max_stack() >= 5);
+        assert!(!program.is_empty());
+        assert!(program.len() >= 10);
+        assert_eq!(program.run(|_| 0.0), 13.0);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let expr = parse("if(a > 0, a, -a)").unwrap();
+        let program = compile(&expr);
+        let listing = program.to_string();
+        assert!(listing.contains("load"));
+        assert!(listing.contains("jz"));
+        assert!(listing.contains("jmp"));
+    }
+
+    #[test]
+    fn vm_reuse_across_programs() {
+        let mut vm = Vm::new();
+        let p1 = compile(&parse("1 + 2").unwrap());
+        let p2 = compile(&parse("sum(1, 2, 3) * 2").unwrap());
+        assert_eq!(vm.run(&p1, |_| 0.0), 3.0);
+        assert_eq!(vm.run(&p2, |_| 0.0), 12.0);
+        assert_eq!(vm.run(&p1, |_| 0.0), 3.0);
+    }
+}

@@ -1,9 +1,23 @@
-//! The cell engine: storage, dependency graph, incremental recompute.
+//! The cell engine: storage, dependency graph, compiled incremental
+//! recompute.
+//!
+//! Recalculation is the compiled-recalc design: every formula is lowered
+//! once to a stack-bytecode [`Program`] (cached per cell, invalidated on
+//! formula edits), and the dependency graph is leveled into a
+//! [`CalcGraph`] — topological *levels* rebuilt only on structural edits.
+//! An edit marks the edited cell's dependents dirty and walks the levels
+//! in order; cells inside one level are independent by construction, so a
+//! [`LevelMap`] may fan them out across worker threads. A recomputed cell
+//! whose value is bit-equal to its previous value stops propagation to
+//! its dependents (**value cutoff**).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
+use crate::compile::{compile, Program, Vm};
 use crate::{parse, Expr, SheetError};
 
 /// What a cell holds.
@@ -22,12 +36,194 @@ pub enum CellContent {
     },
 }
 
-/// The dynamic spreadsheet: named cells, formulas, incremental recompute.
+/// Counters from the most recent recompute wave.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecomputeStats {
+    /// Formula cells whose compiled programs ran.
+    pub evaluated: u64,
+    /// Cells whose new value was bit-equal to the old one, so propagation
+    /// to their dependents stopped there (value cutoff). A literal edit
+    /// that doesn't change the stored bits counts as one cut.
+    pub cut: u64,
+    /// Topological levels the wave touched.
+    pub levels: usize,
+}
+
+/// Strategy for evaluating the independent cells of one topological level.
 ///
-/// Editing a cell re-evaluates exactly its transitive dependents in
-/// topological order; [`Sheet::evaluation_count`] exposes how many formula
-/// evaluations have run, so the incrementality is testable (and is measured
-/// by the EXP-SHEET experiment).
+/// The serial default runs inline. `monityre-core` provides a
+/// `SweepExecutor`-backed implementation that chunks wide levels across
+/// worker threads (respecting `MONITYRE_THREADS`); install it with
+/// [`Sheet::set_level_map`]. Implementations must return exactly `count`
+/// results, with `out[i] == eval(i)` — they may only reorder *when* each
+/// task runs, never what it computes, so parallel recompute stays
+/// bit-identical to serial.
+pub trait LevelMap: fmt::Debug + Send + Sync {
+    /// Evaluates tasks `0..count`; `eval(i)` is pure and thread-safe.
+    fn map_level(&self, count: usize, eval: &(dyn Fn(usize) -> f64 + Sync)) -> Vec<f64>;
+}
+
+/// The inline (single-threaded) level evaluator.
+#[derive(Debug, Clone, Copy, Default)]
+struct SerialLevelMap;
+
+impl LevelMap for SerialLevelMap {
+    fn map_level(&self, count: usize, eval: &(dyn Fn(usize) -> f64 + Sync)) -> Vec<f64> {
+        (0..count).map(eval).collect()
+    }
+}
+
+/// A compiled formula node: its program plus the slot→cell-id mapping.
+#[derive(Debug, Clone)]
+struct Node {
+    program: Arc<Program>,
+    /// Cell ids aligned with [`Program::cells`] slots.
+    deps: Vec<usize>,
+}
+
+/// The leveled calculation graph: cells interned to dense ids, formulas
+/// compiled, and the DAG stratified into topological levels (a cell's
+/// level is one more than the highest level among its formula
+/// dependencies; literal-only formulas are level 0). Rebuilt only on
+/// structural edits; value edits reuse it unchanged.
+#[derive(Debug, Clone)]
+struct CalcGraph {
+    /// id → name, in sorted-name order (deterministic ids).
+    names: Vec<String>,
+    ids: BTreeMap<String, usize>,
+    /// id → current value (mirror of the sheet's value map).
+    values: Vec<f64>,
+    /// id → compiled node (`None` for literals).
+    nodes: Vec<Option<Node>>,
+    /// id → dependent formula ids, ascending.
+    dependents: Vec<Vec<usize>>,
+    /// id → topological level (`usize::MAX` for literals).
+    level_of: Vec<usize>,
+    /// Formula ids per level, ascending within each level.
+    levels: Vec<Vec<usize>>,
+}
+
+impl CalcGraph {
+    /// Builds the graph from the sheet's maps. `programs` must contain a
+    /// compiled program for every formula cell.
+    fn build(
+        cells: &BTreeMap<String, CellContent>,
+        values: &BTreeMap<String, f64>,
+        programs: &BTreeMap<String, Arc<Program>>,
+    ) -> Result<Self, SheetError> {
+        let names: Vec<String> = cells.keys().cloned().collect();
+        let ids: BTreeMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let n = names.len();
+        let mut graph_values = Vec::with_capacity(n);
+        let mut nodes: Vec<Option<Node>> = Vec::with_capacity(n);
+        for name in &names {
+            graph_values.push(values.get(name).copied().unwrap_or(f64::NAN));
+            match cells.get(name) {
+                Some(CellContent::Formula { .. }) => {
+                    let program = Arc::clone(
+                        programs
+                            .get(name)
+                            .expect("every formula cell has a compiled program"),
+                    );
+                    let deps: Vec<usize> = program
+                        .cells()
+                        .iter()
+                        .map(|dep| {
+                            ids.get(dep)
+                                .copied()
+                                .ok_or_else(|| SheetError::unknown_cell(dep))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    nodes.push(Some(Node { program, deps }));
+                }
+                _ => nodes.push(None),
+            }
+        }
+
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, node) in nodes.iter().enumerate() {
+            if let Some(node) = node {
+                for &dep in &node.deps {
+                    dependents[dep].push(id);
+                }
+            }
+        }
+        for list in &mut dependents {
+            list.sort_unstable();
+        }
+
+        // Kahn leveling over formula cells: a formula's indegree counts
+        // only formula dependencies (literals are always ready).
+        let mut indegree = vec![0usize; n];
+        let mut formula_count = 0usize;
+        for node in nodes.iter().flatten() {
+            formula_count += 1;
+            let _ = node;
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            if let Some(node) = node {
+                indegree[id] = node
+                    .deps
+                    .iter()
+                    .filter(|&&dep| nodes[dep].is_some())
+                    .count();
+            }
+        }
+        let mut level_of = vec![usize::MAX; n];
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        let mut frontier: Vec<usize> = (0..n)
+            .filter(|&id| nodes[id].is_some() && indegree[id] == 0)
+            .collect();
+        let mut leveled = 0usize;
+        while !frontier.is_empty() {
+            frontier.sort_unstable();
+            let level = levels.len();
+            let mut next = Vec::new();
+            for &id in &frontier {
+                level_of[id] = level;
+                leveled += 1;
+                for &dependent in &dependents[id] {
+                    indegree[dependent] -= 1;
+                    if indegree[dependent] == 0 {
+                        next.push(dependent);
+                    }
+                }
+            }
+            levels.push(std::mem::take(&mut frontier));
+            frontier = next;
+        }
+        if leveled != formula_count {
+            // Unreachable through the public API (edits reject cycles);
+            // kept as a defensive check rather than a panic.
+            let stuck = (0..n)
+                .find(|&id| nodes[id].is_some() && level_of[id] == usize::MAX)
+                .expect("an unleveled formula cell exists");
+            return Err(SheetError::cycle(&names[stuck]));
+        }
+        Ok(Self {
+            names,
+            ids,
+            values: graph_values,
+            nodes,
+            dependents,
+            level_of,
+            levels,
+        })
+    }
+}
+
+/// The dynamic spreadsheet: named cells, formulas, compiled incremental
+/// recompute.
+///
+/// Editing a cell re-evaluates at most its transitive dependents, level by
+/// level, and stops early wherever a recomputed value is bit-equal to the
+/// old one (value cutoff); [`Sheet::evaluation_count`] exposes how many
+/// formula evaluations have run, so the incrementality is testable (and is
+/// measured by the EXP-SHEET experiment).
 ///
 /// ```
 /// use monityre_sheet::Sheet;
@@ -42,13 +238,38 @@ pub enum CellContent {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Sheet {
     cells: BTreeMap<String, CellContent>,
     values: BTreeMap<String, f64>,
     /// Reverse dependency edges: cell → cells whose formulas reference it.
     dependents: BTreeMap<String, BTreeSet<String>>,
+    /// Compiled-program cache, keyed by cell; an entry is dropped when its
+    /// cell's formula is edited or removed and survives graph rebuilds.
+    programs: BTreeMap<String, Arc<Program>>,
+    /// The leveled graph; `None` after a structural edit until the next
+    /// recompute needs it.
+    graph: Option<CalcGraph>,
+    level_map: Arc<dyn LevelMap>,
     evaluations: u64,
+    cuts: u64,
+    last: RecomputeStats,
+}
+
+impl Default for Sheet {
+    fn default() -> Self {
+        Self {
+            cells: BTreeMap::new(),
+            values: BTreeMap::new(),
+            dependents: BTreeMap::new(),
+            programs: BTreeMap::new(),
+            graph: None,
+            level_map: Arc::new(SerialLevelMap),
+            evaluations: 0,
+            cuts: 0,
+            last: RecomputeStats::default(),
+        }
+    }
 }
 
 impl Sheet {
@@ -111,8 +332,57 @@ impl Sheet {
         self.evaluations
     }
 
+    /// Total cells cut so far: recomputes (or literal edits) whose result
+    /// was bit-equal to the stored value, stopping propagation.
+    #[must_use]
+    pub fn cutoff_count(&self) -> u64 {
+        self.cuts
+    }
+
+    /// Counters from the most recent edit's recompute wave.
+    #[must_use]
+    pub fn last_recompute(&self) -> RecomputeStats {
+        self.last
+    }
+
+    /// Installs the level evaluation strategy (see [`LevelMap`]). The
+    /// default runs levels inline on the calling thread.
+    pub fn set_level_map(&mut self, level_map: Arc<dyn LevelMap>) {
+        self.level_map = level_map;
+    }
+
+    /// Forces compilation: lowers any uncompiled formulas to bytecode and
+    /// rebuilds the leveled graph if a structural edit invalidated it.
+    /// Recompute paths do this lazily; benchmarks call it to take graph
+    /// construction out of the timed region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from formulas whose ASTs must be rebuilt
+    /// (only possible for cells deserialized from tampered input).
+    pub fn compile(&mut self) -> Result<(), SheetError> {
+        self.ensure_graph()
+    }
+
+    /// The width of each topological level of the compiled graph (compiling
+    /// it first if needed). Level `i + 1` cells depend on level `≤ i`
+    /// results; cells within one level are independent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Sheet::compile`] errors.
+    pub fn level_widths(&mut self) -> Result<Vec<usize>, SheetError> {
+        self.ensure_graph()?;
+        Ok(self
+            .graph
+            .as_ref()
+            .map(|g| g.levels.iter().map(Vec::len).collect())
+            .unwrap_or_default())
+    }
+
     /// Sets (or overwrites) a literal number cell and recomputes its
-    /// dependents.
+    /// dependents. Writing a bit-identical value is a no-op: the cutoff
+    /// applies at the source, and no dependent is re-evaluated.
     ///
     /// # Errors
     ///
@@ -123,15 +393,40 @@ impl Sheet {
         if !value.is_finite() {
             return Err(SheetError::non_finite(name));
         }
+        if let Some(CellContent::Number(old)) = self.cells.get(name) {
+            // Value-only edit: the graph structure is untouched.
+            if old.to_bits() == value.to_bits() {
+                self.cuts += 1;
+                self.last = RecomputeStats {
+                    evaluated: 0,
+                    cut: 1,
+                    levels: 0,
+                };
+                return Ok(());
+            }
+            self.cells
+                .insert(name.to_owned(), CellContent::Number(value));
+            self.values.insert(name.to_owned(), value);
+            if let Some(graph) = self.graph.as_mut() {
+                let id = graph.ids[name];
+                graph.values[id] = value;
+            }
+            return self.recompute_from(name);
+        }
+        // New cell, or a formula overwritten by a literal: structural.
         self.unlink(name);
+        self.programs.remove(name);
+        self.graph = None;
         self.cells
             .insert(name.to_owned(), CellContent::Number(value));
         self.values.insert(name.to_owned(), value);
-        self.recompute_dependents(name)
+        self.recompute_from(name)
     }
 
     /// Sets (or overwrites) a formula cell and recomputes it plus its
-    /// dependents.
+    /// dependents. The formula is compiled to bytecode; the cell's cached
+    /// program is invalidated and the graph's levels are rebuilt (lazily)
+    /// because the edit is structural.
     ///
     /// # Errors
     ///
@@ -153,11 +448,17 @@ impl Sheet {
             }
         }
         // Cycle check: would `name` be reachable from any dep through the
-        // *current* forward-dependency edges (plus the new edge set)?
-        if deps.contains(name) || deps.iter().any(|d| self.reaches(d, name)) {
+        // *current* forward-dependency edges (plus the new edge set)? A
+        // brand-new cell cannot be referenced by any existing formula, so
+        // only redefinitions pay for the traversal (keeps bottom-up bulk
+        // builds linear).
+        if deps.contains(name)
+            || (self.cells.contains_key(name) && deps.iter().any(|d| self.reaches(d, name)))
+        {
             return Err(SheetError::cycle(name));
         }
-        // Trial evaluation before mutating anything.
+        // Trial evaluation (through the retained AST interpreter) before
+        // mutating anything.
         let value = self.evaluate(&expr, name)?;
 
         self.unlink(name);
@@ -167,6 +468,9 @@ impl Sheet {
                 .or_default()
                 .insert(name.to_owned());
         }
+        self.programs
+            .insert(name.to_owned(), Arc::new(compile(&expr)));
+        self.graph = None;
         self.cells.insert(
             name.to_owned(),
             CellContent::Formula {
@@ -175,7 +479,7 @@ impl Sheet {
             },
         );
         self.values.insert(name.to_owned(), value);
-        self.recompute_dependents(name)
+        self.recompute_from(name)
     }
 
     /// Removes a cell.
@@ -196,6 +500,8 @@ impl Sheet {
         self.cells.remove(name);
         self.values.remove(name);
         self.dependents.remove(name);
+        self.programs.remove(name);
+        self.graph = None;
         Ok(())
     }
 
@@ -231,61 +537,63 @@ impl Sheet {
         if !self.cells.contains_key(name) {
             return Err(SheetError::unknown_cell(name));
         }
+        // Iterative pre-order walk (an explicit stack instead of
+        // recursion, so arbitrarily deep chains cannot overflow the call
+        // stack).
         let mut out = String::new();
-        self.explain_into(name, "", true, true, &mut out);
+        let mut stack: Vec<(String, String, bool, bool)> =
+            vec![(name.to_owned(), String::new(), true, true)];
+        while let Some((name, prefix, is_last, is_root)) = stack.pop() {
+            let value = self.values.get(&name).copied().unwrap_or(f64::NAN);
+            let header = match self.cells.get(&name) {
+                Some(CellContent::Formula { source_text, .. }) => {
+                    format!("{name} = {source_text}  [{value}]")
+                }
+                _ => format!("{name}  [{value}]"),
+            };
+            if is_root {
+                out.push_str(&header);
+            } else {
+                out.push_str(&prefix);
+                out.push_str(if is_last { "└─ " } else { "├─ " });
+                out.push_str(&header);
+            }
+            out.push('\n');
+            let deps: Vec<String> = self.dependencies_of(&name).into_iter().collect();
+            let child_prefix = if is_root {
+                String::new()
+            } else {
+                format!("{prefix}{}", if is_last { "   " } else { "│  " })
+            };
+            for (i, dep) in deps.iter().enumerate().rev() {
+                stack.push((
+                    dep.clone(),
+                    child_prefix.clone(),
+                    i == deps.len() - 1,
+                    false,
+                ));
+            }
+        }
         Ok(out)
     }
 
-    fn explain_into(
-        &self,
-        name: &str,
-        prefix: &str,
-        is_last: bool,
-        is_root: bool,
-        out: &mut String,
-    ) {
-        let value = self.values.get(name).copied().unwrap_or(f64::NAN);
-        let header = match self.cells.get(name) {
-            Some(CellContent::Formula { source_text, .. }) => {
-                format!("{name} = {source_text}  [{value}]")
-            }
-            _ => format!("{name}  [{value}]"),
-        };
-        if is_root {
-            out.push_str(&header);
-        } else {
-            out.push_str(prefix);
-            out.push_str(if is_last { "└─ " } else { "├─ " });
-            out.push_str(&header);
-        }
-        out.push('\n');
-        let deps: Vec<String> = self.dependencies_of(name).into_iter().collect();
-        let child_prefix = if is_root {
-            String::new()
-        } else {
-            format!("{prefix}{}", if is_last { "   " } else { "│  " })
-        };
-        for (i, dep) in deps.iter().enumerate() {
-            self.explain_into(dep, &child_prefix, i == deps.len() - 1, false, out);
-        }
-    }
-
-    /// Re-evaluates every formula cell from scratch (used after
-    /// deserialization, and by tests as the ground truth the incremental
-    /// path must match).
+    /// Re-evaluates every formula cell from scratch, level by level (used
+    /// after deserialization, by the EXP-SHEET full-rebuild benchmark, and
+    /// by tests as the ground truth the incremental path must match). No
+    /// cutoff applies: every formula runs exactly once.
     ///
     /// # Errors
     ///
     /// Propagates evaluation errors.
     pub fn recompute_all(&mut self) -> Result<(), SheetError> {
-        let order = self.topological_order(self.cells.keys().cloned().collect())?;
-        for name in order {
-            if let Some(CellContent::Formula { expr: Some(e), .. }) = self.cells.get(&name) {
-                let e = e.clone();
-                let value = self.evaluate(&e, &name)?;
-                self.values.insert(name, value);
-            }
-        }
+        self.ensure_graph()?;
+        let Some(mut graph) = self.graph.take() else {
+            return Ok(());
+        };
+        let result = self.wave(&mut graph, None);
+        self.graph = Some(graph);
+        let stats = result?;
+        self.last = stats;
         Ok(())
     }
 
@@ -295,48 +603,87 @@ impl Sheet {
     ///
     /// Propagates `serde_json` errors.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(&self.cells)
+        serde_json::to_string_pretty(self)
     }
 
-    /// Restores a sheet serialized with [`Sheet::to_json`], re-parsing
-    /// formulas and recomputing all values.
+    /// Restores a sheet serialized with [`Sheet::to_json`], re-parsing and
+    /// recompiling formulas and recomputing all values bottom-up.
     ///
     /// # Errors
     ///
     /// Returns a boxed error on malformed JSON, unparsable formulas, or
     /// inconsistent references.
     pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error>> {
-        let cells: BTreeMap<String, CellContent> = serde_json::from_str(json)?;
-        let mut sheet = Sheet::new();
-        // Insert literals first, then formulas in dependency order by
-        // retrying until fixpoint (sheets are small; O(n²) worst case).
-        let mut pending: Vec<(String, String)> = Vec::new();
-        for (name, content) in cells {
-            match content {
-                CellContent::Number(v) => sheet.set_number(&name, v)?,
-                CellContent::Formula { source_text, .. } => pending.push((name, source_text)),
-            }
-        }
-        let mut progress = true;
-        while progress && !pending.is_empty() {
-            progress = false;
-            let mut still_pending = Vec::new();
-            for (name, src) in pending {
-                match sheet.set_formula(&name, &src) {
-                    Ok(()) => progress = true,
-                    Err(SheetError::UnknownCell { .. }) => still_pending.push((name, src)),
-                    Err(e) => return Err(Box::new(e)),
-                }
-            }
-            pending = still_pending;
-        }
-        if let Some((name, _)) = pending.first() {
-            return Err(Box::new(SheetError::unknown_cell(name)));
-        }
-        Ok(sheet)
+        Ok(serde_json::from_str(json)?)
     }
 
     // -- internals --------------------------------------------------------
+
+    /// Rebuilds a sheet from bare cell contents: literals first, then
+    /// formulas in dependency order (a single Kahn pass over the parsed
+    /// dependency sets — no quadratic retry). Every formula's AST is
+    /// re-parsed, recompiled, and re-evaluated, so loaded values are
+    /// always fresh.
+    fn from_cells(cells: BTreeMap<String, CellContent>) -> Result<Self, SheetError> {
+        let mut sheet = Sheet::new();
+        let mut formulas: BTreeMap<String, (String, BTreeSet<String>)> = BTreeMap::new();
+        for (name, content) in cells {
+            match content {
+                CellContent::Number(v) => sheet.set_number(&name, v)?,
+                CellContent::Formula { source_text, .. } => {
+                    let deps = parse(&source_text)?.dependencies();
+                    formulas.insert(name, (source_text, deps));
+                }
+            }
+        }
+        // Kahn over the pending formulas: a formula is ready when all its
+        // formula-dependencies are inserted (literal deps already are).
+        let mut pending_deps: BTreeMap<String, usize> = BTreeMap::new();
+        let mut waiters: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (name, (_, deps)) in &formulas {
+            let mut count = 0usize;
+            for dep in deps {
+                if formulas.contains_key(dep) {
+                    count += 1;
+                    waiters.entry(dep.clone()).or_default().push(name.clone());
+                } else if !sheet.contains(dep) {
+                    return Err(SheetError::unknown_cell(dep));
+                }
+            }
+            pending_deps.insert(name.clone(), count);
+        }
+        let mut ready: Vec<String> = pending_deps
+            .iter()
+            .filter(|(_, &count)| count == 0)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut inserted = 0usize;
+        while let Some(name) = ready.pop() {
+            let (source_text, _) = &formulas[&name];
+            sheet.set_formula(&name, source_text)?;
+            inserted += 1;
+            if let Some(dependents) = waiters.get(&name) {
+                for dependent in dependents {
+                    let count = pending_deps
+                        .get_mut(dependent)
+                        .expect("waiter is a pending formula");
+                    *count -= 1;
+                    if *count == 0 {
+                        ready.push(dependent.clone());
+                    }
+                }
+            }
+        }
+        if inserted != formulas.len() {
+            let stuck = pending_deps
+                .iter()
+                .find(|(_, &count)| count > 0)
+                .map(|(name, _)| name.clone())
+                .expect("a stalled formula exists");
+            return Err(SheetError::cycle(&stuck));
+        }
+        Ok(sheet)
+    }
 
     /// Removes `name`'s outgoing dependency edges (before re-definition).
     fn unlink(&mut self, name: &str) {
@@ -367,6 +714,9 @@ impl Sheet {
         false
     }
 
+    /// The AST interpreter, retained as the trial evaluator for new
+    /// formulas and as the reference the compiled engine is property-tested
+    /// against.
     fn evaluate(&mut self, expr: &Expr, name: &str) -> Result<f64, SheetError> {
         self.evaluations += 1;
         let values = &self.values;
@@ -382,62 +732,141 @@ impl Sheet {
         Ok(value)
     }
 
-    /// Recomputes the transitive dependents of `name` in topological order.
-    fn recompute_dependents(&mut self, name: &str) -> Result<(), SheetError> {
-        // Collect the affected set (dependents closure, excluding `name`).
-        let mut affected = BTreeSet::new();
-        let mut stack: Vec<String> = self.dependents_of(name).into_iter().collect();
-        while let Some(current) = stack.pop() {
-            if affected.insert(current.clone()) {
-                stack.extend(self.dependents_of(&current));
-            }
-        }
-        if affected.is_empty() {
+    /// Compiles missing programs and rebuilds the leveled graph if a
+    /// structural edit invalidated it.
+    fn ensure_graph(&mut self) -> Result<(), SheetError> {
+        if self.graph.is_some() {
             return Ok(());
         }
-        let order = self.topological_order(affected)?;
-        for cell in order {
-            if let Some(CellContent::Formula { expr: Some(e), .. }) = self.cells.get(&cell) {
-                let e = e.clone();
-                let value = self.evaluate(&e, &cell)?;
-                self.values.insert(cell, value);
+        for (name, content) in &self.cells {
+            if let CellContent::Formula { source_text, expr } = content {
+                if !self.programs.contains_key(name) {
+                    let program = match expr {
+                        Some(e) => compile(e),
+                        None => compile(&parse(source_text)?),
+                    };
+                    self.programs.insert(name.clone(), Arc::new(program));
+                }
             }
         }
+        self.graph = Some(CalcGraph::build(&self.cells, &self.values, &self.programs)?);
         Ok(())
     }
 
-    /// Topologically orders `set` by forward dependencies restricted to the
-    /// set (dependencies outside the set are already up to date).
-    fn topological_order(&self, set: BTreeSet<String>) -> Result<Vec<String>, SheetError> {
-        let mut order = Vec::with_capacity(set.len());
-        let mut state: BTreeMap<String, u8> = BTreeMap::new(); // 1=visiting, 2=done
-        for root in &set {
-            self.topo_visit(root, &set, &mut state, &mut order)?;
+    /// Recomputes the transitive dependents of `name` level by level with
+    /// value cutoff.
+    fn recompute_from(&mut self, name: &str) -> Result<(), SheetError> {
+        if self.dependents.get(name).is_none_or(BTreeSet::is_empty) {
+            self.last = RecomputeStats::default();
+            return Ok(());
         }
-        Ok(order)
+        self.ensure_graph()?;
+        let Some(mut graph) = self.graph.take() else {
+            return Ok(());
+        };
+        let seed = graph.ids[name];
+        let result = self.wave(&mut graph, Some(seed));
+        self.graph = Some(graph);
+        let stats = result?;
+        self.last = stats;
+        Ok(())
     }
 
-    fn topo_visit(
-        &self,
-        node: &str,
-        set: &BTreeSet<String>,
-        state: &mut BTreeMap<String, u8>,
-        order: &mut Vec<String>,
-    ) -> Result<(), SheetError> {
-        match state.get(node) {
-            Some(2) => return Ok(()),
-            Some(1) => return Err(SheetError::cycle(node)),
-            _ => {}
-        }
-        state.insert(node.to_owned(), 1);
-        for dep in self.dependencies_of(node) {
-            if set.contains(&dep) {
-                self.topo_visit(&dep, set, state, order)?;
+    /// One recompute wave over the leveled graph. With a seed, only the
+    /// seed's transitive dependents are dirty and value cutoff prunes the
+    /// frontier; with `None` every formula cell recomputes (full rebuild,
+    /// no cutoff). Wide levels fan out through the installed [`LevelMap`];
+    /// evaluation counts are merged centrally so
+    /// [`Sheet::evaluation_count`] is thread-count independent.
+    fn wave(
+        &mut self,
+        graph: &mut CalcGraph,
+        seed: Option<usize>,
+    ) -> Result<RecomputeStats, SheetError> {
+        let full = seed.is_none();
+        let n = graph.names.len();
+        let mut stats = RecomputeStats::default();
+        let mut dirty = vec![false; n];
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); graph.levels.len()];
+        match seed {
+            Some(seed) => {
+                for &dependent in &graph.dependents[seed] {
+                    dirty[dependent] = true;
+                    buckets[graph.level_of[dependent]].push(dependent);
+                }
+            }
+            None => {
+                for (level, cells) in graph.levels.iter().enumerate() {
+                    buckets[level] = cells.clone();
+                }
             }
         }
-        state.insert(node.to_owned(), 2);
-        order.push(node.to_owned());
-        Ok(())
+        let level_map = Arc::clone(&self.level_map);
+        for level in 0..buckets.len() {
+            let mut tasks = std::mem::take(&mut buckets[level]);
+            if tasks.is_empty() {
+                continue;
+            }
+            tasks.sort_unstable();
+            stats.levels += 1;
+            let results = {
+                let graph = &*graph;
+                let tasks = &tasks;
+                let eval = |i: usize| {
+                    let node = graph.nodes[tasks[i]]
+                        .as_ref()
+                        .expect("level cells are formula cells");
+                    Vm::new().run(&node.program, |slot| graph.values[node.deps[slot]])
+                };
+                if tasks.len() == 1 {
+                    vec![eval(0)]
+                } else {
+                    level_map.map_level(tasks.len(), &eval)
+                }
+            };
+            debug_assert_eq!(results.len(), tasks.len());
+            self.evaluations += tasks.len() as u64;
+            stats.evaluated += tasks.len() as u64;
+            for (i, &cell) in tasks.iter().enumerate() {
+                let value = results[i];
+                if !value.is_finite() {
+                    return Err(SheetError::non_finite(&graph.names[cell]));
+                }
+                let changed = value.to_bits() != graph.values[cell].to_bits();
+                if changed {
+                    graph.values[cell] = value;
+                    self.values.insert(graph.names[cell].clone(), value);
+                }
+                if full {
+                    continue;
+                }
+                if changed {
+                    for &dependent in &graph.dependents[cell] {
+                        if !dirty[dependent] {
+                            dirty[dependent] = true;
+                            buckets[graph.level_of[dependent]].push(dependent);
+                        }
+                    }
+                } else {
+                    stats.cut += 1;
+                    self.cuts += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl Serialize for Sheet {
+    fn to_value(&self) -> Value {
+        self.cells.to_value()
+    }
+}
+
+impl Deserialize for Sheet {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let cells = BTreeMap::<String, CellContent>::from_value(value)?;
+        Sheet::from_cells(cells).map_err(serde::Error::custom)
     }
 }
 
@@ -513,6 +942,40 @@ mod tests {
     }
 
     #[test]
+    fn noop_edit_cuts_at_the_source() {
+        let mut s = chain_sheet();
+        let evals = s.evaluation_count();
+        let cuts = s.cutoff_count();
+        s.set_number("a", 1.0).unwrap(); // bit-identical rewrite
+        assert_eq!(s.evaluation_count(), evals, "no dependent re-evaluated");
+        assert_eq!(s.cutoff_count(), cuts + 1);
+        assert_eq!(
+            s.last_recompute(),
+            RecomputeStats {
+                evaluated: 0,
+                cut: 1,
+                levels: 0
+            }
+        );
+        assert_eq!(s.value("d").unwrap(), 9.0);
+    }
+
+    #[test]
+    fn value_cutoff_stops_propagation_mid_graph() {
+        let mut s = Sheet::new();
+        s.set_number("x", 5.0).unwrap();
+        s.set_formula("sat", "clamp(x, 0, 1)").unwrap(); // saturates at 1
+        s.set_formula("down", "sat * 100").unwrap();
+        s.set_formula("deeper", "down + 1").unwrap();
+        let evals = s.evaluation_count();
+        s.set_number("x", 7.0).unwrap(); // sat recomputes to 1 again
+                                         // Only `sat` ran; `down` and `deeper` were cut off.
+        assert_eq!(s.evaluation_count(), evals + 1);
+        assert_eq!(s.last_recompute().cut, 1);
+        assert_eq!(s.value("deeper").unwrap(), 101.0);
+    }
+
+    #[test]
     fn cycle_rejected_directly_and_transitively() {
         let mut s = chain_sheet();
         assert!(matches!(
@@ -578,6 +1041,18 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_mid_wave_is_reported() {
+        let mut s = Sheet::new();
+        s.set_number("x", 1.0).unwrap();
+        s.set_formula("inv", "1 / x").unwrap();
+        let err = s.set_number("x", 0.0).unwrap_err();
+        assert!(matches!(err, SheetError::NonFinite { .. }));
+        // Later edits still work: the engine state stays consistent.
+        s.set_number("x", 4.0).unwrap();
+        assert_eq!(s.value("inv").unwrap(), 0.25);
+    }
+
+    #[test]
     fn invalid_names_rejected() {
         let mut s = Sheet::new();
         assert!(s.set_number("9lives", 1.0).is_err());
@@ -603,6 +1078,16 @@ mod tests {
     }
 
     #[test]
+    fn levels_stratify_the_graph() {
+        let mut s = Sheet::new();
+        s.set_number("x", 1.0).unwrap();
+        s.set_formula("left", "x + 1").unwrap();
+        s.set_formula("right", "x * 10").unwrap();
+        s.set_formula("join", "left + right").unwrap();
+        assert_eq!(s.level_widths().unwrap(), vec![2, 1]);
+    }
+
+    #[test]
     fn explain_renders_the_dependency_tree() {
         let s = chain_sheet();
         let text = s.explain("d").unwrap();
@@ -615,6 +1100,18 @@ mod tests {
         let a_line = text.lines().find(|l| l.contains("a  [1]")).unwrap();
         let c_line = text.lines().find(|l| l.contains("c = ")).unwrap();
         assert!(a_line.find('─').unwrap() > c_line.find('─').unwrap());
+    }
+
+    #[test]
+    fn explain_branches_use_tee_connectors() {
+        let mut s = Sheet::new();
+        s.set_number("x", 1.0).unwrap();
+        s.set_number("y", 2.0).unwrap();
+        s.set_formula("sum2", "x + y").unwrap();
+        s.set_formula("top", "sum2 * 2").unwrap();
+        let text = s.explain("top").unwrap();
+        assert!(text.contains("├─ x  [1]"));
+        assert!(text.contains("└─ y  [2]"));
     }
 
     #[test]
@@ -640,5 +1137,88 @@ mod tests {
         let mut restored = Sheet::from_json(&s.to_json().unwrap()).unwrap();
         restored.set_number("a", 10.0).unwrap();
         assert_eq!(restored.value("d").unwrap(), 441.0); // (10*2+1)²
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_asts_and_values() {
+        // Through serde directly (not `to_json`/`from_json`): deserialized
+        // sheets must hold re-parsed ASTs and freshly recomputed values.
+        let mut s = chain_sheet();
+        s.set_formula("e", "min(d, 100) + sqrt(c)").unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let mut restored: Sheet = serde_json::from_str(&json).unwrap();
+        for name in ["a", "b", "c", "d", "e"] {
+            assert_eq!(
+                restored.value(name).unwrap().to_bits(),
+                s.value(name).unwrap().to_bits(),
+                "cell {name}"
+            );
+            // ASTs are live, not just stored text.
+            if matches!(
+                restored.content(name).unwrap(),
+                CellContent::Formula { expr: None, .. }
+            ) {
+                panic!("cell {name} deserialized without a rebuilt AST");
+            }
+        }
+        // And they stay live: edits ripple.
+        restored.set_number("a", 3.0).unwrap();
+        assert_eq!(restored.value("d").unwrap(), 49.0);
+    }
+
+    #[test]
+    fn deserializing_garbage_references_fails() {
+        let json = r#"{"y": {"Formula": {"source_text": "ghost + 1"}}}"#;
+        assert!(serde_json::from_str::<Sheet>(json).is_err());
+    }
+
+    #[test]
+    fn deep_chain_recompute_and_explain_are_iterative() {
+        // Regression test for the recursive `topo_visit`/`explain_into`
+        // stack-overflow risk: a 10 000-cell chain must recompute (and a
+        // deep sub-chain must render) without recursing per edge.
+        const DEPTH: usize = 10_000;
+        let mut s = Sheet::new();
+        s.set_number("base", 1.0).unwrap();
+        let mut prev = "base".to_owned();
+        for i in 0..DEPTH {
+            let name = format!("link{i}");
+            s.set_formula(&name, &format!("{prev} + 1")).unwrap();
+            prev = name;
+        }
+        let before = s.evaluation_count();
+        s.set_number("base", 2.0).unwrap();
+        assert_eq!(s.evaluation_count(), before + DEPTH as u64);
+        assert_eq!(s.value(&prev).unwrap(), 2.0 + DEPTH as f64);
+        assert_eq!(s.level_widths().unwrap().len(), DEPTH);
+        // Explain a deep suffix of the chain (the full 10k render is
+        // quadratic in output size; 2 000 levels is far past any call
+        // stack while keeping the string small).
+        let text = s.explain("link1999").unwrap();
+        assert_eq!(text.lines().count(), 2001);
+        assert!(text.ends_with("└─ base  [2]\n"));
+    }
+
+    #[test]
+    fn program_cache_invalidated_on_formula_edit() {
+        let mut s = Sheet::new();
+        s.set_number("a", 2.0).unwrap();
+        s.set_formula("f", "a * 3").unwrap();
+        assert_eq!(s.value("f").unwrap(), 6.0);
+        s.set_formula("f", "a + 3").unwrap();
+        assert_eq!(s.value("f").unwrap(), 5.0);
+        s.set_number("a", 10.0).unwrap();
+        // The recompute must run the *new* program, not a stale cached one.
+        assert_eq!(s.value("f").unwrap(), 13.0);
+    }
+
+    #[test]
+    fn clone_preserves_engine_state() {
+        let mut s = chain_sheet();
+        let mut t = s.clone();
+        s.set_number("a", 2.0).unwrap();
+        t.set_number("a", 3.0).unwrap();
+        assert_eq!(s.value("d").unwrap(), 25.0);
+        assert_eq!(t.value("d").unwrap(), 49.0);
     }
 }

@@ -14,8 +14,13 @@
 //! * a **formula language** (`=0.5 * (adc.active_uw + afe.active_uw)`)
 //!   with arithmetic, comparisons, and the usual scalar functions,
 //!   parsed by a recursive-descent parser into an AST;
-//! * **incremental recomputation**: editing a cell re-evaluates exactly
-//!   its transitive dependents, in topological order;
+//! * a **compiled recalc engine**: each formula is lowered once to
+//!   stack bytecode ([`compile::Program`]), the dependency graph is
+//!   stratified into topological levels, and editing a cell re-evaluates
+//!   only its dirty dependents level by level — stopping early wherever a
+//!   recomputed value is bit-equal to the old one (**value cutoff**);
+//! * **parallel level recompute** through the pluggable [`LevelMap`]
+//!   seam (monityre-core installs a `SweepExecutor`-backed one);
 //! * **cycle rejection** at edit time;
 //! * a **power-database binding** ([`PowerSheet`]) that hosts a
 //!   [`monityre_power::PowerDatabase`] on the sheet: condition cells
@@ -45,11 +50,12 @@
 #![warn(missing_docs)]
 
 mod binding;
+pub mod compile;
 mod engine;
 mod error;
 mod formula;
 
 pub use binding::PowerSheet;
-pub use engine::{CellContent, Sheet};
+pub use engine::{CellContent, LevelMap, RecomputeStats, Sheet};
 pub use error::SheetError;
 pub use formula::{parse, Expr};

@@ -1,8 +1,10 @@
 //! Property-based tests for the spreadsheet engine: the incremental
 //! recompute path must agree with a full recompute for arbitrary DAGs and
-//! edit sequences.
+//! edit sequences, and the compiled bytecode VM must agree bit-for-bit
+//! with the retained AST interpreter.
 
-use monityre_sheet::Sheet;
+use monityre_sheet::compile::{compile, Vm};
+use monityre_sheet::{CellContent, Sheet};
 use proptest::prelude::*;
 
 /// A recipe for building a random formula DAG over `n_lit` literal cells:
@@ -17,7 +19,7 @@ struct DagRecipe {
 fn arb_recipe() -> impl Strategy<Value = DagRecipe> {
     (
         proptest::collection::vec(-100.0f64..100.0, 2..6),
-        proptest::collection::vec((0usize..64, 0usize..64, 0usize..64, 0u8..5), 1..25),
+        proptest::collection::vec((0usize..64, 0usize..64, 0usize..64, 0u8..8), 1..25),
     )
         .prop_map(|(literals, formulas)| DagRecipe { literals, formulas })
 }
@@ -42,7 +44,10 @@ fn build(recipe: &DagRecipe) -> (Sheet, usize) {
             1 => format!("{na} - {nb} * 0.5"),
             2 => format!("min({na}, {nb}, {nc})"),
             3 => format!("max({na}, {nb}) + abs({nc})"),
-            _ => format!("if({na} > {nb}, {nc}, {na} + 1)"),
+            4 => format!("if({na} > {nb}, {nc}, {na} + 1)"),
+            5 => format!("clamp({na}, {nb}, {nc})"),
+            6 => format!("sqrt(abs({na})) + exp({nb} / 200)"),
+            _ => format!("sum({na}, {nb}, {nc}) * 0.25"),
         };
         // Formula cells may fail only on non-finite results; skip those.
         if sheet.set_formula(&cell_name(count), &formula).is_ok() {
@@ -141,5 +146,78 @@ proptest! {
         let result = sheet.set_formula("base", &format!("{prev} * 2"));
         prop_assert!(result.is_err());
         prop_assert_eq!(sheet.value(&prev).unwrap(), before);
+    }
+
+    /// The compiled bytecode VM is bit-identical to the retained AST
+    /// interpreter on every formula of every randomized workbook, before
+    /// and after a burst of edits.
+    #[test]
+    fn compiled_vm_bit_identical_to_interpreter(
+        recipe in arb_recipe(),
+        edits in proptest::collection::vec((0usize..64, -50.0f64..50.0), 0..8),
+    ) {
+        let (mut sheet, count) = build(&recipe);
+        let n_lit = recipe.literals.len();
+        for (slot, value) in edits {
+            sheet.set_number(&cell_name(slot % n_lit), value).unwrap();
+        }
+        let mut vm = Vm::new();
+        for i in 0..count {
+            let name = cell_name(i);
+            let CellContent::Formula { expr: Some(expr), .. } =
+                sheet.content(&name).unwrap().clone()
+            else {
+                continue;
+            };
+            let interpreted = expr.eval(&|dep: &str| sheet.value(dep)).unwrap();
+            let program = compile(&expr);
+            let compiled = vm.run(&program, |slot| {
+                sheet.value(&program.cells()[slot]).unwrap()
+            });
+            prop_assert_eq!(
+                compiled.to_bits(),
+                interpreted.to_bits(),
+                "cell {}: vm {} vs ast {}", name, compiled, interpreted
+            );
+            // And the engine's stored value (produced by its own compiled
+            // wave) carries the same bits.
+            prop_assert_eq!(sheet.value(&name).unwrap().to_bits(), compiled.to_bits());
+        }
+    }
+
+    /// A bit-identical rewrite of any literal is a pure cutoff: zero
+    /// dependents recompute, by `evaluation_count`.
+    #[test]
+    fn noop_edits_recompute_zero_dependents(recipe in arb_recipe()) {
+        let (mut sheet, _) = build(&recipe);
+        for i in 0..recipe.literals.len() {
+            let name = cell_name(i);
+            let current = sheet.value(&name).unwrap();
+            let evals = sheet.evaluation_count();
+            let cuts = sheet.cutoff_count();
+            sheet.set_number(&name, current).unwrap();
+            prop_assert_eq!(sheet.evaluation_count(), evals, "cell {}", &name);
+            prop_assert_eq!(sheet.cutoff_count(), cuts + 1);
+            prop_assert_eq!(sheet.last_recompute().evaluated, 0);
+        }
+    }
+
+    /// Mid-graph cutoff: a clamp that saturates to the same value stops
+    /// propagation — deeper dependents never re-evaluate.
+    #[test]
+    fn saturated_clamp_cuts_downstream(x in 2.0f64..100.0, y in 2.0f64..100.0) {
+        prop_assume!(x.to_bits() != y.to_bits());
+        let mut sheet = Sheet::new();
+        sheet.set_number("x", x).unwrap();
+        sheet.set_formula("sat", "clamp(x, 0, 1)").unwrap();
+        sheet.set_formula("down", "sat * 3 + 1").unwrap();
+        sheet.set_formula("deeper", "down - 0.5").unwrap();
+        let evals = sheet.evaluation_count();
+        sheet.set_number("x", y).unwrap();
+        // Only `sat` ran; the saturated value was bit-equal, cutting the
+        // rest of the chain.
+        prop_assert_eq!(sheet.evaluation_count(), evals + 1);
+        prop_assert_eq!(sheet.last_recompute().cut, 1);
+        prop_assert_eq!(sheet.value("deeper").unwrap(), 3.5);
     }
 }
