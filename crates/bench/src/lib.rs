@@ -229,6 +229,19 @@ pub fn sweep_bench_path() -> PathBuf {
 /// Panics when the file cannot be read, parsed or written — a harness
 /// misconfiguration worth failing loudly on.
 pub fn record_sweep_bench(result: SweepBenchResult) {
+    // On a 1-CPU host a parallel pass cannot beat serial, but it must not
+    // lose to it either: the worker pool's only legitimate cost there is
+    // handoff overhead, budgeted at 10 %. (Multi-CPU speedups stay
+    // unasserted — recording runs share the machine with the rest of the
+    // suite, and contention would make any floor flaky.)
+    if result.cpus == 1 {
+        assert!(
+            result.speedup >= 0.9,
+            "bench {}: {:.2}x on 1 cpu — worker handoff overhead exceeds the 10 % budget",
+            result.name,
+            result.speedup
+        );
+    }
     let path = sweep_bench_path();
     let mut rows: Vec<SweepBenchResult> = match std::fs::read_to_string(&path) {
         Ok(text) => serde_json::from_str(&text).expect("BENCH_sweep.json parses"),
@@ -477,6 +490,83 @@ pub fn record_sheet_bench(result: SheetBenchResult) {
     std::fs::write(&path, text + "\n").expect("BENCH_sheet.json writes");
 }
 
+/// One row of `BENCH_ingest.json`: the streaming-ingest pipeline timed
+/// on a synthetic telemetry stream — durable append alone (aggregation
+/// off), the full append + window-fold pipeline (aggregation on), and
+/// the startup replay that reconstructs the window state after a crash.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestBenchResult {
+    /// Which ingest scenario was measured (the merge key).
+    pub name: String,
+    /// Telemetry points per timed pass.
+    pub points: usize,
+    /// Points per ingested batch (each batch is one append + one fsync).
+    pub batch: usize,
+    /// Vehicles the stream interleaves.
+    pub vehicles: usize,
+    /// Hardware threads available when the row was measured.
+    pub cpus: usize,
+    /// Durable append throughput with the window fold skipped
+    /// (aggregation off: `SegmentStore::append_batch` only).
+    pub store_points_per_sec: f64,
+    /// Full-pipeline throughput (aggregation on: append + sliding-window
+    /// fold + deficit-edge detection).
+    pub pipeline_points_per_sec: f64,
+    /// `(store - pipeline) / store × 100` — what the windowed
+    /// aggregation costs on top of durability.
+    pub aggregation_overhead_pct: f64,
+    /// Startup-replay throughput: decoded, checksummed and folded points
+    /// per second when reopening the segment directory.
+    pub replay_points_per_sec: f64,
+    /// Recovery time normalized to a million-point backlog:
+    /// `1e9 / replay_points_per_sec` milliseconds.
+    pub replay_ms_per_million: f64,
+}
+
+/// Where the ingest benchmark rows live: `BENCH_ingest.json` at the
+/// repository root.
+#[must_use]
+pub fn ingest_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_ingest.json")
+}
+
+/// Merges `result` into `BENCH_ingest.json`, replacing any existing row
+/// with the same name, and prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read, parsed or written — a harness
+/// misconfiguration worth failing loudly on.
+pub fn record_ingest_bench(result: IngestBenchResult) {
+    let path = ingest_bench_path();
+    let mut rows: Vec<IngestBenchResult> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_ingest.json parses"),
+        Err(_) => Vec::new(),
+    };
+    println!(
+        "bench {}: {} points in batches of {}, store {:.0} pts/s, pipeline {:.0} pts/s ({:+.2} % aggregation), replay {:.0} pts/s ({:.0} ms per million points, {} cpu(s))",
+        result.name,
+        result.points,
+        result.batch,
+        result.store_points_per_sec,
+        result.pipeline_points_per_sec,
+        result.aggregation_overhead_pct,
+        result.replay_points_per_sec,
+        result.replay_ms_per_million,
+        result.cpus
+    );
+    match rows.iter_mut().find(|row| row.name == result.name) {
+        Some(row) => *row = result,
+        None => rows.push(result),
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let text = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&path, text + "\n").expect("BENCH_ingest.json writes");
+}
+
 /// One row of `BENCH_obs.json`: the same sweep batch timed with the
 /// observability spans enabled (the default) and disabled
 /// (`monityre_obs::set_enabled(false)`), to guard the instrumentation
@@ -624,6 +714,45 @@ mod tests {
         assert_eq!(back[0].formulas, 1280);
         assert_eq!(back[0].cutoff_cut_cells, 8192);
         assert!(back[0].incremental_speedup > 10.0);
+    }
+
+    #[test]
+    fn ingest_bench_rows_round_trip() {
+        let row = IngestBenchResult {
+            name: "ingest-round-trip".into(),
+            points: 200_000,
+            batch: 512,
+            vehicles: 8,
+            cpus: 4,
+            store_points_per_sec: 2_000_000.0,
+            pipeline_points_per_sec: 1_600_000.0,
+            aggregation_overhead_pct: 20.0,
+            replay_points_per_sec: 4_000_000.0,
+            replay_ms_per_million: 250.0,
+        };
+        let json = serde_json::to_string(&vec![row]).unwrap();
+        let back: Vec<IngestBenchResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "ingest-round-trip");
+        assert_eq!(back[0].batch, 512);
+        assert!(back[0].replay_ms_per_million > 0.0);
+    }
+
+    /// The 1-CPU guard: a parallel pass that loses more than 10 % to
+    /// serial on a single CPU is a worker-pool regression, not noise.
+    #[test]
+    #[should_panic(expected = "worker handoff overhead")]
+    fn record_sweep_bench_rejects_1cpu_slowdowns() {
+        record_sweep_bench(SweepBenchResult {
+            name: "unit-guard".into(),
+            points: 1,
+            batches: 1,
+            threads: BENCH_THREADS,
+            cpus: 1,
+            serial_points_per_sec: 1000.0,
+            parallel_points_per_sec: 500.0,
+            speedup: 0.5,
+        });
     }
 
     #[test]

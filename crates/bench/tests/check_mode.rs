@@ -26,6 +26,7 @@ fn run_check(bin: &str) {
         "exp_serve" => env!("CARGO_BIN_EXE_exp_serve"),
         "exp_faults" => env!("CARGO_BIN_EXE_exp_faults"),
         "exp_sweep" => env!("CARGO_BIN_EXE_exp_sweep"),
+        "exp_ingest" => env!("CARGO_BIN_EXE_exp_ingest"),
         other => panic!("unknown harness {other}"),
     };
     let output = Command::new(path)
@@ -148,6 +149,11 @@ fn exp_faults_check() {
 #[test]
 fn exp_sweep_check() {
     run_check("exp_sweep");
+}
+
+#[test]
+fn exp_ingest_check() {
+    run_check("exp_ingest");
 }
 
 #[test]

@@ -16,12 +16,15 @@
 //!                    [--queue 64] [--cache 16] [--dedup 256]
 //!                    [--faults SEED:KIND=P,...] [--announce /tmp/addr]
 //!                    [--flight-recorder /tmp/dump.jsonl]
+//!                    [--ingest-dir /tmp/segments] [--ingest-window-s 60]
 //! monityre request   [--addr HOST:PORT | --local] [--op breakeven] [--id 1]
 //!                    [--deadline-ms 5000] [--steps 96] [--temp 85]
 //!                    [--retry] [--retry-attempts 8] [--retry-backoff-ms 10]
 //!                    [--retry-deadline-ms 60000] [--retry-seed N] [--idem K]
 //!                    [--trace TRACE:SPAN]
 //!                    [--cell NAME] [--value V | --formula EXPR]   (sheet ops)
+//!                    [--ingest N] [--ingest-seed S] [--vehicle V]  (ingest ops)
+//! monityre ingest    --dir /tmp/segments [--window-s 60] [--vehicle V] [--json]
 //! monityre obs       --addr HOST:PORT [--prometheus] [--dump]
 //! monityre obs trace TRACE_ID --from /tmp/dump.jsonl
 //! ```
@@ -34,6 +37,7 @@
 
 mod args;
 mod commands;
+mod ingest;
 mod remote;
 
 pub use args::{Args, CliError};
@@ -83,6 +87,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "vehicle" => commands::vehicle(&args),
         "serve" => remote::serve(&args),
         "request" => remote::request(&args),
+        "ingest" => ingest::ingest(&args),
         "obs" => remote::obs(&args),
         other => Err(CliError::new(format!(
             "unknown command `{other}` (try `monityre help`)"
@@ -111,6 +116,9 @@ COMMANDS:
     vehicle    four-corner availability over a driving cycle
     serve      run the batch evaluation server (line-delimited JSON over TCP)
     request    send one request to a server (or --local) and print the JSON
+    ingest     replay a telemetry segment directory offline and print the
+               reconstructed per-vehicle window state (--json for the exact
+               IngestState payload a server over the same directory serves)
     obs        fetch a server's stats snapshot (--prometheus for the raw
                exposition, --dump to trigger a flight-recorder dump)
     obs trace  pretty-print one request's span tree from a dump file
@@ -427,6 +435,69 @@ mod tests {
         assert!(tree.contains("    └─ serve.dedup"), "{tree}");
         assert!(tree.contains("    └─ serve.execute"), "{tree}");
         let _ = std::fs::remove_file(&dump);
+    }
+
+    #[test]
+    fn request_local_ingest_ops_round_trip() {
+        let out = run_line("request --local --op ingest --ingest 8 --vehicle 3 --id 21").unwrap();
+        assert!(out.contains("\"Ingest\""), "{out}");
+        assert!(out.contains("\"accepted\":8"), "{out}");
+        assert!(out.contains("\"id\":21"), "{out}");
+        // Local evaluation is stateless: an ingest_state on a fresh
+        // pipeline reports no vehicles, not an error.
+        let out = run_line("request --local --op ingest_state").unwrap();
+        assert!(out.contains("\"IngestState\""), "{out}");
+        assert!(out.contains("\"vehicles\":[]"), "{out}");
+        // An ingest without a batch is a structured bad_request.
+        let out = run_line("request --local --op ingest").unwrap();
+        assert!(out.contains("bad_request"), "{out}");
+    }
+
+    /// The recovery-drill contract: `monityre ingest --json` over a
+    /// directory a server wrote prints the byte-exact `IngestState`
+    /// payload the same server serves for an unfiltered `ingest_state`.
+    #[test]
+    fn ingest_command_replays_a_served_directory_byte_exactly() {
+        let dir = std::env::temp_dir().join(format!("monityre-cli-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = monityre_serve::ServerConfig {
+            ingest_dir: Some(dir.clone()),
+            ingest_window_us: 5_000_000,
+            ..Default::default()
+        }
+        .start()
+        .expect("bind loopback");
+        let addr = handle.addr();
+        let out = run_line(&format!(
+            "request --addr {addr} --op ingest --ingest 48 --vehicle 5 --ingest-seed 2011"
+        ))
+        .unwrap();
+        assert!(out.contains("\"accepted\":48"), "{out}");
+        let served = run_line(&format!("request --addr {addr} --op ingest_state")).unwrap();
+        handle.shutdown();
+
+        let offline = run_line(&format!(
+            "ingest --dir {} --window-s 5 --json",
+            dir.display()
+        ))
+        .unwrap();
+        let payload = offline.trim();
+        assert!(payload.starts_with("{\"IngestState\""), "{offline}");
+        assert!(
+            served.contains(payload),
+            "offline replay diverged from the served state:\n{served}\n{offline}"
+        );
+
+        let report = run_line(&format!("ingest --dir {} --window-s 5", dir.display())).unwrap();
+        assert!(report.contains("replayed 48 point(s)"), "{report}");
+        assert!(report.contains("vehicle"), "{report}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn ingest_command_requires_a_directory() {
+        let err = run_line("ingest").unwrap_err();
+        assert!(err.to_string().contains("--dir"), "{err}");
     }
 
     #[test]

@@ -22,7 +22,10 @@ use crate::commands::executor_from;
 use crate::{Args, CliError};
 
 /// Parses an optional `--name value` flag into any `FromStr` type.
-fn parse_opt<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, CliError> {
+pub(crate) fn parse_opt<T: std::str::FromStr>(
+    args: &Args,
+    name: &str,
+) -> Result<Option<T>, CliError> {
     match args.text_opt(name) {
         None => Ok(None),
         Some(raw) => raw
@@ -68,6 +71,14 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     // injected faults, deadline misses, and wire `dump` requests append
     // the flight-recorder rings to this file as JSON lines.
     let flight_recorder = args.text_opt("flight-recorder");
+    // `--ingest-dir <path>` makes the ingest pipeline durable: batches
+    // append to a crash-safe segment store there, and a restart replays
+    // the directory to reconstruct the window state bit-identically.
+    let ingest_dir = args.text_opt("ingest-dir");
+    let ingest_window_s = args.count(
+        "ingest-window-s",
+        usize::try_from(monityre_ingest::DEFAULT_WINDOW_US / 1_000_000).unwrap_or(60),
+    )?;
     args.finish()?;
     if let Some(path) = &flight_recorder {
         monityre_obs::recorder::set_dump_path(std::path::Path::new(path));
@@ -81,9 +92,11 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         cache_capacity: cache,
         dedup_capacity: dedup,
         faults: faults.clone(),
+        ingest_dir: ingest_dir.clone().map(std::path::PathBuf::from),
+        ingest_window_us: ingest_window_s as u64 * 1_000_000,
     }
     .start()
-    .map_err(|e| CliError::new(format!("serve: cannot bind {host}:{port}: {e}")))?;
+    .map_err(|e| CliError::new(format!("serve: cannot start on {host}:{port}: {e}")))?;
     let addr = handle.addr();
 
     // Announce the resolved address *before* blocking, so scripts that
@@ -95,6 +108,13 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     }
     if let Some(path) = &flight_recorder {
         println!("flight recorder armed: dumps append to {path}");
+    }
+    if let Some(dir) = &ingest_dir {
+        let replay = handle.ingest_replay();
+        println!(
+            "ingest store {dir}: replayed {} point(s) from {} segment(s), {} torn byte(s) truncated",
+            replay.points, replay.segments, replay.truncated_bytes
+        );
     }
     let _ = std::io::stdout().flush();
     if let Some(path) = &announce {
@@ -479,6 +499,22 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     request.params.cell = args.text_opt("cell");
     request.params.value = parse_opt(args, "value")?;
     request.params.formula = args.text_opt("formula");
+    // The ingest ops: `--ingest N` synthesizes a deterministic N-point
+    // batch (seeded by `--ingest-seed`) for `--vehicle`; on an
+    // `ingest_state` request, `--vehicle` instead filters the reply.
+    let vehicle: Option<u64> = parse_opt(args, "vehicle")?;
+    if let Some(count) = parse_opt::<usize>(args, "ingest")? {
+        let seed: u64 = parse_opt(args, "ingest-seed")?.unwrap_or(2011);
+        let start_us: u64 = parse_opt(args, "ingest-start-us")?.unwrap_or(1_000_000);
+        request.params.points = Some(monityre_ingest::synthetic_points(
+            vehicle.unwrap_or(1),
+            count,
+            seed,
+            start_us,
+        ));
+    } else {
+        request.params.vehicle = vehicle;
+    }
     args.finish()?;
 
     let raw = if local {

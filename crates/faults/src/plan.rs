@@ -44,11 +44,18 @@ pub enum FaultKind {
     QueueStall,
     /// Sleep before writing the (correct) response.
     DelayResponse,
+    /// Write only a prefix of a segment-store batch, then poison the
+    /// store — the in-process stand-in for `kill -9` landing mid-write.
+    /// The torn tail stays on disk; startup recovery must truncate it.
+    TornWrite,
+    /// Skip the segment store's batch fsync: the bytes reach the page
+    /// cache but durability is not guaranteed if the host dies next.
+    ShortFsync,
 }
 
 impl FaultKind {
     /// Every kind, for enumeration in specs, tests and docs.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::AcceptDrop,
         FaultKind::ConnReset,
         FaultKind::PartialWrite,
@@ -59,6 +66,8 @@ impl FaultKind {
         FaultKind::WorkerPanic,
         FaultKind::QueueStall,
         FaultKind::DelayResponse,
+        FaultKind::TornWrite,
+        FaultKind::ShortFsync,
     ];
 
     /// The spec name (snake_case).
@@ -75,6 +84,8 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker_panic",
             FaultKind::QueueStall => "queue_stall",
             FaultKind::DelayResponse => "delay_response",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::ShortFsync => "short_fsync",
         }
     }
 

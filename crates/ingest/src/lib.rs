@@ -1,0 +1,341 @@
+//! monityre-ingest: streaming telemetry ingestion.
+//!
+//! The paper's energy-balance analysis assumes continuous per-wheel-round
+//! telemetry; this crate turns the one-shot evaluation stack into an
+//! always-on monitoring pipeline:
+//!
+//! ```text
+//!   ingest wire op ──▶ Ingestor ──▶ SegmentStore (durable, append-only)
+//!                        │
+//!                        └────────▶ WindowEngine (per-vehicle sliding
+//!                                   window, deficit alerts)
+//! ```
+//!
+//! The [`Ingestor`] is the transactional seam: each batch is appended to
+//! the [`SegmentStore`] *first* and folded into the [`WindowEngine`]
+//! second, under one caller-held lock, so the store's record order is
+//! the canonical event order. After a crash, [`Ingestor::open`] replays
+//! that order into a fresh engine and reconstructs the live window state
+//! **bit-identically** — the window arithmetic is pure integer
+//! nanojoules, so no float rounding history can diverge (see
+//! [`window`]).
+//!
+//! Live ingest additionally emits observability: a flight-recorder
+//! event per deficit-alert edge (linked to the current trace context, so
+//! alerts carry trace-id exemplars) — replay emits none, since those
+//! alerts already happened.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod point;
+pub mod segment;
+pub mod window;
+
+use std::io;
+use std::path::PathBuf;
+
+use monityre_faults::FaultPlan;
+
+pub use point::{
+    crc32, decode_prefix, synthetic_points, DecodeError, TelemetryPoint, RECORD_BYTES,
+    RECORD_PAYLOAD_BYTES,
+};
+pub use segment::{replay_dir, ReplayReport, SegmentStore, StoreConfig, DEFAULT_SEGMENT_BYTES};
+pub use window::{VehicleWindow, WindowEngine, DEFAULT_WINDOW_US};
+
+/// The flight-recorder event-name prefix a live deficit-alert edge
+/// emits (the shared cross-crate name, so serve-side assertions and the
+/// emitter cannot drift apart).
+pub use monityre_obs::names::INGEST_DEFICIT_EVENT as DEFICIT_EVENT;
+
+/// Ingestor construction parameters.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Segment directory; `None` runs the ingestor purely in memory
+    /// (no durability — the local-evaluation and bench "aggregation
+    /// only" modes).
+    pub dir: Option<PathBuf>,
+    /// Sliding-window span, microseconds.
+    pub window_us: u64,
+    /// Segment rotation threshold, bytes.
+    pub segment_bytes: u64,
+    /// Whether the store fsyncs each batch.
+    pub fsync: bool,
+    /// Segment retention bound (see [`StoreConfig::retain_segments`]).
+    pub retain_segments: Option<usize>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            dir: None,
+            window_us: DEFAULT_WINDOW_US,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: true,
+            retain_segments: None,
+        }
+    }
+}
+
+/// What one ingested batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestSummary {
+    /// Points accepted from this batch.
+    pub accepted: u64,
+    /// Deficit-alert edges this batch triggered.
+    pub alerts: u64,
+}
+
+/// The streaming ingestion pipeline: durable store + window engine.
+#[derive(Debug)]
+pub struct Ingestor {
+    window: WindowEngine,
+    store: Option<SegmentStore>,
+    /// Points folded in since the store began (live + replayed).
+    points_total: u64,
+    /// Alert edges since the store began (live + replayed).
+    alerts_total: u64,
+    /// What startup replay found (all zeros for a fresh/in-memory store).
+    replay: ReplayReport,
+}
+
+impl Ingestor {
+    /// Opens the ingestor: recovers the segment store (truncating any
+    /// torn tail) when `config.dir` is set, then replays every durable
+    /// record through a fresh window engine — reconstructing the
+    /// pre-crash aggregation state exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors.
+    pub fn open(config: IngestConfig) -> io::Result<Self> {
+        let mut window = WindowEngine::new(config.window_us);
+        let mut points_total = 0u64;
+        let mut alerts_total = 0u64;
+        let (store, replay) = match &config.dir {
+            Some(dir) => {
+                let store_config = StoreConfig {
+                    dir: dir.clone(),
+                    segment_bytes: config.segment_bytes,
+                    fsync: config.fsync,
+                    retain_segments: config.retain_segments,
+                };
+                // Open first: recovery truncates the torn tail, so the
+                // replay below sees exactly the durable record prefix.
+                let store = SegmentStore::open(store_config)?;
+                let mut replay = replay_dir(dir, |point| {
+                    points_total += 1;
+                    if window.observe(point) {
+                        alerts_total += 1;
+                    }
+                })?;
+                // The tail the store cut during recovery is part of the
+                // crash story the report tells, even though the replay
+                // scan above never sees those bytes.
+                replay.truncated_bytes += store.truncated_on_open();
+                (Some(store), replay)
+            }
+            None => (None, ReplayReport::default()),
+        };
+        Ok(Self {
+            window,
+            store,
+            points_total,
+            alerts_total,
+            replay,
+        })
+    }
+
+    /// A purely in-memory ingestor (no store) with the given window.
+    #[must_use]
+    pub fn in_memory(window_us: u64) -> Self {
+        Self {
+            window: WindowEngine::new(window_us),
+            store: None,
+            points_total: 0,
+            alerts_total: 0,
+            replay: ReplayReport::default(),
+        }
+    }
+
+    /// Ingests one batch: durable append first (when a store is
+    /// configured), window fold second. Each live alert edge leaves an
+    /// [`DEFICIT_EVENT`] flight-recorder event carrying the current
+    /// trace context as its exemplar.
+    ///
+    /// # Errors
+    ///
+    /// Returns the store's append error — including injected torn
+    /// writes — *without* folding the batch: a batch the store did not
+    /// fully accept must not reach the window, or replay would
+    /// reconstruct less state than live ingest saw.
+    pub fn ingest(
+        &mut self,
+        points: &[TelemetryPoint],
+        faults: Option<&FaultPlan>,
+    ) -> io::Result<IngestSummary> {
+        if let Some(store) = &mut self.store {
+            store.append_batch(points, faults)?;
+        }
+        let mut summary = IngestSummary::default();
+        for point in points {
+            if self.window.observe(point) {
+                summary.alerts += 1;
+                monityre_obs::recorder::record_event(format!(
+                    "{DEFICIT_EVENT}.vehicle.{}",
+                    point.vehicle
+                ));
+            }
+        }
+        summary.accepted = points.len() as u64;
+        self.points_total += summary.accepted;
+        self.alerts_total += summary.alerts;
+        Ok(summary)
+    }
+
+    /// The sliding-window span, microseconds.
+    #[must_use]
+    pub fn window_us(&self) -> u64 {
+        self.window.window_us()
+    }
+
+    /// Every vehicle's window aggregate, ordered by vehicle id.
+    #[must_use]
+    pub fn state(&self) -> Vec<VehicleWindow> {
+        self.window.snapshot()
+    }
+
+    /// One vehicle's window aggregate.
+    #[must_use]
+    pub fn state_of(&self, vehicle: u64) -> Option<VehicleWindow> {
+        self.window.snapshot_of(vehicle)
+    }
+
+    /// Points folded since the store began (replayed + live).
+    #[must_use]
+    pub fn points_total(&self) -> u64 {
+        self.points_total
+    }
+
+    /// Alert edges since the store began (replayed + live).
+    #[must_use]
+    pub fn alerts_total(&self) -> u64 {
+        self.alerts_total
+    }
+
+    /// Vehicles currently tracked.
+    #[must_use]
+    pub fn vehicles(&self) -> usize {
+        self.window.vehicles()
+    }
+
+    /// Points currently inside some window.
+    #[must_use]
+    pub fn points_in_window(&self) -> u64 {
+        self.window.points_in_window()
+    }
+
+    /// What startup replay found.
+    #[must_use]
+    pub fn replay_report(&self) -> &ReplayReport {
+        &self.replay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monityre_faults::FaultKind;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("monityre-ingest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> IngestConfig {
+        IngestConfig {
+            dir: Some(dir.to_path_buf()),
+            window_us: 5_000_000,
+            ..IngestConfig::default()
+        }
+    }
+
+    #[test]
+    fn reopen_reconstructs_state_bit_identically() {
+        let dir = temp_dir("reopen");
+        let points = synthetic_points(11, 400, 2011, 1_000_000);
+        let live_state;
+        let live_alerts;
+        {
+            let mut ingestor = Ingestor::open(durable_config(&dir)).unwrap();
+            for batch in points.chunks(25) {
+                ingestor.ingest(batch, None).unwrap();
+            }
+            live_state = serde_json::to_string(&ingestor.state()).unwrap();
+            live_alerts = ingestor.alerts_total();
+        }
+        let reopened = Ingestor::open(durable_config(&dir)).unwrap();
+        assert_eq!(reopened.replay_report().points, 400);
+        assert_eq!(
+            serde_json::to_string(&reopened.state()).unwrap(),
+            live_state
+        );
+        assert_eq!(reopened.alerts_total(), live_alerts);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_crash_recovers_the_durable_prefix() {
+        let dir = temp_dir("chaos");
+        let plan = FaultPlan::new(3).with_fault(FaultKind::TornWrite, 1.0);
+        let points = synthetic_points(5, 64, 77, 1_000_000);
+        {
+            let mut ingestor = Ingestor::open(durable_config(&dir)).unwrap();
+            ingestor.ingest(&points[..32], None).unwrap();
+            let err = ingestor.ingest(&points[32..], Some(&plan)).unwrap_err();
+            assert!(err.to_string().contains("torn write"), "{err}");
+            // The failed batch must not have reached the window.
+            assert_eq!(ingestor.points_total(), 32);
+            // The poisoned store rejects further ingest.
+            assert!(ingestor.ingest(&points[..1], None).is_err());
+        }
+        // "Restart": reopen and compare against an uninterrupted run fed
+        // exactly the durable records — whole-record prefix of the torn
+        // batch included.
+        let recovered = Ingestor::open(durable_config(&dir)).unwrap();
+        assert!(recovered.replay_report().truncated_bytes > 0);
+        let durable = recovered.replay_report().points as usize;
+        assert!((32..64).contains(&durable), "durable {durable}");
+        let mut reference = Ingestor::in_memory(5_000_000);
+        reference.ingest(&points[..durable], None).unwrap();
+        assert_eq!(
+            serde_json::to_string(&recovered.state()).unwrap(),
+            serde_json::to_string(&reference.state()).unwrap()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_ingestor_counts_alerts() {
+        let mut ingestor = Ingestor::in_memory(DEFAULT_WINDOW_US);
+        let deficit = TelemetryPoint {
+            vehicle: 1,
+            wheel: 0,
+            round: 0,
+            ts_us: 1,
+            harvested_nj: 1,
+            consumed_nj: 10,
+        };
+        let summary = ingestor.ingest(&[deficit], None).unwrap();
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.alerts, 1);
+        assert_eq!(ingestor.alerts_total(), 1);
+        assert!(ingestor.state_of(1).unwrap().in_deficit);
+        assert_eq!(ingestor.vehicles(), 1);
+    }
+}

@@ -1,0 +1,479 @@
+//! The crash-safe append-only segment store.
+//!
+//! Durable storage for telemetry records, generalizing the flight
+//! recorder's in-memory ring into fixed-size on-disk segments:
+//!
+//! - **Segments** are files named `seg-NNNNNNNN.seg` holding framed
+//!   records back to back. When the active segment reaches the
+//!   configured size a new one is started (rotation); optionally the
+//!   oldest segments beyond a retention count are deleted.
+//! - **Appends are batched.** One `ingest` batch becomes one contiguous
+//!   write followed by (at most) one `fsync` — the fsync batching the
+//!   issue asks for. Records within a batch are never individually
+//!   synced.
+//! - **Crashes tear only the tail.** Appends never touch earlier bytes,
+//!   so a `kill -9` can leave at most a partial batch at the end of the
+//!   *active* segment. [`SegmentStore::open`] scans the last segment,
+//!   truncates it to its longest valid record prefix, and the store is
+//!   clean again.
+//!
+//! Fault injection hooks ([`FaultKind::TornWrite`], [`FaultKind::ShortFsync`])
+//! reproduce both crash artifacts deterministically in-process: a torn
+//! write persists a prefix of the batch and then poisons the store —
+//! modelling the writing process dying mid-write — so the only way
+//! forward is the same reopen-and-recover path a real crash takes.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use monityre_faults::{FaultKind, FaultPlan};
+
+use crate::point::{decode_prefix, TelemetryPoint, RECORD_BYTES};
+
+/// File extension of a segment.
+const SEGMENT_EXT: &str = "seg";
+
+/// Default segment size: 8 MiB ≈ 160k records.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Store construction parameters.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the segments (created if missing).
+    pub dir: PathBuf,
+    /// Rotation threshold: a segment at or above this many bytes is
+    /// sealed and a new one started before the next batch.
+    pub segment_bytes: u64,
+    /// Whether to `fsync` once per appended batch. Disable only for
+    /// benchmarks — without it a host crash can lose acknowledged
+    /// batches (process crashes are still safe: the page cache survives).
+    pub fsync: bool,
+    /// Keep at most this many segments, deleting the oldest beyond it.
+    /// `None` (the default) retains everything. **Caveat:** per-vehicle
+    /// alert counters are path-dependent — replay after deletion only
+    /// reproduces live state exactly if the deleted segments had fully
+    /// left every window; retain generously relative to the window span.
+    pub retain_segments: Option<usize>,
+}
+
+impl StoreConfig {
+    /// A store in `dir` with default sizing: 8 MiB segments, fsync on,
+    /// unbounded retention.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: true,
+            retain_segments: None,
+        }
+    }
+}
+
+/// What startup recovery found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Valid records replayed, across all segments.
+    pub points: u64,
+    /// Segments scanned.
+    pub segments: u64,
+    /// Torn-tail bytes truncated from the active segment.
+    pub truncated_bytes: u64,
+    /// Whether scanning stopped before a segment's end on damage found
+    /// *before* the active tail (mid-history corruption: everything from
+    /// the damage onward is discarded from replay, conservatively).
+    pub stopped_early: bool,
+}
+
+/// The append-only segment store.
+#[derive(Debug)]
+pub struct SegmentStore {
+    config: StoreConfig,
+    /// Active segment file handle; `None` after poisoning.
+    active: Option<File>,
+    /// Active segment path (for error messages and truncation).
+    active_path: PathBuf,
+    /// Active segment index (the `NNNNNNNN` in its name).
+    active_index: u64,
+    /// Bytes currently in the active segment.
+    active_bytes: u64,
+    /// Torn-tail bytes [`SegmentStore::open`] cut from the active
+    /// segment — the durable evidence of a crash mid-batch.
+    truncated_on_open: u64,
+    /// Reusable encode buffer.
+    buf: Vec<u8>,
+}
+
+/// Lists the segment files of `dir`, ordered by index.
+fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(SEGMENT_EXT) {
+            continue;
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if let Some(index) = stem
+            .strip_prefix("seg-")
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((index, path));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:08}.{SEGMENT_EXT}"))
+}
+
+/// Replays every valid record in `dir` (oldest segment first) through
+/// `fold`, without opening the store for writing. This is the read side
+/// of crash recovery: [`SegmentStore::open`] truncates the torn tail,
+/// and callers fold the surviving records into a fresh
+/// [`crate::WindowEngine`] to reconstruct state.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the directory or segments; damaged
+/// record bytes are not an error — replay stops cleanly at the last
+/// valid record of the damaged segment.
+pub fn replay_dir(dir: &Path, mut fold: impl FnMut(&TelemetryPoint)) -> io::Result<ReplayReport> {
+    let mut report = ReplayReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    let segments = segment_files(dir)?;
+    let last = segments.len().saturating_sub(1);
+    for (at, (_, path)) in segments.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        report.segments += 1;
+        let (points, used) = decode_prefix(&bytes);
+        report.points += points.len() as u64;
+        for point in &points {
+            fold(point);
+        }
+        if used < bytes.len() {
+            report.truncated_bytes += (bytes.len() - used) as u64;
+            if at < last {
+                // Damage before the active tail is disk corruption, not
+                // a crash artifact. Later segments were written after
+                // the damaged records, so folding them would replay a
+                // different order than the live run saw — stop instead.
+                report.stopped_early = true;
+                return Ok(report);
+            }
+        }
+    }
+    Ok(report)
+}
+
+impl SegmentStore {
+    /// Opens (or creates) the store in `config.dir`, recovering from any
+    /// torn tail: the last segment is truncated to its longest valid
+    /// record prefix before the store accepts appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/file I/O errors.
+    pub fn open(config: StoreConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.dir)?;
+        let segments = segment_files(&config.dir)?;
+        let (active_index, active_path) = match segments.last() {
+            Some((index, path)) => (*index, path.clone()),
+            None => (0, segment_path(&config.dir, 0)),
+        };
+        // Scan the active segment and cut the torn tail, if any.
+        let mut active_bytes = 0u64;
+        let mut truncated_on_open = 0u64;
+        if active_path.exists() {
+            let mut bytes = Vec::new();
+            File::open(&active_path)?.read_to_end(&mut bytes)?;
+            let (_, valid) = decode_prefix(&bytes);
+            if valid < bytes.len() {
+                truncated_on_open = (bytes.len() - valid) as u64;
+                let file = OpenOptions::new().write(true).open(&active_path)?;
+                file.set_len(valid as u64)?;
+                file.sync_data()?;
+            }
+            active_bytes = valid as u64;
+        }
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)?;
+        Ok(Self {
+            config,
+            active: Some(active),
+            active_path,
+            active_index,
+            active_bytes,
+            truncated_on_open,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Bytes in the active segment (for tests and gauges).
+    #[must_use]
+    pub fn active_bytes(&self) -> u64 {
+        self.active_bytes
+    }
+
+    /// Torn-tail bytes truncated during [`SegmentStore::open`] — zero
+    /// after a clean shutdown, positive after a crash mid-batch.
+    #[must_use]
+    pub fn truncated_on_open(&self) -> u64 {
+        self.truncated_on_open
+    }
+
+    /// Current segment count on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn segment_count(&self) -> io::Result<usize> {
+        Ok(segment_files(&self.config.dir)?.len())
+    }
+
+    /// Appends a batch of points as one contiguous write with at most
+    /// one fsync, rotating (and applying retention) first when the
+    /// active segment is full.
+    ///
+    /// `faults` drives the two storage fault kinds: a fired
+    /// [`FaultKind::TornWrite`] persists only a prefix of the batch and
+    /// poisons the store (every later append fails until reopen — the
+    /// in-process analogue of the writer dying mid-batch); a fired
+    /// [`FaultKind::ShortFsync`] skips the batch's sync.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, a poisoned-store error after a
+    /// torn write, or the injected torn-write error itself.
+    pub fn append_batch(
+        &mut self,
+        points: &[TelemetryPoint],
+        faults: Option<&FaultPlan>,
+    ) -> io::Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        if self.active_bytes >= self.config.segment_bytes {
+            self.rotate()?;
+        }
+        let file = self.active.as_mut().ok_or_else(|| {
+            io::Error::other(
+                "segment store is poisoned by an injected torn write; reopen to recover",
+            )
+        })?;
+        self.buf.clear();
+        for point in points {
+            point.encode(&mut self.buf);
+        }
+        let torn = faults.is_some_and(|plan| plan.decide(FaultKind::TornWrite));
+        if torn {
+            // Persist a strict prefix ending mid-record — the exact
+            // artifact a crash leaves — then poison the store so the
+            // "process" cannot keep writing past its own death.
+            let cut = self.buf.len() - RECORD_BYTES / 2;
+            file.write_all(&self.buf[..cut])?;
+            file.sync_data()?;
+            self.active_bytes += cut as u64;
+            self.active = None;
+            return Err(io::Error::other("injected torn write: batch tail lost"));
+        }
+        if let Err(error) = file.write_all(&self.buf) {
+            // A real short write may have torn the tail; try to cut the
+            // segment back to the batch start so the store can continue.
+            let healed = OpenOptions::new()
+                .write(true)
+                .open(&self.active_path)
+                .and_then(|f| f.set_len(self.active_bytes));
+            if healed.is_err() {
+                self.active = None;
+            }
+            return Err(error);
+        }
+        let skip_sync = faults.is_some_and(|plan| plan.decide(FaultKind::ShortFsync));
+        if self.config.fsync && !skip_sync {
+            file.sync_data()?;
+        }
+        self.active_bytes += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the active segment and starts the next one, deleting the
+    /// oldest segments beyond the retention bound.
+    fn rotate(&mut self) -> io::Result<()> {
+        if let Some(file) = self.active.take() {
+            file.sync_data()?;
+        }
+        self.active_index += 1;
+        self.active_path = segment_path(&self.config.dir, self.active_index);
+        self.active = Some(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.active_path)?,
+        );
+        self.active_bytes = 0;
+        if let Some(retain) = self.config.retain_segments {
+            let segments = segment_files(&self.config.dir)?;
+            if segments.len() > retain.max(1) {
+                for (_, path) in &segments[..segments.len() - retain.max(1)] {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::synthetic_points;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("monityre-segment-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let points = synthetic_points(1, 64, 7, 0);
+        {
+            let mut store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+            for batch in points.chunks(10) {
+                store.append_batch(batch, None).unwrap();
+            }
+        }
+        let mut seen = Vec::new();
+        let report = replay_dir(&dir, |p| seen.push(*p)).unwrap();
+        assert_eq!(seen, points);
+        assert_eq!(report.points, 64);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(!report.stopped_early);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_retention_prunes() {
+        let dir = temp_dir("rotate");
+        let mut config = StoreConfig::new(&dir);
+        config.segment_bytes = 4 * RECORD_BYTES as u64;
+        config.retain_segments = Some(2);
+        let points = synthetic_points(1, 40, 7, 0);
+        let mut store = SegmentStore::open(config).unwrap();
+        for batch in points.chunks(4) {
+            store.append_batch(batch, None).unwrap();
+        }
+        let count = store.segment_count().unwrap();
+        assert!(count <= 3, "retention must prune, saw {count} segments");
+        let report = replay_dir(&dir, |_| {}).unwrap();
+        assert!(report.points < 40, "old segments must be gone");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_dir("torn");
+        let points = synthetic_points(1, 8, 7, 0);
+        {
+            let mut store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+            store.append_batch(&points, None).unwrap();
+        }
+        // Tear the tail by hand: append garbage + cut mid-record.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.truncate(bytes.len() - RECORD_BYTES / 3);
+        bytes.extend_from_slice(&[0xde, 0xad]);
+        fs::write(&seg, &bytes).unwrap();
+        // Reopen: recovery truncates, appends continue cleanly.
+        let more = synthetic_points(2, 4, 9, 0);
+        {
+            let mut store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+            assert_eq!(store.active_bytes(), 7 * RECORD_BYTES as u64);
+            store.append_batch(&more, None).unwrap();
+        }
+        let mut seen = Vec::new();
+        let report = replay_dir(&dir, |p| seen.push(*p)).unwrap();
+        assert_eq!(report.points, 11);
+        assert_eq!(&seen[..7], &points[..7]);
+        assert_eq!(&seen[7..], &more[..]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_poisons_until_reopen() {
+        let dir = temp_dir("fault");
+        let plan = FaultPlan::new(1).with_fault(FaultKind::TornWrite, 1.0);
+        let points = synthetic_points(1, 6, 7, 0);
+        let mut store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+        store.append_batch(&points[..2], None).unwrap();
+        let err = store.append_batch(&points[2..], Some(&plan)).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        // Poisoned: even a fault-free append now fails.
+        assert!(store.append_batch(&points[..1], None).is_err());
+        drop(store);
+        // Reopen recovers exactly the pre-crash durable prefix: the two
+        // clean records plus the torn batch's whole-record prefix.
+        let store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+        let mut seen = Vec::new();
+        let report = replay_dir(&dir, |p| seen.push(*p)).unwrap();
+        assert_eq!(report.points, 5);
+        assert_eq!(seen, points[..5].to_vec());
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_fsync_skips_sync_but_keeps_data() {
+        let dir = temp_dir("shortfsync");
+        let plan = FaultPlan::new(1).with_fault(FaultKind::ShortFsync, 1.0);
+        let points = synthetic_points(1, 4, 7, 0);
+        let mut store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+        store.append_batch(&points, Some(&plan)).unwrap();
+        assert_eq!(plan.injected(FaultKind::ShortFsync), 1);
+        drop(store);
+        let report = replay_dir(&dir, |_| {}).unwrap();
+        assert_eq!(report.points, 4, "page cache still has the bytes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_history_corruption_stops_replay_early() {
+        let dir = temp_dir("midcorrupt");
+        let mut config = StoreConfig::new(&dir);
+        config.segment_bytes = 4 * RECORD_BYTES as u64;
+        let points = synthetic_points(1, 16, 7, 0);
+        {
+            let mut store = SegmentStore::open(config).unwrap();
+            for batch in points.chunks(4) {
+                store.append_batch(batch, None).unwrap();
+            }
+        }
+        // Flip a byte in the FIRST segment's second record.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[RECORD_BYTES + 20] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+        let mut seen = 0u64;
+        let report = replay_dir(&dir, |_| seen += 1).unwrap();
+        assert!(report.stopped_early);
+        assert_eq!(report.points, 1, "replay stops at the damage");
+        assert_eq!(seen, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -47,6 +47,21 @@ pub const SHEET_RECOMPUTE: &str = "sheet.recompute";
 /// served sheet recomputes — propagation stopped there (value cutoff).
 pub const SHEET_CELLS_CUT: &str = "sheet.cells_cut";
 
+/// One served `ingest` batch: append + window fold, end to end
+/// (histogram in the server's registry, exemplar-stamped).
+pub const SERVE_INGEST: &str = "serve.ingest";
+
+/// Telemetry points accepted by served `ingest` batches.
+pub const SERVE_INGEST_POINTS: &str = "serve.ingest_points";
+
+/// Deficit-alert edges emitted by the served ingest pipeline.
+pub const SERVE_INGEST_ALERTS: &str = "serve.ingest_alerts";
+
+/// Flight-recorder event prefix of a live deficit alert
+/// (`ingest.deficit.vehicle.<id>`); the event links the trace context of
+/// the batch that crossed the edge — the alert's exemplar.
+pub const INGEST_DEFICIT_EVENT: &str = "ingest.deficit";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +80,10 @@ mod tests {
             SERVE_WRITEBACK,
             SHEET_RECOMPUTE,
             SHEET_CELLS_CUT,
+            SERVE_INGEST,
+            SERVE_INGEST_POINTS,
+            SERVE_INGEST_ALERTS,
+            INGEST_DEFICIT_EVENT,
         ];
         for (i, name) in all.iter().enumerate() {
             assert!(name

@@ -52,10 +52,11 @@ pub mod stats;
 mod worker;
 
 pub use client::{Client, ClientError, RetryPolicy, RetryingClient, DEFAULT_IO_TIMEOUT};
+pub use monityre_ingest::{ReplayReport, TelemetryPoint, VehicleWindow};
 pub use monityre_obs::TraceContext;
 pub use protocol::{
     decode_request_line, decode_response_line, ErrorCode, Op, Params, Payload, ProtocolError,
-    Request, Response, ScenarioSpec, WireError, MAX_LINE_BYTES,
+    Request, Response, ScenarioSpec, WireError, MAX_INGEST_POINTS, MAX_LINE_BYTES,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServerConfig, ServerHandle};

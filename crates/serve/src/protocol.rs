@@ -10,6 +10,7 @@
 //! evaluation serialized in-process.
 
 use monityre_core::{BalanceReport, Scenario};
+use monityre_ingest::{TelemetryPoint, VehicleWindow};
 use monityre_node::NodeConfig;
 use monityre_obs::TraceContext;
 use monityre_power::{ProcessCorner, WorkingConditions};
@@ -21,6 +22,13 @@ use crate::stats::StatsSnapshot;
 
 /// Longest request or response line the server will read (1 MiB).
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Largest `ingest` batch a single request may carry. Together with the
+/// lockstep protocol (one outstanding request per connection) and the
+/// bounded job queue, this caps how much un-acked telemetry any one
+/// connection can force the server to hold — the per-connection
+/// backpressure bound.
+pub const MAX_INGEST_POINTS: usize = 4096;
 
 /// The operations the server accepts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +50,17 @@ pub enum Op {
     SheetEdit,
     /// Read one cell of the server's shared compiled workbook.
     SheetEval,
+    /// Ingest one batch of telemetry points (`params.points`) into the
+    /// server's streaming pipeline: durable segment append, then the
+    /// per-vehicle sliding-window fold. Queued like evaluations; NOT
+    /// idempotent by construction — re-ingesting a batch double-counts —
+    /// so retry safety comes from the idempotency key (`idem`), which
+    /// the retrying client stamps automatically.
+    Ingest,
+    /// Read the windowed per-vehicle energy-balance state (all vehicles,
+    /// or one via `params.vehicle`). Queued, so a read observes a
+    /// consistent post-batch state.
+    IngestState,
     /// Server statistics snapshot (handled inline, never queued).
     Stats,
     /// Prometheus text exposition of the server's metric registry
@@ -60,7 +79,7 @@ pub enum Op {
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 12] = [
+    pub const ALL: [Op; 14] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
@@ -68,6 +87,8 @@ impl Op {
         Op::Emulate,
         Op::SheetEdit,
         Op::SheetEval,
+        Op::Ingest,
+        Op::IngestState,
         Op::Stats,
         Op::Metrics,
         Op::Ping,
@@ -86,6 +107,8 @@ impl Op {
             Op::Emulate => "emulate",
             Op::SheetEdit => "sheet_edit",
             Op::SheetEval => "sheet_eval",
+            Op::Ingest => "ingest",
+            Op::IngestState => "ingest_state",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
             Op::Ping => "ping",
@@ -361,6 +384,13 @@ pub struct Params {
     /// Formula source text for `sheet_edit` (exclusive with `value`).
     #[serde(default)]
     pub formula: Option<String>,
+    /// Telemetry batch for `ingest` (required, 1..=[`MAX_INGEST_POINTS`]
+    /// points). Omitted from the wire for every other operation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub points: Option<Vec<TelemetryPoint>>,
+    /// Vehicle filter for `ingest_state` (default: all vehicles).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub vehicle: Option<u64>,
 }
 
 /// One request line.
@@ -516,7 +546,19 @@ impl Request {
                     return Err("cell: sheet_eval requires a cell".to_owned());
                 }
             }
-            Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => {}
+            Op::Ingest => match p.points.as_deref() {
+                None | Some([]) => {
+                    return Err("points: ingest requires a non-empty batch".to_owned());
+                }
+                Some(points) if points.len() > MAX_INGEST_POINTS => {
+                    return Err(format!(
+                        "points: batch of {} exceeds the {MAX_INGEST_POINTS}-point bound",
+                        points.len()
+                    ));
+                }
+                Some(_) => {}
+            },
+            Op::IngestState | Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => {}
         }
         Ok(())
     }
@@ -598,6 +640,23 @@ pub enum Payload {
         cell: String,
         /// Its current value.
         value: f64,
+    },
+    /// One accepted telemetry batch.
+    Ingest {
+        /// Points accepted from this batch.
+        accepted: u64,
+        /// Deficit-alert edges this batch triggered.
+        alerts: u64,
+        /// Points folded since the segment store began (replay + live) —
+        /// a monotone cursor clients can use to detect double-counting.
+        points_total: u64,
+    },
+    /// The windowed per-vehicle energy-balance state.
+    IngestState {
+        /// Window span, microseconds.
+        window_us: u64,
+        /// Per-vehicle aggregates, ordered by vehicle id.
+        vehicles: Vec<VehicleWindow>,
     },
     /// Server statistics.
     Stats(StatsSnapshot),
@@ -960,6 +1019,51 @@ mod tests {
         ));
         let response = serde_json::to_string(&Response::success(Some(1), Payload::Pong)).unwrap();
         assert!(decode_response_line(response.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn ingest_requests_round_trip_and_validate() {
+        let mut request = Request::new(Op::Ingest).with_idem(7);
+        assert!(request.validate().is_err(), "a batch is required");
+        request.params.points = Some(vec![]);
+        assert!(request.validate().is_err(), "an empty batch is invalid");
+        let points = monityre_ingest::synthetic_points(3, 8, 2011, 1_000_000);
+        request.params.points = Some(points.clone());
+        assert!(request.validate().is_ok());
+        let json = serde_json::to_string(&request).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(back.params.points.as_deref(), Some(&points[..]));
+
+        // The batch bound is the backpressure contract.
+        request.params.points = Some(monityre_ingest::synthetic_points(
+            3,
+            MAX_INGEST_POINTS + 1,
+            2011,
+            0,
+        ));
+        assert!(request.validate().is_err());
+
+        // Non-ingest requests never carry the heavy fields on the wire.
+        let bare = serde_json::to_string(&Request::new(Op::Balance)).unwrap();
+        assert!(!bare.contains("points"), "{bare}");
+        assert!(!bare.contains("vehicle"), "{bare}");
+    }
+
+    #[test]
+    fn ingest_state_payload_round_trips() {
+        let mut ingestor = monityre_ingest::Ingestor::in_memory(60_000_000);
+        ingestor
+            .ingest(&monityre_ingest::synthetic_points(9, 16, 2011, 0), None)
+            .unwrap();
+        let payload = Payload::IngestState {
+            window_us: 60_000_000,
+            vehicles: ingestor.state(),
+        };
+        let json = serde_json::to_string(&payload).unwrap();
+        assert!(json.contains("\"IngestState\""), "{json}");
+        let back: Payload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, payload);
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub struct ServerConfig {
     /// [`monityre_faults::FAULTS_ENV_VAR`] environment variable at
     /// [`ServerConfig::start`]; absent both, the hooks are inert.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Segment-store directory of the `ingest` pipeline. `None` (the
+    /// default) keeps ingestion purely in memory; set, the server
+    /// replays the directory at startup — reconstructing pre-crash
+    /// window state — and appends durably from then on.
+    pub ingest_dir: Option<std::path::PathBuf>,
+    /// Sliding-window span of the ingest aggregation, microseconds.
+    pub ingest_window_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +75,8 @@ impl Default for ServerConfig {
             cache_capacity: 16,
             dedup_capacity: 256,
             faults: None,
+            ingest_dir: None,
+            ingest_window_us: monityre_ingest::DEFAULT_WINDOW_US,
         }
     }
 }
@@ -95,6 +104,15 @@ impl ServerConfig {
                 .map_err(|message| io::Error::new(io::ErrorKind::InvalidInput, message))?
                 .map(Arc::new),
         };
+        // Open (and, after a crash, recover) the ingest pipeline before
+        // accepting connections: the first `ingest_state` served must
+        // already see the replayed window state.
+        let ingestor = monityre_ingest::Ingestor::open(monityre_ingest::IngestConfig {
+            dir: self.ingest_dir,
+            window_us: self.ingest_window_us,
+            ..monityre_ingest::IngestConfig::default()
+        })?;
+        let replay = ingestor.replay_report().clone();
         let shared = Arc::new(Shared {
             addr,
             shutdown: AtomicBool::new(false),
@@ -105,6 +123,7 @@ impl ServerConfig {
                 stats: Arc::new(Stats::new()),
                 dedup: DedupMap::new(self.dedup_capacity),
                 sheet: std::sync::Mutex::new(crate::worker::reference_sheet(executor)),
+                ingest: std::sync::Mutex::new(ingestor),
             },
             faults,
         });
@@ -124,6 +143,7 @@ impl ServerConfig {
             shared,
             acceptor: Some(acceptor),
             workers,
+            replay,
         })
     }
 }
@@ -166,6 +186,14 @@ impl Shared {
         memo_gauge("serve.memo_hits", memo.hits);
         memo_gauge("serve.memo_misses", memo.misses);
         memo_gauge("serve.memo_evictions", memo.evictions);
+        if let Ok(ingest) = self.engine.ingest.lock() {
+            registry
+                .gauge("serve.ingest_vehicles")
+                .set(clamp(ingest.vehicles()));
+            registry
+                .gauge("serve.ingest_window_points")
+                .set(i64::try_from(ingest.points_in_window()).unwrap_or(i64::MAX));
+        }
         registry
             .snapshot()
             .merged(monityre_obs::Registry::global().snapshot())
@@ -191,6 +219,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    replay: monityre_ingest::ReplayReport,
 }
 
 impl ServerHandle {
@@ -211,6 +240,15 @@ impl ServerHandle {
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         self.shared.prometheus_text()
+    }
+
+    /// What the startup ingest replay found (all zeros when
+    /// [`ServerConfig::ingest_dir`] was `None` or the directory was
+    /// fresh) — `monityre serve` prints this so a post-crash restart
+    /// tells the operator how much state it reconstructed.
+    #[must_use]
+    pub fn ingest_replay(&self) -> &monityre_ingest::ReplayReport {
+        &self.replay
     }
 
     /// Whether shutdown has been triggered.

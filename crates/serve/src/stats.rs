@@ -38,6 +38,8 @@ pub(crate) struct Stats {
     cache_misses: Arc<Counter>,
     dedup_hits: Arc<Counter>,
     sheet_cells_cut: Arc<Counter>,
+    ingest_points: Arc<Counter>,
+    ingest_alerts: Arc<Counter>,
     /// Exact-rank window over recent service times: the pinned
     /// `p50_ms`/`p99_ms` wire fields must not move to bucket estimates.
     service: Reservoir,
@@ -57,6 +59,8 @@ impl Stats {
             cache_misses: counter("serve.cache_misses"),
             dedup_hits: counter(monityre_obs::names::SERVE_DEDUP_HITS),
             sheet_cells_cut: counter(monityre_obs::names::SHEET_CELLS_CUT),
+            ingest_points: counter(monityre_obs::names::SERVE_INGEST_POINTS),
+            ingest_alerts: counter(monityre_obs::names::SERVE_INGEST_ALERTS),
             service: Reservoir::new(),
             registry,
         }
@@ -142,6 +146,18 @@ impl Stats {
         self.sheet_cells_cut.add(cut);
     }
 
+    /// A served `ingest` batch finished: `points` accepted and `alerts`
+    /// deficit edges crossed, in `elapsed` (append + fold). The
+    /// `serve.ingest` histogram stamps the batch's trace id as its
+    /// exemplar, so a slow or alert-heavy bucket names a trace.
+    pub(crate) fn record_ingest(&self, points: u64, alerts: u64, elapsed: Duration) {
+        self.ingest_points.add(points);
+        self.ingest_alerts.add(alerts);
+        self.registry
+            .histogram(monityre_obs::names::SERVE_INGEST)
+            .record_traced(elapsed, current_trace_id());
+    }
+
     /// A self-consistent (per counter; relaxed across counters) snapshot.
     /// `eval_memo` is left zeroed here — the engine, which owns the
     /// scenario LRU, fills it in.
@@ -175,6 +191,8 @@ impl Stats {
             eval_memo: CacheCounts::default(),
             ops,
             dedup_hits: self.dedup_hits.get(),
+            ingest_points: self.ingest_points.get(),
+            ingest_alerts: self.ingest_alerts.get(),
         }
     }
 }
@@ -231,6 +249,12 @@ pub struct StatsSnapshot {
     /// re-executing.
     #[serde(default)]
     pub dedup_hits: u64,
+    /// Telemetry points accepted by served `ingest` batches.
+    #[serde(default)]
+    pub ingest_points: u64,
+    /// Deficit-alert edges the served ingest pipeline emitted.
+    #[serde(default)]
+    pub ingest_alerts: u64,
 }
 
 #[cfg(test)]
@@ -345,6 +369,23 @@ mod tests {
             .find(|h| h.name == monityre_obs::names::SERVE_QUEUE_WAIT)
             .unwrap();
         assert!(wait.exemplars.is_none(), "untraced record has no exemplar");
+    }
+
+    #[test]
+    fn ingest_records_tally_and_expose() {
+        let stats = Stats::new();
+        stats.record_ingest(128, 3, Duration::from_micros(420));
+        stats.record_ingest(64, 0, Duration::from_micros(210));
+        let snap = stats.snapshot();
+        assert_eq!(snap.ingest_points, 192);
+        assert_eq!(snap.ingest_alerts, 3);
+        let text = stats.registry().snapshot().to_prometheus();
+        assert!(text.contains("monityre_serve_ingest_points 192"), "{text}");
+        assert!(text.contains("monityre_serve_ingest_alerts 3"), "{text}");
+        assert!(
+            text.contains("monityre_serve_ingest_seconds_count 2"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use monityre_core::{
 };
 use monityre_faults::{FaultKind, FaultPlan};
 use monityre_harvest::Supercap;
+use monityre_ingest::Ingestor;
 use monityre_node::Architecture;
 use monityre_profile::named_cycle;
 use monityre_sheet::PowerSheet;
@@ -156,6 +157,15 @@ pub(crate) struct Engine {
     /// compiled incremental wave) and must serialize anyway to keep the
     /// workbook state — and dedup replays of it — deterministic.
     pub(crate) sheet: Mutex<PowerSheet>,
+    /// The streaming telemetry pipeline the `ingest`/`ingest_state` ops
+    /// serve. One mutex: a batch's segment append and window fold must
+    /// be atomic so the store's record order *is* the canonical event
+    /// order — the invariant that makes post-crash replay reconstruct
+    /// live state bit-identically. Ingest is NOT idempotent by
+    /// construction (re-appending double-counts); retries are made safe
+    /// by the dedup map via the request's `idem` key, which the
+    /// retrying client stamps automatically.
+    pub(crate) ingest: Mutex<Ingestor>,
 }
 
 /// Builds the workbook a server (or the in-process [`evaluate`] helper)
@@ -237,7 +247,7 @@ impl Engine {
                 panic!("injected worker panic (fault-plan seed {})", plan.seed());
             }
         }
-        let response = self.execute(job);
+        let response = self.execute(job, faults);
         if let Some(claim) = claim {
             if response.is_ok() {
                 let _writeback = monityre_obs::span(monityre_obs::names::SERVE_WRITEBACK);
@@ -251,8 +261,42 @@ impl Engine {
 
     /// The evaluation body (scenario lookup + op dispatch), shared by
     /// first executions and (absent an `idem` key) every request.
-    fn execute(&self, job: &Job) -> Response {
+    /// `faults` reaches only the ingest path, where the storage fault
+    /// kinds (torn write / short fsync) inject at the segment append.
+    fn execute(&self, job: &Job, faults: Option<&FaultPlan>) -> Response {
         let id = job.request.id;
+        if matches!(job.request.op, Op::Ingest | Op::IngestState) {
+            // Ingest ops hit the streaming pipeline, not a scenario.
+            let exec_start = Instant::now();
+            let result = {
+                let mut ingest = self.ingest.lock().expect("ingest lock");
+                run_ingest_op(&job.request, &mut ingest, faults)
+            };
+            return match result {
+                Ok(payload) => {
+                    let elapsed = exec_start.elapsed();
+                    self.stats.record_execute(elapsed);
+                    monityre_obs::record_phase(
+                        monityre_obs::names::SERVE_EXECUTE,
+                        exec_start,
+                        elapsed,
+                    );
+                    if let Payload::Ingest {
+                        accepted, alerts, ..
+                    } = &payload
+                    {
+                        self.stats.record_ingest(*accepted, *alerts, elapsed);
+                    }
+                    self.stats
+                        .record_served(job.request.op.name(), job.received.elapsed());
+                    Response::success(id, payload)
+                }
+                Err((code, message)) => {
+                    self.record_failure(code);
+                    Response::failure(id, code, message)
+                }
+            };
+        }
         if matches!(job.request.op, Op::SheetEdit | Op::SheetEval) {
             // Sheet ops hit the shared workbook, not a scenario: no LRU.
             let exec_start = Instant::now();
@@ -422,6 +466,50 @@ pub(crate) fn run_sheet_op(
     }
 }
 
+/// Runs an `ingest` / `ingest_state` against a telemetry pipeline.
+/// Shared by the worker pool (the server's durable [`Ingestor`], under
+/// its mutex) and the in-process [`evaluate`] helper (a fresh in-memory
+/// pipeline), so both produce identical payloads for identical point
+/// sequences.
+///
+/// An append failure — a real I/O error or an injected torn write —
+/// maps to the retryable `internal` code: the batch did not commit
+/// (the window was not folded), so a client retry with the same `idem`
+/// key re-executes without double-counting.
+pub(crate) fn run_ingest_op(
+    request: &Request,
+    ingest: &mut Ingestor,
+    faults: Option<&FaultPlan>,
+) -> Result<Payload, (ErrorCode, String)> {
+    match request.op {
+        Op::Ingest => {
+            let points = request.params.points.as_deref().unwrap_or_default();
+            let summary = ingest
+                .ingest(points, faults)
+                .map_err(|e| (ErrorCode::Internal, format!("ingest append failed: {e}")))?;
+            Ok(Payload::Ingest {
+                accepted: summary.accepted,
+                alerts: summary.alerts,
+                points_total: ingest.points_total(),
+            })
+        }
+        Op::IngestState => {
+            let vehicles = match request.params.vehicle {
+                Some(vehicle) => ingest.state_of(vehicle).into_iter().collect(),
+                None => ingest.state(),
+            };
+            Ok(Payload::IngestState {
+                window_us: ingest.window_us(),
+                vehicles,
+            })
+        }
+        _ => Err((
+            ErrorCode::BadRequest,
+            format!("op `{}` is not an ingest operation", request.op.name()),
+        )),
+    }
+}
+
 /// Runs the request's operation against a warm scenario, polling
 /// `cancelled` at chunk boundaries; `Ok(None)` means the deadline fired.
 fn run_op<C: Fn() -> bool + Sync>(
@@ -518,9 +606,10 @@ fn run_op<C: Fn() -> bool + Sync>(
                 span_s: report.span.secs(),
             }))
         }
-        // Sheet ops never reach here: `Engine::execute` and `evaluate`
-        // dispatch them to `run_sheet_op` before any scenario lookup.
-        Op::SheetEdit | Op::SheetEval => Err((
+        // Sheet and ingest ops never reach here: `Engine::execute` and
+        // `evaluate` dispatch them to their own runners before any
+        // scenario lookup.
+        Op::SheetEdit | Op::SheetEval | Op::Ingest | Op::IngestState => Err((
             ErrorCode::BadRequest,
             format!("op `{}` does not take a scenario", request.op.name()),
         )),
@@ -558,6 +647,12 @@ pub fn evaluate(
         // freshly-started server answers for the same request.
         let mut sheet = reference_sheet(*executor);
         return run_sheet_op(request, &mut sheet);
+    }
+    if matches!(request.op, Op::Ingest | Op::IngestState) {
+        // A fresh in-memory pipeline per call: the payload matches what
+        // a freshly-started server answers for the same first batch.
+        let mut ingest = Ingestor::in_memory(monityre_ingest::DEFAULT_WINDOW_US);
+        return run_ingest_op(request, &mut ingest, None);
     }
     let cached = CachedScenario::build(&request.scenario)?;
     run_op(request, &cached, executor, &|| false)
@@ -649,6 +744,54 @@ mod tests {
         request.params.steps = Some(1);
         let (code, _) = evaluate(&request, &executor).unwrap_err();
         assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn evaluate_ingest_uses_a_fresh_pipeline() {
+        let executor = SweepExecutor::serial();
+        let mut request = Request::new(Op::Ingest);
+        request.params.points = Some(monityre_ingest::synthetic_points(4, 16, 2011, 0));
+        let payload = evaluate(&request, &executor).unwrap();
+        let Payload::Ingest {
+            accepted,
+            points_total,
+            ..
+        } = payload
+        else {
+            panic!("wrong payload kind: {payload:?}");
+        };
+        assert_eq!(accepted, 16);
+        assert_eq!(points_total, 16, "fresh pipeline starts from zero");
+        // An empty-batch request is rejected at validation.
+        let bare = Request::new(Op::Ingest);
+        let (code, _) = evaluate(&bare, &executor).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn run_ingest_op_reports_state_and_rejects_foreign_ops() {
+        let mut ingest = Ingestor::in_memory(60_000_000);
+        let mut request = Request::new(Op::Ingest);
+        request.params.points = Some(monityre_ingest::synthetic_points(9, 8, 7, 0));
+        run_ingest_op(&request, &mut ingest, None).unwrap();
+        let mut read = Request::new(Op::IngestState);
+        read.params.vehicle = Some(9);
+        let Payload::IngestState { vehicles, .. } =
+            run_ingest_op(&read, &mut ingest, None).unwrap()
+        else {
+            panic!("wrong payload kind");
+        };
+        assert_eq!(vehicles.len(), 1);
+        assert_eq!(vehicles[0].vehicle, 9);
+        read.params.vehicle = Some(404);
+        let Payload::IngestState { vehicles, .. } =
+            run_ingest_op(&read, &mut ingest, None).unwrap()
+        else {
+            panic!("wrong payload kind");
+        };
+        assert!(vehicles.is_empty(), "unknown vehicle filters to empty");
+        let err = run_ingest_op(&Request::new(Op::Ping), &mut ingest, None).unwrap_err();
+        assert_eq!(err.0, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Loopback tests of the streaming-ingest pipeline: a real server, real
+//! TCP clients, and the ingest guarantees —
+//!
+//! 1. **Aggregation over the wire** — an `ingest` batch is folded into
+//!    the per-vehicle sliding window and `ingest_state` reads it back,
+//!    with deficit alerts counted in the server stats.
+//! 2. **Dedup safety** — ingest is *not* idempotent by construction, so
+//!    a retried batch must be absorbed by the idempotency map: same
+//!    `idem` key, same response bytes, no double count.
+//! 3. **Crash recovery** — a restart over the same segment directory
+//!    reconstructs the window state bit-identically, including after an
+//!    injected torn write killed a batch mid-append.
+
+use std::path::PathBuf;
+
+use monityre_faults::{FaultKind, FaultPlan};
+use monityre_ingest::{synthetic_points, Ingestor};
+use monityre_serve::{Client, ErrorCode, Op, Payload, Request, ServerConfig, TelemetryPoint};
+
+const WINDOW_US: u64 = 5_000_000;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "monityre-serve-ingest-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server(dir: Option<PathBuf>, faults: Option<FaultPlan>) -> monityre_serve::ServerHandle {
+    ServerConfig {
+        ingest_dir: dir,
+        ingest_window_us: WINDOW_US,
+        faults: faults.map(std::sync::Arc::new),
+        ..ServerConfig::default()
+    }
+    .start()
+    .expect("bind loopback")
+}
+
+fn ingest_request(id: u64, points: Vec<TelemetryPoint>) -> Request {
+    let mut request = Request::new(Op::Ingest).with_id(id);
+    request.params.points = Some(points);
+    request
+}
+
+fn state_request(id: u64, vehicle: Option<u64>) -> Request {
+    let mut request = Request::new(Op::IngestState).with_id(id);
+    request.params.vehicle = vehicle;
+    request
+}
+
+/// One guaranteed deficit point: harvest far below consumption.
+fn deficit_point(vehicle: u64, ts_us: u64) -> TelemetryPoint {
+    TelemetryPoint {
+        vehicle,
+        wheel: 0,
+        round: 0,
+        ts_us,
+        harvested_nj: 1_000,
+        consumed_nj: 2_000_000,
+    }
+}
+
+#[test]
+fn ingest_aggregates_over_the_wire_and_state_filters_by_vehicle() {
+    let handle = server(None, None);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let batch = synthetic_points(7, 32, 2011, 1_000_000);
+    let response = client
+        .request(&ingest_request(1, batch.clone()))
+        .expect("ingest");
+    let Some(Payload::Ingest {
+        accepted,
+        points_total,
+        ..
+    }) = response.ok
+    else {
+        panic!("unexpected ingest response: {response:?}");
+    };
+    assert_eq!(accepted, 32);
+    assert_eq!(points_total, 32);
+
+    // A second vehicle in guaranteed deficit: the edge must alert.
+    let response = client
+        .request(&ingest_request(2, vec![deficit_point(9, 1_000_000)]))
+        .expect("ingest deficit");
+    let Some(Payload::Ingest { alerts, .. }) = response.ok else {
+        panic!("unexpected ingest response: {response:?}");
+    };
+    assert_eq!(alerts, 1);
+
+    // Unfiltered state sees both vehicles, ordered by id; the filter
+    // narrows to one; an unknown vehicle yields an empty list, not an
+    // error.
+    let state = |client: &mut Client, id, vehicle| {
+        let response = client.request(&state_request(id, vehicle)).expect("state");
+        let Some(Payload::IngestState {
+            window_us,
+            vehicles,
+        }) = response.ok
+        else {
+            panic!("unexpected state response: {response:?}");
+        };
+        assert_eq!(window_us, WINDOW_US);
+        vehicles
+    };
+    let all = state(&mut client, 3, None);
+    assert_eq!(
+        all.iter().map(|w| w.vehicle).collect::<Vec<_>>(),
+        vec![7, 9]
+    );
+    let nine = state(&mut client, 4, Some(9));
+    assert_eq!(nine.len(), 1);
+    assert!(nine[0].in_deficit);
+    assert_eq!(state(&mut client, 5, Some(404)).len(), 0);
+
+    // The serve-side tallies and gauges saw the traffic. Expected
+    // values come from an in-memory reference fold of the same batches
+    // (the synthetic vehicle can cross deficit edges of its own, and
+    // the sliding window evicts its older points).
+    let mut reference = Ingestor::in_memory(WINDOW_US);
+    reference.ingest(&batch, None).expect("reference fold");
+    reference
+        .ingest(&[deficit_point(9, 1_000_000)], None)
+        .expect("reference fold");
+    let stats = handle.stats();
+    assert_eq!(stats.ingest_points, 33);
+    assert_eq!(stats.ingest_alerts, reference.alerts_total());
+    assert!(stats.ingest_alerts >= 1, "the deficit vehicle must alert");
+    let text = handle.prometheus_text();
+    assert!(text.contains("monityre_serve_ingest_vehicles 2"), "{text}");
+    assert!(
+        text.contains(&format!(
+            "monityre_serve_ingest_window_points {}",
+            reference.points_in_window()
+        )),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn retried_ingest_with_an_idem_key_is_not_double_counted() {
+    let handle = server(None, None);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let request = ingest_request(1, synthetic_points(3, 16, 5, 1_000_000)).with_idem(0xfeed);
+    let first = client.request_raw(&request).expect("first send");
+    let second = client.request_raw(&request).expect("retry");
+    assert_eq!(first, second, "replayed response must be byte-identical");
+
+    let response = client.request(&state_request(2, Some(3))).expect("state");
+    let Some(Payload::IngestState { vehicles, .. }) = response.ok else {
+        panic!("unexpected state response: {response:?}");
+    };
+    assert_eq!(vehicles[0].points, 16, "retry was folded twice");
+    assert_eq!(handle.stats().dedup_hits, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn restart_replays_served_ingest_bit_identically() {
+    let dir = temp_dir("restart");
+    let state_line;
+    {
+        let handle = server(Some(dir.clone()), None);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for (i, batch) in synthetic_points(11, 300, 2011, 1_000_000)
+            .chunks(50)
+            .enumerate()
+        {
+            let response = client
+                .request(&ingest_request(i as u64, batch.to_vec()))
+                .expect("ingest");
+            assert!(response.is_ok(), "{response:?}");
+        }
+        state_line = client.request_raw(&state_request(99, None)).expect("state");
+        handle.shutdown();
+    }
+    let handle = server(Some(dir.clone()), None);
+    assert_eq!(handle.ingest_replay().points, 300);
+    assert_eq!(handle.ingest_replay().truncated_bytes, 0);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let replayed_line = client
+        .request_raw(&state_request(99, None))
+        .expect("state after restart");
+    assert_eq!(
+        replayed_line, state_line,
+        "restart must reconstruct the window state bit-identically"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn torn_write_surfaces_a_retryable_error_and_restart_recovers_the_prefix() {
+    let dir = temp_dir("torn");
+    let points = synthetic_points(5, 40, 77, 1_000_000);
+    {
+        let plan = FaultPlan::new(3).with_fault(FaultKind::TornWrite, 1.0);
+        let handle = server(Some(dir.clone()), Some(plan));
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let response = client
+            .request(&ingest_request(1, points.clone()))
+            .expect("wire round trip");
+        let error = response.error.expect("torn write must fail the batch");
+        assert_eq!(error.code, ErrorCode::Internal);
+        assert!(error.code.is_retryable());
+        assert!(error.message.contains("torn write"), "{}", error.message);
+        handle.shutdown();
+    }
+    // "Restart" without faults: the durable whole-record prefix — and
+    // nothing else — must come back, matching an uninterrupted in-memory
+    // fold of exactly those records.
+    let handle = server(Some(dir.clone()), None);
+    let replay = handle.ingest_replay().clone();
+    assert!(replay.truncated_bytes > 0, "the torn tail was on disk");
+    let durable = usize::try_from(replay.points).expect("fits");
+    assert!((1..40).contains(&durable), "durable {durable}");
+    let mut reference = Ingestor::in_memory(WINDOW_US);
+    reference
+        .ingest(&points[..durable], None)
+        .expect("reference fold");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let response = client.request(&state_request(7, None)).expect("state");
+    let Some(Payload::IngestState { vehicles, .. }) = response.ok else {
+        panic!("unexpected state response: {response:?}");
+    };
+    assert_eq!(
+        serde_json::to_string(&vehicles).expect("serialize"),
+        serde_json::to_string(&reference.state()).expect("serialize"),
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

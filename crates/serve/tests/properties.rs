@@ -91,6 +91,8 @@ fn arb_params() -> BoxedStrategy<Params> {
                 cell: None,
                 value: None,
                 formula: None,
+                points: None,
+                vehicle: None,
             },
         )
         .boxed()
