@@ -221,26 +221,43 @@ pub fn sweep_bench_path() -> PathBuf {
         .join("BENCH_sweep.json")
 }
 
+/// The 1-CPU floor check: on a single CPU a parallel pass cannot beat
+/// serial, but it should not lose to it either — the worker pool's only
+/// legitimate cost there is handoff overhead, budgeted at 10 %. Returns
+/// the violation message when a 1-CPU row falls below the floor.
+/// (Multi-CPU speedups stay unchecked — recording runs share the machine
+/// with the rest of the suite, and contention would make any floor
+/// flaky.)
+#[must_use]
+pub fn one_cpu_floor_violation(result: &SweepBenchResult) -> Option<String> {
+    (result.cpus == 1 && result.speedup < 0.9).then(|| {
+        format!(
+            "bench {}: {:.2}x on 1 cpu — worker handoff overhead exceeds the 10 % budget",
+            result.name, result.speedup
+        )
+    })
+}
+
+/// Env var that turns the 1-CPU floor warning into a hard failure.
+pub const BENCH_STRICT_ENV_VAR: &str = "MONITYRE_BENCH_STRICT";
+
 /// Merges `result` into `BENCH_sweep.json`, replacing any existing row
 /// with the same name, and prints a one-line summary.
 ///
 /// # Panics
 ///
 /// Panics when the file cannot be read, parsed or written — a harness
-/// misconfiguration worth failing loudly on.
+/// misconfiguration worth failing loudly on — and, only when
+/// [`BENCH_STRICT_ENV_VAR`] is `1`, when a 1-CPU row breaks the 10 %
+/// handoff budget ([`one_cpu_floor_violation`]). By default the floor
+/// only warns: a single wall-clock sample on a loaded or throttled
+/// 1-CPU runner is too noisy to fail a whole job on.
 pub fn record_sweep_bench(result: SweepBenchResult) {
-    // On a 1-CPU host a parallel pass cannot beat serial, but it must not
-    // lose to it either: the worker pool's only legitimate cost there is
-    // handoff overhead, budgeted at 10 %. (Multi-CPU speedups stay
-    // unasserted — recording runs share the machine with the rest of the
-    // suite, and contention would make any floor flaky.)
-    if result.cpus == 1 {
-        assert!(
-            result.speedup >= 0.9,
-            "bench {}: {:.2}x on 1 cpu — worker handoff overhead exceeds the 10 % budget",
-            result.name,
-            result.speedup
-        );
+    if let Some(message) = one_cpu_floor_violation(&result) {
+        if std::env::var(BENCH_STRICT_ENV_VAR).is_ok_and(|v| v == "1") {
+            panic!("{message}");
+        }
+        eprintln!("warning: {message} (set {BENCH_STRICT_ENV_VAR}=1 to fail instead)");
     }
     let path = sweep_bench_path();
     let mut rows: Vec<SweepBenchResult> = match std::fs::read_to_string(&path) {
@@ -739,11 +756,12 @@ mod tests {
     }
 
     /// The 1-CPU guard: a parallel pass that loses more than 10 % to
-    /// serial on a single CPU is a worker-pool regression, not noise.
+    /// serial on a single CPU is flagged (warning by default, hard
+    /// failure under `MONITYRE_BENCH_STRICT=1`); multi-CPU rows and rows
+    /// inside the budget pass silently.
     #[test]
-    #[should_panic(expected = "worker handoff overhead")]
-    fn record_sweep_bench_rejects_1cpu_slowdowns() {
-        record_sweep_bench(SweepBenchResult {
+    fn one_cpu_floor_violation_flags_1cpu_slowdowns() {
+        let mut row = SweepBenchResult {
             name: "unit-guard".into(),
             points: 1,
             batches: 1,
@@ -752,7 +770,17 @@ mod tests {
             serial_points_per_sec: 1000.0,
             parallel_points_per_sec: 500.0,
             speedup: 0.5,
-        });
+        };
+        let message = one_cpu_floor_violation(&row).expect("0.5x on 1 cpu violates the floor");
+        assert!(message.contains("worker handoff overhead"), "{message}");
+        row.speedup = 0.95;
+        assert!(one_cpu_floor_violation(&row).is_none(), "within budget");
+        row.speedup = 0.5;
+        row.cpus = 4;
+        assert!(
+            one_cpu_floor_violation(&row).is_none(),
+            "multi-CPU unchecked"
+        );
     }
 
     #[test]

@@ -51,11 +51,15 @@ pub enum FaultKind {
     /// Skip the segment store's batch fsync: the bytes reach the page
     /// cache but durability is not guaranteed if the host dies next.
     ShortFsync,
+    /// Fail the segment store's batch fsync after the write landed: the
+    /// store must cut the segment back to the batch start (the batch is
+    /// reported uncommitted) so an idempotent retry cannot double it.
+    FailFsync,
 }
 
 impl FaultKind {
     /// Every kind, for enumeration in specs, tests and docs.
-    pub const ALL: [FaultKind; 12] = [
+    pub const ALL: [FaultKind; 13] = [
         FaultKind::AcceptDrop,
         FaultKind::ConnReset,
         FaultKind::PartialWrite,
@@ -68,6 +72,7 @@ impl FaultKind {
         FaultKind::DelayResponse,
         FaultKind::TornWrite,
         FaultKind::ShortFsync,
+        FaultKind::FailFsync,
     ];
 
     /// The spec name (snake_case).
@@ -86,6 +91,7 @@ impl FaultKind {
             FaultKind::DelayResponse => "delay_response",
             FaultKind::TornWrite => "torn_write",
             FaultKind::ShortFsync => "short_fsync",
+            FaultKind::FailFsync => "fail_fsync",
         }
     }
 

@@ -17,11 +17,18 @@
 //!   truncates it to its longest valid record prefix, and the store is
 //!   clean again.
 //!
-//! Fault injection hooks ([`FaultKind::TornWrite`], [`FaultKind::ShortFsync`])
-//! reproduce both crash artifacts deterministically in-process: a torn
-//! write persists a prefix of the batch and then poisons the store —
-//! modelling the writing process dying mid-write — so the only way
-//! forward is the same reopen-and-recover path a real crash takes.
+//! Fault injection hooks ([`FaultKind::TornWrite`], [`FaultKind::ShortFsync`],
+//! [`FaultKind::FailFsync`]) reproduce the crash artifacts
+//! deterministically in-process: a torn write persists a prefix of the
+//! batch and then poisons the store — modelling the writing process
+//! dying mid-write — so the only way forward is the same
+//! reopen-and-recover path a real crash takes; a failed fsync leaves the
+//! batch's bytes in the file, so the store heals by cutting the segment
+//! back to the batch start before reporting the batch uncommitted.
+//! While poisoned the store refuses every append — including the
+//! rotation that would otherwise start a fresh segment — because a
+//! rotated-past torn tail would sit mid-history where replay stops
+//! early and discards everything after it.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -127,6 +134,14 @@ fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("seg-{index:08}.{SEGMENT_EXT}"))
+}
+
+/// The error every append returns once the store is poisoned. Several
+/// paths poison (an injected torn write, a heal that failed to truncate,
+/// a failed rotation sync), so the message stays neutral about the cause
+/// — reopening recovers in all of them.
+fn poisoned_error() -> io::Error {
+    io::Error::other("segment store is poisoned after a failed write; reopen to recover")
 }
 
 /// Replays every valid record in `dir` (oldest segment first) through
@@ -248,16 +263,19 @@ impl SegmentStore {
     /// one fsync, rotating (and applying retention) first when the
     /// active segment is full.
     ///
-    /// `faults` drives the two storage fault kinds: a fired
+    /// `faults` drives the storage fault kinds: a fired
     /// [`FaultKind::TornWrite`] persists only a prefix of the batch and
     /// poisons the store (every later append fails until reopen — the
     /// in-process analogue of the writer dying mid-batch); a fired
-    /// [`FaultKind::ShortFsync`] skips the batch's sync.
+    /// [`FaultKind::ShortFsync`] skips the batch's sync; a fired
+    /// [`FaultKind::FailFsync`] fails the sync after the write landed,
+    /// exercising the heal-back-to-batch-start path.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error, a poisoned-store error after a
-    /// torn write, or the injected torn-write error itself.
+    /// Returns the underlying I/O error, a poisoned-store error when a
+    /// previous failure left the store unusable, or the injected fault's
+    /// error itself.
     pub fn append_batch(
         &mut self,
         points: &[TelemetryPoint],
@@ -266,14 +284,18 @@ impl SegmentStore {
         if points.is_empty() {
             return Ok(());
         }
+        // The poison check must come BEFORE rotation: rotate() recreates
+        // the active handle, and a poisoned store that rotated would ack
+        // fresh batches into a new segment while a mid-record torn tail
+        // sits in the sealed earlier one — exactly where replay stops
+        // early and silently discards everything written after it.
+        if self.active.is_none() {
+            return Err(poisoned_error());
+        }
         if self.active_bytes >= self.config.segment_bytes {
             self.rotate()?;
         }
-        let file = self.active.as_mut().ok_or_else(|| {
-            io::Error::other(
-                "segment store is poisoned by an injected torn write; reopen to recover",
-            )
-        })?;
+        let file = self.active.as_mut().ok_or_else(poisoned_error)?;
         self.buf.clear();
         for point in points {
             point.encode(&mut self.buf);
@@ -304,7 +326,29 @@ impl SegmentStore {
         }
         let skip_sync = faults.is_some_and(|plan| plan.decide(FaultKind::ShortFsync));
         if self.config.fsync && !skip_sync {
-            file.sync_data()?;
+            let fail_sync = faults.is_some_and(|plan| plan.decide(FaultKind::FailFsync));
+            let synced = if fail_sync {
+                Err(io::Error::other(
+                    "injected fsync failure: batch durability unknown",
+                ))
+            } else {
+                file.sync_data()
+            };
+            if let Err(error) = synced {
+                // The batch's bytes are in the file but the caller will
+                // be told the batch did not commit — cut the segment
+                // back to the batch start so an idempotent retry cannot
+                // append a second copy, and keep active_bytes honest
+                // against the O_APPEND file length.
+                let healed = OpenOptions::new()
+                    .write(true)
+                    .open(&self.active_path)
+                    .and_then(|f| f.set_len(self.active_bytes));
+                if healed.is_err() {
+                    self.active = None;
+                }
+                return Err(error);
+            }
         }
         self.active_bytes += self.buf.len() as u64;
         Ok(())
@@ -435,6 +479,69 @@ mod tests {
         assert_eq!(report.points, 5);
         assert_eq!(seen, points[..5].to_vec());
         drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_store_never_rotates_back_to_life() {
+        let dir = temp_dir("poisonrotate");
+        let mut config = StoreConfig::new(&dir);
+        config.segment_bytes = 4 * RECORD_BYTES as u64;
+        let points = synthetic_points(1, 12, 7, 0);
+        let mut store = SegmentStore::open(config).unwrap();
+        // Fill segment 0 to the rotation threshold.
+        store.append_batch(&points[..4], None).unwrap();
+        // The torn write lands in segment 1 (rotation happens first) and
+        // leaves active_bytes past the threshold before poisoning — the
+        // exact setup where a poison check placed after rotation would
+        // resurrect the store on the next append.
+        let plan = FaultPlan::new(1).with_fault(FaultKind::TornWrite, 1.0);
+        let err = store.append_batch(&points[4..10], Some(&plan)).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let segments = store.segment_count().unwrap();
+        for _ in 0..2 {
+            let err = store.append_batch(&points[10..], None).unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "{err}");
+        }
+        assert_eq!(
+            store.segment_count().unwrap(),
+            segments,
+            "a poisoned store must not rotate into a fresh segment"
+        );
+        drop(store);
+        // Reopen cuts the torn tail; nothing ever landed beyond it, so
+        // replay sees every acked record and no mid-history damage.
+        let mut seen = Vec::new();
+        let report = replay_dir(&dir, |p| seen.push(*p)).unwrap();
+        assert!(!report.stopped_early);
+        assert_eq!(report.points, 9);
+        assert_eq!(seen, points[..9].to_vec());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_heals_to_batch_start() {
+        let dir = temp_dir("failfsync");
+        let plan = FaultPlan::new(1).with_fault(FaultKind::FailFsync, 1.0);
+        let points = synthetic_points(1, 6, 7, 0);
+        let mut store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+        store.append_batch(&points[..2], None).unwrap();
+        let err = store.append_batch(&points[2..], Some(&plan)).unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        assert_eq!(plan.injected(FaultKind::FailFsync), 1);
+        // The failed batch's bytes were cut back out, so the store is
+        // not poisoned and an idempotent retry lands exactly one copy.
+        assert_eq!(store.active_bytes(), 2 * RECORD_BYTES as u64);
+        store.append_batch(&points[2..], None).unwrap();
+        drop(store);
+        let mut seen = Vec::new();
+        let report = replay_dir(&dir, |p| seen.push(*p)).unwrap();
+        assert_eq!(report.points, 6);
+        assert_eq!(
+            report.truncated_bytes, 0,
+            "no stray bytes past active_bytes"
+        );
+        assert_eq!(seen, points);
         fs::remove_dir_all(&dir).unwrap();
     }
 

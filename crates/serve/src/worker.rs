@@ -475,7 +475,15 @@ pub(crate) fn run_sheet_op(
 /// An append failure — a real I/O error or an injected torn write —
 /// maps to the retryable `internal` code: the batch did not commit
 /// (the window was not folded), so a client retry with the same `idem`
-/// key re-executes without double-counting.
+/// key re-executes without double-counting *within one server
+/// lifetime*. Across a restart the guarantee weakens to at-least-once:
+/// a torn write durably persists the failed batch's whole-record
+/// prefix, recovery keeps those records (it cannot tell them from a
+/// committed batch), and the dedup map is in-memory — so a client
+/// retrying the same batch against the restarted server re-appends it
+/// in full and the prefix records count twice in both the store and
+/// the replayed window. Callers needing exactly-once across crashes
+/// must deduplicate above this layer (e.g. by point timestamp).
 pub(crate) fn run_ingest_op(
     request: &Request,
     ingest: &mut Ingestor,
