@@ -30,6 +30,22 @@ fn breakeven(id: u64) -> Request {
     request
 }
 
+/// Best-of-`reps` lockstep throughput of one connection against `addr`.
+fn lockstep_rps(addr: std::net::SocketAddr, batch: usize, reps: usize) -> f64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut best = 0.0f64;
+    for rep in 0..reps {
+        let start = Instant::now();
+        for i in 0..batch {
+            let id = 2_000_000 + (rep * batch + i) as u64;
+            let response = client.request(&breakeven(id)).expect("request");
+            assert!(response.is_ok(), "request {id} failed: {response:?}");
+        }
+        best = best.max(batch as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn main() {
     let options = parse_args();
     header(
@@ -153,9 +169,69 @@ fn main() {
         "traced and untraced passes make progress",
         traced_rps > 0.0 && untraced_rps > 0.0,
     );
+
+    // Continuous-self-observation overhead: the same single-connection
+    // lockstep batch against a server whose observer thread is armed vs
+    // one with both observers off. Each observer is measured alone so a
+    // regression names its culprit. The scrape runs at 10 ms — 100× the
+    // production cadence — and the profiler at its production ~100 Hz;
+    // both still have to fit the 2 % budget.
+    let axes: [(&str, u64, u64); 2] = [
+        ("serve-self-scrape", 10_000, 0),
+        (
+            "serve-profiler",
+            0,
+            ServerConfig::default().profile_interval_us,
+        ),
+    ];
+    let mut observation = Vec::new();
+    for (name, scrape_us, profile_us) in axes {
+        let observed = ServerConfig {
+            workers: WORKERS,
+            scrape_interval_us: scrape_us,
+            profile_interval_us: profile_us,
+            ..ServerConfig::default()
+        }
+        .start()
+        .expect("bind loopback");
+        let bare = ServerConfig {
+            workers: WORKERS,
+            scrape_interval_us: 0,
+            profile_interval_us: 0,
+            ..ServerConfig::default()
+        }
+        .start()
+        .expect("bind loopback");
+        // Warm both fresh servers' caches off the clock.
+        let _ = lockstep_rps(observed.addr(), batch, 1);
+        let _ = lockstep_rps(bare.addr(), batch, 1);
+        let (on_rps, off_rps, pct) = best_overhead(rounds, target_pct, || {
+            (
+                lockstep_rps(observed.addr(), batch, trace_reps),
+                lockstep_rps(bare.addr(), batch, trace_reps),
+            )
+        });
+        if name == "serve-self-scrape" {
+            // The armed server must actually have been self-scraping.
+            expect(
+                options,
+                "the scrape loop filled the served counter's ring",
+                observed.series("serve.served").is_some(),
+            );
+        }
+        observed.shutdown();
+        bare.shutdown();
+        expect(
+            options,
+            "observed and bare passes make progress",
+            on_rps > 0.0 && off_rps > 0.0,
+        );
+        observation.push((name, on_rps, off_rps, pct));
+    }
+
     if options.check {
         // Check mode is a functional smoke that runs concurrently with the
-        // whole test suite on shared CPUs: the guard only screens out
+        // whole test suite on shared CPUs: the guards only screen out
         // catastrophic (order-of-magnitude) regressions, the release run
         // enforces the real 2 % budget.
         expect(
@@ -163,6 +239,13 @@ fn main() {
             "wire-trace overhead is within the noise guard (< 50 %)",
             trace_pct < 50.0,
         );
+        for (name, _, _, pct) in &observation {
+            expect(
+                options,
+                &format!("{name} overhead is within the noise guard (< 50 %)"),
+                *pct < 50.0,
+            );
+        }
         return; // never race concurrent test runs on the BENCH files
     }
     assert!(
@@ -170,6 +253,13 @@ fn main() {
         "wire-trace overhead {trace_pct:.2} % exceeds the 2 % budget \
          (traced {traced_rps:.0} req/s vs untraced {untraced_rps:.0} req/s)"
     );
+    for (name, on_rps, off_rps, pct) in &observation {
+        assert!(
+            *pct < 2.0,
+            "{name} overhead {pct:.2} % exceeds the 2 % budget \
+             (observed {on_rps:.0} req/s vs bare {off_rps:.0} req/s)"
+        );
+    }
     record_serve_bench(result);
     record_obs_bench(ObsBenchResult {
         name: "serve-loopback-traced".into(),
@@ -180,4 +270,15 @@ fn main() {
         disabled_points_per_sec: untraced_rps,
         overhead_pct: trace_pct,
     });
+    for (name, on_rps, off_rps, pct) in observation {
+        record_obs_bench(ObsBenchResult {
+            name: (*name).to_owned(),
+            points: batch,
+            batches: trace_reps,
+            cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            enabled_points_per_sec: on_rps,
+            disabled_points_per_sec: off_rps,
+            overhead_pct: pct,
+        });
+    }
 }

@@ -17,6 +17,8 @@
 //!                    [--faults SEED:KIND=P,...] [--announce /tmp/addr]
 //!                    [--flight-recorder /tmp/dump.jsonl]
 //!                    [--ingest-dir /tmp/segments] [--ingest-window-s 60]
+//!                    [--scrape-interval-ms 1000] [--profile-interval-ms 10]
+//!                    [--slo-fast-s 300] [--slo-slow-s 3600]
 //! monityre request   [--addr HOST:PORT | --local] [--op breakeven] [--id 1]
 //!                    [--deadline-ms 5000] [--steps 96] [--temp 85]
 //!                    [--retry] [--retry-attempts 8] [--retry-backoff-ms 10]
@@ -24,9 +26,13 @@
 //!                    [--trace TRACE:SPAN]
 //!                    [--cell NAME] [--value V | --formula EXPR]   (sheet ops)
 //!                    [--ingest N] [--ingest-seed S] [--vehicle V]  (ingest ops)
+//!                    [--metric NAME] [--resolution 10s] [--range-s N] (series)
 //! monityre ingest    --dir /tmp/segments [--window-s 60] [--vehicle V] [--json]
 //! monityre obs       --addr HOST:PORT [--prometheus] [--dump]
 //! monityre obs trace TRACE_ID --from /tmp/dump.jsonl
+//! monityre obs series METRIC --addr HOST:PORT [--resolution 10s]
+//!                    [--range-s N] [--json | --sparkline]
+//! monityre obs profile --addr HOST:PORT [--json]
 //! ```
 //!
 //! The command implementations return their output as a `String`, so the
@@ -57,20 +63,40 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(usage());
     }
-    // `obs trace <trace-id>` carries a positional the flag parser would
-    // reject, so it is peeled off before `Args::parse`.
+    // The `obs` subcommands carry positionals the flag parser would
+    // reject (`obs trace <trace-id>`, `obs series <metric>`, the bare
+    // `obs profile`), so they are peeled off before `Args::parse`.
     if command == "obs" {
         if let Some((sub, tail)) = rest.split_first() {
-            if sub == "trace" {
-                let Some((trace_id, tail)) =
-                    tail.split_first().filter(|(id, _)| !id.starts_with("--"))
-                else {
-                    return Err(CliError::new(
-                        "usage: monityre obs trace <trace-id> --from <dump.jsonl>",
-                    ));
-                };
-                let args = Args::parse(tail)?;
-                return remote::obs_trace(trace_id, &args);
+            match sub.as_str() {
+                "trace" => {
+                    let Some((trace_id, tail)) =
+                        tail.split_first().filter(|(id, _)| !id.starts_with("--"))
+                    else {
+                        return Err(CliError::new(
+                            "usage: monityre obs trace <trace-id> --from <dump.jsonl>",
+                        ));
+                    };
+                    let args = Args::parse(tail)?;
+                    return remote::obs_trace(trace_id, &args);
+                }
+                "series" => {
+                    let Some((metric, tail)) =
+                        tail.split_first().filter(|(m, _)| !m.starts_with("--"))
+                    else {
+                        return Err(CliError::new(
+                            "usage: monityre obs series <metric> --addr <host:port> \
+                             [--resolution 10s] [--range-s N] [--json | --sparkline]",
+                        ));
+                    };
+                    let args = Args::parse(tail)?;
+                    return remote::obs_series(metric, &args);
+                }
+                "profile" => {
+                    let args = Args::parse(tail)?;
+                    return remote::obs_profile(&args);
+                }
+                _ => {}
             }
         }
     }
@@ -123,6 +149,11 @@ COMMANDS:
                exposition, --dump to trigger a flight-recorder dump)
     obs trace  pretty-print one request's span tree from a dump file
                (monityre obs trace <trace-id> --from <dump.jsonl>)
+    obs series query one metric's self-scraped time-series ring
+               (monityre obs series <metric> --addr HOST:PORT
+                [--resolution 10s] [--range-s N] [--json | --sparkline])
+    obs profile fetch the wall-clock sampler's flame table
+               (monityre obs profile --addr HOST:PORT [--json])
 
 COMMON FLAGS:
     --temp <C>          working temperature in °C        (default 27)
@@ -554,6 +585,88 @@ mod tests {
         handle.shutdown();
     }
 
+    /// The observation surface end to end over one observing server:
+    /// `obs series` in all three renderings, `obs profile`, `request
+    /// --op health`, and the exemplar column of the plain `obs` report.
+    #[test]
+    fn obs_series_profile_and_health_report_a_live_server() {
+        let handle = monityre_serve::ServerConfig {
+            scrape_interval_us: 20_000,
+            profile_interval_us: 2_000,
+            ..Default::default()
+        }
+        .start()
+        .expect("bind loopback");
+        let addr = handle.addr();
+        // Traced traffic so counters move and an exemplar exists.
+        let trace = "00000000000000c7:0000000000000001";
+        for id in 0..3 {
+            let out = run_line(&format!(
+                "request --addr {addr} --op breakeven --id {id} --trace {trace}"
+            ))
+            .unwrap();
+            assert!(out.contains("Breakeven"), "{out}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        let table = run_line(&format!("obs series serve.served --addr {addr}")).unwrap();
+        assert!(table.contains("series serve.served (counter"), "{table}");
+        assert!(table.contains("3"), "{table}");
+
+        let json = run_line(&format!("obs series serve.served --addr {addr} --json")).unwrap();
+        assert!(json.contains("\"metric\":\"serve.served\""), "{json}");
+        assert!(json.contains("\"kind\":\"counter\""), "{json}");
+
+        let spark = run_line(&format!(
+            "obs series serve.served --addr {addr} --sparkline"
+        ))
+        .unwrap();
+        assert!(
+            spark.chars().any(|c| ('▁'..='█').contains(&c)),
+            "no blocks in {spark}"
+        );
+
+        // An unknown metric surfaces the server's structured message.
+        let err = run_line(&format!("obs series no.such.metric --addr {addr}")).unwrap_err();
+        assert!(err.to_string().contains("no.such.metric"), "{err}");
+
+        let flame = run_line(&format!("obs profile --addr {addr}")).unwrap();
+        assert!(flame.contains("flame table:"), "{flame}");
+        assert!(!flame.contains("sampler is disabled"), "{flame}");
+
+        let health = run_line(&format!("request --addr {addr} --op health")).unwrap();
+        assert!(health.contains("\"Health\""), "{health}");
+        assert!(health.contains("error-ratio"), "{health}");
+
+        // The per-op table names the slowest traced request.
+        let report = run_line(&format!("obs --addr {addr}")).unwrap();
+        assert!(report.contains("slowest trace"), "{report}");
+        assert!(report.contains("00000000000000c7"), "{report}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn obs_series_requires_a_metric_and_an_address() {
+        let err = run_line("obs series").unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err = run_line("obs series serve.served").unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+        let err = run_line("obs profile").unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+    }
+
+    /// A `series` request built from flags validates on the client side
+    /// exactly as it would on the wire: the metric is required, the
+    /// resolution must parse as a duration.
+    #[test]
+    fn request_local_series_flags_validate() {
+        let out = run_line("request --local --op series").unwrap();
+        assert!(out.contains("bad_request"), "{out}");
+        let out = run_line("request --local --op series --metric x --resolution bogus").unwrap();
+        assert!(out.contains("bad_request"), "{out}");
+        assert!(out.contains("resolution"), "{out}");
+    }
+
     #[test]
     fn serve_command_announces_and_drains() {
         use monityre_serve::{Op, Request};
@@ -568,7 +681,8 @@ mod tests {
         let _ = std::fs::remove_file(&announce);
         let _ = std::fs::remove_file(&recorder);
         let line = format!(
-            "serve --port 0 --workers 1 --announce {} --flight-recorder {}",
+            "serve --port 0 --workers 1 --announce {} --flight-recorder {} \
+             --scrape-interval-ms 100 --profile-interval-ms 5 --slo-fast-s 5 --slo-slow-s 60",
             announce.display(),
             recorder.display()
         );

@@ -79,6 +79,26 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         "ingest-window-s",
         usize::try_from(monityre_ingest::DEFAULT_WINDOW_US / 1_000_000).unwrap_or(60),
     )?;
+    // The self-observation knobs. Absent flags keep the built-in cadences
+    // (1 s scrape, ~100 Hz profiler, 5 m/1 h burn windows); an explicit
+    // `0` disables that observer thread entirely.
+    let defaults = ServerConfig::default();
+    let scrape_interval_us = match parse_opt::<u64>(args, "scrape-interval-ms")? {
+        None => defaults.scrape_interval_us,
+        Some(ms) => ms.saturating_mul(1_000),
+    };
+    let profile_interval_us = match parse_opt::<u64>(args, "profile-interval-ms")? {
+        None => defaults.profile_interval_us,
+        Some(ms) => ms.saturating_mul(1_000),
+    };
+    let slo_fast_us = match parse_opt::<u64>(args, "slo-fast-s")? {
+        None => defaults.slo_fast_us,
+        Some(s) => s.saturating_mul(1_000_000),
+    };
+    let slo_slow_us = match parse_opt::<u64>(args, "slo-slow-s")? {
+        None => defaults.slo_slow_us,
+        Some(s) => s.saturating_mul(1_000_000),
+    };
     args.finish()?;
     if let Some(path) = &flight_recorder {
         monityre_obs::recorder::set_dump_path(std::path::Path::new(path));
@@ -94,6 +114,11 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         faults: faults.clone(),
         ingest_dir: ingest_dir.clone().map(std::path::PathBuf::from),
         ingest_window_us: ingest_window_s as u64 * 1_000_000,
+        scrape_interval_us,
+        profile_interval_us,
+        slo_fast_us,
+        slo_slow_us,
+        slos: None,
     }
     .start()
     .map_err(|e| CliError::new(format!("serve: cannot start on {host}:{port}: {e}")))?;
@@ -108,6 +133,14 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     }
     if let Some(path) = &flight_recorder {
         println!("flight recorder armed: dumps append to {path}");
+    }
+    if scrape_interval_us > 0 {
+        println!(
+            "self-observation armed: scrape every {} ms, burn windows {} s / {} s",
+            scrape_interval_us / 1_000,
+            slo_fast_us / 1_000_000,
+            slo_slow_us / 1_000_000,
+        );
     }
     if let Some(dir) = &ingest_dir {
         let replay = handle.ingest_replay();
@@ -213,14 +246,215 @@ pub(crate) fn obs(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "  per-op latency (bucket estimates):");
         let _ = writeln!(
             out,
-            "    {:<12} {:>8} {:>10} {:>10} {:>10}",
+            "    {:<12} {:>8} {:>10} {:>10} {:>10}  slowest trace",
             "op", "count", "p50_ms", "p90_ms", "p99_ms"
         );
         for op in &snapshot.ops {
+            // The exemplar is the trace id of the slowest traced request
+            // this histogram has seen — paste it straight into
+            // `monityre obs trace <id> --from <dump>`.
             let _ = writeln!(
                 out,
-                "    {:<12} {:>8} {:>10.3} {:>10.3} {:>10.3}",
-                op.op, op.count, op.p50_ms, op.p90_ms, op.p99_ms
+                "    {:<12} {:>8} {:>10.3} {:>10.3} {:>10.3}  {}",
+                op.op,
+                op.count,
+                op.p50_ms,
+                op.p90_ms,
+                op.p99_ms,
+                op.exemplar.as_deref().unwrap_or("-")
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Connects to a serving address with the obs timeout applied.
+fn obs_client(addr: &str, timeout_ms: usize) -> Result<Client, CliError> {
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::new(format!("obs: cannot connect to {addr}: {e}")))?;
+    client
+        .set_timeout(Some(Duration::from_millis(timeout_ms as u64)))
+        .map_err(|e| CliError::new(format!("obs: {e}")))?;
+    Ok(client)
+}
+
+/// A bucket width as humans write it: `500ms`, `10s`, `5m`.
+fn render_step(step_us: u64) -> String {
+    if step_us >= 60_000_000 && step_us.is_multiple_of(60_000_000) {
+        format!("{}m", step_us / 60_000_000)
+    } else if step_us >= 1_000_000 && step_us.is_multiple_of(1_000_000) {
+        format!("{}s", step_us / 1_000_000)
+    } else {
+        format!("{}ms", step_us / 1_000)
+    }
+}
+
+/// `monityre obs series <metric>` — query one metric's time-series ring
+/// from a running server and render it: a table by default, `--sparkline`
+/// for a one-line shape, `--json` for the exact wire payload.
+pub(crate) fn obs_series(metric: &str, args: &Args) -> Result<String, CliError> {
+    let addr = args.text_opt("addr").ok_or_else(|| {
+        CliError::new("flag --addr <host:port> is required (a running `monityre serve`)")
+    })?;
+    let json = args.flag("json");
+    let sparkline = args.flag("sparkline");
+    let resolution = args.text_opt("resolution");
+    let range_s: Option<u64> = parse_opt(args, "range-s")?;
+    let timeout_ms = args.count("timeout-ms", 30_000)?;
+    args.finish()?;
+
+    let mut client = obs_client(&addr, timeout_ms)?;
+    let mut request = Request::new(Op::Series);
+    request.params.metric = Some(metric.to_owned());
+    request.params.resolution = resolution;
+    request.params.range_s = range_s;
+    let response = client
+        .request(&request)
+        .map_err(|e| CliError::new(format!("obs series: request to {addr} failed: {e}")))?;
+    if let Some(error) = &response.error {
+        return Err(CliError::new(format!("obs series: {}", error.message)));
+    }
+    let Some(Payload::Series(slice)) = response.ok else {
+        return Err(CliError::new(format!(
+            "obs series: unexpected response: {response:?}"
+        )));
+    };
+
+    if json {
+        let text = serde_json::to_string(&slice)
+            .map_err(|e| CliError::new(format!("obs series: serialize: {e}")))?;
+        return Ok(format!("{text}\n"));
+    }
+
+    // Counters plot their cumulative value; gauges their latest sample.
+    let value_of = |point: &monityre_serve::SeriesPoint| -> f64 {
+        point
+            .counter
+            .map(|c| c as f64)
+            .or_else(|| point.gauge.as_ref().map(|g| g.last))
+            .unwrap_or(0.0)
+    };
+
+    if sparkline {
+        const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let values: Vec<f64> = slice.points.iter().map(value_of).collect();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        let line: String = values
+            .iter()
+            .map(|&v| {
+                let idx = if span > 0.0 {
+                    ((v - min) / span * 7.0).round() as usize
+                } else {
+                    0
+                };
+                BLOCKS[idx.min(7)]
+            })
+            .collect();
+        return Ok(format!(
+            "{} {line}  ({}, step {}, {} point(s), min {min:.3}, max {max:.3})\n",
+            slice.metric,
+            slice.kind,
+            render_step(slice.step_us),
+            slice.points.len(),
+        ));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "series {} ({}, step {}, {} point(s)):",
+        slice.metric,
+        slice.kind,
+        render_step(slice.step_us),
+        slice.points.len(),
+    );
+    if slice.kind == "counter" {
+        let _ = writeln!(out, "    {:>14} {:>14}", "t_s", "value");
+        for point in &slice.points {
+            let _ = writeln!(
+                out,
+                "    {:>14.3} {:>14}",
+                point.ts_us as f64 / 1e6,
+                point.counter.unwrap_or(0)
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "    {:>14} {:>14} {:>14} {:>14} {:>8}",
+            "t_s", "last", "min", "max", "count"
+        );
+        for point in &slice.points {
+            let gauge = point.gauge.unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "    {:>14.3} {:>14.3} {:>14.3} {:>14.3} {:>8}",
+                point.ts_us as f64 / 1e6,
+                gauge.last,
+                gauge.min,
+                gauge.max,
+                gauge.count
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `monityre obs profile` — fetch the wall-clock sampler's flame table
+/// from a running server and render it heaviest-stack first (`--json`
+/// for the exact wire payload).
+pub(crate) fn obs_profile(args: &Args) -> Result<String, CliError> {
+    let addr = args.text_opt("addr").ok_or_else(|| {
+        CliError::new("flag --addr <host:port> is required (a running `monityre serve`)")
+    })?;
+    let json = args.flag("json");
+    let timeout_ms = args.count("timeout-ms", 30_000)?;
+    args.finish()?;
+
+    let mut client = obs_client(&addr, timeout_ms)?;
+    let response = client
+        .request(&Request::new(Op::Profile))
+        .map_err(|e| CliError::new(format!("obs profile: request to {addr} failed: {e}")))?;
+    let Some(Payload::Profile(table)) = response.ok else {
+        return Err(CliError::new(format!(
+            "obs profile: unexpected response: {response:?}"
+        )));
+    };
+
+    if json {
+        let text = serde_json::to_string(&table)
+            .map_err(|e| CliError::new(format!("obs profile: serialize: {e}")))?;
+        return Ok(format!("{text}\n"));
+    }
+
+    let busy = table.ticks.saturating_sub(table.idle_ticks);
+    let busy_pct = if table.ticks > 0 {
+        busy as f64 / table.ticks as f64 * 100.0
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flame table: {} tick(s), {} idle ({busy_pct:.1}% in instrumented phases)",
+        table.ticks, table.idle_ticks
+    );
+    if table.ticks == 0 {
+        let _ = writeln!(
+            out,
+            "    (the sampler is disabled; start the server with --profile-interval-ms > 0)"
+        );
+    } else if table.rows.is_empty() {
+        let _ = writeln!(out, "    (no samples landed in an instrumented phase yet)");
+    } else {
+        let _ = writeln!(out, "    {:>10} {:>7}  stack", "samples", "pct");
+        for row in &table.rows {
+            let _ = writeln!(
+                out,
+                "    {:>10} {:>6.1}%  {}",
+                row.samples, row.pct, row.stack
             );
         }
     }
@@ -499,6 +733,11 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     request.params.cell = args.text_opt("cell");
     request.params.value = parse_opt(args, "value")?;
     request.params.formula = args.text_opt("formula");
+    // The observation ops: a `series` request names its `--metric` and may
+    // pin the ring tier (`--resolution 10s`) and lookback (`--range-s`).
+    request.params.metric = args.text_opt("metric");
+    request.params.resolution = args.text_opt("resolution");
+    request.params.range_s = parse_opt(args, "range-s")?;
     // The ingest ops: `--ingest N` synthesizes a deterministic N-point
     // batch (seeded by `--ingest-seed`) for `--vehicle`; on an
     // `ingest_state` request, `--vehicle` instead filters the reply.

@@ -41,7 +41,10 @@ pub use point::{
     crc32, decode_prefix, synthetic_points, DecodeError, TelemetryPoint, RECORD_BYTES,
     RECORD_PAYLOAD_BYTES,
 };
-pub use segment::{replay_dir, ReplayReport, SegmentStore, StoreConfig, DEFAULT_SEGMENT_BYTES};
+pub use segment::{
+    read_pruned_tallies, replay_dir, replay_dir_segments, ReplayReport, SegmentStore, SegmentTally,
+    StoreConfig, DEFAULT_SEGMENT_BYTES,
+};
 pub use window::{VehicleWindow, WindowEngine, DEFAULT_WINDOW_US};
 
 /// The flight-recorder event-name prefix a live deficit-alert edge
@@ -123,13 +126,31 @@ impl Ingestor {
                 };
                 // Open first: recovery truncates the torn tail, so the
                 // replay below sees exactly the durable record prefix.
-                let store = SegmentStore::open(store_config)?;
-                let mut replay = replay_dir(dir, |point| {
+                let mut store = SegmentStore::open(store_config)?;
+                let mut per_segment: Vec<(u64, u64, u64)> = Vec::new();
+                let mut replay = replay_dir_segments(dir, |segment, point| {
                     points_total += 1;
-                    if window.observe(point) {
-                        alerts_total += 1;
+                    let alert = u64::from(window.observe(point));
+                    alerts_total += alert;
+                    match per_segment.last_mut() {
+                        Some(entry) if entry.0 == segment => {
+                            entry.1 += 1;
+                            entry.2 += alert;
+                        }
+                        _ => per_segment.push((segment, 1, alert)),
                     }
                 })?;
+                // Seed the store's per-segment tallies so a later prune
+                // checkpoints counts for records this process replayed
+                // rather than wrote...
+                for (segment, points, alerts) in per_segment {
+                    store.seed_tally(segment, points, alerts);
+                }
+                // ...and fold the counts of segments already pruned by
+                // earlier runs back into the running totals — retention
+                // must not make `ingest_alerts` forget history.
+                points_total += replay.pruned_points;
+                alerts_total += replay.pruned_alerts;
                 // The tail the store cut during recovery is part of the
                 // crash story the report tells, even though the replay
                 // scan above never sees those bytes.
@@ -189,6 +210,12 @@ impl Ingestor {
             }
         }
         summary.accepted = points.len() as u64;
+        if let Some(store) = &mut self.store {
+            // Credit the batch to the active segment's retention
+            // checkpoint tally (the append above rotated first, so the
+            // whole batch sits in the current segment).
+            store.note_batch(summary.accepted, summary.alerts);
+        }
         self.points_total += summary.accepted;
         self.alerts_total += summary.alerts;
         Ok(summary)
@@ -317,6 +344,65 @@ mod tests {
             serde_json::to_string(&recovered.state()).unwrap(),
             serde_json::to_string(&reference.state()).unwrap()
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_checkpoint_preserves_totals_across_reopen() {
+        let dir = temp_dir("retention");
+        let config = || IngestConfig {
+            dir: Some(dir.clone()),
+            // Tiny windows + timestamp gaps: every point's window is
+            // self-contained, so replaying only retained segments still
+            // reconstructs live window state.
+            window_us: 10,
+            segment_bytes: 2 * RECORD_BYTES as u64,
+            retain_segments: Some(1),
+            ..IngestConfig::default()
+        };
+        // Every point is a fresh deficit entry → one alert edge each.
+        let deficit = |i: u64| TelemetryPoint {
+            vehicle: i,
+            wheel: 0,
+            round: i,
+            // 1-based: a ts of 0 would sit at the saturated eviction
+            // cutoff and leave the window immediately, alerting nothing.
+            ts_us: (i + 1) * 1_000,
+            harvested_nj: 1,
+            consumed_nj: 10,
+        };
+        {
+            let mut ingestor = Ingestor::open(config()).unwrap();
+            for i in 0..20 {
+                ingestor.ingest(&[deficit(i)], None).unwrap();
+            }
+            assert_eq!(ingestor.points_total(), 20);
+            assert_eq!(ingestor.alerts_total(), 20);
+        }
+        // Retention pruned most segments, but the checkpoint folds their
+        // counts back into the totals on replay.
+        let reopened = Ingestor::open(config()).unwrap();
+        let replay = reopened.replay_report().clone();
+        assert!(replay.pruned_points > 0, "{replay:?}");
+        assert_eq!(replay.pruned_alerts, replay.pruned_points, "{replay:?}");
+        assert!(
+            replay.points < 20,
+            "pruned records must be gone: {replay:?}"
+        );
+        assert_eq!(replay.points + replay.pruned_points, 20, "{replay:?}");
+        assert_eq!(reopened.points_total(), 20);
+        assert_eq!(reopened.alerts_total(), 20);
+        // Replay seeded the surviving segments' tallies, so a further
+        // prune (driven by fresh ingest) checkpoints those too.
+        let mut reopened = reopened;
+        for i in 20..30 {
+            reopened.ingest(&[deficit(i)], None).unwrap();
+        }
+        assert_eq!(reopened.points_total(), 30);
+        drop(reopened);
+        let third = Ingestor::open(config()).unwrap();
+        assert_eq!(third.points_total(), 30);
+        assert_eq!(third.alerts_total(), 30);
         fs::remove_dir_all(&dir).unwrap();
     }
 

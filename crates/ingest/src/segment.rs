@@ -30,16 +30,25 @@
 //! rotated-past torn tail would sit mid-history where replay stops
 //! early and discards everything after it.
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use monityre_faults::{FaultKind, FaultPlan};
+use monityre_obs::names::{INGEST_APPEND, INGEST_FSYNC};
+use serde::{Deserialize, Serialize};
 
 use crate::point::{decode_prefix, TelemetryPoint, RECORD_BYTES};
 
 /// File extension of a segment.
 const SEGMENT_EXT: &str = "seg";
+
+/// The retention checkpoint: one JSON line per *pruned* segment,
+/// carrying the point/alert tallies its records contributed before the
+/// bytes were deleted. Replay folds the sums back into the totals so
+/// `ingest_alerts` does not undercount after retention kicks in.
+const TALLY_FILE: &str = "alerts.ckpt";
 
 /// Default segment size: 8 MiB ≈ 160k records.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
@@ -91,6 +100,61 @@ pub struct ReplayReport {
     /// *before* the active tail (mid-history corruption: everything from
     /// the damage onward is discarded from replay, conservatively).
     pub stopped_early: bool,
+    /// Points recorded in segments retention has since deleted, folded
+    /// back from the [`TALLY_FILE`] checkpoint (0 when retention never
+    /// pruned).
+    pub pruned_points: u64,
+    /// Alert edges those pruned segments contributed.
+    pub pruned_alerts: u64,
+}
+
+/// Point/alert tallies one segment's records contributed while live —
+/// checkpointed when retention deletes the segment's bytes, so totals
+/// survive the prune.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentTally {
+    /// Segment index the tallies belong to.
+    pub segment: u64,
+    /// Points appended to the segment.
+    pub points: u64,
+    /// Deficit-alert edges those points triggered when first folded.
+    pub alerts: u64,
+}
+
+/// Sums the retention checkpoint of `dir`: total points and alert edges
+/// recorded in segments that retention has deleted. A missing file means
+/// no segment was ever pruned. The sum is crash-consistent against the
+/// prune protocol (line written + synced, *then* segment deleted):
+///
+/// - a torn or damaged trailing line is skipped, not an error — its
+///   segment's bytes are then still on disk and replay folds them
+///   directly;
+/// - a valid line whose segment file still exists (writer died between
+///   sync and delete) is skipped too, so the records are never counted
+///   twice;
+/// - duplicate lines for one segment (a retried prune) collapse to one.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading an existing checkpoint file.
+pub fn read_pruned_tallies(dir: &Path) -> io::Result<(u64, u64)> {
+    let path = dir.join(TALLY_FILE);
+    if !path.exists() {
+        return Ok((0, 0));
+    }
+    let text = fs::read_to_string(&path)?;
+    let mut by_segment: HashMap<u64, SegmentTally> = HashMap::new();
+    for line in text.lines() {
+        if let Ok(tally) = serde_json::from_str::<SegmentTally>(line) {
+            if segment_path(dir, tally.segment).exists() {
+                continue;
+            }
+            by_segment.insert(tally.segment, tally);
+        }
+    }
+    let points = by_segment.values().map(|t| t.points).sum();
+    let alerts = by_segment.values().map(|t| t.alerts).sum();
+    Ok((points, alerts))
 }
 
 /// The append-only segment store.
@@ -110,6 +174,11 @@ pub struct SegmentStore {
     truncated_on_open: u64,
     /// Reusable encode buffer.
     buf: Vec<u8>,
+    /// Per-segment point/alert tallies for segments still on disk,
+    /// checkpointed to [`TALLY_FILE`] when retention deletes them. Fed
+    /// by [`SegmentStore::note_batch`] (live) and
+    /// [`SegmentStore::seed_tally`] (replay).
+    tallies: HashMap<u64, SegmentTally>,
 }
 
 /// Lists the segment files of `dir`, ordered by index.
@@ -156,20 +225,37 @@ fn poisoned_error() -> io::Error {
 /// record bytes are not an error — replay stops cleanly at the last
 /// valid record of the damaged segment.
 pub fn replay_dir(dir: &Path, mut fold: impl FnMut(&TelemetryPoint)) -> io::Result<ReplayReport> {
+    replay_dir_segments(dir, |_, point| fold(point))
+}
+
+/// [`replay_dir`] with the segment index of each record exposed to the
+/// fold — callers that maintain per-segment tallies (the retention
+/// checkpoint) need to know which segment a replayed record came from.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the directory or segments.
+pub fn replay_dir_segments(
+    dir: &Path,
+    mut fold: impl FnMut(u64, &TelemetryPoint),
+) -> io::Result<ReplayReport> {
     let mut report = ReplayReport::default();
     if !dir.exists() {
         return Ok(report);
     }
+    let (pruned_points, pruned_alerts) = read_pruned_tallies(dir)?;
+    report.pruned_points = pruned_points;
+    report.pruned_alerts = pruned_alerts;
     let segments = segment_files(dir)?;
     let last = segments.len().saturating_sub(1);
-    for (at, (_, path)) in segments.iter().enumerate() {
+    for (at, (index, path)) in segments.iter().enumerate() {
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
         report.segments += 1;
         let (points, used) = decode_prefix(&bytes);
         report.points += points.len() as u64;
         for point in &points {
-            fold(point);
+            fold(*index, point);
         }
         if used < bytes.len() {
             report.truncated_bytes += (bytes.len() - used) as u64;
@@ -228,7 +314,37 @@ impl SegmentStore {
             active_bytes,
             truncated_on_open,
             buf: Vec::new(),
+            tallies: HashMap::new(),
         })
+    }
+
+    /// Credits the batch just appended (and folded by the caller) to the
+    /// active segment's tally. Call after a successful
+    /// [`SegmentStore::append_batch`]: rotation happens *before* the
+    /// write, so the whole batch landed in the current active segment.
+    pub fn note_batch(&mut self, points: u64, alerts: u64) {
+        let entry = self
+            .tallies
+            .entry(self.active_index)
+            .or_insert(SegmentTally {
+                segment: self.active_index,
+                points: 0,
+                alerts: 0,
+            });
+        entry.points += points;
+        entry.alerts += alerts;
+    }
+
+    /// Seeds one segment's tally from startup replay, so a later prune
+    /// checkpoints counts for records that predate this process.
+    pub fn seed_tally(&mut self, segment: u64, points: u64, alerts: u64) {
+        let entry = self.tallies.entry(segment).or_insert(SegmentTally {
+            segment,
+            points: 0,
+            alerts: 0,
+        });
+        entry.points += points;
+        entry.alerts += alerts;
     }
 
     /// The store directory.
@@ -312,7 +428,12 @@ impl SegmentStore {
             self.active = None;
             return Err(io::Error::other("injected torn write: batch tail lost"));
         }
-        if let Err(error) = file.write_all(&self.buf) {
+        // A real span (not just a phase record) so the sampling profiler
+        // can attribute wall time stuck in the write syscall.
+        let append_span = monityre_obs::span(INGEST_APPEND);
+        let wrote = file.write_all(&self.buf);
+        drop(append_span);
+        if let Err(error) = wrote {
             // A real short write may have torn the tail; try to cut the
             // segment back to the batch start so the store can continue.
             let healed = OpenOptions::new()
@@ -332,6 +453,9 @@ impl SegmentStore {
                     "injected fsync failure: batch durability unknown",
                 ))
             } else {
+                // Spanned for the profiler: time blocked on the disk's
+                // flush shows up as the `ingest.fsync` phase.
+                let _fsync_span = monityre_obs::span(INGEST_FSYNC);
                 file.sync_data()
             };
             if let Err(error) = synced {
@@ -372,8 +496,34 @@ impl SegmentStore {
         if let Some(retain) = self.config.retain_segments {
             let segments = segment_files(&self.config.dir)?;
             if segments.len() > retain.max(1) {
-                for (_, path) in &segments[..segments.len() - retain.max(1)] {
+                let pruned = &segments[..segments.len() - retain.max(1)];
+                // Checkpoint the pruned segments' tallies BEFORE deleting
+                // their bytes: one synced JSON line each, so replay can
+                // fold the counts back in once the records are gone. The
+                // write-then-delete order makes a crash in between
+                // harmless — `read_pruned_tallies` skips lines whose
+                // segment still exists.
+                let with_tallies: Vec<SegmentTally> = pruned
+                    .iter()
+                    .filter_map(|(index, _)| self.tallies.get(index).copied())
+                    .collect();
+                if !with_tallies.is_empty() {
+                    let mut ckpt = OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(self.config.dir.join(TALLY_FILE))?;
+                    for tally in &with_tallies {
+                        writeln!(
+                            ckpt,
+                            "{}",
+                            serde_json::to_string(tally).map_err(io::Error::other)?
+                        )?;
+                    }
+                    ckpt.sync_data()?;
+                }
+                for (index, path) in pruned {
                     fs::remove_file(path)?;
+                    self.tallies.remove(index);
                 }
             }
         }

@@ -28,7 +28,18 @@
 //!    per-thread rings of recent span/event records, dumped as JSON lines
 //!    (to [`FLIGHT_RECORDER_ENV_VAR`]) on worker panic, injected fault,
 //!    deadline miss, or explicit `obs dump` — post-mortem visibility
-//!    without steady-state trace-sink overhead.
+//!    without steady-state trace-sink overhead;
+//! 6. a **time-series store** ([`SeriesStore`]) — fixed-memory ring
+//!    buffers with tiered downsampling (1s×600 → 10s×360 → 60s×360)
+//!    fed by a background self-scrape of the registry, so the process
+//!    remembers the last hour of every counter/gauge/quantile;
+//! 7. an **SLO engine** ([`SloEngine`]) — declarative objectives
+//!    evaluated against the rings with fast/slow-window burn-rate
+//!    alerting; transitions land in the flight recorder and roll up
+//!    into a [`HealthReport`] readiness answer;
+//! 8. a **sampling profiler** ([`Profiler`]) — wall-clock samples of
+//!    every thread's open-span stack, accumulated into a phase
+//!    attribution [`FlameTable`].
 //!
 //! Instrumentation is on by default and costs one relaxed atomic load when
 //! disabled via [`set_enabled`]; the spans sit at *batch* boundaries
@@ -56,10 +67,13 @@ mod context;
 mod export;
 mod metrics;
 pub mod names;
+pub mod profiler;
 pub mod recorder;
 mod registry;
 mod sink;
+pub mod slo;
 mod span;
+pub mod timeseries;
 
 pub use context::{
     current_context, install_context, splitmix64, ContextGuard, SpanIds, TraceContext,
@@ -68,13 +82,22 @@ pub use metrics::{
     BucketCount, Counter, CounterSnapshot, ExemplarSnapshot, Gauge, GaugeSnapshot, Histogram,
     HistogramSnapshot, Reservoir, BUCKET_BOUNDS_US,
 };
+pub use profiler::{FlameRow, FlameTable, Profiler};
 pub use recorder::{FlightRecord, RecordKind, FLIGHT_RECORDER_ENV_VAR};
 pub use registry::{Registry, RegistrySnapshot};
 pub use sink::{
     set_trace_path, set_trace_writer, trace_event, trace_event_with, trace_sink_active,
     TRACE_ENV_VAR,
 };
-pub use span::{enabled, record_phase, set_enabled, span, SpanGuard};
+pub use slo::{
+    HealthReport, ObjectiveHealth, SloEngine, SloKind, SloSpec, SloState, DEFAULT_FAST_US,
+    DEFAULT_SLOW_US,
+};
+pub use span::{enabled, now_us, record_phase, set_enabled, span, SpanGuard};
+pub use timeseries::{
+    parse_duration_us, GaugePoint, SampleValue, SeriesKind, SeriesPoint, SeriesSlice, SeriesStore,
+    TierSpec, DEFAULT_TIERS,
+};
 
 /// Starts a named timer scope recording into the global registry — see
 /// [`span`]. The guard records on drop:

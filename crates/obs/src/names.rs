@@ -62,6 +62,19 @@ pub const SERVE_INGEST_ALERTS: &str = "serve.ingest_alerts";
 /// the batch that crossed the edge — the alert's exemplar.
 pub const INGEST_DEFICIT_EVENT: &str = "ingest.deficit";
 
+/// Flight-recorder event prefix of an SLO state transition
+/// (`slo.transition.<objective>.<from>_to_<to>[.trace.<exemplar>]`);
+/// CI greps dumps for it to prove alerting fired.
+pub const SLO_TRANSITION_EVENT: &str = "slo.transition";
+
+/// Append phase of one durable ingest batch (encode + write); a real
+/// span so the sampling profiler can attribute wall time to it.
+pub const INGEST_APPEND: &str = "ingest.append";
+
+/// Fsync phase of one durable ingest batch; a real span so blocked-on-
+/// disk time shows up in the profiler's flame-table.
+pub const INGEST_FSYNC: &str = "ingest.fsync";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +97,9 @@ mod tests {
             SERVE_INGEST_POINTS,
             SERVE_INGEST_ALERTS,
             INGEST_DEFICIT_EVENT,
+            SLO_TRANSITION_EVENT,
+            INGEST_APPEND,
+            INGEST_FSYNC,
         ];
         for (i, name) in all.iter().enumerate() {
             assert!(name

@@ -1,0 +1,187 @@
+//! Always-on wall-clock sampling profiler.
+//!
+//! A driver thread (owned by the embedding server, see
+//! `monityre-serve`) calls [`Profiler::sample`] at a fixed cadence.
+//! Each tick walks every thread's *open-span stack* — the spans a
+//! thread is currently inside, maintained by the flight recorder — and
+//! increments a counter for that exact stack. Because sampling is
+//! wall-clock (the thread need not be on-CPU), the flame-table
+//! attributes elapsed time to *phases*: a worker blocked in an fsync
+//! shows up under `serve.ingest;ingest.fsync`, one crunching a sweep
+//! under `serve.execute;balance.sweep`.
+//!
+//! Safety argument: the sampler only ever takes the same two locks the
+//! recorder's own dump path takes, in the same outer→inner order
+//! (registry of thread logs, then one thread log at a time), so it can
+//! never deadlock against span open/close or a dump. It copies the
+//! `&'static str` span names out under the lock and folds them into the
+//! table after releasing it; the sampled thread is blocked only for a
+//! handful of pointer copies. Nothing on the *span* path changes at
+//! all — the profiler is a pure reader, which is what keeps its
+//! overhead within the BENCH_obs budget.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder;
+
+/// One row of the flame-table: a distinct open-span stack and how often
+/// it was observed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlameRow {
+    /// The stack in collapsed form, root first, `;`-separated
+    /// (`serve.execute;balance.sweep`).
+    pub stack: String,
+    /// Ticks on which some thread was observed in exactly this stack.
+    pub samples: u64,
+    /// `samples` as a percentage of all stack observations.
+    pub pct: f64,
+}
+
+/// The profiler's accumulated phase attribution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlameTable {
+    /// Sampling ticks taken since the profiler started.
+    pub ticks: u64,
+    /// Ticks on which no thread had any span open (the process was
+    /// idle, or busy outside instrumented phases).
+    pub idle_ticks: u64,
+    /// Distinct stacks, heaviest first.
+    pub rows: Vec<FlameRow>,
+}
+
+#[derive(Default)]
+struct Table {
+    /// Keyed by the exact open-span stack. `Vec<&'static str>` borrows
+    /// as `[&str]`, so steady-state lookups never allocate.
+    stacks: HashMap<Vec<&'static str>, u64>,
+}
+
+/// Accumulates wall-clock samples of every thread's open-span stack.
+///
+/// The struct is passive: something must call [`Profiler::sample`] on a
+/// cadence (the serve layer runs a dedicated sampler thread and drains
+/// it on graceful shutdown).
+#[derive(Default)]
+pub struct Profiler {
+    ticks: AtomicU64,
+    idle_ticks: AtomicU64,
+    table: Mutex<Table>,
+}
+
+impl Profiler {
+    /// A fresh, empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes one sampling tick: reads every thread's current open-span
+    /// stack and folds it into the flame-table. Cheap when idle (one
+    /// registry lock, zero allocation).
+    pub fn sample(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut busy = 0usize;
+        recorder::visit_open_spans(|stack| {
+            busy += 1;
+            if let Some(count) = table.stacks.get_mut(stack) {
+                *count += 1;
+            } else {
+                table.stacks.insert(stack.to_vec(), 1);
+            }
+        });
+        if busy == 0 {
+            self.idle_ticks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The accumulated flame-table, heaviest stacks first.
+    #[must_use]
+    pub fn snapshot(&self) -> FlameTable {
+        let table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
+        let total: u64 = table.stacks.values().sum();
+        let mut rows: Vec<FlameRow> = table
+            .stacks
+            .iter()
+            .map(|(stack, &samples)| FlameRow {
+                stack: stack.join(";"),
+                samples,
+                #[allow(clippy::cast_precision_loss)]
+                pct: if total == 0 {
+                    0.0
+                } else {
+                    samples as f64 * 100.0 / total as f64
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.samples
+                .cmp(&a.samples)
+                .then_with(|| a.stack.cmp(&b.stack))
+        });
+        FlameTable {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            idle_ticks: self.idle_ticks.load(Ordering::Relaxed),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn idle_ticks_count_when_nothing_is_open() {
+        let profiler = Profiler::new();
+        profiler.sample();
+        let table = profiler.snapshot();
+        assert_eq!(table.ticks, 1);
+        // Other tests in the process may hold spans open concurrently,
+        // so only assert the idle path when we truly were alone.
+        if table.rows.is_empty() {
+            assert_eq!(table.idle_ticks, 1);
+        }
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_the_full_stack() {
+        let profiler = Profiler::new();
+        {
+            let _outer = span("profiler.test_outer");
+            let _inner = span("profiler.test_inner");
+            profiler.sample();
+            profiler.sample();
+        }
+        let table = profiler.snapshot();
+        assert_eq!(table.ticks, 2);
+        let row = table
+            .rows
+            .iter()
+            .find(|r| r.stack.contains("profiler.test_outer;profiler.test_inner"))
+            .expect("nested stack sampled");
+        assert_eq!(row.samples, 2);
+        assert!(row.pct > 0.0);
+    }
+
+    #[test]
+    fn flame_table_round_trips_through_json() {
+        let table = FlameTable {
+            ticks: 100,
+            idle_ticks: 40,
+            rows: vec![FlameRow {
+                stack: "serve.execute;balance.sweep".into(),
+                samples: 60,
+                pct: 100.0,
+            }],
+        };
+        let json = serde_json::to_string(&table).unwrap();
+        let back: FlameTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+    }
+}

@@ -276,6 +276,36 @@ pub(crate) fn close_span(token: Option<u64>) {
     }
 }
 
+/// Visits every thread's currently-open span stack (root first), one
+/// callback per thread that has at least one span open. Returns how many
+/// threads were visited. This is the sampling profiler's read path: it
+/// takes the same locks as the dump path in the same outer→inner order,
+/// copies the `&'static str` names out, and releases the thread's lock
+/// before invoking `visit`, so the sampled thread is blocked only for a
+/// handful of pointer copies and no lock is ever held across user code.
+pub fn visit_open_spans(mut visit: impl FnMut(&[&'static str])) -> usize {
+    let logs: Vec<SharedLog> = all_logs()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut names: Vec<&'static str> = Vec::with_capacity(8);
+    let mut seen = 0usize;
+    for log in logs {
+        let log = log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if log.open.is_empty() {
+            continue;
+        }
+        names.clear();
+        names.extend(log.open.iter().map(|span| span.name));
+        drop(log);
+        seen += 1;
+        visit(&names);
+    }
+    seen
+}
+
 /// Collects every thread's records (oldest-first per thread, threads
 /// concatenated) plus truncated records for still-open spans, sorted by
 /// start time. This is the dump payload; tests read it directly.

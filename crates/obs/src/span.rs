@@ -39,8 +39,10 @@ fn epoch() -> Instant {
 }
 
 /// Microseconds since the span epoch, for records and dump headers.
+/// Public so embedders (the serve layer's self-scrape loop) can stamp
+/// time-series samples on the same clock the recorder uses.
 #[must_use]
-pub(crate) fn now_us() -> u64 {
+pub fn now_us() -> u64 {
     instant_us(Instant::now())
 }
 

@@ -1,0 +1,755 @@
+//! Fixed-memory time-series rings with tiered downsampling.
+//!
+//! The registry ([`crate::Registry`]) answers "what is the value *now*";
+//! this module gives the process a memory: a background self-scrape loop
+//! (owned by the serving layer) feeds every counter, gauge and
+//! histogram-quantile snapshot into a [`SeriesStore`], which keeps each
+//! metric in a small pyramid of ring buffers — by default 1 s × 600,
+//! 10 s × 360, 60 s × 360 ([`DEFAULT_TIERS`]): ten minutes at full
+//! resolution, an hour at 10 s, six hours at a minute — in a fixed
+//! memory footprint per metric, forever.
+//!
+//! **Exactness is the design pillar.** A coarser tier's bucket is never
+//! folded from raw samples directly; it is *recomputed from the finer
+//! tier's buckets, in time order*, every time a sample lands. That makes
+//! the downsampling invariant hold bit-for-bit by construction (and the
+//! property tests pin it):
+//!
+//! * a **counter** bucket holds the last cumulative value sampled in its
+//!   interval (`u64`, bit-identical across tiers);
+//! * a **gauge** bucket holds `{count, sum, min, max, last}` of the raw
+//!   samples in its interval; the coarse bucket's `sum` is the
+//!   left-to-right `f64` fold of its fine constituents' sums — the exact
+//!   grouping the fine tier committed to, not a re-association of raw
+//!   samples.
+//!
+//! The sample path allocates nothing in steady state: series and rings
+//! are allocated on first sight of a metric name, after which a sample is
+//! a hash lookup plus O(sum of tier ratios) slot writes. (Building the
+//! `RegistrySnapshot` that feeds [`SeriesStore::record_snapshot`] does
+//! allocate — that cost sits in the scrape loop at scrape cadence, never
+//! on a request path.)
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::RegistrySnapshot;
+
+/// One downsampling tier: `slots` ring buckets of `step_us` each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Bucket width, microseconds.
+    pub step_us: u64,
+    /// Ring capacity in buckets; the tier retains `step_us * slots` of
+    /// history.
+    pub slots: usize,
+}
+
+/// The default pyramid: 1 s × 600 → 10 s × 360 → 60 s × 360.
+pub const DEFAULT_TIERS: [TierSpec; 3] = [
+    TierSpec {
+        step_us: 1_000_000,
+        slots: 600,
+    },
+    TierSpec {
+        step_us: 10_000_000,
+        slots: 360,
+    },
+    TierSpec {
+        step_us: 60_000_000,
+        slots: 360,
+    },
+];
+
+/// What a series measures, fixed at first sight of the metric name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// A monotone cumulative tally; buckets keep the last sampled value.
+    Counter,
+    /// An instantaneous value; buckets keep `{count, sum, min, max, last}`.
+    Gauge,
+}
+
+impl SeriesKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One raw observation entering the store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleValue {
+    /// A cumulative counter reading.
+    Counter(u64),
+    /// An instantaneous gauge reading.
+    Gauge(f64),
+}
+
+/// Sentinel for "this ring slot holds no bucket".
+const EMPTY: u64 = u64::MAX;
+
+/// One ring slot. `bucket` is the absolute bucket index (`ts / step`);
+/// a slot whose stored index differs from the index a reader derived has
+/// been overwritten by a newer wrap and reads as absent.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    bucket: u64,
+    /// Counter series: last cumulative value sampled in the interval.
+    counter: u64,
+    /// Gauge series: raw samples folded into the interval.
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl Slot {
+    const fn empty() -> Self {
+        Self {
+            bucket: EMPTY,
+            counter: 0,
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            last: 0.0,
+        }
+    }
+
+    fn fresh(bucket: u64) -> Self {
+        Self {
+            bucket,
+            ..Self::empty()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TierRing {
+    spec: TierSpec,
+    slots: Box<[Slot]>,
+}
+
+impl TierRing {
+    fn new(spec: TierSpec) -> Self {
+        Self {
+            spec,
+            slots: vec![Slot::empty(); spec.slots].into_boxed_slice(),
+        }
+    }
+
+    fn index(&self, bucket: u64) -> usize {
+        (bucket % self.spec.slots as u64) as usize
+    }
+
+    /// The slot for `bucket`, reset if it still holds an older wrap.
+    fn slot_for(&mut self, bucket: u64) -> &mut Slot {
+        let idx = self.index(bucket);
+        let slot = &mut self.slots[idx];
+        if slot.bucket != bucket {
+            *slot = Slot::fresh(bucket);
+        }
+        slot
+    }
+
+    /// The slot for `bucket` if the ring still holds it.
+    fn get(&self, bucket: u64) -> Option<&Slot> {
+        let slot = &self.slots[self.index(bucket)];
+        (slot.bucket == bucket).then_some(slot)
+    }
+}
+
+#[derive(Debug)]
+struct MetricSeries {
+    kind: SeriesKind,
+    tiers: Vec<TierRing>,
+}
+
+impl MetricSeries {
+    fn new(kind: SeriesKind, specs: &[TierSpec]) -> Self {
+        Self {
+            kind,
+            tiers: specs.iter().map(|&spec| TierRing::new(spec)).collect(),
+        }
+    }
+
+    fn record(&mut self, now_us: u64, value: SampleValue) {
+        let kind = self.kind;
+        // Tier 0 folds the raw sample.
+        {
+            let tier = &mut self.tiers[0];
+            let bucket = now_us / tier.spec.step_us;
+            let slot = tier.slot_for(bucket);
+            match value {
+                SampleValue::Counter(v) => slot.counter = v,
+                SampleValue::Gauge(v) => {
+                    if slot.count == 0 {
+                        slot.sum = v;
+                        slot.min = v;
+                        slot.max = v;
+                    } else {
+                        slot.sum += v;
+                        slot.min = slot.min.min(v);
+                        slot.max = slot.max.max(v);
+                    }
+                    slot.count += 1;
+                    slot.last = v;
+                }
+            }
+        }
+        // Every coarser tier recomputes its current bucket from the finer
+        // tier's buckets, in ascending time order — the exact-aggregation
+        // invariant the property tests pin.
+        for k in 1..self.tiers.len() {
+            let (fine_part, coarse_part) = self.tiers.split_at_mut(k);
+            let fine = &fine_part[k - 1];
+            let coarse = &mut coarse_part[0];
+            let bucket = now_us / coarse.spec.step_us;
+            let ratio = coarse.spec.step_us / fine.spec.step_us;
+            let first = bucket * ratio;
+            let mut agg = Slot::fresh(bucket);
+            let mut any = false;
+            for fb in first..first + ratio {
+                let Some(f) = fine.get(fb) else { continue };
+                match kind {
+                    SeriesKind::Counter => agg.counter = f.counter,
+                    SeriesKind::Gauge => {
+                        if any {
+                            agg.count += f.count;
+                            agg.sum += f.sum;
+                            agg.min = agg.min.min(f.min);
+                            agg.max = agg.max.max(f.max);
+                        } else {
+                            agg.count = f.count;
+                            agg.sum = f.sum;
+                            agg.min = f.min;
+                            agg.max = f.max;
+                        }
+                        agg.last = f.last;
+                    }
+                }
+                any = true;
+            }
+            if any {
+                *coarse.slot_for(bucket) = agg;
+            }
+        }
+    }
+}
+
+/// The gauge aggregate of one returned bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GaugePoint {
+    /// Raw samples folded into the bucket.
+    pub count: u64,
+    /// Left-to-right `f64` sum of the samples (bit-stable across tiers).
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Most recent sample.
+    pub last: f64,
+}
+
+/// One timestamped bucket of a queried series. Exactly one of `counter`
+/// and `gauge` is present, matching the series kind.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Bucket start, microseconds since the process span epoch.
+    pub ts_us: u64,
+    /// Counter series: the exact cumulative value (bit-identical `u64`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub counter: Option<u64>,
+    /// Gauge series: the bucket's aggregate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub gauge: Option<GaugePoint>,
+}
+
+/// The answer to one series query: the chosen tier and its buckets in
+/// ascending time order (absent buckets are skipped, not zero-filled).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesSlice {
+    /// The queried metric name.
+    pub metric: String,
+    /// `"counter"` or `"gauge"`.
+    pub kind: String,
+    /// Bucket width of the tier that answered, microseconds.
+    pub step_us: u64,
+    /// The buckets, oldest first.
+    pub points: Vec<SeriesPoint>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    series: HashMap<String, MetricSeries>,
+    /// Reusable key buffer for derived histogram series names, so the
+    /// steady-state sample path composes `<hist>.p99_us`-style lookups
+    /// without allocating.
+    scratch: String,
+}
+
+/// Fixed-memory multi-tier time-series storage for one process.
+///
+/// Thread-safe behind one mutex: the scrape loop writes at scrape
+/// cadence, the `series` wire op reads on demand — neither sits on a
+/// request hot path.
+#[derive(Debug)]
+pub struct SeriesStore {
+    tiers: Vec<TierSpec>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for SeriesStore {
+    fn default() -> Self {
+        Self::new(&DEFAULT_TIERS)
+    }
+}
+
+impl SeriesStore {
+    /// A store over the given tier pyramid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless tiers are in ascending step order, each step is an
+    /// integer multiple of the previous, and each fine ring is large
+    /// enough to hold every constituent of one coarse bucket (ratio ≤
+    /// fine slot count) — the structural preconditions of exact
+    /// recomputation.
+    #[must_use]
+    pub fn new(tiers: &[TierSpec]) -> Self {
+        assert!(!tiers.is_empty(), "a series store needs at least one tier");
+        for tier in tiers {
+            assert!(tier.step_us > 0 && tier.slots > 0, "degenerate tier");
+        }
+        for pair in tiers.windows(2) {
+            let (fine, coarse) = (pair[0], pair[1]);
+            assert!(
+                coarse.step_us > fine.step_us && coarse.step_us % fine.step_us == 0,
+                "tier steps must be ascending integer multiples"
+            );
+            let ratio = coarse.step_us / fine.step_us;
+            assert!(
+                ratio <= fine.slots as u64,
+                "fine ring ({} slots) cannot hold one coarse bucket ({ratio} constituents)",
+                fine.slots
+            );
+        }
+        Self {
+            tiers: tiers.to_vec(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured tier pyramid.
+    #[must_use]
+    pub fn tiers(&self) -> &[TierSpec] {
+        &self.tiers
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records one named observation at `now_us`. A name's kind is fixed
+    /// on first sight; a later sample of the other kind is dropped
+    /// (registry kind conflicts already panic upstream, so this guards
+    /// only derived-name collisions).
+    pub fn record(&self, now_us: u64, metric: &str, value: SampleValue) {
+        let mut inner = self.lock();
+        Self::record_locked(&mut inner, &self.tiers, now_us, metric, value);
+    }
+
+    fn record_locked(
+        inner: &mut Inner,
+        tiers: &[TierSpec],
+        now_us: u64,
+        metric: &str,
+        value: SampleValue,
+    ) {
+        let kind = match value {
+            SampleValue::Counter(_) => SeriesKind::Counter,
+            SampleValue::Gauge(_) => SeriesKind::Gauge,
+        };
+        if let Some(series) = inner.series.get_mut(metric) {
+            if series.kind == kind {
+                series.record(now_us, value);
+            }
+            return;
+        }
+        let mut series = MetricSeries::new(kind, tiers);
+        series.record(now_us, value);
+        inner.series.insert(metric.to_owned(), series);
+    }
+
+    /// Records every metric of one registry snapshot: counters and gauges
+    /// under their own names; each histogram as five derived series —
+    /// `<name>.p50_us` / `.p90_us` / `.p99_us` quantile gauges plus
+    /// `<name>.count` / `.sum_us` cumulative counters.
+    pub fn record_snapshot(&self, now_us: u64, snapshot: &RegistrySnapshot) {
+        let mut inner = self.lock();
+        for c in &snapshot.counters {
+            Self::record_locked(
+                &mut inner,
+                &self.tiers,
+                now_us,
+                &c.name,
+                SampleValue::Counter(c.value),
+            );
+        }
+        for g in &snapshot.gauges {
+            #[allow(clippy::cast_precision_loss)]
+            Self::record_locked(
+                &mut inner,
+                &self.tiers,
+                now_us,
+                &g.name,
+                SampleValue::Gauge(g.value as f64),
+            );
+        }
+        for h in &snapshot.histograms {
+            let quantiles = [
+                (".p50_us", h.p50_us),
+                (".p90_us", h.p90_us),
+                (".p99_us", h.p99_us),
+            ];
+            for (suffix, value) in quantiles {
+                let mut scratch = std::mem::take(&mut inner.scratch);
+                scratch.clear();
+                scratch.push_str(&h.name);
+                scratch.push_str(suffix);
+                Self::record_locked(
+                    &mut inner,
+                    &self.tiers,
+                    now_us,
+                    &scratch,
+                    SampleValue::Gauge(value),
+                );
+                inner.scratch = scratch;
+            }
+            let counters = [(".count", h.count), (".sum_us", h.sum_us)];
+            for (suffix, value) in counters {
+                let mut scratch = std::mem::take(&mut inner.scratch);
+                scratch.clear();
+                scratch.push_str(&h.name);
+                scratch.push_str(suffix);
+                Self::record_locked(
+                    &mut inner,
+                    &self.tiers,
+                    now_us,
+                    &scratch,
+                    SampleValue::Counter(value),
+                );
+                inner.scratch = scratch;
+            }
+        }
+    }
+
+    /// Every stored series name, sorted (for CLI discoverability and
+    /// error messages).
+    #[must_use]
+    pub fn metric_names(&self) -> Vec<String> {
+        let inner = self.lock();
+        let mut names: Vec<String> = inner.series.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Queries one metric: `step_us` picks the tier (the finest whose
+    /// step is ≥ the request; `None` defers to `range_us`, which picks
+    /// the finest tier that retains the whole range), `range_us` bounds
+    /// how far back from `now_us` buckets are returned (`None` = the
+    /// tier's full retention). Returns `None` for a name never sampled.
+    #[must_use]
+    pub fn query(
+        &self,
+        metric: &str,
+        step_us: Option<u64>,
+        range_us: Option<u64>,
+        now_us: u64,
+    ) -> Option<SeriesSlice> {
+        let inner = self.lock();
+        let series = inner.series.get(metric)?;
+        let tier_idx = match (step_us, range_us) {
+            (Some(step), _) => series
+                .tiers
+                .iter()
+                .position(|t| t.spec.step_us >= step)
+                .unwrap_or(series.tiers.len() - 1),
+            (None, Some(range)) => series
+                .tiers
+                .iter()
+                .position(|t| t.spec.step_us.saturating_mul(t.spec.slots as u64) >= range)
+                .unwrap_or(series.tiers.len() - 1),
+            (None, None) => 0,
+        };
+        let tier = &series.tiers[tier_idx];
+        let step = tier.spec.step_us;
+        let retention = step.saturating_mul(tier.spec.slots as u64);
+        let range = range_us.unwrap_or(retention).min(retention);
+        let end = now_us / step;
+        let start = now_us.saturating_sub(range) / step;
+        let mut points = Vec::new();
+        for bucket in start..=end {
+            let Some(slot) = tier.get(bucket) else {
+                continue;
+            };
+            points.push(match series.kind {
+                SeriesKind::Counter => SeriesPoint {
+                    ts_us: bucket * step,
+                    counter: Some(slot.counter),
+                    gauge: None,
+                },
+                SeriesKind::Gauge => SeriesPoint {
+                    ts_us: bucket * step,
+                    counter: None,
+                    gauge: Some(GaugePoint {
+                        count: slot.count,
+                        sum: slot.sum,
+                        min: slot.min,
+                        max: slot.max,
+                        last: slot.last,
+                    }),
+                },
+            });
+        }
+        Some(SeriesSlice {
+            metric: metric.to_owned(),
+            kind: series.kind.as_str().to_owned(),
+            step_us: step,
+            points,
+        })
+    }
+}
+
+/// Parses a human resolution/range spec into microseconds: `250ms`,
+/// `10s`, `5m`, `1h`, or a bare number of seconds.
+#[must_use]
+pub fn parse_duration_us(text: &str) -> Option<u64> {
+    let t = text.trim();
+    if let Some(s) = t.strip_suffix("ms") {
+        return s
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .map(|v| v.saturating_mul(1_000));
+    }
+    if let Some(s) = t.strip_suffix('h') {
+        return s
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .map(|v| v.saturating_mul(3_600_000_000));
+    }
+    if let Some(s) = t.strip_suffix('m') {
+        return s
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .map(|v| v.saturating_mul(60_000_000));
+    }
+    let s = t.strip_suffix('s').unwrap_or(t);
+    s.trim()
+        .parse::<u64>()
+        .ok()
+        .map(|v| v.saturating_mul(1_000_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small pyramid for fast tests: 10 µs × 20 → 100 µs × 12 → 600 µs × 8.
+    fn tiny() -> SeriesStore {
+        SeriesStore::new(&[
+            TierSpec {
+                step_us: 10,
+                slots: 20,
+            },
+            TierSpec {
+                step_us: 100,
+                slots: 12,
+            },
+            TierSpec {
+                step_us: 600,
+                slots: 8,
+            },
+        ])
+    }
+
+    #[test]
+    fn counter_buckets_keep_the_last_value_across_tiers() {
+        let store = tiny();
+        for (ts, v) in [(5, 1u64), (18, 3), (25, 4), (95, 9)] {
+            store.record(ts, "c", SampleValue::Counter(v));
+        }
+        let fine = store.query("c", Some(10), None, 95).unwrap();
+        assert_eq!(fine.kind, "counter");
+        assert_eq!(fine.step_us, 10);
+        let vals: Vec<(u64, u64)> = fine
+            .points
+            .iter()
+            .map(|p| (p.ts_us, p.counter.unwrap()))
+            .collect();
+        assert_eq!(vals, vec![(0, 1), (10, 3), (20, 4), (90, 9)]);
+        // The 100 µs bucket holds the last fine constituent, bit-identical.
+        let mid = store.query("c", Some(100), None, 95).unwrap();
+        assert_eq!(mid.points.len(), 1);
+        assert_eq!(mid.points[0].counter, Some(9));
+    }
+
+    #[test]
+    fn gauge_coarse_bucket_is_the_exact_fold_of_fine_buckets() {
+        let store = tiny();
+        let samples = [(2u64, 0.1f64), (7, 0.3), (15, -2.0), (34, 7.5), (91, 0.25)];
+        for (ts, v) in samples {
+            store.record(ts, "g", SampleValue::Gauge(v));
+        }
+        let fine = store.query("g", Some(10), None, 91).unwrap();
+        let mid = store.query("g", Some(100), None, 91).unwrap();
+        assert_eq!(mid.points.len(), 1);
+        let coarse = mid.points[0].gauge.unwrap();
+        // Fold the fine buckets the way the store must have.
+        let mut expect: Option<GaugePoint> = None;
+        for p in &fine.points {
+            let g = p.gauge.unwrap();
+            expect = Some(match expect {
+                None => g,
+                Some(e) => GaugePoint {
+                    count: e.count + g.count,
+                    sum: e.sum + g.sum,
+                    min: e.min.min(g.min),
+                    max: e.max.max(g.max),
+                    last: g.last,
+                },
+            });
+        }
+        let expect = expect.unwrap();
+        assert_eq!(coarse.count, 5);
+        assert_eq!(coarse.sum.to_bits(), expect.sum.to_bits(), "bit-stable sum");
+        assert_eq!(coarse.min, -2.0);
+        assert_eq!(coarse.max, 7.5);
+        assert_eq!(coarse.last, 0.25);
+    }
+
+    #[test]
+    fn rings_wrap_and_old_buckets_vanish() {
+        let store = tiny();
+        // Fine tier: 20 slots of 10 µs → 200 µs retention.
+        for i in 0..40u64 {
+            store.record(i * 10, "w", SampleValue::Counter(i));
+        }
+        let fine = store.query("w", Some(10), None, 390).unwrap();
+        assert_eq!(fine.points.len(), 20, "only the last wrap survives");
+        assert_eq!(fine.points.first().unwrap().ts_us, 200);
+        assert_eq!(fine.points.last().unwrap().counter, Some(39));
+    }
+
+    #[test]
+    fn range_and_resolution_select_tiers() {
+        let store = tiny();
+        for i in 0..100u64 {
+            store.record(i * 10, "t", SampleValue::Counter(i));
+        }
+        // A range beyond the fine tier's 200 µs retention climbs tiers.
+        let q = store.query("t", None, Some(1_000), 990).unwrap();
+        assert_eq!(q.step_us, 100);
+        // An explicit step is honoured.
+        let q = store.query("t", Some(600), None, 990).unwrap();
+        assert_eq!(q.step_us, 600);
+        // A bounded range trims the fine answer.
+        let q = store.query("t", Some(10), Some(50), 990).unwrap();
+        assert!(q.points.len() <= 6, "{}", q.points.len());
+        assert!(q.points.iter().all(|p| p.ts_us >= 940));
+    }
+
+    #[test]
+    fn snapshot_feed_derives_histogram_series() {
+        let registry = crate::Registry::new();
+        registry.counter("unit.count").add(3);
+        registry.gauge("unit.depth").set(-4);
+        registry
+            .histogram("unit.lat")
+            .record(std::time::Duration::from_micros(500));
+        let store = SeriesStore::default();
+        store.record_snapshot(1_000_000, &registry.snapshot());
+        let names = store.metric_names();
+        for expect in [
+            "unit.count",
+            "unit.depth",
+            "unit.lat.p50_us",
+            "unit.lat.p99_us",
+            "unit.lat.count",
+            "unit.lat.sum_us",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+        let depth = store.query("unit.depth", None, None, 1_000_000).unwrap();
+        assert_eq!(depth.points[0].gauge.unwrap().last, -4.0);
+        let count = store
+            .query("unit.lat.count", None, None, 1_000_000)
+            .unwrap();
+        assert_eq!(count.points[0].counter, Some(1));
+    }
+
+    #[test]
+    fn unknown_metric_queries_return_none() {
+        assert!(tiny().query("nope", None, None, 0).is_none());
+    }
+
+    #[test]
+    fn kind_conflicts_drop_the_later_sample() {
+        let store = tiny();
+        store.record(5, "k", SampleValue::Counter(1));
+        store.record(6, "k", SampleValue::Gauge(9.0));
+        let q = store.query("k", None, None, 10).unwrap();
+        assert_eq!(q.kind, "counter");
+        assert_eq!(q.points[0].counter, Some(1));
+    }
+
+    #[test]
+    fn slices_round_trip_through_json() {
+        let store = tiny();
+        store.record(5, "rt.c", SampleValue::Counter(7));
+        store.record(5, "rt.g", SampleValue::Gauge(1.25));
+        for name in ["rt.c", "rt.g"] {
+            let slice = store.query(name, None, None, 10).unwrap();
+            let json = serde_json::to_string(&slice).unwrap();
+            let back: SeriesSlice = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, slice);
+        }
+    }
+
+    #[test]
+    fn duration_specs_parse() {
+        assert_eq!(parse_duration_us("250ms"), Some(250_000));
+        assert_eq!(parse_duration_us("10s"), Some(10_000_000));
+        assert_eq!(parse_duration_us("5m"), Some(300_000_000));
+        assert_eq!(parse_duration_us("1h"), Some(3_600_000_000));
+        assert_eq!(parse_duration_us("42"), Some(42_000_000));
+        assert_eq!(parse_duration_us("fast"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending integer multiples")]
+    fn misordered_tiers_are_rejected() {
+        let _ = SeriesStore::new(&[
+            TierSpec {
+                step_us: 100,
+                slots: 10,
+            },
+            TierSpec {
+                step_us: 150,
+                slots: 10,
+            },
+        ]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests pinning the downsampling invariant: for *arbitrary*
+//! sample streams, every coarser-tier bucket equals the exact aggregate
+//! of its finer-tier constituents — bit-identical `u64` for counters;
+//! `count`/`min`/`max`/`last` preserved and `sum` bit-stable (the
+//! left-to-right `f64` fold of the fine sums) for gauges.
+//!
+//! The streams deliberately include out-of-order timestamps within the
+//! live window, duplicate timestamps, negative/fractional gauge values,
+//! and enough samples to wrap the fine ring — the invariant must hold
+//! for whatever buckets remain retained.
+
+use monityre_obs::{SampleValue, SeriesStore, TierSpec};
+use proptest::prelude::*;
+
+/// A deliberately awkward pyramid: ratios 5 and 4, small rings so
+/// streams wrap them several times.
+const TIERS: [TierSpec; 3] = [
+    TierSpec {
+        step_us: 10,
+        slots: 25,
+    },
+    TierSpec {
+        step_us: 50,
+        slots: 16,
+    },
+    TierSpec {
+        step_us: 200,
+        slots: 10,
+    },
+];
+
+fn option_of<T: Clone + 'static>(inner: BoxedStrategy<T>) -> BoxedStrategy<Option<T>> {
+    prop_oneof![Just(None), inner.prop_map(Some)].boxed()
+}
+
+/// Monotone-with-jitter timestamps: mostly ascending (a scrape loop),
+/// with occasional small back-steps that stay inside the fine window.
+fn arb_timestamps(len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((1u64..30, 0u64..15), len).prop_map(|steps| {
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .map(|(fwd, back)| {
+                ts += fwd;
+                ts.saturating_sub(back.min(ts))
+            })
+            .collect()
+    })
+}
+
+/// For each adjacent tier pair, every retained coarse bucket must equal
+/// the fold (in ascending time order) of its retained fine constituents.
+fn assert_exact_downsampling(store: &SeriesStore, metric: &str, now_us: u64, is_counter: bool) {
+    let tiers = store.tiers().to_vec();
+    for pair in tiers.windows(2) {
+        let (fine_spec, coarse_spec) = (pair[0], pair[1]);
+        let fine = store
+            .query(metric, Some(fine_spec.step_us), None, now_us)
+            .expect("series exists");
+        let coarse = store
+            .query(metric, Some(coarse_spec.step_us), None, now_us)
+            .expect("series exists");
+        assert_eq!(fine.step_us, fine_spec.step_us);
+        assert_eq!(coarse.step_us, coarse_spec.step_us);
+        // Fine buckets older than the fine ring's retention may have been
+        // overwritten by a newer wrap, so only coarse buckets whose whole
+        // interval is younger than that can be re-folded from survivors.
+        let fine_retention = fine_spec.step_us * fine_spec.slots as u64;
+        let safe_from = now_us
+            .saturating_sub(fine_retention)
+            .saturating_add(fine_spec.step_us);
+        for point in &coarse.points {
+            let lo = point.ts_us;
+            let hi = lo + coarse_spec.step_us;
+            if lo < safe_from {
+                continue;
+            }
+            let constituents: Vec<_> = fine
+                .points
+                .iter()
+                .filter(|p| p.ts_us >= lo && p.ts_us < hi)
+                .collect();
+            assert!(
+                !constituents.is_empty(),
+                "retained coarse bucket at {lo} lost all fine constituents"
+            );
+            if is_counter {
+                let last = constituents.last().unwrap().counter.unwrap();
+                assert_eq!(
+                    point.counter,
+                    Some(last),
+                    "counter bucket at {lo} must be bit-identical to its last fine constituent"
+                );
+            } else {
+                let mut count = 0u64;
+                let mut sum = 0.0f64;
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut first = true;
+                for p in &constituents {
+                    let g = p.gauge.unwrap();
+                    count += g.count;
+                    if first {
+                        sum = g.sum;
+                        first = false;
+                    } else {
+                        sum += g.sum;
+                    }
+                    min = min.min(g.min);
+                    max = max.max(g.max);
+                }
+                let last = constituents.last().unwrap().gauge.unwrap().last;
+                let got = point.gauge.unwrap();
+                assert_eq!(got.count, count, "gauge count at {lo}");
+                assert_eq!(
+                    got.sum.to_bits(),
+                    sum.to_bits(),
+                    "gauge sum at {lo} must be the bit-stable left-to-right fold"
+                );
+                assert_eq!(got.min, min, "gauge min at {lo}");
+                assert_eq!(got.max, max, "gauge max at {lo}");
+                assert_eq!(got.last, last, "gauge last at {lo}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn counter_tiers_aggregate_exactly(
+        stamps in arb_timestamps(120),
+        values in proptest::collection::vec(0u64..=u64::MAX, 120),
+    ) {
+        let store = SeriesStore::new(&TIERS);
+        let mut now = 0u64;
+        for (&ts, &v) in stamps.iter().zip(&values) {
+            store.record(ts, "prop.counter", SampleValue::Counter(v));
+            now = now.max(ts);
+        }
+        assert_exact_downsampling(&store, "prop.counter", now, true);
+    }
+
+    #[test]
+    fn gauge_tiers_aggregate_exactly(
+        stamps in arb_timestamps(120),
+        values in proptest::collection::vec(-1.0e9f64..1.0e9, 120),
+    ) {
+        let store = SeriesStore::new(&TIERS);
+        let mut now = 0u64;
+        for (&ts, &v) in stamps.iter().zip(&values) {
+            store.record(ts, "prop.gauge", SampleValue::Gauge(v));
+            now = now.max(ts);
+        }
+        assert_exact_downsampling(&store, "prop.gauge", now, false);
+    }
+
+    #[test]
+    fn queries_never_panic_and_slices_round_trip(
+        stamps in arb_timestamps(60),
+        values in proptest::collection::vec(0u64..=u64::MAX, 60),
+        step in option_of((1u64..500).boxed()),
+        range in option_of((1u64..5_000).boxed()),
+        now in 0u64..10_000,
+    ) {
+        let store = SeriesStore::new(&TIERS);
+        for (&ts, &v) in stamps.iter().zip(&values) {
+            store.record(ts, "prop.any", SampleValue::Counter(v));
+        }
+        if let Some(slice) = store.query("prop.any", step, range, now) {
+            let json = serde_json::to_string(&slice).unwrap();
+            let back: monityre_obs::SeriesSlice = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, slice);
+        }
+    }
+}

@@ -29,6 +29,11 @@
 //!   [`RetryingClient`] retries with backoff and idempotency keys so a
 //!   chaos run returns the same bytes a fault-free run would, which
 //!   `tests/chaos.rs` pins.
+//! * **Continuous self-observation** — a background scrape loop samples
+//!   every registry metric into fixed-memory time-series rings (the
+//!   `series` op), an SLO engine turns them into a multi-window
+//!   burn-rate readiness answer (the `health` op), and a wall-clock
+//!   sampler attributes time across phases (the `profile` op).
 //!
 //! ```no_run
 //! use monityre_serve::{Client, Op, Request, ServerConfig};
@@ -53,7 +58,10 @@ mod worker;
 
 pub use client::{Client, ClientError, RetryPolicy, RetryingClient, DEFAULT_IO_TIMEOUT};
 pub use monityre_ingest::{ReplayReport, TelemetryPoint, VehicleWindow};
-pub use monityre_obs::TraceContext;
+pub use monityre_obs::{
+    FlameRow, FlameTable, HealthReport, ObjectiveHealth, SeriesPoint, SeriesSlice, SloKind,
+    SloSpec, TraceContext,
+};
 pub use protocol::{
     decode_request_line, decode_response_line, ErrorCode, Op, Params, Payload, ProtocolError,
     Request, Response, ScenarioSpec, WireError, MAX_INGEST_POINTS, MAX_LINE_BYTES,

@@ -12,7 +12,7 @@
 use monityre_core::{BalanceReport, Scenario};
 use monityre_ingest::{TelemetryPoint, VehicleWindow};
 use monityre_node::NodeConfig;
-use monityre_obs::TraceContext;
+use monityre_obs::{FlameTable, HealthReport, SeriesSlice, TraceContext};
 use monityre_power::{ProcessCorner, WorkingConditions};
 use monityre_profile::NAMED_CYCLES;
 use monityre_units::{Temperature, Voltage};
@@ -75,11 +75,22 @@ pub enum Op {
     Dump,
     /// Graceful shutdown: stop accepting, drain, exit (handled inline).
     Shutdown,
+    /// One self-observation time series (`params.metric`, optional
+    /// `params.resolution` / `params.range_s`): timestamped points from
+    /// the server's in-process ring, downsampled to the coarsest tier
+    /// that still covers the asked range (handled inline, never queued).
+    Series,
+    /// SLO health report: per-objective burn rates and the worst state
+    /// across objectives — the readiness answer (handled inline).
+    Health,
+    /// Wall-clock profiler flame table: per-stack sample counts
+    /// accumulated by the sampler thread (handled inline, never queued).
+    Profile,
 }
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 14] = [
+    pub const ALL: [Op; 17] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
@@ -94,6 +105,9 @@ impl Op {
         Op::Ping,
         Op::Dump,
         Op::Shutdown,
+        Op::Series,
+        Op::Health,
+        Op::Profile,
     ];
 
     /// The wire name (lowercase).
@@ -114,6 +128,9 @@ impl Op {
             Op::Ping => "ping",
             Op::Dump => "dump",
             Op::Shutdown => "shutdown",
+            Op::Series => "series",
+            Op::Health => "health",
+            Op::Profile => "profile",
         }
     }
 
@@ -129,7 +146,14 @@ impl Op {
     pub fn is_control(self) -> bool {
         matches!(
             self,
-            Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown
+            Op::Stats
+                | Op::Metrics
+                | Op::Ping
+                | Op::Dump
+                | Op::Shutdown
+                | Op::Series
+                | Op::Health
+                | Op::Profile
         )
     }
 }
@@ -391,6 +415,17 @@ pub struct Params {
     /// Vehicle filter for `ingest_state` (default: all vehicles).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub vehicle: Option<u64>,
+    /// Metric name for `series` (required for that op).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metric: Option<String>,
+    /// Resolution for `series` as a duration string (`"1s"`, `"10s"`,
+    /// `"1m"`; default: the finest tier covering the asked range).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resolution: Option<String>,
+    /// History range for `series` in seconds (default: one full ring of
+    /// the selected tier).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub range_s: Option<u64>,
 }
 
 /// One request line.
@@ -558,7 +593,26 @@ impl Request {
                 }
                 Some(_) => {}
             },
-            Op::IngestState | Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => {}
+            Op::Series => {
+                if p.metric.as_deref().unwrap_or("").is_empty() {
+                    return Err("metric: series requires a metric name".to_owned());
+                }
+                if let Some(resolution) = p.resolution.as_deref() {
+                    monityre_obs::parse_duration_us(resolution)
+                        .ok_or_else(|| format!("resolution: `{resolution}` does not parse"))?;
+                }
+                if p.range_s == Some(0) {
+                    return Err("range_s: must be positive".to_owned());
+                }
+            }
+            Op::IngestState
+            | Op::Stats
+            | Op::Metrics
+            | Op::Ping
+            | Op::Dump
+            | Op::Shutdown
+            | Op::Health
+            | Op::Profile => {}
         }
         Ok(())
     }
@@ -674,6 +728,12 @@ pub enum Payload {
     Pong,
     /// Shutdown acknowledged; the server drains and exits.
     Draining,
+    /// One self-observation time series.
+    Series(SeriesSlice),
+    /// SLO health report — the readiness answer.
+    Health(HealthReport),
+    /// Wall-clock profiler flame table.
+    Profile(FlameTable),
 }
 
 /// The structured error of a failed response.
@@ -1063,6 +1123,79 @@ mod tests {
         let json = serde_json::to_string(&payload).unwrap();
         assert!(json.contains("\"IngestState\""), "{json}");
         let back: Payload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn series_requests_validate_and_round_trip() {
+        let mut request = Request::new(Op::Series);
+        assert!(request.validate().is_err(), "a metric is required");
+        request.params.metric = Some("serve.served".to_owned());
+        assert!(request.validate().is_ok());
+        request.params.resolution = Some("10s".to_owned());
+        request.params.range_s = Some(300);
+        assert!(request.validate().is_ok());
+        let json = serde_json::to_string(&request).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+
+        request.params.resolution = Some("sideways".to_owned());
+        assert!(request.validate().is_err());
+        request.params.resolution = None;
+        request.params.range_s = Some(0);
+        assert!(request.validate().is_err());
+
+        // `health` and `profile` take no parameters and are control ops.
+        for op in [Op::Health, Op::Profile, Op::Series] {
+            assert!(op.is_control(), "{op:?}");
+        }
+        assert!(Request::new(Op::Health).validate().is_ok());
+        assert!(Request::new(Op::Profile).validate().is_ok());
+
+        // The observation params never burden other ops' wire lines.
+        let bare = serde_json::to_string(&Request::new(Op::Balance)).unwrap();
+        for field in ["metric", "resolution", "range_s"] {
+            assert!(!bare.contains(field), "{bare}");
+        }
+    }
+
+    #[test]
+    fn observation_payloads_round_trip() {
+        let store = monityre_obs::SeriesStore::new(&monityre_obs::DEFAULT_TIERS);
+        store.record(
+            5_000_000,
+            "serve.served",
+            monityre_obs::SampleValue::Counter(17),
+        );
+        let slice = store
+            .query("serve.served", None, None, 5_000_000)
+            .expect("series exists");
+        let payload = Payload::Series(slice);
+        let json = serde_json::to_string(&payload).unwrap();
+        assert!(json.contains("\"Series\""), "{json}");
+        let back: Payload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, payload);
+
+        let health = monityre_obs::HealthReport {
+            status: "ok".to_owned(),
+            objectives: Vec::new(),
+        };
+        let payload = Payload::Health(health);
+        let back: Payload =
+            serde_json::from_str(&serde_json::to_string(&payload).unwrap()).unwrap();
+        assert_eq!(back, payload);
+
+        let payload = Payload::Profile(monityre_obs::FlameTable {
+            ticks: 100,
+            idle_ticks: 40,
+            rows: vec![monityre_obs::FlameRow {
+                stack: "serve.execute".to_owned(),
+                samples: 60,
+                pct: 60.0,
+            }],
+        });
+        let back: Payload =
+            serde_json::from_str(&serde_json::to_string(&payload).unwrap()).unwrap();
         assert_eq!(back, payload);
     }
 

@@ -63,6 +63,23 @@ pub struct ServerConfig {
     pub ingest_dir: Option<std::path::PathBuf>,
     /// Sliding-window span of the ingest aggregation, microseconds.
     pub ingest_window_us: u64,
+    /// Self-scrape cadence of the observation loop, microseconds: every
+    /// tick snapshots the merged registries into the time-series rings
+    /// and re-evaluates the SLO engine. `0` disables the loop (the
+    /// `series` op finds no metrics and `health` stays `ok`).
+    pub scrape_interval_us: u64,
+    /// Wall-clock profiler sampling cadence, microseconds. Deliberately
+    /// defaults to a prime-ish period (9973 µs ≈ 100 Hz) so the sampler
+    /// never locks step with periodic work. `0` disables the sampler.
+    pub profile_interval_us: u64,
+    /// Fast SLO burn window of the default objectives, microseconds.
+    pub slo_fast_us: u64,
+    /// Slow SLO burn window of the default objectives, microseconds.
+    pub slo_slow_us: u64,
+    /// Objective overrides. `None` installs the default serve objectives
+    /// (execute-p99, error-ratio, ingest-deficit-rate) over the
+    /// configured windows; tests and harnesses may pin their own.
+    pub slos: Option<Vec<monityre_obs::SloSpec>>,
 }
 
 impl Default for ServerConfig {
@@ -77,8 +94,58 @@ impl Default for ServerConfig {
             faults: None,
             ingest_dir: None,
             ingest_window_us: monityre_ingest::DEFAULT_WINDOW_US,
+            scrape_interval_us: 1_000_000,
+            profile_interval_us: 9_973,
+            slo_fast_us: monityre_obs::DEFAULT_FAST_US,
+            slo_slow_us: monityre_obs::DEFAULT_SLOW_US,
+            slos: None,
         }
     }
+}
+
+/// The default serve objectives: p99 execute latency below 250 ms,
+/// error ratio below 0.1 %, and ingest deficit alerts below 50/s — the
+/// three failure modes of the paper's pipeline (slow sweeps, shed or
+/// failed requests, a fleet running at an energy deficit).
+fn default_objectives(fast_us: u64, slow_us: u64) -> Vec<monityre_obs::SloSpec> {
+    use monityre_obs::{SloKind, SloSpec};
+    let own = |names: &[&str]| -> Vec<String> { names.iter().map(|&n| n.to_owned()).collect() };
+    vec![
+        SloSpec::new(
+            "execute-p99",
+            SloKind::GaugeAbove {
+                metric: format!("{}.p99_us", monityre_obs::names::SERVE_EXECUTE),
+                threshold: 250_000.0,
+                tolerance: 0.1,
+            },
+        )
+        .with_windows(fast_us, slow_us)
+        .with_exemplar_from(monityre_obs::names::SERVE_EXECUTE),
+        SloSpec::new(
+            "error-ratio",
+            SloKind::RatioAbove {
+                bad: own(&["serve.rejected", "serve.timed_out", "serve.eval_failed"]),
+                total: own(&[
+                    "serve.rejected",
+                    "serve.timed_out",
+                    "serve.eval_failed",
+                    "serve.served",
+                    "serve.bad_requests",
+                ]),
+                budget: 0.001,
+            },
+        )
+        .with_windows(fast_us, slow_us)
+        .with_exemplar_from(monityre_obs::names::SERVE_EXECUTE),
+        SloSpec::new(
+            "ingest-deficit-rate",
+            SloKind::RateAbove {
+                metric: monityre_obs::names::SERVE_INGEST_ALERTS.to_owned(),
+                max_per_sec: 50.0,
+            },
+        )
+        .with_windows(fast_us, slow_us),
+    ]
 }
 
 impl ServerConfig {
@@ -113,6 +180,9 @@ impl ServerConfig {
             ..monityre_ingest::IngestConfig::default()
         })?;
         let replay = ingestor.replay_report().clone();
+        let specs = self
+            .slos
+            .unwrap_or_else(|| default_objectives(self.slo_fast_us, self.slo_slow_us));
         let shared = Arc::new(Shared {
             addr,
             shutdown: AtomicBool::new(false),
@@ -126,6 +196,13 @@ impl ServerConfig {
                 ingest: std::sync::Mutex::new(ingestor),
             },
             faults,
+            series: monityre_obs::SeriesStore::new(&monityre_obs::DEFAULT_TIERS),
+            profiler: monityre_obs::Profiler::new(),
+            slo: std::sync::Mutex::new(monityre_obs::SloEngine::new(specs)),
+            health: std::sync::Mutex::new(monityre_obs::HealthReport {
+                status: "ok".to_owned(),
+                objectives: Vec::new(),
+            }),
         });
         let workers: Vec<JoinHandle<()>> = (0..self.workers.max(1))
             .map(|_| {
@@ -135,6 +212,17 @@ impl ServerConfig {
                 })
             })
             .collect();
+        let mut observers: Vec<JoinHandle<()>> = Vec::new();
+        if self.scrape_interval_us > 0 {
+            let shared = Arc::clone(&shared);
+            let interval = Duration::from_micros(self.scrape_interval_us);
+            observers.push(thread::spawn(move || scrape_loop(&shared, interval)));
+        }
+        if self.profile_interval_us > 0 {
+            let shared = Arc::clone(&shared);
+            let interval = Duration::from_micros(self.profile_interval_us);
+            observers.push(thread::spawn(move || profile_loop(&shared, interval)));
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || accept_loop(&listener, &shared))
@@ -143,8 +231,40 @@ impl ServerConfig {
             shared,
             acceptor: Some(acceptor),
             workers,
+            observers,
             replay,
         })
+    }
+}
+
+/// The self-scrape loop: each tick snapshots the merged registries into
+/// the time-series rings and re-evaluates the SLO engine, refreshing the
+/// health report the `health` op serves. Sleeps in short slices so even
+/// second-scale cadences observe shutdown within [`POLL_PERIOD`].
+fn scrape_loop(shared: &Shared, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        shared.scrape_once();
+        sleep_polling(&shared.shutdown, interval);
+    }
+}
+
+/// The wall-clock profiler loop: each tick samples every thread's open
+/// span stack into the flame table the `profile` op serves.
+fn profile_loop(shared: &Shared, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        shared.profiler.sample();
+        sleep_polling(&shared.shutdown, interval);
+    }
+}
+
+/// Sleeps `total`, waking at least every [`POLL_PERIOD`] to check the
+/// shutdown flag so graceful drain never waits out a long cadence.
+fn sleep_polling(shutdown: &AtomicBool, total: Duration) {
+    let mut remaining = total;
+    while !shutdown.load(Ordering::SeqCst) && !remaining.is_zero() {
+        let slice = remaining.min(POLL_PERIOD);
+        thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
     }
 }
 
@@ -155,13 +275,25 @@ struct Shared {
     engine: Engine,
     /// The installed fault plan; `None` keeps every hook inert.
     faults: Option<Arc<FaultPlan>>,
+    /// Fixed-memory time-series rings the self-scrape loop fills and the
+    /// `series` op reads.
+    series: monityre_obs::SeriesStore,
+    /// The wall-clock profiler's flame table, fed by the sampler thread.
+    profiler: monityre_obs::Profiler,
+    /// The SLO engine, advanced once per scrape tick.
+    slo: std::sync::Mutex<monityre_obs::SloEngine>,
+    /// The most recent health report — the readiness answer the `health`
+    /// op serves without waiting on a scrape.
+    health: std::sync::Mutex<monityre_obs::HealthReport>,
 }
 
 impl Shared {
-    /// Renders the `metrics` op body: refresh the point-in-time gauges,
-    /// then expose this server's private registry merged with the
-    /// process-global one (where the core evaluation spans live).
-    fn prometheus_text(&self) -> String {
+    /// One merged registry snapshot: refresh the point-in-time gauges,
+    /// then merge this server's private registry with the process-global
+    /// one (where the core evaluation spans live). Both the `metrics`
+    /// exposition and the self-scrape loop read through here, so the
+    /// time-series rings see exactly what Prometheus would.
+    fn merged_snapshot(&self) -> monityre_obs::RegistrySnapshot {
         let stats = &self.engine.stats;
         let registry = stats.registry();
         let clamp = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
@@ -197,7 +329,37 @@ impl Shared {
         registry
             .snapshot()
             .merged(monityre_obs::Registry::global().snapshot())
-            .to_prometheus()
+    }
+
+    /// Renders the `metrics` op body.
+    fn prometheus_text(&self) -> String {
+        self.merged_snapshot().to_prometheus()
+    }
+
+    /// One self-scrape tick: sample every counter, gauge and derived
+    /// histogram quantile into the rings, then re-evaluate the SLO
+    /// engine against them and cache the resulting health report.
+    fn scrape_once(&self) {
+        let snapshot = self.merged_snapshot();
+        let now_us = monityre_obs::now_us();
+        self.series.record_snapshot(now_us, &snapshot);
+        let report = self
+            .slo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .evaluate(&self.series, &snapshot, now_us);
+        *self
+            .health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = report;
+    }
+
+    /// The cached readiness answer (the last scrape tick's report).
+    fn health_report(&self) -> monityre_obs::HealthReport {
+        self.health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Idempotent shutdown trigger: flag, queue close, acceptor poke.
@@ -219,6 +381,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    observers: Vec<JoinHandle<()>>,
     replay: monityre_ingest::ReplayReport,
 }
 
@@ -240,6 +403,30 @@ impl ServerHandle {
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         self.shared.prometheus_text()
+    }
+
+    /// The cached readiness answer (what the `health` op serves), read
+    /// directly (no wire round trip).
+    #[must_use]
+    pub fn health(&self) -> monityre_obs::HealthReport {
+        self.shared.health_report()
+    }
+
+    /// The wall-clock profiler's flame table (what the `profile` op
+    /// serves), read directly (no wire round trip).
+    #[must_use]
+    pub fn flame_table(&self) -> monityre_obs::FlameTable {
+        self.shared.profiler.snapshot()
+    }
+
+    /// One metric's self-scraped time-series ring (what the `series` op
+    /// serves for a default query), read directly (no wire round trip).
+    /// `None` until the scrape loop has sampled the metric at least once.
+    #[must_use]
+    pub fn series(&self, metric: &str) -> Option<monityre_obs::SeriesSlice> {
+        self.shared
+            .series
+            .query(metric, None, None, monityre_obs::now_us())
     }
 
     /// What the startup ingest replay found (all zeros when
@@ -278,6 +465,11 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // The scrape and sampler threads poll the shutdown flag at least
+        // every POLL_PERIOD, so this drain is bounded.
+        for observer in self.observers.drain(..) {
+            let _ = observer.join();
         }
     }
 }
@@ -503,6 +695,49 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
                     },
                 };
                 send_response(writer, &Response::success(id, payload), faults).is_ok()
+            }
+            Op::Series => {
+                let params = &request.params;
+                let metric = params.metric.as_deref().unwrap_or_default();
+                let step_us = params
+                    .resolution
+                    .as_deref()
+                    .and_then(monityre_obs::parse_duration_us);
+                let range_us = params.range_s.map(|s| s.saturating_mul(1_000_000));
+                let response =
+                    match shared
+                        .series
+                        .query(metric, step_us, range_us, monityre_obs::now_us())
+                    {
+                        Some(slice) => Response::success(id, Payload::Series(slice)),
+                        None => Response::failure(
+                            id,
+                            ErrorCode::EvalFailed,
+                            format!(
+                                "metric `{metric}` has no recorded series \
+                             (is the scrape loop enabled?)"
+                            ),
+                        ),
+                    };
+                send_response(writer, &response, faults).is_ok()
+            }
+            Op::Health => {
+                let report = shared.health_report();
+                send_response(
+                    writer,
+                    &Response::success(id, Payload::Health(report)),
+                    faults,
+                )
+                .is_ok()
+            }
+            Op::Profile => {
+                let table = shared.profiler.snapshot();
+                send_response(
+                    writer,
+                    &Response::success(id, Payload::Profile(table)),
+                    faults,
+                )
+                .is_ok()
             }
             _ => {
                 // Acknowledge first so the client sees the answer even

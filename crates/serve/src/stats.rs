@@ -74,12 +74,14 @@ impl Stats {
 
     /// A job for `op` completed successfully after `elapsed` in the server
     /// (parse to response — the service time the percentiles summarize).
+    /// Stamps the current trace id (if a request context is installed) as
+    /// the per-op histogram bucket's exemplar, so a slow op names a trace.
     pub(crate) fn record_served(&self, op: &str, elapsed: Duration) {
         self.served.inc();
         self.service.record(elapsed);
         self.registry
             .histogram(&format!("serve.op.{op}"))
-            .record(elapsed);
+            .record_traced(elapsed, current_trace_id());
     }
 
     /// How long a job sat in the bounded queue before a worker picked it
@@ -175,6 +177,12 @@ impl Stats {
                     p50_ms: h.p50_us / 1000.0,
                     p90_ms: h.p90_us / 1000.0,
                     p99_ms: h.p99_us / 1000.0,
+                    exemplar: h.exemplars.as_deref().and_then(|exemplars| {
+                        exemplars
+                            .iter()
+                            .max_by_key(|e| e.value_us)
+                            .map(|e| e.trace_id.clone())
+                    }),
                 })
             })
             .collect();
@@ -211,6 +219,11 @@ pub struct OpLatency {
     pub p90_ms: f64,
     /// Estimated 99th-percentile service time, milliseconds.
     pub p99_ms: f64,
+    /// Trace id of the slowest traced request this histogram has seen
+    /// (its largest-valued exemplar); absent when no request carried a
+    /// trace context, and omitted from the wire so old peers still parse.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub exemplar: Option<String>,
 }
 
 /// What the `stats` op returns: cumulative counters since start plus
@@ -369,6 +382,33 @@ mod tests {
             .find(|h| h.name == monityre_obs::names::SERVE_QUEUE_WAIT)
             .unwrap();
         assert!(wait.exemplars.is_none(), "untraced record has no exemplar");
+    }
+
+    #[test]
+    fn op_latencies_surface_the_slowest_exemplar() {
+        let stats = Stats::new();
+        let slow = monityre_obs::TraceContext::root(0xfeed);
+        let fast = monityre_obs::TraceContext::root(0xbeef);
+        {
+            let _g = monityre_obs::install_context(fast);
+            stats.record_served("sweep", Duration::from_millis(1));
+        }
+        {
+            let _g = monityre_obs::install_context(slow);
+            stats.record_served("sweep", Duration::from_millis(40));
+        }
+        stats.record_served("breakeven", Duration::from_millis(2)); // untraced
+        let snap = stats.snapshot();
+        let sweep = snap.ops.iter().find(|o| o.op == "sweep").unwrap();
+        assert_eq!(
+            sweep.exemplar.as_deref(),
+            Some(format!("{:016x}", slow.trace_id).as_str())
+        );
+        let breakeven = snap.ops.iter().find(|o| o.op == "breakeven").unwrap();
+        assert_eq!(breakeven.exemplar, None);
+        // The field stays off the wire when absent.
+        let json = serde_json::to_string(&snap).unwrap();
+        assert_eq!(json.matches("exemplar").count(), 1, "{json}");
     }
 
     #[test]

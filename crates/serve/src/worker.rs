@@ -621,7 +621,14 @@ fn run_op<C: Fn() -> bool + Sync>(
             ErrorCode::BadRequest,
             format!("op `{}` does not take a scenario", request.op.name()),
         )),
-        Op::Stats | Op::Metrics | Op::Ping | Op::Dump | Op::Shutdown => Err((
+        Op::Stats
+        | Op::Metrics
+        | Op::Ping
+        | Op::Dump
+        | Op::Shutdown
+        | Op::Series
+        | Op::Health
+        | Op::Profile => Err((
             ErrorCode::BadRequest,
             format!("op `{}` is a control operation", request.op.name()),
         )),
@@ -733,7 +740,7 @@ mod tests {
     #[test]
     fn control_ops_are_rejected_by_run_op() {
         let cached = CachedScenario::build(&ScenarioSpec::default()).unwrap();
-        for op in [Op::Stats, Op::Shutdown] {
+        for op in [Op::Stats, Op::Shutdown, Op::Series, Op::Health, Op::Profile] {
             let err = run_op(
                 &Request::new(op),
                 &cached,

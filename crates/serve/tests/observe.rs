@@ -1,0 +1,244 @@
+//! Loopback tests for the continuous self-observation subsystem: the
+//! scrape loop filling the time-series rings (`series` op), the SLO
+//! engine's burn-rate readiness answer (`health` op) transitioning
+//! ok → degraded → ok under an injected fault storm, and the wall-clock
+//! profiler's flame table (`profile` op).
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use monityre_obs::{SloKind, SloSpec};
+use monityre_serve::{Client, ErrorCode, Op, Payload, Request, ServerConfig};
+
+/// An observation-heavy config: scrape every 20 ms, profile at 2 ms, so
+/// seconds-scale tests see many samples.
+fn observing_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        scrape_interval_us: 20_000,
+        profile_interval_us: 2_000,
+        ..ServerConfig::default()
+    }
+}
+
+fn health_status(client: &mut Client) -> String {
+    let response = client
+        .request(&Request::new(Op::Health))
+        .expect("health request");
+    match response.ok.expect("health is infallible") {
+        Payload::Health(report) => report.status,
+        other => panic!("unexpected payload {other:?}"),
+    }
+}
+
+/// Polls `health` until it reports `want` (or panics after `patience`).
+fn await_status(client: &mut Client, want: &str, patience: Duration) {
+    let start = Instant::now();
+    let mut last = String::new();
+    while start.elapsed() < patience {
+        last = health_status(client);
+        if last == want {
+            return;
+        }
+        thread::sleep(Duration::from_millis(100));
+    }
+    panic!("health never reached `{want}` (stuck at `{last}`)");
+}
+
+#[test]
+fn series_health_and_profile_ops_serve_over_the_wire() {
+    let handle = observing_config().start().expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Generate some traffic so counters move.
+    for i in 0..5u64 {
+        let response = client
+            .request(&Request::new(Op::Breakeven).with_id(i))
+            .expect("request");
+        assert!(response.is_ok());
+    }
+    // Let the scrape loop take a few samples.
+    thread::sleep(Duration::from_millis(200));
+
+    // `series` returns the served counter's ring.
+    let mut request = Request::new(Op::Series);
+    request.params.metric = Some("serve.served".to_owned());
+    let response = client.request(&request).expect("series request");
+    match response.ok.expect("series answers") {
+        Payload::Series(slice) => {
+            assert_eq!(slice.metric, "serve.served");
+            assert_eq!(slice.kind, "counter");
+            assert!(!slice.points.is_empty());
+            let last = slice.points.last().unwrap().counter.expect("counter");
+            assert!(last >= 5, "served counter sampled at {last}");
+        }
+        other => panic!("unexpected payload {other:?}"),
+    }
+
+    // Derived histogram quantiles are sampled as gauges.
+    let mut request = Request::new(Op::Series);
+    request.params.metric = Some("serve.execute.p99_us".to_owned());
+    request.params.resolution = Some("1s".to_owned());
+    let response = client.request(&request).expect("series request");
+    match response.ok.expect("series answers") {
+        Payload::Series(slice) => {
+            assert_eq!(slice.kind, "gauge");
+            assert_eq!(slice.step_us, 1_000_000);
+            assert!(!slice.points.is_empty());
+        }
+        other => panic!("unexpected payload {other:?}"),
+    }
+
+    // An unknown metric is a structured error, not a hang or a panic.
+    let mut request = Request::new(Op::Series);
+    request.params.metric = Some("no.such.metric".to_owned());
+    let response = client.request(&request).expect("series request");
+    assert_eq!(response.error_code(), Some(ErrorCode::EvalFailed));
+
+    // `health` answers with the three default objectives, all ok.
+    let response = client
+        .request(&Request::new(Op::Health))
+        .expect("health request");
+    match response.ok.expect("health answers") {
+        Payload::Health(report) => {
+            assert_eq!(report.status, "ok");
+            let names: Vec<&str> = report.objectives.iter().map(|o| o.name.as_str()).collect();
+            assert_eq!(
+                names,
+                vec!["execute-p99", "error-ratio", "ingest-deficit-rate"]
+            );
+        }
+        other => panic!("unexpected payload {other:?}"),
+    }
+
+    // `profile` has been ticking the whole time.
+    let response = client
+        .request(&Request::new(Op::Profile))
+        .expect("profile request");
+    match response.ok.expect("profile answers") {
+        Payload::Profile(table) => {
+            assert!(table.ticks > 0, "sampler never ticked");
+            assert!(table.idle_ticks <= table.ticks);
+        }
+        other => panic!("unexpected payload {other:?}"),
+    }
+
+    // The direct (no wire) accessors agree in shape.
+    assert!(handle.flame_table().ticks > 0);
+    assert_eq!(handle.health().status, "ok");
+    handle.shutdown();
+}
+
+#[test]
+fn health_degrades_under_a_fault_storm_and_recovers() {
+    // One tuned objective: timed-out fraction below 25 %. The fast
+    // window sees the storm alone (ratio ≈ 1 → burns); the slow window
+    // sees the whole run, where good traffic keeps the overall fraction
+    // under budget (no burn) — so the storm lands exactly on `warning`,
+    // i.e. a `degraded` readiness answer, not an `unhealthy` page.
+    let storm_slo = SloSpec::new(
+        "storm",
+        SloKind::RatioAbove {
+            bad: vec!["serve.timed_out".to_owned()],
+            total: vec!["serve.timed_out".to_owned(), "serve.served".to_owned()],
+            budget: 0.25,
+        },
+    )
+    .with_windows(3_000_000, 120_000_000);
+    let config = ServerConfig {
+        slos: Some(vec![storm_slo]),
+        ..observing_config()
+    };
+    let handle = config.start().expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Healthy baseline traffic, *spread across ring buckets*: a counter
+    // delta is last-minus-first over a window's buckets, so growth
+    // confined to a single bucket is invisible — the slow window must
+    // see the served counter actually climb.
+    for batch in 0..5u64 {
+        for i in 0..20u64 {
+            let response = client
+                .request(&Request::new(Op::Breakeven).with_id(batch * 100 + i))
+                .expect("request");
+            assert!(response.is_ok(), "{response:?}");
+        }
+        thread::sleep(Duration::from_millis(1_100));
+    }
+    await_status(&mut client, "ok", Duration::from_secs(5));
+    // Let the baseline age out of the fast window so the storm owns it.
+    thread::sleep(Duration::from_secs(4));
+
+    // The fault storm: requests whose deadline has already elapsed when
+    // a worker picks them up — every one lands as `timed_out`.
+    for i in 0..15u64 {
+        let mut request = Request::new(Op::Sweep).with_id(1000 + i);
+        request.deadline_ms = Some(0);
+        let response = client.request(&request).expect("request");
+        assert_eq!(response.error_code(), Some(ErrorCode::DeadlineExceeded));
+    }
+    await_status(&mut client, "degraded", Duration::from_secs(8));
+
+    // The storm's transition left a flight-recorder event.
+    let events: Vec<String> = monityre_obs::recorder::snapshot()
+        .into_iter()
+        .filter(|r| {
+            r.name
+                .starts_with(monityre_obs::names::SLO_TRANSITION_EVENT)
+        })
+        .map(|r| r.name.into_owned())
+        .collect();
+    assert!(
+        events.iter().any(|e| e.contains("storm.ok_to_warning")),
+        "{events:?}"
+    );
+
+    // Recovery: the storm stops, the fast window drains, health returns
+    // to ok — and the recovery transition is recorded too.
+    await_status(&mut client, "ok", Duration::from_secs(10));
+    let events: Vec<String> = monityre_obs::recorder::snapshot()
+        .into_iter()
+        .filter(|r| {
+            r.name
+                .starts_with(monityre_obs::names::SLO_TRANSITION_EVENT)
+        })
+        .map(|r| r.name.into_owned())
+        .collect();
+    assert!(
+        events.iter().any(|e| e.contains("storm.warning_to_ok")),
+        "{events:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn disabled_observation_threads_leave_health_ok_and_series_empty() {
+    let config = ServerConfig {
+        scrape_interval_us: 0,
+        profile_interval_us: 0,
+        ..ServerConfig::default()
+    };
+    let handle = config.start().expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let response = client
+        .request(&Request::new(Op::Ping))
+        .expect("ping request");
+    assert!(response.is_ok());
+
+    // No scrape loop: no series exist, health stays the boot-time ok.
+    let mut request = Request::new(Op::Series);
+    request.params.metric = Some("serve.served".to_owned());
+    let response = client.request(&request).expect("series request");
+    assert_eq!(response.error_code(), Some(ErrorCode::EvalFailed));
+    assert_eq!(health_status(&mut client), "ok");
+
+    // No sampler: zero ticks.
+    let response = client
+        .request(&Request::new(Op::Profile))
+        .expect("profile request");
+    match response.ok.expect("profile answers") {
+        Payload::Profile(table) => assert_eq!(table.ticks, 0),
+        other => panic!("unexpected payload {other:?}"),
+    }
+    handle.shutdown();
+}

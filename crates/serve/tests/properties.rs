@@ -93,6 +93,9 @@ fn arb_params() -> BoxedStrategy<Params> {
                 formula: None,
                 points: None,
                 vehicle: None,
+                metric: None,
+                resolution: None,
+                range_s: None,
             },
         )
         .boxed()
