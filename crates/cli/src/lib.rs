@@ -28,6 +28,8 @@
 //!                    [--ingest N] [--ingest-seed S] [--vehicle V]  (ingest ops)
 //!                    [--metric NAME] [--resolution 10s] [--range-s N] (series)
 //! monityre ingest    --dir /tmp/segments [--window-s 60] [--vehicle V] [--json]
+//! monityre fleet     --addr HOST:PORT [--vehicles 6] [--rounds 48] [--seed 2011]
+//!                    [--threads 1] [--optimize] [--json] | [--digest]
 //! monityre obs       --addr HOST:PORT [--prometheus] [--dump]
 //! monityre obs trace TRACE_ID --from /tmp/dump.jsonl
 //! monityre obs series METRIC --addr HOST:PORT [--resolution 10s]
@@ -43,6 +45,7 @@
 
 mod args;
 mod commands;
+mod fleet;
 mod ingest;
 mod remote;
 
@@ -114,6 +117,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" => remote::serve(&args),
         "request" => remote::request(&args),
         "ingest" => ingest::ingest(&args),
+        "fleet" => fleet::fleet(&args),
         "obs" => remote::obs(&args),
         other => Err(CliError::new(format!(
             "unknown command `{other}` (try `monityre help`)"
@@ -145,6 +149,10 @@ COMMANDS:
     ingest     replay a telemetry segment directory offline and print the
                reconstructed per-vehicle window state (--json for the exact
                IngestState payload a server over the same directory serves)
+    fleet      stream a deterministic K-vehicle workload at a server and
+               report per-vehicle break-evens (--json for the canonical
+               golden-comparable report, --digest for the offline
+               workload fingerprint, --optimize to also search configs)
     obs        fetch a server's stats snapshot (--prometheus for the raw
                exposition, --dump to trigger a flight-recorder dump)
     obs trace  pretty-print one request's span tree from a dump file
@@ -523,6 +531,101 @@ mod tests {
         assert!(report.contains("replayed 48 point(s)"), "{report}");
         assert!(report.contains("vehicle"), "{report}");
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// The extended scenario axes ride the `request` flags: present
+    /// flags reach the wire and shift the break-even; absent flags keep
+    /// the response identical to the pre-axis bytes.
+    #[test]
+    fn request_carries_the_scenario_axis_flags() {
+        let plain = run_line("request --local --op breakeven --steps 48 --temp 25").unwrap();
+        let loaded = run_line(
+            "request --local --op breakeven --steps 48 --temp 25 \
+             --radio-loss 0.2 --radio-retries 8 --age-years 6",
+        )
+        .unwrap();
+        let pick = |s: &str| -> f64 {
+            s.split("break_even_kmh\":")
+                .nth(1)
+                .and_then(|t| {
+                    t.trim_end_matches(|c: char| !c.is_ascii_digit())
+                        .parse()
+                        .ok()
+                })
+                .unwrap_or_else(|| panic!("no break-even in {s}"))
+        };
+        assert!(
+            pick(&loaded) > pick(&plain),
+            "lossy radio + aged cap must raise the break-even:\n{plain}\n{loaded}"
+        );
+        // Out-of-range axis values are structured bad requests.
+        let out = run_line("request --local --op breakeven --radio-loss 1.5").unwrap();
+        assert!(out.contains("bad_request"), "{out}");
+        let out = run_line("request --local --op breakeven --age-years -1").unwrap();
+        assert!(out.contains("bad_request"), "{out}");
+    }
+
+    #[test]
+    fn request_local_optimize_reports_a_best_config() {
+        let out = run_line("request --local --op optimize --steps 24 --id 9").unwrap();
+        assert!(out.contains("\"Optimize\""), "{out}");
+        assert!(out.contains("\"candidates\""), "{out}");
+        assert!(out.contains("\"id\":9"), "{out}");
+    }
+
+    /// `fleet --digest` is the offline generator fingerprint: stable
+    /// across invocations, sensitive to the seed.
+    #[test]
+    fn fleet_digest_is_stable_and_seed_sensitive() {
+        let a = run_line("fleet --digest").unwrap();
+        let b = run_line("fleet --digest").unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("fleet digest 0x"), "{a}");
+        let other = run_line("fleet --digest --seed 7").unwrap();
+        assert_ne!(a, other, "the digest must depend on the seed");
+    }
+
+    #[test]
+    fn fleet_requires_an_address_and_sane_counts() {
+        let err = run_line("fleet").unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+        let err = run_line("fleet --vehicles 0 --addr 127.0.0.1:1").unwrap_err();
+        assert!(err.to_string().contains("--vehicles"), "{err}");
+    }
+
+    /// The fleet command end to end against a live server: the table
+    /// reports every vehicle, and two `--json` runs against fresh
+    /// servers produce byte-identical reports (the CI golden check).
+    #[test]
+    fn fleet_command_streams_a_live_server_deterministically() {
+        let serve = || {
+            monityre_serve::ServerConfig::default()
+                .start()
+                .expect("bind loopback")
+        };
+        let handle = serve();
+        let table = run_line(&format!(
+            "fleet --addr {} --vehicles 2 --rounds 8",
+            handle.addr()
+        ))
+        .unwrap();
+        handle.shutdown();
+        assert!(table.contains("fleet seed 2011"), "{table}");
+        assert!(table.contains("km/h"), "{table}");
+
+        let golden = |threads: usize| {
+            let handle = serve();
+            let out = run_line(&format!(
+                "fleet --addr {} --vehicles 2 --rounds 8 --threads {threads} --json",
+                handle.addr()
+            ))
+            .unwrap();
+            handle.shutdown();
+            out
+        };
+        let serial = golden(1);
+        assert_eq!(serial, golden(2), "fleet bytes diverged across threads");
+        assert!(serial.contains("\"ingest_state\""), "{serial}");
     }
 
     #[test]

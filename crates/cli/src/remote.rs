@@ -720,6 +720,13 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     request.scenario.tx_period_rounds = parse_opt(args, "tx-period")?;
     request.scenario.payload_bytes = parse_opt(args, "payload-bytes")?;
     request.scenario.chain_scale = parse_opt(args, "chain-scale")?;
+    // The extended scenario axes: a lossy radio (`--radio-loss`, with an
+    // optional `--radio-retries` budget) and an aged supercap
+    // (`--age-years`). Absent flags keep the axes off the wire entirely,
+    // so warm scenario-cache keys stay byte-identical.
+    request.scenario.radio_loss_prob = parse_opt(args, "radio-loss")?;
+    request.scenario.radio_retries = parse_opt(args, "radio-retries")?;
+    request.scenario.age_years = parse_opt(args, "age-years")?;
     request.params.from_kmh = parse_opt(args, "from")?;
     request.params.to_kmh = parse_opt(args, "to")?;
     request.params.steps = parse_opt(args, "steps")?;

@@ -50,6 +50,7 @@
 
 mod advisor;
 mod analyzer;
+mod axes;
 mod balance;
 mod cache;
 mod emulator;
@@ -59,6 +60,7 @@ mod flow;
 mod governor;
 mod lifetime;
 mod montecarlo;
+mod optimizer;
 pub mod report;
 mod scenario;
 mod sheet_par;
@@ -70,6 +72,10 @@ pub use advisor::{
     NodeOptimization, OptimizationAdvisor, Recommendation, SelectionPolicy, Technique,
 };
 pub use analyzer::{BlockEnergy, EnergyAnalyzer, NodeEnergy};
+pub use axes::{
+    RadioLink, ScenarioExtras, StorageAgeing, AGEING_RATE_PER_YEAR, MAX_AGE_YEARS,
+    MAX_RADIO_RETRIES,
+};
 pub use balance::{speed_grid, BalancePoint, BalanceReport, EnergyBalance};
 pub use cache::{CacheCounts, EvalCache};
 pub use emulator::{EmulationReport, EmulatorConfig, OperatingWindow, TransientEmulator};
@@ -79,6 +85,7 @@ pub use flow::{Flow, FlowReport};
 pub use governor::{GovernedReport, Governor, GovernorLevel};
 pub use lifetime::{LifetimeEstimator, LifetimeReport, UsagePattern};
 pub use montecarlo::{BreakEvenDistribution, MonteCarlo, VariationModel};
+pub use optimizer::{BreakEvenOptimizer, CandidateConfig, OptimizeReport, DUTY_POLICIES};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use sheet_par::{install_parallel_recompute, SweepLevelMap};
 pub use trace::{InstantTrace, TraceSample};

@@ -1,0 +1,238 @@
+//! Break-even search: which node configuration / duty-cycle policy
+//! minimizes the break-even speed of a scenario?
+//!
+//! The paper's [`crate::OptimizationAdvisor`] picks per-block
+//! *techniques* from the (dynamic/static split × duty cycle) pair; this
+//! module searches the orthogonal knob space the serving layer exposes —
+//! the [`ConfigSpace::reference_grid`] of samples-per-round ×
+//! tx-period × payload, crossed with a small set of acquisition
+//! duty-cycle policies (energy-aware task-scheduling in the sense of
+//! Sharma et al.) — and reports the configuration with the lowest
+//! break-even speed. The unmodified scenario is always candidate zero,
+//! so the optimized result is **never worse than the baseline** by
+//! construction.
+//!
+//! Candidates are evaluated independently on a [`SweepExecutor`] in
+//! candidate order and compared with a first-wins tie-break, so the
+//! result is bit-identical for any thread count — the same property the
+//! plain sweeps pin.
+
+use monityre_node::{Architecture, ConfigSpace, NodeConfig};
+use monityre_units::Speed;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, EnergyBalance, Scenario, SweepExecutor};
+
+/// The acquisition duty-cycle policies the search crosses the config
+/// grid with (the reference node acquires for 12 % of each round).
+pub const DUTY_POLICIES: &[f64] = &[0.06, 0.12, 0.24];
+
+/// One searched configuration, in the node config's own knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// ADC samples acquired per wheel round.
+    pub samples_per_round: u32,
+    /// Rounds between radio transmissions.
+    pub tx_period_rounds: u32,
+    /// Radio payload size in bytes.
+    pub payload_bytes: u32,
+    /// Fraction of the round spent acquiring.
+    pub acquisition_fraction: f64,
+}
+
+impl CandidateConfig {
+    fn of(config: &NodeConfig) -> Self {
+        Self {
+            samples_per_round: config.samples_per_round(),
+            tx_period_rounds: config.tx_period_rounds(),
+            payload_bytes: config.payload_bytes(),
+            acquisition_fraction: config.acquisition_fraction(),
+        }
+    }
+}
+
+/// What a break-even search found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizeReport {
+    /// Break-even of the unmodified scenario, km/h (`null` when its
+    /// curves never cross in the swept range).
+    pub baseline_kmh: Option<f64>,
+    /// Break-even of the best candidate, km/h. Never above
+    /// `baseline_kmh` when both exist — the baseline is candidate zero.
+    pub best_kmh: Option<f64>,
+    /// The winning configuration; `null` when the unmodified scenario
+    /// already minimizes break-even (keep what you have).
+    pub best: Option<CandidateConfig>,
+    /// How many candidates the search evaluated (baseline included).
+    pub candidates: usize,
+}
+
+impl OptimizeReport {
+    /// Break-even improvement over the baseline, km/h (0 when either
+    /// side never crosses).
+    #[must_use]
+    pub fn improvement_kmh(&self) -> f64 {
+        match (self.baseline_kmh, self.best_kmh) {
+            (Some(base), Some(best)) => base - best,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Searches node configurations / duty policies for the lowest
+/// break-even speed of a scenario.
+#[derive(Debug, Clone)]
+pub struct BreakEvenOptimizer {
+    scenario: Scenario,
+}
+
+impl BreakEvenOptimizer {
+    /// An optimizer over `scenario`'s conditions, chain, wheel and
+    /// extended axes; only the node architecture varies per candidate.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        Self {
+            scenario: scenario.clone(),
+        }
+    }
+
+    /// The candidate list: the unmodified scenario first, then the
+    /// reference config grid crossed with every duty policy, in a fixed
+    /// order.
+    fn candidates() -> Vec<Option<NodeConfig>> {
+        let mut candidates: Vec<Option<NodeConfig>> = vec![None];
+        for duty in DUTY_POLICIES {
+            for config in ConfigSpace::reference_grid().iter() {
+                candidates.push(Some(config.with_acquisition_fraction(*duty)));
+            }
+        }
+        candidates
+    }
+
+    /// Runs the search over `[lo, hi]` sampled at `steps` speeds per
+    /// candidate, fanning candidates across `executor` and polling
+    /// `cancelled` between chunks. `Ok(None)` means the search was
+    /// abandoned (deadline). A completed search is bit-identical for any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation-cache failures for the baseline scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2`, `lo` is not positive, or `hi ≤ lo` (the
+    /// sweep grid's own contract).
+    pub fn search<C: Fn() -> bool + Sync>(
+        &self,
+        lo: Speed,
+        hi: Speed,
+        steps: usize,
+        executor: &SweepExecutor,
+        cancelled: &C,
+    ) -> Result<Option<OptimizeReport>, CoreError> {
+        let _span = monityre_obs::span!("optimizer.search");
+        // Build the baseline eagerly so malformed scenarios fail with a
+        // typed error instead of panicking inside a worker.
+        let baseline = EnergyBalance::new(&self.scenario)?;
+        let candidates = Self::candidates();
+        let outcomes = executor.map_cancellable(&candidates, cancelled, |_, candidate| {
+            let break_even = match candidate {
+                None => baseline.sweep(lo, hi, steps).break_even(),
+                Some(config) => {
+                    let derived = self
+                        .scenario
+                        .with_architecture(Architecture::from_config(*config));
+                    EnergyBalance::new(&derived)
+                        .expect("reference-grid configs always build")
+                        .sweep(lo, hi, steps)
+                        .break_even()
+                }
+            };
+            break_even.map(|speed| speed.kmh())
+        });
+        let Some(outcomes) = outcomes else {
+            return Ok(None);
+        };
+        // First-wins comparison in candidate order: deterministic for
+        // any executor, and the baseline wins every exact tie.
+        let mut best_index = 0usize;
+        let mut best = outcomes[0].unwrap_or(f64::INFINITY);
+        for (index, outcome) in outcomes.iter().enumerate().skip(1) {
+            let value = outcome.unwrap_or(f64::INFINITY);
+            if value < best {
+                best = value;
+                best_index = index;
+            }
+        }
+        Ok(Some(OptimizeReport {
+            baseline_kmh: outcomes[0],
+            best_kmh: outcomes[best_index],
+            best: candidates[best_index].as_ref().map(CandidateConfig::of),
+            candidates: candidates.len(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search_reference(threads: usize) -> OptimizeReport {
+        BreakEvenOptimizer::new(&Scenario::reference())
+            .search(
+                Speed::from_kmh(5.0),
+                Speed::from_kmh(200.0),
+                48,
+                &SweepExecutor::new(threads),
+                &|| false,
+            )
+            .unwrap()
+            .expect("not cancelled")
+    }
+
+    #[test]
+    fn optimized_never_worse_than_baseline() {
+        let report = search_reference(1);
+        let baseline = report.baseline_kmh.expect("reference curves cross");
+        let best = report.best_kmh.expect("some candidate crosses");
+        assert!(best <= baseline, "best {best} vs baseline {baseline}");
+        assert!(report.improvement_kmh() >= 0.0);
+        assert!(report.candidates > 1 + ConfigSpace::reference_grid().len());
+    }
+
+    #[test]
+    fn search_is_bit_identical_across_thread_counts() {
+        let serial = search_reference(1);
+        for threads in [2, 4] {
+            let parallel = search_reference(threads);
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_search_returns_none() {
+        let outcome = BreakEvenOptimizer::new(&Scenario::reference())
+            .search(
+                Speed::from_kmh(5.0),
+                Speed::from_kmh(200.0),
+                16,
+                &SweepExecutor::serial(),
+                &|| true,
+            )
+            .unwrap();
+        assert!(outcome.is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = search_reference(1);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: OptimizeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -15,7 +15,7 @@ use monityre_node::{Architecture, NodeConfig};
 use monityre_power::WorkingConditions;
 use monityre_profile::Wheel;
 
-use crate::{CoreError, EnergyAnalyzer, EvalCache};
+use crate::{CoreError, EnergyAnalyzer, EvalCache, ScenarioExtras};
 
 /// One immutable evaluation session: architecture + conditions + harvest
 /// chain + wheel.
@@ -36,6 +36,11 @@ pub struct Scenario {
     conditions: WorkingConditions,
     chain: Arc<HarvestChain>,
     wheel: Wheel,
+    /// Optional extended physics axes (radio retransmission, storage
+    /// ageing). `None` — the default — runs the paper's base model with
+    /// zero additional float operations, keeping reference results
+    /// bit-identical.
+    extras: Option<Arc<ScenarioExtras>>,
 }
 
 impl Scenario {
@@ -83,6 +88,12 @@ impl Scenario {
         &self.wheel
     }
 
+    /// The extended physics axes, if any were attached.
+    #[must_use]
+    pub fn extras(&self) -> Option<&ScenarioExtras> {
+        self.extras.as_deref()
+    }
+
     /// An [`EnergyAnalyzer`] borrowing this scenario's architecture.
     #[must_use]
     pub fn analyzer(&self) -> EnergyAnalyzer<'_> {
@@ -108,6 +119,7 @@ impl Scenario {
             conditions: self.conditions,
             chain: Arc::clone(&self.chain),
             wheel: self.wheel,
+            extras: self.extras.clone(),
         }
     }
 
@@ -119,6 +131,7 @@ impl Scenario {
             conditions,
             chain: Arc::clone(&self.chain),
             wheel: self.wheel,
+            extras: self.extras.clone(),
         }
     }
 }
@@ -132,6 +145,7 @@ pub struct ScenarioBuilder {
     conditions: Option<WorkingConditions>,
     chain: Option<Arc<HarvestChain>>,
     wheel: Option<Wheel>,
+    extras: Option<ScenarioExtras>,
 }
 
 impl ScenarioBuilder {
@@ -182,6 +196,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches extended physics axes. A vacuous value (no axis set) is
+    /// dropped, so only scenarios that actually carry extra physics pay
+    /// anything for them.
+    #[must_use]
+    pub fn extras(mut self, extras: ScenarioExtras) -> Self {
+        self.extras = (!extras.is_vacuous()).then_some(extras);
+        self
+    }
+
     /// Assembles the scenario.
     #[must_use]
     pub fn build(self) -> Scenario {
@@ -194,6 +217,7 @@ impl ScenarioBuilder {
             conditions: self.conditions.unwrap_or_else(WorkingConditions::reference),
             chain,
             wheel,
+            extras: self.extras.map(Arc::new),
         }
     }
 }

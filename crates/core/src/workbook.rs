@@ -19,7 +19,7 @@ use monityre_profile::Wheel;
 use monityre_sheet::Sheet;
 use monityre_units::{Energy, Speed};
 
-use crate::CoreError;
+use crate::{CoreError, ScenarioExtras};
 
 /// A generated spreadsheet that evaluates a node's energy per wheel round.
 ///
@@ -61,6 +61,28 @@ impl EnergyWorkbook {
         conditions: WorkingConditions,
         wheel: &Wheel,
         speed: Speed,
+    ) -> Result<Self, CoreError> {
+        Self::build_with_extras(architecture, conditions, wheel, speed, None)
+    }
+
+    /// Like [`EnergyWorkbook::build`], but also materializes the extended
+    /// physics axes (radio retransmission, storage ageing) as live cells:
+    /// `extras.radio_uj` (per-round retransmission energy, constant),
+    /// `extras.ageing_uw` (extra leakage power), and `extras.energy_uj`
+    /// (their per-round total, re-derived through `round.period_s` on
+    /// every speed edit) — folded into `node.energy_uj`. Passing `None`
+    /// (or vacuous extras) generates exactly the base workbook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for a non-positive speed or (unreachable for
+    /// valid architectures) a sheet-construction failure.
+    pub fn build_with_extras(
+        architecture: &Architecture,
+        conditions: WorkingConditions,
+        wheel: &Wheel,
+        speed: Speed,
+        extras: Option<&ScenarioExtras>,
     ) -> Result<Self, CoreError> {
         if speed.mps() <= 0.0 || !speed.is_finite() {
             return Err(CoreError::round_undefined(speed.kmh()));
@@ -188,6 +210,27 @@ impl EnergyWorkbook {
                 .map_err(sh)?;
             total_terms.push(format!("{name}.energy_uj"));
             block_names.push(name.to_owned());
+        }
+
+        if let Some(extras) = extras.filter(|e| !e.is_vacuous()) {
+            let radio_uj = extras
+                .radio()
+                .map_or(0.0, |r| r.retransmission_energy_per_round().microjoules());
+            let ageing_uw = extras.ageing().map_or(0.0, |a| {
+                (a.aged_leakage(conditions.temperature()).microwatts())
+                    - a.fresh_leakage().microwatts()
+            });
+            sheet.set_number("extras.radio_uj", radio_uj).map_err(sh)?;
+            sheet
+                .set_number("extras.ageing_uw", ageing_uw)
+                .map_err(sh)?;
+            sheet
+                .set_formula(
+                    "extras.energy_uj",
+                    "extras.radio_uj + extras.ageing_uw * round.period_s",
+                )
+                .map_err(sh)?;
+            total_terms.push("extras.energy_uj".to_owned());
         }
 
         sheet
@@ -384,6 +427,58 @@ mod tests {
         )
         .unwrap();
         assert!(workbook.set_speed(Speed::ZERO).is_err());
+    }
+
+    #[test]
+    fn extras_cells_match_the_balance_point() {
+        use crate::{EnergyBalance, RadioLink, Scenario, StorageAgeing};
+
+        let extras = ScenarioExtras::none()
+            .with_radio(RadioLink::new(0.2, 5))
+            .with_ageing(StorageAgeing::new(6.0));
+        let scenario = Scenario::builder().extras(extras.clone()).build();
+        let balance = EnergyBalance::new(&scenario).unwrap();
+        let mut workbook = EnergyWorkbook::build_with_extras(
+            scenario.architecture(),
+            scenario.conditions(),
+            scenario.wheel(),
+            Speed::from_kmh(60.0),
+            Some(&extras),
+        )
+        .unwrap();
+        for kmh in [20.0, 60.0, 140.0] {
+            workbook.set_speed(Speed::from_kmh(kmh)).unwrap();
+            let expected = balance.point(Speed::from_kmh(kmh)).unwrap().required;
+            let got = workbook.node_energy().unwrap();
+            assert!(
+                got.approx_eq(expected, 1e-9),
+                "at {kmh} km/h: workbook {got} vs balance {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn vacuous_extras_add_no_cells() {
+        let arch = Architecture::reference();
+        let wheel = Wheel::reference();
+        let extras = ScenarioExtras::none();
+        let workbook = EnergyWorkbook::build_with_extras(
+            &arch,
+            WorkingConditions::reference(),
+            &wheel,
+            Speed::from_kmh(60.0),
+            Some(&extras),
+        )
+        .unwrap();
+        assert!(workbook.sheet().value("extras.energy_uj").is_err());
+        let base = EnergyWorkbook::build(
+            &arch,
+            WorkingConditions::reference(),
+            &wheel,
+            Speed::from_kmh(60.0),
+        )
+        .unwrap();
+        assert_eq!(workbook.node_energy().unwrap(), base.node_energy().unwrap());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property-based tests for the extended physics axes and the break-even
+//! optimizer: retransmission energy monotone in retry count, delay never
+//! negative, ageing never below fresh leakage, and `optimize` never worse
+//! than the unoptimized break-even.
+
+use monityre_core::{
+    BreakEvenOptimizer, EnergyBalance, RadioLink, Scenario, ScenarioExtras, StorageAgeing,
+    SweepExecutor,
+};
+use monityre_power::WorkingConditions;
+use monityre_units::{Energy, Speed, Temperature};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Expected retransmission energy is monotone non-decreasing in the
+    /// retry budget: allowing one more retry can only add (expected)
+    /// transmissions.
+    #[test]
+    fn retransmission_energy_monotone_in_retries(
+        loss in 0.0f64..0.95,
+        retries in 0u32..32,
+    ) {
+        let fewer = RadioLink::new(loss, retries);
+        let more = RadioLink::new(loss, retries + 1);
+        prop_assert!(more.expected_attempts() >= fewer.expected_attempts());
+        prop_assert!(
+            more.retransmission_energy_per_round() >= fewer.retransmission_energy_per_round(),
+            "retries {retries}: {:?} -> {:?}",
+            fewer.retransmission_energy_per_round(),
+            more.retransmission_energy_per_round()
+        );
+    }
+
+    /// Expected delivery delay is never negative, and never below a single
+    /// airtime slot (the lossless floor).
+    #[test]
+    fn radio_delay_never_negative(loss in 0.0f64..0.95, retries in 0u32..32) {
+        let link = RadioLink::new(loss, retries);
+        let delay = link.expected_delay();
+        prop_assert!(delay.secs() >= 0.0);
+        let lossless = RadioLink::new(0.0, retries);
+        prop_assert!(delay >= lossless.expected_delay(), "{delay:?}");
+    }
+
+    /// Aged leakage never drops below fresh leakage at the same
+    /// temperature, across the full automotive range and the whole
+    /// supported age span.
+    #[test]
+    fn aged_leakage_at_least_fresh(age in 0.0f64..=30.0, celsius in -40.0f64..125.0) {
+        let ageing = StorageAgeing::new(age);
+        let t = Temperature::from_celsius(celsius);
+        prop_assert!(
+            ageing.aged_leakage(t) >= ageing.fresh_leakage(),
+            "age {age} at {celsius} °C: {:?} vs {:?}",
+            ageing.aged_leakage(t),
+            ageing.fresh_leakage()
+        );
+    }
+
+    /// A scenario with extras attached never demands less energy per round
+    /// than the same scenario without them.
+    #[test]
+    fn extras_only_add_demand(
+        loss in 0.0f64..0.9,
+        retries in 0u32..16,
+        age in 0.0f64..=30.0,
+        kmh in 10.0f64..180.0,
+    ) {
+        let base = Scenario::reference();
+        let extended = Scenario::builder()
+            .extras(
+                ScenarioExtras::none()
+                    .with_radio(RadioLink::new(loss, retries))
+                    .with_ageing(StorageAgeing::new(age)),
+            )
+            .build();
+        let speed = Speed::from_kmh(kmh);
+        let plain = EnergyBalance::new(&base).unwrap().point(speed).unwrap();
+        let extra = EnergyBalance::new(&extended).unwrap().point(speed).unwrap();
+        prop_assert!(extra.required >= plain.required);
+        prop_assert_eq!(extra.generated, plain.generated);
+    }
+}
+
+proptest! {
+    // The optimizer sweeps ~226 candidates per case; keep the case count
+    // low and the grid coarse so the property stays cheap.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `optimize` is never worse than the unoptimized break-even for the
+    /// same scenario — the baseline is always candidate zero.
+    #[test]
+    fn optimize_never_worse_than_baseline(
+        celsius in -10.0f64..60.0,
+        loss in 0.0f64..0.4,
+        age in 0.0f64..10.0,
+    ) {
+        let scenario = Scenario::builder()
+            .conditions(
+                WorkingConditions::reference()
+                    .with_temperature(Temperature::from_celsius(celsius)),
+            )
+            .extras(
+                ScenarioExtras::none()
+                    .with_radio(RadioLink::new(loss, 3))
+                    .with_ageing(StorageAgeing::new(age)),
+            )
+            .build();
+        let lo = Speed::from_kmh(5.0);
+        let hi = Speed::from_kmh(200.0);
+        let baseline = EnergyBalance::new(&scenario)
+            .unwrap()
+            .sweep(lo, hi, 24)
+            .break_even()
+            .map(|s| s.kmh());
+        let report = BreakEvenOptimizer::new(&scenario)
+            .search(lo, hi, 24, &SweepExecutor::new(2), &|| false)
+            .unwrap()
+            .expect("not cancelled");
+        prop_assert_eq!(report.baseline_kmh, baseline);
+        match (report.best_kmh, baseline) {
+            (Some(best), Some(base)) => prop_assert!(best <= base, "{best} vs {base}"),
+            (None, Some(base)) => prop_assert!(false, "lost the baseline crossing at {base}"),
+            _ => {}
+        }
+    }
+}
+
+/// The extras arithmetic actually uses `Energy` ordering, so pin the
+/// trivial identity the proptests lean on.
+#[test]
+fn energy_ordering_sanity() {
+    assert!(Energy::from_joules(1.0) >= Energy::ZERO);
+}

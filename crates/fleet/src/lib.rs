@@ -1,0 +1,79 @@
+//! # monityre-fleet
+//!
+//! A deterministic K-vehicle workload generator: a seeded fleet of
+//! vehicles, each with four tyre nodes, streaming telemetry batches and
+//! evaluation requests at a live `monityre-serve` server through the
+//! resilient [`RetryingClient`](monityre_serve::RetryingClient).
+//!
+//! The fleet is a pure function of its seed. Each vehicle draws a
+//! driving cycle, a working temperature, and the two extended scenario
+//! axes — radio loss/retransmission and supercap ageing — from small
+//! palettes via a splitmix64 stream (the `monityre-faults` idiom), then
+//! computes its telemetry from the energy model itself and streams it
+//! over real TCP. The end-to-end result — per-vehicle break-even table,
+//! optional [`OptimizeReport`](monityre_core::OptimizeReport), and the
+//! server's final `ingest_state` — is byte-identical across runs,
+//! thread counts, and server restarts, which is what the golden-fleet
+//! test layer pins.
+//!
+//! ```no_run
+//! use monityre_fleet::{run_fleet, FleetRun, FleetSpec};
+//! use monityre_serve::ServerConfig;
+//!
+//! let handle = ServerConfig::default().start().expect("bind");
+//! let report = run_fleet(handle.addr(), &FleetRun::new(FleetSpec::reference())).expect("run");
+//! println!("{}", report.canonical_json());
+//! handle.shutdown();
+//! ```
+
+mod runner;
+mod sim;
+
+pub use runner::{run_fleet, FleetReport, FleetRun, VehicleOutcome, FLEET_EVAL_STEPS};
+pub use sim::{
+    FleetSpec, VehicleProfile, AGE_PALETTE_YEARS, IDLE_CONSUMED_NJ, MIN_MOVING_KMH,
+    RADIO_LOSS_PALETTE, REFERENCE_SEED, TEMPERATURE_PALETTE_C, WHEELS, WHEEL_HARVEST_FACTORS,
+};
+
+use monityre_core::CoreError;
+use monityre_serve::ClientError;
+
+/// Everything that can go wrong running a fleet: scenario construction,
+/// local model evaluation, the wire, or a response of the wrong shape.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A vehicle's drawn scenario failed server-side validation rules
+    /// (unreachable for palette draws; reachable for hand-built specs).
+    Scenario(String),
+    /// Local energy-model evaluation failed while generating telemetry.
+    Eval(CoreError),
+    /// The retrying client gave up or the server answered terminally.
+    Client(ClientError),
+    /// The server answered successfully but with an unexpected payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Scenario(reason) => write!(f, "fleet scenario: {reason}"),
+            Self::Eval(e) => write!(f, "fleet evaluation: {e}"),
+            Self::Client(e) => write!(f, "fleet client: {e}"),
+            Self::Protocol(reason) => write!(f, "fleet protocol: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        Self::Eval(e)
+    }
+}
+
+impl From<ClientError> for FleetError {
+    fn from(e: ClientError) -> Self {
+        Self::Client(e)
+    }
+}

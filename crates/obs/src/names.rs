@@ -75,6 +75,14 @@ pub const INGEST_APPEND: &str = "ingest.append";
 /// disk time shows up in the profiler's flame-table.
 pub const INGEST_FSYNC: &str = "ingest.fsync";
 
+/// Telemetry points streamed at a server by the fleet workload generator
+/// (process-global; the fleet-smoke CI job asserts it moves).
+pub const FLEET_STREAMED: &str = "fleet.streamed";
+
+/// One vehicle's end-to-end fleet run (stream + evaluate) — span name in
+/// the trace tree, so per-vehicle wall time shows up in dumps.
+pub const FLEET_VEHICLE: &str = "fleet.vehicle";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +108,8 @@ mod tests {
             SLO_TRANSITION_EVENT,
             INGEST_APPEND,
             INGEST_FSYNC,
+            FLEET_STREAMED,
+            FLEET_VEHICLE,
         ];
         for (i, name) in all.iter().enumerate() {
             assert!(name

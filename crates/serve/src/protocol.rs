@@ -9,7 +9,10 @@
 //! serialize them, so a served result is byte-identical to the same
 //! evaluation serialized in-process.
 
-use monityre_core::{BalanceReport, Scenario};
+use monityre_core::{
+    BalanceReport, OptimizeReport, RadioLink, Scenario, ScenarioExtras, StorageAgeing,
+    MAX_AGE_YEARS, MAX_RADIO_RETRIES,
+};
 use monityre_ingest::{TelemetryPoint, VehicleWindow};
 use monityre_node::NodeConfig;
 use monityre_obs::{FlameTable, HealthReport, SeriesSlice, TraceContext};
@@ -86,11 +89,16 @@ pub enum Op {
     /// Wall-clock profiler flame table: per-stack sample counts
     /// accumulated by the sampler thread (handled inline, never queued).
     Profile,
+    /// Break-even search: evaluate the node-config / duty-cycle candidate
+    /// grid against this request's scenario (extras included) and return
+    /// the configuration minimizing break-even speed. Queued like
+    /// evaluations; deterministic, so idempotent replay is safe.
+    Optimize,
 }
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 17] = [
+    pub const ALL: [Op; 18] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
@@ -108,6 +116,7 @@ impl Op {
         Op::Series,
         Op::Health,
         Op::Profile,
+        Op::Optimize,
     ];
 
     /// The wire name (lowercase).
@@ -131,6 +140,7 @@ impl Op {
             Op::Series => "series",
             Op::Health => "health",
             Op::Profile => "profile",
+            Op::Optimize => "optimize",
         }
     }
 
@@ -281,6 +291,19 @@ pub struct ScenarioSpec {
     /// scavenger twice the size).
     #[serde(default)]
     pub chain_scale: Option<f64>,
+    /// Radio-axis packet loss probability in [0, 1). Setting it attaches
+    /// the retransmission-delay/energy model; unset (the default) keeps
+    /// the base physics and — being omitted from the wire — keeps old
+    /// request lines and warm-cache keys byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub radio_loss_prob: Option<f64>,
+    /// Radio-axis retry budget (default 3; requires `radio_loss_prob`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub radio_retries: Option<u32>,
+    /// Ageing-axis supercap age in years [0, 30]. Setting it attaches
+    /// the temperature-dependent leakage model; unset costs nothing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub age_years: Option<f64>,
 }
 
 impl ScenarioSpec {
@@ -320,6 +343,26 @@ impl ScenarioSpec {
                 return Err(format!("{name}: must be positive"));
             }
         }
+        if let Some(loss) = self.radio_loss_prob {
+            if !(loss.is_finite() && (0.0..1.0).contains(&loss)) {
+                return Err(format!("radio_loss_prob: {loss} is not in [0, 1)"));
+            }
+        }
+        if let Some(retries) = self.radio_retries {
+            if self.radio_loss_prob.is_none() {
+                return Err("radio_retries: requires radio_loss_prob".to_owned());
+            }
+            if retries > MAX_RADIO_RETRIES {
+                return Err(format!(
+                    "radio_retries: {retries} exceeds the {MAX_RADIO_RETRIES}-retry bound"
+                ));
+            }
+        }
+        if let Some(age) = self.age_years {
+            if !(age.is_finite() && (0.0..=MAX_AGE_YEARS).contains(&age)) {
+                return Err(format!("age_years: {age} is not in [0, {MAX_AGE_YEARS}]"));
+            }
+        }
         Ok(())
     }
 
@@ -356,7 +399,21 @@ impl ScenarioSpec {
             config = config.with_payload_bytes(bytes);
         }
 
-        let mut scenario = Scenario::builder().config(config).conditions(conditions);
+        let mut extras = ScenarioExtras::none();
+        if let Some(loss) = self.radio_loss_prob {
+            // Amortize retransmissions over this scenario's own TX period.
+            let link = RadioLink::new(loss, self.radio_retries.unwrap_or(3))
+                .with_tx_period_rounds(config.tx_period_rounds());
+            extras = extras.with_radio(link);
+        }
+        if let Some(age) = self.age_years {
+            extras = extras.with_ageing(StorageAgeing::new(age));
+        }
+
+        let mut scenario = Scenario::builder()
+            .config(config)
+            .conditions(conditions)
+            .extras(extras);
         if let Some(scale) = self.chain_scale {
             scenario = scenario.chain(monityre_harvest::HarvestChain::reference().scaled(scale));
         }
@@ -605,6 +662,20 @@ impl Request {
                     return Err("range_s: must be positive".to_owned());
                 }
             }
+            Op::Optimize => {
+                let from = p.from_kmh.unwrap_or(5.0);
+                let to = p.to_kmh.unwrap_or(200.0);
+                // Each of the ~226 candidates sweeps `steps` speeds, so
+                // the per-candidate grid is bounded much tighter than a
+                // plain sweep's.
+                let steps = p.steps.unwrap_or(48);
+                if !(from.is_finite() && to.is_finite() && from > 0.0 && to > from) {
+                    return Err(format!("need 0 < from_kmh < to_kmh, got {from}..{to}"));
+                }
+                if !(2..=4096).contains(&steps) {
+                    return Err(format!("steps: {steps} is not in [2, 4096] for optimize"));
+                }
+            }
             Op::IngestState
             | Op::Stats
             | Op::Metrics
@@ -734,6 +805,9 @@ pub enum Payload {
     Health(HealthReport),
     /// Wall-clock profiler flame table.
     Profile(FlameTable),
+    /// Break-even search result: baseline vs best candidate, in the
+    /// core optimizer's own serialization.
+    Optimize(OptimizeReport),
 }
 
 /// The structured error of a failed response.
@@ -1197,6 +1271,85 @@ mod tests {
         let back: Payload =
             serde_json::from_str(&serde_json::to_string(&payload).unwrap()).unwrap();
         assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn axis_fields_stay_off_the_wire_when_unset() {
+        // Back-compat anchor: a spec without the new axes serializes to
+        // the same bytes as before they existed — which also keeps warm
+        // scenario-cache keys stable across the protocol extension.
+        let bare = ScenarioSpec::default().cache_key();
+        for field in ["radio_loss_prob", "radio_retries", "age_years"] {
+            assert!(!bare.contains(field), "{bare}");
+        }
+        let with_axes = ScenarioSpec {
+            radio_loss_prob: Some(0.1),
+            radio_retries: Some(5),
+            age_years: Some(4.0),
+            ..ScenarioSpec::default()
+        };
+        assert_ne!(with_axes.cache_key(), bare);
+        let back: ScenarioSpec = serde_json::from_str(&with_axes.cache_key()).unwrap();
+        assert_eq!(back, with_axes);
+    }
+
+    #[test]
+    fn axis_specs_validate_and_build() {
+        let spec = ScenarioSpec {
+            radio_loss_prob: Some(0.2),
+            age_years: Some(5.0),
+            tx_period_rounds: Some(8),
+            ..ScenarioSpec::default()
+        };
+        let scenario = spec.build().unwrap();
+        let extras = scenario.extras().expect("axes attached");
+        assert!(extras.radio().is_some() && extras.ageing().is_some());
+
+        for bad in [
+            ScenarioSpec {
+                radio_loss_prob: Some(1.0),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                radio_loss_prob: Some(-0.1),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                radio_retries: Some(3),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                radio_loss_prob: Some(0.1),
+                radio_retries: Some(65),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                age_years: Some(31.0),
+                ..ScenarioSpec::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+
+        // No axes set ⇒ no extras allocated at all.
+        assert!(ScenarioSpec::default().build().unwrap().extras().is_none());
+    }
+
+    #[test]
+    fn optimize_requests_validate_and_round_trip() {
+        let request = Request::new(Op::Optimize).with_id(4);
+        assert!(request.validate().is_ok());
+        assert!(!Op::Optimize.is_control());
+        let json = serde_json::to_string(&request).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+
+        let mut request = Request::new(Op::Optimize);
+        request.params.steps = Some(5000);
+        assert!(request.validate().is_err(), "optimize caps steps at 4096");
+        request.params.steps = Some(48);
+        request.params.from_kmh = Some(-1.0);
+        assert!(request.validate().is_err());
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use monityre_core::EmulatorConfig;
 use monityre_core::{
-    CacheCounts, EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor, TransientEmulator,
-    VariationModel,
+    BreakEvenOptimizer, CacheCounts, EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor,
+    TransientEmulator, VariationModel,
 };
 use monityre_faults::{FaultKind, FaultPlan};
 use monityre_harvest::Supercap;
@@ -613,6 +613,19 @@ fn run_op<C: Fn() -> bool + Sync>(
                 spilled_j: report.spilled.joules(),
                 span_s: report.span.secs(),
             }))
+        }
+        Op::Optimize => {
+            let lo = Speed::from_kmh(p.from_kmh.unwrap_or(5.0));
+            let hi = Speed::from_kmh(p.to_kmh.unwrap_or(200.0));
+            let steps = p.steps.unwrap_or(48);
+            let optimizer = BreakEvenOptimizer::new(&cached.scenario);
+            let report = optimizer
+                .search(lo, hi, steps, executor, cancelled)
+                .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            let Some(report) = report else {
+                return Ok(None);
+            };
+            Ok(Some(Payload::Optimize(report)))
         }
         // Sheet and ingest ops never reach here: `Engine::execute` and
         // `evaluate` dispatch them to their own runners before any

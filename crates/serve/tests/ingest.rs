@@ -195,6 +195,83 @@ fn restart_replays_served_ingest_bit_identically() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Pins the at-least-once duplication window `run_ingest_op` documents:
+/// a crash between the durable segment append and the dedup ack leaves a
+/// batch on disk with no memory of its idempotency key.
+///
+/// Within one server lifetime the idempotent retry is exactly-once: same
+/// `idem` key, byte-identical replayed response, no double count. After
+/// the crash (simulated by a restart — a `kill -9` at that point leaves
+/// the identical durable state, since segments are the *only* thing the
+/// server persists and the dedup map dies with the process either way),
+/// replay reconstructs exactly the durable prefix; a client retrying the
+/// same `idem` key then re-appends the batch in full and the window
+/// counts it twice. That duplication is the documented contract — if it
+/// ever silently becomes exactly-once (a persisted dedup map) or
+/// at-most-once (dropped batches), this test fails and the docs must
+/// move with the code.
+#[test]
+fn crash_between_append_and_dedup_ack_pins_the_at_least_once_window() {
+    let dir = temp_dir("at-least-once");
+    let batch = synthetic_points(21, 16, 909, 1_000_000);
+    let request = ingest_request(1, batch.clone()).with_idem(0xacce_dead);
+
+    let window_points = |client: &mut Client, id: u64| {
+        let response = client.request(&state_request(id, Some(21))).expect("state");
+        let Some(Payload::IngestState { vehicles, .. }) = response.ok else {
+            panic!("unexpected state response: {response:?}");
+        };
+        vehicles.first().map_or(0, |w| w.points)
+    };
+
+    {
+        let handle = server(Some(dir.clone()), None);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let first = client.request_raw(&request).expect("first send");
+        // Same-lifetime retry: absorbed by the dedup map, byte-identical
+        // response, window points counted exactly once.
+        let retry = client.request_raw(&request).expect("same-lifetime retry");
+        assert_eq!(first, retry, "dedup must replay the ack bytes");
+        assert_eq!(window_points(&mut client, 2), 16, "no double count");
+        assert_eq!(handle.stats().dedup_hits, 1);
+        handle.shutdown();
+    }
+
+    // "Restart" = the post-kill state: the appended segment survived,
+    // the dedup ack did not.
+    let handle = server(Some(dir.clone()), None);
+    assert_eq!(
+        handle.ingest_replay().points,
+        16,
+        "replay must yield exactly the durable prefix"
+    );
+    assert_eq!(handle.ingest_replay().truncated_bytes, 0);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(window_points(&mut client, 3), 16);
+
+    // The duplication window itself: the same idempotent retry now
+    // re-executes (the key is unknown) and the batch counts twice.
+    let response = client.request(&request).expect("post-restart retry");
+    let Some(Payload::Ingest {
+        accepted,
+        points_total,
+        ..
+    }) = response.ok
+    else {
+        panic!("unexpected ingest response: {response:?}");
+    };
+    assert_eq!(accepted, 16);
+    assert_eq!(points_total, 32, "replayed 16 + re-appended 16");
+    assert_eq!(
+        window_points(&mut client, 4),
+        32,
+        "at-least-once: the retried batch double-counts across a restart"
+    );
+    assert_eq!(handle.stats().dedup_hits, 0, "the key died with the crash");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 #[test]
 fn torn_write_surfaces_a_retryable_error_and_restart_recovers_the_prefix() {
     let dir = temp_dir("torn");

@@ -38,6 +38,11 @@ fn arb_scenario_spec() -> BoxedStrategy<ScenarioSpec> {
         option_of((1u32..64).boxed()),
         option_of((1u32..64).boxed()),
         option_of((0.1..4.0f64).boxed()),
+        (
+            option_of((0.0..0.95f64).boxed()),
+            option_of((0u32..=64).boxed()),
+            option_of((0.0..=30.0f64).boxed()),
+        ),
     )
         .prop_map(
             |(
@@ -48,6 +53,7 @@ fn arb_scenario_spec() -> BoxedStrategy<ScenarioSpec> {
                 tx_period_rounds,
                 payload_bytes,
                 chain_scale,
+                (radio_loss_prob, radio_retries, age_years),
             )| {
                 ScenarioSpec {
                     temp_c,
@@ -57,6 +63,9 @@ fn arb_scenario_spec() -> BoxedStrategy<ScenarioSpec> {
                     tx_period_rounds,
                     payload_bytes,
                     chain_scale,
+                    radio_loss_prob,
+                    radio_retries,
+                    age_years,
                 }
             },
         )
