@@ -1,12 +1,15 @@
 //! EXP-SWEEP — the observability overhead guard. The balance sweep is the
 //! hot path every tool shares; the profiling spans wrapping it
 //! (`balance.sweep`, `sweep.batch`) must stay effectively free. This
-//! harness times the same replicated sweep batch along three axes —
+//! harness times the same replicated sweep batch along four axes —
 //! spans enabled vs disabled (`monityre_obs::set_enabled`), a trace
-//! context installed vs not (`monityre_obs::install_context`), and the
-//! flight recorder on vs off (`monityre_obs::recorder::set_recording`) —
-//! verifies the spans actually reach the global registry, and records
-//! each overhead in `BENCH_obs.json` (target: < 2 % apiece).
+//! context installed vs not (`monityre_obs::install_context`), the
+//! flight recorder on vs off (`monityre_obs::recorder::set_recording`),
+//! and energy-ledger attribution on vs off (one
+//! [`EnergyBalance::explain`] per batch, the shape the serve layer's
+//! per-block gauges add) — verifies the spans actually reach the global
+//! registry, and records each overhead in `BENCH_obs.json` (target:
+//! < 2 % apiece).
 
 use monityre_bench::{
     best_overhead, expect, header, parse_args, points_per_sec, record_obs_bench,
@@ -93,6 +96,31 @@ fn main() {
         (on, off)
     });
 
+    // Axis 4 — ledger attribution on (each batch additionally explains
+    // one operating point, the shape the serve layer's per-block gauges
+    // add to a scrape interval) vs the plain sweep. The ledger is
+    // pay-per-call, so this is the marginal cost of one conservation-
+    // checked attribution per 196-point batch.
+    let run_pass_with_ledger = || {
+        for _ in 0..BATCHES {
+            let report = balance.sweep_with(
+                Speed::from_kmh(5.0),
+                Speed::from_kmh(200.0),
+                POINTS,
+                &executor,
+            );
+            assert!(report.break_even().is_some(), "curves must cross");
+            let ledger = balance
+                .explain(Speed::from_kmh(60.0))
+                .expect("reference scenario explains");
+            assert!(ledger.conserved, "the ledger must conserve");
+        }
+    };
+    let (ledger_on, ledger_off, ledger_pct) = best_overhead(rounds, target_pct, || {
+        let on = points_per_sec(total, REPS, run_pass_with_ledger);
+        (on, points_per_sec(total, REPS, run_pass))
+    });
+
     expect(
         options,
         "enabled spans reach the global registry",
@@ -115,6 +143,7 @@ fn main() {
             ("span", overhead_pct),
             ("context", context_pct),
             ("recorder", recorder_pct),
+            ("ledger", ledger_pct),
         ] {
             expect(
                 options,
@@ -140,6 +169,7 @@ fn main() {
             recorder_off,
             recorder_pct,
         ),
+        ("balance-sweep-ledger", ledger_on, ledger_off, ledger_pct),
     ] {
         assert!(
             pct < 2.0,

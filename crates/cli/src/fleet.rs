@@ -104,6 +104,15 @@ pub(crate) fn fleet(args: &Args) -> Result<String, CliError> {
                 report.candidates,
                 report.improvement_kmh()
             );
+            if let Some(saving) = report.dominant_saving() {
+                let _ = writeln!(
+                    out,
+                    "           because: {} drops {:.1}% ({} nJ/round)",
+                    saving.component,
+                    -saving.delta_pct(),
+                    saving.delta_nj()
+                );
+            }
         }
     }
     let _ = writeln!(

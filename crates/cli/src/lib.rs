@@ -12,6 +12,8 @@
 //! monityre optimize  [--speed 30] [--policy aware|naive]
 //! monityre flow      [--speed 30]
 //! monityre sheet     [--temp 27] [--set cell=value]... [--explain node.active_uw]
+//! monityre explain   [--speed 60] [--json | --table] [--temp 27]
+//!                    [--radio-loss P] [--radio-retries N] [--age-years Y]
 //! monityre serve     [--bind 127.0.0.1] [--port 0] [--workers 2]
 //!                    [--queue 64] [--cache 16] [--dedup 256]
 //!                    [--faults SEED:KIND=P,...] [--announce /tmp/addr]
@@ -114,6 +116,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "mc" => commands::montecarlo(&args),
         "lifetime" => commands::lifetime(&args),
         "vehicle" => commands::vehicle(&args),
+        "explain" => remote::explain(&args),
         "serve" => remote::serve(&args),
         "request" => remote::request(&args),
         "ingest" => ingest::ingest(&args),
@@ -141,6 +144,9 @@ COMMANDS:
     optimize   duty-cycle-aware optimization of the node (re-estimation)
     flow       the full analysis flow, end to end (Fig. 1)
     sheet      the dynamic spreadsheet hosting the power database
+    explain    per-block nanojoule energy ledger at one speed, with
+               conservation checking (--json for the exact wire payload
+               the `explain` op serves)
     mc         Monte Carlo process variation of the break-even speed
     lifetime   coin-cell vs tyre lifetime vs scavenger
     vehicle    four-corner availability over a driving cycle
@@ -350,6 +356,7 @@ mod tests {
             "mc --samples 8",
             "lifetime",
             "vehicle --cycle urban",
+            "explain --speed 60",
             "request --local --op ping",
         ];
         for command in commands {
@@ -408,6 +415,11 @@ mod tests {
         .unwrap();
         assert!(out.contains("\"id\":7"), "{out}");
         assert!(out.contains("Breakeven"), "{out}");
+        // The retry layer's metrics surface in the `obs` report's client
+        // section (they live in this process's global registry).
+        let report = run_line(&format!("obs --addr {addr}")).unwrap();
+        assert!(report.contains("retrying client"), "{report}");
+        assert!(report.contains("client.attempts"), "{report}");
         handle.shutdown();
     }
 
@@ -563,6 +575,60 @@ mod tests {
         assert!(out.contains("bad_request"), "{out}");
         let out = run_line("request --local --op breakeven --age-years -1").unwrap();
         assert!(out.contains("bad_request"), "{out}");
+    }
+
+    /// The offline ledger: the table attributes every block with shares
+    /// and a conservation verdict, `--json` prints the exact ledger the
+    /// `explain` wire op serves, and the axis flags add surcharge lines.
+    #[test]
+    fn explain_command_renders_a_conserving_ledger() {
+        let out = run_line("explain --speed 60").unwrap();
+        assert!(out.contains("energy ledger at 60.0 km/h"), "{out}");
+        assert!(out.contains("conservation: ok"), "{out}");
+        assert!(out.contains("dominant block"), "{out}");
+        assert!(out.contains('%'), "{out}");
+
+        let json = run_line("explain --speed 60 --json").unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(json.contains("\"conserved\":true"), "{json}");
+        assert!(json.contains("\"blocks\""), "{json}");
+
+        // The axis surcharges land as their own ledger lines.
+        let loaded =
+            run_line("explain --speed 60 --radio-loss 0.3 --radio-retries 5 --age-years 8")
+                .unwrap();
+        assert!(loaded.contains("radio retx"), "{loaded}");
+        assert!(loaded.contains("ageing leak"), "{loaded}");
+        assert!(loaded.contains("conservation: ok"), "{loaded}");
+
+        // A non-positive speed is rejected before evaluation.
+        let err = run_line("explain --speed 0").unwrap_err();
+        assert!(err.to_string().contains("speed"), "{err}");
+    }
+
+    /// `request --explain` is shorthand for `--op explain`, and the
+    /// served payload carries byte-identical ledger bytes to the offline
+    /// `explain --json` (the CI explain-smoke contract).
+    #[test]
+    fn request_explain_matches_the_offline_ledger_bytes() {
+        let offline = run_line("explain --speed 45 --json").unwrap();
+        let local = run_line("request --local --explain --speed 45 --id 2").unwrap();
+        assert!(local.contains("\"Explain\""), "{local}");
+        assert!(
+            local.contains(offline.trim()),
+            "served ledger bytes diverged from offline explain:\n{local}\n{offline}"
+        );
+
+        let handle = monityre_serve::ServerConfig::default()
+            .start()
+            .expect("bind loopback");
+        let served = run_line(&format!(
+            "request --addr {} --explain --speed 45 --id 2",
+            handle.addr()
+        ))
+        .unwrap();
+        handle.shutdown();
+        assert_eq!(served, local, "wire explain diverged from local evaluation");
     }
 
     #[test]

@@ -265,7 +265,40 @@ pub(crate) fn obs(args: &Args) -> Result<String, CliError> {
             );
         }
     }
+    out.push_str(&client_section());
     Ok(out)
+}
+
+/// The retry-layer metrics of *this* process's global registry —
+/// attempts, retries, per-class errors, and the backoff histogram any
+/// `RetryingClient` in this process (e.g. `request --retry`) recorded.
+fn client_section() -> String {
+    let snapshot = monityre_obs::Registry::global().snapshot();
+    let counters: Vec<_> = snapshot
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("client."))
+        .collect();
+    let backoff = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == monityre_obs::names::CLIENT_BACKOFF_MS);
+    if counters.is_empty() && backoff.is_none() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "  retrying client (this process):");
+    for counter in counters {
+        let _ = writeln!(out, "    {:<24} {}", counter.name, counter.value);
+    }
+    if let Some(hist) = backoff {
+        let _ = writeln!(
+            out,
+            "    {:<24} {} sample(s), p50 {:.1} ms, p99 {:.1} ms",
+            hist.name, hist.count, hist.p50_us, hist.p99_us
+        );
+    }
+    out
 }
 
 /// Connects to a serving address with the obs timeout applied.
@@ -671,10 +704,115 @@ pub(crate) fn obs_trace(trace_id: &str, args: &Args) -> Result<String, CliError>
     Ok(out)
 }
 
+/// `monityre explain` — the per-block nanojoule energy ledger at one
+/// speed, evaluated in-process through the same path the `explain` wire
+/// op takes, so `--json` prints byte-identical ledger bytes to a served
+/// response's payload.
+pub(crate) fn explain(args: &Args) -> Result<String, CliError> {
+    let speed = args.number("speed", 60.0)?;
+    let json = args.flag("json");
+    let _ = args.flag("table"); // the default rendering, accepted for symmetry
+    let executor = executor_from(args)?;
+    let mut request = Request::new(Op::Explain);
+    request.scenario.temp_c = parse_opt(args, "temp")?;
+    request.scenario.supply_v = parse_opt(args, "supply")?;
+    request.scenario.corner = args.text_opt("corner");
+    request.scenario.samples_per_round = parse_opt(args, "samples-per-round")?;
+    request.scenario.tx_period_rounds = parse_opt(args, "tx-period")?;
+    request.scenario.payload_bytes = parse_opt(args, "payload-bytes")?;
+    request.scenario.chain_scale = parse_opt(args, "chain-scale")?;
+    request.scenario.radio_loss_prob = parse_opt(args, "radio-loss")?;
+    request.scenario.radio_retries = parse_opt(args, "radio-retries")?;
+    request.scenario.age_years = parse_opt(args, "age-years")?;
+    request.params.speed_kmh = Some(speed);
+    args.finish()?;
+
+    let payload = evaluate(&request, &executor).map_err(|(code, message)| {
+        CliError::new(format!("explain ({}): {message}", code.name()))
+    })?;
+    let Payload::Explain(ledger) = payload else {
+        return Err(CliError::new(format!(
+            "explain: unexpected payload {payload:?}"
+        )));
+    };
+    if json {
+        let text = serde_json::to_string(&ledger)
+            .map_err(|e| CliError::new(format!("explain: serialize: {e}")))?;
+        return Ok(format!("{text}\n"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "energy ledger at {:.1} km/h (nanojoules per wheel round):",
+        ledger.speed.kmh()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>12} {:>12} {:>12} {:>7} {:>7}",
+        "block", "dynamic_nj", "static_nj", "total_nj", "share", "duty"
+    );
+    for entry in ledger.sorted_entries() {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12} {:>12} {:>12} {:>6.1}% {:>6.3}",
+            entry.block,
+            entry.dynamic_nj,
+            entry.static_nj,
+            entry.total_nj(),
+            entry.share_pct(ledger.consumed_nj),
+            entry.duty
+        );
+    }
+    if ledger.radio_retx_nj > 0 {
+        let _ = writeln!(out, "  {:<16} {:>38}", "radio retx", ledger.radio_retx_nj);
+    }
+    if ledger.ageing_leak_nj > 0 {
+        let _ = writeln!(out, "  {:<16} {:>38}", "ageing leak", ledger.ageing_leak_nj);
+    }
+    let _ = writeln!(out, "  consumed        {:>12} nJ", ledger.consumed_nj);
+    let _ = writeln!(out, "  harvested       {:>12} nJ", ledger.harvested_nj);
+    let _ = writeln!(out, "  regulator loss  {:>12} nJ", ledger.regulator_loss_nj);
+    let _ = writeln!(out, "  storage delta   {:>12} nJ", ledger.storage_delta_nj);
+    let _ = writeln!(
+        out,
+        "  conservation: {}",
+        if ledger.conservation_holds() {
+            "ok (components sum bit-exactly to the aggregate)"
+        } else {
+            "VIOLATED"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  verdict: {} at this speed",
+        if ledger.is_surplus() {
+            "self-powered (surplus)"
+        } else {
+            "in deficit"
+        }
+    );
+    if let Some(dominant) = ledger.dominant_block() {
+        let _ = writeln!(
+            out,
+            "  dominant block: {} ({:.1}% of consumption)",
+            dominant.block,
+            dominant.share_pct(ledger.consumed_nj)
+        );
+    }
+    Ok(out)
+}
+
 /// `monityre request` — send one request to a running server (or
 /// evaluate it locally) and print the raw JSON response line.
 pub(crate) fn request(args: &Args) -> Result<String, CliError> {
-    let op_name = args.text("op", "breakeven");
+    // `--explain` is shorthand for `--op explain` (with `--speed` naming
+    // the operating point), mirroring the offline `monityre explain`.
+    let op_name = if args.flag("explain") {
+        "explain".to_owned()
+    } else {
+        args.text("op", "breakeven")
+    };
     let addr = args.text_opt("addr");
     let local = args.flag("local");
     let timeout_ms = args.count("timeout-ms", 30_000)?;
@@ -745,6 +883,8 @@ pub(crate) fn request(args: &Args) -> Result<String, CliError> {
     request.params.metric = args.text_opt("metric");
     request.params.resolution = args.text_opt("resolution");
     request.params.range_s = parse_opt(args, "range-s")?;
+    // The ledger op: `--speed` names the explained operating point.
+    request.params.speed_kmh = parse_opt(args, "speed")?;
     // The ingest ops: `--ingest N` synthesizes a deterministic N-point
     // batch (seeded by `--ingest-seed`) for `--vehicle`; on an
     // `ingest_state` request, `--vehicle` instead filters the reply.

@@ -322,6 +322,36 @@ impl EvalCache {
         Ok(value)
     }
 
+    /// One per-block walk serving the energy ledger: returns the
+    /// [`NodeEnergy`] figures, the replayed aggregate (the exact
+    /// [`NodeEnergy::total`] fold over them) and the aggregate the
+    /// memoized [`Self::required_per_round`] path reports for the same
+    /// speed — from the memo when warm (an independent witness for the
+    /// conservation check), otherwise the replayed value itself, which
+    /// is then inserted exactly as `required_per_round` would have, so
+    /// explaining a speed leaves the memo in the same state evaluating
+    /// it would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RoundUndefined`] at standstill.
+    pub(crate) fn explain_figures(
+        &self,
+        speed: Speed,
+    ) -> Result<(NodeEnergy, Energy, Energy), CoreError> {
+        let node = self.node_energy(speed)?;
+        let replayed = node.total().total();
+        let Some(memo) = &self.memo else {
+            return Ok((node, replayed, replayed));
+        };
+        let key = speed.mps().to_bits();
+        if let Some(joules) = memo.get(key) {
+            return Ok((node, replayed, Energy::from_joules(joules)));
+        }
+        memo.insert(key, replayed.joules());
+        Ok((node, replayed, replayed))
+    }
+
     /// Average node power while rolling at `speed`.
     ///
     /// # Errors

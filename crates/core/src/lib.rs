@@ -58,6 +58,7 @@ mod error;
 mod executor;
 mod flow;
 mod governor;
+mod ledger;
 mod lifetime;
 mod montecarlo;
 mod optimizer;
@@ -83,9 +84,12 @@ pub use error::CoreError;
 pub use executor::{SweepExecutor, THREADS_ENV_VAR};
 pub use flow::{Flow, FlowReport};
 pub use governor::{GovernedReport, Governor, GovernorLevel};
+pub use ledger::{quantize_nj, EnergyLedger, LedgerEntry};
 pub use lifetime::{LifetimeEstimator, LifetimeReport, UsagePattern};
 pub use montecarlo::{BreakEvenDistribution, MonteCarlo, VariationModel};
-pub use optimizer::{BreakEvenOptimizer, CandidateConfig, OptimizeReport, DUTY_POLICIES};
+pub use optimizer::{
+    BreakEvenOptimizer, CandidateConfig, LedgerDelta, OptimizeReport, DUTY_POLICIES,
+};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use sheet_par::{install_parallel_recompute, SweepLevelMap};
 pub use trace::{InstantTrace, TraceSample};

@@ -21,7 +21,7 @@ use monityre_node::{Architecture, ConfigSpace, NodeConfig};
 use monityre_units::Speed;
 use serde::{Deserialize, Serialize};
 
-use crate::{CoreError, EnergyBalance, Scenario, SweepExecutor};
+use crate::{CoreError, EnergyBalance, EnergyLedger, LedgerEntry, Scenario, SweepExecutor};
 
 /// The acquisition duty-cycle policies the search crosses the config
 /// grid with (the reference node acquires for 12 % of each round).
@@ -51,6 +51,39 @@ impl CandidateConfig {
     }
 }
 
+/// One ledger component of the winning candidate, side by side with the
+/// baseline's figure for the same component at the same speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerDelta {
+    /// The compared component: an architecture block name, or one of
+    /// the aggregate rows `radio-retx`, `ageing-leak`, `consumed`,
+    /// `storage-delta`.
+    pub component: String,
+    /// The baseline's figure at the report's ledger speed, nanojoules.
+    pub baseline_nj: i64,
+    /// The winning candidate's figure at the same speed, nanojoules.
+    pub best_nj: i64,
+}
+
+impl LedgerDelta {
+    /// Winner minus baseline, nanojoules (negative when the winner
+    /// spends less on this component).
+    #[must_use]
+    pub fn delta_nj(&self) -> i64 {
+        self.best_nj - self.baseline_nj
+    }
+
+    /// The delta as a percentage of the baseline figure (0 when the
+    /// baseline attributed nothing to this component).
+    #[must_use]
+    pub fn delta_pct(&self) -> f64 {
+        if self.baseline_nj == 0 {
+            return 0.0;
+        }
+        self.delta_nj() as f64 * 100.0 / (self.baseline_nj as f64).abs()
+    }
+}
+
 /// What a break-even search found.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizeReport {
@@ -65,6 +98,21 @@ pub struct OptimizeReport {
     pub best: Option<CandidateConfig>,
     /// How many candidates the search evaluated (baseline included).
     pub candidates: usize,
+    /// The speed the attribution ledgers below were explained at, km/h:
+    /// the baseline's break-even when it exists, else the midpoint of
+    /// the swept range.
+    #[serde(default)]
+    pub ledger_speed_kmh: Option<f64>,
+    /// Each candidate's total consumed energy at `ledger_speed_kmh`,
+    /// nanojoules, in candidate order (baseline first). Empty in
+    /// reports serialized before the ledger existed.
+    #[serde(default)]
+    pub candidate_consumed_nj: Vec<i64>,
+    /// Component-by-component comparison of the winner against the
+    /// baseline at `ledger_speed_kmh` — the "why" behind `best`. Empty
+    /// in reports serialized before the ledger existed.
+    #[serde(default)]
+    pub ledger_deltas: Vec<LedgerDelta>,
 }
 
 impl OptimizeReport {
@@ -77,6 +125,56 @@ impl OptimizeReport {
             _ => 0.0,
         }
     }
+
+    /// The consumption component the winner saves the most on — the
+    /// headline of the report ("the winner wins because *radio* drops
+    /// 38 %"). `None` when no component got cheaper.
+    #[must_use]
+    pub fn dominant_saving(&self) -> Option<&LedgerDelta> {
+        self.ledger_deltas
+            .iter()
+            .filter(|delta| !matches!(delta.component.as_str(), "consumed" | "storage-delta"))
+            .filter(|delta| delta.delta_nj() < 0)
+            .min_by_key(|delta| delta.delta_nj())
+    }
+}
+
+/// Rows comparing two ledgers of the same scenario family at the same
+/// speed: one row per baseline block (matched to the candidate's block
+/// of the same name), then the extended-axis surcharges and the
+/// aggregate consumed / storage-delta books.
+fn ledger_deltas(baseline: &EnergyLedger, best: &EnergyLedger) -> Vec<LedgerDelta> {
+    let row = |component: &str, baseline_nj: i64, best_nj: i64| LedgerDelta {
+        component: component.to_owned(),
+        baseline_nj,
+        best_nj,
+    };
+    let mut deltas = Vec::with_capacity(baseline.blocks.len() + 4);
+    for entry in &baseline.blocks {
+        let matched = best
+            .blocks
+            .iter()
+            .find(|candidate| candidate.block == entry.block)
+            .map_or(0, LedgerEntry::total_nj);
+        deltas.push(row(&entry.block, entry.total_nj(), matched));
+    }
+    deltas.push(row(
+        "radio-retx",
+        baseline.radio_retx_nj,
+        best.radio_retx_nj,
+    ));
+    deltas.push(row(
+        "ageing-leak",
+        baseline.ageing_leak_nj,
+        best.ageing_leak_nj,
+    ));
+    deltas.push(row("consumed", baseline.consumed_nj, best.consumed_nj));
+    deltas.push(row(
+        "storage-delta",
+        baseline.storage_delta_nj,
+        best.storage_delta_nj,
+    ));
+    deltas
 }
 
 /// Searches node configurations / duty policies for the lowest
@@ -165,11 +263,41 @@ impl BreakEvenOptimizer {
                 best_index = index;
             }
         }
+        // Attribution pass: explain every candidate at one common speed
+        // — the baseline's break-even (the operating point the search is
+        // about) or the swept midpoint when the baseline never crosses.
+        // Runs serially after the search so the report stays
+        // bit-identical for any thread count.
+        let ledger_speed_kmh = outcomes[0].unwrap_or_else(|| (lo.kmh() + hi.kmh()) / 2.0);
+        let ledger_speed = Speed::from_kmh(ledger_speed_kmh);
+        let baseline_ledger = baseline.explain(ledger_speed)?;
+        let mut candidate_consumed_nj = Vec::with_capacity(candidates.len());
+        let mut best_ledger = baseline_ledger.clone();
+        for (index, candidate) in candidates.iter().enumerate() {
+            let ledger = match candidate {
+                None => baseline_ledger.clone(),
+                Some(config) => {
+                    let derived = self
+                        .scenario
+                        .with_architecture(Architecture::from_config(*config));
+                    EnergyBalance::new(&derived)
+                        .expect("reference-grid configs always build")
+                        .explain(ledger_speed)?
+                }
+            };
+            candidate_consumed_nj.push(ledger.consumed_nj);
+            if index == best_index {
+                best_ledger = ledger;
+            }
+        }
         Ok(Some(OptimizeReport {
             baseline_kmh: outcomes[0],
             best_kmh: outcomes[best_index],
             best: candidates[best_index].as_ref().map(CandidateConfig::of),
             candidates: candidates.len(),
+            ledger_speed_kmh: Some(ledger_speed_kmh),
+            ledger_deltas: ledger_deltas(&baseline_ledger, &best_ledger),
+            candidate_consumed_nj,
         }))
     }
 }
@@ -226,6 +354,44 @@ mod tests {
             )
             .unwrap();
         assert!(outcome.is_none());
+    }
+
+    #[test]
+    fn ledger_deltas_attribute_the_winners_saving() {
+        let report = search_reference(1);
+        assert_eq!(
+            report.ledger_speed_kmh, report.baseline_kmh,
+            "the attribution speed is the baseline break-even"
+        );
+        assert_eq!(report.candidate_consumed_nj.len(), report.candidates);
+        let consumed = report
+            .ledger_deltas
+            .iter()
+            .find(|delta| delta.component == "consumed")
+            .expect("the aggregate consumed row exists");
+        assert_eq!(
+            consumed.baseline_nj, report.candidate_consumed_nj[0],
+            "candidate zero is the baseline"
+        );
+        if report.improvement_kmh() > 0.0 {
+            // A strictly lower break-even means the winner demands less
+            // at the baseline's break-even speed, and some component
+            // must account for the drop.
+            assert!(consumed.delta_nj() < 0, "consumed delta {consumed:?}");
+            let saving = report.dominant_saving().expect("a component got cheaper");
+            assert!(saving.delta_nj() < 0);
+            assert!(saving.delta_pct() < 0.0);
+        }
+    }
+
+    #[test]
+    fn pre_ledger_reports_still_deserialize() {
+        let legacy = r#"{"baseline_kmh":40.0,"best_kmh":35.0,"best":null,"candidates":5}"#;
+        let report: OptimizeReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(report.ledger_speed_kmh, None);
+        assert!(report.candidate_consumed_nj.is_empty());
+        assert!(report.ledger_deltas.is_empty());
+        assert!(report.dominant_saving().is_none());
     }
 
     #[test]

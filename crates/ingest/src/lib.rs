@@ -82,12 +82,16 @@ impl Default for IngestConfig {
 }
 
 /// What one ingested batch did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IngestSummary {
     /// Points accepted from this batch.
     pub accepted: u64,
     /// Deficit-alert edges this batch triggered.
     pub alerts: u64,
+    /// The vehicle behind each alert edge, in batch order (one entry per
+    /// edge, so a vehicle oscillating within the batch appears twice) —
+    /// the serving layer attributes each to its dominant ledger block.
+    pub alerted: Vec<u64>,
 }
 
 /// The streaming ingestion pipeline: durable store + window engine.
@@ -203,6 +207,7 @@ impl Ingestor {
         for point in points {
             if self.window.observe(point) {
                 summary.alerts += 1;
+                summary.alerted.push(point.vehicle);
                 monityre_obs::recorder::record_event(format!(
                     "{DEFICIT_EVENT}.vehicle.{}",
                     point.vehicle

@@ -83,6 +83,38 @@ pub const FLEET_STREAMED: &str = "fleet.streamed";
 /// the trace tree, so per-vehicle wall time shows up in dumps.
 pub const FLEET_VEHICLE: &str = "fleet.vehicle";
 
+/// Energy-ledger builds whose float-layer replay was NOT bit-identical
+/// to the aggregate `point()` figure (process-global). CI asserts this
+/// stays zero across the chaos matrix and the golden fleet run.
+pub const LEDGER_CONSERVATION_VIOLATIONS: &str = "ledger.conservation_violations";
+
+/// Flight-recorder event dropped alongside each conservation violation;
+/// carries the active trace id as its exemplar.
+pub const LEDGER_VIOLATION_EVENT: &str = "ledger.conservation.violation";
+
+/// Per-block attribution gauge prefix
+/// (`energy.block.<name>.{dynamic,static}_nj`), refreshed from the most
+/// recent ledger on every stats snapshot so the series store charts any
+/// block's share over time.
+pub const ENERGY_BLOCK_PREFIX: &str = "energy.block";
+
+/// Deficit-alert attribution counter prefix
+/// (`ingest.deficit.block.<name>`, process-global): which ledger block
+/// dominated the implied operating point of an alerting vehicle.
+pub const INGEST_DEFICIT_BLOCK_PREFIX: &str = "ingest.deficit.block";
+
+/// Connect-send-receive attempts the retrying client made, including
+/// first tries (process-global; `client.retries` counts only re-tries).
+pub const CLIENT_ATTEMPTS: &str = "client.attempts";
+
+/// Backoff the retrying client actually slept, milliseconds
+/// (process-global histogram; one sample per retry).
+pub const CLIENT_BACKOFF_MS: &str = "client.backoff_ms";
+
+/// Failed client attempts by error class
+/// (`client.errors.{transport,protocol,server}`, process-global).
+pub const CLIENT_ERRORS_PREFIX: &str = "client.errors";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +142,13 @@ mod tests {
             INGEST_FSYNC,
             FLEET_STREAMED,
             FLEET_VEHICLE,
+            LEDGER_CONSERVATION_VIOLATIONS,
+            LEDGER_VIOLATION_EVENT,
+            ENERGY_BLOCK_PREFIX,
+            INGEST_DEFICIT_BLOCK_PREFIX,
+            CLIENT_ATTEMPTS,
+            CLIENT_BACKOFF_MS,
+            CLIENT_ERRORS_PREFIX,
         ];
         for (i, name) in all.iter().enumerate() {
             assert!(name

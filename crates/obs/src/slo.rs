@@ -513,6 +513,129 @@ mod tests {
     }
 
     #[test]
+    fn gauge_exactly_at_threshold_does_not_burn() {
+        // "Stay below X" is strict: a sample sitting exactly on the
+        // threshold spends no budget; one ULP above it does.
+        let at_threshold = store();
+        let snapshot = RegistrySnapshot::default();
+        let threshold = 250_000.0f64;
+        let spec = SloSpec::new(
+            "edge-gauge",
+            SloKind::GaugeAbove {
+                metric: "edge.gauge".into(),
+                threshold,
+                tolerance: 0.1,
+            },
+        )
+        .with_windows(sec(5), sec(10));
+        let mut engine = SloEngine::new(vec![spec.clone()]);
+        for t in 0..10u64 {
+            at_threshold.record(sec(t), "edge.gauge", SampleValue::Gauge(threshold));
+        }
+        let report = engine.evaluate(&at_threshold, &snapshot, sec(9));
+        assert_eq!(report.status, "ok", "{report:?}");
+        assert_eq!(report.objectives[0].fast_burn, 0.0);
+        assert_eq!(report.objectives[0].slow_burn, 0.0);
+
+        // The next representable value above the threshold violates.
+        let above = store();
+        for t in 0..10u64 {
+            above.record(
+                sec(t),
+                "edge.gauge",
+                SampleValue::Gauge(threshold.next_up()),
+            );
+        }
+        let mut engine = SloEngine::new(vec![spec]);
+        let report = engine.evaluate(&above, &snapshot, sec(9));
+        assert_ne!(report.status, "ok", "{report:?}");
+        assert!(report.objectives[0].fast_burn >= 1.0);
+    }
+
+    #[test]
+    fn ratio_exactly_at_budget_burns_at_exactly_one() {
+        // bad/total == budget is the burn-rate fixed point: the budget
+        // is consumed exactly as fast as it accrues, and `>= 1.0` means
+        // the boundary itself alerts.
+        let store = store();
+        let snapshot = RegistrySnapshot::default();
+        let spec = SloSpec::new(
+            "edge-ratio",
+            SloKind::RatioAbove {
+                bad: vec!["edge.bad".into()],
+                total: vec!["edge.total".into()],
+                budget: 0.1,
+            },
+        )
+        .with_windows(sec(10), sec(30));
+        let mut engine = SloEngine::new(vec![spec]);
+        // One bad per ten total, every second: the ratio is exactly the
+        // budget over every window.
+        for t in 0..40u64 {
+            store.record(sec(t), "edge.bad", SampleValue::Counter(t));
+            store.record(sec(t), "edge.total", SampleValue::Counter(t * 10));
+        }
+        let report = engine.evaluate(&store, &snapshot, sec(39));
+        assert_eq!(report.objectives[0].fast_burn, 1.0, "{report:?}");
+        assert_eq!(report.objectives[0].slow_burn, 1.0, "{report:?}");
+        assert_eq!(
+            report.status, "unhealthy",
+            "both windows at the fixed point must page: {report:?}"
+        );
+    }
+
+    #[test]
+    fn fast_fires_slow_holds_pins_warning_across_evaluations() {
+        // A live-but-not-yet-sustained burn (fast ≥ 1, slow < 1) lands
+        // in `warning` and *stays* there while the slow window holds —
+        // re-evaluating must neither escalate nor flap back to ok.
+        let store = store();
+        let snapshot = RegistrySnapshot::default();
+        let spec = SloSpec::new(
+            "edge-pin",
+            SloKind::GaugeAbove {
+                metric: "edge.pin".into(),
+                threshold: 100.0,
+                tolerance: 0.5,
+            },
+        )
+        .with_windows(sec(4), sec(40));
+        let mut engine = SloEngine::new(vec![spec]);
+        // 36 clean seconds, then a 4-second spike: the fast window is
+        // pure violation, the slow one mostly clean.
+        for t in 0..36u64 {
+            store.record(sec(t), "edge.pin", SampleValue::Gauge(50.0));
+        }
+        for t in 36..40u64 {
+            store.record(sec(t), "edge.pin", SampleValue::Gauge(500.0));
+        }
+        let report = engine.evaluate(&store, &snapshot, sec(39));
+        assert_eq!(report.status, "degraded", "{report:?}");
+        assert_eq!(report.objectives[0].state, "warning");
+        assert!(report.objectives[0].fast_burn >= 1.0);
+        assert!(report.objectives[0].slow_burn < 1.0);
+
+        // Same data, repeated evaluation: the state is pinned, and no
+        // further transition events accumulate.
+        let events_before = crate::recorder::snapshot()
+            .into_iter()
+            .filter(|r| r.name.contains("edge-pin"))
+            .count();
+        for _ in 0..3 {
+            let report = engine.evaluate(&store, &snapshot, sec(39));
+            assert_eq!(report.objectives[0].state, "warning", "{report:?}");
+        }
+        let events_after = crate::recorder::snapshot()
+            .into_iter()
+            .filter(|r| r.name.contains("edge-pin"))
+            .count();
+        assert_eq!(
+            events_before, events_after,
+            "a pinned state must not re-emit transition events"
+        );
+    }
+
+    #[test]
     fn health_reports_round_trip_through_json() {
         let report = HealthReport {
             status: "degraded".into(),

@@ -16,7 +16,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use monityre_obs::{names, Counter, Registry, SpanGuard, TraceContext};
+use monityre_obs::{names, Counter, Histogram, Registry, SpanGuard, TraceContext};
 
 use crate::protocol::{
     decode_response_line, ErrorCode, ProtocolError, Request, Response, WireError, MAX_LINE_BYTES,
@@ -329,12 +329,20 @@ pub struct RetryingClient {
     idem_counter: u64,
     retries_performed: u64,
     retries: Arc<Counter>,
+    attempts: Arc<Counter>,
+    backoff_ms: Arc<Histogram>,
+    errors_transport: Arc<Counter>,
+    errors_protocol: Arc<Counter>,
+    errors_server: Arc<Counter>,
 }
 
 impl RetryingClient {
     /// A client for `addr`; connects lazily on the first call.
     #[must_use]
     pub fn new(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        let registry = Registry::global();
+        let error_class =
+            |class: &str| registry.counter(&format!("{}.{class}", names::CLIENT_ERRORS_PREFIX));
         Self {
             addr,
             jitter_state: splitmix64(policy.jitter_seed),
@@ -342,7 +350,12 @@ impl RetryingClient {
             conn: None,
             idem_counter: 0,
             retries_performed: 0,
-            retries: Registry::global().counter(names::CLIENT_RETRIES),
+            retries: registry.counter(names::CLIENT_RETRIES),
+            attempts: registry.counter(names::CLIENT_ATTEMPTS),
+            backoff_ms: registry.histogram(names::CLIENT_BACKOFF_MS),
+            errors_transport: error_class("transport"),
+            errors_protocol: error_class("protocol"),
+            errors_server: error_class("server"),
         }
     }
 
@@ -421,17 +434,22 @@ impl RetryingClient {
                 if remaining.is_zero() {
                     return Err(Self::deadline_error(attempt, last));
                 }
-                std::thread::sleep(backoff.min(remaining));
+                let slept = backoff.min(remaining);
+                self.backoff_ms
+                    .record_us(u64::try_from(slept.as_millis()).unwrap_or(u64::MAX));
+                std::thread::sleep(slept);
             }
             let remaining = self.remaining(started);
             if remaining.is_zero() {
                 return Err(Self::deadline_error(attempt, last));
             }
+            self.attempts.inc();
             let attempt_span = monityre_obs::span(names::CLIENT_ATTEMPT);
             let line = Self::attempt_line(&stamped, &attempt_span)?;
             match self.attempt(&line, remaining) {
                 Ok((raw, response)) => {
                     if let Some(error) = response.error.clone() {
+                        self.errors_server.inc();
                         if error.code.is_retryable() {
                             last = Some(AttemptError::Retryable(error));
                             continue;
@@ -441,6 +459,11 @@ impl RetryingClient {
                     return Ok((raw, response));
                 }
                 Err(e) => {
+                    match &e {
+                        AttemptError::Transport(_) => self.errors_transport.inc(),
+                        AttemptError::Protocol(_) => self.errors_protocol.inc(),
+                        AttemptError::Retryable(_) => self.errors_server.inc(),
+                    }
                     // The frame boundary (or the whole connection) is no
                     // longer trustworthy; reconnect on the next attempt.
                     self.conn = None;
@@ -648,6 +671,9 @@ mod tests {
         };
         let mut client = RetryingClient::new(local(port), fast_policy());
         let before = client.retries_performed();
+        let attempts_before = client.attempts.get();
+        let transport_before = client.errors_transport.get();
+        let backoff_before = client.backoff_ms.count();
         match client.call(&Request::new(Op::Ping)) {
             Err(ClientError::Exhausted { attempts, last }) => {
                 assert_eq!(attempts, 3);
@@ -660,5 +686,11 @@ mod tests {
             2,
             "attempts - 1 retries"
         );
+        // The client metrics observed the whole failed call: one
+        // attempt counter tick per wire attempt, one transport error
+        // each, and one backoff sample per retry.
+        assert_eq!(client.attempts.get() - attempts_before, 3);
+        assert_eq!(client.errors_transport.get() - transport_before, 3);
+        assert_eq!(client.backoff_ms.count() - backoff_before, 2);
     }
 }

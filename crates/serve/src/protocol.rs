@@ -10,8 +10,8 @@
 //! evaluation serialized in-process.
 
 use monityre_core::{
-    BalanceReport, OptimizeReport, RadioLink, Scenario, ScenarioExtras, StorageAgeing,
-    MAX_AGE_YEARS, MAX_RADIO_RETRIES,
+    BalanceReport, EnergyLedger, OptimizeReport, RadioLink, Scenario, ScenarioExtras,
+    StorageAgeing, MAX_AGE_YEARS, MAX_RADIO_RETRIES,
 };
 use monityre_ingest::{TelemetryPoint, VehicleWindow};
 use monityre_node::NodeConfig;
@@ -94,11 +94,17 @@ pub enum Op {
     /// the configuration minimizing break-even speed. Queued like
     /// evaluations; deterministic, so idempotent replay is safe.
     Optimize,
+    /// Full energy-ledger attribution of this request's scenario at one
+    /// speed (`params.speed_kmh`, default 60): per-block dynamic/static
+    /// nanojoules, axis surcharges, harvested energy, regulator loss and
+    /// the conservation verdict. Queued like evaluations; deterministic,
+    /// so idempotent replay is safe.
+    Explain,
 }
 
 impl Op {
     /// Every operation, for enumeration in tests and docs.
-    pub const ALL: [Op; 18] = [
+    pub const ALL: [Op; 19] = [
         Op::Balance,
         Op::Breakeven,
         Op::Sweep,
@@ -117,6 +123,7 @@ impl Op {
         Op::Health,
         Op::Profile,
         Op::Optimize,
+        Op::Explain,
     ];
 
     /// The wire name (lowercase).
@@ -141,6 +148,7 @@ impl Op {
             Op::Health => "health",
             Op::Profile => "profile",
             Op::Optimize => "optimize",
+            Op::Explain => "explain",
         }
     }
 
@@ -483,6 +491,11 @@ pub struct Params {
     /// the selected tier).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub range_s: Option<u64>,
+    /// Operating point for `explain` in km/h (default 60). Omitted from
+    /// the wire for every other operation, keeping pre-ledger request
+    /// bytes (and warm-cache keys) identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub speed_kmh: Option<f64>,
 }
 
 /// One request line.
@@ -676,6 +689,12 @@ impl Request {
                     return Err(format!("steps: {steps} is not in [2, 4096] for optimize"));
                 }
             }
+            Op::Explain => {
+                let speed = p.speed_kmh.unwrap_or(60.0);
+                if !(speed.is_finite() && speed > 0.0) {
+                    return Err(format!("speed_kmh: {speed} must be positive and finite"));
+                }
+            }
             Op::IngestState
             | Op::Stats
             | Op::Metrics
@@ -808,6 +827,9 @@ pub enum Payload {
     /// Break-even search result: baseline vs best candidate, in the
     /// core optimizer's own serialization.
     Optimize(OptimizeReport),
+    /// Full energy-ledger attribution at one operating point, in the
+    /// core ledger's own serialization.
+    Explain(EnergyLedger),
 }
 
 /// The structured error of a failed response.

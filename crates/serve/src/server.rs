@@ -194,6 +194,7 @@ impl ServerConfig {
                 dedup: DedupMap::new(self.dedup_capacity),
                 sheet: std::sync::Mutex::new(crate::worker::reference_sheet(executor)),
                 ingest: std::sync::Mutex::new(ingestor),
+                last_ledger: std::sync::Mutex::new(crate::worker::startup_ledger()),
             },
             faults,
             series: monityre_obs::SeriesStore::new(&monityre_obs::DEFAULT_TIERS),
@@ -325,6 +326,22 @@ impl Shared {
             registry
                 .gauge("serve.ingest_window_points")
                 .set(i64::try_from(ingest.points_in_window()).unwrap_or(i64::MAX));
+        }
+        // Per-block attribution gauges from the most recent ledger (the
+        // startup reference ledger until an `explain` is served), so the
+        // series store charts any block's dynamic/static share over time.
+        if let Ok(ledger) = self.engine.last_ledger.lock() {
+            if let Some(ledger) = ledger.as_ref() {
+                let prefix = monityre_obs::names::ENERGY_BLOCK_PREFIX;
+                for entry in &ledger.blocks {
+                    registry
+                        .gauge(&format!("{prefix}.{}.dynamic_nj", entry.block))
+                        .set(entry.dynamic_nj);
+                    registry
+                        .gauge(&format!("{prefix}.{}.static_nj", entry.block))
+                        .set(entry.static_nj);
+                }
+            }
         }
         registry
             .snapshot()
@@ -710,14 +727,22 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
                         .query(metric, step_us, range_us, monityre_obs::now_us())
                     {
                         Some(slice) => Response::success(id, Payload::Series(slice)),
-                        None => Response::failure(
-                            id,
-                            ErrorCode::EvalFailed,
-                            format!(
-                                "metric `{metric}` has no recorded series \
-                             (is the scrape loop enabled?)"
-                            ),
-                        ),
+                        None => {
+                            // An unknown metric is a caller mistake, not an
+                            // empty chart: name the nearest recorded series
+                            // so a typo is a one-round-trip fix.
+                            let nearest = nearest_metrics(metric, &shared.series.metric_names());
+                            let hint = if nearest.is_empty() {
+                                "no series recorded yet — is the scrape loop enabled?".to_owned()
+                            } else {
+                                format!("nearest recorded: {}", nearest.join(", "))
+                            };
+                            Response::failure(
+                                id,
+                                ErrorCode::EvalFailed,
+                                format!("metric `{metric}` has no recorded series ({hint})"),
+                            )
+                        }
                     };
                 send_response(writer, &response, faults).is_ok()
             }
@@ -783,6 +808,40 @@ fn serve_line(raw: &[u8], writer: &mut TcpStream, shared: &Arc<Shared>) -> bool 
         }
     };
     send_response(writer, &response, faults).is_ok()
+}
+
+/// Ranks the recorded series names by edit distance to the requested
+/// metric and returns the closest few, nearest first (name order breaks
+/// ties so the hint is deterministic).
+fn nearest_metrics(target: &str, names: &[String]) -> Vec<String> {
+    let mut ranked: Vec<(usize, &String)> = names
+        .iter()
+        .map(|name| (edit_distance(target, name), name))
+        .collect();
+    ranked.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+    ranked
+        .into_iter()
+        .take(3)
+        .map(|(_, name)| format!("`{name}`"))
+        .collect()
+}
+
+/// Plain Levenshtein distance; the name sets involved are tiny (a few
+/// dozen metrics of a few dozen bytes), so the O(n·m) table row is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {

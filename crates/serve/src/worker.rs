@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use monityre_core::EmulatorConfig;
 use monityre_core::{
-    BreakEvenOptimizer, CacheCounts, EnergyBalance, EvalCache, MonteCarlo, Scenario, SweepExecutor,
-    TransientEmulator, VariationModel,
+    BreakEvenOptimizer, CacheCounts, EnergyBalance, EnergyLedger, EvalCache, MonteCarlo, Scenario,
+    SweepExecutor, TransientEmulator, VariationModel,
 };
 use monityre_faults::{FaultKind, FaultPlan};
 use monityre_harvest::Supercap;
@@ -166,6 +166,22 @@ pub(crate) struct Engine {
     /// by the dedup map via the request's `idem` key, which the
     /// retrying client stamps automatically.
     pub(crate) ingest: Mutex<Ingestor>,
+    /// The most recent `explain` ledger served (seeded with the
+    /// reference scenario at 60 km/h on startup), feeding the per-block
+    /// `energy.block.<name>.{dynamic,static}_nj` gauges every stats
+    /// snapshot refreshes.
+    pub(crate) last_ledger: Mutex<Option<EnergyLedger>>,
+}
+
+/// The ledger the per-block gauges start from before any `explain` is
+/// served: the reference scenario at 60 km/h (cruising speed, above the
+/// pinned break-even). `None` only if the reference scenario itself
+/// fails to build, in which case the gauges stay unset.
+pub(crate) fn startup_ledger() -> Option<EnergyLedger> {
+    EnergyBalance::new(&Scenario::reference())
+        .ok()?
+        .explain(Speed::from_kmh(60.0))
+        .ok()
 }
 
 /// Builds the workbook a server (or the in-process [`evaluate`] helper)
@@ -345,6 +361,9 @@ impl Engine {
                 monityre_obs::record_phase(monityre_obs::names::SERVE_EXECUTE, exec_start, elapsed);
                 self.stats
                     .record_served(job.request.op.name(), job.received.elapsed());
+                if let Payload::Explain(ledger) = &payload {
+                    *self.last_ledger.lock().expect("ledger lock") = Some(ledger.clone());
+                }
                 Response::success(id, payload)
             }
             Ok(None) => {
@@ -495,6 +514,7 @@ pub(crate) fn run_ingest_op(
             let summary = ingest
                 .ingest(points, faults)
                 .map_err(|e| (ErrorCode::Internal, format!("ingest append failed: {e}")))?;
+            attribute_deficit_alerts(ingest, &summary.alerted);
             Ok(Payload::Ingest {
                 accepted: summary.accepted,
                 alerts: summary.alerts,
@@ -515,6 +535,74 @@ pub(crate) fn run_ingest_op(
             ErrorCode::BadRequest,
             format!("op `{}` is not an ingest operation", request.op.name()),
         )),
+    }
+}
+
+/// The shared reference balance the deficit-attribution hook evaluates
+/// ledgers on. Built once per process, lazily — alerts are rare and the
+/// ingest ops carry no scenario of their own. `None` only if the
+/// reference scenario fails to build, which disables attribution.
+fn attribution_balance() -> Option<&'static EnergyBalance> {
+    static BALANCE: std::sync::OnceLock<Option<EnergyBalance>> = std::sync::OnceLock::new();
+    BALANCE
+        .get_or_init(|| EnergyBalance::new(&Scenario::reference()).ok())
+        .as_ref()
+}
+
+/// Bisects the reference demand curve for the speed whose
+/// required-per-round matches `consumed_per_point_j`. The curve is
+/// monotone *decreasing* in speed (slower wheels mean longer rounds and
+/// a bigger leakage budget per round), so 32 halvings pin the implied
+/// operating point well under any reporting resolution.
+fn implied_speed(balance: &EnergyBalance, consumed_per_point_j: f64) -> Speed {
+    let (mut lo, mut hi) = (5.0f64, 200.0f64);
+    for _ in 0..32 {
+        let mid = 0.5 * (lo + hi);
+        match balance.point(Speed::from_kmh(mid)) {
+            Ok(point) if point.required.joules() > consumed_per_point_j => lo = mid,
+            Ok(_) => hi = mid,
+            Err(_) => break,
+        }
+    }
+    Speed::from_kmh(0.5 * (lo + hi))
+}
+
+/// Attributes each fresh deficit-alert edge to the dominant block of the
+/// energy ledger at the vehicle's implied operating point: the windowed
+/// mean consumed-per-point is inverted through the reference demand
+/// curve, the ledger is explained there, and the biggest line item gets
+/// the blame — a per-block `ingest.deficit.block.<name>` counter plus a
+/// flight-recorder event naming the vehicle (exemplar-stamped with the
+/// batch's trace context, like the alert event itself).
+fn attribute_deficit_alerts(ingest: &Ingestor, alerted: &[u64]) {
+    if alerted.is_empty() {
+        return;
+    }
+    let Some(balance) = attribution_balance() else {
+        return;
+    };
+    for &vehicle in alerted {
+        let Some(window) = ingest.state_of(vehicle) else {
+            continue;
+        };
+        if window.points == 0 {
+            continue;
+        }
+        let per_point = window.consumed_j / window.points as f64;
+        let Ok(ledger) = balance.explain(implied_speed(balance, per_point)) else {
+            continue;
+        };
+        let Some(dominant) = ledger.dominant_block() else {
+            continue;
+        };
+        let prefix = monityre_obs::names::INGEST_DEFICIT_BLOCK_PREFIX;
+        monityre_obs::Registry::global()
+            .counter(&format!("{prefix}.{}", dominant.block))
+            .inc();
+        monityre_obs::recorder::record_event(format!(
+            "{prefix}.{}.vehicle.{vehicle}",
+            dominant.block
+        ));
     }
 }
 
@@ -626,6 +714,14 @@ fn run_op<C: Fn() -> bool + Sync>(
                 return Ok(None);
             };
             Ok(Some(Payload::Optimize(report)))
+        }
+        Op::Explain => {
+            let speed = Speed::from_kmh(p.speed_kmh.unwrap_or(60.0));
+            let balance = EnergyBalance::with_cache(&cached.scenario, cached.cache.clone());
+            let ledger = balance
+                .explain(speed)
+                .map_err(|e| (ErrorCode::EvalFailed, e.to_string()))?;
+            Ok(Some(Payload::Explain(ledger)))
         }
         // Sheet and ingest ops never reach here: `Engine::execute` and
         // `evaluate` dispatch them to their own runners before any

@@ -99,7 +99,27 @@ fn chaos_requests() -> Vec<Request> {
     let mut request = Request::new(Op::Breakeven).with_id(10);
     request.scenario.temp_c = Some(85.0);
     requests.push(request);
+    // Ledger explains ride through every fault cell too: attribution
+    // must stay byte-identical under faults, and no cell may ever trip
+    // the conservation check.
+    let mut request = Request::new(Op::Explain).with_id(11);
+    request.params.speed_kmh = Some(45.0);
+    requests.push(request);
+    let mut request = Request::new(Op::Explain).with_id(12);
+    request.params.speed_kmh = Some(30.0);
+    request.scenario.radio_loss_prob = Some(0.2);
+    request.scenario.radio_retries = Some(4);
+    request.scenario.age_years = Some(6.0);
+    requests.push(request);
     requests
+}
+
+/// The process-global conservation-violation count (registers the
+/// counter at zero on first read).
+fn conservation_violations() -> u64 {
+    monityre_obs::Registry::global()
+        .counter(monityre_obs::names::LEDGER_CONSERVATION_VIOLATIONS)
+        .get()
 }
 
 /// The fault-free ground truth: what a server must answer for `request`,
@@ -122,6 +142,7 @@ fn run_cell(seed: u64, spec: &str) {
     let handle = config.start().expect("server starts");
     let mut client = RetryingClient::new(handle.addr(), chaos_policy(seed));
     let requests = chaos_requests();
+    let violations_before = conservation_violations();
     for request in &requests {
         let raw = client.call_raw(request).unwrap_or_else(|e| {
             panic!("seed {seed} spec `{spec}` id {:?}: {e}", request.id);
@@ -142,6 +163,12 @@ fn run_cell(seed: u64, spec: &str) {
     );
     assert_eq!(stats.bad_requests, 0, "seed {seed} spec `{spec}`");
     assert_eq!(stats.eval_failed, 0, "seed {seed} spec `{spec}`");
+    assert_eq!(
+        conservation_violations(),
+        violations_before,
+        "seed {seed} spec `{spec}`: injected faults must never trip the \
+         ledger conservation check"
+    );
     // Clean drain: joins the acceptor, handlers, and workers. A stuck
     // thread turns this into a visible test hang.
     handle.shutdown();

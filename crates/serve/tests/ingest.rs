@@ -139,6 +139,12 @@ fn ingest_aggregates_over_the_wire_and_state_filters_by_vehicle() {
         )),
         "{text}"
     );
+    // The deficit alert was attributed to a dominant energy block: the
+    // per-block counter landed in the (merged) global registry.
+    assert!(
+        text.contains("monityre_ingest_deficit_block_"),
+        "deficit alerts must be attributed to a block: {text}"
+    );
     handle.shutdown();
 }
 

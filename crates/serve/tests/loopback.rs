@@ -511,3 +511,81 @@ fn sheet_ops_serve_the_shared_workbook() {
     );
     handle.shutdown();
 }
+
+/// The explain requests the byte-identity test sends: default speed,
+/// explicit speeds either side of the break-even, and the extended axes
+/// (lossy radio + aged supercap) travelling over the wire.
+fn explain_requests() -> Vec<Request> {
+    let mut slow = Request::new(Op::Explain).with_id(21);
+    slow.params.speed_kmh = Some(12.5);
+    let mut fast = Request::new(Op::Explain).with_id(22);
+    fast.params.speed_kmh = Some(140.0);
+    let mut axes = Request::new(Op::Explain).with_id(23);
+    axes.params.speed_kmh = Some(60.0);
+    axes.scenario.radio_loss_prob = Some(0.3);
+    axes.scenario.radio_retries = Some(5);
+    axes.scenario.age_years = Some(8.0);
+    vec![Request::new(Op::Explain).with_id(20), slow, fast, axes]
+}
+
+#[test]
+fn explain_is_byte_identical_across_threads_and_to_in_process() {
+    let requests = explain_requests();
+    // The in-process serial evaluation is the reference bytes; every
+    // thread count must serve exactly those.
+    let expected: Vec<String> = requests.iter().map(expected_line).collect();
+
+    for threads in [1usize, 2, 4] {
+        let handle = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        }
+        .start()
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for (request, want) in requests.iter().zip(&expected) {
+            let raw = client.request_raw(request).expect("explain");
+            assert_eq!(
+                &raw, want,
+                "explain bytes diverged at {threads} worker threads"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn explained_ledgers_conserve_and_replay_through_dedup() {
+    let handle = start_default();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for request in explain_requests() {
+        let response = client.request(&request).expect("explain");
+        let Some(Payload::Explain(ledger)) = response.ok else {
+            panic!("unexpected explain response: {response:?}");
+        };
+        assert!(ledger.conserved, "float-layer replay diverged: {ledger:?}");
+        assert!(ledger.conservation_holds(), "{ledger:?}");
+        assert!(!ledger.blocks.is_empty());
+        assert_eq!(
+            ledger.storage_delta_nj,
+            ledger.harvested_nj - ledger.consumed_nj
+        );
+    }
+
+    // Explain is queued like an evaluation, so an idempotency key must
+    // replay the exact bytes without recomputing.
+    let mut keyed = Request::new(Op::Explain).with_id(30).with_idem(0xd0e);
+    keyed.params.speed_kmh = Some(45.0);
+    let first = client.request_raw(&keyed).expect("keyed explain");
+    let replay = client.request_raw(&keyed).expect("keyed replay");
+    assert_eq!(first, replay, "dedup replay must be byte-identical");
+    assert!(handle.stats().dedup_hits >= 1);
+
+    // A non-positive speed is a structured validation error.
+    let mut bad = Request::new(Op::Explain).with_id(31);
+    bad.params.speed_kmh = Some(0.0);
+    let response = client.request(&bad).expect("bad explain");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+    handle.shutdown();
+}

@@ -89,11 +89,40 @@ fn series_health_and_profile_ops_serve_over_the_wire() {
         other => panic!("unexpected payload {other:?}"),
     }
 
-    // An unknown metric is a structured error, not a hang or a panic.
+    // The per-block energy ledger gauges are scraped into series from
+    // the startup ledger, before any `explain` traffic arrives.
     let mut request = Request::new(Op::Series);
-    request.params.metric = Some("no.such.metric".to_owned());
+    request.params.metric = Some("energy.block.radio.dynamic_nj".to_owned());
+    let response = client.request(&request).expect("series request");
+    match response.ok.expect("ledger gauge series answers") {
+        Payload::Series(slice) => {
+            assert_eq!(slice.kind, "gauge");
+            assert!(!slice.points.is_empty());
+            let last = slice.points.last().unwrap().gauge.expect("gauge sample");
+            assert!(
+                last.last > 0.0,
+                "radio dynamic energy must be positive: {last:?}"
+            );
+        }
+        other => panic!("unexpected payload {other:?}"),
+    }
+
+    // An unknown metric is a structured error, not a hang or a panic —
+    // and the message names the nearest recorded series so a typo is a
+    // one-round-trip fix.
+    let mut request = Request::new(Op::Series);
+    request.params.metric = Some("serve.servd".to_owned());
     let response = client.request(&request).expect("series request");
     assert_eq!(response.error_code(), Some(ErrorCode::EvalFailed));
+    let message = response.error.as_ref().expect("wire error").message.clone();
+    assert!(
+        message.contains("`serve.servd`"),
+        "error must echo the requested metric: {message}"
+    );
+    assert!(
+        message.contains("`serve.served`"),
+        "error must suggest the nearest recorded metric: {message}"
+    );
 
     // `health` answers with the three default objectives, all ok.
     let response = client

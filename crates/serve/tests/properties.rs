@@ -105,6 +105,7 @@ fn arb_params() -> BoxedStrategy<Params> {
                 metric: None,
                 resolution: None,
                 range_s: None,
+                speed_kmh: None,
             },
         )
         .boxed()
